@@ -1,0 +1,75 @@
+//! Figure 1: speedup vs. prefetch distance for the §2 microbenchmark with
+//! 256 inner iterations and low/medium/high work-function complexity.
+//!
+//! Expected shape: inverted-U curves whose optimum distance *shrinks* as
+//! the work function gets heavier (the loop's IC_latency grows, so fewer
+//! iterations are needed to cover the memory latency).
+
+use apt_bench::{emit_table, fx, scale};
+use apt_workloads::micro::{self, Complexity, MicroParams};
+use aptget::{ainsworth_jones_optimize, execute, PipelineConfig};
+
+fn main() {
+    let cfg = PipelineConfig::default();
+    let outer = ((1600.0 * scale()) as u64).max(50);
+    let complexities = [Complexity::Low, Complexity::Medium, Complexity::High];
+    let distances = [1u64, 2, 4, 8, 16, 32, 64, 128];
+
+    let mut rows = Vec::new();
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); complexities.len()];
+    for (ci, &cx) in complexities.iter().enumerate() {
+        let w = micro::build(MicroParams {
+            outer,
+            inner: 256,
+            complexity: cx,
+            ..MicroParams::default()
+        });
+        let base =
+            execute(&w.module, w.image.clone(), &w.calls, &cfg.measure_sim).expect("baseline run");
+        for &d in &distances {
+            let (m, _) = ainsworth_jones_optimize(&w.module, d);
+            let opt =
+                execute(&m, w.image.clone(), &w.calls, &cfg.measure_sim).expect("prefetch run");
+            assert_eq!(opt.rets, base.rets, "prefetching changed the result");
+            series[ci].push(base.stats.cycles as f64 / opt.stats.cycles as f64);
+        }
+    }
+    for (di, &d) in distances.iter().enumerate() {
+        rows.push(vec![
+            d.to_string(),
+            fx(series[0][di]),
+            fx(series[1][di]),
+            fx(series[2][di]),
+        ]);
+    }
+    emit_table(
+        "fig1_distance_sweep",
+        "Fig. 1 — speedup vs prefetch-distance (INNER = 256)",
+        &["distance", "low", "medium", "high"],
+        &rows,
+    );
+
+    // Shape assertions: each curve has an interior optimum, and the
+    // optimum distance is non-increasing with complexity.
+    let best = |s: &[f64]| {
+        s.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty")
+            .0
+    };
+    let (b0, b1, b2) = (best(&series[0]), best(&series[1]), best(&series[2]));
+    println!(
+        "\noptimal distances: low={} medium={} high={}",
+        distances[b0], distances[b1], distances[b2]
+    );
+    assert!(
+        b0 >= b1 && b1 >= b2,
+        "optimal distance must shrink with work complexity"
+    );
+    assert!(
+        series[0][b0] > 1.5,
+        "low-complexity peak speedup should be substantial"
+    );
+    println!("fig1: OK");
+}

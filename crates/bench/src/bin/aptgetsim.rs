@@ -1,0 +1,161 @@
+//! `aptgetsim` — command-line driver for the APT-GET reproduction.
+//!
+//! ```text
+//! aptgetsim list                         # registered workloads
+//! aptgetsim run BFS [--scale S] [--seed N]
+//!                                        # baseline vs A&J vs APT-GET
+//! aptgetsim hints BFS [--scale S]        # print the hint file (§3.4 output)
+//! aptgetsim ir BFS [--optimized]         # dump the workload's IR
+//! ```
+
+use std::process::ExitCode;
+
+use apt_bench::{compare_variants, fx, pct, AJ_STATIC_DISTANCE};
+use apt_profile::hintfile;
+use apt_workloads::registry::{all_workloads, by_name};
+use aptget::{AptGet, PipelineConfig};
+
+struct Args {
+    command: String,
+    workload: Option<String>,
+    scale: f64,
+    seed: u64,
+    optimized: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or("missing command")?;
+    let mut out = Args {
+        command,
+        workload: None,
+        scale: 0.25,
+        seed: 42,
+        optimized: false,
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                out.scale = args
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--seed" => {
+                out.seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--optimized" => out.optimized = true,
+            w if out.workload.is_none() && !w.starts_with('-') => {
+                out.workload = Some(w.to_string());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("usage: aptgetsim <list|run|hints|ir> [WORKLOAD] [--scale S] [--seed N] [--optimized]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match args.command.as_str() {
+        "list" => {
+            println!("{:<12} {}", "name", "nested-loop delinquent loads");
+            for w in all_workloads() {
+                println!("{:<12} {}", w.name, if w.nested { "yes" } else { "no" });
+            }
+            ExitCode::SUCCESS
+        }
+        "run" | "hints" | "ir" => {
+            let Some(name) = args.workload.as_deref() else {
+                eprintln!("error: `{}` needs a workload name", args.command);
+                return ExitCode::FAILURE;
+            };
+            let Some(spec) = by_name(name) else {
+                eprintln!("error: unknown workload `{name}` (try `aptgetsim list`)");
+                return ExitCode::FAILURE;
+            };
+            let w = spec.build(args.scale, args.seed);
+            let cfg = PipelineConfig::default();
+            match args.command.as_str() {
+                "run" => {
+                    let (cmp, opt) = compare_variants(&w, &cfg);
+                    println!("workload {name} (scale {}, seed {})", args.scale, args.seed);
+                    println!(
+                        "  baseline: {:>12} cycles, IPC {:.2}, {} memory-bound, MPKI {:.2}",
+                        cmp.baseline.cycles,
+                        cmp.baseline.ipc(),
+                        pct(cmp.baseline.memory_bound_fraction()),
+                        cmp.baseline.mpki()
+                    );
+                    for (vname, s) in &cmp.variants {
+                        println!(
+                            "  {:<9} {:>12} cycles  → {}  (instr ×{:.2}, MPKI {:.2})",
+                            format!("{vname}:"),
+                            s.cycles,
+                            fx(cmp.baseline.cycles as f64 / s.cycles as f64),
+                            s.instructions as f64 / cmp.baseline.instructions as f64,
+                            s.mpki()
+                        );
+                    }
+                    println!("  A&J static distance: {AJ_STATIC_DISTANCE}");
+                    for h in &opt.analysis.hints {
+                        println!(
+                            "  hint: {} → distance {}, site {:?}, fanout {}",
+                            h.pc, h.distance, h.site, h.fanout
+                        );
+                    }
+                    for n in &opt.analysis.notes {
+                        println!("  note: {n}");
+                    }
+                    ExitCode::SUCCESS
+                }
+                "hints" => {
+                    let apt = AptGet::new(cfg);
+                    match apt.optimize(&w.module, w.image.clone(), &w.calls) {
+                        Ok(opt) => {
+                            print!("{}", hintfile::serialize_hints(&opt.analysis.hints));
+                            ExitCode::SUCCESS
+                        }
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            ExitCode::FAILURE
+                        }
+                    }
+                }
+                "ir" => {
+                    let module = if args.optimized {
+                        let apt = AptGet::new(cfg);
+                        match apt.optimize(&w.module, w.image.clone(), &w.calls) {
+                            Ok(o) => o.module,
+                            Err(e) => {
+                                eprintln!("error: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    } else {
+                        w.module
+                    };
+                    print!("{}", apt_lir::print::module_to_string(&module));
+                    ExitCode::SUCCESS
+                }
+                _ => unreachable!(),
+            }
+        }
+        other => {
+            eprintln!("error: unknown command `{other}`");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Quick calibration: microbenchmark distance sweep + one workload.
+use apt_workloads::micro::{self, Complexity, MicroParams};
+use aptget::{ainsworth_jones_optimize, execute, AptGet, PipelineConfig};
+use std::time::Instant;
+
+fn main() {
+    let cfg = PipelineConfig::default();
+    for cx in [Complexity::Low, Complexity::Medium, Complexity::High] {
+        let p = MicroParams {
+            outer: 400,
+            inner: 256,
+            complexity: cx,
+            ..Default::default()
+        };
+        let w = micro::build(p);
+        let t0 = Instant::now();
+        let base = execute(&w.module, w.image.clone(), &w.calls, &cfg.measure_sim).unwrap();
+        let wall = t0.elapsed();
+        print!(
+            "{:8} base: cyc={:>12} ipc={:.3} mb={:.2} wall={:?} | ",
+            cx.label(),
+            base.stats.cycles,
+            base.stats.ipc(),
+            base.stats.memory_bound_fraction(),
+            wall
+        );
+        for d in [1u64, 4, 16, 32, 64, 1024] {
+            let (m, _r) = ainsworth_jones_optimize(&w.module, d);
+            let opt = execute(&m, w.image.clone(), &w.calls, &cfg.measure_sim).unwrap();
+            assert_eq!(opt.rets, base.rets);
+            print!(
+                "d{}={:.2} ",
+                d,
+                base.stats.cycles as f64 / opt.stats.cycles as f64
+            );
+        }
+        // APT-GET
+        let apt = AptGet::new(cfg);
+        let o = apt.optimize(&w.module, w.image.clone(), &w.calls).unwrap();
+        let opt = execute(&o.module, w.image.clone(), &w.calls, &cfg.measure_sim).unwrap();
+        let h = o.analysis.hints.first();
+        println!(
+            "| APT={:.2} (dist={:?} site={:?})",
+            base.stats.cycles as f64 / opt.stats.cycles as f64,
+            h.map(|h| h.distance),
+            h.map(|h| h.site)
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! App-level calibration: baseline vs A&J vs APT-GET per workload.
+use apt_bench::compare_variants;
+use apt_workloads::all_workloads;
+use aptget::{geomean, PipelineConfig};
+use std::time::Instant;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    let cfg = PipelineConfig::default();
+    let (mut aj_all, mut apt_all) = (vec![], vec![]);
+    for spec in all_workloads() {
+        let t0 = Instant::now();
+        let w = spec.build(scale, 42);
+        let (cmp, opt) = compare_variants(&w, &cfg);
+        let aj = cmp.speedup_of("A&J").unwrap();
+        let ap = cmp.speedup_of("APT-GET").unwrap();
+        aj_all.push(aj);
+        apt_all.push(ap);
+        let hints: Vec<String> = opt
+            .analysis
+            .hints
+            .iter()
+            .map(|h| {
+                format!(
+                    "d{}{}{}",
+                    h.distance,
+                    match h.site {
+                        aptget::Site::Inner => "i",
+                        _ => "o",
+                    },
+                    if h.fanout > 1 {
+                        format!("f{}", h.fanout)
+                    } else {
+                        String::new()
+                    }
+                )
+            })
+            .collect();
+        println!(
+            "{:<12} base_cyc={:>11} mb={:.2} | A&J={:.2} APT={:.2} | hints={:?} skipped={} | {:?}",
+            spec.name,
+            cmp.baseline.cycles,
+            cmp.baseline.memory_bound_fraction(),
+            aj,
+            ap,
+            hints,
+            opt.injection.skipped.len(),
+            t0.elapsed()
+        );
+    }
+    println!(
+        "GEOMEAN  A&J={:.2}  APT={:.2}",
+        geomean(&aj_all),
+        geomean(&apt_all)
+    );
+}

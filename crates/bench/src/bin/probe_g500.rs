@@ -1,0 +1,56 @@
+use apt_passes::inject_prefetches;
+use apt_workloads::registry::by_name;
+use aptget::{execute, AptGet, InjectionSpec, PipelineConfig, Site};
+
+fn main() {
+    let cfg = PipelineConfig::default();
+    let w = by_name("Graph500").unwrap().build(1.0, 42);
+    let base = execute(&w.module, w.image.clone(), &w.calls, &cfg.measure_sim).unwrap();
+    println!("base {} cyc", base.stats.cycles);
+    let apt = AptGet::new(cfg);
+    let opt = apt.optimize(&w.module, w.image.clone(), &w.calls).unwrap();
+    for h in &opt.analysis.hints {
+        println!(
+            "hint pc={} d={} site={:?} f={} ic={:.1} mc={:.1} trip={:?}",
+            h.pc, h.distance, h.site, h.fanout, h.ic_latency, h.mc_latency, h.trip_count
+        );
+    }
+    // Try forced variants on the top hint's load.
+    for (site, d, f) in [
+        (Site::Inner, 12, 1),
+        (Site::Inner, 4, 1),
+        (Site::Inner, 2, 1),
+        (Site::Outer, 2, 5),
+        (Site::Outer, 4, 8),
+        (Site::Outer, 12, 8),
+        (Site::Outer, 2, 16),
+        (Site::Outer, 4, 16),
+    ] {
+        let specs: Vec<InjectionSpec> = opt
+            .analysis
+            .hints
+            .iter()
+            .map(|h| InjectionSpec {
+                func: h.func,
+                load: h.load,
+                distance: d,
+                site,
+                fanout: f,
+                fallback_inner_distance: Some(2),
+            })
+            .collect();
+        let mut m = w.module.clone();
+        let rep = inject_prefetches(&mut m, &specs);
+        let e = execute(&m, w.image.clone(), &w.calls, &cfg.measure_sim).unwrap();
+        assert_eq!(e.rets, base.rets);
+        println!(
+            "{:?} d{} f{}: {:.3}x (inj {} skip {})",
+            site,
+            d,
+            f,
+            base.stats.cycles as f64 / e.stats.cycles as f64,
+            rep.injected.len(),
+            rep.skipped.len()
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Shared machinery for the paper-reproduction bench targets.
+//!
+//! Each bench target under `benches/` regenerates one table or figure of
+//! the paper: it prints the same rows/series the paper reports and writes
+//! a CSV copy under `target/paper/`. Run all of them with
+//! `cargo bench -p apt-bench`, or one with
+//! `cargo bench -p apt-bench --bench fig6_speedup`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use apt_workloads::BuiltWorkload;
+use aptget::pipeline::Optimized;
+use aptget::{ainsworth_jones_optimize, execute, AptGet, Comparison, Execution, PipelineConfig};
+
+/// Workload scale for the experiment benches.
+///
+/// 1.0 runs the full scaled-machine footprints (minutes); the default
+/// 0.25 keeps every figure reproducible in a few minutes total while
+/// staying well beyond the scaled LLC. Override with `APT_SCALE`.
+pub fn scale() -> f64 {
+    std::env::var("APT_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25)
+}
+
+/// The common training seed.
+pub const TRAIN_SEED: u64 = 42;
+/// A distinct input for the Fig. 12 test runs.
+pub const TEST_SEED: u64 = 1337;
+
+/// The A&J baseline's static distance (the `-DFETCHDIST` flag of §2.1).
+pub const AJ_STATIC_DISTANCE: u64 = 32;
+
+/// Prints an aligned table and mirrors it to `target/paper/<name>.csv`.
+pub fn emit_table(name: &str, title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+
+    // Benches run with the crate as CWD; anchor the output at the
+    // workspace root so every figure lands in `target/paper/`.
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let dir = root.join("target/paper");
+    let _ = fs::create_dir_all(&dir);
+    let mut csv = headers.join(",") + "\n";
+    for row in rows {
+        csv.push_str(&row.join(","));
+        csv.push('\n');
+    }
+    let path = dir.join(format!("{name}.csv"));
+    if let Err(e) = fs::write(&path, csv) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("[written to {}]", path.display());
+    }
+}
+
+/// Executes a workload's call schedule against `module`, checks the
+/// result, and returns the execution.
+///
+/// # Panics
+///
+/// Panics if the simulation fails or produces a wrong result — a broken
+/// experiment must never silently produce a figure.
+pub fn run_checked(w: &BuiltWorkload, module: &aptget::Module, cfg: &PipelineConfig) -> Execution {
+    let exec = execute(module, w.image.clone(), &w.calls, &cfg.measure_sim)
+        .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", w.name));
+    (w.check)(&exec.image, &exec.rets).unwrap_or_else(|e| panic!("{}: wrong result: {e}", w.name));
+    exec
+}
+
+/// Runs baseline, Ainsworth & Jones, and APT-GET on one workload (checking
+/// every variant's output) and returns the comparison plus APT-GET's
+/// optimisation artefacts.
+pub fn compare_variants(w: &BuiltWorkload, cfg: &PipelineConfig) -> (Comparison, Optimized) {
+    let base = run_checked(w, &w.module, cfg);
+
+    let (aj_module, _) = ainsworth_jones_optimize(&w.module, AJ_STATIC_DISTANCE);
+    let aj = run_checked(w, &aj_module, cfg);
+
+    let apt = AptGet::new(*cfg);
+    let opt = apt
+        .optimize(&w.module, w.image.clone(), &w.calls)
+        .unwrap_or_else(|e| panic!("{}: profiling failed: {e}", w.name));
+    let tuned = run_checked(w, &opt.module, cfg);
+
+    (
+        Comparison {
+            workload: w.name.clone(),
+            baseline: base.stats,
+            variants: vec![
+                ("A&J".to_string(), aj.stats),
+                ("APT-GET".to_string(), tuned.stats),
+            ],
+        },
+        opt,
+    )
+}
+
+/// Formats a ratio like the paper ("1.30x").
+pub fn fx(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fx(1.298), "1.30x");
+        assert_eq!(pct(0.654), "65.4%");
+    }
+
+    #[test]
+    fn scale_defaults() {
+        // Unless APT_SCALE is set in the environment, the default applies.
+        if std::env::var("APT_SCALE").is_err() {
+            assert_eq!(scale(), 0.25);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! The profiling → analysis → injection → measurement pipeline.
+
+use apt_cpu::{Machine, MemImage, PerfStats, ProfileData, SimConfig, SimError};
+use apt_lir::Module;
+use apt_passes::{ainsworth_jones, inject_prefetches, optimize_module, InjectionReport};
+use apt_profile::{analyze, AnalysisConfig, AnalysisResult};
+
+/// Configuration of the whole pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Simulator configuration for the *profiling* run (LBR + PEBS on).
+    pub profile_sim: SimConfig,
+    /// Simulator configuration for measurement runs (profiling off).
+    pub measure_sim: SimConfig,
+    /// The §3.2–§3.4 analysis tunables.
+    pub analysis: AnalysisConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        let profile_sim = SimConfig::default();
+        PipelineConfig {
+            profile_sim,
+            measure_sim: SimConfig::no_profiling(profile_sim.mem),
+            analysis: AnalysisConfig {
+                dram_latency_hint: profile_sim.mem.dram_latency,
+                pebs_period: profile_sim.pebs_period,
+                ..AnalysisConfig::default()
+            },
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A pipeline over a specific simulator configuration.
+    pub fn with_sim(sim: SimConfig) -> PipelineConfig {
+        PipelineConfig {
+            profile_sim: sim,
+            measure_sim: SimConfig::no_profiling(sim.mem),
+            analysis: AnalysisConfig {
+                dram_latency_hint: sim.mem.dram_latency,
+                pebs_period: sim.pebs_period,
+                ..AnalysisConfig::default()
+            },
+        }
+    }
+}
+
+/// Outcome of one simulated execution.
+pub struct Execution {
+    /// `perf stat` counters for the whole call schedule.
+    pub stats: PerfStats,
+    /// Return value of each call.
+    pub rets: Vec<Option<u64>>,
+    /// Final data image (for result checking).
+    pub image: MemImage,
+    /// Hardware profiles (empty when profiling is disabled).
+    pub profile: ProfileData,
+}
+
+/// Executes a call schedule against `module` and collects statistics.
+pub fn execute(
+    module: &Module,
+    image: MemImage,
+    calls: &[(String, Vec<u64>)],
+    sim: &SimConfig,
+) -> Result<Execution, SimError> {
+    let mut machine = Machine::new(module, *sim, image);
+    let mut rets = Vec::with_capacity(calls.len());
+    for (func, args) in calls {
+        rets.push(machine.call(func, args)?);
+    }
+    let stats = machine.stats();
+    let profile = machine.take_profile();
+    Ok(Execution {
+        stats,
+        rets,
+        image: machine.image,
+        profile,
+    })
+}
+
+/// An APT-GET-optimised module plus everything learned on the way.
+pub struct Optimized {
+    /// The instrumented module.
+    pub module: Module,
+    /// Profile analysis (delinquent loads, distances, sites, notes).
+    pub analysis: AnalysisResult,
+    /// What was injected and what was skipped.
+    pub injection: InjectionReport,
+    /// Statistics of the profiling run itself.
+    pub profile_stats: PerfStats,
+}
+
+/// The APT-GET optimiser.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AptGet {
+    cfg: PipelineConfig,
+}
+
+impl AptGet {
+    /// Creates an optimiser with the given configuration.
+    pub fn new(cfg: PipelineConfig) -> AptGet {
+        AptGet { cfg }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// Runs the full §3.4 flow: one profiling run of `calls` on `module`,
+    /// the analytical model, and prefetch injection. The returned module
+    /// computes exactly what the input module computes.
+    pub fn optimize(
+        &self,
+        module: &Module,
+        image: MemImage,
+        calls: &[(String, Vec<u64>)],
+    ) -> Result<Optimized, SimError> {
+        let exec = execute(module, image, calls, &self.cfg.profile_sim)?;
+        Ok(self.optimize_with_profile(module, &exec.profile, exec.stats))
+    }
+
+    /// Applies the analysis to an already-collected profile (used by the
+    /// Fig. 12 train/test experiment to reuse a training profile).
+    pub fn optimize_with_profile(
+        &self,
+        module: &Module,
+        profile: &ProfileData,
+        profile_stats: PerfStats,
+    ) -> Optimized {
+        let map = module.assign_pcs();
+        let analysis = analyze(module, &map, profile, &profile_stats, &self.cfg.analysis);
+        let mut optimized = module.clone();
+        let injection = inject_prefetches(&mut optimized, &analysis.specs());
+        // The paper's flow re-compiles at -O3 after injection: fold,
+        // hoist the loop-invariant parts of the slices, sweep dead code.
+        optimize_module(&mut optimized);
+        Optimized {
+            module: optimized,
+            analysis,
+            injection,
+            profile_stats,
+        }
+    }
+}
+
+/// The Ainsworth & Jones baseline: static inner-loop injection of every
+/// indirect load at one global distance.
+pub fn ainsworth_jones_optimize(module: &Module, distance: u64) -> (Module, InjectionReport) {
+    let mut m = module.clone();
+    let report = ainsworth_jones(&mut m, distance);
+    // Same -O3-style clean-up as the APT-GET path (fair comparison).
+    optimize_module(&mut m);
+    (m, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_lir::{FunctionBuilder, Width};
+
+    /// `sum += T[B[i]]` over a table much larger than the scaled LLC.
+    fn indirect_program() -> (Module, MemImage, Vec<(String, Vec<u64>)>) {
+        let mut module = Module::new("t");
+        let f = module.add_function("kernel", &["t", "b", "n"]);
+        {
+            let mut bd = FunctionBuilder::new(module.function_mut(f));
+            let (t, b, n) = (bd.param(0), bd.param(1), bd.param(2));
+            let s = bd.loop_up_reduce(0, n, 1, 0, |bd, iv, acc| {
+                let x = bd.load_elem(b, iv, Width::W4, false);
+                let v = bd.load_elem(t, x, Width::W4, false);
+                bd.add(acc, v).into()
+            });
+            bd.ret(Some(s));
+        }
+        let mut image = MemImage::new();
+        let tlen = 1u32 << 20; // 4 MiB of u32.
+        let t: Vec<u32> = (0..tlen).map(|i| i % 1000).collect();
+        let b: Vec<u32> = (0..200_000u32)
+            .map(|i| i.wrapping_mul(2_654_435_761) % tlen)
+            .collect();
+        let tb = image.alloc_u32_slice(&t);
+        let bb = image.alloc_u32_slice(&b);
+        let calls = vec![("kernel".to_string(), vec![tb, bb, 200_000])];
+        (module, image, calls)
+    }
+
+    #[test]
+    fn pipeline_finds_the_delinquent_load_and_speeds_it_up() {
+        let (module, image, calls) = indirect_program();
+        let cfg = PipelineConfig::default();
+        let apt = AptGet::new(cfg);
+        let opt = apt.optimize(&module, image.clone(), &calls).unwrap();
+        assert_eq!(opt.injection.injected.len(), 1, "{:?}", opt.analysis.notes);
+        let hint = &opt.analysis.hints[0];
+        assert!(hint.distance >= 2, "distance {}", hint.distance);
+
+        let base = execute(&module, image.clone(), &calls, &cfg.measure_sim).unwrap();
+        let tuned = execute(&opt.module, image, &calls, &cfg.measure_sim).unwrap();
+        assert_eq!(base.rets, tuned.rets);
+        let speedup = base.stats.cycles as f64 / tuned.stats.cycles as f64;
+        assert!(speedup > 1.3, "speedup {speedup}");
+    }
+
+    #[test]
+    fn aj_baseline_also_helps_here() {
+        let (module, image, calls) = indirect_program();
+        let cfg = PipelineConfig::default();
+        let (aj, report) = ainsworth_jones_optimize(&module, 32);
+        assert_eq!(report.injected.len(), 1);
+        let base = execute(&module, image.clone(), &calls, &cfg.measure_sim).unwrap();
+        let tuned = execute(&aj, image, &calls, &cfg.measure_sim).unwrap();
+        assert_eq!(base.rets, tuned.rets);
+        assert!(base.stats.cycles > tuned.stats.cycles);
+    }
+
+    #[test]
+    fn optimize_is_deterministic() {
+        let (module, image, calls) = indirect_program();
+        let apt = AptGet::new(PipelineConfig::default());
+        let a = apt.optimize(&module, image.clone(), &calls).unwrap();
+        let b = apt.optimize(&module, image, &calls).unwrap();
+        assert_eq!(
+            apt_lir::print::module_to_string(&a.module),
+            apt_lir::print::module_to_string(&b.module)
+        );
+    }
+
+    #[test]
+    fn profiling_run_collects_samples() {
+        let (module, image, calls) = indirect_program();
+        let exec = execute(&module, image, &calls, &SimConfig::default()).unwrap();
+        assert!(!exec.profile.lbr_samples.is_empty());
+        assert!(!exec.profile.pebs.is_empty());
+    }
+}

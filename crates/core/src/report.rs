@@ -1,0 +1,188 @@
+//! Comparison reporting helpers for the experiment harness.
+
+use apt_cpu::PerfStats;
+
+/// Execution-time speedup of `opt` over `base` (in simulated cycles).
+pub fn speedup(base: &PerfStats, opt: &PerfStats) -> f64 {
+    if opt.cycles == 0 {
+        return 0.0;
+    }
+    base.cycles as f64 / opt.cycles as f64
+}
+
+/// Geometric mean (the paper's average-speedup aggregator, §4.3).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// A named bundle of per-variant statistics for one workload.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    pub workload: String,
+    pub baseline: PerfStats,
+    /// `(variant name, stats)` — e.g. "A&J", "APT-GET".
+    pub variants: Vec<(String, PerfStats)>,
+}
+
+impl Comparison {
+    /// Speedup of a named variant over the baseline.
+    pub fn speedup_of(&self, name: &str) -> Option<f64> {
+        self.variants
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| speedup(&self.baseline, s))
+    }
+
+    /// Instruction overhead (Fig. 11): variant instructions / baseline.
+    pub fn instruction_overhead(&self, name: &str) -> Option<f64> {
+        self.variants
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s.instructions as f64 / self.baseline.instructions.max(1) as f64)
+    }
+
+    /// MPKI reduction factor (Fig. 7): baseline MPKI / variant MPKI.
+    pub fn mpki_reduction(&self, name: &str) -> Option<f64> {
+        self.variants.iter().find(|(n, _)| n == name).map(|(_, s)| {
+            let v = s.mpki();
+            if v <= 0.0 {
+                f64::INFINITY
+            } else {
+                self.baseline.mpki() / v
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(cycles: u64, instructions: u64) -> PerfStats {
+        PerfStats {
+            cycles,
+            instructions,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        assert_eq!(speedup(&stats(200, 1), &stats(100, 1)), 2.0);
+        assert_eq!(speedup(&stats(200, 1), &stats(0, 1)), 0.0);
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        let g = geomean(&[1.0, 4.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn comparison_lookups() {
+        let c = Comparison {
+            workload: "BFS".into(),
+            baseline: stats(1000, 500),
+            variants: vec![("APT-GET".into(), stats(500, 600))],
+        };
+        assert_eq!(c.speedup_of("APT-GET"), Some(2.0));
+        assert_eq!(c.instruction_overhead("APT-GET"), Some(1.2));
+        assert_eq!(c.speedup_of("nope"), None);
+    }
+}
+
+/// Renders statistics in `perf stat` style (the tool the paper reads its
+/// numbers with, §4.1).
+pub fn format_perf_stat(workload: &str, s: &PerfStats) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(" Performance counter stats for '{workload}':\n\n"));
+    let row = |out: &mut String, value: String, name: &str, extra: String| {
+        out.push_str(&format!("  {value:>18}      {name:<34} {extra}\n"));
+    };
+    row(&mut out, format!("{}", s.cycles), "cycles", String::new());
+    row(
+        &mut out,
+        format!("{}", s.instructions),
+        "instructions",
+        format!("#  {:.2}  insn per cycle", s.ipc()),
+    );
+    row(
+        &mut out,
+        format!("{}", s.branches),
+        "branches",
+        format!(
+            "#  {:.1}% taken",
+            if s.branches == 0 {
+                0.0
+            } else {
+                s.taken_branches as f64 * 100.0 / s.branches as f64
+            }
+        ),
+    );
+    row(
+        &mut out,
+        format!("{}", s.mem.loads),
+        "mem-loads",
+        String::new(),
+    );
+    row(
+        &mut out,
+        format!("{}", s.mem.demand_data_rd()),
+        "offcore_requests.demand_data_rd",
+        format!("#  {:.2} MPKI", s.mpki()),
+    );
+    row(
+        &mut out,
+        format!("{}", s.mem.all_data_rd()),
+        "offcore_requests.all_data_rd",
+        String::new(),
+    );
+    row(
+        &mut out,
+        format!("{}", s.mem.fb_hits_swpf),
+        "load_hit_pre.sw_pf",
+        format!(
+            "#  {:.1}% of sw prefetches late",
+            s.mem.late_prefetch_ratio() * 100.0
+        ),
+    );
+    row(
+        &mut out,
+        format!("{}", s.mem.sw_pf_issued),
+        "sw_prefetch_access.t0",
+        String::new(),
+    );
+    row(
+        &mut out,
+        format!("{}", s.mem.memory_bound_stalls()),
+        "cycle_activity.stalls_l3_miss",
+        format!("#  {:.1}% of cycles", s.memory_bound_fraction() * 100.0),
+    );
+    out
+}
+
+#[cfg(test)]
+mod perf_stat_tests {
+    use super::*;
+
+    #[test]
+    fn formats_all_counters() {
+        let s = PerfStats {
+            instructions: 1_000_000,
+            cycles: 2_000_000,
+            branches: 100,
+            taken_branches: 80,
+            ..Default::default()
+        };
+        let text = format_perf_stat("bfs", &s);
+        assert!(text.contains("perf") || text.contains("Performance"));
+        assert!(text.contains("insn per cycle"));
+        assert!(text.contains("offcore_requests.demand_data_rd"));
+        assert!(text.contains("80.0% taken"));
+    }
+}

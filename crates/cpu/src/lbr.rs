@@ -1,0 +1,127 @@
+//! The Last Branch Record: a 32-entry ring of retired taken branches.
+//!
+//! Mirrors Intel's LBR with the cycle-count format the paper relies on
+//! (§3.1, Fig. 3): each entry holds the branch PC (`from`), the target PC
+//! (`to`), and the cycle at which the branch retired. Snapshots are ordered
+//! oldest → newest.
+
+use apt_lir::Pc;
+
+/// Number of LBR entries on the modelled CPU (§3.6 discusses this limit).
+pub const LBR_ENTRIES: usize = 32;
+
+/// One retired taken branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LbrEntry {
+    /// PC of the taken branch instruction.
+    pub from: Pc,
+    /// PC of the branch target (start of the next basic block).
+    pub to: Pc,
+    /// Retirement cycle.
+    pub cycle: u64,
+}
+
+/// A snapshot of the ring at a sampling event, oldest entry first.
+pub type LbrSample = Vec<LbrEntry>;
+
+/// The live ring buffer.
+#[derive(Debug, Clone)]
+pub struct LbrRing {
+    buf: [LbrEntry; LBR_ENTRIES],
+    len: usize,
+    head: usize,
+}
+
+impl Default for LbrRing {
+    fn default() -> LbrRing {
+        LbrRing::new()
+    }
+}
+
+impl LbrRing {
+    /// An empty ring.
+    pub fn new() -> LbrRing {
+        LbrRing {
+            buf: [LbrEntry {
+                from: Pc(0),
+                to: Pc(0),
+                cycle: 0,
+            }; LBR_ENTRIES],
+            len: 0,
+            head: 0,
+        }
+    }
+
+    /// Records a retired taken branch, overwriting the oldest entry when
+    /// full.
+    #[inline]
+    pub fn record(&mut self, from: Pc, to: Pc, cycle: u64) {
+        self.buf[self.head] = LbrEntry { from, to, cycle };
+        self.head = (self.head + 1) % LBR_ENTRIES;
+        if self.len < LBR_ENTRIES {
+            self.len += 1;
+        }
+    }
+
+    /// Number of valid entries (≤ 32).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no branch has retired yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Snapshots the ring, oldest entry first.
+    pub fn snapshot(&self) -> LbrSample {
+        let mut out = Vec::with_capacity(self.len);
+        let start = (self.head + LBR_ENTRIES - self.len) % LBR_ENTRIES;
+        for i in 0..self.len {
+            out.push(self.buf[(start + i) % LBR_ENTRIES]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_wraps() {
+        let mut r = LbrRing::new();
+        assert!(r.is_empty());
+        for i in 0..40u64 {
+            r.record(Pc(i * 4), Pc(i * 4 + 4), i * 10);
+        }
+        assert_eq!(r.len(), LBR_ENTRIES);
+        let s = r.snapshot();
+        assert_eq!(s.len(), LBR_ENTRIES);
+        // Oldest surviving entry is branch #8 (40 - 32).
+        assert_eq!(s[0].from, Pc(8 * 4));
+        assert_eq!(s[31].from, Pc(39 * 4));
+        // Monotone cycles.
+        assert!(s.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+    }
+
+    #[test]
+    fn partial_ring_snapshot() {
+        let mut r = LbrRing::new();
+        r.record(Pc(4), Pc(8), 100);
+        r.record(Pc(12), Pc(16), 200);
+        let s = r.snapshot();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].cycle, 100);
+        assert_eq!(s[1].cycle, 200);
+    }
+
+    #[test]
+    fn snapshot_does_not_consume() {
+        let mut r = LbrRing::new();
+        r.record(Pc(4), Pc(8), 1);
+        assert_eq!(r.snapshot().len(), 1);
+        assert_eq!(r.snapshot().len(), 1);
+        assert_eq!(r.len(), 1);
+    }
+}

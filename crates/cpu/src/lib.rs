@@ -1,0 +1,28 @@
+//! Execution-driven timing simulator for `apt-lir` programs.
+//!
+//! This crate stands in for the paper's evaluation machine: it *functionally
+//! executes* IR while charging cycle costs against the `apt-mem` hierarchy,
+//! and it implements the two hardware profiling facilities APT-GET relies
+//! on:
+//!
+//! * **LBR** ([`lbr`]) — a 32-entry ring of retired taken branches with
+//!   cycle timestamps, snapshotted periodically like `perf record -b`;
+//! * **PEBS** ([`pebs`]) — precise sampling of loads that miss the LLC,
+//!   yielding the delinquent-load PCs of §3.2.
+//!
+//! The core is scalar and in-order: ALU operations retire at fixed costs,
+//! demand loads block for the full hierarchy latency, software prefetches
+//! are fire-and-forget. See `apt-mem` for the rationale and the latency
+//! calibration.
+
+pub mod lbr;
+pub mod machine;
+pub mod memimg;
+pub mod pebs;
+pub mod stats;
+
+pub use lbr::{LbrEntry, LbrRing, LbrSample, LBR_ENTRIES};
+pub use machine::{Machine, SimConfig, SimError};
+pub use memimg::MemImage;
+pub use pebs::PebsRecord;
+pub use stats::{PerfStats, ProfileData};

@@ -1,0 +1,467 @@
+//! The simulated machine: functional interpreter + timing + profilers.
+
+use apt_lir::eval::{bin_cost, eval_bin, eval_un, sign_extend};
+use apt_lir::{AddressMap, BlockId, FuncId, Reg};
+use apt_lir::{Inst, Module, Operand, Pc, Terminator};
+use apt_mem::{Hierarchy, MemConfig};
+
+use crate::lbr::{LbrRing, LbrSample};
+use crate::memimg::{MemFault, MemImage};
+use crate::pebs::PebsSampler;
+use crate::stats::{PerfStats, ProfileData};
+
+/// Simulation configuration: memory system plus profiling knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Memory-hierarchy configuration.
+    pub mem: MemConfig,
+    /// Cycles between LBR snapshots (`perf record -b` period); 0 disables.
+    ///
+    /// The paper samples at ~1 ms ≈ 2.3 M cycles on a 2.3 GHz part; scaled
+    /// runs default to a denser period so short simulations still collect
+    /// enough samples.
+    pub lbr_sample_period: u64,
+    /// Sample every Nth LLC-missing load (PEBS); 0 disables.
+    pub pebs_period: u64,
+    /// Abort after this many retired instructions (runaway guard).
+    pub inst_limit: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            mem: MemConfig::default(),
+            lbr_sample_period: 20_000,
+            pebs_period: 64,
+            inst_limit: 20_000_000_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Configuration with all profiling disabled (measurement runs).
+    pub fn no_profiling(mem: MemConfig) -> SimConfig {
+        SimConfig {
+            mem,
+            lbr_sample_period: 0,
+            pebs_period: 0,
+            ..SimConfig::default()
+        }
+    }
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No function with the given name exists in the module.
+    UnknownFunction(String),
+    /// Wrong number of call arguments.
+    ArityMismatch {
+        func: String,
+        expected: usize,
+        got: usize,
+    },
+    /// An out-of-bounds memory access at the given instruction PC.
+    Fault { pc: Pc, fault: MemFault },
+    /// The configured instruction limit was exceeded.
+    InstLimit,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            SimError::ArityMismatch {
+                func,
+                expected,
+                got,
+            } => write!(f, "`{func}` expects {expected} args, got {got}"),
+            SimError::Fault { pc, fault } => write!(f, "{fault} at pc {pc}"),
+            SimError::InstLimit => write!(f, "instruction limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A machine instance: module text + data image + caches + profilers.
+///
+/// Cache and profiler state persists across [`Machine::call`]s, so
+/// multi-phase workloads (e.g. Brandes' BC) run with warm caches exactly
+/// like consecutive phases of a real process.
+pub struct Machine<'m> {
+    module: &'m Module,
+    map: AddressMap,
+    cfg: SimConfig,
+    /// Functional data memory.
+    pub image: MemImage,
+    hier: Hierarchy,
+    lbr: LbrRing,
+    lbr_samples: Vec<LbrSample>,
+    next_lbr_sample: u64,
+    pebs: PebsSampler,
+    instructions: u64,
+    cycles: u64,
+    branches: u64,
+    taken_branches: u64,
+}
+
+impl<'m> Machine<'m> {
+    /// Creates a machine executing `module` against `image`.
+    pub fn new(module: &'m Module, cfg: SimConfig, image: MemImage) -> Machine<'m> {
+        Machine {
+            module,
+            map: module.assign_pcs(),
+            cfg,
+            image,
+            hier: Hierarchy::new(&cfg.mem),
+            lbr: LbrRing::new(),
+            lbr_samples: Vec::new(),
+            next_lbr_sample: if cfg.lbr_sample_period == 0 {
+                u64::MAX
+            } else {
+                cfg.lbr_sample_period
+            },
+            pebs: PebsSampler::new(cfg.pebs_period),
+            instructions: 0,
+            cycles: 0,
+            branches: 0,
+            taken_branches: 0,
+        }
+    }
+
+    /// The PC layout of the module under execution.
+    pub fn address_map(&self) -> &AddressMap {
+        &self.map
+    }
+
+    /// Cumulative statistics so far.
+    pub fn stats(&self) -> PerfStats {
+        PerfStats {
+            instructions: self.instructions,
+            cycles: self.cycles,
+            branches: self.branches,
+            taken_branches: self.taken_branches,
+            mem: self.hier.counters,
+        }
+    }
+
+    /// Takes the collected hardware profiles.
+    pub fn take_profile(&mut self) -> ProfileData {
+        ProfileData {
+            lbr_samples: std::mem::take(&mut self.lbr_samples),
+            pebs: self.pebs.take_records(),
+        }
+    }
+
+    /// Calls `func` with `args`; returns its return value, if any.
+    pub fn call(&mut self, func: &str, args: &[u64]) -> Result<Option<u64>, SimError> {
+        let (fid, f) = self
+            .module
+            .function_by_name(func)
+            .ok_or_else(|| SimError::UnknownFunction(func.to_string()))?;
+        if f.arity() != args.len() {
+            return Err(SimError::ArityMismatch {
+                func: func.to_string(),
+                expected: f.arity(),
+                got: args.len(),
+            });
+        }
+        self.exec(fid, args)
+    }
+
+    #[inline]
+    fn val(regs: &[u64], op: Operand) -> u64 {
+        match op {
+            Operand::Reg(Reg(r)) => regs[r as usize],
+            Operand::Imm(v) => v,
+        }
+    }
+
+    #[inline]
+    fn retire(&mut self, cost: u64) {
+        self.instructions += 1;
+        self.cycles += cost;
+        if self.cycles >= self.next_lbr_sample {
+            self.lbr_samples.push(self.lbr.snapshot());
+            self.next_lbr_sample = self.cycles + self.cfg.lbr_sample_period;
+        }
+    }
+
+    fn exec(&mut self, fid: FuncId, args: &[u64]) -> Result<Option<u64>, SimError> {
+        let func = self.module.function(fid);
+        let mut regs = vec![0u64; func.next_reg as usize];
+        regs[..args.len()].copy_from_slice(args);
+
+        let mut cur: BlockId = func.entry;
+        let mut prev: Option<BlockId> = None;
+        // Scratch for parallel-copy φ resolution.
+        let mut phi_tmp: Vec<(u32, u64)> = Vec::new();
+
+        loop {
+            if self.instructions > self.cfg.inst_limit {
+                return Err(SimError::InstLimit);
+            }
+            let block = func.block(cur);
+            let base_pc = self.map.block_start_pc(fid, cur).0;
+
+            // φ prefix: parallel copies selected by the edge we arrived on.
+            let phi_count = block.phi_count();
+            if phi_count > 0 {
+                let from = prev.expect("phi in entry block rejected by verifier");
+                phi_tmp.clear();
+                for inst in &block.insts[..phi_count] {
+                    let Inst::Phi { dst, incomings } = inst else {
+                        unreachable!("phi prefix")
+                    };
+                    let (_, op) = incomings
+                        .iter()
+                        .find(|(p, _)| *p == from)
+                        .expect("verifier guarantees an incoming per predecessor");
+                    phi_tmp.push((dst.0, Self::val(&regs, *op)));
+                }
+                for &(d, v) in &phi_tmp {
+                    regs[d as usize] = v;
+                }
+            }
+
+            // Straight-line body.
+            for (i, inst) in block.insts.iter().enumerate().skip(phi_count) {
+                let pc = Pc(base_pc + 4 * i as u64);
+                match inst {
+                    Inst::Phi { .. } => unreachable!("phi prefix"),
+                    Inst::Bin { dst, op, a, b } => {
+                        let x = Self::val(&regs, *a);
+                        let y = Self::val(&regs, *b);
+                        regs[dst.0 as usize] = eval_bin(*op, x, y);
+                        self.retire(bin_cost(*op));
+                    }
+                    Inst::Un { dst, op, a } => {
+                        let x = Self::val(&regs, *a);
+                        regs[dst.0 as usize] = eval_un(*op, x);
+                        self.retire(1);
+                    }
+                    Inst::Select {
+                        dst,
+                        cond,
+                        if_true,
+                        if_false,
+                    } => {
+                        let c = Self::val(&regs, *cond);
+                        regs[dst.0 as usize] = if c != 0 {
+                            Self::val(&regs, *if_true)
+                        } else {
+                            Self::val(&regs, *if_false)
+                        };
+                        self.retire(1);
+                    }
+                    Inst::Load {
+                        dst,
+                        addr,
+                        width,
+                        sext,
+                        spec,
+                    } => {
+                        let a = Self::val(&regs, *addr);
+                        let w = width.bytes();
+                        let raw = match self.image.read(a, w) {
+                            Ok(v) => v,
+                            // Speculative (prefetch-slice) loads never
+                            // fault: out-of-range reads yield 0 and skip
+                            // the memory system.
+                            Err(_) if *spec => {
+                                regs[dst.0 as usize] = 0;
+                                self.retire(1);
+                                continue;
+                            }
+                            Err(fault) => return Err(SimError::Fault { pc, fault }),
+                        };
+                        let v = if *sext { sign_extend(raw, w) } else { raw };
+                        regs[dst.0 as usize] = v;
+                        let r = self.hier.demand_load(pc.0, a, self.cycles);
+                        self.pebs.observe(pc, r.served, self.cycles);
+                        self.retire(r.latency);
+                    }
+                    Inst::Store { addr, value, width } => {
+                        let a = Self::val(&regs, *addr);
+                        let v = Self::val(&regs, *value);
+                        self.image
+                            .write(a, v, width.bytes())
+                            .map_err(|fault| SimError::Fault { pc, fault })?;
+                        self.hier.store(pc.0, a, self.cycles);
+                        self.retire(1);
+                    }
+                    Inst::Prefetch { addr } => {
+                        let a = Self::val(&regs, *addr);
+                        // Prefetching unmapped addresses is architecturally
+                        // a no-op (like x86 PREFETCHT0), so no fault check.
+                        self.hier.sw_prefetch(a, self.cycles);
+                        self.retire(1);
+                    }
+                }
+            }
+
+            // Terminator.
+            let term_pc = self.map.term_pc(fid, cur);
+            match &block.term {
+                Terminator::Br { target } => {
+                    self.branches += 1;
+                    self.taken_branches += 1;
+                    self.retire(1);
+                    self.lbr
+                        .record(term_pc, self.map.block_start_pc(fid, *target), self.cycles);
+                    prev = Some(cur);
+                    cur = *target;
+                }
+                Terminator::CondBr { cond, then_, else_ } => {
+                    let c = Self::val(&regs, *cond);
+                    self.branches += 1;
+                    self.retire(1);
+                    prev = Some(cur);
+                    if c != 0 {
+                        self.taken_branches += 1;
+                        self.lbr
+                            .record(term_pc, self.map.block_start_pc(fid, *then_), self.cycles);
+                        cur = *then_;
+                    } else {
+                        cur = *else_;
+                    }
+                }
+                Terminator::Ret { value } => {
+                    self.retire(1);
+                    return Ok(value.map(|v| Self::val(&regs, v)));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_lir::{BinOp, FCmpPred, FunctionBuilder, ICmpPred, UnOp, Width};
+
+    fn sum_module() -> Module {
+        let mut m = Module::new("t");
+        let f = m.add_function("sum", &["a", "n"]);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let (a, n) = (b.param(0), b.param(1));
+            let s = b.loop_up_reduce(0, n, 1, 0, |b, iv, acc| {
+                let v = b.load_elem(a, iv, Width::W8, false);
+                b.add(acc, v).into()
+            });
+            b.ret(Some(s));
+        }
+        apt_lir::verify::verify_module(&m).unwrap();
+        m
+    }
+
+    #[test]
+    fn functional_sum_is_correct() {
+        let m = sum_module();
+        let mut img = MemImage::new();
+        let data: Vec<u64> = (1..=100).collect();
+        let base = img.alloc_u64_slice(&data);
+        let mut mach = Machine::new(&m, SimConfig::default(), img);
+        let r = mach.call("sum", &[base, 100]).unwrap();
+        assert_eq!(r, Some(5050));
+        let stats = mach.stats();
+        assert!(stats.instructions > 400);
+        assert!(stats.cycles > stats.instructions);
+    }
+
+    #[test]
+    fn zero_trip_loop_returns_init() {
+        let m = sum_module();
+        let mut img = MemImage::new();
+        let base = img.alloc_u64_slice(&[7]);
+        let mut mach = Machine::new(&m, SimConfig::default(), img);
+        assert_eq!(mach.call("sum", &[base, 0]).unwrap(), Some(0));
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        let m = sum_module();
+        let mut mach = Machine::new(&m, SimConfig::default(), MemImage::new());
+        assert_eq!(
+            mach.call("nope", &[]),
+            Err(SimError::UnknownFunction("nope".into()))
+        );
+    }
+
+    #[test]
+    fn arity_mismatch_errors() {
+        let m = sum_module();
+        let mut mach = Machine::new(&m, SimConfig::default(), MemImage::new());
+        assert!(matches!(
+            mach.call("sum", &[1]),
+            Err(SimError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn oob_load_faults_with_pc() {
+        let m = sum_module();
+        let mut mach = Machine::new(&m, SimConfig::default(), MemImage::new());
+        let e = mach.call("sum", &[0x1000_0000, 4]).unwrap_err();
+        assert!(matches!(e, SimError::Fault { .. }), "{e}");
+    }
+
+    #[test]
+    fn inst_limit_aborts() {
+        let m = sum_module();
+        let mut img = MemImage::new();
+        let base = img.alloc_u64_slice(&vec![0u64; 1000]);
+        let cfg = SimConfig {
+            inst_limit: 100,
+            ..SimConfig::default()
+        };
+        let mut mach = Machine::new(&m, cfg, img);
+        assert_eq!(mach.call("sum", &[base, 1000]), Err(SimError::InstLimit));
+    }
+
+    #[test]
+    fn lbr_records_loop_back_edges() {
+        let m = sum_module();
+        let mut img = MemImage::new();
+        let base = img.alloc_u64_slice(&vec![1u64; 64]);
+        let mut mach = Machine::new(&m, SimConfig::default(), img);
+        mach.call("sum", &[base, 64]).unwrap();
+        // 63 back-edge takes + 1 guard take = 64 taken branches.
+        let stats = mach.stats();
+        assert_eq!(stats.taken_branches, 64);
+        assert_eq!(stats.branches, 65); // + the final not-taken exit.
+    }
+
+    #[test]
+    fn sign_extension_rules() {
+        assert_eq!(sign_extend(0xff, 1), u64::MAX);
+        assert_eq!(sign_extend(0x7f, 1), 0x7f);
+        assert_eq!(sign_extend(0xffff_ffff, 4), u64::MAX);
+        assert_eq!(sign_extend(5, 8), 5);
+    }
+
+    #[test]
+    fn eval_bin_signed_ops() {
+        let neg1 = (-1i64) as u64;
+        assert_eq!(eval_bin(BinOp::ICmp(ICmpPred::Lts), neg1, 0), 1);
+        assert_eq!(eval_bin(BinOp::ICmp(ICmpPred::Ltu), neg1, 0), 0);
+        assert_eq!(eval_bin(BinOp::ShrA, neg1, 8), neg1);
+        assert_eq!(eval_bin(BinOp::DivS, neg1, 1), neg1);
+        assert_eq!(eval_bin(BinOp::DivU, 1, 0), 0); // Trap value.
+        assert_eq!(eval_bin(BinOp::MinS, neg1, 3), neg1);
+        assert_eq!(eval_bin(BinOp::MinU, neg1, 3), 3);
+    }
+
+    #[test]
+    fn eval_float_ops() {
+        let a = 2.5f64.to_bits();
+        let b = 0.5f64.to_bits();
+        assert_eq!(f64::from_bits(eval_bin(BinOp::FAdd, a, b)), 3.0);
+        assert_eq!(f64::from_bits(eval_bin(BinOp::FDiv, a, b)), 5.0);
+        assert_eq!(eval_bin(BinOp::FCmp(FCmpPred::Gt), a, b), 1);
+        assert_eq!(eval_un(UnOp::IToF, 3), 3.0f64.to_bits());
+        assert_eq!(eval_un(UnOp::FToI, 3.9f64.to_bits()), 3);
+    }
+}

@@ -1,0 +1,102 @@
+//! PEBS-style precise sampling of LLC-missing loads.
+//!
+//! The paper's first profiling step (§3.2) captures *delinquent load PCs* —
+//! loads that frequently miss the last-level cache — with precise
+//! event-based sampling. We model the same mechanism: every `period`-th
+//! demand load served by DRAM is recorded with its exact PC.
+
+use apt_lir::Pc;
+use apt_mem::Level;
+
+/// One precise load sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PebsRecord {
+    /// PC of the sampled load instruction.
+    pub pc: Pc,
+    /// The level that served it.
+    pub served: Level,
+    /// Retirement cycle.
+    pub cycle: u64,
+}
+
+/// Counter-based sampler for LLC-miss events.
+#[derive(Debug, Clone)]
+pub struct PebsSampler {
+    period: u64,
+    countdown: u64,
+    records: Vec<PebsRecord>,
+}
+
+impl PebsSampler {
+    /// Samples every `period`-th LLC miss (period 0 disables sampling).
+    pub fn new(period: u64) -> PebsSampler {
+        PebsSampler {
+            period,
+            countdown: period,
+            records: Vec::new(),
+        }
+    }
+
+    /// Observes a retired demand load; records it when the period elapses.
+    #[inline]
+    pub fn observe(&mut self, pc: Pc, served: Level, cycle: u64) {
+        if self.period == 0 || served != Level::Dram {
+            return;
+        }
+        self.countdown -= 1;
+        if self.countdown == 0 {
+            self.countdown = self.period;
+            self.records.push(PebsRecord { pc, served, cycle });
+        }
+    }
+
+    /// The samples collected so far.
+    pub fn records(&self) -> &[PebsRecord] {
+        &self.records
+    }
+
+    /// Takes ownership of the collected samples.
+    pub fn take_records(&mut self) -> Vec<PebsRecord> {
+        std::mem::take(&mut self.records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_every_nth_llc_miss() {
+        let mut s = PebsSampler::new(3);
+        for i in 0..10 {
+            s.observe(Pc(0x100), Level::Dram, i);
+        }
+        assert_eq!(s.records().len(), 3);
+        assert_eq!(s.records()[0].cycle, 2);
+    }
+
+    #[test]
+    fn ignores_cache_hits() {
+        let mut s = PebsSampler::new(1);
+        s.observe(Pc(0x100), Level::L1, 0);
+        s.observe(Pc(0x100), Level::Llc, 1);
+        assert!(s.records().is_empty());
+        s.observe(Pc(0x100), Level::Dram, 2);
+        assert_eq!(s.records().len(), 1);
+    }
+
+    #[test]
+    fn zero_period_disables() {
+        let mut s = PebsSampler::new(0);
+        s.observe(Pc(0x100), Level::Dram, 0);
+        assert!(s.records().is_empty());
+    }
+
+    #[test]
+    fn take_records_drains() {
+        let mut s = PebsSampler::new(1);
+        s.observe(Pc(0x100), Level::Dram, 0);
+        assert_eq!(s.take_records().len(), 1);
+        assert!(s.records().is_empty());
+    }
+}

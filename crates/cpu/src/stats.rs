@@ -1,0 +1,101 @@
+//! Aggregate run statistics and collected profiles.
+
+use apt_mem::MemCounters;
+
+use crate::lbr::LbrSample;
+use crate::pebs::PebsRecord;
+
+/// `perf stat`-style counters for one simulation (cumulative across calls
+/// on the same [`crate::Machine`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerfStats {
+    /// Retired instructions (terminators included).
+    pub instructions: u64,
+    /// Elapsed cycles.
+    pub cycles: u64,
+    /// Retired branches (conditional + unconditional).
+    pub branches: u64,
+    /// Retired *taken* branches (what the LBR records).
+    pub taken_branches: u64,
+    /// Memory-system counters.
+    pub mem: MemCounters,
+}
+
+impl PerfStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// LLC misses per kilo-instruction, the paper's Fig. 7 metric
+    /// (`offcore_requests.demand_data_rd`, fill-buffer hits included).
+    pub fn mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.mem.demand_data_rd() as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Fraction of cycles stalled on L3 or DRAM (Fig. 5).
+    pub fn memory_bound_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.mem.memory_bound_stalls() as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Hardware profiles collected during a run.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileData {
+    /// Periodic LBR snapshots (`perf record -b` equivalent).
+    pub lbr_samples: Vec<LbrSample>,
+    /// Precise LLC-miss load samples.
+    pub pebs: Vec<PebsRecord>,
+}
+
+impl ProfileData {
+    /// Merges another profile into this one.
+    pub fn merge(&mut self, other: ProfileData) {
+        self.lbr_samples.extend(other.lbr_samples);
+        self.pebs.extend(other.pebs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = PerfStats {
+            instructions: 1000,
+            cycles: 2000,
+            mem: MemCounters {
+                demand_fills: 40,
+                fb_hits_swpf: 10,
+                stall_llc: 100,
+                stall_dram: 300,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!((s.ipc() - 0.5).abs() < 1e-12);
+        assert!((s.mpki() - 50.0).abs() < 1e-12);
+        assert!((s.memory_bound_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let s = PerfStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mpki(), 0.0);
+        assert_eq!(s.memory_bound_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Property tests of the interpreter: simulated execution of randomly
+//! generated programs matches a native Rust evaluation of the same
+//! program, and timing metadata stays consistent.
+
+use apt_cpu::{Machine, MemImage, SimConfig};
+use apt_lir::{FunctionBuilder, Module, Operand, Width};
+use proptest::prelude::*;
+
+/// A random straight-line arithmetic program over two inputs.
+#[derive(Debug, Clone)]
+enum Op {
+    Add(u64),
+    Sub(u64),
+    Mul(u64),
+    Xor(u64),
+    Shl(u8),
+    Shr(u8),
+    MixB, // Combine with the second parameter.
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u64>().prop_map(Op::Add),
+        any::<u64>().prop_map(Op::Sub),
+        any::<u64>().prop_map(Op::Mul),
+        any::<u64>().prop_map(Op::Xor),
+        (0u8..64).prop_map(Op::Shl),
+        (0u8..64).prop_map(Op::Shr),
+        Just(Op::MixB),
+    ]
+}
+
+fn native_eval(ops: &[Op], a: u64, b: u64) -> u64 {
+    let mut v = a;
+    for op in ops {
+        v = match op {
+            Op::Add(k) => v.wrapping_add(*k),
+            Op::Sub(k) => v.wrapping_sub(*k),
+            Op::Mul(k) => v.wrapping_mul(*k),
+            Op::Xor(k) => v ^ k,
+            Op::Shl(k) => v << k,
+            Op::Shr(k) => v >> k,
+            Op::MixB => v.wrapping_add(b).rotate_left(1) ^ b,
+        };
+    }
+    v
+}
+
+fn build_program(ops: &[Op]) -> Module {
+    let mut m = Module::new("gen");
+    let f = m.add_function("k", &["a", "b"]);
+    {
+        let mut bd = FunctionBuilder::new(m.function_mut(f));
+        let (a, b) = (bd.param(0), bd.param(1));
+        let mut v: Operand = a.into();
+        for op in ops {
+            v = match op {
+                Op::Add(k) => bd.add(v, *k).into(),
+                Op::Sub(k) => bd.sub(v, *k).into(),
+                Op::Mul(k) => bd.mul(v, *k).into(),
+                Op::Xor(k) => bd.xor(v, *k).into(),
+                Op::Shl(k) => bd.shl(v, *k as u64).into(),
+                Op::Shr(k) => bd.shr(v, *k as u64).into(),
+                Op::MixB => {
+                    // v.wrapping_add(b).rotate_left(1) ^ b
+                    let s = bd.add(v, b);
+                    let hi = bd.shl(s, 1u64);
+                    let lo = bd.shr(s, 63u64);
+                    let rot = bd.bin(apt_lir::BinOp::Or, hi, lo);
+                    bd.xor(rot, b).into()
+                }
+            };
+        }
+        bd.ret(Some(v));
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn interpreter_matches_native_arithmetic(
+        ops in prop::collection::vec(op_strategy(), 0..24),
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let m = build_program(&ops);
+        apt_lir::verify::verify_module(&m).unwrap();
+        let mut mach = Machine::new(&m, SimConfig::default(), MemImage::new());
+        let got = mach.call("k", &[a, b]).unwrap();
+        prop_assert_eq!(got, Some(native_eval(&ops, a, b)));
+    }
+
+    /// A loop summing i*k for i in 0..n matches the closed form.
+    #[test]
+    fn loop_sums_match_closed_form(n in 0u64..500, k in 0u64..1000) {
+        let mut m = Module::new("t");
+        let f = m.add_function("sum", &["n", "k"]);
+        {
+            let mut bd = FunctionBuilder::new(m.function_mut(f));
+            let (n_, k_) = (bd.param(0), bd.param(1));
+            let s = bd.loop_up_reduce(0, n_, 1, 0, |bd, iv, acc| {
+                let t = bd.mul(iv, k_);
+                bd.add(acc, t).into()
+            });
+            bd.ret(Some(s));
+        }
+        let mut mach = Machine::new(&m, SimConfig::default(), MemImage::new());
+        let got = mach.call("sum", &[n, k]).unwrap();
+        let want = (0..n).map(|i| i.wrapping_mul(k)).fold(0u64, u64::wrapping_add);
+        prop_assert_eq!(got, Some(want));
+    }
+
+    /// Memory round-trips: a store loop followed by a load loop recovers
+    /// every value.
+    #[test]
+    fn store_load_round_trip(values in prop::collection::vec(any::<u64>(), 1..100)) {
+        let mut m = Module::new("t");
+        let f = m.add_function("copy", &["src", "dst", "n"]);
+        {
+            let mut bd = FunctionBuilder::new(m.function_mut(f));
+            let (src, dst, n) = (bd.param(0), bd.param(1), bd.param(2));
+            bd.loop_up(0, n, 1, |bd, i| {
+                let v = bd.load_elem(src, i, Width::W8, false);
+                bd.store_elem(dst, i, v, Width::W8);
+            });
+            bd.ret(None::<Operand>);
+        }
+        let mut img = MemImage::new();
+        let src = img.alloc_u64_slice(&values);
+        let dst = img.alloc(values.len() as u64 * 8, 64);
+        let mut mach = Machine::new(&m, SimConfig::default(), img);
+        mach.call("copy", &[src, dst, values.len() as u64]).unwrap();
+        let out = mach.image.read_u64_slice(dst, values.len()).unwrap();
+        prop_assert_eq!(out, values);
+    }
+
+    /// Cycles grow monotonically with the amount of executed work.
+    #[test]
+    fn cycles_monotone_in_iterations(n1 in 1u64..200, extra in 1u64..200) {
+        let mut m = Module::new("t");
+        let f = m.add_function("spin", &["n"]);
+        {
+            let mut bd = FunctionBuilder::new(m.function_mut(f));
+            let n = bd.param(0);
+            let s = bd.loop_up_reduce(0, n, 1, 0, |bd, iv, acc| {
+                bd.add(acc, iv).into()
+            });
+            bd.ret(Some(s));
+        }
+        let run = |n: u64| {
+            let mut mach = Machine::new(&m, SimConfig::default(), MemImage::new());
+            mach.call("spin", &[n]).unwrap();
+            mach.stats().cycles
+        };
+        prop_assert!(run(n1 + extra) > run(n1));
+    }
+
+    /// The LBR never exceeds its architectural depth and cycles are
+    /// monotone within a snapshot.
+    #[test]
+    fn lbr_snapshots_are_well_formed(n in 2u64..2000) {
+        let mut m = Module::new("t");
+        let f = m.add_function("spin", &["n"]);
+        {
+            let mut bd = FunctionBuilder::new(m.function_mut(f));
+            let nn = bd.param(0);
+            bd.loop_up(0, nn, 1, |bd, iv| {
+                let _ = bd.mul(iv, 3u64);
+            });
+            bd.ret(None::<Operand>);
+        }
+        let cfg = SimConfig {
+            lbr_sample_period: 50,
+            ..SimConfig::default()
+        };
+        let mut mach = Machine::new(&m, cfg, MemImage::new());
+        mach.call("spin", &[n]).unwrap();
+        let prof = mach.take_profile();
+        prop_assert!(!prof.lbr_samples.is_empty());
+        for s in &prof.lbr_samples {
+            prop_assert!(s.len() <= apt_cpu::LBR_ENTRIES);
+            prop_assert!(s.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        }
+    }
+}

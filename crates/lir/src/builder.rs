@@ -1,0 +1,677 @@
+//! Ergonomic construction of IR functions, with structured-loop helpers.
+//!
+//! Loops are emitted *bottom-tested* (rotated), the shape `clang -O3`
+//! produces for the paper's kernels: the back-edge is a taken conditional
+//! branch executed once per iteration, which is exactly what makes
+//! loop-iteration latency measurable from LBR cycle deltas.
+
+use crate::inst::{BinOp, FCmpPred, ICmpPred, Inst, Operand, Terminator, UnOp, Width};
+use crate::module::{BlockId, Function, Reg};
+
+/// A handle to a φ-node whose incoming list is patched later.
+#[derive(Debug, Clone, Copy)]
+pub struct PhiHandle {
+    block: BlockId,
+    index: usize,
+}
+
+/// Streaming builder positioned at a "current block".
+pub struct FunctionBuilder<'f> {
+    func: &'f mut Function,
+    cur: BlockId,
+}
+
+impl<'f> FunctionBuilder<'f> {
+    /// Starts building at the function's entry block.
+    pub fn new(func: &'f mut Function) -> FunctionBuilder<'f> {
+        let cur = func.entry;
+        FunctionBuilder { func, cur }
+    }
+
+    /// The `i`-th parameter register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn param(&self, i: usize) -> Reg {
+        assert!(i < self.func.arity(), "parameter index out of range");
+        Reg(i as u32)
+    }
+
+    /// The block instructions are currently appended to.
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Creates a new empty block (does not switch to it).
+    pub fn new_block(&mut self, name: &str) -> BlockId {
+        self.func.add_block(name)
+    }
+
+    /// Makes `b` the current block.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.cur = b;
+    }
+
+    /// Access to the function being built.
+    pub fn func(&mut self) -> &mut Function {
+        self.func
+    }
+
+    fn push(&mut self, inst: Inst) {
+        self.func.block_mut(self.cur).insts.push(inst);
+    }
+
+    fn def(&mut self, make: impl FnOnce(Reg) -> Inst) -> Reg {
+        let dst = self.func.fresh_reg();
+        let inst = make(dst);
+        self.push(inst);
+        dst
+    }
+
+    // ---- Plain instructions -------------------------------------------
+
+    /// `dst = op(a, b)`.
+    pub fn bin(&mut self, op: BinOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        let (a, b) = (a.into(), b.into());
+        self.def(|dst| Inst::Bin { dst, op, a, b })
+    }
+
+    /// Wrapping addition.
+    pub fn add(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Add, a, b)
+    }
+
+    /// Wrapping subtraction.
+    pub fn sub(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Sub, a, b)
+    }
+
+    /// Wrapping multiplication.
+    pub fn mul(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Mul, a, b)
+    }
+
+    /// Bitwise and.
+    pub fn and(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::And, a, b)
+    }
+
+    /// Bitwise xor.
+    pub fn xor(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Xor, a, b)
+    }
+
+    /// Logical shift left.
+    pub fn shl(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Shl, a, b)
+    }
+
+    /// Logical shift right.
+    pub fn shr(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::ShrL, a, b)
+    }
+
+    /// Integer comparison producing 0/1.
+    pub fn icmp(&mut self, pred: ICmpPred, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::ICmp(pred), a, b)
+    }
+
+    /// Float comparison producing 0/1.
+    pub fn fcmp(&mut self, pred: FCmpPred, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::FCmp(pred), a, b)
+    }
+
+    /// `dst = op(a)`.
+    pub fn un(&mut self, op: UnOp, a: impl Into<Operand>) -> Reg {
+        let a = a.into();
+        self.def(|dst| Inst::Un { dst, op, a })
+    }
+
+    /// `dst = cond != 0 ? t : e`.
+    pub fn select(
+        &mut self,
+        cond: impl Into<Operand>,
+        t: impl Into<Operand>,
+        e: impl Into<Operand>,
+    ) -> Reg {
+        let (cond, if_true, if_false) = (cond.into(), t.into(), e.into());
+        self.def(|dst| Inst::Select {
+            dst,
+            cond,
+            if_true,
+            if_false,
+        })
+    }
+
+    /// Memory load.
+    pub fn load(&mut self, addr: impl Into<Operand>, width: Width, sext: bool) -> Reg {
+        let addr = addr.into();
+        self.def(|dst| Inst::Load {
+            dst,
+            addr,
+            width,
+            sext,
+            spec: false,
+        })
+    }
+
+    /// Memory store.
+    pub fn store(&mut self, addr: impl Into<Operand>, value: impl Into<Operand>, width: Width) {
+        let (addr, value) = (addr.into(), value.into());
+        self.push(Inst::Store { addr, value, width });
+    }
+
+    /// Software prefetch.
+    pub fn prefetch(&mut self, addr: impl Into<Operand>) {
+        let addr = addr.into();
+        self.push(Inst::Prefetch { addr });
+    }
+
+    /// `base + index * width` — a one-dimensional GEP.
+    pub fn elem_addr(
+        &mut self,
+        base: impl Into<Operand>,
+        index: impl Into<Operand>,
+        width: Width,
+    ) -> Reg {
+        let off = self.mul(index, width.bytes());
+        self.add(base, off)
+    }
+
+    /// Loads `base[index]` of the given element width.
+    pub fn load_elem(
+        &mut self,
+        base: impl Into<Operand>,
+        index: impl Into<Operand>,
+        width: Width,
+        sext: bool,
+    ) -> Reg {
+        let addr = self.elem_addr(base, index, width);
+        self.load(addr, width, sext)
+    }
+
+    /// Stores `value` to `base[index]`.
+    pub fn store_elem(
+        &mut self,
+        base: impl Into<Operand>,
+        index: impl Into<Operand>,
+        value: impl Into<Operand>,
+        width: Width,
+    ) {
+        let addr = self.elem_addr(base, index, width);
+        self.store(addr, value, width);
+    }
+
+    /// A φ-node with known incomings.
+    pub fn phi(&mut self, incomings: Vec<(BlockId, Operand)>) -> Reg {
+        self.def(|dst| Inst::Phi { dst, incomings })
+    }
+
+    /// A φ-node whose incomings are patched later via
+    /// [`FunctionBuilder::set_phi_incomings`].
+    pub fn phi_placeholder(&mut self) -> (Reg, PhiHandle) {
+        let index = self.func.block(self.cur).insts.len();
+        let handle = PhiHandle {
+            block: self.cur,
+            index,
+        };
+        let r = self.phi(Vec::new());
+        (r, handle)
+    }
+
+    /// Fills in the incoming list of a placeholder φ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not point at a φ-node.
+    pub fn set_phi_incomings(&mut self, h: PhiHandle, incomings: Vec<(BlockId, Operand)>) {
+        match &mut self.func.block_mut(h.block).insts[h.index] {
+            Inst::Phi {
+                incomings: slot, ..
+            } => *slot = incomings,
+            other => panic!("PhiHandle points at non-phi {other:?}"),
+        }
+    }
+
+    // ---- Terminators ---------------------------------------------------
+
+    /// Terminates the current block with an unconditional branch and
+    /// switches to the target.
+    pub fn br(&mut self, target: BlockId) {
+        self.func.block_mut(self.cur).term = Terminator::Br { target };
+        self.cur = target;
+    }
+
+    /// Terminates the current block with a conditional branch.
+    ///
+    /// `then_` is the LBR-visible *taken* direction. Does not switch blocks.
+    pub fn cond_br(&mut self, cond: impl Into<Operand>, then_: BlockId, else_: BlockId) {
+        let cond = cond.into();
+        self.func.block_mut(self.cur).term = Terminator::CondBr { cond, then_, else_ };
+    }
+
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self, value: Option<impl Into<Operand>>) {
+        self.func.block_mut(self.cur).term = Terminator::Ret {
+            value: value.map(Into::into),
+        };
+    }
+
+    // ---- Structured loops ----------------------------------------------
+
+    /// Canonical counted loop `for (iv = init; iv < limit; iv += step)`,
+    /// signed comparison, bottom-tested with an entry guard so a zero-trip
+    /// loop executes no iterations. Leaves the builder at the exit block.
+    pub fn loop_up(
+        &mut self,
+        init: impl Into<Operand>,
+        limit: impl Into<Operand>,
+        step: u64,
+        body: impl FnOnce(&mut Self, Reg),
+    ) {
+        self.loop_up_carried(init, limit, step, &[], |b, iv, _| {
+            body(b, iv);
+            Vec::new()
+        });
+    }
+
+    /// Counted loop with one reduction accumulator; returns the reduced
+    /// value at the exit block.
+    pub fn loop_up_reduce(
+        &mut self,
+        init: impl Into<Operand>,
+        limit: impl Into<Operand>,
+        step: u64,
+        acc_init: impl Into<Operand>,
+        body: impl FnOnce(&mut Self, Reg, Reg) -> Operand,
+    ) -> Reg {
+        let out = self.loop_up_carried(init, limit, step, &[acc_init.into()], |b, iv, c| {
+            vec![body(b, iv, c[0])]
+        });
+        out[0]
+    }
+
+    /// Counted loop carrying arbitrary loop-carried values.
+    ///
+    /// `body(builder, iv, carried)` returns the next value of each carried
+    /// variable; the return value is each carried variable's value *after*
+    /// the loop (φ-merged with the init value for the zero-trip path).
+    pub fn loop_up_carried(
+        &mut self,
+        init: impl Into<Operand>,
+        limit: impl Into<Operand>,
+        step: u64,
+        carried_inits: &[Operand],
+        body: impl FnOnce(&mut Self, Reg, &[Reg]) -> Vec<Operand>,
+    ) -> Vec<Reg> {
+        let init = init.into();
+        let limit = limit.into();
+        self.rotated_loop(init, limit, carried_inits, |b, iv| b.add(iv, step), body)
+    }
+
+    /// Non-canonical geometric loop `for (iv = init; iv < limit; iv *= factor)`.
+    ///
+    /// The paper's pass explicitly supports such induction updates (§3.5).
+    pub fn loop_geometric(
+        &mut self,
+        init: impl Into<Operand>,
+        limit: impl Into<Operand>,
+        factor: u64,
+        body: impl FnOnce(&mut Self, Reg),
+    ) {
+        let init = init.into();
+        let limit = limit.into();
+        self.rotated_loop(
+            init,
+            limit,
+            &[],
+            |b, iv| b.mul(iv, factor),
+            |b, iv, _| {
+                body(b, iv);
+                Vec::new()
+            },
+        );
+    }
+
+    /// Shared skeleton: guard → body(φs) → latch(update, compare, back-edge)
+    /// → exit(φs). `advance` computes the next induction value.
+    fn rotated_loop(
+        &mut self,
+        init: Operand,
+        limit: Operand,
+        carried_inits: &[Operand],
+        advance: impl FnOnce(&mut Self, Reg) -> Reg,
+        body: impl FnOnce(&mut Self, Reg, &[Reg]) -> Vec<Operand>,
+    ) -> Vec<Reg> {
+        let guard = self.cur;
+        let body_bb = self.new_block("loop.body");
+        let exit_bb = self.new_block("loop.exit");
+
+        // Guard: skip the loop entirely when `init >= limit`.
+        let enter = self.icmp(ICmpPred::Lts, init, limit);
+        self.cond_br(enter, body_bb, exit_bb);
+
+        // Body header: induction and carried φs (patched after the latch).
+        self.switch_to(body_bb);
+        let (iv, iv_phi) = self.phi_placeholder();
+        let mut carried = Vec::with_capacity(carried_inits.len());
+        let mut carried_phis = Vec::with_capacity(carried_inits.len());
+        for _ in carried_inits {
+            let (r, h) = self.phi_placeholder();
+            carried.push(r);
+            carried_phis.push(h);
+        }
+
+        let nexts = body(self, iv, &carried);
+        assert_eq!(
+            nexts.len(),
+            carried_inits.len(),
+            "loop body must produce one next value per carried variable"
+        );
+
+        // Latch: advance, compare, take the back edge.
+        let latch = self.cur;
+        let iv_next = advance(self, iv);
+        let again = self.icmp(ICmpPred::Lts, iv_next, limit);
+        self.cond_br(again, body_bb, exit_bb);
+
+        self.set_phi_incomings(iv_phi, vec![(guard, init), (latch, Operand::Reg(iv_next))]);
+        for (h, (&ci, &next)) in carried_phis
+            .iter()
+            .zip(carried_inits.iter().zip(nexts.iter()))
+        {
+            self.set_phi_incomings(*h, vec![(guard, ci), (latch, next)]);
+        }
+
+        // Exit φs merge the zero-trip (guard) and post-loop (latch) values.
+        self.switch_to(exit_bb);
+        carried_inits
+            .iter()
+            .zip(nexts.iter())
+            .map(|(&ci, &next)| self.phi(vec![(guard, ci), (latch, next)]))
+            .collect()
+    }
+
+    /// General bottom-tested `do { ... } while (cond)` loop with carried
+    /// variables (used for work-list loops like DFS).
+    ///
+    /// `body` returns `(continue_cond, next_values)`. The body executes at
+    /// least once. Returns the carried values at the exit block.
+    pub fn do_while_carried(
+        &mut self,
+        carried_inits: &[Operand],
+        body: impl FnOnce(&mut Self, &[Reg]) -> (Operand, Vec<Operand>),
+    ) -> Vec<Reg> {
+        let pre = self.cur;
+        let body_bb = self.new_block("dowhile.body");
+        let exit_bb = self.new_block("dowhile.exit");
+        self.br(body_bb);
+
+        let mut carried = Vec::with_capacity(carried_inits.len());
+        let mut handles = Vec::with_capacity(carried_inits.len());
+        for _ in carried_inits {
+            let (r, h) = self.phi_placeholder();
+            carried.push(r);
+            handles.push(h);
+        }
+        let (cond, nexts) = body(self, &carried);
+        assert_eq!(nexts.len(), carried_inits.len());
+        let latch = self.cur;
+        self.cond_br(cond, body_bb, exit_bb);
+        for (h, (&ci, &next)) in handles.iter().zip(carried_inits.iter().zip(nexts.iter())) {
+            self.set_phi_incomings(*h, vec![(pre, ci), (latch, next)]);
+        }
+
+        self.switch_to(exit_bb);
+        nexts.iter().map(|&n| self.phi(vec![(latch, n)])).collect()
+    }
+
+    /// Structured if/else producing merged values.
+    ///
+    /// `then_f` and `else_f` each return one operand per merged value;
+    /// the result registers are φs in the join block, where the builder is
+    /// left positioned. The *taken* direction of the branch is the `else`
+    /// side, matching compilers' preference for falling through into the
+    /// likely (`then`) path.
+    pub fn if_else(
+        &mut self,
+        cond: impl Into<Operand>,
+        then_f: impl FnOnce(&mut Self) -> Vec<Operand>,
+        else_f: impl FnOnce(&mut Self) -> Vec<Operand>,
+    ) -> Vec<Reg> {
+        let cond = cond.into();
+        let then_bb = self.new_block("if.then");
+        let else_bb = self.new_block("if.else");
+        let join_bb = self.new_block("if.join");
+        // Invert: branch taken ⇒ else; fall through ⇒ then.
+        let ncond = self.icmp(ICmpPred::Eq, cond, 0u64);
+        self.cond_br(ncond, else_bb, then_bb);
+
+        self.switch_to(then_bb);
+        let tvals = then_f(self);
+        let tend = self.current_block();
+        self.br(join_bb);
+
+        self.switch_to(else_bb);
+        let evals = else_f(self);
+        let eend = self.current_block();
+        self.br(join_bb);
+
+        assert_eq!(
+            tvals.len(),
+            evals.len(),
+            "both if arms must merge the same number of values"
+        );
+        self.switch_to(join_bb);
+        tvals
+            .iter()
+            .zip(evals.iter())
+            .map(|(&t, &e)| self.phi(vec![(tend, t), (eend, e)]))
+            .collect()
+    }
+
+    /// Structured one-armed if producing merged values.
+    ///
+    /// When `cond` is true, `then_f` runs and its returned operands are
+    /// merged; otherwise the corresponding `else_vals` pass through. The
+    /// skip path is a single taken branch straight to the join block (the
+    /// layout compilers emit for `if` without `else`).
+    pub fn if_then(
+        &mut self,
+        cond: impl Into<Operand>,
+        else_vals: &[Operand],
+        then_f: impl FnOnce(&mut Self) -> Vec<Operand>,
+    ) -> Vec<Reg> {
+        let cond = cond.into();
+        let then_bb = self.new_block("if.then");
+        let join_bb = self.new_block("if.join");
+        let ncond = self.icmp(ICmpPred::Eq, cond, 0u64);
+        let branch_bb = self.current_block();
+        self.cond_br(ncond, join_bb, then_bb);
+
+        self.switch_to(then_bb);
+        let tvals = then_f(self);
+        assert_eq!(
+            tvals.len(),
+            else_vals.len(),
+            "then arm must merge one value per else_val"
+        );
+        let tend = self.current_block();
+        self.br(join_bb);
+
+        self.switch_to(join_bb);
+        tvals
+            .iter()
+            .zip(else_vals.iter())
+            .map(|(&t, &e)| self.phi(vec![(branch_bb, e), (tend, t)]))
+            .collect()
+    }
+
+    /// Emits `n` dependent integer adds — the paper's "work function" of
+    /// configurable complexity (straight-line, no extra branches so it does
+    /// not pollute the LBR). Returns the chain's final value.
+    pub fn work_chain(&mut self, seed: impl Into<Operand>, n: usize) -> Reg {
+        let mut v = self.add(seed, 0x9e37_79b9u64);
+        for i in 0..n {
+            v = self.add(v, (i as u64).wrapping_mul(0x85eb_ca77) | 1);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Module;
+    use crate::verify::verify_module;
+
+    #[test]
+    fn counted_loop_verifies() {
+        let mut m = Module::new("t");
+        let f = m.add_function("f", &["n"]);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let n = b.param(0);
+            let s = b.loop_up_reduce(0, n, 1, 0, |b, iv, acc| {
+                let x = b.mul(iv, 3u64);
+                b.add(acc, x).into()
+            });
+            b.ret(Some(s));
+        }
+        verify_module(&m).unwrap();
+        // Guard + body + exit.
+        assert_eq!(m.function(f).blocks.len(), 3);
+    }
+
+    #[test]
+    fn nested_loops_verify() {
+        let mut m = Module::new("t");
+        let f = m.add_function("f", &["n", "m", "a"]);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let (n, mm, a) = (b.param(0), b.param(1), b.param(2));
+            b.loop_up(0, n, 1, |b, i| {
+                b.loop_up(0, mm, 1, |b, j| {
+                    let idx = b.add(i, j);
+                    let v = b.load_elem(a, idx, Width::W8, false);
+                    b.store_elem(a, j, v, Width::W8);
+                });
+            });
+            b.ret(None::<Operand>);
+        }
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn geometric_loop_verifies() {
+        let mut m = Module::new("t");
+        let f = m.add_function("f", &["n"]);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let n = b.param(0);
+            b.loop_geometric(1, n, 2, |b, iv| {
+                b.prefetch(iv);
+            });
+            b.ret(None::<Operand>);
+        }
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn do_while_verifies() {
+        let mut m = Module::new("t");
+        let f = m.add_function("f", &[]);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let out = b.do_while_carried(&[Operand::Imm(10)], |b, c| {
+                let next = b.sub(c[0], 1);
+                let cond = b.icmp(ICmpPred::Gts, next, 0);
+                (cond.into(), vec![next.into()])
+            });
+            b.ret(Some(out[0]));
+        }
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn work_chain_length() {
+        let mut m = Module::new("t");
+        let f = m.add_function("f", &[]);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let v = b.work_chain(1, 8);
+            b.ret(Some(v));
+        }
+        // Seed add + 8 chain adds.
+        assert_eq!(m.function(f).inst_count(), 9);
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn if_else_merges_values() {
+        let mut m = Module::new("t");
+        let f = m.add_function("f", &["c"]);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let c = b.param(0);
+            let merged = b.if_else(
+                c,
+                |b| vec![b.add(10, 1).into()],
+                |b| vec![b.add(20, 2).into()],
+            );
+            b.ret(Some(merged[0]));
+        }
+        verify_module(&m).unwrap();
+        // Entry + then + else + join.
+        assert_eq!(m.function(f).blocks.len(), 4);
+    }
+
+    #[test]
+    fn if_then_passes_through_else_values() {
+        let mut m = Module::new("t");
+        let f = m.add_function("f", &["c", "x"]);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let (c, x) = (b.param(0), b.param(1));
+            let merged = b.if_then(c, &[x.into()], |b| vec![b.add(x, 100).into()]);
+            b.ret(Some(merged[0]));
+        }
+        verify_module(&m).unwrap();
+        // Entry + then + join.
+        assert_eq!(m.function(f).blocks.len(), 3);
+    }
+
+    #[test]
+    fn nested_if_inside_loop_verifies() {
+        let mut m = Module::new("t");
+        let f = m.add_function("f", &["n"]);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let n = b.param(0);
+            let out = b.loop_up_carried(0, n, 1, &[Operand::Imm(0)], |b, iv, car| {
+                let odd = b.and(iv, 1u64);
+                let merged = b.if_then(odd, &[car[0].into()], |b| {
+                    let inner = b.if_else(
+                        odd,
+                        |b| vec![b.add(car[0], 2).into()],
+                        |b| vec![b.add(car[0], 3).into()],
+                    );
+                    vec![inner[0].into()]
+                });
+                vec![merged[0].into()]
+            });
+            b.ret(Some(out[0]));
+        }
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter index out of range")]
+    fn param_out_of_range_panics() {
+        let mut m = Module::new("t");
+        let f = m.add_function("f", &["x"]);
+        let b = FunctionBuilder::new(m.function_mut(f));
+        let _ = b.param(1);
+    }
+}

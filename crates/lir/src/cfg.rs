@@ -1,0 +1,237 @@
+//! Control-flow-graph utilities: predecessors, reverse post-order,
+//! dominators (Cooper–Harvey–Kennedy iterative algorithm).
+
+use crate::module::{BlockId, Function};
+
+/// Precomputed CFG facts for one function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// `preds[b]` = predecessor blocks of `b`.
+    pub preds: Vec<Vec<BlockId>>,
+    /// `succs[b]` = successor blocks of `b`.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Reverse post-order over blocks reachable from entry.
+    pub rpo: Vec<BlockId>,
+    /// `rpo_index[b]` = position of `b` in `rpo`, or `usize::MAX` if
+    /// unreachable.
+    pub rpo_index: Vec<usize>,
+    /// Immediate dominator of each block (`idom[entry] == entry`);
+    /// `None` for unreachable blocks.
+    pub idom: Vec<Option<BlockId>>,
+}
+
+impl Cfg {
+    /// Computes CFG facts for `func`.
+    pub fn build(func: &Function) -> Cfg {
+        let n = func.blocks.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for (b, block) in func.iter_blocks() {
+            for s in block.term.successors() {
+                succs[b.0 as usize].push(s);
+                preds[s.0 as usize].push(b);
+            }
+        }
+
+        // Post-order DFS from the entry block (iterative).
+        let mut post = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        let mut stack: Vec<(BlockId, usize)> = vec![(func.entry, 0)];
+        visited[func.entry.0 as usize] = true;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            let ss = &succs[b.0 as usize];
+            if *i < ss.len() {
+                let next = ss[*i];
+                *i += 1;
+                if !visited[next.0 as usize] {
+                    visited[next.0 as usize] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.0 as usize] = i;
+        }
+
+        let idom = compute_idoms(func.entry, &rpo, &rpo_index, &preds, n);
+
+        Cfg {
+            preds,
+            succs,
+            rpo,
+            rpo_index,
+            idom,
+        }
+    }
+
+    /// True if `a` dominates `b` (both must be reachable).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.0 as usize] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+
+    /// True if the block is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.0 as usize] != usize::MAX
+    }
+
+    /// Back edges `(tail, head)` where `head` dominates `tail` — each one
+    /// identifies a natural loop with header `head`.
+    pub fn back_edges(&self) -> Vec<(BlockId, BlockId)> {
+        let mut out = Vec::new();
+        for &b in &self.rpo {
+            for &s in &self.succs[b.0 as usize] {
+                if self.is_reachable(s) && self.dominates(s, b) {
+                    out.push((b, s));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Cooper–Harvey–Kennedy "engineered" dominator computation.
+fn compute_idoms(
+    entry: BlockId,
+    rpo: &[BlockId],
+    rpo_index: &[usize],
+    preds: &[Vec<BlockId>],
+    n: usize,
+) -> Vec<Option<BlockId>> {
+    let mut idom: Vec<Option<BlockId>> = vec![None; n];
+    idom[entry.0 as usize] = Some(entry);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for &p in &preds[b.0 as usize] {
+                if idom[p.0 as usize].is_none() {
+                    continue; // Not yet processed / unreachable.
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(cur, p, &idom, rpo_index),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[b.0 as usize] != Some(ni) {
+                    idom[b.0 as usize] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+fn intersect(
+    mut a: BlockId,
+    mut b: BlockId,
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.0 as usize] > rpo_index[b.0 as usize] {
+            a = idom[a.0 as usize].expect("processed block has idom");
+        }
+        while rpo_index[b.0 as usize] > rpo_index[a.0 as usize] {
+            b = idom[b.0 as usize].expect("processed block has idom");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Operand, Terminator};
+    use crate::module::Module;
+
+    /// Builds a diamond: bb0 → {bb1, bb2} → bb3.
+    fn diamond() -> Function {
+        let mut m = Module::new("t");
+        let f = m.add_function("f", &[]);
+        let func = m.function_mut(f);
+        let b1 = func.add_block("t");
+        let b2 = func.add_block("e");
+        let b3 = func.add_block("join");
+        func.block_mut(BlockId(0)).term = Terminator::CondBr {
+            cond: Operand::Imm(1),
+            then_: b1,
+            else_: b2,
+        };
+        func.block_mut(b1).term = Terminator::Br { target: b3 };
+        func.block_mut(b2).term = Terminator::Br { target: b3 };
+        m.functions.remove(0)
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.idom[1], Some(BlockId(0)));
+        assert_eq!(cfg.idom[2], Some(BlockId(0)));
+        assert_eq!(cfg.idom[3], Some(BlockId(0)));
+        assert!(cfg.dominates(BlockId(0), BlockId(3)));
+        assert!(!cfg.dominates(BlockId(1), BlockId(3)));
+        assert!(cfg.back_edges().is_empty());
+    }
+
+    #[test]
+    fn diamond_preds_succs() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.succs[0], vec![BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds[3], vec![BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.rpo.len(), 4);
+        assert_eq!(cfg.rpo[0], BlockId(0));
+    }
+
+    /// bb0 → bb1; bb1 → {bb1 (back edge), bb2}.
+    fn single_block_loop() -> Function {
+        let mut m = Module::new("t");
+        let f = m.add_function("f", &[]);
+        let func = m.function_mut(f);
+        let body = func.add_block("body");
+        let exit = func.add_block("exit");
+        func.block_mut(BlockId(0)).term = Terminator::Br { target: body };
+        func.block_mut(body).term = Terminator::CondBr {
+            cond: Operand::Imm(1),
+            then_: body,
+            else_: exit,
+        };
+        m.functions.remove(0)
+    }
+
+    #[test]
+    fn loop_back_edge_detected() {
+        let f = single_block_loop();
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.back_edges(), vec![(BlockId(1), BlockId(1))]);
+        assert!(cfg.dominates(BlockId(1), BlockId(2)));
+    }
+
+    #[test]
+    fn unreachable_block_handled() {
+        let mut f = single_block_loop();
+        let dead = f.add_block("dead");
+        f.block_mut(dead).term = Terminator::Ret { value: None };
+        let cfg = Cfg::build(&f);
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(cfg.idom[dead.0 as usize], None);
+    }
+}

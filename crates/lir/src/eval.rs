@@ -1,0 +1,111 @@
+//! Reference evaluation semantics of the IR's pure operations.
+//!
+//! Shared by the timing simulator (`apt-cpu`) and the constant-folding
+//! pass (`apt-passes`), so both agree on every arithmetic corner case.
+
+use crate::inst::{BinOp, FCmpPred, ICmpPred, UnOp};
+
+#[inline]
+pub fn sign_extend(v: u64, bytes: u64) -> u64 {
+    let bits = bytes * 8;
+    if bits == 64 {
+        v
+    } else {
+        let shift = 64 - bits;
+        (((v << shift) as i64) >> shift) as u64
+    }
+}
+
+#[inline]
+pub fn bin_cost(op: BinOp) -> u64 {
+    match op {
+        // Throughput-calibrated: modern cores retire one IMUL per cycle.
+        BinOp::Mul => 1,
+        BinOp::DivU | BinOp::DivS | BinOp::RemU => 20,
+        BinOp::FAdd | BinOp::FSub | BinOp::FMul => 4,
+        BinOp::FDiv => 15,
+        _ => 1,
+    }
+}
+
+#[inline]
+pub fn eval_bin(op: BinOp, a: u64, b: u64) -> u64 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::DivU => {
+            if b == 0 {
+                0
+            } else {
+                a / b
+            }
+        }
+        BinOp::DivS => {
+            if b == 0 {
+                0
+            } else {
+                (a as i64).wrapping_div(b as i64) as u64
+            }
+        }
+        BinOp::RemU => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+        BinOp::ShrL => a.wrapping_shr(b as u32 & 63),
+        BinOp::ShrA => ((a as i64).wrapping_shr(b as u32 & 63)) as u64,
+        BinOp::ICmp(p) => {
+            let (sa, sb) = (a as i64, b as i64);
+            let r = match p {
+                ICmpPred::Eq => a == b,
+                ICmpPred::Ne => a != b,
+                ICmpPred::Ltu => a < b,
+                ICmpPred::Lts => sa < sb,
+                ICmpPred::Leu => a <= b,
+                ICmpPred::Les => sa <= sb,
+                ICmpPred::Gtu => a > b,
+                ICmpPred::Gts => sa > sb,
+                ICmpPred::Geu => a >= b,
+                ICmpPred::Ges => sa >= sb,
+            };
+            r as u64
+        }
+        BinOp::FAdd => (f64::from_bits(a) + f64::from_bits(b)).to_bits(),
+        BinOp::FSub => (f64::from_bits(a) - f64::from_bits(b)).to_bits(),
+        BinOp::FMul => (f64::from_bits(a) * f64::from_bits(b)).to_bits(),
+        BinOp::FDiv => (f64::from_bits(a) / f64::from_bits(b)).to_bits(),
+        BinOp::FCmp(p) => {
+            let (fa, fb) = (f64::from_bits(a), f64::from_bits(b));
+            let r = match p {
+                FCmpPred::Eq => fa == fb,
+                FCmpPred::Ne => fa != fb,
+                FCmpPred::Lt => fa < fb,
+                FCmpPred::Le => fa <= fb,
+                FCmpPred::Gt => fa > fb,
+                FCmpPred::Ge => fa >= fb,
+            };
+            r as u64
+        }
+        BinOp::MinU => a.min(b),
+        BinOp::MinS => (a as i64).min(b as i64) as u64,
+        BinOp::MaxS => (a as i64).max(b as i64) as u64,
+    }
+}
+
+#[inline]
+pub fn eval_un(op: UnOp, a: u64) -> u64 {
+    match op {
+        UnOp::Sext32 => a as u32 as i32 as i64 as u64,
+        UnOp::Zext32 => a & 0xffff_ffff,
+        UnOp::IToF => ((a as i64) as f64).to_bits(),
+        UnOp::FToI => (f64::from_bits(a) as i64) as u64,
+        UnOp::Copy => a,
+    }
+}

@@ -1,0 +1,449 @@
+//! Instruction set of the loop IR.
+//!
+//! Registers are untyped 64-bit machine words; each operation fixes the
+//! interpretation of its operands (integer vs. IEEE-754 `f64` bit pattern),
+//! exactly like a RISC register file.
+
+use crate::module::{BlockId, Reg};
+
+/// An operand: either an SSA register or a 64-bit immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// An SSA register defined elsewhere in the function.
+    Reg(Reg),
+    /// A literal 64-bit value (integers are stored as-is, floats as bits).
+    Imm(u64),
+}
+
+impl Operand {
+    /// Returns the register if this operand is one.
+    pub fn reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+
+    /// Returns the immediate value if this operand is one.
+    pub fn imm(self) -> Option<u64> {
+        match self {
+            Operand::Reg(_) => None,
+            Operand::Imm(v) => Some(v),
+        }
+    }
+
+    /// Builds a float immediate from an `f64` value.
+    pub fn fimm(v: f64) -> Operand {
+        Operand::Imm(v.to_bits())
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<u64> for Operand {
+    fn from(v: u64) -> Operand {
+        Operand::Imm(v)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Operand {
+        Operand::Imm(v as u64)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(v: i32) -> Operand {
+        Operand::Imm(v as i64 as u64)
+    }
+}
+
+impl From<usize> for Operand {
+    fn from(v: usize) -> Operand {
+        Operand::Imm(v as u64)
+    }
+}
+
+/// Integer comparison predicates (as in LLVM's `icmp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ICmpPred {
+    Eq,
+    Ne,
+    /// Unsigned less-than.
+    Ltu,
+    /// Signed less-than.
+    Lts,
+    /// Unsigned less-or-equal.
+    Leu,
+    /// Signed less-or-equal.
+    Les,
+    /// Unsigned greater-than.
+    Gtu,
+    /// Signed greater-than.
+    Gts,
+    /// Unsigned greater-or-equal.
+    Geu,
+    /// Signed greater-or-equal.
+    Ges,
+}
+
+/// Float comparison predicates (ordered comparisons on `f64`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FCmpPred {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Two-operand ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping 64-bit addition.
+    Add,
+    /// Wrapping 64-bit subtraction.
+    Sub,
+    /// Wrapping 64-bit multiplication.
+    Mul,
+    /// Unsigned division (division by zero yields 0, like a trap value).
+    DivU,
+    /// Signed division (division by zero yields 0).
+    DivS,
+    /// Unsigned remainder (modulo zero yields the dividend).
+    RemU,
+    And,
+    Or,
+    Xor,
+    /// Logical shift left (shift amount masked to 63).
+    Shl,
+    /// Logical shift right.
+    ShrL,
+    /// Arithmetic shift right.
+    ShrA,
+    /// Integer comparison producing 0/1.
+    ICmp(ICmpPred),
+    /// IEEE-754 `f64` addition on the operand bit patterns.
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    /// Float comparison producing 0/1.
+    FCmp(FCmpPred),
+    /// Unsigned minimum (used by prefetch-index clamping).
+    MinU,
+    /// Signed minimum.
+    MinS,
+    /// Signed maximum.
+    MaxS,
+}
+
+impl BinOp {
+    /// True for operations interpreting operands as `f64` bit patterns.
+    pub fn is_float(self) -> bool {
+        matches!(
+            self,
+            BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv | BinOp::FCmp(_)
+        )
+    }
+}
+
+/// Memory access width in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    W1,
+    W2,
+    W4,
+    W8,
+}
+
+impl Width {
+    /// Width in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Width::W1 => 1,
+            Width::W2 => 2,
+            Width::W4 => 4,
+            Width::W8 => 8,
+        }
+    }
+}
+
+/// Unary value conversions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Sign-extend the low 32 bits to 64 bits (LLVM `sext i32 → i64`).
+    Sext32,
+    /// Zero-extend the low 32 bits.
+    Zext32,
+    /// Signed 64-bit integer → `f64`.
+    IToF,
+    /// `f64` → signed 64-bit integer (saturating, NaN → 0).
+    FToI,
+    /// Bitwise copy (register-to-register move).
+    Copy,
+}
+
+/// A non-terminator instruction.
+///
+/// `Phi` nodes must appear as a contiguous prefix of their block and are
+/// evaluated with parallel-copy semantics on block entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// SSA φ-node: selects the operand matching the predecessor block.
+    Phi {
+        dst: Reg,
+        incomings: Vec<(BlockId, Operand)>,
+    },
+    /// `dst = op(a, b)`.
+    Bin {
+        dst: Reg,
+        op: BinOp,
+        a: Operand,
+        b: Operand,
+    },
+    /// `dst = op(a)`.
+    Un { dst: Reg, op: UnOp, a: Operand },
+    /// `dst = cond != 0 ? if_true : if_false`.
+    Select {
+        dst: Reg,
+        cond: Operand,
+        if_true: Operand,
+        if_false: Operand,
+    },
+    /// Memory load of `width` bytes from `addr`; sign- or zero-extended.
+    ///
+    /// `spec` marks *speculative* loads cloned into prefetch slices: they
+    /// must never fault — an out-of-range access yields 0 (modelling the
+    /// guarded loads a production compiler emits for prefetch kernels).
+    Load {
+        dst: Reg,
+        addr: Operand,
+        width: Width,
+        sext: bool,
+        spec: bool,
+    },
+    /// Memory store of the low `width` bytes of `value` to `addr`.
+    Store {
+        addr: Operand,
+        value: Operand,
+        width: Width,
+    },
+    /// Software prefetch of the cache line containing `addr`.
+    ///
+    /// Semantically a no-op; the timing simulator turns it into a
+    /// non-blocking fill request (the paper's `llvm.prefetch`).
+    Prefetch { addr: Operand },
+}
+
+impl Inst {
+    /// The register defined by this instruction, if any.
+    pub fn dst(&self) -> Option<Reg> {
+        match self {
+            Inst::Phi { dst, .. }
+            | Inst::Bin { dst, .. }
+            | Inst::Un { dst, .. }
+            | Inst::Select { dst, .. }
+            | Inst::Load { dst, .. } => Some(*dst),
+            Inst::Store { .. } | Inst::Prefetch { .. } => None,
+        }
+    }
+
+    /// True if this is a φ-node.
+    pub fn is_phi(&self) -> bool {
+        matches!(self, Inst::Phi { .. })
+    }
+
+    /// Visits every operand read by this instruction.
+    pub fn for_each_operand(&self, mut f: impl FnMut(Operand)) {
+        match self {
+            Inst::Phi { incomings, .. } => {
+                for (_, op) in incomings {
+                    f(*op);
+                }
+            }
+            Inst::Bin { a, b, .. } => {
+                f(*a);
+                f(*b);
+            }
+            Inst::Un { a, .. } => f(*a),
+            Inst::Select {
+                cond,
+                if_true,
+                if_false,
+                ..
+            } => {
+                f(*cond);
+                f(*if_true);
+                f(*if_false);
+            }
+            Inst::Load { addr, .. } => f(*addr),
+            Inst::Store { addr, value, .. } => {
+                f(*addr);
+                f(*value);
+            }
+            Inst::Prefetch { addr } => f(*addr),
+        }
+    }
+
+    /// Rewrites every operand through `f` (used by slice cloning).
+    pub fn map_operands(&mut self, mut f: impl FnMut(Operand) -> Operand) {
+        match self {
+            Inst::Phi { incomings, .. } => {
+                for (_, op) in incomings.iter_mut() {
+                    *op = f(*op);
+                }
+            }
+            Inst::Bin { a, b, .. } => {
+                *a = f(*a);
+                *b = f(*b);
+            }
+            Inst::Un { a, .. } => *a = f(*a),
+            Inst::Select {
+                cond,
+                if_true,
+                if_false,
+                ..
+            } => {
+                *cond = f(*cond);
+                *if_true = f(*if_true);
+                *if_false = f(*if_false);
+            }
+            Inst::Load { addr, .. } => *addr = f(*addr),
+            Inst::Store { addr, value, .. } => {
+                *addr = f(*addr);
+                *value = f(*value);
+            }
+            Inst::Prefetch { addr } => *addr = f(*addr),
+        }
+    }
+}
+
+/// Block terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional branch (always a *taken* branch for LBR purposes).
+    Br { target: BlockId },
+    /// Conditional branch; `then_` is the *taken* direction, `else_` the
+    /// fall-through (this matters for LBR recording: only taken branches
+    /// enter the Last Branch Record, mirroring Intel semantics).
+    CondBr {
+        cond: Operand,
+        then_: BlockId,
+        else_: BlockId,
+    },
+    /// Function return.
+    Ret { value: Option<Operand> },
+}
+
+impl Terminator {
+    /// Successor blocks in order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Br { target } => vec![*target],
+            Terminator::CondBr { then_, else_, .. } => vec![*then_, *else_],
+            Terminator::Ret { .. } => vec![],
+        }
+    }
+
+    /// Visits every operand read by the terminator.
+    pub fn for_each_operand(&self, mut f: impl FnMut(Operand)) {
+        match self {
+            Terminator::CondBr { cond, .. } => f(*cond),
+            Terminator::Ret { value: Some(v) } => f(*v),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(Operand::from(3u64), Operand::Imm(3));
+        assert_eq!(Operand::from(-1i64), Operand::Imm(u64::MAX));
+        assert_eq!(Operand::fimm(1.0), Operand::Imm(1.0f64.to_bits()));
+        assert_eq!(Operand::Imm(7).imm(), Some(7));
+        assert_eq!(Operand::Imm(7).reg(), None);
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(Width::W1.bytes(), 1);
+        assert_eq!(Width::W8.bytes(), 8);
+    }
+
+    #[test]
+    fn float_op_classification() {
+        assert!(BinOp::FAdd.is_float());
+        assert!(BinOp::FCmp(FCmpPred::Lt).is_float());
+        assert!(!BinOp::Add.is_float());
+        assert!(!BinOp::ICmp(ICmpPred::Lts).is_float());
+    }
+
+    #[test]
+    fn inst_dst_and_operands() {
+        let i = Inst::Bin {
+            dst: Reg(3),
+            op: BinOp::Add,
+            a: Operand::Reg(Reg(1)),
+            b: Operand::Imm(4),
+        };
+        assert_eq!(i.dst(), Some(Reg(3)));
+        let mut ops = vec![];
+        i.for_each_operand(|o| ops.push(o));
+        assert_eq!(ops, vec![Operand::Reg(Reg(1)), Operand::Imm(4)]);
+
+        let s = Inst::Store {
+            addr: Operand::Reg(Reg(0)),
+            value: Operand::Imm(1),
+            width: Width::W8,
+        };
+        assert_eq!(s.dst(), None);
+    }
+
+    #[test]
+    fn map_operands_rewrites() {
+        let mut i = Inst::Select {
+            dst: Reg(9),
+            cond: Operand::Reg(Reg(1)),
+            if_true: Operand::Reg(Reg(2)),
+            if_false: Operand::Imm(0),
+        };
+        i.map_operands(|o| match o {
+            Operand::Reg(Reg(n)) => Operand::Reg(Reg(n + 10)),
+            imm => imm,
+        });
+        match i {
+            Inst::Select {
+                cond,
+                if_true,
+                if_false,
+                ..
+            } => {
+                assert_eq!(cond, Operand::Reg(Reg(11)));
+                assert_eq!(if_true, Operand::Reg(Reg(12)));
+                assert_eq!(if_false, Operand::Imm(0));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let t = Terminator::CondBr {
+            cond: Operand::Imm(1),
+            then_: BlockId(1),
+            else_: BlockId(2),
+        };
+        assert_eq!(t.successors(), vec![BlockId(1), BlockId(2)]);
+        assert_eq!(Terminator::Ret { value: None }.successors(), vec![]);
+    }
+}

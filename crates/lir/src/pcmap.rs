@@ -1,0 +1,227 @@
+//! Program-counter assignment and PC → IR resolution.
+//!
+//! Hardware-style profiles (LBR, PEBS) identify code by PC. The paper uses
+//! AutoFDO debug info to map profiled PCs back to LLVM IR instructions; we
+//! model the same indirection by laying every function out in a synthetic
+//! address space — 4 bytes per instruction, terminators included — and
+//! keeping a two-way map.
+//!
+//! Layout properties the profile analysis relies on:
+//!
+//! * all instructions of a block occupy a contiguous PC range,
+//! * the block's terminator has the *highest* PC of the block, so
+//!   `block_start ≤ load_pc < term_pc` identifies "load is inside the BBL
+//!   ended by this branch" exactly as in §3.2 of the paper.
+
+use std::fmt;
+
+use crate::module::{BlockId, FuncId, InstId, InstRef, Module};
+
+/// A synthetic program counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pc(pub u64);
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// Base address of the text section.
+pub const TEXT_BASE: u64 = 0x40_0000;
+/// Bytes per instruction slot.
+pub const INST_BYTES: u64 = 4;
+
+/// What a PC resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Location {
+    /// A regular instruction.
+    Inst(InstRef),
+    /// The terminator of `(func, block)`.
+    Term(FuncId, BlockId),
+}
+
+/// Two-way PC ↔ IR map for one module layout.
+#[derive(Debug, Clone)]
+pub struct AddressMap {
+    /// `block_start[f][b]` = PC of the first instruction of block `b`.
+    block_start: Vec<Vec<u64>>,
+    /// `block_len[f][b]` = number of instructions, terminator excluded.
+    block_len: Vec<Vec<u32>>,
+    /// Flat sorted list of `(block_start_pc, func, block)` for resolution.
+    index: Vec<(u64, u32, u32)>,
+    /// End of the laid-out text (exclusive).
+    text_end: u64,
+}
+
+impl AddressMap {
+    /// Lays out `module` and builds the map.
+    pub fn build(module: &Module) -> AddressMap {
+        let mut pc = TEXT_BASE;
+        let mut block_start = Vec::with_capacity(module.functions.len());
+        let mut block_len = Vec::with_capacity(module.functions.len());
+        let mut index = Vec::new();
+        for (fi, func) in module.functions.iter().enumerate() {
+            let mut starts = Vec::with_capacity(func.blocks.len());
+            let mut lens = Vec::with_capacity(func.blocks.len());
+            for (bi, block) in func.blocks.iter().enumerate() {
+                starts.push(pc);
+                lens.push(block.insts.len() as u32);
+                index.push((pc, fi as u32, bi as u32));
+                // One slot per instruction plus one for the terminator.
+                pc += INST_BYTES * (block.insts.len() as u64 + 1);
+            }
+            block_start.push(starts);
+            block_len.push(lens);
+        }
+        AddressMap {
+            block_start,
+            block_len,
+            index,
+            text_end: pc,
+        }
+    }
+
+    /// PC of a regular instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is out of range for the mapped layout.
+    pub fn pc_of(&self, r: InstRef) -> Pc {
+        let start = self.block_start[r.func.0 as usize][r.block.0 as usize];
+        debug_assert!(r.inst.0 < self.block_len[r.func.0 as usize][r.block.0 as usize]);
+        Pc(start + INST_BYTES * r.inst.0 as u64)
+    }
+
+    /// PC of the terminator (branch) of a block.
+    pub fn term_pc(&self, func: FuncId, block: BlockId) -> Pc {
+        let start = self.block_start[func.0 as usize][block.0 as usize];
+        let len = self.block_len[func.0 as usize][block.0 as usize];
+        Pc(start + INST_BYTES * len as u64)
+    }
+
+    /// PC of the first instruction slot of a block (the branch target).
+    pub fn block_start_pc(&self, func: FuncId, block: BlockId) -> Pc {
+        Pc(self.block_start[func.0 as usize][block.0 as usize])
+    }
+
+    /// Resolves a PC back to its IR location.
+    pub fn resolve(&self, pc: Pc) -> Option<Location> {
+        if pc.0 < TEXT_BASE || pc.0 >= self.text_end || pc.0 % INST_BYTES != 0 {
+            return None;
+        }
+        let i = match self.index.binary_search_by_key(&pc.0, |e| e.0) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        let (start, f, b) = self.index[i];
+        let slot = ((pc.0 - start) / INST_BYTES) as u32;
+        let len = self.block_len[f as usize][b as usize];
+        if slot < len {
+            Some(Location::Inst(InstRef {
+                func: FuncId(f),
+                block: BlockId(b),
+                inst: InstId(slot),
+            }))
+        } else if slot == len {
+            Some(Location::Term(FuncId(f), BlockId(b)))
+        } else {
+            None
+        }
+    }
+
+    /// `(first_inst_pc, term_pc)` of a block — the BBL's PC span.
+    pub fn block_range(&self, func: FuncId, block: BlockId) -> (Pc, Pc) {
+        (self.block_start_pc(func, block), self.term_pc(func, block))
+    }
+
+    /// True if `pc` lies strictly inside the BBL ended by `term` — i.e.
+    /// `block_start ≤ pc < term_pc`, the containment test from §3.2.
+    pub fn pc_in_bbl(&self, pc: Pc, func: FuncId, block: BlockId) -> bool {
+        let (lo, hi) = self.block_range(func, block);
+        lo <= pc && pc < hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Inst, Operand, Terminator};
+    use crate::module::Module;
+
+    fn two_block_module() -> Module {
+        let mut m = Module::new("t");
+        let f = m.add_function("f", &[]);
+        let func = m.function_mut(f);
+        let r0 = func.fresh_reg();
+        func.block_mut(BlockId(0)).insts.push(Inst::Bin {
+            dst: r0,
+            op: crate::inst::BinOp::Add,
+            a: Operand::Imm(1),
+            b: Operand::Imm(2),
+        });
+        let bb1 = func.add_block("next");
+        func.block_mut(BlockId(0)).term = Terminator::Br { target: bb1 };
+        func.block_mut(bb1).insts.push(Inst::Prefetch {
+            addr: Operand::Imm(0),
+        });
+        func.block_mut(bb1).term = Terminator::Ret { value: None };
+        m
+    }
+
+    #[test]
+    fn layout_is_contiguous() {
+        let m = two_block_module();
+        let map = m.assign_pcs();
+        let f = FuncId(0);
+        let (lo0, hi0) = map.block_range(f, BlockId(0));
+        let (lo1, _) = map.block_range(f, BlockId(1));
+        assert_eq!(lo0.0, TEXT_BASE);
+        // bb0 holds 1 inst + terminator = 2 slots.
+        assert_eq!(hi0.0, TEXT_BASE + INST_BYTES);
+        assert_eq!(lo1.0, TEXT_BASE + 2 * INST_BYTES);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let m = two_block_module();
+        let map = m.assign_pcs();
+        let r = InstRef {
+            func: FuncId(0),
+            block: BlockId(1),
+            inst: InstId(0),
+        };
+        let pc = map.pc_of(r);
+        assert_eq!(map.resolve(pc), Some(Location::Inst(r)));
+        let tpc = map.term_pc(FuncId(0), BlockId(0));
+        assert_eq!(
+            map.resolve(tpc),
+            Some(Location::Term(FuncId(0), BlockId(0)))
+        );
+    }
+
+    #[test]
+    fn resolve_rejects_out_of_range() {
+        let m = two_block_module();
+        let map = m.assign_pcs();
+        assert_eq!(map.resolve(Pc(0)), None);
+        assert_eq!(map.resolve(Pc(TEXT_BASE + 1)), None); // unaligned
+        assert_eq!(map.resolve(Pc(1 << 60)), None);
+    }
+
+    #[test]
+    fn bbl_containment() {
+        let m = two_block_module();
+        let map = m.assign_pcs();
+        let f = FuncId(0);
+        let pc = map.pc_of(InstRef {
+            func: f,
+            block: BlockId(0),
+            inst: InstId(0),
+        });
+        assert!(map.pc_in_bbl(pc, f, BlockId(0)));
+        assert!(!map.pc_in_bbl(map.term_pc(f, BlockId(0)), f, BlockId(0)));
+        assert!(!map.pc_in_bbl(pc, f, BlockId(1)));
+    }
+}

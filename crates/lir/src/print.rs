@@ -1,0 +1,230 @@
+//! Human-readable printing of modules, in an LLVM-flavoured syntax.
+
+use std::fmt::Write as _;
+
+use crate::inst::{BinOp, FCmpPred, ICmpPred, Inst, Operand, Terminator, UnOp};
+use crate::module::{Block, BlockId, Function, Module};
+
+fn op_str(op: Operand) -> String {
+    match op {
+        Operand::Reg(r) => r.to_string(),
+        Operand::Imm(v) => {
+            if (v as i64) < 0 && (v as i64) > -4096 {
+                format!("{}", v as i64)
+            } else {
+                format!("{v}")
+            }
+        }
+    }
+}
+
+fn binop_name(op: BinOp) -> String {
+    match op {
+        BinOp::Add => "add".into(),
+        BinOp::Sub => "sub".into(),
+        BinOp::Mul => "mul".into(),
+        BinOp::DivU => "udiv".into(),
+        BinOp::DivS => "sdiv".into(),
+        BinOp::RemU => "urem".into(),
+        BinOp::And => "and".into(),
+        BinOp::Or => "or".into(),
+        BinOp::Xor => "xor".into(),
+        BinOp::Shl => "shl".into(),
+        BinOp::ShrL => "lshr".into(),
+        BinOp::ShrA => "ashr".into(),
+        BinOp::ICmp(p) => format!("icmp {}", icmp_name(p)),
+        BinOp::FAdd => "fadd".into(),
+        BinOp::FSub => "fsub".into(),
+        BinOp::FMul => "fmul".into(),
+        BinOp::FDiv => "fdiv".into(),
+        BinOp::FCmp(p) => format!("fcmp {}", fcmp_name(p)),
+        BinOp::MinU => "umin".into(),
+        BinOp::MinS => "smin".into(),
+        BinOp::MaxS => "smax".into(),
+    }
+}
+
+fn icmp_name(p: ICmpPred) -> &'static str {
+    match p {
+        ICmpPred::Eq => "eq",
+        ICmpPred::Ne => "ne",
+        ICmpPred::Ltu => "ult",
+        ICmpPred::Lts => "slt",
+        ICmpPred::Leu => "ule",
+        ICmpPred::Les => "sle",
+        ICmpPred::Gtu => "ugt",
+        ICmpPred::Gts => "sgt",
+        ICmpPred::Geu => "uge",
+        ICmpPred::Ges => "sge",
+    }
+}
+
+fn fcmp_name(p: FCmpPred) -> &'static str {
+    match p {
+        FCmpPred::Eq => "oeq",
+        FCmpPred::Ne => "one",
+        FCmpPred::Lt => "olt",
+        FCmpPred::Le => "ole",
+        FCmpPred::Gt => "ogt",
+        FCmpPred::Ge => "oge",
+    }
+}
+
+fn unop_name(op: UnOp) -> &'static str {
+    match op {
+        UnOp::Sext32 => "sext32",
+        UnOp::Zext32 => "zext32",
+        UnOp::IToF => "sitofp",
+        UnOp::FToI => "fptosi",
+        UnOp::Copy => "copy",
+    }
+}
+
+/// Renders one instruction.
+pub fn inst_to_string(inst: &Inst) -> String {
+    match inst {
+        Inst::Phi { dst, incomings } => {
+            let parts: Vec<String> = incomings
+                .iter()
+                .map(|(b, op)| format!("[{}, {}]", op_str(*op), b))
+                .collect();
+            format!("{dst} = phi {}", parts.join(", "))
+        }
+        Inst::Bin { dst, op, a, b } => {
+            format!("{dst} = {} {}, {}", binop_name(*op), op_str(*a), op_str(*b))
+        }
+        Inst::Un { dst, op, a } => format!("{dst} = {} {}", unop_name(*op), op_str(*a)),
+        Inst::Select {
+            dst,
+            cond,
+            if_true,
+            if_false,
+        } => format!(
+            "{dst} = select {}, {}, {}",
+            op_str(*cond),
+            op_str(*if_true),
+            op_str(*if_false)
+        ),
+        Inst::Load {
+            dst,
+            addr,
+            width,
+            sext,
+            spec,
+        } => format!(
+            "{dst} = load{}.{}{} {}",
+            if *spec { ".spec" } else { "" },
+            if *sext { "s" } else { "u" },
+            width.bytes() * 8,
+            op_str(*addr)
+        ),
+        Inst::Store { addr, value, width } => format!(
+            "store.{} {}, {}",
+            width.bytes() * 8,
+            op_str(*value),
+            op_str(*addr)
+        ),
+        Inst::Prefetch { addr } => format!("prefetch {}", op_str(*addr)),
+    }
+}
+
+/// Renders one terminator.
+pub fn term_to_string(term: &Terminator) -> String {
+    match term {
+        Terminator::Br { target } => format!("br {target}"),
+        Terminator::CondBr { cond, then_, else_ } => {
+            format!("br {}, {then_}, {else_}", op_str(*cond))
+        }
+        Terminator::Ret { value: Some(v) } => format!("ret {}", op_str(*v)),
+        Terminator::Ret { value: None } => "ret void".into(),
+    }
+}
+
+fn print_block(out: &mut String, id: BlockId, block: &Block) {
+    let _ = writeln!(out, "{id}:  ; {}", block.name);
+    for inst in &block.insts {
+        let _ = writeln!(out, "  {}", inst_to_string(inst));
+    }
+    let _ = writeln!(out, "  {}", term_to_string(&block.term));
+}
+
+/// Renders one function.
+pub fn function_to_string(func: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = func
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, n)| format!("%{i} /*{n}*/"))
+        .collect();
+    let _ = writeln!(out, "func @{}({}) {{", func.name, params.join(", "));
+    for (id, block) in func.iter_blocks() {
+        print_block(&mut out, id, block);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a whole module.
+pub fn module_to_string(module: &Module) -> String {
+    let mut out = format!("; module {}\n", module.name);
+    for (_, f) in module.iter_functions() {
+        out.push('\n');
+        out.push_str(&function_to_string(f));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Width;
+    use crate::module::Module;
+
+    #[test]
+    fn prints_listing_like_output() {
+        let mut m = Module::new("micro");
+        let f = m.add_function("kernel", &["t", "b", "n"]);
+        {
+            let mut bd = FunctionBuilder::new(m.function_mut(f));
+            let (t, bb, n) = (bd.param(0), bd.param(1), bd.param(2));
+            let s = bd.loop_up_reduce(0, n, 1, 0, |bd, iv, acc| {
+                let bi = bd.load_elem(bb, iv, Width::W4, false);
+                let v = bd.load_elem(t, bi, Width::W4, false);
+                bd.add(acc, v).into()
+            });
+            bd.ret(Some(s));
+        }
+        let text = module_to_string(&m);
+        assert!(text.contains("func @kernel"), "{text}");
+        assert!(text.contains("phi"), "{text}");
+        assert!(text.contains("load.u32"), "{text}");
+        assert!(text.contains("icmp slt"), "{text}");
+        // Exactly one terminator per block.
+        let blocks = m.function(crate::module::FuncId(0)).blocks.len();
+        let rets = text.matches("ret").count();
+        let brs = text.matches("\n  br").count();
+        assert_eq!(rets + brs, blocks);
+    }
+
+    #[test]
+    fn prints_negative_immediates_signed() {
+        assert_eq!(op_str(Operand::Imm((-5i64) as u64)), "-5");
+        assert_eq!(op_str(Operand::Imm(5)), "5");
+    }
+
+    #[test]
+    fn prints_memory_ops() {
+        let i = Inst::Store {
+            addr: Operand::Imm(64),
+            value: Operand::Imm(1),
+            width: Width::W8,
+        };
+        assert_eq!(inst_to_string(&i), "store.64 1, 64");
+        let p = Inst::Prefetch {
+            addr: Operand::Imm(128),
+        };
+        assert_eq!(inst_to_string(&p), "prefetch 128");
+    }
+}

@@ -1,0 +1,349 @@
+//! IR structural verifier: SSA single-definition, φ/predecessor agreement,
+//! and dominance of definitions over uses.
+
+use std::collections::HashMap;
+
+use crate::cfg::Cfg;
+use crate::inst::{Inst, Operand};
+use crate::module::{BlockId, Function, Module, Reg};
+
+/// A verification failure, with enough context to locate it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    pub func: String,
+    pub block: Option<BlockId>,
+    pub message: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.block {
+            Some(b) => write!(f, "verify error in {}/{}: {}", self.func, b, self.message),
+            None => write!(f, "verify error in {}: {}", self.func, self.message),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies every function in the module.
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    for (_, f) in module.iter_functions() {
+        verify_function(f)?;
+    }
+    Ok(())
+}
+
+/// Verifies one function; see the module docs for the checked properties.
+pub fn verify_function(func: &Function) -> Result<(), VerifyError> {
+    let err = |block: Option<BlockId>, message: String| VerifyError {
+        func: func.name.clone(),
+        block,
+        message,
+    };
+
+    let nblocks = func.blocks.len() as u32;
+    // Terminator targets must be in range (before building the CFG).
+    for (b, block) in func.iter_blocks() {
+        for s in block.term.successors() {
+            if s.0 >= nblocks {
+                return Err(err(Some(b), format!("branch target {s} out of range")));
+            }
+        }
+    }
+
+    let cfg = Cfg::build(func);
+
+    // Single definition per register; record the definition site.
+    #[derive(Clone, Copy)]
+    enum DefSite {
+        Param,
+        Inst(BlockId, usize),
+    }
+    let mut defs: HashMap<Reg, DefSite> = HashMap::new();
+    for i in 0..func.arity() {
+        defs.insert(Reg(i as u32), DefSite::Param);
+    }
+    for (b, block) in func.iter_blocks() {
+        for (i, inst) in block.insts.iter().enumerate() {
+            if let Some(d) = inst.dst() {
+                if d.0 >= func.next_reg {
+                    return Err(err(Some(b), format!("{d} beyond next_reg")));
+                }
+                if defs.insert(d, DefSite::Inst(b, i)).is_some() {
+                    return Err(err(Some(b), format!("{d} defined more than once")));
+                }
+            }
+        }
+    }
+
+    for (b, block) in func.iter_blocks() {
+        // φ-nodes must form a prefix of the block.
+        let phi_count = block.phi_count();
+        for (i, inst) in block.insts.iter().enumerate().skip(phi_count) {
+            if inst.is_phi() {
+                return Err(err(
+                    Some(b),
+                    format!("phi at position {i} after non-phi instructions"),
+                ));
+            }
+        }
+
+        if !cfg.is_reachable(b) {
+            continue; // Dominance facts are undefined for dead blocks.
+        }
+
+        // φ incomings must exactly cover the predecessors.
+        for inst in block.insts.iter().take(phi_count) {
+            let Inst::Phi { dst, incomings } = inst else {
+                unreachable!()
+            };
+            let mut preds: Vec<BlockId> = cfg.preds[b.0 as usize].clone();
+            preds.sort();
+            preds.dedup();
+            let mut inc: Vec<BlockId> = incomings.iter().map(|(p, _)| *p).collect();
+            inc.sort();
+            if inc != preds {
+                return Err(err(
+                    Some(b),
+                    format!("phi {dst}: incoming blocks {inc:?} != predecessors {preds:?}"),
+                ));
+            }
+        }
+
+        // Every use must be dominated by its definition.
+        let check_use = |op: Operand, use_block: BlockId, use_idx: usize| -> Result<(), String> {
+            let Operand::Reg(r) = op else { return Ok(()) };
+            match defs.get(&r) {
+                None => Err(format!("{r} used but never defined")),
+                Some(DefSite::Param) => Ok(()),
+                Some(DefSite::Inst(db, di)) => {
+                    let ok = if *db == use_block {
+                        *di < use_idx
+                        // A back-edge φ may use a value defined later in
+                        // the same block; φ operands are checked against
+                        // the *incoming* block, so this arm never sees φs.
+                    } else {
+                        cfg.is_reachable(*db) && cfg.dominates(*db, use_block)
+                    };
+                    if ok {
+                        Ok(())
+                    } else {
+                        Err(format!("{r} used before being dominated by its def"))
+                    }
+                }
+            }
+        };
+
+        for (i, inst) in block.insts.iter().enumerate() {
+            if let Inst::Phi { incomings, .. } = inst {
+                // φ operands must be available at the end of their incoming
+                // block (def dominates the predecessor).
+                for (pred, op) in incomings {
+                    let Operand::Reg(r) = op else { continue };
+                    match defs.get(r) {
+                        None => return Err(err(Some(b), format!("{r} used but never defined"))),
+                        Some(DefSite::Param) => {}
+                        Some(DefSite::Inst(db, _)) => {
+                            if !(cfg.is_reachable(*db) && cfg.dominates(*db, *pred)) {
+                                return Err(err(
+                                    Some(b),
+                                    format!(
+                                        "phi operand {r} (from {pred}) not dominated by its def"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            } else {
+                let mut bad = None;
+                inst.for_each_operand(|op| {
+                    if bad.is_none() {
+                        if let Err(m) = check_use(op, b, i) {
+                            bad = Some(m);
+                        }
+                    }
+                });
+                if let Some(m) = bad {
+                    return Err(err(Some(b), m));
+                }
+            }
+        }
+        let mut bad = None;
+        block.term.for_each_operand(|op| {
+            if bad.is_none() {
+                if let Err(m) = check_use(op, b, block.insts.len()) {
+                    bad = Some(m);
+                }
+            }
+        });
+        if let Some(m) = bad {
+            return Err(err(Some(b), m));
+        }
+    }
+
+    // The entry block cannot have φ-nodes (it has no predecessors).
+    if func.block(func.entry).phi_count() > 0 {
+        return Err(err(Some(func.entry), "entry block has phi nodes".into()));
+    }
+
+    Ok(())
+}
+
+/// Convenience alias used by downstream crates.
+pub fn verify(module: &Module) -> Result<(), VerifyError> {
+    verify_module(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, Terminator, Width};
+    use crate::module::FuncId;
+
+    fn simple_ok() -> Module {
+        let mut m = Module::new("t");
+        let f = m.add_function("f", &["a"]);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let a = b.param(0);
+            let v = b.load(a, Width::W8, false);
+            let w = b.add(v, 1);
+            b.ret(Some(w));
+        }
+        m
+    }
+
+    #[test]
+    fn accepts_valid_module() {
+        verify_module(&simple_ok()).unwrap();
+    }
+
+    #[test]
+    fn rejects_double_definition() {
+        let mut m = simple_ok();
+        let f = m.function_mut(FuncId(0));
+        // Redefine %1 (the load's destination).
+        f.block_mut(BlockId(0)).insts.push(Inst::Bin {
+            dst: Reg(1),
+            op: BinOp::Add,
+            a: Operand::Imm(0),
+            b: Operand::Imm(0),
+        });
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("defined more than once"), "{e}");
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let mut m = Module::new("t");
+        let f = m.add_function("f", &[]);
+        let func = m.function_mut(f);
+        let r9 = Reg(9);
+        func.next_reg = 10;
+        func.block_mut(BlockId(0)).insts.push(Inst::Bin {
+            dst: Reg(0),
+            op: BinOp::Add,
+            a: Operand::Reg(r9),
+            b: Operand::Imm(0),
+        });
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("never defined"), "{e}");
+    }
+
+    #[test]
+    fn rejects_branch_out_of_range() {
+        let mut m = simple_ok();
+        m.function_mut(FuncId(0)).block_mut(BlockId(0)).term = Terminator::Br {
+            target: BlockId(99),
+        };
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn rejects_phi_in_entry() {
+        let mut m = Module::new("t");
+        let f = m.add_function("f", &[]);
+        let func = m.function_mut(f);
+        func.next_reg = 1;
+        func.block_mut(BlockId(0)).insts.push(Inst::Phi {
+            dst: Reg(0),
+            incomings: vec![],
+        });
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("entry block"), "{e}");
+    }
+
+    #[test]
+    fn rejects_phi_pred_mismatch() {
+        let mut m = Module::new("t");
+        let f = m.add_function("f", &[]);
+        let func = m.function_mut(f);
+        let body = func.add_block("body");
+        func.block_mut(BlockId(0)).term = Terminator::Br { target: body };
+        func.next_reg = 1;
+        func.block_mut(body).insts.push(Inst::Phi {
+            dst: Reg(0),
+            incomings: vec![(BlockId(1), Operand::Imm(0))], // Wrong pred.
+        });
+        func.block_mut(body).term = Terminator::Ret { value: None };
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("incoming blocks"), "{e}");
+    }
+
+    #[test]
+    fn rejects_non_dominating_use() {
+        // bb0 -> {bb1, bb2}; bb1 defines %0; bb2 uses %0.
+        let mut m = Module::new("t");
+        let f = m.add_function("f", &[]);
+        let func = m.function_mut(f);
+        let b1 = func.add_block("b1");
+        let b2 = func.add_block("b2");
+        func.block_mut(BlockId(0)).term = Terminator::CondBr {
+            cond: Operand::Imm(1),
+            then_: b1,
+            else_: b2,
+        };
+        func.next_reg = 2;
+        func.block_mut(b1).insts.push(Inst::Bin {
+            dst: Reg(0),
+            op: BinOp::Add,
+            a: Operand::Imm(1),
+            b: Operand::Imm(2),
+        });
+        func.block_mut(b1).term = Terminator::Ret { value: None };
+        func.block_mut(b2).insts.push(Inst::Bin {
+            dst: Reg(1),
+            op: BinOp::Add,
+            a: Operand::Reg(Reg(0)),
+            b: Operand::Imm(0),
+        });
+        func.block_mut(b2).term = Terminator::Ret { value: None };
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("dominated"), "{e}");
+    }
+
+    #[test]
+    fn rejects_phi_after_non_phi() {
+        let mut m = Module::new("t");
+        let f = m.add_function("f", &[]);
+        let func = m.function_mut(f);
+        let body = func.add_block("body");
+        func.block_mut(BlockId(0)).term = Terminator::Br { target: body };
+        func.next_reg = 2;
+        let blk = func.block_mut(body);
+        blk.insts.push(Inst::Prefetch {
+            addr: Operand::Imm(0),
+        });
+        blk.insts.push(Inst::Phi {
+            dst: Reg(0),
+            incomings: vec![(BlockId(0), Operand::Imm(0))],
+        });
+        blk.term = Terminator::Ret { value: None };
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("after non-phi"), "{e}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests over the IR substrate: randomly built loop nests always
+//! verify, lay out injectively, and evaluate consistently.
+
+use apt_lir::eval::{eval_bin, eval_un};
+use apt_lir::pcmap::Location;
+use apt_lir::{
+    BinOp, FuncId, FunctionBuilder, ICmpPred, InstId, InstRef, Module, Operand, UnOp, Width,
+};
+use proptest::prelude::*;
+
+/// Builds a loop nest of the given depths with some arithmetic and memory
+/// traffic inside.
+fn build_nest(depths: &[u8]) -> Module {
+    let mut m = Module::new("gen");
+    let f = m.add_function("k", &["a", "n"]);
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let (a, n) = (b.param(0), b.param(1));
+        fn rec(b: &mut FunctionBuilder<'_>, a: apt_lir::Reg, n: apt_lir::Reg, depths: &[u8]) {
+            match depths.split_first() {
+                None => {
+                    let v = b.load_elem(a, 0u64, Width::W8, false);
+                    let w = b.add(v, 1);
+                    b.store_elem(a, 0u64, w, Width::W8);
+                }
+                Some((&step, rest)) => {
+                    let rest = rest.to_vec();
+                    b.loop_up(0, n, step.max(1) as u64, move |b, iv| {
+                        let x = b.mul(iv, 3u64);
+                        let y = b.xor(x, 0x55u64);
+                        b.prefetch(y);
+                        rec(b, a, n, &rest);
+                    });
+                }
+            }
+        }
+        rec(&mut b, a, n, depths);
+        b.ret(None::<Operand>);
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_loop_nests_verify(depths in prop::collection::vec(1u8..4, 0..4)) {
+        let m = build_nest(&depths);
+        apt_lir::verify::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn pc_layout_is_injective_and_resolvable(depths in prop::collection::vec(1u8..4, 0..4)) {
+        let m = build_nest(&depths);
+        let map = m.assign_pcs();
+        let mut seen = std::collections::HashSet::new();
+        for (fid, func) in m.iter_functions() {
+            for (bid, block) in func.iter_blocks() {
+                for i in 0..block.insts.len() {
+                    let r = InstRef { func: fid, block: bid, inst: InstId(i as u32) };
+                    let pc = map.pc_of(r);
+                    prop_assert!(seen.insert(pc), "duplicate pc {pc}");
+                    prop_assert_eq!(map.resolve(pc), Some(Location::Inst(r)));
+                }
+                let tpc = map.term_pc(fid, bid);
+                prop_assert!(seen.insert(tpc));
+                prop_assert_eq!(map.resolve(tpc), Some(Location::Term(fid, bid)));
+            }
+        }
+    }
+
+    #[test]
+    fn printer_mentions_every_block(depths in prop::collection::vec(1u8..4, 1..4)) {
+        let m = build_nest(&depths);
+        let text = apt_lir::print::module_to_string(&m);
+        for (_, f) in m.iter_functions() {
+            for (bid, _) in f.iter_blocks() {
+                prop_assert!(text.contains(&format!("{bid}:")), "missing {bid}");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_bin_icmp_is_boolean(a in any::<u64>(), b in any::<u64>()) {
+        for pred in [ICmpPred::Eq, ICmpPred::Ne, ICmpPred::Ltu, ICmpPred::Lts,
+                     ICmpPred::Leu, ICmpPred::Les, ICmpPred::Gtu, ICmpPred::Gts,
+                     ICmpPred::Geu, ICmpPred::Ges] {
+            let r = eval_bin(BinOp::ICmp(pred), a, b);
+            prop_assert!(r == 0 || r == 1);
+        }
+        // Trichotomy for the unsigned orders.
+        let lt = eval_bin(BinOp::ICmp(ICmpPred::Ltu), a, b);
+        let eq = eval_bin(BinOp::ICmp(ICmpPred::Eq), a, b);
+        let gt = eval_bin(BinOp::ICmp(ICmpPred::Gtu), a, b);
+        prop_assert_eq!(lt + eq + gt, 1);
+    }
+
+    #[test]
+    fn eval_minmax_agree_with_selects(a in any::<u64>(), b in any::<u64>()) {
+        let min_u = eval_bin(BinOp::MinU, a, b);
+        prop_assert_eq!(min_u, a.min(b));
+        let min_s = eval_bin(BinOp::MinS, a, b) as i64;
+        prop_assert_eq!(min_s, (a as i64).min(b as i64));
+        let max_s = eval_bin(BinOp::MaxS, a, b) as i64;
+        prop_assert_eq!(max_s, (a as i64).max(b as i64));
+    }
+
+    #[test]
+    fn sext_zext_round_trip(v in any::<u32>()) {
+        let s = eval_un(UnOp::Sext32, v as u64);
+        let z = eval_un(UnOp::Zext32, v as u64);
+        prop_assert_eq!(s as u32, v);
+        prop_assert_eq!(z, v as u64);
+        if v <= i32::MAX as u32 {
+            prop_assert_eq!(s, z);
+        }
+    }
+
+    #[test]
+    fn add_sub_invert(a in any::<u64>(), b in any::<u64>()) {
+        let sum = eval_bin(BinOp::Add, a, b);
+        prop_assert_eq!(eval_bin(BinOp::Sub, sum, b), a);
+    }
+}
+
+#[test]
+fn nested_builder_emits_expected_block_count() {
+    // depth d nest: each loop adds body+exit; plus entry.
+    let m = build_nest(&[1, 1]);
+    let f = m.function(FuncId(0));
+    assert_eq!(f.blocks.len(), 1 + 2 * 2);
+}

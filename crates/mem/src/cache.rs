@@ -1,0 +1,213 @@
+//! A set-associative LRU cache of line tags.
+//!
+//! Only tags are modelled — data lives in the functional memory image of
+//! `apt-cpu`. Each resident line carries two bookkeeping bits used by the
+//! prefetch-quality counters: whether it was installed by a prefetch, and
+//! whether a demand access has touched it since the fill.
+
+use crate::config::CacheConfig;
+
+/// One resident line.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    tag: u64,
+    /// Installed by a (hardware or software) prefetch.
+    from_prefetch: bool,
+    /// Touched by a demand access since the fill.
+    used: bool,
+}
+
+/// Outcome of an eviction, for prefetch-quality accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Evicted {
+    /// Nothing was evicted (free way available).
+    None,
+    /// A demand-installed or already-used line was evicted.
+    Normal,
+    /// A prefetched line was evicted before any demand access used it —
+    /// the paper's "too early" prefetch failure.
+    UnusedPrefetch,
+}
+
+/// Result of a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HitInfo {
+    /// The line was present.
+    pub hit: bool,
+    /// The line was present, had been installed by a prefetch, and this is
+    /// the first demand access touching it.
+    pub first_use_of_prefetch: bool,
+}
+
+/// A set-associative, true-LRU cache of line numbers.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: Vec<Vec<Entry>>,
+    assoc: usize,
+    set_mask: u64,
+}
+
+impl Cache {
+    /// Builds an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set count is not a power of two (required for masking).
+    pub fn new(config: &CacheConfig) -> Cache {
+        let sets = config.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            sets: vec![Vec::new(); sets as usize],
+            assoc: config.assoc as usize,
+            set_mask: sets - 1,
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        (line & self.set_mask) as usize
+    }
+
+    /// Looks up `line`; on a demand hit, promotes it to MRU and updates the
+    /// usage bits. `demand` distinguishes demand accesses from prefetch
+    /// probes (which must not perturb the usage bits).
+    pub fn access(&mut self, line: u64, demand: bool) -> HitInfo {
+        let set = self.set_of(line);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|e| e.tag == line) {
+            let mut e = ways.remove(pos);
+            let first_use = demand && e.from_prefetch && !e.used;
+            if demand {
+                e.used = true;
+            }
+            ways.insert(0, e); // Promote to MRU.
+            HitInfo {
+                hit: true,
+                first_use_of_prefetch: first_use,
+            }
+        } else {
+            HitInfo {
+                hit: false,
+                first_use_of_prefetch: false,
+            }
+        }
+    }
+
+    /// True if `line` is resident (no LRU update).
+    pub fn contains(&self, line: u64) -> bool {
+        let set = self.set_of(line);
+        self.sets[set].iter().any(|e| e.tag == line)
+    }
+
+    /// Installs `line` as MRU, evicting the LRU way if the set is full.
+    pub fn fill(&mut self, line: u64, from_prefetch: bool) -> Evicted {
+        let assoc = self.assoc;
+        let set = self.set_of(line);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|e| e.tag == line) {
+            // Refill of a resident line (e.g. racing fills): keep the
+            // existing usage bits, just refresh recency.
+            let e = ways.remove(pos);
+            ways.insert(0, e);
+            return Evicted::None;
+        }
+        ways.insert(
+            0,
+            Entry {
+                tag: line,
+                from_prefetch,
+                used: false,
+            },
+        );
+        if ways.len() > assoc {
+            let victim = ways.pop().expect("set cannot be empty here");
+            if victim.from_prefetch && !victim.used {
+                Evicted::UnusedPrefetch
+            } else {
+                Evicted::Normal
+            }
+        } else {
+            Evicted::None
+        }
+    }
+
+    /// Number of resident lines (for tests/diagnostics).
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets × 2 ways.
+        Cache::new(&CacheConfig {
+            size_bytes: 4 * crate::LINE_BYTES,
+            assoc: 2,
+            latency: 1,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(10, true).hit);
+        c.fill(10, false);
+        assert!(c.access(10, true).hit);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 share set 0 (mask = 1).
+        c.fill(0, false);
+        c.fill(2, false);
+        // Touch 0 → 2 becomes LRU.
+        c.access(0, true);
+        assert_eq!(c.fill(4, false), Evicted::Normal);
+        assert!(c.contains(0));
+        assert!(!c.contains(2));
+        assert!(c.contains(4));
+    }
+
+    #[test]
+    fn unused_prefetch_eviction_detected() {
+        let mut c = tiny();
+        c.fill(0, true); // Prefetch, never used.
+        c.fill(2, false);
+        c.access(2, true);
+        assert_eq!(c.fill(4, false), Evicted::UnusedPrefetch);
+    }
+
+    #[test]
+    fn used_prefetch_eviction_is_normal() {
+        let mut c = tiny();
+        c.fill(0, true);
+        let h = c.access(0, true);
+        assert!(h.hit && h.first_use_of_prefetch);
+        // Second access is no longer a first use.
+        assert!(!c.access(0, true).first_use_of_prefetch);
+        c.fill(2, false);
+        c.access(2, true);
+        assert_eq!(c.fill(4, false), Evicted::Normal);
+    }
+
+    #[test]
+    fn prefetch_probe_does_not_mark_used() {
+        let mut c = tiny();
+        c.fill(0, true);
+        // A prefetch probe (demand = false) must not consume the first-use.
+        assert!(!c.access(0, false).first_use_of_prefetch);
+        assert!(c.access(0, true).first_use_of_prefetch);
+    }
+
+    #[test]
+    fn refill_keeps_residency() {
+        let mut c = tiny();
+        c.fill(0, false);
+        assert_eq!(c.fill(0, true), Evicted::None);
+        assert_eq!(c.resident_lines(), 1);
+    }
+}

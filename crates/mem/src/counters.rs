@@ -1,0 +1,112 @@
+//! PMU-style event counters, named after the hardware events the paper
+//! reads with `perf stat` (§2.3, §4.4).
+
+/// Aggregate memory-system counters for one simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemCounters {
+    /// Demand loads issued by the core.
+    pub loads: u64,
+    /// Stores issued by the core.
+    pub stores: u64,
+    /// Demand loads served by each level.
+    pub l1_hits: u64,
+    pub l2_hits: u64,
+    pub llc_hits: u64,
+    /// Demand loads that allocated a new offcore (DRAM) fill.
+    pub demand_fills: u64,
+    /// Demand loads that coalesced onto an in-flight *software prefetch* —
+    /// the `LOAD_HIT_PRE.SW_PF` late-prefetch event.
+    pub fb_hits_swpf: u64,
+    /// Demand loads that coalesced onto any other in-flight fill.
+    pub fb_hits_other: u64,
+    /// Software prefetches executed.
+    pub sw_pf_issued: u64,
+    /// Software prefetches dropped: line already resident or in flight.
+    pub sw_pf_redundant: u64,
+    /// Software prefetches dropped because no fill buffer was free.
+    pub sw_pf_dropped_full: u64,
+    /// Software prefetches that went offcore (allocated a DRAM fill).
+    pub sw_pf_offcore: u64,
+    /// Software prefetches served by an on-chip level (L2/LLC fill to L1).
+    pub sw_pf_oncore: u64,
+    /// Hardware prefetches that went offcore.
+    pub hw_pf_offcore: u64,
+    /// Prefetched lines evicted from the LLC before any demand use.
+    pub pf_evicted_unused: u64,
+    /// Demand accesses that were the first use of a prefetched line (LLC).
+    pub pf_used: u64,
+    /// Core stall cycles attributed to the serving level of demand loads.
+    pub stall_l2: u64,
+    pub stall_llc: u64,
+    pub stall_dram: u64,
+}
+
+impl MemCounters {
+    /// `offcore_requests.all_data_rd`: every offcore read — demand fills
+    /// plus hardware and software prefetch fills.
+    pub fn all_data_rd(&self) -> u64 {
+        self.demand_fills + self.sw_pf_offcore + self.hw_pf_offcore
+    }
+
+    /// `offcore_requests.demand_data_rd` as the paper uses it for MPKI:
+    /// demand loads that missed the on-chip hierarchy, *including* loads
+    /// that hit an in-flight prefetch in the fill buffer (§4.4 note).
+    pub fn demand_data_rd(&self) -> u64 {
+        self.demand_fills + self.fb_hits_swpf + self.fb_hits_other
+    }
+
+    /// The paper's Table-1 "Prefetch Accuracy": the fraction of offcore
+    /// reads that were prefetches, `(all_data_rd − demand_data_rd_requests)
+    /// / all_data_rd`. (Fill-buffer hits do not create a second request.)
+    pub fn prefetch_accuracy(&self) -> f64 {
+        let all = self.all_data_rd();
+        if all == 0 {
+            return 0.0;
+        }
+        (all - self.demand_fills) as f64 / all as f64
+    }
+
+    /// The paper's Table-1 "Late Prefetch": demand loads that hit a software
+    /// prefetch still in the fill buffer, relative to all issued software
+    /// prefetches.
+    pub fn late_prefetch_ratio(&self) -> f64 {
+        if self.sw_pf_issued == 0 {
+            return 0.0;
+        }
+        self.fb_hits_swpf as f64 / self.sw_pf_issued as f64
+    }
+
+    /// Total stall cycles attributable to L3 + DRAM (for Fig. 5).
+    pub fn memory_bound_stalls(&self) -> u64 {
+        self.stall_llc + self.stall_dram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_counters() {
+        let c = MemCounters {
+            demand_fills: 30,
+            sw_pf_offcore: 60,
+            hw_pf_offcore: 10,
+            fb_hits_swpf: 5,
+            fb_hits_other: 5,
+            sw_pf_issued: 80,
+            ..Default::default()
+        };
+        assert_eq!(c.all_data_rd(), 100);
+        assert_eq!(c.demand_data_rd(), 40);
+        assert!((c.prefetch_accuracy() - 0.7).abs() < 1e-12);
+        assert!((c.late_prefetch_ratio() - 5.0 / 80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let c = MemCounters::default();
+        assert_eq!(c.prefetch_accuracy(), 0.0);
+        assert_eq!(c.late_prefetch_ratio(), 0.0);
+    }
+}

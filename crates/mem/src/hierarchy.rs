@@ -1,0 +1,465 @@
+//! The assembled memory system: L1/L2/LLC + DRAM + MSHRs + HW prefetchers.
+//!
+//! # Timing model
+//!
+//! * Demand loads are *blocking*: the core is charged the full load-to-use
+//!   latency of the serving level. Demand misses therefore never occupy an
+//!   MSHR — by the time the core resumes, the fill has completed and been
+//!   installed at every level.
+//! * Prefetches (software and hardware) are *non-blocking*: they allocate an
+//!   MSHR entry and complete in the background; the fill installs when
+//!   simulated time passes the entry's ready cycle. A full MSHR file drops
+//!   prefetches — the throttle that makes over-aggressive prefetching
+//!   harmful, as in §2.3's distance-1024 experiment.
+//! * A demand load to a line with an in-flight prefetch waits for the
+//!   *remaining* latency (`LOAD_HIT_PRE.SW_PF` when the prefetch was
+//!   software) — the paper's late-prefetch case.
+//! * DRAM has finite bandwidth: one offcore fill may start every
+//!   `dram_service_interval` cycles. Useless prefetches consume bandwidth
+//!   and delay demand fills, reproducing the Table-1 slowdown at huge
+//!   distances.
+//! * Stores are write-allocate but never stall the core (store-buffer
+//!   semantics); they perturb cache state and train the stride prefetcher.
+
+use crate::cache::{Cache, Evicted};
+use crate::config::MemConfig;
+use crate::counters::MemCounters;
+use crate::line_of;
+use crate::mshr::{MshrEntry, MshrFile};
+use crate::prefetcher::{NextLinePrefetcher, StridePrefetcher};
+use crate::{Addr, Cycle};
+
+/// The memory-hierarchy level that served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    L1,
+    L2,
+    Llc,
+    Dram,
+}
+
+impl Level {
+    /// Short display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::L1 => "L1",
+            Level::L2 => "L2",
+            Level::Llc => "L3",
+            Level::Dram => "DRAM",
+        }
+    }
+}
+
+/// Who created a fill request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqSource {
+    Demand,
+    SwPrefetch,
+    HwPrefetch,
+}
+
+/// Timing outcome of one demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Cycles until the value is usable by the core.
+    pub latency: Cycle,
+    /// The level that served the data (DRAM for fill-buffer waits).
+    pub served: Level,
+    /// The access coalesced onto an in-flight software prefetch.
+    pub fb_hit_swpf: bool,
+}
+
+/// The full simulated memory system.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    cfg: MemConfig,
+    l1: Cache,
+    l2: Cache,
+    llc: Cache,
+    mshr: MshrFile,
+    stride: StridePrefetcher,
+    next_line: NextLinePrefetcher,
+    /// Earliest cycle the DRAM channel can start a new line transfer.
+    dram_free_at: Cycle,
+    /// Event counters.
+    pub counters: MemCounters,
+}
+
+impl Hierarchy {
+    /// Builds an empty hierarchy from `cfg`.
+    pub fn new(cfg: &MemConfig) -> Hierarchy {
+        Hierarchy {
+            cfg: *cfg,
+            l1: Cache::new(&cfg.l1),
+            l2: Cache::new(&cfg.l2),
+            llc: Cache::new(&cfg.llc),
+            mshr: MshrFile::new(cfg.mshr_entries),
+            stride: StridePrefetcher::new(cfg.stride_lookahead),
+            next_line: NextLinePrefetcher,
+            dram_free_at: 0,
+            counters: MemCounters::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Installs fills whose data has arrived by `now`.
+    pub fn drain(&mut self, now: Cycle) {
+        for e in self.mshr.drain_ready(now) {
+            self.install_all_levels(e.line, true);
+        }
+    }
+
+    fn install_all_levels(&mut self, line: u64, from_prefetch: bool) {
+        self.l1.fill(line, from_prefetch);
+        self.l2.fill(line, from_prefetch);
+        if self.llc.fill(line, from_prefetch) == Evicted::UnusedPrefetch {
+            self.counters.pf_evicted_unused += 1;
+        }
+    }
+
+    /// Reserves a DRAM transfer slot; returns the data-ready cycle.
+    fn dram_fill_ready(&mut self, now: Cycle) -> Cycle {
+        let start = self.dram_free_at.max(now);
+        self.dram_free_at = start + self.cfg.dram_service_interval;
+        start + self.cfg.dram_latency
+    }
+
+    /// A demand load from the core. `pc` is the load's program counter
+    /// (used by the stride prefetcher).
+    pub fn demand_load(&mut self, pc: u64, addr: Addr, now: Cycle) -> AccessResult {
+        self.drain(now);
+        self.counters.loads += 1;
+        let line = line_of(addr);
+
+        // Train the stride prefetcher on the demand stream.
+        if self.cfg.stride_prefetcher {
+            for target in self.stride.train(pc, addr) {
+                self.hw_prefetch(target, now);
+            }
+        }
+
+        // L1.
+        let h = self.l1.access(line, true);
+        if h.hit {
+            if h.first_use_of_prefetch {
+                self.counters.pf_used += 1;
+            }
+            self.counters.l1_hits += 1;
+            return AccessResult {
+                latency: self.cfg.l1.latency,
+                served: Level::L1,
+                fb_hit_swpf: false,
+            };
+        }
+
+        // L2.
+        let h = self.l2.access(line, true);
+        if h.hit {
+            if h.first_use_of_prefetch {
+                self.counters.pf_used += 1;
+            }
+            self.counters.l2_hits += 1;
+            self.l1.fill(line, false);
+            let lat = self.cfg.l2.latency;
+            self.counters.stall_l2 += lat - self.cfg.l1.latency;
+            return AccessResult {
+                latency: lat,
+                served: Level::L2,
+                fb_hit_swpf: false,
+            };
+        }
+
+        // The L2 missed: the next-line prefetcher reacts to the miss stream.
+        if self.cfg.next_line_prefetcher {
+            let next = self.next_line.on_miss(line);
+            self.hw_prefetch_line(next, now);
+        }
+
+        // LLC.
+        let h = self.llc.access(line, true);
+        if h.hit {
+            if h.first_use_of_prefetch {
+                self.counters.pf_used += 1;
+            }
+            self.counters.llc_hits += 1;
+            self.l1.fill(line, false);
+            self.l2.fill(line, false);
+            let lat = self.cfg.llc.latency;
+            self.counters.stall_llc += lat - self.cfg.l1.latency;
+            return AccessResult {
+                latency: lat,
+                served: Level::Llc,
+                fb_hit_swpf: false,
+            };
+        }
+
+        // In-flight fill (fill-buffer hit)?
+        if let Some(e) = self.mshr.find(line) {
+            let wait = e.ready.saturating_sub(now);
+            let swpf = e.source == ReqSource::SwPrefetch;
+            if swpf {
+                self.counters.fb_hits_swpf += 1;
+            } else {
+                self.counters.fb_hits_other += 1;
+            }
+            let lat = wait + self.cfg.l1.latency;
+            self.counters.stall_dram += lat - self.cfg.l1.latency;
+            return AccessResult {
+                latency: lat,
+                served: Level::Dram,
+                fb_hit_swpf: swpf,
+            };
+        }
+
+        // Full miss: blocking DRAM fill.
+        self.counters.demand_fills += 1;
+        let ready = self.dram_fill_ready(now);
+        let lat = (ready - now) + self.cfg.l1.latency;
+        self.install_all_levels(line, false);
+        self.counters.stall_dram += lat - self.cfg.l1.latency;
+        AccessResult {
+            latency: lat,
+            served: Level::Dram,
+            fb_hit_swpf: false,
+        }
+    }
+
+    /// A store from the core. Write-allocate, never stalls.
+    pub fn store(&mut self, pc: u64, addr: Addr, now: Cycle) {
+        self.drain(now);
+        self.counters.stores += 1;
+        let line = line_of(addr);
+        if self.cfg.stride_prefetcher {
+            for target in self.stride.train(pc, addr) {
+                self.hw_prefetch(target, now);
+            }
+        }
+        if self.l1.access(line, true).hit {
+            return;
+        }
+        if self.l2.access(line, true).hit {
+            self.l1.fill(line, false);
+            return;
+        }
+        if self.llc.access(line, true).hit {
+            self.l1.fill(line, false);
+            self.l2.fill(line, false);
+            return;
+        }
+        if self.mshr.find(line).is_some() {
+            return; // Merges with the in-flight fill.
+        }
+        // Write-allocate fill; the store buffer hides the latency, but the
+        // transfer still consumes DRAM bandwidth.
+        let _ = self.dram_fill_ready(now);
+        self.install_all_levels(line, false);
+    }
+
+    /// A software `prefetch` instruction (fills towards L1, like
+    /// `prefetcht0`).
+    pub fn sw_prefetch(&mut self, addr: Addr, now: Cycle) {
+        self.drain(now);
+        self.counters.sw_pf_issued += 1;
+        let line = line_of(addr);
+        if self.l1.contains(line) || self.mshr.find(line).is_some() {
+            self.counters.sw_pf_redundant += 1;
+            return;
+        }
+        // Served on-chip: model the L2→L1 / LLC→L1 move as an immediate
+        // install (its latency is far below one loop iteration).
+        if self.l2.access(line, false).hit || self.llc.access(line, false).hit {
+            self.counters.sw_pf_oncore += 1;
+            self.l1.fill(line, true);
+            self.l2.fill(line, true);
+            return;
+        }
+        if !self.mshr.has_free() {
+            self.counters.sw_pf_dropped_full += 1;
+            return;
+        }
+        let ready = self.dram_fill_ready(now);
+        self.counters.sw_pf_offcore += 1;
+        let ok = self.mshr.allocate(MshrEntry {
+            line,
+            ready,
+            source: ReqSource::SwPrefetch,
+            from_level: Level::Dram,
+        });
+        debug_assert!(ok, "free entry was checked above");
+    }
+
+    /// Issues a hardware prefetch for the line containing `addr`.
+    fn hw_prefetch(&mut self, addr: Addr, now: Cycle) {
+        self.hw_prefetch_line(line_of(addr), now);
+    }
+
+    fn hw_prefetch_line(&mut self, line: u64, now: Cycle) {
+        if self.l1.contains(line) || self.mshr.find(line).is_some() {
+            return;
+        }
+        if self.l2.access(line, false).hit || self.llc.access(line, false).hit {
+            self.l1.fill(line, true);
+            self.l2.fill(line, true);
+            return;
+        }
+        if !self.mshr.has_free() {
+            return;
+        }
+        let ready = self.dram_fill_ready(now);
+        self.counters.hw_pf_offcore += 1;
+        let ok = self.mshr.allocate(MshrEntry {
+            line,
+            ready,
+            source: ReqSource::HwPrefetch,
+            from_level: Level::Dram,
+        });
+        debug_assert!(ok, "free entry was checked above");
+    }
+
+    /// Current MSHR occupancy (diagnostics).
+    pub fn mshr_occupancy(&self) -> usize {
+        self.mshr.occupancy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_hw_cfg() -> MemConfig {
+        MemConfig {
+            stride_prefetcher: false,
+            next_line_prefetcher: false,
+            ..MemConfig::scaled_machine()
+        }
+    }
+
+    #[test]
+    fn cold_miss_then_hits() {
+        let cfg = no_hw_cfg();
+        let mut h = Hierarchy::new(&cfg);
+        let r = h.demand_load(0x400000, 0x10000, 0);
+        assert_eq!(r.served, Level::Dram);
+        assert_eq!(r.latency, cfg.dram_latency + cfg.l1.latency);
+        let r2 = h.demand_load(0x400000, 0x10008, 100);
+        assert_eq!(r2.served, Level::L1);
+        assert_eq!(r2.latency, cfg.l1.latency);
+        assert_eq!(h.counters.demand_fills, 1);
+        assert_eq!(h.counters.l1_hits, 1);
+    }
+
+    #[test]
+    fn timely_prefetch_turns_miss_into_l1_hit() {
+        let cfg = no_hw_cfg();
+        let mut h = Hierarchy::new(&cfg);
+        h.sw_prefetch(0x20000, 0);
+        // Long after the fill latency: the line is resident.
+        let r = h.demand_load(0x400000, 0x20000, cfg.dram_latency + 10);
+        assert_eq!(r.served, Level::L1);
+        assert_eq!(h.counters.sw_pf_offcore, 1);
+        assert_eq!(h.counters.pf_used, 1);
+        assert_eq!(h.counters.fb_hits_swpf, 0);
+    }
+
+    #[test]
+    fn late_prefetch_hits_fill_buffer() {
+        let cfg = no_hw_cfg();
+        let mut h = Hierarchy::new(&cfg);
+        h.sw_prefetch(0x20000, 0);
+        // Demand arrives 10 cycles later — most of the latency remains.
+        let r = h.demand_load(0x400000, 0x20000, 10);
+        assert!(r.fb_hit_swpf);
+        assert_eq!(r.latency, cfg.dram_latency - 10 + cfg.l1.latency);
+        assert_eq!(h.counters.fb_hits_swpf, 1);
+        // The line still installs once ready.
+        let r2 = h.demand_load(0x400000, 0x20000, cfg.dram_latency + 20);
+        assert_eq!(r2.served, Level::L1);
+    }
+
+    #[test]
+    fn redundant_prefetch_counted() {
+        let cfg = no_hw_cfg();
+        let mut h = Hierarchy::new(&cfg);
+        h.sw_prefetch(0x20000, 0);
+        h.sw_prefetch(0x20000, 1); // In flight → redundant.
+        assert_eq!(h.counters.sw_pf_redundant, 1);
+        h.drain(cfg.dram_latency + 5);
+        h.sw_prefetch(0x20000, cfg.dram_latency + 6); // Resident → redundant.
+        assert_eq!(h.counters.sw_pf_redundant, 2);
+        assert_eq!(h.counters.sw_pf_offcore, 1);
+    }
+
+    #[test]
+    fn mshr_full_drops_prefetches() {
+        let mut cfg = no_hw_cfg();
+        cfg.mshr_entries = 2;
+        let mut h = Hierarchy::new(&cfg);
+        h.sw_prefetch(0x10000, 0);
+        h.sw_prefetch(0x20000, 0);
+        h.sw_prefetch(0x30000, 0);
+        assert_eq!(h.counters.sw_pf_dropped_full, 1);
+        assert_eq!(h.counters.sw_pf_offcore, 2);
+    }
+
+    #[test]
+    fn dram_bandwidth_serialises_fills() {
+        let cfg = no_hw_cfg();
+        let mut h = Hierarchy::new(&cfg);
+        // Two back-to-back cold misses at the same cycle: the second fill
+        // starts one service interval later.
+        let r1 = h.demand_load(0x400000, 0x10000, 0);
+        let r2 = h.demand_load(0x400004, 0x20000, 0);
+        assert_eq!(r1.latency, cfg.dram_latency + cfg.l1.latency);
+        assert_eq!(
+            r2.latency,
+            cfg.dram_latency + cfg.dram_service_interval + cfg.l1.latency
+        );
+    }
+
+    #[test]
+    fn stride_prefetcher_covers_streaming_loads() {
+        let cfg = MemConfig {
+            next_line_prefetcher: false,
+            ..MemConfig::scaled_machine()
+        };
+        let mut h = Hierarchy::new(&cfg);
+        let pc = 0x400100;
+        let mut now = 0;
+        let mut dram_served = 0;
+        // Stream over 64 lines with a 64-byte stride.
+        for i in 0..64u64 {
+            let r = h.demand_load(pc, 0x100000 + i * 64, now);
+            if r.served == Level::Dram {
+                dram_served += 1;
+            }
+            now += r.latency + 50; // Plenty of time between accesses.
+        }
+        // After training, the stride prefetcher hides almost all misses.
+        assert!(
+            dram_served <= 16,
+            "stride prefetcher should cover the stream, got {dram_served} DRAM hits"
+        );
+        assert!(h.counters.hw_pf_offcore > 20);
+    }
+
+    #[test]
+    fn store_allocates_without_stalling_counters() {
+        let cfg = no_hw_cfg();
+        let mut h = Hierarchy::new(&cfg);
+        h.store(0x400000, 0x30000, 0);
+        assert_eq!(h.counters.stores, 1);
+        assert_eq!(h.counters.loads, 0);
+        let r = h.demand_load(0x400004, 0x30000, 10);
+        assert_eq!(r.served, Level::L1);
+    }
+
+    #[test]
+    fn level_names() {
+        assert_eq!(Level::Llc.name(), "L3");
+        assert_eq!(Level::Dram.name(), "DRAM");
+    }
+}

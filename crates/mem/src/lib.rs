@@ -1,0 +1,44 @@
+//! Cache-hierarchy timing model for the APT-GET reproduction.
+//!
+//! This crate is the stand-in for the paper's Xeon memory system (Table 2).
+//! It models exactly the mechanisms that prefetch *timeliness* depends on:
+//!
+//! * a three-level set-associative LRU cache hierarchy plus DRAM,
+//! * miss-status-holding registers / *fill buffers* that coalesce requests
+//!   to the same line — a demand load arriving while a software prefetch to
+//!   its line is still in flight waits for the remaining latency and is
+//!   counted as `LOAD_HIT_PRE.SW_PF` (the paper's *late prefetch* event),
+//! * capacity/conflict eviction of prefetched-but-not-yet-used lines (the
+//!   paper's *early prefetch* failure mode),
+//! * simple hardware prefetchers (per-PC stride + L2 next-line), so that
+//!   regular streaming accesses are covered in hardware and only *indirect*
+//!   accesses remain delinquent, as on real Intel CPUs,
+//! * PMU-style event counters mirroring the ones used in §2.3
+//!   (`offcore_requests.all_data_rd`, `offcore_requests.demand_data_rd`,
+//!   `LOAD_HIT_PRE.SW_PF`) plus stall-cycle attribution per serving level
+//!   (for Fig. 5).
+
+pub mod cache;
+pub mod config;
+pub mod counters;
+pub mod hierarchy;
+pub mod mshr;
+pub mod prefetcher;
+
+pub use config::{CacheConfig, MemConfig};
+pub use counters::MemCounters;
+pub use hierarchy::{AccessResult, Hierarchy, Level, ReqSource};
+
+/// A physical byte address in the simulated machine.
+pub type Addr = u64;
+/// A simulated CPU cycle count.
+pub type Cycle = u64;
+
+/// Cache line size in bytes (fixed, as on all modern x86 parts).
+pub const LINE_BYTES: u64 = 64;
+
+/// The cache line index containing `addr`.
+#[inline]
+pub fn line_of(addr: Addr) -> u64 {
+    addr / LINE_BYTES
+}

@@ -1,0 +1,142 @@
+//! Miss-status-holding registers (a.k.a. fill buffers).
+//!
+//! Every outstanding fill — demand miss, software prefetch, or hardware
+//! prefetch — occupies one entry until its data arrives. Requests to a line
+//! already in flight coalesce onto the existing entry; this is precisely the
+//! structure behind the `LOAD_HIT_PRE.SW_PF` *late prefetch* event the paper
+//! uses in §2.3.
+
+use crate::hierarchy::{Level, ReqSource};
+use crate::Cycle;
+
+/// One outstanding fill request.
+#[derive(Debug, Clone, Copy)]
+pub struct MshrEntry {
+    /// Cache-line number being filled.
+    pub line: u64,
+    /// Cycle at which the data arrives.
+    pub ready: Cycle,
+    /// Who allocated the entry.
+    pub source: ReqSource,
+    /// The level that is serving the fill (DRAM for LLC misses).
+    pub from_level: Level,
+}
+
+/// A fixed-capacity file of outstanding fills.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    entries: Vec<MshrEntry>,
+    capacity: usize,
+}
+
+impl MshrFile {
+    /// Creates an empty file with `capacity` entries.
+    pub fn new(capacity: usize) -> MshrFile {
+        MshrFile {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Looks up an in-flight request for `line`.
+    pub fn find(&self, line: u64) -> Option<&MshrEntry> {
+        self.entries.iter().find(|e| e.line == line)
+    }
+
+    /// Number of occupied entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if a new entry can be allocated.
+    pub fn has_free(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Allocates an entry; returns `false` (dropping the request) when full.
+    ///
+    /// Callers must have checked [`MshrFile::find`] first — allocating a
+    /// duplicate line is a logic error.
+    pub fn allocate(&mut self, entry: MshrEntry) -> bool {
+        debug_assert!(self.find(entry.line).is_none(), "duplicate MSHR entry");
+        if self.entries.len() >= self.capacity {
+            return false;
+        }
+        self.entries.push(entry);
+        true
+    }
+
+    /// Removes and returns every entry whose data has arrived by `now`.
+    pub fn drain_ready(&mut self, now: Cycle) -> Vec<MshrEntry> {
+        let mut done = Vec::new();
+        self.entries.retain(|e| {
+            if e.ready <= now {
+                done.push(*e);
+                false
+            } else {
+                true
+            }
+        });
+        done
+    }
+
+    /// Earliest completion time among outstanding entries, if any.
+    ///
+    /// A demand miss arriving with a full file stalls the core until this
+    /// cycle, drains, and retries — see `Hierarchy::demand_access`.
+    pub fn min_ready(&self) -> Option<Cycle> {
+        self.entries.iter().map(|e| e.ready).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(line: u64, ready: Cycle) -> MshrEntry {
+        MshrEntry {
+            line,
+            ready,
+            source: ReqSource::Demand,
+            from_level: Level::Dram,
+        }
+    }
+
+    #[test]
+    fn allocate_and_find() {
+        let mut m = MshrFile::new(2);
+        assert!(m.allocate(entry(1, 10)));
+        assert!(m.find(1).is_some());
+        assert!(m.find(2).is_none());
+        assert_eq!(m.occupancy(), 1);
+    }
+
+    #[test]
+    fn drops_when_full() {
+        let mut m = MshrFile::new(1);
+        assert!(m.allocate(entry(1, 10)));
+        assert!(!m.allocate(entry(2, 10)));
+        assert_eq!(m.occupancy(), 1);
+    }
+
+    #[test]
+    fn drain_ready_splits_by_time() {
+        let mut m = MshrFile::new(4);
+        m.allocate(entry(1, 10));
+        m.allocate(entry(2, 20));
+        m.allocate(entry(3, 30));
+        let done = m.drain_ready(20);
+        let lines: Vec<u64> = done.iter().map(|e| e.line).collect();
+        assert_eq!(lines, vec![1, 2]);
+        assert_eq!(m.occupancy(), 1);
+    }
+
+    #[test]
+    fn min_ready_tracks_earliest_completion() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.min_ready(), None);
+        m.allocate(entry(1, 100));
+        m.allocate(entry(2, 40));
+        assert_eq!(m.min_ready(), Some(40));
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests of the memory hierarchy against simple reference models.
+
+use apt_mem::cache::Cache;
+use apt_mem::{CacheConfig, Hierarchy, Level, MemConfig};
+use proptest::prelude::*;
+
+/// Reference model: fully-explicit LRU per set.
+#[derive(Default)]
+struct RefCache {
+    sets: std::collections::HashMap<u64, Vec<u64>>,
+    set_mask: u64,
+    assoc: usize,
+}
+
+impl RefCache {
+    fn new(sets: u64, assoc: usize) -> RefCache {
+        RefCache {
+            sets: Default::default(),
+            set_mask: sets - 1,
+            assoc,
+        }
+    }
+    fn access(&mut self, line: u64) -> bool {
+        let set = self.sets.entry(line & self.set_mask).or_default();
+        if let Some(p) = set.iter().position(|&l| l == line) {
+            set.remove(p);
+            set.insert(0, line);
+            true
+        } else {
+            false
+        }
+    }
+    fn fill(&mut self, line: u64) {
+        let assoc = self.assoc;
+        let set = self.sets.entry(line & self.set_mask).or_default();
+        if let Some(p) = set.iter().position(|&l| l == line) {
+            set.remove(p);
+        }
+        set.insert(0, line);
+        set.truncate(assoc);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tag cache matches an independently written LRU model on random
+    /// access/fill traces.
+    #[test]
+    fn cache_matches_reference_lru(ops in prop::collection::vec((any::<bool>(), 0u64..64), 1..400)) {
+        let cfg = CacheConfig { size_bytes: 16 * 64, assoc: 4, latency: 1 };
+        let mut c = Cache::new(&cfg);
+        let mut r = RefCache::new(cfg.sets(), 4);
+        for (is_fill, line) in ops {
+            if is_fill {
+                c.fill(line, false);
+                r.fill(line);
+            } else {
+                let hit = c.access(line, true).hit;
+                prop_assert_eq!(hit, r.access(line), "line {}", line);
+            }
+        }
+    }
+
+    /// Demand loads: hit levels are consistent — after an access, the line
+    /// is in L1, so an immediate re-access hits L1.
+    #[test]
+    fn reaccess_always_hits_l1(addrs in prop::collection::vec(0u64..(1 << 22), 1..200)) {
+        let cfg = MemConfig {
+            stride_prefetcher: false,
+            next_line_prefetcher: false,
+            ..MemConfig::scaled_machine()
+        };
+        let mut h = Hierarchy::new(&cfg);
+        let mut now = 0;
+        for a in addrs {
+            let addr = 0x1000_0000 + a * 8;
+            let r1 = h.demand_load(0x400000, addr, now);
+            now += r1.latency;
+            let r2 = h.demand_load(0x400000, addr, now);
+            prop_assert_eq!(r2.served, Level::L1);
+            now += r2.latency;
+        }
+    }
+
+    /// Counter conservation: loads = hits at each level + fills + FB hits.
+    #[test]
+    fn load_counters_conserve(addrs in prop::collection::vec(0u64..(1 << 16), 1..300)) {
+        let cfg = MemConfig::scaled_machine();
+        let mut h = Hierarchy::new(&cfg);
+        let mut now = 0;
+        for a in addrs {
+            let r = h.demand_load(0x400000, 0x1000_0000 + a * 64, now);
+            now += r.latency + 1;
+        }
+        let c = h.counters;
+        prop_assert_eq!(
+            c.loads,
+            c.l1_hits + c.l2_hits + c.llc_hits + c.demand_fills
+                + c.fb_hits_swpf + c.fb_hits_other
+        );
+    }
+
+    /// Prefetch → wait → demand is always an L1/L2 hit (never a fill).
+    #[test]
+    fn waited_prefetch_always_hits(lines in prop::collection::vec(0u64..(1 << 14), 1..100)) {
+        let cfg = MemConfig {
+            stride_prefetcher: false,
+            next_line_prefetcher: false,
+            ..MemConfig::scaled_machine()
+        };
+        let mut h = Hierarchy::new(&cfg);
+        let mut now = 0;
+        for l in lines {
+            let addr = 0x1000_0000 + l * 64;
+            h.sw_prefetch(addr, now);
+            now += cfg.dram_latency + cfg.dram_service_interval + 1;
+            let r = h.demand_load(0x400000, addr, now);
+            prop_assert!(r.served == Level::L1 || r.served == Level::L2,
+                "served {:?}", r.served);
+            now += r.latency;
+        }
+    }
+
+    /// The DRAM bandwidth model never reorders: issuing the same trace
+    /// twice gives identical latencies (determinism).
+    #[test]
+    fn hierarchy_is_deterministic(addrs in prop::collection::vec(0u64..(1 << 18), 1..200)) {
+        let cfg = MemConfig::scaled_machine();
+        let run = || {
+            let mut h = Hierarchy::new(&cfg);
+            let mut now = 0;
+            let mut out = Vec::new();
+            for &a in &addrs {
+                let r = h.demand_load(0x400004, 0x1000_0000 + a * 8, now);
+                out.push(r.latency);
+                now += r.latency;
+            }
+            out
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,742 @@
+//! Prefetch injection: cloning load-slices into prefetch kernels.
+//!
+//! Two entry points:
+//!
+//! * [`ainsworth_jones`] — the static baseline: every indirect load in a
+//!   loop gets an inner-loop prefetch at one global compile-time distance
+//!   (the `-DFETCHDIST` flag of §2.1);
+//! * [`inject_prefetches`] — APT-GET: per-load distances and injection
+//!   sites coming from the LBR profile analysis.
+//!
+//! The prefetch index is always *clamped* to the loop bound
+//! (`min(iv + distance, bound − 1)`, Listing 4) so the cloned intermediate
+//! loads never access out of bounds.
+
+use apt_lir::{BinOp, BlockId, FuncId, Function, Inst, InstId, Module, Operand, Reg, Terminator};
+
+use crate::loops::{analyze_loops, InductionVar, LoopForest};
+use crate::slice::{extract_slice, DefMap, InstPos, SliceError, SliceInfo};
+
+/// Where to place the prefetch relative to the load's loop nest (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Site {
+    /// Inside the loop immediately containing the load.
+    Inner,
+    /// In the enclosing loop, prefetching a future outer iteration.
+    Outer,
+}
+
+/// One injection request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectionSpec {
+    pub func: FuncId,
+    /// The delinquent load, as a position in the *current* module.
+    pub load: InstPos,
+    /// Prefetch distance in loop iterations.
+    pub distance: u64,
+    pub site: Site,
+    /// For [`Site::Outer`]: how many leading inner iterations to cover per
+    /// outer iteration (the `%iv2` sweep of §3.5). The injector collapses
+    /// sweep steps that land in the same cache line. Ignored for inner.
+    pub fanout: u64,
+    /// For [`Site::Outer`]: if outer injection is structurally impossible
+    /// (no enclosing counted loop), retry as an inner-site injection at
+    /// this distance instead of giving up.
+    pub fallback_inner_distance: Option<u64>,
+}
+
+/// One successfully injected prefetch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Injected {
+    pub func: FuncId,
+    pub load: InstPos,
+    pub distance: u64,
+    pub site: Site,
+    /// Instructions added to the function.
+    pub insts_added: usize,
+}
+
+/// One skipped request and the reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Skipped {
+    pub func: FuncId,
+    pub load: InstPos,
+    pub reason: String,
+}
+
+/// Outcome of an injection batch.
+#[derive(Debug, Clone, Default)]
+pub struct InjectionReport {
+    pub injected: Vec<Injected>,
+    pub skipped: Vec<Skipped>,
+}
+
+impl InjectionReport {
+    /// Total instructions added across all injections.
+    pub fn insts_added(&self) -> usize {
+        self.injected.iter().map(|i| i.insts_added).sum()
+    }
+}
+
+/// Applies a batch of injection specs to `module`.
+///
+/// Specs are applied one at a time with the analyses recomputed in
+/// between; the positions of later specs are shifted to account for
+/// earlier insertions, so all specs must be expressed against the module
+/// as it was on entry.
+pub fn inject_prefetches(module: &mut Module, specs: &[InjectionSpec]) -> InjectionReport {
+    let mut report = InjectionReport::default();
+    let mut pending: Vec<InjectionSpec> = specs.to_vec();
+    // Deduplicate identical (func, load) targets, keeping the first.
+    let mut seen: Vec<(FuncId, InstPos)> = Vec::new();
+    pending.retain(|s| {
+        if seen.contains(&(s.func, s.load)) {
+            false
+        } else {
+            seen.push((s.func, s.load));
+            true
+        }
+    });
+
+    let mut i = 0;
+    while i < pending.len() {
+        let spec = pending[i];
+        i += 1;
+        let func = module.function_mut(spec.func);
+        let attempt = inject_one(func, &spec);
+        let attempt = match (attempt, spec.site, spec.fallback_inner_distance) {
+            (Err(_), Site::Outer, Some(d)) => {
+                // §3.3 fallback: stay in the inner loop.
+                let inner_spec = InjectionSpec {
+                    site: Site::Inner,
+                    distance: d,
+                    ..spec
+                };
+                inject_one(module.function_mut(spec.func), &inner_spec)
+            }
+            (r, _, _) => r,
+        };
+        match attempt {
+            Ok((insertions, added)) => {
+                report.injected.push(Injected {
+                    func: spec.func,
+                    load: spec.load,
+                    distance: spec.distance,
+                    site: spec.site,
+                    insts_added: added,
+                });
+                // Shift later specs in the same function past the inserts.
+                for later in pending.iter_mut().skip(i) {
+                    if later.func != spec.func {
+                        continue;
+                    }
+                    for &(b, at, n) in &insertions {
+                        if later.load.0 == b && later.load.1 .0 as usize >= at {
+                            later.load.1 .0 += n as u32;
+                        }
+                    }
+                }
+            }
+            Err(reason) => report.skipped.push(Skipped {
+                func: spec.func,
+                load: spec.load,
+                reason,
+            }),
+        }
+    }
+    report
+}
+
+/// The static Ainsworth & Jones pass: finds every *indirect* load inside a
+/// loop and injects an inner-loop prefetch at the single `distance`.
+pub fn ainsworth_jones(module: &mut Module, distance: u64) -> InjectionReport {
+    let specs = detect_indirect_loads(module)
+        .into_iter()
+        .map(|(func, load)| InjectionSpec {
+            func,
+            load,
+            distance,
+            site: Site::Inner,
+            fanout: 1,
+            fallback_inner_distance: None,
+        })
+        .collect::<Vec<_>>();
+    inject_prefetches(module, &specs)
+}
+
+/// Finds every load whose inner-loop slice is indirect and injectable —
+/// the candidate set of the static pass.
+pub fn detect_indirect_loads(module: &Module) -> Vec<(FuncId, InstPos)> {
+    let mut out = Vec::new();
+    for (fid, func) in module.iter_functions() {
+        let forest = analyze_loops(func);
+        if forest.loops.is_empty() {
+            continue;
+        }
+        let defs = DefMap::build(func);
+        for (b, block) in func.iter_blocks() {
+            let Some(scope) = forest.innermost_of(b) else {
+                continue;
+            };
+            for (i, inst) in block.insts.iter().enumerate() {
+                if !matches!(inst, Inst::Load { .. }) {
+                    continue;
+                }
+                let pos = (b, InstId(i as u32));
+                match extract_slice(func, &forest, &defs, pos, scope) {
+                    Ok(s) if s.is_indirect() => {
+                        // Only injectable when the loop bound is known.
+                        if forest.loops[scope]
+                            .iv
+                            .map(|iv| iv.bound.is_some())
+                            .unwrap_or(false)
+                        {
+                            out.push((fid, pos));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Performs one injection; returns the list of `(block, position, count)`
+/// insertions and the number of instructions added.
+fn inject_one(
+    func: &mut Function,
+    spec: &InjectionSpec,
+) -> Result<(Vec<(BlockId, usize, usize)>, usize), String> {
+    let forest = analyze_loops(func);
+    let defs = DefMap::build(func);
+    let inner_idx = forest
+        .innermost_of(spec.load.0)
+        .ok_or_else(|| "load is not inside a loop".to_string())?;
+
+    match spec.site {
+        Site::Inner => inject_inner(func, &forest, &defs, spec, inner_idx),
+        Site::Outer => {
+            let outer_idx = forest
+                .parent_of(inner_idx)
+                .ok_or_else(|| "no enclosing outer loop".to_string())?;
+            inject_outer(func, &forest, &defs, spec, inner_idx, outer_idx)
+        }
+    }
+}
+
+/// Emits `min(iv*mult + add, bound − 1)` before position `at` in `block`,
+/// returning the clamped index register and the instructions emitted.
+fn emit_future_index(
+    func: &mut Function,
+    iv: &InductionVar,
+    distance: u64,
+    new_insts: &mut Vec<Inst>,
+) -> Reg {
+    let (mult, add) = iv.update.advance_by(distance);
+    let mut cur: Operand = Operand::Reg(iv.phi);
+    if mult != 1 {
+        let r = func.fresh_reg();
+        new_insts.push(Inst::Bin {
+            dst: r,
+            op: BinOp::Mul,
+            a: cur,
+            b: Operand::Imm(mult),
+        });
+        cur = Operand::Reg(r);
+    }
+    if add != 0 {
+        let r = func.fresh_reg();
+        new_insts.push(Inst::Bin {
+            dst: r,
+            op: BinOp::Add,
+            a: cur,
+            b: Operand::Imm(add),
+        });
+        cur = Operand::Reg(r);
+    }
+    let bound = iv.bound.expect("caller checked the bound");
+    // bound − 1.
+    let bm1 = func.fresh_reg();
+    new_insts.push(Inst::Bin {
+        dst: bm1,
+        op: BinOp::Sub,
+        a: bound,
+        b: Operand::Imm(1),
+    });
+    // min(future, bound − 1), signed (loop IVs are signed counters).
+    let clamped = func.fresh_reg();
+    new_insts.push(Inst::Bin {
+        dst: clamped,
+        op: BinOp::MinS,
+        a: cur,
+        b: Operand::Reg(bm1),
+    });
+    clamped
+}
+
+fn subst_lookup(remap: &[(Reg, Operand)], op: Operand) -> Operand {
+    match op {
+        Operand::Reg(r) => remap
+            .iter()
+            .find(|(k, _)| *k == r)
+            .map(|(_, v)| *v)
+            .unwrap_or(op),
+        imm => imm,
+    }
+}
+
+/// Clones the given instructions with operand substitution, extending
+/// `remap` with clone mappings as it goes.
+fn clone_insts(
+    func: &mut Function,
+    insts: &[InstPos],
+    remap: &mut Vec<(Reg, Operand)>,
+    new_insts: &mut Vec<Inst>,
+) {
+    for &(b, i) in insts {
+        let mut inst = func.block(b).insts[i.0 as usize].clone();
+        inst.map_operands(|op| subst_lookup(remap, op));
+        let fresh = func.fresh_reg();
+        if let Some(old) = inst.dst() {
+            remap.push((old, Operand::Reg(fresh)));
+        }
+        // Re-target the destination register; cloned loads are marked
+        // speculative (prefetch-slice loads must never fault).
+        match &mut inst {
+            Inst::Load { dst, spec, .. } => {
+                *dst = fresh;
+                *spec = true;
+            }
+            Inst::Phi { dst, .. }
+            | Inst::Bin { dst, .. }
+            | Inst::Un { dst, .. }
+            | Inst::Select { dst, .. } => *dst = fresh,
+            Inst::Store { .. } | Inst::Prefetch { .. } => {}
+        }
+        new_insts.push(inst);
+    }
+}
+
+/// Clones `slice` with the given IV substitutions, appending to
+/// `new_insts`; the final load becomes a `prefetch`.
+fn clone_slice(
+    func: &mut Function,
+    slice: &SliceInfo,
+    subst: &[(Reg, Operand)],
+    new_insts: &mut Vec<Inst>,
+) {
+    let mut remap: Vec<(Reg, Operand)> = subst.to_vec();
+    clone_insts(func, &slice.insts, &mut remap, new_insts);
+    // The target load becomes a prefetch of its (remapped) address.
+    let (lb, li) = slice.load;
+    let Inst::Load { addr, .. } = &func.block(lb).insts[li.0 as usize] else {
+        unreachable!("slice target is a load");
+    };
+    let addr = subst_lookup(&remap, *addr);
+    new_insts.push(Inst::Prefetch { addr });
+}
+
+fn inject_inner(
+    func: &mut Function,
+    forest: &LoopForest,
+    defs: &DefMap,
+    spec: &InjectionSpec,
+    scope: usize,
+) -> Result<(Vec<(BlockId, usize, usize)>, usize), String> {
+    let iv = forest.loops[scope]
+        .iv
+        .ok_or_else(|| SliceError::NoInductionVar.to_string())?;
+    if iv.bound.is_none() {
+        return Err("loop bound unknown; cannot clamp the prefetch index".into());
+    }
+    let slice = extract_slice(func, forest, defs, spec.load, scope).map_err(|e| e.to_string())?;
+
+    let mut new_insts: Vec<Inst> = Vec::new();
+    let future = emit_future_index(func, &iv, spec.distance, &mut new_insts);
+    clone_slice(
+        func,
+        &slice,
+        &[(iv.phi, Operand::Reg(future))],
+        &mut new_insts,
+    );
+
+    // Insert immediately before the original load.
+    let (lb, li) = spec.load;
+    let n = new_insts.len();
+    let at = li.0 as usize;
+    func.block_mut(lb).insts.splice(at..at, new_insts);
+    Ok((vec![(lb, at, n)], n))
+}
+
+fn inject_outer(
+    func: &mut Function,
+    forest: &LoopForest,
+    defs: &DefMap,
+    spec: &InjectionSpec,
+    inner_idx: usize,
+    outer_idx: usize,
+) -> Result<(Vec<(BlockId, usize, usize)>, usize), String> {
+    let outer_iv = forest.loops[outer_idx]
+        .iv
+        .ok_or("outer loop has no induction variable")?;
+    if outer_iv.bound.is_none() {
+        return Err("outer loop bound unknown; cannot clamp".into());
+    }
+    let inner_iv = forest.loops[inner_idx]
+        .iv
+        .ok_or("inner loop has no induction variable")?;
+
+    let slice =
+        extract_slice(func, forest, defs, spec.load, outer_idx).map_err(|e| e.to_string())?;
+    // The only IVs the clone can substitute are the outer and inner ones.
+    if slice
+        .ivs
+        .iter()
+        .any(|&(_, phi)| phi != outer_iv.phi && phi != inner_iv.phi)
+    {
+        return Err("slice depends on an unrelated loop's IV".into());
+    }
+
+    // The inner loop's *initial value* may itself depend on the outer IV
+    // (e.g. `row_ptr[frontier[fi]]` in BFS): its defining expression must
+    // be re-evaluated at the future outer iteration too.
+    let init_parts = match inner_iv.init {
+        Operand::Imm(_) => crate::slice::ExprSlice::default(),
+        reg @ Operand::Reg(_) => {
+            let p = crate::slice::expr_slice(func, forest, defs, reg, outer_idx)
+                .map_err(|e| e.to_string())?;
+            if p.ivs.iter().any(|&(_, phi)| phi != outer_iv.phi) {
+                return Err("inner-loop init depends on an unrelated IV".into());
+            }
+            p
+        }
+    };
+
+    // Insertion point: the inner loop's pre-header — the block inside the
+    // outer loop that branches into the inner loop — before its terminator.
+    let inner_header = forest.loops[inner_idx].header;
+    let preheader = find_preheader(func, forest, inner_idx, outer_idx, inner_header)
+        .ok_or("inner loop has no pre-header inside the outer loop")?;
+
+    let mut new_insts: Vec<Inst> = Vec::new();
+    let future = emit_future_index(func, &outer_iv, spec.distance, &mut new_insts);
+
+    // Clone the init expression once, at the future outer iteration.
+    let mut base_subst: Vec<(Reg, Operand)> = vec![(outer_iv.phi, Operand::Reg(future))];
+    clone_insts(func, &init_parts.insts, &mut base_subst, &mut new_insts);
+    let init_val = subst_lookup(&base_subst, inner_iv.init);
+
+    // Sweep the first `fanout` inner iterations of the future outer
+    // iteration (§3.5: "%iv2 is swept from 0 to the average trip count").
+    // Instructions already cloned for the init expression are reused.
+    let addr_only: Vec<InstPos> = slice
+        .insts
+        .iter()
+        .copied()
+        .filter(|p| !init_parts.insts.contains(p))
+        .collect();
+    // When the load walks memory contiguously in the inner IV (affine
+    // address, small stride) one prefetch covers a whole line: collapse
+    // the sweep accordingly.
+    let fanout_iters = spec.fanout.max(1);
+    let load_addr = {
+        let (lb, li) = slice.load;
+        let Inst::Load { addr, .. } = &func.block(lb).insts[li.0 as usize] else {
+            unreachable!("slice target is a load")
+        };
+        *addr
+    };
+    let (npf, kstep) = match crate::slice::affine_stride(func, defs, load_addr, inner_iv.phi) {
+        Some(0) => (1, 1),
+        Some(s) => {
+            let s = s.unsigned_abs().max(1);
+            let iters_per_line = (64 / s).max(1);
+            (fanout_iters.div_ceil(iters_per_line), iters_per_line)
+        }
+        None => (fanout_iters, 1),
+    };
+    for j in 0..npf {
+        let k = j * kstep;
+        // Inner IV value at inner iteration k: init*m + a.
+        let (m, a) = inner_iv.update.advance_by(k);
+        let inner_val = match init_val {
+            Operand::Imm(v) => Operand::Imm(v.wrapping_mul(m).wrapping_add(a)),
+            Operand::Reg(_) => {
+                let mut cur = init_val;
+                if m != 1 {
+                    let r = func.fresh_reg();
+                    new_insts.push(Inst::Bin {
+                        dst: r,
+                        op: BinOp::Mul,
+                        a: cur,
+                        b: Operand::Imm(m),
+                    });
+                    cur = Operand::Reg(r);
+                }
+                if a != 0 {
+                    let r = func.fresh_reg();
+                    new_insts.push(Inst::Bin {
+                        dst: r,
+                        op: BinOp::Add,
+                        a: cur,
+                        b: Operand::Imm(a),
+                    });
+                    cur = Operand::Reg(r);
+                }
+                cur
+            }
+        };
+        let mut subst = base_subst.clone();
+        subst.push((inner_iv.phi, inner_val));
+        let per_k = SliceInfo {
+            insts: addr_only.clone(),
+            load: slice.load,
+            ivs: slice.ivs.clone(),
+            intermediate_loads: slice.intermediate_loads,
+        };
+        clone_slice(func, &per_k, &subst, &mut new_insts);
+    }
+
+    let at = func.block(preheader).insts.len();
+    let n = new_insts.len();
+    func.block_mut(preheader).insts.splice(at..at, new_insts);
+    Ok((vec![(preheader, at, n)], n))
+}
+
+/// The block inside `outer` (but outside `inner`) that branches to the
+/// inner loop's header or guard.
+fn find_preheader(
+    func: &Function,
+    forest: &LoopForest,
+    inner_idx: usize,
+    outer_idx: usize,
+    inner_header: BlockId,
+) -> Option<BlockId> {
+    let inner = &forest.loops[inner_idx];
+    let outer = &forest.loops[outer_idx];
+    for (b, block) in func.iter_blocks() {
+        if inner.contains(b) || !outer.contains(b) {
+            continue;
+        }
+        let hits_inner = match &block.term {
+            Terminator::Br { target } => *target == inner_header,
+            Terminator::CondBr { then_, else_, .. } => {
+                *then_ == inner_header || *else_ == inner_header
+            }
+            Terminator::Ret { .. } => false,
+        };
+        if hits_inner {
+            return Some(b);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_lir::verify::verify_module;
+    use apt_lir::{FunctionBuilder, Width};
+
+    /// `for i { s += T[B[i]] }`.
+    fn indirect_module() -> Module {
+        let mut m = Module::new("t");
+        let f = m.add_function("k", &["t", "b", "n"]);
+        {
+            let mut bd = FunctionBuilder::new(m.function_mut(f));
+            let (t, bb, n) = (bd.param(0), bd.param(1), bd.param(2));
+            let s = bd.loop_up_reduce(0, n, 1, 0, |bd, iv, acc| {
+                let bi = bd.load_elem(bb, iv, Width::W4, false);
+                let v = bd.load_elem(t, bi, Width::W4, false);
+                bd.add(acc, v).into()
+            });
+            bd.ret(Some(s));
+        }
+        m
+    }
+
+    /// Nested: `for j { b0 = BO[j]; for i { s += T[B[i] + b0] } }`.
+    fn nested_module() -> Module {
+        let mut m = Module::new("t");
+        let f = m.add_function("k", &["t", "bi", "bo", "n", "inner"]);
+        {
+            let mut bd = FunctionBuilder::new(m.function_mut(f));
+            let (t, bi, bo, n, inner) = (
+                bd.param(0),
+                bd.param(1),
+                bd.param(2),
+                bd.param(3),
+                bd.param(4),
+            );
+            bd.loop_up(0, n, 1, |bd, j| {
+                let b0 = bd.load_elem(bo, j, Width::W4, false);
+                bd.loop_up(0, inner, 1, |bd, i| {
+                    let x = bd.load_elem(bi, i, Width::W4, false);
+                    let idx = bd.add(x, b0);
+                    let _ = bd.load_elem(t, idx, Width::W4, false);
+                });
+            });
+            bd.ret(None::<Operand>);
+        }
+        m
+    }
+
+    fn count_prefetches(m: &Module) -> usize {
+        m.iter_functions()
+            .flat_map(|(_, f)| f.blocks.iter())
+            .flat_map(|b| b.insts.iter())
+            .filter(|i| matches!(i, Inst::Prefetch { .. }))
+            .count()
+    }
+
+    #[test]
+    fn aj_injects_one_prefetch_for_indirect_load() {
+        let mut m = indirect_module();
+        let report = ainsworth_jones(&mut m, 32);
+        assert_eq!(report.injected.len(), 1);
+        assert_eq!(report.skipped.len(), 0);
+        assert_eq!(count_prefetches(&m), 1);
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn aj_detection_skips_direct_loads() {
+        let m = indirect_module();
+        let found = detect_indirect_loads(&m);
+        // Only T[B[i]] qualifies, not B[i].
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn injected_clamp_uses_min() {
+        let mut m = indirect_module();
+        ainsworth_jones(&mut m, 32);
+        let has_min = m
+            .iter_functions()
+            .flat_map(|(_, f)| f.blocks.iter())
+            .flat_map(|b| b.insts.iter())
+            .any(|i| {
+                matches!(
+                    i,
+                    Inst::Bin {
+                        op: BinOp::MinS,
+                        ..
+                    }
+                )
+            });
+        assert!(has_min, "prefetch index must be clamped");
+    }
+
+    #[test]
+    fn nested_inner_injection_verifies() {
+        let mut m = nested_module();
+        let report = ainsworth_jones(&mut m, 16);
+        assert_eq!(report.injected.len(), 1);
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn nested_outer_injection_verifies() {
+        let mut m = nested_module();
+        let loads = detect_indirect_loads(&m);
+        assert_eq!(loads.len(), 1);
+        let (func, load) = loads[0];
+        let report = inject_prefetches(
+            &mut m,
+            &[InjectionSpec {
+                func,
+                load,
+                distance: 2,
+                site: Site::Outer,
+                fanout: 4,
+                fallback_inner_distance: None,
+            }],
+        );
+        assert_eq!(report.injected.len(), 1, "{:?}", report.skipped);
+        // One prefetch per fanout step.
+        assert_eq!(count_prefetches(&m), 4);
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn outer_injection_without_parent_is_skipped() {
+        let mut m = indirect_module();
+        let loads = detect_indirect_loads(&m);
+        let (func, load) = loads[0];
+        let report = inject_prefetches(
+            &mut m,
+            &[InjectionSpec {
+                func,
+                load,
+                distance: 2,
+                site: Site::Outer,
+                fanout: 1,
+                fallback_inner_distance: None,
+            }],
+        );
+        assert_eq!(report.injected.len(), 0);
+        assert_eq!(report.skipped.len(), 1);
+        assert!(report.skipped[0].reason.contains("outer"));
+    }
+
+    #[test]
+    fn duplicate_specs_deduplicated() {
+        let mut m = indirect_module();
+        let loads = detect_indirect_loads(&m);
+        let (func, load) = loads[0];
+        let spec = InjectionSpec {
+            func,
+            load,
+            distance: 8,
+            site: Site::Inner,
+            fanout: 1,
+            fallback_inner_distance: None,
+        };
+        let report = inject_prefetches(&mut m, &[spec, spec]);
+        assert_eq!(report.injected.len(), 1);
+        assert_eq!(count_prefetches(&m), 1);
+    }
+
+    #[test]
+    fn geometric_loop_injection_verifies() {
+        // for (i = 1; i < n; i *= 2) { v = T[B[i]] }.
+        let mut m = Module::new("t");
+        let f = m.add_function("k", &["t", "b", "n"]);
+        {
+            let mut bd = FunctionBuilder::new(m.function_mut(f));
+            let (t, bb, n) = (bd.param(0), bd.param(1), bd.param(2));
+            bd.loop_geometric(1, n, 2, |bd, iv| {
+                let x = bd.load_elem(bb, iv, Width::W4, false);
+                let _ = bd.load_elem(t, x, Width::W4, false);
+            });
+            bd.ret(None::<Operand>);
+        }
+        let report = ainsworth_jones(&mut m, 2);
+        assert_eq!(report.injected.len(), 1, "{:?}", report.skipped);
+        verify_module(&m).unwrap();
+        // Distance 2 on a ×2 loop means iv*4: a Mul by 4 must appear.
+        let has_mul4 = m
+            .iter_functions()
+            .flat_map(|(_, f)| f.blocks.iter())
+            .flat_map(|b| b.insts.iter())
+            .any(|i| {
+                matches!(
+                    i,
+                    Inst::Bin {
+                        op: BinOp::Mul,
+                        b: Operand::Imm(4),
+                        ..
+                    }
+                )
+            });
+        assert!(has_mul4);
+    }
+
+    #[test]
+    fn report_counts_added_instructions() {
+        let mut m = indirect_module();
+        let report = ainsworth_jones(&mut m, 32);
+        assert!(report.insts_added() >= 7);
+    }
+}

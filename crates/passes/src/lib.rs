@@ -1,0 +1,26 @@
+//! Compiler passes for automated software prefetching.
+//!
+//! Implements both prefetch-injection schemes the paper evaluates:
+//!
+//! * [`inject::ainsworth_jones`] — the static state of the art (CGO'17):
+//!   find every indirect load inside a loop, extract its load-slice by
+//!   backward data-dependence search up to the loop induction PHIs, and
+//!   inject an inner-loop prefetch at a single compile-time distance;
+//! * [`inject::inject_prefetches`] — APT-GET's profile-guided variant
+//!   (§3.5): per-load distances, inner *or outer* injection sites, clamped
+//!   prefetch indices, non-canonical induction variables and multi-exit
+//!   loops.
+//!
+//! The analyses ([`loops`], [`slice`]) are shared by both.
+
+pub mod inject;
+pub mod loops;
+pub mod opt;
+pub mod slice;
+
+pub use inject::{
+    ainsworth_jones, detect_indirect_loads, inject_prefetches, InjectionReport, InjectionSpec, Site,
+};
+pub use loops::{analyze_loops, IvUpdate, LoopForest, LoopInfo};
+pub use opt::{optimize_module, OptStats};
+pub use slice::{extract_slice, SliceError, SliceInfo};

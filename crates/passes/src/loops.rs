@@ -1,0 +1,399 @@
+//! Natural-loop analysis: loop forest, induction variables, bounds.
+
+use std::collections::BTreeSet;
+
+use apt_lir::cfg::Cfg;
+use apt_lir::{BinOp, BlockId, Function, ICmpPred, Inst, InstId, Operand, Reg, Terminator};
+
+/// How the induction variable advances each iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IvUpdate {
+    /// `iv += step` (canonical).
+    Add(u64),
+    /// `iv *= factor` (non-canonical, §3.5: `i *= 2`).
+    Mul(u64),
+    /// `iv <<= k` (non-canonical).
+    Shl(u64),
+}
+
+impl IvUpdate {
+    /// The induction value `distance` iterations ahead of `iv`, expressed
+    /// as `(multiplier, addend)`: `future = iv * multiplier + addend`.
+    pub fn advance_by(self, distance: u64) -> (u64, u64) {
+        match self {
+            IvUpdate::Add(step) => (1, step.wrapping_mul(distance)),
+            IvUpdate::Mul(factor) => {
+                let mut m = 1u64;
+                for _ in 0..distance.min(63) {
+                    m = m.saturating_mul(factor);
+                }
+                (m, 0)
+            }
+            IvUpdate::Shl(k) => {
+                let shift = (k.saturating_mul(distance)).min(63);
+                (1u64 << shift, 0)
+            }
+        }
+    }
+}
+
+/// A recognised induction variable of a loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InductionVar {
+    /// The φ register (lives in the loop header).
+    pub phi: Reg,
+    /// Initial value on loop entry.
+    pub init: Operand,
+    /// Per-iteration update.
+    pub update: IvUpdate,
+    /// Register holding the updated value (`iv.next`).
+    pub next: Reg,
+    /// Loop bound compared against on the back edge, if recognisable:
+    /// `(bound, true)` when the comparison is on `iv.next`, `(bound,
+    /// false)` when on `iv` itself.
+    pub bound: Option<Operand>,
+}
+
+/// One natural loop.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    /// Loop header (the back-edge target; for rotated loops also the body).
+    pub header: BlockId,
+    /// Back-edge sources.
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop.
+    pub blocks: BTreeSet<BlockId>,
+    /// Index of the enclosing loop in the forest, if any.
+    pub parent: Option<usize>,
+    /// Nesting depth (outermost = 1).
+    pub depth: u32,
+    /// The primary induction variable, if recognised.
+    pub iv: Option<InductionVar>,
+}
+
+impl LoopInfo {
+    /// True if `b` belongs to this loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.contains(&b)
+    }
+}
+
+/// All loops of a function, sorted outer-to-inner (parents precede
+/// children).
+#[derive(Debug, Clone)]
+pub struct LoopForest {
+    pub loops: Vec<LoopInfo>,
+    /// Innermost loop containing each block, if any.
+    innermost: Vec<Option<usize>>,
+}
+
+impl LoopForest {
+    /// Innermost loop containing block `b`.
+    pub fn innermost_of(&self, b: BlockId) -> Option<usize> {
+        self.innermost[b.0 as usize]
+    }
+
+    /// The parent loop of loop `i`, if any.
+    pub fn parent_of(&self, i: usize) -> Option<usize> {
+        self.loops[i].parent
+    }
+}
+
+/// Computes the loop forest of `func`.
+pub fn analyze_loops(func: &Function) -> LoopForest {
+    let cfg = Cfg::build(func);
+    // Group back edges by header.
+    let mut by_header: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+    for (tail, header) in cfg.back_edges() {
+        match by_header.iter_mut().find(|(h, _)| *h == header) {
+            Some((_, tails)) => tails.push(tail),
+            None => by_header.push((header, vec![tail])),
+        }
+    }
+
+    let mut loops: Vec<LoopInfo> = Vec::new();
+    for (header, latches) in by_header {
+        let blocks = natural_loop_blocks(&cfg, header, &latches);
+        loops.push(LoopInfo {
+            header,
+            latches,
+            blocks,
+            parent: None,
+            depth: 0,
+            iv: None,
+        });
+    }
+
+    // Sort by size descending so parents precede children, then link
+    // parents (smallest enclosing loop with a strict superset of blocks).
+    loops.sort_by(|a, b| b.blocks.len().cmp(&a.blocks.len()));
+    for i in 0..loops.len() {
+        let mut parent: Option<usize> = None;
+        for j in (0..i).rev() {
+            if loops[j].blocks.is_superset(&loops[i].blocks) && loops[j].header != loops[i].header {
+                parent = Some(match parent {
+                    None => j,
+                    Some(p) if loops[j].blocks.len() <= loops[p].blocks.len() => j,
+                    Some(p) => p,
+                });
+            }
+        }
+        loops[i].parent = parent;
+        loops[i].depth = match parent {
+            None => 1,
+            Some(p) => loops[p].depth + 1,
+        };
+    }
+
+    // Innermost map: later (smaller) loops override earlier ones.
+    let mut innermost = vec![None; func.blocks.len()];
+    for (i, l) in loops.iter().enumerate() {
+        for b in &l.blocks {
+            innermost[b.0 as usize] = Some(i);
+        }
+    }
+
+    // Induction variables.
+    for i in 0..loops.len() {
+        loops[i].iv = find_induction_var(func, &loops[i]);
+    }
+
+    LoopForest { loops, innermost }
+}
+
+fn natural_loop_blocks(cfg: &Cfg, header: BlockId, latches: &[BlockId]) -> BTreeSet<BlockId> {
+    let mut blocks: BTreeSet<BlockId> = BTreeSet::new();
+    blocks.insert(header);
+    let mut work: Vec<BlockId> = Vec::new();
+    for &l in latches {
+        if blocks.insert(l) {
+            work.push(l);
+        }
+    }
+    while let Some(b) = work.pop() {
+        for &p in &cfg.preds[b.0 as usize] {
+            if blocks.insert(p) {
+                work.push(p);
+            }
+        }
+    }
+    blocks
+}
+
+/// Looks up the instruction defining `r`, if it is defined in `func`.
+fn def_of(func: &Function, r: Reg) -> Option<(BlockId, InstId, &Inst)> {
+    for (b, block) in func.iter_blocks() {
+        for (i, inst) in block.insts.iter().enumerate() {
+            if inst.dst() == Some(r) {
+                return Some((b, InstId(i as u32), inst));
+            }
+        }
+    }
+    None
+}
+
+/// Recognises the loop's primary induction variable: a header φ whose
+/// in-loop incoming is `phi ⊕ constant` for ⊕ ∈ {+, *, <<}.
+fn find_induction_var(func: &Function, l: &LoopInfo) -> Option<InductionVar> {
+    let header = func.block(l.header);
+    for inst in header.insts.iter().take_while(|i| i.is_phi()) {
+        let Inst::Phi { dst, incomings } = inst else {
+            unreachable!()
+        };
+        let mut init: Option<Operand> = None;
+        let mut latch_val: Option<Operand> = None;
+        for (pred, op) in incomings {
+            if l.contains(*pred) {
+                latch_val = Some(*op);
+            } else {
+                init = Some(*op);
+            }
+        }
+        let (Some(init), Some(Operand::Reg(next))) = (init, latch_val) else {
+            continue;
+        };
+        let Some((def_block, _, def)) = def_of(func, next) else {
+            continue;
+        };
+        if !l.contains(def_block) {
+            continue;
+        }
+        let update = match def {
+            Inst::Bin { op, a, b, .. } => {
+                let (x, y) = (*a, *b);
+                let matches_phi = |o: Operand| o == Operand::Reg(*dst);
+                let const_other = |o: Operand, other: Operand| {
+                    if matches_phi(o) {
+                        other.imm()
+                    } else {
+                        None
+                    }
+                };
+                match op {
+                    BinOp::Add => const_other(x, y)
+                        .or_else(|| const_other(y, x))
+                        .map(IvUpdate::Add),
+                    BinOp::Mul => const_other(x, y)
+                        .or_else(|| const_other(y, x))
+                        .map(IvUpdate::Mul),
+                    BinOp::Shl => const_other(x, y).map(IvUpdate::Shl),
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        let Some(update) = update else { continue };
+
+        let bound = find_bound(func, l, *dst, next);
+        return Some(InductionVar {
+            phi: *dst,
+            init,
+            update,
+            next,
+            bound,
+        });
+    }
+    None
+}
+
+/// Finds the loop bound from a latch terminator of the form
+/// `br (icmp lt iv.next, bound), header, exit` (or on `iv` itself).
+fn find_bound(func: &Function, l: &LoopInfo, phi: Reg, next: Reg) -> Option<Operand> {
+    for &latch in &l.latches {
+        let term = &func.block(latch).term;
+        let Terminator::CondBr { cond, .. } = term else {
+            continue;
+        };
+        let Operand::Reg(c) = cond else { continue };
+        let Some((_, _, def)) = def_of(func, *c) else {
+            continue;
+        };
+        if let Inst::Bin {
+            op: BinOp::ICmp(pred),
+            a,
+            b,
+            ..
+        } = def
+        {
+            let on_iv = |o: Operand| o == Operand::Reg(next) || o == Operand::Reg(phi);
+            match pred {
+                ICmpPred::Lts | ICmpPred::Ltu | ICmpPred::Les | ICmpPred::Leu => {
+                    if on_iv(*a) {
+                        return Some(*b);
+                    }
+                }
+                ICmpPred::Gts | ICmpPred::Gtu | ICmpPred::Ges | ICmpPred::Geu => {
+                    if on_iv(*b) {
+                        return Some(*a);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_lir::{FunctionBuilder, Module, Width};
+
+    fn nested_module() -> Module {
+        let mut m = Module::new("t");
+        let f = m.add_function("k", &["a", "n", "m"]);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let (a, n, mm) = (b.param(0), b.param(1), b.param(2));
+            b.loop_up(0, n, 1, |b, i| {
+                b.loop_up(0, mm, 1, |b, j| {
+                    let idx = b.add(i, j);
+                    let v = b.load_elem(a, idx, Width::W8, false);
+                    b.store_elem(a, j, v, Width::W8);
+                });
+            });
+            b.ret(None::<Operand>);
+        }
+        m
+    }
+
+    #[test]
+    fn finds_two_nested_loops() {
+        let m = nested_module();
+        let forest = analyze_loops(m.function(apt_lir::FuncId(0)));
+        assert_eq!(forest.loops.len(), 2);
+        let outer = &forest.loops[0];
+        let inner = &forest.loops[1];
+        assert_eq!(outer.depth, 1);
+        assert_eq!(inner.depth, 2);
+        assert_eq!(inner.parent, Some(0));
+        assert!(outer.blocks.is_superset(&inner.blocks));
+    }
+
+    #[test]
+    fn recognises_canonical_ivs_and_bounds() {
+        let m = nested_module();
+        let func = m.function(apt_lir::FuncId(0));
+        let forest = analyze_loops(func);
+        for l in &forest.loops {
+            let iv = l.iv.expect("canonical loop has an IV");
+            assert_eq!(iv.update, IvUpdate::Add(1));
+            assert!(iv.bound.is_some());
+            assert_eq!(iv.init, Operand::Imm(0));
+        }
+        // Outer bound is %1 (n), inner bound %2 (m).
+        let outer_bound = forest.loops[0].iv.unwrap().bound.unwrap();
+        let inner_bound = forest.loops[1].iv.unwrap().bound.unwrap();
+        assert_eq!(outer_bound, Operand::Reg(Reg(1)));
+        assert_eq!(inner_bound, Operand::Reg(Reg(2)));
+    }
+
+    #[test]
+    fn innermost_map_points_to_inner_loop() {
+        let m = nested_module();
+        let func = m.function(apt_lir::FuncId(0));
+        let forest = analyze_loops(func);
+        let inner = &forest.loops[1];
+        let idx = forest.innermost_of(inner.header).unwrap();
+        assert_eq!(idx, 1);
+    }
+
+    #[test]
+    fn geometric_iv_recognised() {
+        let mut m = Module::new("t");
+        let f = m.add_function("g", &["n"]);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let n = b.param(0);
+            b.loop_geometric(1, n, 2, |b, iv| {
+                b.prefetch(iv);
+            });
+            b.ret(None::<Operand>);
+        }
+        let forest = analyze_loops(m.function(apt_lir::FuncId(0)));
+        assert_eq!(forest.loops.len(), 1);
+        let iv = forest.loops[0].iv.unwrap();
+        assert_eq!(iv.update, IvUpdate::Mul(2));
+    }
+
+    #[test]
+    fn straight_line_code_has_no_loops() {
+        let mut m = Module::new("t");
+        let f = m.add_function("s", &[]);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let v = b.add(1, 2);
+            b.ret(Some(v));
+        }
+        let forest = analyze_loops(m.function(apt_lir::FuncId(0)));
+        assert!(forest.loops.is_empty());
+    }
+
+    #[test]
+    fn iv_advance_math() {
+        assert_eq!(IvUpdate::Add(1).advance_by(16), (1, 16));
+        assert_eq!(IvUpdate::Add(4).advance_by(8), (1, 32));
+        assert_eq!(IvUpdate::Mul(2).advance_by(3), (8, 0));
+        assert_eq!(IvUpdate::Shl(1).advance_by(4), (16, 0));
+    }
+}

@@ -1,0 +1,395 @@
+//! Classic clean-up passes run after prefetch injection, standing in for
+//! the `-O3` re-compile of the paper's toolchain: constant folding,
+//! loop-invariant code motion, and dead-code elimination.
+//!
+//! Their practical effect here is to keep the injected prefetch slices
+//! lean — e.g. the `bound − 1` clamp operand is loop-invariant and LICM
+//! hoists it out of the hot loop.
+
+use std::collections::HashMap;
+
+use apt_lir::eval::{eval_bin, eval_un};
+use apt_lir::{BlockId, Function, Inst, Module, Operand, Reg, Terminator};
+
+use crate::loops::{analyze_loops, LoopInfo};
+
+/// Statistics from one optimisation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Instructions folded to constants.
+    pub folded: u64,
+    /// Instructions hoisted out of loops.
+    pub hoisted: u64,
+    /// Dead instructions removed.
+    pub removed: u64,
+}
+
+impl OptStats {
+    fn changed(&self) -> bool {
+        self.folded + self.hoisted + self.removed > 0
+    }
+
+    fn add(&mut self, other: OptStats) {
+        self.folded += other.folded;
+        self.hoisted += other.hoisted;
+        self.removed += other.removed;
+    }
+}
+
+/// Runs fold → LICM → DCE to a fixpoint (bounded) on every function.
+pub fn optimize_module(module: &mut Module) -> OptStats {
+    let mut total = OptStats::default();
+    for func in module.functions.iter_mut() {
+        for _round in 0..8 {
+            let mut round = OptStats::default();
+            round.add(constant_fold(func));
+            round.add(licm(func));
+            round.add(dce(func));
+            total.add(round);
+            if !round.changed() {
+                break;
+            }
+        }
+    }
+    total
+}
+
+/// Rewrites every use of `from` to `to` (instructions and terminators).
+fn replace_uses(func: &mut Function, from: Reg, to: Operand) {
+    let rewrite = |op: Operand| if op == Operand::Reg(from) { to } else { op };
+    for block in func.blocks.iter_mut() {
+        for inst in block.insts.iter_mut() {
+            inst.map_operands(rewrite);
+        }
+        match &mut block.term {
+            Terminator::CondBr { cond, .. } => *cond = rewrite(*cond),
+            Terminator::Ret { value: Some(v) } => *v = rewrite(*v),
+            _ => {}
+        }
+    }
+}
+
+/// Folds pure instructions with all-constant operands into immediates.
+pub fn constant_fold(func: &mut Function) -> OptStats {
+    let mut stats = OptStats::default();
+    loop {
+        // (block, index, dst, value) of the next foldable instruction.
+        let mut subst: Option<(BlockId, usize, Reg, u64)> = None;
+        'search: for (bid, block) in func.iter_blocks() {
+            for (idx, inst) in block.insts.iter().enumerate() {
+                let folded = match inst {
+                    Inst::Bin { dst, op, a, b } => match (a.imm(), b.imm()) {
+                        (Some(x), Some(y)) => Some((*dst, eval_bin(*op, x, y))),
+                        _ => None,
+                    },
+                    Inst::Un { dst, op, a } => a.imm().map(|x| (*dst, eval_un(*op, x))),
+                    Inst::Select {
+                        dst,
+                        cond,
+                        if_true,
+                        if_false,
+                    } => match (cond.imm(), if_true.imm(), if_false.imm()) {
+                        (Some(c), Some(t), Some(e)) => Some((*dst, if c != 0 { t } else { e })),
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                if let Some((dst, value)) = folded {
+                    subst = Some((bid, idx, dst, value));
+                    break 'search;
+                }
+            }
+        }
+        match subst {
+            Some((bid, idx, reg, value)) => {
+                // Remove the instruction *before* rewriting uses, or the
+                // scan would find the same constant instruction forever.
+                func.block_mut(bid).insts.remove(idx);
+                replace_uses(func, reg, Operand::Imm(value));
+                stats.folded += 1;
+            }
+            None => return stats,
+        }
+    }
+}
+
+/// True if the instruction can be removed/hoisted freely: pure, and never
+/// faults. Plain loads are excluded (hoisting one past its loop guard
+/// could fault); speculative loads are non-faulting by definition but are
+/// left in place anyway — their address is rarely invariant.
+fn is_speculatable(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::Bin { .. } | Inst::Un { .. } | Inst::Select { .. }
+    )
+}
+
+/// True if the instruction has no side effects (may be removed if unused).
+fn is_pure(inst: &Inst) -> bool {
+    !matches!(inst, Inst::Store { .. } | Inst::Prefetch { .. })
+}
+
+/// Removes pure instructions whose results are never used.
+pub fn dce(func: &mut Function) -> OptStats {
+    let mut stats = OptStats::default();
+    loop {
+        // Collect all used registers.
+        let mut used: HashMap<Reg, ()> = HashMap::new();
+        for block in func.blocks.iter() {
+            for inst in block.insts.iter() {
+                inst.for_each_operand(|op| {
+                    if let Operand::Reg(r) = op {
+                        used.insert(r, ());
+                    }
+                });
+            }
+            block.term.for_each_operand(|op| {
+                if let Operand::Reg(r) = op {
+                    used.insert(r, ());
+                }
+            });
+        }
+        let mut removed_any = false;
+        for block in func.blocks.iter_mut() {
+            let before = block.insts.len();
+            block.insts.retain(|inst| {
+                let dead = is_pure(inst)
+                    && !matches!(inst, Inst::Load { spec: false, .. })
+                    && inst.dst().map(|d| !used.contains_key(&d)).unwrap_or(false);
+                !dead
+            });
+            let removed = before - block.insts.len();
+            stats.removed += removed as u64;
+            removed_any |= removed > 0;
+        }
+        if !removed_any {
+            return stats;
+        }
+    }
+}
+
+/// Finds the unique predecessor of a loop header outside the loop.
+fn preheader_of(func: &Function, l: &LoopInfo) -> Option<BlockId> {
+    let mut pre = None;
+    for (b, block) in func.iter_blocks() {
+        if l.contains(b) {
+            continue;
+        }
+        if block.term.successors().contains(&l.header) {
+            if pre.is_some() {
+                return None; // Multiple outside predecessors.
+            }
+            pre = Some(b);
+        }
+    }
+    pre
+}
+
+/// Hoists loop-invariant speculatable instructions to loop pre-headers.
+pub fn licm(func: &mut Function) -> OptStats {
+    let mut stats = OptStats::default();
+    loop {
+        let forest = analyze_loops(func);
+        // Definition → block map for invariance checks.
+        let mut def_block: HashMap<Reg, BlockId> = HashMap::new();
+        for (b, block) in func.iter_blocks() {
+            for inst in &block.insts {
+                if let Some(d) = inst.dst() {
+                    def_block.insert(d, b);
+                }
+            }
+        }
+
+        // Innermost-first (deepest loops first) so values bubble outwards
+        // across rounds.
+        let mut order: Vec<usize> = (0..forest.loops.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(forest.loops[i].depth));
+
+        let mut moved: Option<(BlockId, usize, BlockId)> = None;
+        'outer: for &li in &order {
+            let l = &forest.loops[li];
+            let Some(pre) = preheader_of(func, l) else {
+                continue;
+            };
+            for &b in &l.blocks {
+                let block = func.block(b);
+                for (i, inst) in block.insts.iter().enumerate() {
+                    if !is_speculatable(inst) {
+                        continue;
+                    }
+                    let mut invariant = true;
+                    inst.for_each_operand(|op| {
+                        if let Operand::Reg(r) = op {
+                            if let Some(db) = def_block.get(&r) {
+                                if l.contains(*db) {
+                                    invariant = false;
+                                }
+                            }
+                        }
+                    });
+                    if invariant {
+                        moved = Some((b, i, pre));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+
+        match moved {
+            Some((b, i, pre)) => {
+                let inst = func.block_mut(b).insts.remove(i);
+                let at = func.block(pre).insts.len();
+                func.block_mut(pre).insts.insert(at, inst);
+                stats.hoisted += 1;
+            }
+            None => return stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_lir::verify::verify_module;
+    use apt_lir::{BinOp, FunctionBuilder, Width};
+
+    #[test]
+    fn folds_constant_chains() {
+        let mut m = Module::new("t");
+        let f = m.add_function("k", &[]);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let x = b.add(2u64, 3u64);
+            let y = b.mul(x, 4u64);
+            b.ret(Some(y));
+        }
+        let stats = optimize_module(&mut m);
+        assert_eq!(stats.folded, 2);
+        // Folding removes the instruction itself; nothing is left for DCE.
+        assert_eq!(stats.removed, 0);
+        verify_module(&m).unwrap();
+        let func = m.function(apt_lir::FuncId(0));
+        assert_eq!(func.inst_count(), 0);
+        assert_eq!(
+            func.block(apt_lir::BlockId(0)).term,
+            apt_lir::Terminator::Ret {
+                value: Some(Operand::Imm(20))
+            }
+        );
+    }
+
+    #[test]
+    fn dce_keeps_side_effects_and_plain_loads() {
+        let mut m = Module::new("t");
+        let f = m.add_function("k", &["p"]);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let p = b.param(0);
+            let _unused_alu = b.add(p, 1); // Dead: removable.
+            let _unused_load = b.load(p, Width::W8, false); // Kept: may fault.
+            b.store(p, 7u64, Width::W8); // Kept: side effect.
+            b.prefetch(p); // Kept: side effect.
+            b.ret(None::<Operand>);
+        }
+        let stats = dce(&mut m.functions[0]);
+        assert_eq!(stats.removed, 1);
+        assert_eq!(m.function(apt_lir::FuncId(0)).inst_count(), 3);
+    }
+
+    #[test]
+    fn licm_hoists_invariant_arithmetic() {
+        // for i { y = n*8; use(y+i) } — n*8 is invariant.
+        let mut m = Module::new("t");
+        let f = m.add_function("k", &["a", "n"]);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let (a, n) = (b.param(0), b.param(1));
+            b.loop_up(0, n, 1, |b, i| {
+                let y = b.mul(n, 8u64);
+                let idx = b.add(y, i);
+                let v = b.load_elem(a, idx, Width::W8, false);
+                b.store_elem(a, i, v, Width::W8);
+            });
+            b.ret(None::<Operand>);
+        }
+        let before_body = m
+            .function(apt_lir::FuncId(0))
+            .block(apt_lir::BlockId(1))
+            .insts
+            .len();
+        let stats = licm(&mut m.functions[0]);
+        assert!(stats.hoisted >= 1);
+        verify_module(&m).unwrap();
+        let after_body = m
+            .function(apt_lir::FuncId(0))
+            .block(apt_lir::BlockId(1))
+            .insts
+            .len();
+        assert!(after_body < before_body);
+        // The hoisted mul now lives in the guard/preheader block.
+        let guard = m.function(apt_lir::FuncId(0)).block(apt_lir::BlockId(0));
+        assert!(guard
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Bin { op: BinOp::Mul, .. })));
+    }
+
+    #[test]
+    fn optimises_injected_prefetch_slices() {
+        // The bound−1 clamp operand of an injected slice is invariant and
+        // must be hoisted.
+        let mut m = Module::new("t");
+        let f = m.add_function("k", &["t", "b", "n"]);
+        {
+            let mut bd = FunctionBuilder::new(m.function_mut(f));
+            let (t, bb, n) = (bd.param(0), bd.param(1), bd.param(2));
+            bd.loop_up(0, n, 1, |bd, i| {
+                let x = bd.load_elem(bb, i, Width::W4, false);
+                let _ = bd.load_elem(t, x, Width::W4, false);
+            });
+            bd.ret(None::<Operand>);
+        }
+        crate::inject::ainsworth_jones(&mut m, 16);
+        // The loop body lives in bb1 (guard = bb0, exit = bb2).
+        let body_len =
+            |m: &Module| m.function(apt_lir::FuncId(0)).block(apt_lir::BlockId(1)).insts.len();
+        let before = body_len(&m);
+        let stats = optimize_module(&mut m);
+        assert!(stats.hoisted >= 1, "{stats:?}");
+        verify_module(&m).unwrap();
+        // Hoisting shrinks the hot loop body (the clamp's `bound − 1`).
+        assert!(body_len(&m) < before, "{} !< {}", body_len(&m), before);
+    }
+
+    #[test]
+    fn optimisation_preserves_semantics_shape() {
+        // Folding + DCE + LICM must leave a verifiable module with the
+        // same observable structure (stores/prefetches intact).
+        let mut m = Module::new("t");
+        let f = m.add_function("k", &["a", "n"]);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let (a, n) = (b.param(0), b.param(1));
+            b.loop_up(0, n, 1, |b, i| {
+                let c = b.add(2u64, 2u64); // Foldable.
+                let inv = b.mul(n, c); // Then hoistable.
+                let idx = b.add(inv, i);
+                b.prefetch(idx);
+                b.store_elem(a, i, idx, Width::W8);
+            });
+            b.ret(None::<Operand>);
+        }
+        let count_effects = |m: &Module| {
+            m.functions[0]
+                .blocks
+                .iter()
+                .flat_map(|b| b.insts.iter())
+                .filter(|i| matches!(i, Inst::Store { .. } | Inst::Prefetch { .. }))
+                .count()
+        };
+        let before = count_effects(&m);
+        optimize_module(&mut m);
+        verify_module(&m).unwrap();
+        assert_eq!(count_effects(&m), before);
+    }
+}

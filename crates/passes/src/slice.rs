@@ -1,0 +1,555 @@
+//! Load-slice extraction: the backward data-dependence search of
+//! Ainsworth & Jones, extended for outer-loop scopes (§3.5).
+//!
+//! Starting from a load's address, we walk the SSA use-def chain backwards.
+//! The walk terminates at:
+//!
+//! * **induction-variable φs** of the scope loop or of loops nested inside
+//!   it — these are the substitution points where the prefetch version adds
+//!   the prefetch distance;
+//! * **loop-invariant leaves** — values defined outside the scope loop
+//!   (including function parameters and immediates), whose registers the
+//!   prefetch slice reuses directly;
+//!
+//! and fails on any φ inside the scope that is not a recognised induction
+//! variable (the pattern the pass cannot reason about).
+
+use std::collections::HashMap;
+
+use apt_lir::{BlockId, Function, Inst, InstId, Operand, Reg};
+
+use crate::loops::LoopForest;
+
+/// Position of an instruction inside a function.
+pub type InstPos = (BlockId, InstId);
+
+/// Why a load cannot be sliced for prefetching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SliceError {
+    /// The position does not name a load instruction.
+    NotALoad,
+    /// The load is not inside the requested scope loop.
+    NotInLoop,
+    /// The walk reached a φ that is not a recognised induction variable.
+    UnsupportedPhi(Reg),
+    /// The scope loop has no recognisable induction variable.
+    NoInductionVar,
+    /// The walk never reached an induction variable (the address is
+    /// loop-invariant — nothing to prefetch ahead of).
+    NoIvDependence,
+}
+
+impl std::fmt::Display for SliceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SliceError::NotALoad => write!(f, "not a load instruction"),
+            SliceError::NotInLoop => write!(f, "load is outside the scope loop"),
+            SliceError::UnsupportedPhi(r) => write!(f, "unsupported phi {r} in slice"),
+            SliceError::NoInductionVar => write!(f, "scope loop has no induction variable"),
+            SliceError::NoIvDependence => write!(f, "address does not depend on an IV"),
+        }
+    }
+}
+
+impl std::error::Error for SliceError {}
+
+/// A successfully extracted load slice.
+#[derive(Debug, Clone)]
+pub struct SliceInfo {
+    /// Instructions to clone, in dependency (topological) order; the target
+    /// load itself is *not* included.
+    pub insts: Vec<InstPos>,
+    /// The target load.
+    pub load: InstPos,
+    /// IV φs the slice terminates at: `(loop index in the forest, φ reg)`.
+    pub ivs: Vec<(usize, Reg)>,
+    /// Number of loads among `insts` — the indirection depth. Zero means
+    /// the access is direct (plain strided), which hardware prefetchers
+    /// already cover.
+    pub intermediate_loads: usize,
+}
+
+impl SliceInfo {
+    /// True if the final load's address depends on another load — the
+    /// `A[B[i]]` pattern targeted by software prefetching.
+    pub fn is_indirect(&self) -> bool {
+        self.intermediate_loads > 0
+    }
+}
+
+/// Map from register to its defining instruction position.
+pub struct DefMap {
+    map: HashMap<Reg, InstPos>,
+}
+
+impl DefMap {
+    /// Builds the definition map of `func`.
+    pub fn build(func: &Function) -> DefMap {
+        let mut map = HashMap::new();
+        for (b, block) in func.iter_blocks() {
+            for (i, inst) in block.insts.iter().enumerate() {
+                if let Some(d) = inst.dst() {
+                    map.insert(d, (b, InstId(i as u32)));
+                }
+            }
+        }
+        DefMap { map }
+    }
+
+    /// The position defining `r`, if `r` is not a parameter.
+    pub fn get(&self, r: Reg) -> Option<InstPos> {
+        self.map.get(&r).copied()
+    }
+}
+
+/// A backward expression slice (no target load attached).
+#[derive(Debug, Clone, Default)]
+pub struct ExprSlice {
+    /// Instructions to clone, in dependency (topological) order.
+    pub insts: Vec<InstPos>,
+    /// IV φs the slice terminates at: `(loop index, φ reg)`.
+    pub ivs: Vec<(usize, Reg)>,
+    /// Loads among `insts`.
+    pub loads: usize,
+}
+
+/// Extracts the backward slice of an arbitrary operand relative to the
+/// loop `scope`: every contributing instruction defined inside the scope,
+/// terminating at IV φs (of the scope or loops nested in it) and at
+/// loop-invariant leaves.
+pub fn expr_slice(
+    func: &Function,
+    forest: &LoopForest,
+    defs: &DefMap,
+    root: Operand,
+    scope: usize,
+) -> Result<ExprSlice, SliceError> {
+    let scope_loop = &forest.loops[scope];
+
+    // IV φ registers of the scope loop and every loop nested inside it.
+    let mut iv_phis: Vec<(usize, Reg)> = Vec::new();
+    for (i, l) in forest.loops.iter().enumerate() {
+        if !scope_loop.blocks.is_superset(&l.blocks) {
+            continue;
+        }
+        if let Some(iv) = l.iv {
+            iv_phis.push((i, iv.phi));
+        }
+    }
+
+    let mut visited: HashMap<Reg, ()> = HashMap::new();
+    let mut out = ExprSlice::default();
+
+    // Iterative post-order DFS over the use-def graph.
+    enum Frame {
+        Enter(Reg),
+        Exit(InstPos),
+    }
+    let mut stack: Vec<Frame> = Vec::new();
+    if let Operand::Reg(r) = root {
+        stack.push(Frame::Enter(r));
+    }
+    while let Some(frame) = stack.pop() {
+        match frame {
+            Frame::Enter(r) => {
+                if visited.contains_key(&r) {
+                    continue;
+                }
+                visited.insert(r, ());
+                let Some((db, di)) = defs.get(r) else {
+                    continue; // Function parameter: invariant leaf.
+                };
+                if !scope_loop.contains(db) {
+                    continue; // Defined outside the scope: invariant leaf.
+                }
+                let def = &func.block(db).insts[di.0 as usize];
+                if def.is_phi() {
+                    if let Some(&(li_, phi)) = iv_phis.iter().find(|(_, p)| *p == r) {
+                        if !out.ivs.contains(&(li_, phi)) {
+                            out.ivs.push((li_, phi));
+                        }
+                        continue;
+                    }
+                    return Err(SliceError::UnsupportedPhi(r));
+                }
+                if matches!(def, Inst::Load { .. }) {
+                    out.loads += 1;
+                }
+                stack.push(Frame::Exit((db, di)));
+                def.for_each_operand(|op| {
+                    if let Operand::Reg(r2) = op {
+                        stack.push(Frame::Enter(r2));
+                    }
+                });
+            }
+            Frame::Exit(pos) => out.insts.push(pos),
+        }
+    }
+    Ok(out)
+}
+
+/// Extracts the prefetch slice of the load at `load`, relative to the loop
+/// `scope` (an index into `forest.loops`).
+///
+/// For inner-loop injection, `scope` is the innermost loop containing the
+/// load; for outer-loop injection it is that loop's parent. The returned
+/// slice contains every contributing instruction defined *inside* the scope
+/// loop, so the clone is self-contained at any insertion point dominated by
+/// values defined outside the scope.
+pub fn extract_slice(
+    func: &Function,
+    forest: &LoopForest,
+    defs: &DefMap,
+    load: InstPos,
+    scope: usize,
+) -> Result<SliceInfo, SliceError> {
+    let (lb, li) = load;
+    let inst = func
+        .block(lb)
+        .insts
+        .get(li.0 as usize)
+        .ok_or(SliceError::NotALoad)?;
+    let Inst::Load { addr, .. } = inst else {
+        return Err(SliceError::NotALoad);
+    };
+    let scope_loop = &forest.loops[scope];
+    if !scope_loop.contains(lb) {
+        return Err(SliceError::NotInLoop);
+    }
+    if forest.loops[scope].iv.is_none() {
+        return Err(SliceError::NoInductionVar);
+    }
+
+    let parts = expr_slice(func, forest, defs, *addr, scope)?;
+    if parts.ivs.is_empty() {
+        return Err(SliceError::NoIvDependence);
+    }
+
+    Ok(SliceInfo {
+        insts: parts.insts,
+        load,
+        ivs: parts.ivs,
+        intermediate_loads: parts.loads,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loops::analyze_loops;
+    use apt_lir::{FuncId, FunctionBuilder, Module, Width};
+
+    /// `for i { s += T[B[i]] }` — the canonical indirect pattern.
+    fn indirect_module() -> Module {
+        let mut m = Module::new("t");
+        let f = m.add_function("k", &["t", "b", "n"]);
+        {
+            let mut bd = FunctionBuilder::new(m.function_mut(f));
+            let (t, bb, n) = (bd.param(0), bd.param(1), bd.param(2));
+            let s = bd.loop_up_reduce(0, n, 1, 0, |bd, iv, acc| {
+                let bi = bd.load_elem(bb, iv, Width::W4, false);
+                let v = bd.load_elem(t, bi, Width::W4, false);
+                bd.add(acc, v).into()
+            });
+            bd.ret(Some(s));
+        }
+        m
+    }
+
+    /// Finds the `n`-th load of the function, in program order.
+    fn nth_load(func: &apt_lir::Function, n: usize) -> InstPos {
+        let mut count = 0;
+        for (b, block) in func.iter_blocks() {
+            for (i, inst) in block.insts.iter().enumerate() {
+                if matches!(inst, Inst::Load { .. }) {
+                    if count == n {
+                        return (b, InstId(i as u32));
+                    }
+                    count += 1;
+                }
+            }
+        }
+        panic!("load {n} not found");
+    }
+
+    #[test]
+    fn extracts_indirect_slice() {
+        let m = indirect_module();
+        let func = m.function(FuncId(0));
+        let forest = analyze_loops(func);
+        let defs = DefMap::build(func);
+        let target = nth_load(func, 1); // T[B[i]].
+        let scope = forest.innermost_of(target.0).unwrap();
+        let s = extract_slice(func, &forest, &defs, target, scope).unwrap();
+        assert!(s.is_indirect());
+        assert_eq!(s.intermediate_loads, 1);
+        assert_eq!(s.ivs.len(), 1);
+        // Slice: mul, add (B addr), load B[i], mul, add (T addr) = 5.
+        assert_eq!(s.insts.len(), 5);
+        // Dependency order: every instruction's operands precede it.
+        let positions: Vec<usize> = s.insts.iter().map(|&(_, InstId(i))| i as usize).collect();
+        let mut sorted = positions.clone();
+        sorted.sort_unstable();
+        assert_eq!(positions, sorted, "single-block slice must be in order");
+    }
+
+    #[test]
+    fn direct_load_is_not_indirect() {
+        let m = indirect_module();
+        let func = m.function(FuncId(0));
+        let forest = analyze_loops(func);
+        let defs = DefMap::build(func);
+        let target = nth_load(func, 0); // B[i] — a plain strided load.
+        let scope = forest.innermost_of(target.0).unwrap();
+        let s = extract_slice(func, &forest, &defs, target, scope).unwrap();
+        assert!(!s.is_indirect());
+        assert_eq!(s.intermediate_loads, 0);
+    }
+
+    #[test]
+    fn rejects_non_load_position() {
+        let m = indirect_module();
+        let func = m.function(FuncId(0));
+        let forest = analyze_loops(func);
+        let defs = DefMap::build(func);
+        let e = extract_slice(func, &forest, &defs, (BlockId(1), InstId(0)), 0).unwrap_err();
+        assert_eq!(e, SliceError::NotALoad);
+    }
+
+    #[test]
+    fn rejects_loop_invariant_address() {
+        // for i { v = *p } — address independent of i.
+        let mut m = Module::new("t");
+        let f = m.add_function("k", &["p", "n"]);
+        {
+            let mut bd = FunctionBuilder::new(m.function_mut(f));
+            let (p, n) = (bd.param(0), bd.param(1));
+            bd.loop_up(0, n, 1, |bd, _iv| {
+                let _ = bd.load(p, Width::W8, false);
+            });
+            bd.ret(None::<Operand>);
+        }
+        let func = m.function(FuncId(0));
+        let forest = analyze_loops(func);
+        let defs = DefMap::build(func);
+        let target = nth_load(func, 0);
+        let scope = forest.innermost_of(target.0).unwrap();
+        let e = extract_slice(func, &forest, &defs, target, scope).unwrap_err();
+        assert_eq!(e, SliceError::NoIvDependence);
+    }
+
+    #[test]
+    fn nested_scope_includes_outer_dependence() {
+        // for j { b0 = BO[j]; for i { v = T[B[i] + b0] } }.
+        let mut m = Module::new("t");
+        let f = m.add_function("k", &["t", "bi", "bo", "n", "inner"]);
+        {
+            let mut bd = FunctionBuilder::new(m.function_mut(f));
+            let (t, bi, bo, n, inner) = (
+                bd.param(0),
+                bd.param(1),
+                bd.param(2),
+                bd.param(3),
+                bd.param(4),
+            );
+            bd.loop_up(0, n, 1, |bd, j| {
+                let b0 = bd.load_elem(bo, j, Width::W4, false);
+                bd.loop_up(0, inner, 1, |bd, i| {
+                    let x = bd.load_elem(bi, i, Width::W4, false);
+                    let idx = bd.add(x, b0);
+                    let _ = bd.load_elem(t, idx, Width::W4, false);
+                });
+            });
+            bd.ret(None::<Operand>);
+        }
+        let func = m.function(FuncId(0));
+        let forest = analyze_loops(func);
+        let defs = DefMap::build(func);
+        let target = nth_load(func, 2); // The T load.
+        let inner_idx = forest.innermost_of(target.0).unwrap();
+        let outer_idx = forest.parent_of(inner_idx).unwrap();
+
+        // Inner scope: BO[j] load is an invariant leaf → 1 intermediate load.
+        let s_in = extract_slice(func, &forest, &defs, target, inner_idx).unwrap();
+        assert_eq!(s_in.intermediate_loads, 1);
+        assert_eq!(s_in.ivs.len(), 1);
+
+        // Outer scope: the BO[j] load joins the slice → 2 loads, 2 IVs.
+        let s_out = extract_slice(func, &forest, &defs, target, outer_idx).unwrap();
+        assert_eq!(s_out.intermediate_loads, 2);
+        assert_eq!(s_out.ivs.len(), 2);
+        assert!(s_out.insts.len() > s_in.insts.len());
+    }
+}
+
+/// If `root` is an *affine* function of the φ register `iv` — i.e.
+/// `root = stride · iv + loop-invariant` — returns `stride` (in the units
+/// of the expression, so for a byte address this is the byte stride per
+/// inner iteration). Returns `None` for non-affine chains (e.g. addresses
+/// that go through a load).
+///
+/// Used by outer-loop injection to avoid issuing several prefetches into
+/// the same cache line when an inner loop walks a bucket contiguously.
+pub fn affine_stride(func: &Function, defs: &DefMap, root: Operand, iv: Reg) -> Option<i64> {
+    fn eval(
+        func: &Function,
+        defs: &DefMap,
+        op: Operand,
+        iv: Reg,
+        memo: &mut HashMap<Reg, Option<i64>>,
+        depth: usize,
+    ) -> Option<i64> {
+        if depth > 64 {
+            return None;
+        }
+        let r = match op {
+            Operand::Imm(_) => return Some(0),
+            Operand::Reg(r) => r,
+        };
+        if r == iv {
+            return Some(1);
+        }
+        if let Some(&m) = memo.get(&r) {
+            return m;
+        }
+        memo.insert(r, None); // Cycle guard.
+        let result = (|| -> Option<i64> {
+            let Some((db, di)) = defs.get(r) else {
+                return Some(0); // Parameter: invariant.
+            };
+            let def = &func.block(db).insts[di.0 as usize];
+            use apt_lir::BinOp as B;
+            match def {
+                Inst::Phi { .. } => Some(0), // A different loop's value: constant per inner iteration.
+                Inst::Bin { op, a, b, .. } => {
+                    let ca = eval(func, defs, *a, iv, memo, depth + 1)?;
+                    let cb = eval(func, defs, *b, iv, memo, depth + 1)?;
+                    match op {
+                        B::Add => Some(ca.wrapping_add(cb)),
+                        B::Sub => Some(ca.wrapping_sub(cb)),
+                        B::Mul => match (*a, *b) {
+                            (_, Operand::Imm(k)) if cb == 0 => Some(ca.wrapping_mul(k as i64)),
+                            (Operand::Imm(k), _) if ca == 0 => Some(cb.wrapping_mul(k as i64)),
+                            _ if ca == 0 && cb == 0 => Some(0),
+                            _ => None,
+                        },
+                        B::Shl => match *b {
+                            Operand::Imm(k) if k < 63 => Some(ca.wrapping_shl(k as u32)),
+                            _ if ca == 0 && cb == 0 => Some(0),
+                            _ => None,
+                        },
+                        _ if ca == 0 && cb == 0 => Some(0),
+                        _ => None,
+                    }
+                }
+                Inst::Load { addr, .. } => {
+                    // A load's value is invariant only if its address is.
+                    if eval(func, defs, *addr, iv, memo, depth + 1)? == 0 {
+                        Some(0)
+                    } else {
+                        None
+                    }
+                }
+                Inst::Un { a, .. } | Inst::Select { cond: a, .. } => {
+                    // Conservative: invariant-in, invariant-out only.
+                    let mut all_zero = eval(func, defs, *a, iv, memo, depth + 1)? == 0;
+                    def.for_each_operand(|o| {
+                        if all_zero {
+                            if let Some(c) = eval(func, defs, o, iv, memo, depth + 1) {
+                                all_zero &= c == 0;
+                            } else {
+                                all_zero = false;
+                            }
+                        }
+                    });
+                    if all_zero {
+                        Some(0)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            }
+        })();
+        memo.insert(r, result);
+        result
+    }
+    let mut memo = HashMap::new();
+    eval(func, defs, root, iv, &mut memo, 0)
+}
+
+#[cfg(test)]
+mod affine_tests {
+    use super::*;
+    use apt_lir::{FuncId, FunctionBuilder, Module, Width};
+
+    #[test]
+    fn detects_contiguous_bucket_scan() {
+        // for i { for s { v = T[base + s] } } — stride 4 bytes in s.
+        let mut m = Module::new("t");
+        let f = m.add_function("k", &["t", "n"]);
+        {
+            let mut bd = FunctionBuilder::new(m.function_mut(f));
+            let (t, n) = (bd.param(0), bd.param(1));
+            bd.loop_up(0, n, 1, |bd, i| {
+                let base = bd.mul(i, 16u64);
+                bd.loop_up(0, 8u64, 1, |bd, s| {
+                    let off = bd.add(base, s);
+                    let _ = bd.load_elem(t, off, Width::W4, false);
+                });
+            });
+            bd.ret(None::<Operand>);
+        }
+        let func = m.function(FuncId(0));
+        let defs = DefMap::build(func);
+        // Find the load and the inner IV.
+        let forest = crate::loops::analyze_loops(func);
+        let inner = forest
+            .loops
+            .iter()
+            .position(|l| l.depth == 2)
+            .expect("nested loop");
+        let iv = forest.loops[inner].iv.unwrap().phi;
+        let mut addr = None;
+        for (_, block) in func.iter_blocks() {
+            for inst in &block.insts {
+                if let Inst::Load { addr: a, .. } = inst {
+                    addr = Some(*a);
+                }
+            }
+        }
+        assert_eq!(affine_stride(func, &defs, addr.unwrap(), iv), Some(4));
+    }
+
+    #[test]
+    fn load_dependent_address_is_not_affine() {
+        // v = T[B[s]] — non-affine in s.
+        let mut m = Module::new("t");
+        let f = m.add_function("k", &["t", "b", "n"]);
+        {
+            let mut bd = FunctionBuilder::new(m.function_mut(f));
+            let (t, bb, n) = (bd.param(0), bd.param(1), bd.param(2));
+            bd.loop_up(0, n, 1, |bd, s| {
+                let x = bd.load_elem(bb, s, Width::W4, false);
+                let _ = bd.load_elem(t, x, Width::W4, false);
+            });
+            bd.ret(None::<Operand>);
+        }
+        let func = m.function(FuncId(0));
+        let defs = DefMap::build(func);
+        let forest = crate::loops::analyze_loops(func);
+        let iv = forest.loops[0].iv.unwrap().phi;
+        // The last load's address.
+        let mut addrs = vec![];
+        for (_, block) in func.iter_blocks() {
+            for inst in &block.insts {
+                if let Inst::Load { addr: a, .. } = inst {
+                    addrs.push(*a);
+                }
+            }
+        }
+        // B[s] is affine (stride 4); T[B[s]] is not.
+        assert_eq!(affine_stride(func, &defs, addrs[0], iv), Some(4));
+        assert_eq!(affine_stride(func, &defs, addrs[1], iv), None);
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests of the injection machinery over randomly shaped loop
+//! nests: injection must always leave a verifiable module with exactly
+//! the expected number of prefetches, whatever the distances.
+
+use apt_lir::{FunctionBuilder, Module, Operand, Width};
+use apt_passes::{
+    ainsworth_jones, detect_indirect_loads, inject_prefetches, optimize_module, InjectionSpec, Site,
+};
+use proptest::prelude::*;
+
+/// A randomly parameterised two-level indirect kernel:
+/// `for j { b0 = BO[j*ostride]; for i { v = T[BI[i*istride] + b0] } }`.
+fn nested_kernel(ostride: u64, istride: u64, extra_work: usize) -> Module {
+    let mut m = Module::new("gen");
+    let f = m.add_function("k", &["t", "bi", "bo", "n", "inner"]);
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let (t, bi, bo, n, inner) = (b.param(0), b.param(1), b.param(2), b.param(3), b.param(4));
+        b.loop_up(0, n, 1, |b, j| {
+            let jo = b.mul(j, ostride);
+            let b0 = b.load_elem(bo, jo, Width::W4, false);
+            b.loop_up(0, inner, 1, |b, i| {
+                let io = b.mul(i, istride);
+                let x = b.load_elem(bi, io, Width::W4, false);
+                let idx = b.add(x, b0);
+                let v = b.load_elem(t, idx, Width::W4, false);
+                let mut acc = v;
+                for k in 0..extra_work {
+                    acc = b.add(acc, k as u64);
+                }
+                b.store_elem(t, idx, acc, Width::W4);
+            });
+        });
+        b.ret(None::<Operand>);
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn aj_injection_always_verifies(
+        ostride in 1u64..4,
+        istride in 1u64..4,
+        work in 0usize..8,
+        distance in 1u64..512,
+    ) {
+        let mut m = nested_kernel(ostride, istride, work);
+        let report = ainsworth_jones(&mut m, distance);
+        prop_assert!(!report.injected.is_empty());
+        apt_lir::verify::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn outer_injection_always_verifies(
+        ostride in 1u64..4,
+        istride in 1u64..4,
+        work in 0usize..8,
+        distance in 1u64..64,
+        fanout in 1u64..12,
+    ) {
+        let m0 = nested_kernel(ostride, istride, work);
+        let loads = detect_indirect_loads(&m0);
+        prop_assert_eq!(loads.len(), 1);
+        let (func, load) = loads[0];
+        let mut m = m0;
+        let report = inject_prefetches(&mut m, &[InjectionSpec {
+            func,
+            load,
+            distance,
+            site: Site::Outer,
+            fanout,
+            fallback_inner_distance: Some(1),
+        }]);
+        prop_assert_eq!(report.injected.len(), 1, "{:?}", report.skipped);
+        apt_lir::verify::verify_module(&m).unwrap();
+        // The clean-up passes must also leave a valid module.
+        optimize_module(&mut m);
+        apt_lir::verify::verify_module(&m).unwrap();
+    }
+
+    /// Injection is idempotent in count: re-running detection on an
+    /// injected module finds no *new* work beyond the original loads
+    /// (prefetch-slice clones are never themselves indirect candidates
+    /// that grow the set unboundedly).
+    #[test]
+    fn detection_does_not_explode_after_injection(
+        distance in 1u64..64,
+    ) {
+        let mut m = nested_kernel(1, 1, 2);
+        let before = detect_indirect_loads(&m).len();
+        ainsworth_jones(&mut m, distance);
+        let after = detect_indirect_loads(&m).len();
+        prop_assert!(after <= before + 1, "before {} after {}", before, after);
+    }
+
+    /// optimize_module is a fixpoint: running it twice changes nothing
+    /// the second time.
+    #[test]
+    fn optimizer_reaches_fixpoint(
+        ostride in 1u64..4,
+        work in 0usize..8,
+        distance in 1u64..64,
+    ) {
+        let mut m = nested_kernel(ostride, 1, work);
+        ainsworth_jones(&mut m, distance);
+        optimize_module(&mut m);
+        let snapshot = apt_lir::print::module_to_string(&m);
+        let second = optimize_module(&mut m);
+        prop_assert_eq!(second, apt_passes::OptStats::default());
+        prop_assert_eq!(apt_lir::print::module_to_string(&m), snapshot);
+    }
+}
+
+/// §3.5: "support for multiple and complex exit conditions to break out of
+/// a loop such as `for(i:K){if(cond(i)) break;}`".
+#[test]
+fn multi_exit_loop_is_injectable() {
+    use apt_lir::ICmpPred;
+    let mut m = Module::new("t");
+    let f = m.add_function("k", &["t", "b", "n", "limit"]);
+    {
+        let mut bd = FunctionBuilder::new(m.function_mut(f));
+        let (t, bb, n, limit) = (bd.param(0), bd.param(1), bd.param(2), bd.param(3));
+        // Hand-rolled rotated loop with an extra break edge.
+        let body = bd.new_block("body");
+        let brk = bd.new_block("break.check");
+        let exit = bd.new_block("exit");
+        let guard = bd.current_block();
+        let enter = bd.icmp(ICmpPred::Lts, 0u64, n);
+        bd.cond_br(enter, body, exit);
+
+        bd.switch_to(body);
+        let (iv, iv_phi) = bd.phi_placeholder();
+        let x = bd.load_elem(bb, iv, Width::W4, false);
+        let v = bd.load_elem(t, x, Width::W4, false); // Indirect target.
+        bd.store_elem(t, iv, v, Width::W4);
+        // break if v > limit.
+        let cond_break = bd.icmp(ICmpPred::Gtu, v, limit);
+        bd.cond_br(cond_break, exit, brk);
+
+        bd.switch_to(brk);
+        let iv_next = bd.add(iv, 1);
+        let again = bd.icmp(ICmpPred::Lts, iv_next, n);
+        bd.cond_br(again, body, exit);
+        bd.set_phi_incomings(iv_phi, vec![(guard, 0u64.into()), (brk, iv_next.into())]);
+
+        bd.switch_to(exit);
+        bd.ret(None::<Operand>);
+    }
+    apt_lir::verify::verify_module(&m).unwrap();
+
+    let loads = detect_indirect_loads(&m);
+    assert_eq!(loads.len(), 1, "the T[B[i]] load must be detected");
+    let mut m2 = m.clone();
+    let report = ainsworth_jones(&mut m2, 8);
+    assert_eq!(report.injected.len(), 1, "{:?}", report.skipped);
+    apt_lir::verify::verify_module(&m2).unwrap();
+    // A clamped prefetch index must be present (the break does not defeat
+    // the bound analysis: the latch comparison still names `n`).
+    let has_min = m2
+        .iter_functions()
+        .flat_map(|(_, f)| f.blocks.iter())
+        .flat_map(|b| b.insts.iter())
+        .any(|i| {
+            matches!(
+                i,
+                apt_lir::Inst::Bin {
+                    op: apt_lir::BinOp::MinS,
+                    ..
+                }
+            )
+        });
+    assert!(has_min);
+}

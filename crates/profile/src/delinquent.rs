@@ -1,0 +1,97 @@
+//! Ranking delinquent loads from PEBS samples (§3.2, step 1).
+
+use apt_cpu::PebsRecord;
+use apt_lir::Pc;
+
+/// A load PC that frequently misses the LLC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelinquentLoad {
+    pub pc: Pc,
+    /// Number of LLC-miss samples attributed to this PC.
+    pub samples: u64,
+    /// Fraction of all LLC-miss samples attributed to this PC.
+    pub share: f64,
+}
+
+/// Aggregates PEBS records into delinquent loads.
+///
+/// Returns PCs covering at least `min_share` of all LLC-miss samples,
+/// most-delinquent first, at most `max_loads` of them. This mirrors the
+/// paper's use of "loads that cause frequent LLC misses" [39].
+pub fn rank_delinquent_loads(
+    records: &[PebsRecord],
+    min_share: f64,
+    max_loads: usize,
+) -> Vec<DelinquentLoad> {
+    if records.is_empty() {
+        return Vec::new();
+    }
+    let mut counts: Vec<(Pc, u64)> = Vec::new();
+    for r in records {
+        match counts.iter_mut().find(|(pc, _)| *pc == r.pc) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((r.pc, 1)),
+        }
+    }
+    let total = records.len() as f64;
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    counts
+        .into_iter()
+        .map(|(pc, n)| DelinquentLoad {
+            pc,
+            samples: n,
+            share: n as f64 / total,
+        })
+        .filter(|d| d.share >= min_share)
+        .take(max_loads)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_mem::Level;
+
+    fn rec(pc: u64) -> PebsRecord {
+        PebsRecord {
+            pc: Pc(pc),
+            served: Level::Dram,
+            cycle: 0,
+        }
+    }
+
+    #[test]
+    fn ranks_by_frequency() {
+        let mut rs = vec![];
+        rs.extend(std::iter::repeat(rec(0x100)).take(70));
+        rs.extend(std::iter::repeat(rec(0x200)).take(25));
+        rs.extend(std::iter::repeat(rec(0x300)).take(5));
+        let d = rank_delinquent_loads(&rs, 0.10, 10);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].pc, Pc(0x100));
+        assert!((d[0].share - 0.70).abs() < 1e-12);
+        assert_eq!(d[1].pc, Pc(0x200));
+    }
+
+    #[test]
+    fn caps_the_list() {
+        let mut rs = vec![];
+        for i in 0..20u64 {
+            rs.extend(std::iter::repeat(rec(0x100 + i * 4)).take(5));
+        }
+        let d = rank_delinquent_loads(&rs, 0.0, 3);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(rank_delinquent_loads(&[], 0.01, 10).is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_pc_for_determinism() {
+        let rs = vec![rec(0x200), rec(0x100)];
+        let d = rank_delinquent_loads(&rs, 0.0, 10);
+        assert_eq!(d[0].pc, Pc(0x100));
+    }
+}

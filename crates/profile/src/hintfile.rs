@@ -1,0 +1,319 @@
+//! The hint-file format: the textual interface between the profiling step
+//! and the compiler pass.
+//!
+//! §3.4: "The result of our automated approach is a list of delinquent
+//! load PCs with their corresponding prefetch-distance and prefetch
+//! injection site which can be consumed by the LLVM software prefetching
+//! pass." This module implements exactly that artefact, so a profile can
+//! be collected once, stored, and consumed by later compilations (the
+//! AutoFDO deployment model of §3.6).
+//!
+//! Format: one record per line,
+//!
+//! ```text
+//! # apt-get hints v1
+//! pc=0x400024 distance=10 site=inner fanout=1 fallback=10 share=0.91
+//! pc=0x4000c0 distance=2 site=outer fanout=8 fallback=3 share=0.05
+//! ```
+//!
+//! Lines starting with `#` are comments. Unknown keys are ignored
+//! (forward compatibility); missing optional keys take defaults.
+
+use apt_lir::pcmap::Location;
+use apt_lir::{AddressMap, Module, Pc};
+use apt_passes::Site;
+
+use crate::model::LoadHint;
+
+/// Magic first line of a hint file.
+pub const HEADER: &str = "# apt-get hints v1";
+
+/// A parse failure with line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "hint file line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One serialisable hint record (the PC-keyed subset of [`LoadHint`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HintRecord {
+    pub pc: Pc,
+    pub distance: u64,
+    pub site: Site,
+    pub fanout: u64,
+    pub fallback_inner_distance: Option<u64>,
+    pub share: f64,
+}
+
+impl HintRecord {
+    /// Builds a record from an analysis hint.
+    pub fn from_hint(h: &LoadHint) -> HintRecord {
+        HintRecord {
+            pc: h.pc,
+            distance: h.distance,
+            site: h.site,
+            fanout: h.fanout,
+            fallback_inner_distance: h.inner_distance,
+            share: h.share,
+        }
+    }
+
+    /// Resolves the record against a module layout, yielding an injection
+    /// spec — the PC → IR step the paper borrows from AutoFDO.
+    pub fn resolve(&self, map: &AddressMap) -> Option<apt_passes::InjectionSpec> {
+        match map.resolve(self.pc) {
+            Some(Location::Inst(iref)) => Some(apt_passes::InjectionSpec {
+                func: iref.func,
+                load: (iref.block, iref.inst),
+                distance: self.distance,
+                site: self.site,
+                fanout: self.fanout,
+                fallback_inner_distance: self.fallback_inner_distance,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Serialises hints to the v1 text format.
+pub fn serialize(hints: &[HintRecord]) -> String {
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    for h in hints {
+        out.push_str(&format!(
+            "pc={:#x} distance={} site={} fanout={} fallback={} share={:.4}\n",
+            h.pc.0,
+            h.distance,
+            match h.site {
+                Site::Inner => "inner",
+                Site::Outer => "outer",
+            },
+            h.fanout,
+            h.fallback_inner_distance
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+            h.share,
+        ));
+    }
+    out
+}
+
+/// Serialises an analysis result's hints.
+pub fn serialize_hints(hints: &[LoadHint]) -> String {
+    let records: Vec<HintRecord> = hints.iter().map(HintRecord::from_hint).collect();
+    serialize(&records)
+}
+
+/// Parses the v1 text format.
+pub fn parse(text: &str) -> Result<Vec<HintRecord>, ParseError> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut pc = None;
+        let mut distance = None;
+        let mut site = None;
+        let mut fanout = 1u64;
+        let mut fallback = None;
+        let mut share = 0.0f64;
+        for field in line.split_whitespace() {
+            let Some((key, value)) = field.split_once('=') else {
+                return Err(ParseError {
+                    line: lineno + 1,
+                    message: format!("malformed field `{field}`"),
+                });
+            };
+            let bad = |message: String| ParseError {
+                line: lineno + 1,
+                message,
+            };
+            match key {
+                "pc" => {
+                    let hex = value.trim_start_matches("0x");
+                    pc = Some(Pc(u64::from_str_radix(hex, 16)
+                        .map_err(|e| bad(format!("bad pc `{value}`: {e}")))?));
+                }
+                "distance" => {
+                    distance = Some(
+                        value
+                            .parse()
+                            .map_err(|e| bad(format!("bad distance `{value}`: {e}")))?,
+                    );
+                }
+                "site" => {
+                    site = Some(match value {
+                        "inner" => Site::Inner,
+                        "outer" => Site::Outer,
+                        other => return Err(bad(format!("unknown site `{other}`"))),
+                    });
+                }
+                "fanout" => {
+                    fanout = value
+                        .parse()
+                        .map_err(|e| bad(format!("bad fanout `{value}`: {e}")))?;
+                }
+                "fallback" => {
+                    fallback = if value == "-" {
+                        None
+                    } else {
+                        Some(
+                            value
+                                .parse()
+                                .map_err(|e| bad(format!("bad fallback `{value}`: {e}")))?,
+                        )
+                    };
+                }
+                "share" => {
+                    share = value
+                        .parse()
+                        .map_err(|e| bad(format!("bad share `{value}`: {e}")))?;
+                }
+                _ => {} // Forward compatibility: ignore unknown keys.
+            }
+        }
+        let (Some(pc), Some(distance), Some(site)) = (pc, distance, site) else {
+            return Err(ParseError {
+                line: lineno + 1,
+                message: "record needs at least pc, distance and site".into(),
+            });
+        };
+        out.push(HintRecord {
+            pc,
+            distance,
+            site,
+            fanout,
+            fallback_inner_distance: fallback,
+            share,
+        });
+    }
+    Ok(out)
+}
+
+/// Resolves a whole hint file against a module, dropping records whose PC
+/// no longer maps to an instruction (stale profiles, §3.6) and reporting
+/// how many were dropped.
+pub fn resolve_all(
+    records: &[HintRecord],
+    module: &Module,
+) -> (Vec<apt_passes::InjectionSpec>, usize) {
+    let map = module.assign_pcs();
+    let mut specs = Vec::new();
+    let mut dropped = 0;
+    for r in records {
+        match r.resolve(&map) {
+            Some(s) => specs.push(s),
+            None => dropped += 1,
+        }
+    }
+    (specs, dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<HintRecord> {
+        vec![
+            HintRecord {
+                pc: Pc(0x40_0024),
+                distance: 10,
+                site: Site::Inner,
+                fanout: 1,
+                fallback_inner_distance: Some(10),
+                share: 0.91,
+            },
+            HintRecord {
+                pc: Pc(0x40_00c0),
+                distance: 2,
+                site: Site::Outer,
+                fanout: 8,
+                fallback_inner_distance: None,
+                share: 0.05,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips() {
+        let text = serialize(&sample());
+        assert!(text.starts_with(HEADER));
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, sample());
+    }
+
+    #[test]
+    fn ignores_comments_and_unknown_keys() {
+        let text = "# comment\npc=0x10 distance=4 site=inner future_key=1\n";
+        let parsed = parse(text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].pc, Pc(0x10));
+        assert_eq!(parsed[0].fanout, 1); // Default.
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        assert!(parse("pc=0x10 site=inner\n").is_err()); // No distance.
+        assert!(parse("pc=zz distance=1 site=inner\n").is_err());
+        assert!(parse("pc=0x10 distance=1 site=sideways\n").is_err());
+        assert!(parse("garbage\n").is_err());
+        let e = parse("pc=0x10 distance=1 site=sideways\n").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn resolve_drops_stale_pcs() {
+        use apt_lir::{FunctionBuilder, Module, Width};
+        let mut m = Module::new("t");
+        let f = m.add_function("k", &["t", "b", "n"]);
+        {
+            let mut bd = FunctionBuilder::new(m.function_mut(f));
+            let (t, bb, n) = (bd.param(0), bd.param(1), bd.param(2));
+            bd.loop_up(0, n, 1, |bd, i| {
+                let x = bd.load_elem(bb, i, Width::W4, false);
+                let _ = bd.load_elem(t, x, Width::W4, false);
+            });
+            bd.ret(None::<apt_lir::Operand>);
+        }
+        let map = m.assign_pcs();
+        let loads = apt_passes::inject::detect_indirect_loads(&m);
+        let (_, load) = loads[0];
+        let real_pc = map.pc_of(apt_lir::InstRef {
+            func: apt_lir::FuncId(0),
+            block: load.0,
+            inst: load.1,
+        });
+        let records = vec![
+            HintRecord {
+                pc: real_pc,
+                distance: 4,
+                site: Site::Inner,
+                fanout: 1,
+                fallback_inner_distance: None,
+                share: 1.0,
+            },
+            HintRecord {
+                pc: Pc(0xdead_0000),
+                distance: 4,
+                site: Site::Inner,
+                fanout: 1,
+                fallback_inner_distance: None,
+                share: 0.0,
+            },
+        ];
+        let (specs, dropped) = resolve_all(&records, &m);
+        assert_eq!(specs.len(), 1);
+        assert_eq!(dropped, 1);
+        assert_eq!(specs[0].load, load);
+    }
+}

@@ -1,0 +1,147 @@
+//! Latency histograms (the distribution plotted in Fig. 4).
+
+/// A fixed-bin histogram over `u64` latencies.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Inclusive lower edge of the first bin.
+    pub min: u64,
+    /// Width of each bin (≥ 1).
+    pub bin_width: u64,
+    /// Bin counts.
+    pub counts: Vec<f64>,
+}
+
+impl Histogram {
+    /// Builds a histogram with roughly `target_bins` bins, clipping the
+    /// upper tail at the `clip_quantile` quantile to keep outliers from
+    /// flattening the interesting region.
+    pub fn build(values: &[u64], target_bins: usize, clip_quantile: f64) -> Option<Histogram> {
+        if values.is_empty() || target_bins == 0 {
+            return None;
+        }
+        let mut sorted: Vec<u64> = values.to_vec();
+        sorted.sort_unstable();
+        let min = sorted[0];
+        let q_idx = (((sorted.len() - 1) as f64) * clip_quantile.clamp(0.0, 1.0)) as usize;
+        let max = sorted[q_idx].max(min + 1);
+        let bin_width = ((max - min) / target_bins as u64).max(1);
+        let nbins = ((max - min) / bin_width + 1) as usize;
+        let mut counts = vec![0.0; nbins];
+        for &v in &sorted {
+            let b = (((v.saturating_sub(min)) / bin_width) as usize).min(nbins - 1);
+            counts[b] += 1.0;
+        }
+        Some(Histogram {
+            min,
+            bin_width,
+            counts,
+        })
+    }
+
+    /// The latency at the centre of bin `i`.
+    pub fn bin_center(&self, i: usize) -> u64 {
+        self.min + self.bin_width * i as u64 + self.bin_width / 2
+    }
+
+    /// Total mass.
+    pub fn total(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// Returns a copy smoothed with a 3-tap binomial kernel, applied
+    /// `passes` times (stabilises the CWT on spiky integer data).
+    pub fn smoothed(&self, passes: usize) -> Histogram {
+        let mut cur = self.counts.clone();
+        for _ in 0..passes {
+            let mut next = vec![0.0; cur.len()];
+            for i in 0..cur.len() {
+                let l = if i > 0 { cur[i - 1] } else { cur[i] };
+                let r = if i + 1 < cur.len() {
+                    cur[i + 1]
+                } else {
+                    cur[i]
+                };
+                next[i] = 0.25 * l + 0.5 * cur[i] + 0.25 * r;
+            }
+            cur = next;
+        }
+        Histogram {
+            min: self.min,
+            bin_width: self.bin_width,
+            counts: cur,
+        }
+    }
+
+    /// Renders an ASCII sketch of the distribution (for experiment logs).
+    pub fn ascii(&self, width: usize) -> String {
+        let peak = self.counts.iter().cloned().fold(0.0f64, f64::max);
+        if peak == 0.0 {
+            return String::new();
+        }
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = ((c / peak) * width as f64).round() as usize;
+            out.push_str(&format!(
+                "{:>8} | {}\n",
+                self.bin_center(i),
+                "#".repeat(bar)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_bins() {
+        let values: Vec<u64> = (0..100).collect();
+        let h = Histogram::build(&values, 10, 1.0).unwrap();
+        assert_eq!(h.total(), 100.0);
+        assert!(h.counts.len() >= 10);
+        assert_eq!(h.min, 0);
+    }
+
+    #[test]
+    fn clipping_limits_tail() {
+        let mut values: Vec<u64> = vec![10; 99];
+        values.push(1_000_000); // One outlier.
+        let h = Histogram::build(&values, 20, 0.95).unwrap();
+        // The range is dominated by the clipped quantile, not the outlier.
+        assert!(h.bin_width < 1000, "bin width {}", h.bin_width);
+        assert_eq!(h.total(), 100.0); // Outlier lands in the last bin.
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(Histogram::build(&[], 10, 1.0).is_none());
+    }
+
+    #[test]
+    fn smoothing_preserves_mass() {
+        let values: Vec<u64> = vec![5, 5, 5, 20, 20, 40];
+        let h = Histogram::build(&values, 8, 1.0).unwrap();
+        let s = h.smoothed(3);
+        assert!((s.total() - h.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bin_center_math() {
+        let h = Histogram {
+            min: 100,
+            bin_width: 10,
+            counts: vec![0.0; 5],
+        };
+        assert_eq!(h.bin_center(0), 105);
+        assert_eq!(h.bin_center(3), 135);
+    }
+
+    #[test]
+    fn ascii_renders() {
+        let h = Histogram::build(&[1, 1, 1, 9], 4, 1.0).unwrap();
+        let a = h.ascii(10);
+        assert!(a.contains('#'));
+    }
+}

@@ -1,0 +1,32 @@
+//! Profile analysis: from raw LBR/PEBS samples to prefetch hints.
+//!
+//! This crate implements §3.1–§3.4 of the paper:
+//!
+//! 1. [`delinquent`] — aggregate PEBS samples into a ranked list of
+//!    *delinquent load PCs*;
+//! 2. [`lbr_analysis`] — match delinquent loads to their basic blocks
+//!    inside LBR samples, measure per-iteration loop latencies from branch
+//!    cycle deltas, and measure inner-loop trip counts from runs of
+//!    back-edge entries (Fig. 3);
+//! 3. [`histogram`] + [`cwt`] — build the loop-latency distribution and
+//!    locate its peaks with a continuous-wavelet-transform peak finder
+//!    (the `scipy.signal.find_peaks_cwt` equivalent named in §3.4);
+//! 4. [`model`] — apply Eq. 1 (`IC_latency × distance = MC_latency`) and
+//!    Eq. 2 (`trip_count < k × distance` ⇒ outer-loop site) to produce a
+//!    [`model::LoadHint`] per delinquent load.
+
+pub mod cwt;
+pub mod delinquent;
+pub mod hintfile;
+pub mod histogram;
+pub mod lbr_analysis;
+pub mod model;
+
+pub use cwt::{find_peaks_cwt, Peak};
+pub use delinquent::{rank_delinquent_loads, DelinquentLoad};
+pub use hintfile::{parse as parse_hints, serialize_hints, HintRecord};
+pub use histogram::Histogram;
+pub use lbr_analysis::{iteration_latencies, trip_counts, trip_counts_between, TripCountStats};
+pub use model::{
+    analyze, latency_distribution, AnalysisConfig, AnalysisResult, LoadHint, PeakSummary,
+};

@@ -1,0 +1,504 @@
+//! The APT-GET analytical model: Eq. 1 (prefetch distance) and Eq. 2
+//! (injection site), applied per delinquent load.
+
+use apt_cpu::ProfileData;
+use apt_lir::pcmap::Location;
+use apt_lir::{AddressMap, BlockId, FuncId, InstId, Module, Pc};
+use apt_passes::loops::analyze_loops;
+use apt_passes::{InjectionSpec, Site};
+
+use crate::cwt::find_peaks_cwt;
+use crate::delinquent::{rank_delinquent_loads, DelinquentLoad};
+use crate::histogram::Histogram;
+use crate::lbr_analysis::{iteration_latencies, iteration_latencies_bounded, trip_counts_between};
+
+/// Tunables of the analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisConfig {
+    /// Minimum share of LLC-miss samples for a PC to count as delinquent.
+    pub min_share: f64,
+    /// Maximum number of delinquent loads to optimise.
+    pub max_loads: usize,
+    /// Eq. 2's coverage constant `k` (5 ⇒ 80 % coverage, §3.3).
+    pub k: f64,
+    /// Upper clamp on computed prefetch distances.
+    pub max_distance: u64,
+    /// Upper clamp on the outer-site inner-iteration sweep.
+    pub max_fanout: u64,
+    /// The machine's DRAM latency (known deployment spec) — used only as a
+    /// fallback when the latency distribution shows a single peak, i.e.
+    /// when the loop misses on (almost) every iteration.
+    pub dram_latency_hint: u64,
+    /// Histogram bins for the latency distribution.
+    pub hist_bins: usize,
+    /// Binomial smoothing passes before peak detection.
+    pub smoothing: usize,
+    /// Minimum CWT signal-to-noise ratio for a peak.
+    pub min_snr: f64,
+    /// Minimum latency observations before trusting the distribution;
+    /// below this the paper's §3.6 fallback (distance 1) applies.
+    pub min_observations: usize,
+    /// PEBS sampling period used during profiling (to re-scale sample
+    /// counts into miss counts).
+    pub pebs_period: u64,
+    /// Minimum estimated LLC misses per kilo-instruction a load must
+    /// contribute before it is worth prefetching; below this, injection
+    /// costs more than it saves (the paper's CG case).
+    pub min_load_mpki: f64,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> AnalysisConfig {
+        AnalysisConfig {
+            min_share: 0.02,
+            max_loads: 10,
+            k: 5.0,
+            max_distance: 1024,
+            max_fanout: 8,
+            dram_latency_hint: 120,
+            hist_bins: 96,
+            smoothing: 2,
+            min_snr: 1.2,
+            min_observations: 16,
+            pebs_period: 64,
+            min_load_mpki: 1.0,
+        }
+    }
+}
+
+/// A peak of the loop-latency distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeakSummary {
+    /// Latency (cycles) at the peak.
+    pub latency: u64,
+    /// Fraction of the distribution's mass attributed to this peak.
+    pub mass: f64,
+}
+
+/// The per-load optimisation decision.
+#[derive(Debug, Clone)]
+pub struct LoadHint {
+    pub pc: Pc,
+    pub func: FuncId,
+    pub load: (BlockId, InstId),
+    /// Chosen prefetch distance (iterations of the site loop).
+    pub distance: u64,
+    pub site: Site,
+    /// Inner iterations prefetched per outer iteration (outer site only).
+    pub fanout: u64,
+    /// Estimated instruction-component latency (Eq. 1's `IC_latency`).
+    pub ic_latency: f64,
+    /// Estimated memory-component latency to hide (`MC_latency`).
+    pub mc_latency: f64,
+    /// Measured mean inner-loop trip count, when reliable.
+    pub trip_count: Option<f64>,
+    /// The inner-site distance (Eq. 1 on the inner loop); for outer-site
+    /// hints this is carried as the structural fallback.
+    pub inner_distance: Option<u64>,
+    /// Detected latency peaks, ascending.
+    pub peaks: Vec<PeakSummary>,
+    /// Share of LLC-miss samples this load accounts for.
+    pub share: f64,
+}
+
+impl LoadHint {
+    /// Converts the hint into an injection request.
+    pub fn to_spec(&self) -> InjectionSpec {
+        InjectionSpec {
+            func: self.func,
+            load: self.load,
+            distance: self.distance,
+            site: self.site,
+            fanout: self.fanout,
+            fallback_inner_distance: self.inner_distance,
+        }
+    }
+}
+
+/// The full analysis outcome.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisResult {
+    pub hints: Vec<LoadHint>,
+    pub delinquent: Vec<DelinquentLoad>,
+    /// Human-readable decisions and fallbacks, for experiment logs.
+    pub notes: Vec<String>,
+}
+
+impl AnalysisResult {
+    /// All hints as injection specs.
+    pub fn specs(&self) -> Vec<InjectionSpec> {
+        self.hints.iter().map(LoadHint::to_spec).collect()
+    }
+}
+
+/// Latency distribution + peaks for one loop branch — the data behind
+/// Fig. 4. Exposed for the figure-reproduction benches.
+pub fn latency_distribution(
+    profile: &ProfileData,
+    branch_pc: Pc,
+    cfg: &AnalysisConfig,
+) -> Option<(Histogram, Vec<PeakSummary>)> {
+    let lats = iteration_latencies(&profile.lbr_samples, branch_pc);
+    if lats.len() < cfg.min_observations {
+        return None;
+    }
+    let hist = Histogram::build(&lats, cfg.hist_bins, 0.995)?.smoothed(cfg.smoothing);
+    let peaks = detect_peaks(&hist, cfg);
+    Some((hist, peaks))
+}
+
+fn detect_peaks(hist: &Histogram, cfg: &AnalysisConfig) -> Vec<PeakSummary> {
+    let max_width = (hist.counts.len() / 8).clamp(2, 24);
+    let widths: Vec<usize> = (1..=max_width).collect();
+    let raw = find_peaks_cwt(&hist.counts, &widths, cfg.min_snr);
+    if raw.is_empty() {
+        return Vec::new();
+    }
+    // Mass: split bins at midpoints between adjacent peaks.
+    let total = hist.total().max(1e-12);
+    let idxs: Vec<usize> = raw.iter().map(|p| p.index).collect();
+    let mut out = Vec::with_capacity(idxs.len());
+    for (i, &pi) in idxs.iter().enumerate() {
+        let lo = if i == 0 { 0 } else { (idxs[i - 1] + pi) / 2 };
+        let hi = if i + 1 == idxs.len() {
+            hist.counts.len()
+        } else {
+            (pi + idxs[i + 1]).div_ceil(2)
+        };
+        let mass: f64 = hist.counts[lo..hi].iter().sum::<f64>() / total;
+        out.push(PeakSummary {
+            latency: hist.bin_center(pi),
+            mass,
+        });
+    }
+    out
+}
+
+/// Eq. 1: derive `(IC, MC, distance)` from the latency peaks.
+fn derive_distance(peaks: &[PeakSummary], cfg: &AnalysisConfig) -> (f64, f64, u64) {
+    let (ic, mc) = match peaks {
+        [] => (1.0, 0.0),
+        [only] => {
+            // Single peak: the load misses on (almost) every iteration, so
+            // the hit-latency peak is missing. Reconstruct IC from the
+            // machine's known DRAM latency (§3.2's "predict the latency in
+            // the case that the load is served from L1/L2").
+            let p = only.latency as f64;
+            let dram = cfg.dram_latency_hint as f64;
+            let ic = if p > dram + 1.0 {
+                p - dram
+            } else {
+                (p / 4.0).max(1.0)
+            };
+            (ic, p - ic)
+        }
+        [first, rest @ ..] => {
+            // IC is the all-hits peak; MC must cover the *slowest* level
+            // the load is regularly served from — prefetching at an
+            // averaged distance would leave every DRAM-served instance
+            // partially exposed. Peaks with negligible mass (< 5 %) are
+            // ignored as measurement artefacts.
+            let ic = first.latency as f64;
+            let significant = rest.iter().filter(|p| p.mass >= 0.05);
+            let far = significant
+                .map(|p| p.latency as f64 - ic)
+                .fold(0.0f64, f64::max);
+            let mc = if far > 0.0 {
+                far
+            } else {
+                // No significant miss peak: fall back to the mass-weighted
+                // mean over whatever is there.
+                let wsum: f64 = rest.iter().map(|p| p.mass).sum();
+                if wsum > 0.0 {
+                    rest.iter()
+                        .map(|p| p.mass * (p.latency as f64 - ic))
+                        .sum::<f64>()
+                        / wsum
+                } else {
+                    0.0
+                }
+            };
+            (ic, mc)
+        }
+    };
+    let distance = if mc <= 0.0 || ic <= 0.0 {
+        1
+    } else {
+        ((mc / ic).round() as u64).clamp(1, cfg.max_distance)
+    };
+    (ic, mc, distance)
+}
+
+/// Runs the full §3.4 pipeline: PEBS → delinquent loads → LBR latency
+/// distributions → peaks → Eq. 1 distance → Eq. 2 site → hints.
+pub fn analyze(
+    module: &Module,
+    map: &AddressMap,
+    profile: &ProfileData,
+    profile_stats: &apt_cpu::PerfStats,
+    cfg: &AnalysisConfig,
+) -> AnalysisResult {
+    let mut result = AnalysisResult {
+        delinquent: rank_delinquent_loads(&profile.pebs, cfg.min_share, cfg.max_loads),
+        ..Default::default()
+    };
+
+    for d in result.delinquent.clone() {
+        // Gate on absolute miss volume: a load must miss often enough per
+        // instruction for prefetching to pay for its slice (the CG case).
+        let est_mpki = d.samples as f64 * cfg.pebs_period.max(1) as f64 * 1000.0
+            / profile_stats.instructions.max(1) as f64;
+        if est_mpki < cfg.min_load_mpki {
+            result.notes.push(format!(
+                "pc {}: ~{est_mpki:.2} MPKI below threshold; not worth prefetching",
+                d.pc
+            ));
+            continue;
+        }
+        let Some(Location::Inst(iref)) = map.resolve(d.pc) else {
+            result
+                .notes
+                .push(format!("pc {} does not resolve to an instruction", d.pc));
+            continue;
+        };
+        let func = module.function(iref.func);
+        let forest = analyze_loops(func);
+        let Some(inner_idx) = forest.innermost_of(iref.block) else {
+            result
+                .notes
+                .push(format!("load at {} is not inside a loop", d.pc));
+            continue;
+        };
+
+        // Latency distribution of the loop containing the load, measured
+        // at its back-edge branch (retired once per continuing iteration;
+        // for the common single-block rotated loop this *is* the BBL
+        // containing the load, as in §3.2).
+        let inner_latch = forest.loops[inner_idx].latches[0];
+        let bbl_branch = map.term_pc(iref.func, inner_latch);
+        // Deltas across the enclosing loop's back edge are not iteration
+        // latencies; reset at that boundary.
+        let boundary = forest.parent_of(inner_idx).map(|o| {
+            let outer_latch = forest.loops[o].latches[0];
+            map.term_pc(iref.func, outer_latch)
+        });
+        let lats = iteration_latencies_bounded(&profile.lbr_samples, bbl_branch, boundary);
+
+        let (ic, mc, mut distance, peaks);
+        if lats.len() < cfg.min_observations {
+            // §3.6 fallback: not enough LBR evidence — distance 1.
+            ic = 0.0;
+            mc = 0.0;
+            distance = 1;
+            peaks = Vec::new();
+            result.notes.push(format!(
+                "pc {}: only {} latency observations; defaulting to distance 1",
+                d.pc,
+                lats.len()
+            ));
+        } else {
+            let hist = Histogram::build(&lats, cfg.hist_bins, 0.995)
+                .expect("non-empty latencies")
+                .smoothed(cfg.smoothing);
+            let ps = detect_peaks(&hist, cfg);
+            let (i, m, dist) = derive_distance(&ps, cfg);
+            ic = i;
+            mc = m;
+            distance = dist;
+            peaks = ps;
+        }
+
+        // Eq. 2: choose the injection site.
+        let mut site = Site::Inner;
+        let mut fanout = 1u64;
+        let mut trip_count = None;
+        let inner_distance = distance;
+        let mut inner_fallback = inner_distance;
+        if let Some(outer_idx) = forest.parent_of(inner_idx) {
+            let outer_latch = forest.loops[outer_idx].latches[0];
+            let outer_branch_pc = map.term_pc(iref.func, outer_latch);
+            let trips = trip_counts_between(&profile.lbr_samples, bbl_branch, outer_branch_pc);
+            let long_tail = trips.saturated_runs * 8 >= trips.runs.max(1);
+            if long_tail {
+                // §3.6: LBR snapshots land wholly inside the inner loop —
+                // its trip count is large (at least for the iterations
+                // where the misses happen), so inner-loop prefetching is
+                // the right site and the outer latency is unmeasurable.
+                trip_count = None;
+                result.notes.push(format!(
+                    "pc {}: inner loop saturates the LBR; staying inner",
+                    d.pc
+                ));
+            } else if trips.reliable() {
+                trip_count = Some(trips.weighted_mean);
+                // If outer injection turns out to be structurally
+                // impossible, fall back to the inner site with the
+                // distance capped by the short trip count (a longer
+                // distance would only emit clamped, useless prefetches).
+                let cap = ((trips.weighted_mean / 2.0).floor() as u64).max(1);
+                inner_fallback = inner_distance.min(cap);
+                if trips.weighted_mean < cfg.k * distance as f64 {
+                    // Inner-loop prefetching cannot reach the coverage
+                    // target: move to the outer loop.
+                    site = Site::Outer;
+                    fanout = (trips.weighted_mean.round() as u64).clamp(1, cfg.max_fanout);
+                    // Recompute the distance against the *outer* loop's
+                    // latency distribution (§3.3).
+                    let outer_lats = iteration_latencies(&profile.lbr_samples, outer_branch_pc);
+                    if outer_lats.len() >= cfg.min_observations {
+                        if let Some(h) = Histogram::build(&outer_lats, cfg.hist_bins, 0.995) {
+                            let ps = detect_peaks(&h.smoothed(cfg.smoothing), cfg);
+                            let (_, _, od) = derive_distance(&ps, cfg);
+                            distance = od;
+                        }
+                    } else {
+                        // Scale the inner distance by the trip count.
+                        distance = ((distance as f64 / trips.weighted_mean).ceil() as u64)
+                            .clamp(1, cfg.max_distance);
+                        result.notes.push(format!(
+                            "pc {}: outer latency unmeasured; scaled distance to {}",
+                            d.pc, distance
+                        ));
+                    }
+                }
+            }
+        }
+
+        result.hints.push(LoadHint {
+            pc: d.pc,
+            func: iref.func,
+            load: (iref.block, iref.inst),
+            distance,
+            site,
+            fanout,
+            ic_latency: ic,
+            mc_latency: mc,
+            trip_count,
+            inner_distance: Some(inner_fallback),
+            peaks,
+            share: d.share,
+        });
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AnalysisConfig {
+        AnalysisConfig::default()
+    }
+
+    #[test]
+    fn distance_from_two_peaks() {
+        // IC = 10, miss peak at 90 → MC = 80 → distance 8.
+        let peaks = vec![
+            PeakSummary {
+                latency: 10,
+                mass: 0.6,
+            },
+            PeakSummary {
+                latency: 90,
+                mass: 0.4,
+            },
+        ];
+        let (ic, mc, d) = derive_distance(&peaks, &cfg());
+        assert_eq!(ic, 10.0);
+        assert_eq!(mc, 80.0);
+        assert_eq!(d, 8);
+    }
+
+    #[test]
+    fn distance_targets_the_slowest_significant_peak() {
+        // Peaks at 10 (hits), 50 and 90: the prefetch must cover the
+        // 90-cycle (DRAM) peak → MC = 80 → distance 8.
+        let peaks = vec![
+            PeakSummary {
+                latency: 10,
+                mass: 0.5,
+            },
+            PeakSummary {
+                latency: 50,
+                mass: 0.25,
+            },
+            PeakSummary {
+                latency: 90,
+                mass: 0.25,
+            },
+        ];
+        let (_, mc, d) = derive_distance(&peaks, &cfg());
+        assert_eq!(mc, 80.0);
+        assert_eq!(d, 8);
+    }
+
+    #[test]
+    fn negligible_far_peaks_are_ignored() {
+        // A 0.1 %-mass artefact at 10 000 cycles must not explode the
+        // distance; the 90-cycle peak governs.
+        let peaks = vec![
+            PeakSummary {
+                latency: 10,
+                mass: 0.6,
+            },
+            PeakSummary {
+                latency: 90,
+                mass: 0.399,
+            },
+            PeakSummary {
+                latency: 10_000,
+                mass: 0.001,
+            },
+        ];
+        let (_, mc, d) = derive_distance(&peaks, &cfg());
+        assert_eq!(mc, 80.0);
+        assert_eq!(d, 8);
+    }
+
+    #[test]
+    fn single_peak_uses_dram_hint() {
+        // Every iteration misses: one peak at 150, DRAM hint 120 → IC 30,
+        // distance round(120/30) = 4.
+        let peaks = vec![PeakSummary {
+            latency: 150,
+            mass: 1.0,
+        }];
+        let (ic, mc, d) = derive_distance(&peaks, &cfg());
+        assert_eq!(ic, 30.0);
+        assert_eq!(mc, 120.0);
+        assert_eq!(d, 4);
+    }
+
+    #[test]
+    fn no_peaks_defaults_to_one() {
+        let (_, _, d) = derive_distance(&[], &cfg());
+        assert_eq!(d, 1);
+    }
+
+    #[test]
+    fn distance_clamped_to_max() {
+        let peaks = vec![
+            PeakSummary {
+                latency: 1,
+                mass: 0.5,
+            },
+            PeakSummary {
+                latency: 1_000_000,
+                mass: 0.5,
+            },
+        ];
+        let c = cfg();
+        let (_, _, d) = derive_distance(&peaks, &c);
+        assert_eq!(d, c.max_distance);
+    }
+
+    #[test]
+    fn analyze_empty_profile_is_empty() {
+        let m = Module::new("t");
+        let map = m.assign_pcs();
+        let stats = apt_cpu::PerfStats::default();
+        let r = analyze(&m, &map, &ProfileData::default(), &stats, &cfg());
+        assert!(r.hints.is_empty());
+        assert!(r.delinquent.is_empty());
+    }
+}

@@ -1,0 +1,242 @@
+//! Breadth-first search (CRONO): level-synchronous frontier BFS.
+//!
+//! The delinquent load is `dist[col[e]]` inside the per-vertex edge loop —
+//! a two-level indirect access whose inner trip count equals the vertex
+//! degree. On low-degree graphs this is the paper's showcase for
+//! *outer-loop* prefetch injection (Fig. 10): the prefetch slice re-reads
+//! `frontier[fi + d]`, `row_ptr[·]`, `col[·]` and prefetches `dist[·]` for
+//! a future frontier vertex.
+
+use apt_cpu::MemImage;
+use apt_lir::{FunctionBuilder, ICmpPred, Module, Operand, Width};
+
+use crate::graphs::Csr;
+use crate::BuiltWorkload;
+
+/// Builds the BFS module (kernel `bfs`).
+///
+/// Signature: `bfs(row_ptr, col, dist, frontier, next, src) -> visited`.
+/// `dist` must be initialised to −1; returns the number of visited
+/// vertices (including the source).
+pub fn build_module() -> Module {
+    let mut m = Module::new("bfs");
+    let f = m.add_function(
+        "bfs",
+        &["row_ptr", "col", "dist", "frontier", "next", "src"],
+    );
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let (row_ptr, col, dist, fr0, nx0, src) = (
+            b.param(0),
+            b.param(1),
+            b.param(2),
+            b.param(3),
+            b.param(4),
+            b.param(5),
+        );
+        // dist[src] = 0; frontier[0] = src.
+        b.store_elem(dist, src, 0u64, Width::W4);
+        b.store_elem(fr0, 0u64, src, Width::W4);
+
+        // Carried: (frontier_ptr, next_ptr, fsize, level, visited).
+        let out = b.do_while_carried(
+            &[
+                Operand::Reg(fr0),
+                Operand::Reg(nx0),
+                Operand::Imm(1),
+                Operand::Imm(1),
+                Operand::Imm(1),
+            ],
+            |b, car| {
+                let (f, x, fsize, level, visited) = (car[0], car[1], car[2], car[3], car[4]);
+                // Frontier loop, carrying (nsize, visited).
+                let res = b.loop_up_carried(
+                    0,
+                    fsize,
+                    1,
+                    &[Operand::Imm(0), Operand::Reg(visited)],
+                    |b, fi, car2| {
+                        let v = b.load_elem(f, fi, Width::W4, false);
+                        let start = b.load_elem(row_ptr, v, Width::W4, false);
+                        let vp1 = b.add(v, 1);
+                        let end = b.load_elem(row_ptr, vp1, Width::W4, false);
+                        // Edge loop, carrying (nsize, visited).
+                        let inner = b.loop_up_carried(
+                            start,
+                            end,
+                            1,
+                            &[Operand::Reg(car2[0]), Operand::Reg(car2[1])],
+                            |b, e, car3| {
+                                let nb = b.load_elem(col, e, Width::W4, false);
+                                // The delinquent indirect load.
+                                let d = b.load_elem(dist, nb, Width::W4, true);
+                                let unvisited = b.icmp(ICmpPred::Lts, d, 0u64);
+                                let merged =
+                                    b.if_then(unvisited, &[car3[0].into(), car3[1].into()], |b| {
+                                        b.store_elem(dist, nb, level, Width::W4);
+                                        b.store_elem(x, car3[0], nb, Width::W4);
+                                        let ns = b.add(car3[0], 1);
+                                        let vis = b.add(car3[1], 1);
+                                        vec![ns.into(), vis.into()]
+                                    });
+                                vec![merged[0].into(), merged[1].into()]
+                            },
+                        );
+                        vec![inner[0].into(), inner[1].into()]
+                    },
+                );
+                let nsize = res[0];
+                let new_visited = res[1];
+                let next_level = b.add(level, 1);
+                let more = b.icmp(ICmpPred::Gts, nsize, 0u64);
+                (
+                    more.into(),
+                    vec![
+                        // Swap the frontier buffers.
+                        x.into(),
+                        f.into(),
+                        nsize.into(),
+                        next_level.into(),
+                        new_visited.into(),
+                    ],
+                )
+            },
+        );
+        b.ret(Some(out[4]));
+    }
+    m
+}
+
+/// Native reference BFS; returns (dist, visited count).
+pub fn reference(g: &Csr, src: u32) -> (Vec<i32>, u64) {
+    let mut dist = vec![-1i32; g.n];
+    dist[src as usize] = 0;
+    let mut frontier = vec![src];
+    let mut level = 1i32;
+    let mut visited = 1u64;
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &nb in g.neighbors(v) {
+                if dist[nb as usize] < 0 {
+                    dist[nb as usize] = level;
+                    next.push(nb);
+                    visited += 1;
+                }
+            }
+        }
+        frontier = next;
+        level += 1;
+    }
+    (dist, visited)
+}
+
+/// Lays the graph out in a memory image; returns
+/// `(row_ptr, col, dist, frontier, next)` base addresses.
+pub fn layout_graph(image: &mut MemImage, g: &Csr) -> (u64, u64, u64, u64, u64) {
+    let row_ptr = image.alloc_u32_slice(&g.row_ptr);
+    let col = image.alloc_u32_slice(&g.col);
+    let dist_init = vec![-1i32 as u32; g.n];
+    let dist = image.alloc_u32_slice(&dist_init);
+    let frontier = image.alloc(g.n as u64 * 4, 64);
+    let next = image.alloc(g.n as u64 * 4, 64);
+    (row_ptr, col, dist, frontier, next)
+}
+
+/// Builds the complete BFS workload over `g` from source `src`.
+pub fn build(name: &str, g: &Csr, src: u32) -> BuiltWorkload {
+    let (dist_ref, visited) = reference(g, src);
+
+    let mut image = MemImage::new();
+    let (row_ptr, col, dist, frontier, next) = layout_graph(&mut image, g);
+    let n = g.n;
+
+    BuiltWorkload {
+        name: name.to_string(),
+        module: build_module(),
+        image,
+        calls: vec![(
+            "bfs".into(),
+            vec![row_ptr, col, dist, frontier, next, src as u64],
+        )],
+        check: Box::new(move |img, rets| {
+            if rets.first().copied().flatten() != Some(visited) {
+                return Err(format!(
+                    "visited count {:?} != expected {visited}",
+                    rets.first()
+                ));
+            }
+            let got = img.read_u32_slice(dist, n).map_err(|e| e.to_string())?;
+            for (v, (&g_, &w)) in got
+                .iter()
+                .zip(
+                    dist_ref
+                        .iter()
+                        .map(|d| *d as u32)
+                        .collect::<Vec<_>>()
+                        .iter(),
+                )
+                .enumerate()
+                .map(|(i, p)| (i, p))
+            {
+                if g_ != w {
+                    return Err(format!("dist[{v}] = {g_}, expected {w}"));
+                }
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphs::uniform;
+    use apt_cpu::{Machine, SimConfig};
+    use apt_lir::verify::verify_module;
+
+    #[test]
+    fn module_verifies() {
+        verify_module(&build_module()).unwrap();
+    }
+
+    #[test]
+    fn simulated_bfs_matches_reference() {
+        let g = uniform(300, 4, 11);
+        let w = build("BFS", &g, 0);
+        let mut mach = Machine::new(&w.module, SimConfig::default(), w.image);
+        let mut rets = Vec::new();
+        for (f, args) in &w.calls {
+            rets.push(mach.call(f, args).unwrap());
+        }
+        (w.check)(&mach.image, &rets).unwrap();
+    }
+
+    #[test]
+    fn reference_bfs_on_a_path() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+        use rand::SeedableRng;
+        let g = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3)], &mut rng);
+        let (dist, visited) = reference(&g, 0);
+        assert_eq!(dist, vec![0, 1, 2, 3]);
+        assert_eq!(visited, 4);
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_unvisited() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+        use rand::SeedableRng;
+        let g = Csr::from_edges(3, &[(0, 1)], &mut rng);
+        let (dist, visited) = reference(&g, 0);
+        assert_eq!(dist[2], -1);
+        assert_eq!(visited, 2);
+    }
+
+    #[test]
+    fn indirect_loads_detected() {
+        let m = build_module();
+        let found = apt_passes::inject::detect_indirect_loads(&m);
+        // dist[col[e]] must be among the detected loads.
+        assert!(!found.is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Depth-first search (CRONO): iterative DFS with an explicit stack.
+//!
+//! The delinquent load is `visited[col[e]]` in the edge loop. Unlike BFS,
+//! the paper finds *inner-loop* injection competitive for DFS (Fig. 10) —
+//! the stack top keeps enough work per vertex visit.
+
+use apt_cpu::MemImage;
+use apt_lir::{FunctionBuilder, ICmpPred, Module, Operand, Width};
+
+use crate::graphs::Csr;
+use crate::BuiltWorkload;
+
+/// Builds the DFS module (kernel `dfs`).
+///
+/// Signature: `dfs(row_ptr, col, visited, stack, src) -> count` where
+/// `visited` is zero-initialised and `stack` has at least `m + 1` slots.
+pub fn build_module() -> Module {
+    let mut m = Module::new("dfs");
+    let f = m.add_function("dfs", &["row_ptr", "col", "visited", "stack", "src"]);
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let (row_ptr, col, visited, stack, src) =
+            (b.param(0), b.param(1), b.param(2), b.param(3), b.param(4));
+        b.store_elem(stack, 0u64, src, Width::W4);
+
+        // Carried: (sp, count).
+        let out = b.do_while_carried(&[Operand::Imm(1), Operand::Imm(0)], |b, car| {
+            let (sp, count) = (car[0], car[1]);
+            let sp1 = b.sub(sp, 1);
+            let v = b.load_elem(stack, sp1, Width::W4, false);
+            let vis = b.load_elem(visited, v, Width::W4, false);
+            let fresh = b.icmp(ICmpPred::Eq, vis, 0u64);
+            let merged = b.if_then(fresh, &[sp1.into(), count.into()], |b| {
+                b.store_elem(visited, v, 1u64, Width::W4);
+                let c2 = b.add(count, 1);
+                let start = b.load_elem(row_ptr, v, Width::W4, false);
+                let vp1 = b.add(v, 1);
+                let end = b.load_elem(row_ptr, vp1, Width::W4, false);
+                let inner = b.loop_up_carried(start, end, 1, &[Operand::Reg(sp1)], |b, e, car2| {
+                    let nb = b.load_elem(col, e, Width::W4, false);
+                    // The delinquent indirect load.
+                    let nvis = b.load_elem(visited, nb, Width::W4, false);
+                    let unseen = b.icmp(ICmpPred::Eq, nvis, 0u64);
+                    let m2 = b.if_then(unseen, &[car2[0].into()], |b| {
+                        b.store_elem(stack, car2[0], nb, Width::W4);
+                        let sp2 = b.add(car2[0], 1);
+                        vec![sp2.into()]
+                    });
+                    vec![m2[0].into()]
+                });
+                vec![inner[0].into(), c2.into()]
+            });
+            let more = b.icmp(ICmpPred::Gts, merged[0], 0u64);
+            (more.into(), vec![merged[0].into(), merged[1].into()])
+        });
+        b.ret(Some(out[1]));
+    }
+    m
+}
+
+/// Native reference: same iterative algorithm; returns the visit count.
+pub fn reference(g: &Csr, src: u32) -> u64 {
+    let mut visited = vec![false; g.n];
+    let mut stack = vec![src];
+    let mut count = 0u64;
+    while let Some(v) = stack.pop() {
+        if visited[v as usize] {
+            continue;
+        }
+        visited[v as usize] = true;
+        count += 1;
+        for &nb in g.neighbors(v) {
+            if !visited[nb as usize] {
+                stack.push(nb);
+            }
+        }
+    }
+    count
+}
+
+/// Builds the complete DFS workload.
+pub fn build(name: &str, g: &Csr, src: u32) -> BuiltWorkload {
+    let expected = reference(g, src);
+    let mut image = MemImage::new();
+    let row_ptr = image.alloc_u32_slice(&g.row_ptr);
+    let col = image.alloc_u32_slice(&g.col);
+    let visited = image.alloc(g.n as u64 * 4, 64);
+    let stack = image.alloc((g.m() as u64 + 2) * 4, 64);
+    BuiltWorkload {
+        name: name.to_string(),
+        module: build_module(),
+        image,
+        calls: vec![("dfs".into(), vec![row_ptr, col, visited, stack, src as u64])],
+        check: BuiltWorkload::returns_checker(vec![Some(expected)]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphs::uniform;
+    use apt_cpu::{Machine, SimConfig};
+    use apt_lir::verify::verify_module;
+    use rand::SeedableRng;
+
+    #[test]
+    fn module_verifies() {
+        verify_module(&build_module()).unwrap();
+    }
+
+    #[test]
+    fn simulated_dfs_matches_reference() {
+        let g = uniform(200, 4, 9);
+        let w = build("DFS", &g, 0);
+        let mut mach = Machine::new(&w.module, SimConfig::default(), w.image);
+        let mut rets = Vec::new();
+        for (f, args) in &w.calls {
+            rets.push(mach.call(f, args).unwrap());
+        }
+        (w.check)(&mach.image, &rets).unwrap();
+    }
+
+    #[test]
+    fn reference_counts_reachable_component() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+        let g = Csr::from_edges(5, &[(0, 1), (1, 2), (3, 4)], &mut rng);
+        assert_eq!(reference(&g, 0), 3);
+        assert_eq!(reference(&g, 3), 2);
+    }
+}

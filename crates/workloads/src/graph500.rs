@@ -1,0 +1,68 @@
+//! Graph500: breadth-first search on a Kronecker/RMAT power-law graph.
+//!
+//! Reuses the BFS kernel of [`crate::bfs`] on the Graph500 generator
+//! family. The paper runs scale 22 / edge-factor 10; scaled runs default
+//! to a smaller scale (see DESIGN.md's footprint discussion) while keeping
+//! the generator and degree skew.
+
+use crate::graphs::rmat;
+use crate::{bfs, BuiltWorkload};
+
+/// Graph500 parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct G500Params {
+    /// `2^scale` vertices (the paper uses 22).
+    pub scale: u32,
+    /// Edges per vertex (the paper uses 10).
+    pub edge_factor: usize,
+    pub seed: u64,
+}
+
+impl Default for G500Params {
+    fn default() -> G500Params {
+        G500Params {
+            scale: 18,
+            edge_factor: 10,
+            seed: 0x500,
+        }
+    }
+}
+
+/// Builds the Graph500 workload: RMAT generation + BFS from the first
+/// vertex with non-zero degree.
+pub fn build(p: G500Params) -> BuiltWorkload {
+    let g = rmat(p.scale, p.edge_factor, p.seed);
+    let src = (0..g.n as u32)
+        .find(|&v| !g.neighbors(v).is_empty())
+        .unwrap_or(0);
+    let mut w = bfs::build("Graph500", &g, src);
+    w.name = "Graph500".into();
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_cpu::{Machine, SimConfig};
+
+    #[test]
+    fn simulated_graph500_checks_out() {
+        let w = build(G500Params {
+            scale: 8,
+            edge_factor: 8,
+            seed: 1,
+        });
+        let mut mach = Machine::new(&w.module, SimConfig::default(), w.image);
+        let mut rets = Vec::new();
+        for (f, args) in &w.calls {
+            rets.push(mach.call(f, args).unwrap());
+        }
+        (w.check)(&mach.image, &rets).unwrap();
+    }
+
+    #[test]
+    fn default_matches_paper_generator_family() {
+        let p = G500Params::default();
+        assert_eq!(p.edge_factor, 10);
+    }
+}

@@ -1,0 +1,326 @@
+//! Graph substrate: CSR representation and synthetic generators standing
+//! in for the SNAP datasets of Table 4.
+//!
+//! The SNAP files themselves are not redistributable here; what the
+//! experiments need from them is the *memory-access structure* — vertex
+//! count, edge count, degree distribution, and a footprint well beyond the
+//! LLC. Each [`DatasetSpec`] therefore names a generator family (uniform,
+//! power-law, road-grid) parameterised to the corresponding SNAP graph,
+//! scaled by a configurable factor (default 1/8, matching the scaled cache
+//! hierarchy).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A directed graph in compressed-sparse-row form, `u32` indices (as in
+/// CRONO).
+#[derive(Debug, Clone)]
+pub struct Csr {
+    /// Number of vertices.
+    pub n: usize,
+    /// `row_ptr[v]..row_ptr[v+1]` indexes `col` with v's out-neighbours.
+    pub row_ptr: Vec<u32>,
+    /// Edge targets.
+    pub col: Vec<u32>,
+    /// Per-edge weights (for SSSP); same length as `col`.
+    pub weight: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds a CSR from an edge list (duplicates kept, self-loops kept).
+    pub fn from_edges(n: usize, edges: &[(u32, u32)], rng: &mut SmallRng) -> Csr {
+        let mut deg = vec![0u32; n];
+        for &(u, _) in edges {
+            deg[u as usize] += 1;
+        }
+        let mut row_ptr = vec![0u32; n + 1];
+        for v in 0..n {
+            row_ptr[v + 1] = row_ptr[v] + deg[v];
+        }
+        let mut next = row_ptr.clone();
+        let mut col = vec![0u32; edges.len()];
+        for &(u, v) in edges {
+            col[next[u as usize] as usize] = v;
+            next[u as usize] += 1;
+        }
+        let weight = (0..edges.len()).map(|_| rng.gen_range(1..=16u32)).collect();
+        Csr {
+            n,
+            row_ptr,
+            col,
+            weight,
+        }
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.col.len()
+    }
+
+    /// Out-neighbours of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let lo = self.row_ptr[v as usize] as usize;
+        let hi = self.row_ptr[v as usize + 1] as usize;
+        &self.col[lo..hi]
+    }
+
+    /// Mean out-degree.
+    pub fn mean_degree(&self) -> f64 {
+        self.m() as f64 / self.n.max(1) as f64
+    }
+}
+
+/// Uniform random directed graph: `n` vertices, out-degree `degree`.
+pub fn uniform(n: usize, degree: usize, seed: u64) -> Csr {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n * degree);
+    for u in 0..n as u32 {
+        for _ in 0..degree {
+            edges.push((u, rng.gen_range(0..n as u32)));
+        }
+    }
+    Csr::from_edges(n, &edges, &mut rng)
+}
+
+/// RMAT/Kronecker-style power-law graph (Graph500's generator family):
+/// `2^scale` vertices, `edge_factor × 2^scale` edges, recursively biased
+/// towards low vertex ids (a = 0.57, b = c = 0.19, d = 0.05).
+pub fn rmat(scale: u32, edge_factor: usize, seed: u64) -> Csr {
+    let n = 1usize << scale;
+    let m = n * edge_factor;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut u, mut v) = (0u32, 0u32);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.gen();
+            if r < 0.57 {
+                // Quadrant a: (0, 0).
+            } else if r < 0.76 {
+                v |= 1;
+            } else if r < 0.95 {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        edges.push((u, v));
+    }
+    // Permute vertex ids so degree correlates less with id (as Graph500
+    // requires).
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    for e in edges.iter_mut() {
+        *e = (perm[e.0 as usize], perm[e.1 as usize]);
+    }
+    Csr::from_edges(n, &edges, &mut rng)
+}
+
+/// Road-network-like graph: a √n × √n grid with 4-neighbour connectivity
+/// plus a few per-row shortcuts (roadNet-CA/PA have mean degree ≈ 1.4–2.8
+/// and huge diameter).
+pub fn road_grid(n: usize, seed: u64) -> Csr {
+    let side = (n as f64).sqrt() as usize;
+    let n = side * side;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n * 3);
+    let idx = |x: usize, y: usize| (y * side + x) as u32;
+    for y in 0..side {
+        for x in 0..side {
+            let u = idx(x, y);
+            if x + 1 < side {
+                edges.push((u, idx(x + 1, y)));
+                edges.push((idx(x + 1, y), u));
+            }
+            if y + 1 < side {
+                edges.push((u, idx(x, y + 1)));
+                edges.push((idx(x, y + 1), u));
+            }
+            // Occasional shortcut (bridges/highways).
+            if rng.gen_ratio(1, 50) {
+                edges.push((u, rng.gen_range(0..n as u32)));
+            }
+        }
+    }
+    Csr::from_edges(n, &edges, &mut rng)
+}
+
+/// Which generator family models a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    Uniform,
+    PowerLaw,
+    Road,
+}
+
+/// A synthetic stand-in for one SNAP dataset (Table 4), or one of the
+/// paper's synthetic inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetSpec {
+    /// Dataset name as printed in Table 4 / the figures.
+    pub name: &'static str,
+    /// Vertices at scale 1.0 (the paper's size).
+    pub vertices: usize,
+    /// Edges at scale 1.0.
+    pub edges: usize,
+    pub family: Family,
+}
+
+impl DatasetSpec {
+    /// Materialises the dataset at `scale` (e.g. 0.125 = 1/8 size).
+    pub fn generate(&self, scale: f64, seed: u64) -> Csr {
+        let n = ((self.vertices as f64 * scale) as usize).max(256);
+        let m = ((self.edges as f64 * scale) as usize).max(512);
+        let degree = (m / n).max(1);
+        match self.family {
+            Family::Uniform => uniform(n, degree, seed),
+            Family::PowerLaw => {
+                let sc = (n as f64).log2().ceil() as u32;
+                rmat(sc, degree.max(2), seed)
+            }
+            Family::Road => road_grid(n, seed),
+        }
+    }
+}
+
+/// The Table-4 datasets, plus the synthetic graphs used in Figs. 6–10.
+pub const DATASETS: &[DatasetSpec] = &[
+    DatasetSpec {
+        name: "web-Google (WG)",
+        vertices: 875_713,
+        edges: 5_105_039,
+        family: Family::PowerLaw,
+    },
+    DatasetSpec {
+        name: "p2p-Gnutella31 (P2P)",
+        vertices: 62_586,
+        edges: 147_892,
+        family: Family::Uniform,
+    },
+    DatasetSpec {
+        name: "roadNet-CA (CA)",
+        vertices: 1_965_206,
+        edges: 2_766_607,
+        family: Family::Road,
+    },
+    DatasetSpec {
+        name: "roadNet-PA (PA)",
+        vertices: 1_088_092,
+        edges: 1_541_898,
+        family: Family::Road,
+    },
+    DatasetSpec {
+        name: "loc-Brightkite (LBE)",
+        vertices: 58_228,
+        edges: 214_078,
+        family: Family::Uniform,
+    },
+    DatasetSpec {
+        name: "web-BerkStan (WB)",
+        vertices: 685_230,
+        edges: 7_600_595,
+        family: Family::PowerLaw,
+    },
+    DatasetSpec {
+        name: "web-NotreDame (WN)",
+        vertices: 325_729,
+        edges: 1_497_134,
+        family: Family::PowerLaw,
+    },
+    DatasetSpec {
+        name: "web-Stanford (WS)",
+        vertices: 281_903,
+        edges: 2_312_497,
+        family: Family::PowerLaw,
+    },
+];
+
+/// Looks a dataset up by its short code ("WG", "P2P", …).
+pub fn dataset_by_code(code: &str) -> Option<&'static DatasetSpec> {
+    DATASETS
+        .iter()
+        .find(|d| d.name.contains(&format!("({code})")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_from_edges_round_trips() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = Csr::from_edges(4, &[(0, 1), (0, 2), (2, 3), (3, 0)], &mut rng);
+        assert_eq!(g.n, 4);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[] as &[u32]);
+        assert_eq!(g.neighbors(2), &[3]);
+        assert_eq!(g.weight.len(), 4);
+        assert!(g.weight.iter().all(|&w| (1..=16).contains(&w)));
+    }
+
+    #[test]
+    fn uniform_has_requested_degree() {
+        let g = uniform(1000, 8, 42);
+        assert_eq!(g.n, 1000);
+        assert_eq!(g.m(), 8000);
+        assert!((g.mean_degree() - 8.0).abs() < 1e-9);
+        assert!(g.col.iter().all(|&c| (c as usize) < 1000));
+    }
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        let a = uniform(500, 4, 7);
+        let b = uniform(500, 4, 7);
+        let c = uniform(500, 4, 8);
+        assert_eq!(a.col, b.col);
+        assert_ne!(a.col, c.col);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(12, 8, 3);
+        assert_eq!(g.n, 4096);
+        assert_eq!(g.m(), 4096 * 8);
+        // Power-law: the max degree far exceeds the mean.
+        let max_deg = (0..g.n)
+            .map(|v| g.row_ptr[v + 1] - g.row_ptr[v])
+            .max()
+            .unwrap();
+        assert!(
+            max_deg as f64 > 6.0 * g.mean_degree(),
+            "max {max_deg} vs mean {}",
+            g.mean_degree()
+        );
+    }
+
+    #[test]
+    fn road_grid_has_low_degree() {
+        let g = road_grid(10_000, 5);
+        assert!(g.mean_degree() < 5.0);
+        assert!(g.mean_degree() > 3.0);
+    }
+
+    #[test]
+    fn dataset_lookup_and_generation() {
+        let d = dataset_by_code("LBE").unwrap();
+        assert_eq!(d.vertices, 58_228);
+        let g = d.generate(0.125, 1);
+        assert!(g.n >= 58_228 / 8 - 2 && g.n <= 58_228 / 4);
+        assert!(dataset_by_code("XX").is_none());
+    }
+
+    #[test]
+    fn all_table4_rows_present() {
+        assert_eq!(DATASETS.len(), 8);
+        for code in ["WG", "P2P", "CA", "PA", "LBE", "WB", "WN", "WS"] {
+            assert!(dataset_by_code(code).is_some(), "{code}");
+        }
+    }
+}

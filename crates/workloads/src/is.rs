@@ -1,0 +1,206 @@
+//! Integer Sort (NAS IS): counting-sort ranking of random integer keys.
+//!
+//! The delinquent access is the histogram update `cnt[keys[i]]++` and the
+//! ranking gather `cnt[keys[i]]` — indirect read-modify-writes over a
+//! count array far larger than the LLC.
+
+use apt_cpu::MemImage;
+use apt_lir::{FunctionBuilder, Module, Operand, Width};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::BuiltWorkload;
+
+/// IS parameters: `n` keys uniform in `[0, max_key)`, `iterations` full
+/// rank passes (the paper uses 25 on Class B/C; scaled runs use fewer).
+#[derive(Debug, Clone, Copy)]
+pub struct IsParams {
+    pub n: u64,
+    pub max_key: u64,
+    pub iterations: u64,
+    pub seed: u64,
+}
+
+impl Default for IsParams {
+    fn default() -> IsParams {
+        IsParams {
+            n: 1 << 20,
+            max_key: 1 << 21,
+            iterations: 2,
+            seed: 0x15,
+        }
+    }
+}
+
+/// Builds the IS module.
+///
+/// Kernels:
+/// * `is_clear(cnt, maxk)` — zero the histogram (streaming);
+/// * `is_count(keys, cnt, n)` — `cnt[keys[i]]++` (indirect RMW);
+/// * `is_prefix(cnt, maxk) -> total` — exclusive prefix sum (streaming);
+/// * `is_rank(keys, cnt, rank, n) -> checksum` — `rank[i] = cnt[keys[i]]++`.
+pub fn build_module() -> Module {
+    let mut m = Module::new("is");
+
+    let f = m.add_function("is_clear", &["cnt", "maxk"]);
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let (cnt, maxk) = (b.param(0), b.param(1));
+        b.loop_up(0, maxk, 1, |b, i| {
+            b.store_elem(cnt, i, 0u64, Width::W4);
+        });
+        b.ret(None::<Operand>);
+    }
+
+    let f = m.add_function("is_count", &["keys", "cnt", "n"]);
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let (keys, cnt, n) = (b.param(0), b.param(1), b.param(2));
+        b.loop_up(0, n, 1, |b, i| {
+            let k = b.load_elem(keys, i, Width::W4, false);
+            // The delinquent indirect RMW.
+            let c = b.load_elem(cnt, k, Width::W4, false);
+            let c1 = b.add(c, 1);
+            b.store_elem(cnt, k, c1, Width::W4);
+        });
+        b.ret(None::<Operand>);
+    }
+
+    let f = m.add_function("is_prefix", &["cnt", "maxk"]);
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let (cnt, maxk) = (b.param(0), b.param(1));
+        let total = b.loop_up_reduce(0, maxk, 1, 0, |b, i, acc| {
+            let c = b.load_elem(cnt, i, Width::W4, false);
+            b.store_elem(cnt, i, acc, Width::W4);
+            b.add(acc, c).into()
+        });
+        b.ret(Some(total));
+    }
+
+    let f = m.add_function("is_rank", &["keys", "cnt", "rank", "n"]);
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let (keys, cnt, rank, n) = (b.param(0), b.param(1), b.param(2), b.param(3));
+        let sum = b.loop_up_reduce(0, n, 1, 0, |b, i, acc| {
+            let k = b.load_elem(keys, i, Width::W4, false);
+            // The delinquent indirect RMW.
+            let r = b.load_elem(cnt, k, Width::W4, false);
+            let r1 = b.add(r, 1);
+            b.store_elem(cnt, k, r1, Width::W4);
+            b.store_elem(rank, i, r, Width::W4);
+            b.add(acc, r).into()
+        });
+        b.ret(Some(sum));
+    }
+    m
+}
+
+/// Native reference: returns (ranks, rank checksum) for one pass.
+pub fn reference(keys: &[u32], max_key: usize) -> (Vec<u32>, u64) {
+    let mut cnt = vec![0u32; max_key];
+    for &k in keys {
+        cnt[k as usize] += 1;
+    }
+    let mut sum = 0u32;
+    for c in cnt.iter_mut() {
+        let v = *c;
+        *c = sum;
+        sum = sum.wrapping_add(v);
+    }
+    let mut ranks = Vec::with_capacity(keys.len());
+    let mut checksum = 0u64;
+    for &k in keys {
+        let r = cnt[k as usize];
+        cnt[k as usize] += 1;
+        ranks.push(r);
+        checksum = checksum.wrapping_add(r as u64);
+    }
+    (ranks, checksum)
+}
+
+/// Builds the complete IS workload.
+pub fn build(p: IsParams) -> BuiltWorkload {
+    let mut rng = SmallRng::seed_from_u64(p.seed);
+    let keys: Vec<u32> = (0..p.n)
+        .map(|_| rng.gen_range(0..p.max_key as u32))
+        .collect();
+    let (ranks, checksum) = reference(&keys, p.max_key as usize);
+
+    let mut image = MemImage::new();
+    let keys_b = image.alloc_u32_slice(&keys);
+    let cnt_b = image.alloc(p.max_key * 4, 64);
+    let rank_b = image.alloc(p.n * 4, 64);
+
+    let mut calls: Vec<(String, Vec<u64>)> = Vec::new();
+    let mut expected: Vec<Option<u64>> = Vec::new();
+    let key_total: u64 = p.n; // Prefix-sum total = number of keys.
+    for _ in 0..p.iterations {
+        calls.push(("is_clear".into(), vec![cnt_b, p.max_key]));
+        expected.push(None);
+        calls.push(("is_count".into(), vec![keys_b, cnt_b, p.n]));
+        expected.push(None);
+        calls.push(("is_prefix".into(), vec![cnt_b, p.max_key]));
+        expected.push(Some(key_total));
+        calls.push(("is_rank".into(), vec![keys_b, cnt_b, rank_b, p.n]));
+        expected.push(Some(checksum));
+    }
+
+    let n = p.n as usize;
+    BuiltWorkload {
+        name: "IS".into(),
+        module: build_module(),
+        image,
+        calls,
+        check: Box::new(move |img, rets| {
+            BuiltWorkload::returns_checker(expected.clone())(img, rets)?;
+            let got = img.read_u32_slice(rank_b, n).map_err(|e| e.to_string())?;
+            if got != ranks {
+                let i = got.iter().zip(&ranks).position(|(a, b)| a != b).unwrap();
+                return Err(format!("rank[{i}] = {}, expected {}", got[i], ranks[i]));
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_cpu::{Machine, SimConfig};
+    use apt_lir::verify::verify_module;
+
+    fn small() -> IsParams {
+        IsParams {
+            n: 2000,
+            max_key: 4096,
+            iterations: 2,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn module_verifies() {
+        verify_module(&build_module()).unwrap();
+    }
+
+    #[test]
+    fn simulated_is_matches_reference() {
+        let w = build(small());
+        let mut mach = Machine::new(&w.module, SimConfig::default(), w.image);
+        let mut rets = Vec::new();
+        for (f, args) in &w.calls {
+            rets.push(mach.call(f, args).unwrap());
+        }
+        (w.check)(&mach.image, &rets).unwrap();
+    }
+
+    #[test]
+    fn reference_ranks_are_a_permutation_basis() {
+        let keys = vec![3u32, 1, 3, 0];
+        let (ranks, _) = reference(&keys, 4);
+        // Sorted positions: 0→1, 1→... key 0 gets rank 0; key 1 rank 1;
+        // first 3 gets rank 2; second 3 gets rank 3.
+        assert_eq!(ranks, vec![2, 1, 3, 0]);
+    }
+}

@@ -1,0 +1,82 @@
+//! The paper's evaluation workloads, expressed in `apt-lir`.
+//!
+//! Every application from Table 3 is built here as an IR module plus a
+//! populated memory image, together with a *native Rust reference
+//! implementation* used to check that simulation (and, crucially,
+//! prefetch-injected simulation) computes the right answer:
+//!
+//! | App | Paper source | Module |
+//! |---|---|---|
+//! | BFS, DFS, PR, BC, SSSP | CRONO | [`bfs`], [`dfs`], [`pagerank`], [`bc`], [`sssp`] |
+//! | IS, CG | NAS Parallel Benchmarks | [`is`], [`cg`] |
+//! | RandomAccess | HPC Challenge | [`randacc`] |
+//! | HJ2/HJ8 (NPO, NPO_st) | hash-join [19] | [`hashjoin`] |
+//! | Graph500 | Graph500 BFS | [`graph500`] |
+//!
+//! Plus the §2 microbenchmark ([`micro`]) and the graph substrate
+//! ([`graphs`]) with synthetic stand-ins for the SNAP datasets (Table 4).
+//!
+//! Scaled footprints: simulated datasets default to ≈ 1/8 of the paper's
+//! sizes, matching the scaled cache hierarchy of `apt-mem` (see DESIGN.md).
+
+pub mod bc;
+pub mod bfs;
+pub mod cg;
+pub mod dfs;
+pub mod graph500;
+pub mod graphs;
+pub mod hashjoin;
+pub mod is;
+pub mod micro;
+pub mod pagerank;
+pub mod randacc;
+pub mod registry;
+pub mod sssp;
+
+pub use graphs::{Csr, DatasetSpec};
+pub use registry::{all_workloads, nested_loop_workloads, WorkloadSpec};
+
+use apt_cpu::MemImage;
+use apt_lir::Module;
+
+/// A fully materialised workload: module + data + call schedule + checker.
+pub struct BuiltWorkload {
+    /// Short name as used in the paper's figures (e.g. "BFS", "HJ8-NPO").
+    pub name: String,
+    /// The IR to compile/instrument/run.
+    pub module: Module,
+    /// The populated data image.
+    pub image: MemImage,
+    /// Kernel invocations in order: `(function, args)`.
+    pub calls: Vec<(String, Vec<u64>)>,
+    /// Result checker: receives the final image and the return values of
+    /// each call; returns a description of the first mismatch, if any.
+    pub check: Checker,
+}
+
+/// Boxed result checker.
+pub type Checker = Box<dyn Fn(&MemImage, &[Option<u64>]) -> Result<(), String> + Send>;
+
+impl BuiltWorkload {
+    /// A checker that compares each call's return value to an expected
+    /// list (`None` entries are ignored).
+    pub fn returns_checker(expected: Vec<Option<u64>>) -> Checker {
+        Box::new(move |_img, rets| {
+            for (i, (got, want)) in rets.iter().zip(expected.iter()).enumerate() {
+                if let Some(w) = want {
+                    if got != &Some(*w) {
+                        return Err(format!("call {i}: returned {got:?}, expected {w}"));
+                    }
+                }
+            }
+            if rets.len() < expected.len() {
+                return Err(format!(
+                    "expected {} calls, only {} ran",
+                    expected.len(),
+                    rets.len()
+                ));
+            }
+            Ok(())
+        })
+    }
+}

@@ -1,0 +1,222 @@
+//! The §2 microbenchmark (Listing 1): a two-nested loop with an indirect
+//! access `T[BI[i] + BO[j]]` followed by a dependent work function of
+//! configurable complexity.
+
+use apt_cpu::MemImage;
+use apt_lir::{FunctionBuilder, Module, Operand, Width};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::BuiltWorkload;
+
+/// Work-function complexity: the length of the dependent ALU chain
+/// executed on each loaded value (the paper's low/medium/high).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Complexity {
+    Low,
+    Medium,
+    High,
+    /// An explicit chain length.
+    Chain(usize),
+}
+
+impl Complexity {
+    /// Chain length in dependent adds.
+    pub fn chain_len(self) -> usize {
+        match self {
+            Complexity::Low => 2,
+            Complexity::Medium => 12,
+            Complexity::High => 48,
+            Complexity::Chain(n) => n,
+        }
+    }
+
+    /// Paper-style label.
+    pub fn label(self) -> String {
+        match self {
+            Complexity::Low => "low".into(),
+            Complexity::Medium => "medium".into(),
+            Complexity::High => "high".into(),
+            Complexity::Chain(n) => format!("chain{n}"),
+        }
+    }
+}
+
+/// Microbenchmark parameters (§2.1's `INNER` / `COMPLEXITY` plus sizes).
+#[derive(Debug, Clone, Copy)]
+pub struct MicroParams {
+    /// Outer-loop trip count.
+    pub outer: u64,
+    /// Inner-loop trip count (`INNER`).
+    pub inner: u64,
+    /// Work-function complexity (`COMPLEXITY`).
+    pub complexity: Complexity,
+    /// Elements in the target array `T` (u32); sized ≫ LLC by default.
+    pub t_len: u64,
+    /// The inner index array `BI` draws from `[0, window)`; together with
+    /// `BO[j]` the accesses sweep a `window`-sized region of `T` per outer
+    /// iteration.
+    pub window: u64,
+    pub seed: u64,
+}
+
+impl Default for MicroParams {
+    fn default() -> MicroParams {
+        MicroParams {
+            outer: 2000,
+            inner: 256,
+            complexity: Complexity::Low,
+            t_len: 4 << 20,  // 16 MiB of u32 ≫ the 2 MiB scaled LLC.
+            window: 1 << 20, // 4 MiB window per outer iteration.
+            seed: 0xA9F1,
+        }
+    }
+}
+
+/// Builds the microbenchmark module (kernel named `micro`).
+///
+/// IR shape mirrors Listing 3: outer loop loads `BO[j]`, inner loop loads
+/// `BI[i]`, adds, loads `T[...]`, and feeds the value into a dependent
+/// work chain accumulated across iterations.
+pub fn build_module(complexity: Complexity) -> Module {
+    let mut m = Module::new("micro");
+    let f = m.add_function("micro", &["t", "bi", "bo", "outer", "inner"]);
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let (t, bi, bo, outer, inner) =
+            (b.param(0), b.param(1), b.param(2), b.param(3), b.param(4));
+        let acc_out = b.loop_up_carried(0, outer, 1, &[Operand::Imm(0)], |b, j, car| {
+            let b0 = b.load_elem(bo, j, Width::W4, false);
+            let acc_in = b.loop_up_carried(0, inner, 1, &[Operand::Reg(car[0])], |b, i, car2| {
+                let x = b.load_elem(bi, i, Width::W4, false);
+                let idx = b.add(x, b0);
+                let v = b.load_elem(t, idx, Width::W4, false);
+                // Work dependent on the loaded value (§2.1).
+                let seeded = b.add(car2[0], v);
+                let worked = b.work_chain(seeded, complexity.chain_len());
+                vec![worked.into()]
+            });
+            vec![acc_in[0].into()]
+        });
+        b.ret(Some(acc_out[0]));
+    }
+    m
+}
+
+/// Native reference computing the same accumulator.
+pub fn reference(t: &[u32], bi: &[u32], bo: &[u32], chain: usize) -> u64 {
+    let mut acc = 0u64;
+    for &b0 in bo {
+        for &x in bi {
+            let v = t[(x + b0) as usize] as u64;
+            let mut w = acc.wrapping_add(v).wrapping_add(0x9e37_79b9);
+            for i in 0..chain {
+                w = w.wrapping_add((i as u64).wrapping_mul(0x85eb_ca77) | 1);
+            }
+            acc = w;
+        }
+    }
+    acc
+}
+
+/// Builds the complete workload (module + data + checker).
+pub fn build(p: MicroParams) -> BuiltWorkload {
+    let mut rng = SmallRng::seed_from_u64(p.seed);
+    let t: Vec<u32> = (0..p.t_len).map(|_| rng.gen::<u32>() >> 8).collect();
+    let bi: Vec<u32> = (0..p.inner)
+        .map(|_| rng.gen_range(0..p.window as u32))
+        .collect();
+    let hi = (p.t_len - p.window) as u32;
+    let bo: Vec<u32> = (0..p.outer).map(|_| rng.gen_range(0..hi)).collect();
+
+    let expected = reference(&t, &bi, &bo, p.complexity.chain_len());
+
+    let mut image = MemImage::new();
+    let t_base = image.alloc_u32_slice(&t);
+    let bi_base = image.alloc_u32_slice(&bi);
+    let bo_base = image.alloc_u32_slice(&bo);
+
+    BuiltWorkload {
+        name: format!("micro-{}", p.complexity.label()),
+        module: build_module(p.complexity),
+        image,
+        calls: vec![(
+            "micro".into(),
+            vec![t_base, bi_base, bo_base, p.outer, p.inner],
+        )],
+        check: BuiltWorkload::returns_checker(vec![Some(expected)]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_cpu::{Machine, SimConfig};
+    use apt_lir::verify::verify_module;
+
+    fn small() -> MicroParams {
+        MicroParams {
+            outer: 8,
+            inner: 32,
+            complexity: Complexity::Low,
+            t_len: 1 << 14,
+            window: 1 << 12,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn module_verifies() {
+        let m = build_module(Complexity::Medium);
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn simulated_result_matches_reference() {
+        let w = build(small());
+        let mut mach = Machine::new(&w.module, SimConfig::default(), w.image);
+        let mut rets = Vec::new();
+        for (f, args) in &w.calls {
+            rets.push(mach.call(f, args).unwrap());
+        }
+        (w.check)(&mach.image, &rets).unwrap();
+    }
+
+    #[test]
+    fn complexity_changes_instruction_count() {
+        let lo = build(MicroParams {
+            complexity: Complexity::Low,
+            ..small()
+        });
+        let hi = build(MicroParams {
+            complexity: Complexity::High,
+            ..small()
+        });
+        let run = |w: &BuiltWorkload| {
+            let mut mach = Machine::new(&w.module, SimConfig::default(), w.image.clone());
+            for (f, args) in &w.calls {
+                mach.call(f, args).unwrap();
+            }
+            mach.stats().instructions
+        };
+        assert!(run(&hi) > 2 * run(&lo));
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let a = build(small());
+        let b = build(small());
+        assert_eq!(
+            apt_lir::print::module_to_string(&a.module),
+            apt_lir::print::module_to_string(&b.module)
+        );
+        assert_eq!(a.calls, b.calls);
+    }
+
+    #[test]
+    fn indirect_load_is_detected_by_the_pass() {
+        let m = build_module(Complexity::Low);
+        let found = apt_passes::inject::detect_indirect_loads(&m);
+        assert_eq!(found.len(), 1, "exactly the T load is indirect");
+    }
+}

@@ -1,0 +1,245 @@
+//! The Table-3 application registry: one entry per paper workload, with a
+//! uniform build interface for the experiment harness.
+
+use crate::graphs::uniform;
+use crate::hashjoin::{HjParams, Layout};
+use crate::BuiltWorkload;
+use crate::{bc, bfs, cg, dfs, graph500, hashjoin, is, pagerank, randacc, sssp};
+
+/// One registered application.
+pub struct WorkloadSpec {
+    /// Figure label ("BFS", "HJ8-NPO", …).
+    pub name: &'static str,
+    /// True if the delinquent loads sit in nested loops (Fig. 10's set).
+    pub nested: bool,
+    builder: fn(f64, u64) -> BuiltWorkload,
+}
+
+impl WorkloadSpec {
+    /// Builds the workload at `scale` (1.0 = the default scaled-machine
+    /// footprints; smaller for quick runs) with the given input `seed`
+    /// (vary the seed for the Fig. 12 train/test experiment).
+    pub fn build(&self, scale: f64, seed: u64) -> BuiltWorkload {
+        (self.builder)(scale, seed)
+    }
+}
+
+fn sz(scale: f64, base: usize, min: usize) -> usize {
+    ((base as f64 * scale) as usize).max(min)
+}
+
+fn build_bfs(scale: f64, seed: u64) -> BuiltWorkload {
+    let g = uniform(sz(scale, 300_000, 1000), 8, seed);
+    bfs::build("BFS", &g, 0)
+}
+
+fn build_dfs(scale: f64, seed: u64) -> BuiltWorkload {
+    let g = uniform(sz(scale, 250_000, 1000), 8, seed);
+    dfs::build("DFS", &g, 0)
+}
+
+fn build_pr(scale: f64, seed: u64) -> BuiltWorkload {
+    let g = uniform(sz(scale, 200_000, 1000), 8, seed);
+    pagerank::build("PR", &g, 2)
+}
+
+fn build_bc(scale: f64, seed: u64) -> BuiltWorkload {
+    // The paper's synthetic BC input family (n nodes, degree 8).
+    let g = uniform(sz(scale, 200_000, 1000), 8, seed);
+    bc::build("BC", &g, 0)
+}
+
+fn build_sssp(scale: f64, seed: u64) -> BuiltWorkload {
+    let g = uniform(sz(scale, 250_000, 1000), 8, seed);
+    sssp::build("SSSP", &g, 0, 3)
+}
+
+fn build_is(scale: f64, seed: u64) -> BuiltWorkload {
+    is::build(is::IsParams {
+        n: sz(scale, 1 << 19, 4096) as u64,
+        max_key: sz(scale, 1 << 20, 8192) as u64,
+        iterations: 2,
+        seed,
+    })
+}
+
+fn build_cg(scale: f64, seed: u64) -> BuiltWorkload {
+    cg::build(cg::CgParams {
+        n: sz(scale, 200_000, 2048) as u64,
+        nnz_per_row: 12,
+        bandwidth: 2048,
+        iterations: 3,
+        seed,
+    })
+}
+
+fn build_randacc(scale: f64, seed: u64) -> BuiltWorkload {
+    randacc::build(randacc::GupsParams {
+        table_len: (sz(scale, 1 << 20, 4096) as u64).next_power_of_two(),
+        updates: sz(scale, 1 << 19, 4096) as u64,
+        seed,
+    })
+}
+
+fn hj(scale: f64, seed: u64, slots: u64, layout: Layout) -> BuiltWorkload {
+    let mut p = if slots == 2 {
+        HjParams::hj2(layout)
+    } else {
+        HjParams::hj8(layout)
+    };
+    p.buckets = (sz(scale, p.buckets as usize, 1024) as u64).next_power_of_two();
+    p.probes = sz(scale, p.probes as usize, 2048) as u64;
+    p.seed = seed;
+    hashjoin::build(p)
+}
+
+fn build_hj2_npo(scale: f64, seed: u64) -> BuiltWorkload {
+    hj(scale, seed, 2, Layout::Npo)
+}
+
+fn build_hj2_npost(scale: f64, seed: u64) -> BuiltWorkload {
+    hj(scale, seed, 2, Layout::NpoSt)
+}
+
+fn build_hj8_npo(scale: f64, seed: u64) -> BuiltWorkload {
+    hj(scale, seed, 8, Layout::Npo)
+}
+
+fn build_hj8_npost(scale: f64, seed: u64) -> BuiltWorkload {
+    hj(scale, seed, 8, Layout::NpoSt)
+}
+
+fn build_graph500(scale: f64, seed: u64) -> BuiltWorkload {
+    // Scale shrinks the exponent: full = 2^18 vertices here.
+    let sc = if scale >= 1.0 {
+        17
+    } else {
+        (17.0 + scale.log2()).round().clamp(8.0, 17.0) as u32
+    };
+    graph500::build(graph500::G500Params {
+        scale: sc,
+        edge_factor: 10,
+        seed,
+    })
+}
+
+/// Every Table-3 application, in the paper's figure order.
+pub fn all_workloads() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec {
+            name: "BFS",
+            nested: true,
+            builder: build_bfs,
+        },
+        WorkloadSpec {
+            name: "DFS",
+            nested: true,
+            builder: build_dfs,
+        },
+        WorkloadSpec {
+            name: "PR",
+            nested: true,
+            builder: build_pr,
+        },
+        WorkloadSpec {
+            name: "BC",
+            nested: true,
+            builder: build_bc,
+        },
+        WorkloadSpec {
+            name: "SSSP",
+            nested: false,
+            builder: build_sssp,
+        },
+        WorkloadSpec {
+            name: "IS",
+            nested: false,
+            builder: build_is,
+        },
+        WorkloadSpec {
+            name: "CG",
+            nested: true,
+            builder: build_cg,
+        },
+        WorkloadSpec {
+            name: "RandAcc",
+            nested: false,
+            builder: build_randacc,
+        },
+        WorkloadSpec {
+            name: "HJ2-NPO",
+            nested: true,
+            builder: build_hj2_npo,
+        },
+        WorkloadSpec {
+            name: "HJ2-NPO_st",
+            nested: true,
+            builder: build_hj2_npost,
+        },
+        WorkloadSpec {
+            name: "HJ8-NPO",
+            nested: true,
+            builder: build_hj8_npo,
+        },
+        WorkloadSpec {
+            name: "HJ8-NPO_st",
+            nested: true,
+            builder: build_hj8_npost,
+        },
+        WorkloadSpec {
+            name: "Graph500",
+            nested: true,
+            builder: build_graph500,
+        },
+    ]
+}
+
+/// The subset with nested-loop delinquent loads (Fig. 10's apps).
+pub fn nested_loop_workloads() -> Vec<WorkloadSpec> {
+    all_workloads().into_iter().filter(|w| w.nested).collect()
+}
+
+/// Looks a workload up by name.
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    all_workloads().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_table3() {
+        let names: Vec<&str> = all_workloads().iter().map(|w| w.name).collect();
+        for expected in [
+            "BFS", "DFS", "PR", "BC", "SSSP", "IS", "CG", "RandAcc", "HJ2-NPO", "HJ8-NPO",
+            "Graph500",
+        ] {
+            assert!(names.contains(&expected), "{expected} missing");
+        }
+    }
+
+    #[test]
+    fn tiny_builds_are_checkable() {
+        use apt_cpu::{Machine, SimConfig};
+        // A smoke test over every workload at minimal scale.
+        for spec in all_workloads() {
+            let w = spec.build(0.004, 42);
+            let mut mach = Machine::new(&w.module, SimConfig::default(), w.image);
+            let mut rets = Vec::new();
+            for (f, args) in &w.calls {
+                rets.push(
+                    mach.call(f, args)
+                        .unwrap_or_else(|e| panic!("{}: {e}", spec.name)),
+                );
+            }
+            (w.check)(&mach.image, &rets).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("BFS").is_some());
+        assert!(by_name("nope").is_none());
+    }
+}

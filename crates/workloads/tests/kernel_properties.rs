@@ -1,0 +1,124 @@
+//! Property tests: the IR kernels agree with their native references on
+//! random graphs and inputs.
+
+use apt_cpu::{Machine, SimConfig};
+use apt_workloads::graphs::{uniform, Csr};
+use apt_workloads::{bfs, dfs, hashjoin, is, micro, randacc, sssp};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn run_and_check(w: &apt_workloads::BuiltWorkload) -> Result<(), TestCaseError> {
+    let mut mach = Machine::new(&w.module, SimConfig::default(), w.image.clone());
+    let mut rets = Vec::new();
+    for (f, args) in &w.calls {
+        rets.push(
+            mach.call(f, args)
+                .map_err(|e| TestCaseError::fail(format!("{}: {e}", w.name)))?,
+        );
+    }
+    (w.check)(&mach.image, &rets).map_err(|e| TestCaseError::fail(format!("{}: {e}", w.name)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn bfs_on_random_graphs(n in 20usize..150, deg in 1usize..6, seed in any::<u64>()) {
+        let g = uniform(n, deg, seed);
+        run_and_check(&bfs::build("BFS", &g, 0))?;
+    }
+
+    #[test]
+    fn dfs_on_random_graphs(n in 20usize..150, deg in 1usize..6, seed in any::<u64>()) {
+        let g = uniform(n, deg, seed);
+        run_and_check(&dfs::build("DFS", &g, 0))?;
+    }
+
+    #[test]
+    fn sssp_on_random_graphs(n in 20usize..120, deg in 1usize..5, seed in any::<u64>(), rounds in 1usize..4) {
+        let g = uniform(n, deg, seed);
+        run_and_check(&sssp::build("SSSP", &g, 0, rounds))?;
+    }
+
+    #[test]
+    fn is_on_random_keys(n in 64u64..2000, logk in 6u32..12, seed in any::<u64>()) {
+        run_and_check(&is::build(is::IsParams {
+            n,
+            max_key: 1 << logk,
+            iterations: 1,
+            seed,
+        }))?;
+    }
+
+    #[test]
+    fn gups_on_random_tables(logt in 6u32..12, updates in 16u64..2000, seed in any::<u64>()) {
+        run_and_check(&randacc::build(randacc::GupsParams {
+            table_len: 1 << logt,
+            updates,
+            seed,
+        }))?;
+    }
+
+    #[test]
+    fn hashjoin_on_random_tables(
+        logb in 6u64..10,
+        slots in prop::sample::select(vec![2u64, 8]),
+        probes in 64u64..1500,
+        hit_pct in 0u32..100,
+        seed in any::<u64>(),
+        soa in any::<bool>(),
+    ) {
+        let layout = if soa { hashjoin::Layout::NpoSt } else { hashjoin::Layout::Npo };
+        run_and_check(&hashjoin::build(hashjoin::HjParams {
+            buckets: 1 << logb,
+            slots,
+            probes,
+            hit_pct,
+            layout,
+            seed,
+        }))?;
+    }
+
+    #[test]
+    fn micro_on_random_params(
+        outer in 1u64..12,
+        inner in 1u64..80,
+        chain in 0usize..24,
+        seed in any::<u64>(),
+    ) {
+        run_and_check(&micro::build(micro::MicroParams {
+            outer,
+            inner,
+            complexity: micro::Complexity::Chain(chain),
+            t_len: 1 << 13,
+            window: 1 << 11,
+            seed,
+        }))?;
+    }
+}
+
+/// Edge-case graphs that property generation rarely hits.
+#[test]
+fn degenerate_graphs() {
+    let mut rng = SmallRng::seed_from_u64(0);
+    // Single vertex, no edges.
+    let g = Csr::from_edges(1, &[], &mut rng);
+    let w = bfs::build("BFS", &g, 0);
+    let mut mach = Machine::new(&w.module, SimConfig::default(), w.image);
+    let mut rets = Vec::new();
+    for (f, args) in &w.calls {
+        rets.push(mach.call(f, args).unwrap());
+    }
+    (w.check)(&mach.image, &rets).unwrap();
+
+    // Self-loops only.
+    let g = Csr::from_edges(3, &[(0, 0), (1, 1), (2, 2)], &mut rng);
+    let w = dfs::build("DFS", &g, 1);
+    let mut mach = Machine::new(&w.module, SimConfig::default(), w.image);
+    let mut rets = Vec::new();
+    for (f, args) in &w.calls {
+        rets.push(mach.call(f, args).unwrap());
+    }
+    (w.check)(&mach.image, &rets).unwrap();
+}

@@ -1,0 +1,69 @@
+//! Quickstart: build a kernel with an indirect access, let APT-GET profile
+//! and optimise it, and compare against the no-prefetch baseline.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use apt_lir::{FunctionBuilder, Module, Width};
+use aptget::{execute, AptGet, MemImage, PipelineConfig};
+
+fn main() {
+    // 1. A kernel with the classic indirect pattern: sum += T[B[i]].
+    let mut module = Module::new("quickstart");
+    let f = module.add_function("kernel", &["t", "b", "n"]);
+    {
+        let mut bd = FunctionBuilder::new(module.function_mut(f));
+        let (t, b, n) = (bd.param(0), bd.param(1), bd.param(2));
+        let sum = bd.loop_up_reduce(0u64, n, 1, 0u64, |bd, i, acc| {
+            let idx = bd.load_elem(b, i, Width::W4, false); // B[i]
+            let val = bd.load_elem(t, idx, Width::W4, false); // T[B[i]]
+            bd.add(acc, val).into()
+        });
+        bd.ret(Some(sum));
+    }
+    println!(
+        "--- kernel IR ---\n{}",
+        apt_lir::print::module_to_string(&module)
+    );
+
+    // 2. Data: a table far larger than the simulated LLC, random indices.
+    let mut image = MemImage::new();
+    let table: Vec<u32> = (0..1u32 << 20).map(|i| i % 997).collect();
+    let indices: Vec<u32> = (0..400_000u32)
+        .map(|i| i.wrapping_mul(2_654_435_761) % (1 << 20))
+        .collect();
+    let t = image.alloc_u32_slice(&table);
+    let b = image.alloc_u32_slice(&indices);
+    let calls = vec![("kernel".to_string(), vec![t, b, indices.len() as u64])];
+
+    // 3. Baseline measurement.
+    let cfg = PipelineConfig::default();
+    let base = execute(&module, image.clone(), &calls, &cfg.measure_sim).expect("runs");
+    println!(
+        "baseline:  {:>12} cycles, IPC {:.2}, {:.0}% memory-bound",
+        base.stats.cycles,
+        base.stats.ipc(),
+        base.stats.memory_bound_fraction() * 100.0
+    );
+
+    // 4. One profiling run + analysis + injection.
+    let apt = AptGet::new(cfg);
+    let opt = apt
+        .optimize(&module, image.clone(), &calls)
+        .expect("profiles");
+    for h in &opt.analysis.hints {
+        println!(
+            "hint: load at {} — distance {}, site {:?} (IC {:.0} cyc, MC {:.0} cyc)",
+            h.pc, h.distance, h.site, h.ic_latency, h.mc_latency
+        );
+    }
+
+    // 5. Measure the optimised module.
+    let tuned = execute(&opt.module, image, &calls, &cfg.measure_sim).expect("runs");
+    assert_eq!(base.rets, tuned.rets, "prefetching never changes results");
+    println!(
+        "APT-GET:   {:>12} cycles, IPC {:.2}  →  {:.2}x speedup",
+        tuned.stats.cycles,
+        tuned.stats.ipc(),
+        base.stats.cycles as f64 / tuned.stats.cycles as f64
+    );
+}

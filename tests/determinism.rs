@@ -1,0 +1,75 @@
+//! Determinism: the whole pipeline — workload generation, simulation,
+//! profiling, analysis, injection — is bit-for-bit reproducible.
+
+use apt_workloads::all_workloads;
+use aptget::{execute, AptGet, PipelineConfig};
+
+#[test]
+fn identical_builds_simulate_identically() {
+    let cfg = PipelineConfig::default();
+    for spec in all_workloads().into_iter().take(6) {
+        let (a, b) = (spec.build(0.006, 11), spec.build(0.006, 11));
+        let ea = execute(&a.module, a.image.clone(), &a.calls, &cfg.measure_sim)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        let eb = execute(&b.module, b.image.clone(), &b.calls, &cfg.measure_sim)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        assert_eq!(ea.stats.cycles, eb.stats.cycles, "{}", spec.name);
+        assert_eq!(
+            ea.stats.instructions, eb.stats.instructions,
+            "{}",
+            spec.name
+        );
+        assert_eq!(ea.rets, eb.rets, "{}", spec.name);
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_inputs() {
+    let spec = apt_workloads::registry::by_name("BFS").expect("registered");
+    let cfg = PipelineConfig::default();
+    let a = spec.build(0.006, 1);
+    let b = spec.build(0.006, 2);
+    let ea = execute(&a.module, a.image.clone(), &a.calls, &cfg.measure_sim).unwrap();
+    let eb = execute(&b.module, b.image.clone(), &b.calls, &cfg.measure_sim).unwrap();
+    // Different graphs: almost surely different cycle counts.
+    assert_ne!(ea.stats.cycles, eb.stats.cycles);
+}
+
+#[test]
+fn optimizer_output_is_reproducible() {
+    let cfg = PipelineConfig::default();
+    let apt = AptGet::new(cfg);
+    let spec = apt_workloads::registry::by_name("HJ2-NPO").expect("registered");
+    let w1 = spec.build(0.02, 5);
+    let w2 = spec.build(0.02, 5);
+    let o1 = apt
+        .optimize(&w1.module, w1.image.clone(), &w1.calls)
+        .unwrap();
+    let o2 = apt
+        .optimize(&w2.module, w2.image.clone(), &w2.calls)
+        .unwrap();
+    assert_eq!(
+        apt_lir::print::module_to_string(&o1.module),
+        apt_lir::print::module_to_string(&o2.module)
+    );
+    assert_eq!(o1.analysis.hints.len(), o2.analysis.hints.len());
+    for (a, b) in o1.analysis.hints.iter().zip(&o2.analysis.hints) {
+        assert_eq!(a.distance, b.distance);
+        assert_eq!(a.site, b.site);
+    }
+}
+
+#[test]
+fn profiling_does_not_perturb_results() {
+    // Heisenberg check: the profiling run (LBR + PEBS on) computes the
+    // same results as the measurement run.
+    let cfg = PipelineConfig::default();
+    let spec = apt_workloads::registry::by_name("IS").expect("registered");
+    let w = spec.build(0.01, 9);
+    let prof = execute(&w.module, w.image.clone(), &w.calls, &cfg.profile_sim).unwrap();
+    let meas = execute(&w.module, w.image.clone(), &w.calls, &cfg.measure_sim).unwrap();
+    assert_eq!(prof.rets, meas.rets);
+    assert_eq!(prof.stats.cycles, meas.stats.cycles);
+    assert!(!prof.profile.lbr_samples.is_empty());
+    assert!(meas.profile.lbr_samples.is_empty());
+}

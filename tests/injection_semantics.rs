@@ -1,0 +1,96 @@
+//! The golden invariant: prefetch injection — any scheme, any distance,
+//! any site — never changes what a program computes.
+
+use apt_passes::{inject_prefetches, InjectionSpec, Site};
+use apt_workloads::all_workloads;
+use apt_workloads::micro::{self, Complexity, MicroParams};
+use aptget::{ainsworth_jones_optimize, execute, AptGet, PipelineConfig};
+use proptest::prelude::*;
+
+#[test]
+fn aj_injection_preserves_results_on_all_workloads() {
+    let cfg = PipelineConfig::default();
+    for spec in all_workloads() {
+        let w = spec.build(0.008, 3);
+        let (m, _) = ainsworth_jones_optimize(&w.module, 16);
+        apt_lir::verify::verify_module(&m).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        let exec = execute(&m, w.image.clone(), &w.calls, &cfg.measure_sim)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        (w.check)(&exec.image, &exec.rets).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+    }
+}
+
+#[test]
+fn apt_get_injection_preserves_results_on_all_workloads() {
+    let cfg = PipelineConfig::default();
+    let apt = AptGet::new(cfg);
+    for spec in all_workloads() {
+        let w = spec.build(0.008, 3);
+        let opt = apt
+            .optimize(&w.module, w.image.clone(), &w.calls)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        apt_lir::verify::verify_module(&opt.module)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        let exec = execute(&opt.module, w.image.clone(), &w.calls, &cfg.measure_sim)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        (w.check)(&exec.image, &exec.rets).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any static distance on the microbenchmark preserves the result.
+    #[test]
+    fn any_distance_preserves_micro_results(distance in 1u64..2048) {
+        let cfg = PipelineConfig::default();
+        let w = micro::build(MicroParams {
+            outer: 8,
+            inner: 64,
+            complexity: Complexity::Low,
+            t_len: 1 << 14,
+            window: 1 << 12,
+            seed: 5,
+        });
+        let (m, report) = ainsworth_jones_optimize(&w.module, distance);
+        prop_assert_eq!(report.injected.len(), 1);
+        let exec = execute(&m, w.image.clone(), &w.calls, &cfg.measure_sim).unwrap();
+        prop_assert!((w.check)(&exec.image, &exec.rets).is_ok());
+    }
+
+    /// Any (site, distance, fanout) combination on the nested micro
+    /// preserves the result.
+    #[test]
+    fn any_site_config_preserves_micro_results(
+        distance in 1u64..128,
+        outer_site in proptest::bool::ANY,
+        fanout in 1u64..16,
+    ) {
+        let cfg = PipelineConfig::default();
+        let w = micro::build(MicroParams {
+            outer: 32,
+            inner: 16,
+            complexity: Complexity::Low,
+            t_len: 1 << 14,
+            window: 1 << 10,
+            seed: 6,
+        });
+        let loads = apt_passes::inject::detect_indirect_loads(&w.module);
+        prop_assert_eq!(loads.len(), 1);
+        let (func, load) = loads[0];
+        let spec = InjectionSpec {
+            func,
+            load,
+            distance,
+            site: if outer_site { Site::Outer } else { Site::Inner },
+            fanout,
+            fallback_inner_distance: Some(1),
+        };
+        let mut m = w.module.clone();
+        let report = inject_prefetches(&mut m, &[spec]);
+        prop_assert_eq!(report.injected.len(), 1);
+        apt_lir::verify::verify_module(&m).unwrap();
+        let exec = execute(&m, w.image.clone(), &w.calls, &cfg.measure_sim).unwrap();
+        prop_assert!((w.check)(&exec.image, &exec.rets).is_ok());
+    }
+}

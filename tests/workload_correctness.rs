@@ -1,0 +1,59 @@
+//! Cross-crate integration: every Table-3 workload, simulated end-to-end,
+//! must match its native Rust reference implementation.
+
+use apt_workloads::all_workloads;
+use aptget::{execute, PipelineConfig};
+
+/// Small scale keeps debug-mode runtimes reasonable while still executing
+/// hundreds of thousands of instructions per app.
+const TEST_SCALE: f64 = 0.01;
+
+#[test]
+fn every_workload_matches_its_reference() {
+    let cfg = PipelineConfig::default();
+    for spec in all_workloads() {
+        let w = spec.build(TEST_SCALE, 7);
+        let exec = execute(&w.module, w.image.clone(), &w.calls, &cfg.measure_sim)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        (w.check)(&exec.image, &exec.rets).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+    }
+}
+
+#[test]
+fn every_workload_matches_across_seeds() {
+    let cfg = PipelineConfig::default();
+    for seed in [1u64, 99, 4242] {
+        for spec in all_workloads() {
+            let w = spec.build(0.005, seed);
+            let exec = execute(&w.module, w.image.clone(), &w.calls, &cfg.measure_sim)
+                .unwrap_or_else(|e| panic!("{} seed {seed}: {e}", spec.name));
+            (w.check)(&exec.image, &exec.rets)
+                .unwrap_or_else(|e| panic!("{} seed {seed}: {e}", spec.name));
+        }
+    }
+}
+
+#[test]
+fn all_workload_modules_verify() {
+    for spec in all_workloads() {
+        let w = spec.build(0.004, 1);
+        apt_lir::verify::verify_module(&w.module).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+    }
+}
+
+#[test]
+fn workloads_execute_nontrivial_instruction_counts() {
+    let cfg = PipelineConfig::default();
+    for spec in all_workloads() {
+        let w = spec.build(TEST_SCALE, 7);
+        let exec = execute(&w.module, w.image.clone(), &w.calls, &cfg.measure_sim)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        assert!(
+            exec.stats.instructions > 10_000,
+            "{}: only {} instructions",
+            spec.name,
+            exec.stats.instructions
+        );
+        assert!(exec.stats.cycles >= exec.stats.instructions);
+    }
+}

@@ -1,0 +1,31 @@
+//! Test-runner configuration.
+
+/// Mirror of `proptest::test_runner::Config` — only `cases` is honoured.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream defaults to 256; simulations behind these properties are
+        // heavy, so default lower — tests that need more ask explicitly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The case count after applying the `PROPTEST_CASES` env override.
+pub fn effective_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.parse().unwrap_or(configured),
+        Err(_) => configured,
+    }
+}

@@ -1,0 +1,169 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot download the real `proptest`, so this crate
+//! re-implements the subset the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * strategies: `any::<T>()`, integer ranges, [`Just`], tuples,
+//!   `prop::collection::vec`, `prop::sample::select`, `prop_map`,
+//!   [`prop_oneof!`], and `proptest::bool::ANY`,
+//! * the `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` macros.
+//!
+//! Semantics: each test runs `cases` deterministic random cases (seeded from
+//! the test name, overridable via `PROPTEST_CASES`). There is **no
+//! shrinking** — a failing case reports its inputs via the assertion
+//! message instead.
+
+pub mod config;
+pub mod prop;
+pub mod strategy;
+pub mod test_runner;
+
+pub use config::ProptestConfig;
+
+/// `proptest::bool::ANY`, used fully qualified by some tests.
+pub mod bool {
+    use crate::strategy::Any;
+
+    /// A uniform boolean strategy.
+    pub const ANY: Any<bool> = Any::new();
+}
+
+/// Everything the tests bring into scope with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::config::ProptestConfig;
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines deterministic property tests.
+///
+/// Supports the two forms the workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     /// Doc comments survive.
+///     #[test]
+///     fn my_prop(x in 0u64..10, v in prop::collection::vec(any::<bool>(), 1..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr); ) => {};
+    (
+        config = ($cfg:expr);
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])+
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __cases = $crate::config::effective_cases(__config.cases);
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __case in 0..__cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                let __outcome: $crate::test_runner::TestCaseResult =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!("property failed at case {}/{}: {}", __case + 1, __cases, e);
+                }
+            }
+        }
+        $crate::__proptest_impl!{ config = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {} ({})",
+                    stringify!($cond),
+                    ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($a), stringify!($b), __l, __r,
+                ),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+                    stringify!($a), stringify!($b), ::std::format!($($fmt)+), __l, __r,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if __l == __r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($a),
+                    stringify!($b),
+                    __l,
+                ),
+            ));
+        }
+    }};
+}
+
+/// A union of same-valued strategies, chosen uniformly per case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,35 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// A small, fast, deterministic generator (xorshift64* with a splitmix64
+/// seed scrambler, so nearby seeds give unrelated streams).
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> SmallRng {
+        // splitmix64 step: avoids the all-zeros fixed point and decorrelates
+        // sequential seeds.
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        SmallRng {
+            state: z | 1, // xorshift must not start at 0
+        }
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}

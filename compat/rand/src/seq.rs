@@ -1,0 +1,43 @@
+//! Slice sampling helpers.
+
+use crate::RngCore;
+
+/// Random selection from slices (`choose` is all the workspace uses).
+pub trait SliceRandom {
+    type Item;
+
+    /// A uniformly random element, or `None` for an empty slice.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableRng, SmallRng};
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let items = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let &v = items.choose(&mut rng).unwrap();
+            seen[v - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

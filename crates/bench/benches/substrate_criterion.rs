@@ -30,7 +30,7 @@ fn bench_hierarchy(c: &mut Criterion) {
         let mut now = 0u64;
         b.iter(|| {
             addr = (addr * 1103515245 + 12345) & 0xffffff;
-            h.sw_prefetch(0x1000_0000 + addr, now);
+            h.sw_prefetch(0x400100, 0x1000_0000 + addr, now);
             now += 4;
         })
     });

@@ -4,16 +4,23 @@
 //! aptgetsim list                         # registered workloads
 //! aptgetsim run BFS [--scale S] [--seed N]
 //!                                        # baseline vs A&J vs APT-GET
+//! aptgetsim run BFS --explain            # + pipeline phases, per-hint
+//!                                        #   decisions, prefetch outcomes
+//! aptgetsim run BFS --trace-out t.json   # + Chrome trace-event JSON
 //! aptgetsim hints BFS [--scale S]        # print the hint file (§3.4 output)
 //! aptgetsim ir BFS [--optimized]         # dump the workload's IR
 //! ```
 
 use std::process::ExitCode;
 
-use apt_bench::{compare_variants, fx, pct, AJ_STATIC_DISTANCE};
+use apt_bench::{compare_variants_traced, fx, pct, AJ_STATIC_DISTANCE};
 use apt_profile::hintfile;
 use apt_workloads::registry::{all_workloads, by_name};
-use aptget::{AptGet, PipelineConfig};
+use aptget::{chrome_trace_json, format_explain, AptGet, PipelineConfig, TraceConfig};
+
+/// Ring capacity for `--trace-out`: enough to keep the tail of a scaled
+/// run without unbounded memory.
+const TRACE_RING_CAPACITY: usize = 1 << 16;
 
 struct Args {
     command: String,
@@ -21,6 +28,8 @@ struct Args {
     scale: f64,
     seed: u64,
     optimized: bool,
+    explain: bool,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +41,8 @@ fn parse_args() -> Result<Args, String> {
         scale: 0.25,
         seed: 42,
         optimized: false,
+        explain: false,
+        trace_out: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -50,6 +61,10 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --seed: {e}"))?;
             }
             "--optimized" => out.optimized = true,
+            "--explain" => out.explain = true,
+            "--trace-out" => {
+                out.trace_out = Some(args.next().ok_or("--trace-out needs a path")?);
+            }
             w if out.workload.is_none() && !w.starts_with('-') => {
                 out.workload = Some(w.to_string());
             }
@@ -64,14 +79,14 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n");
-            eprintln!("usage: aptgetsim <list|run|hints|ir> [WORKLOAD] [--scale S] [--seed N] [--optimized]");
+            eprintln!("usage: aptgetsim <list|run|hints|ir> [WORKLOAD] [--scale S] [--seed N] [--optimized] [--explain] [--trace-out PATH]");
             return ExitCode::FAILURE;
         }
     };
 
     match args.command.as_str() {
         "list" => {
-            println!("{:<12} {}", "name", "nested-loop delinquent loads");
+            println!("{:<12} nested-loop delinquent loads", "name");
             for w in all_workloads() {
                 println!("{:<12} {}", w.name, if w.nested { "yes" } else { "no" });
             }
@@ -90,7 +105,17 @@ fn main() -> ExitCode {
             let cfg = PipelineConfig::default();
             match args.command.as_str() {
                 "run" => {
-                    let (cmp, opt) = compare_variants(&w, &cfg);
+                    // Outcome attribution is cheap; the event ring is only
+                    // worth paying for when the events end up in a file.
+                    let trace_cfg = if args.trace_out.is_some() {
+                        TraceConfig::full(TRACE_RING_CAPACITY)
+                    } else if args.explain {
+                        TraceConfig::outcomes()
+                    } else {
+                        TraceConfig::off()
+                    };
+                    let (cmp, opt, spans, stats, trace) =
+                        compare_variants_traced(&w, &cfg, trace_cfg);
                     println!("workload {name} (scale {}, seed {})", args.scale, args.seed);
                     println!(
                         "  baseline: {:>12} cycles, IPC {:.2}, {} memory-bound, MPKI {:.2}",
@@ -118,6 +143,18 @@ fn main() -> ExitCode {
                     }
                     for n in &opt.analysis.notes {
                         println!("  note: {n}");
+                    }
+                    if args.explain {
+                        println!();
+                        print!("{}", format_explain(&opt, &spans, Some((&stats, &trace))));
+                    }
+                    if let Some(path) = &args.trace_out {
+                        let json = chrome_trace_json(&spans, Some(&trace));
+                        if let Err(e) = std::fs::write(path, json) {
+                            eprintln!("error: could not write {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        println!("[trace written to {path}]");
                     }
                     ExitCode::SUCCESS
                 }

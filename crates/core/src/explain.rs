@@ -1,0 +1,204 @@
+//! The `--explain` layer: human-readable pipeline reports and Chrome
+//! trace-event JSON assembly.
+//!
+//! `--explain` answers "what did APT-GET decide and why, and did it
+//! work?": the recorded pipeline spans (profile run → delinquency ranking
+//! → LBR matching → CWT peaks → Eq. 1/Eq. 2 → injection → -O3 cleanup),
+//! the per-hint decisions with §3.6 fallback reasons, and — when a traced
+//! measurement run is supplied — the per-injected-PC prefetch-outcome
+//! table, reconciled against the PMU counters.
+
+use apt_lir::{Inst, Module};
+use apt_trace::{render_spans, ChromeTrace, Span, TraceReport};
+
+use crate::pipeline::Optimized;
+use crate::PerfStats;
+
+/// PCs of all `prefetch` instructions in `module`, with a
+/// `function/block` label per PC. In an APT-GET-optimised module these
+/// are exactly the injected hints.
+pub fn injected_prefetch_pcs(module: &Module) -> Vec<(u64, String)> {
+    let map = module.assign_pcs();
+    let mut out = Vec::new();
+    for (fid, func) in module.iter_functions() {
+        for (bid, block) in func.iter_blocks() {
+            let base = map.block_start_pc(fid, bid).0;
+            for (i, inst) in block.insts.iter().enumerate() {
+                if matches!(inst, Inst::Prefetch { .. }) {
+                    out.push((base + 4 * i as u64, format!("{}/b{}", func.name, bid.0)));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders the full explain report.
+///
+/// `measured` is the optimised module's measurement run under
+/// `TraceConfig::outcomes()` (or `full`): its `PerfStats` and the trace
+/// report whose outcome table the report reconciles. Pass `None` for an
+/// analysis-only report.
+pub fn format_explain(
+    opt: &Optimized,
+    spans: &[Span],
+    measured: Option<(&PerfStats, &TraceReport)>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("=== APT-GET explain ===\n\n");
+
+    out.push_str("--- pipeline phases ---\n");
+    if spans.is_empty() {
+        out.push_str("(no spans recorded)\n");
+    } else {
+        out.push_str(&render_spans(spans));
+    }
+
+    out.push_str("\n--- decisions ---\n");
+    if opt.analysis.hints.is_empty() {
+        out.push_str("no delinquent loads worth prefetching\n");
+    }
+    for h in &opt.analysis.hints {
+        out.push_str(&format!(
+            "load {}: {:.1}% of LLC-miss samples\n",
+            h.pc,
+            h.share * 100.0
+        ));
+        if h.peaks.is_empty() {
+            out.push_str("  latency peaks: none (§3.6 fallback)\n");
+        } else {
+            out.push_str("  latency peaks:");
+            for p in &h.peaks {
+                out.push_str(&format!(" {}cy({:.0}%)", p.latency, p.mass * 100.0));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "  Eq.1: IC = {:.1} cy, MC = {:.1} cy -> distance {}\n",
+            h.ic_latency, h.mc_latency, h.distance
+        ));
+        match h.trip_count {
+            Some(t) => out.push_str(&format!(
+                "  Eq.2: trip count {:.1} vs k*d -> site {:?}, fanout {}\n",
+                t, h.site, h.fanout
+            )),
+            None => out.push_str(&format!(
+                "  Eq.2: trip count unmeasured -> site {:?}, fanout {}\n",
+                h.site, h.fanout
+            )),
+        }
+        if let Some(fd) = h.inner_distance {
+            out.push_str(&format!("  inner-site fallback distance: {fd}\n"));
+        }
+    }
+    if !opt.analysis.notes.is_empty() {
+        out.push_str("\n--- analysis notes (§3.6 fallbacks) ---\n");
+        for n in &opt.analysis.notes {
+            out.push_str(&format!("* {n}\n"));
+        }
+    }
+
+    out.push_str(&format!(
+        "\n--- injection ---\n{} injected, {} skipped, {} instructions added\n",
+        opt.injection.injected.len(),
+        opt.injection.skipped.len(),
+        opt.injection.insts_added()
+    ));
+    for s in &opt.injection.skipped {
+        out.push_str(&format!("skipped load at {:?}: {}\n", s.load, s.reason));
+    }
+    let pcs = injected_prefetch_pcs(&opt.module);
+    for (pc, site) in &pcs {
+        out.push_str(&format!("prefetch pc {pc:#x} at {site}\n"));
+    }
+
+    if let Some((stats, trace)) = measured {
+        out.push_str("\n--- prefetch outcomes (measured) ---\n");
+        out.push_str(&trace.outcomes.render());
+        let t = &trace.outcomes.total;
+        out.push_str(&format!(
+            "\ntimely ratio: {:.1}%   mean timely slack: {:.0} cycles\n",
+            t.timely_ratio() * 100.0,
+            t.mean_timely_slack()
+        ));
+        out.push_str("\n--- PMU reconciliation ---\n");
+        let m = &stats.mem;
+        let line = |out: &mut String, name: &str, pmu: u64, table: u64| {
+            let mark = if pmu == table { "ok" } else { "MISMATCH" };
+            out.push_str(&format!(
+                "{name:<24} pmu {pmu:>10}  trace {table:>10}  [{mark}]\n"
+            ));
+        };
+        line(&mut out, "sw_pf_issued", m.sw_pf_issued, t.issued);
+        line(&mut out, "fb_hits_swpf (late)", m.fb_hits_swpf, t.late);
+        line(
+            &mut out,
+            "sw_pf_dropped (full)",
+            m.sw_pf_dropped_full,
+            t.dropped,
+        );
+        line(&mut out, "sw_pf_redundant", m.sw_pf_redundant, t.redundant);
+        if !trace.outcomes.is_conserved() {
+            out.push_str("WARNING: outcome table is not conserved\n");
+        }
+    }
+    out
+}
+
+/// Assembles the Chrome trace-event JSON document (`--trace-out`):
+/// pipeline spans as complete events on one thread row, simulator events
+/// (if any were recorded) as instants on a second row.
+pub fn chrome_trace_json(spans: &[Span], trace: Option<&TraceReport>) -> String {
+    let mut ct = ChromeTrace::new();
+    ct.name_thread(1, "pipeline (wall µs)");
+    for s in spans {
+        ct.push_span(s, 1);
+    }
+    if let Some(t) = trace {
+        if !t.events.is_empty() {
+            ct.name_thread(2, "simulator (cycles)");
+            for ev in &t.events {
+                ct.push_sim_event(ev, 2);
+            }
+        }
+    }
+    ct.to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_lir::{FunctionBuilder, Width};
+
+    fn module_with_prefetch() -> Module {
+        let mut m = Module::new("t");
+        let f = m.add_function("k", &["a", "n"]);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let (a, n) = (b.param(0), b.param(1));
+            let s = b.loop_up_reduce(0, n, 1, 0, |b, iv, acc| {
+                let addr = b.elem_addr(a, iv, Width::W8);
+                b.prefetch(addr);
+                let v = b.load_elem(a, iv, Width::W8, false);
+                b.add(acc, v).into()
+            });
+            b.ret(Some(s));
+        }
+        m
+    }
+
+    #[test]
+    fn finds_injected_prefetch_pcs() {
+        let m = module_with_prefetch();
+        let pcs = injected_prefetch_pcs(&m);
+        assert_eq!(pcs.len(), 1);
+        assert!(pcs[0].1.starts_with("k/b"));
+    }
+
+    #[test]
+    fn chrome_json_without_trace_is_wellformed() {
+        let json = chrome_trace_json(&[], None);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("}\n"));
+    }
+}

@@ -47,11 +47,13 @@
 //! assert_eq!(base.rets, tuned.rets); // Prefetching never changes results.
 //! ```
 
+pub mod explain;
 pub mod pipeline;
 pub mod report;
 
+pub use explain::{chrome_trace_json, format_explain, injected_prefetch_pcs};
 pub use pipeline::{
-    ainsworth_jones_optimize, execute, AptGet, Execution, Optimized, PipelineConfig,
+    ainsworth_jones_optimize, execute, execute_traced, AptGet, Execution, Optimized, PipelineConfig,
 };
 pub use report::{format_perf_stat, geomean, speedup, Comparison};
 
@@ -62,3 +64,4 @@ pub use apt_mem::MemConfig;
 pub use apt_passes::{InjectionReport, InjectionSpec, Site};
 pub use apt_profile::hintfile;
 pub use apt_profile::{AnalysisConfig, AnalysisResult, LoadHint};
+pub use apt_trace::{Span, SpanRecorder, TraceConfig, TraceReport, Tracer};

@@ -3,7 +3,8 @@
 use apt_cpu::{Machine, MemImage, PerfStats, ProfileData, SimConfig, SimError};
 use apt_lir::Module;
 use apt_passes::{ainsworth_jones, inject_prefetches, optimize_module, InjectionReport};
-use apt_profile::{analyze, AnalysisConfig, AnalysisResult};
+use apt_profile::{analyze_traced, AnalysisConfig, AnalysisResult};
+use apt_trace::{SpanRecorder, TraceConfig, TraceReport};
 
 /// Configuration of the whole pipeline.
 #[derive(Debug, Clone, Copy)]
@@ -18,16 +19,7 @@ pub struct PipelineConfig {
 
 impl Default for PipelineConfig {
     fn default() -> PipelineConfig {
-        let profile_sim = SimConfig::default();
-        PipelineConfig {
-            profile_sim,
-            measure_sim: SimConfig::no_profiling(profile_sim.mem),
-            analysis: AnalysisConfig {
-                dram_latency_hint: profile_sim.mem.dram_latency,
-                pebs_period: profile_sim.pebs_period,
-                ..AnalysisConfig::default()
-            },
-        }
+        PipelineConfig::with_sim(SimConfig::default())
     }
 }
 
@@ -65,19 +57,38 @@ pub fn execute(
     calls: &[(String, Vec<u64>)],
     sim: &SimConfig,
 ) -> Result<Execution, SimError> {
-    let mut machine = Machine::new(module, *sim, image);
+    Ok(execute_traced(module, image, calls, sim, TraceConfig::off())?.0)
+}
+
+/// [`execute`] with structured tracing enabled per `trace` (overriding
+/// whatever `sim.trace` says). Returns the execution plus the trace
+/// report: ring-buffered events and the conserved per-PC prefetch-outcome
+/// table.
+pub fn execute_traced(
+    module: &Module,
+    image: MemImage,
+    calls: &[(String, Vec<u64>)],
+    sim: &SimConfig,
+    trace: TraceConfig,
+) -> Result<(Execution, TraceReport), SimError> {
+    let cfg = SimConfig { trace, ..*sim };
+    let mut machine = Machine::new(module, cfg, image);
     let mut rets = Vec::with_capacity(calls.len());
     for (func, args) in calls {
         rets.push(machine.call(func, args)?);
     }
     let stats = machine.stats();
     let profile = machine.take_profile();
-    Ok(Execution {
-        stats,
-        rets,
-        image: machine.image,
-        profile,
-    })
+    let report = machine.take_trace();
+    Ok((
+        Execution {
+            stats,
+            rets,
+            image: machine.image,
+            profile,
+        },
+        report,
+    ))
 }
 
 /// An APT-GET-optimised module plus everything learned on the way.
@@ -118,8 +129,30 @@ impl AptGet {
         image: MemImage,
         calls: &[(String, Vec<u64>)],
     ) -> Result<Optimized, SimError> {
+        let mut spans = SpanRecorder::new();
+        self.optimize_traced(module, image, calls, &mut spans)
+    }
+
+    /// [`AptGet::optimize`], additionally emitting one span per pipeline
+    /// phase (profile run, delinquency ranking, LBR matching, CWT peaks,
+    /// Eq. 1/Eq. 2, injection, -O3 cleanup) into `spans`. The spans carry
+    /// wall-time, simulated cycles and the key outputs of each phase —
+    /// the data behind `--explain` and `--trace-out`.
+    pub fn optimize_traced(
+        &self,
+        module: &Module,
+        image: MemImage,
+        calls: &[(String, Vec<u64>)],
+        spans: &mut SpanRecorder,
+    ) -> Result<Optimized, SimError> {
+        let prof = spans.begin("profile-run");
         let exec = execute(module, image, calls, &self.cfg.profile_sim)?;
-        Ok(self.optimize_with_profile(module, &exec.profile, exec.stats))
+        spans.add_sim_cycles(&prof, exec.stats.cycles);
+        spans.note(&prof, "instructions", exec.stats.instructions);
+        spans.note(&prof, "lbr_samples", exec.profile.lbr_samples.len());
+        spans.note(&prof, "pebs_records", exec.profile.pebs.len());
+        spans.end(prof);
+        Ok(self.optimize_with_profile_traced(module, &exec.profile, exec.stats, spans))
     }
 
     /// Applies the analysis to an already-collected profile (used by the
@@ -130,13 +163,47 @@ impl AptGet {
         profile: &ProfileData,
         profile_stats: PerfStats,
     ) -> Optimized {
+        let mut spans = SpanRecorder::new();
+        self.optimize_with_profile_traced(module, profile, profile_stats, &mut spans)
+    }
+
+    /// [`AptGet::optimize_with_profile`] with span recording.
+    pub fn optimize_with_profile_traced(
+        &self,
+        module: &Module,
+        profile: &ProfileData,
+        profile_stats: PerfStats,
+        spans: &mut SpanRecorder,
+    ) -> Optimized {
         let map = module.assign_pcs();
-        let analysis = analyze(module, &map, profile, &profile_stats, &self.cfg.analysis);
+        let analysis = spans.scoped("analysis", |spans, g| {
+            let r = analyze_traced(
+                module,
+                &map,
+                profile,
+                &profile_stats,
+                &self.cfg.analysis,
+                spans,
+            );
+            spans.note(g, "hints", r.hints.len());
+            for note in &r.notes {
+                spans.note(g, "note", note);
+            }
+            r
+        });
+
         let mut optimized = module.clone();
+        let inj = spans.begin("injection");
         let injection = inject_prefetches(&mut optimized, &analysis.specs());
+        spans.note(&inj, "injected", injection.injected.len());
+        spans.note(&inj, "skipped", injection.skipped.len());
+        spans.end(inj);
+
         // The paper's flow re-compiles at -O3 after injection: fold,
         // hoist the loop-invariant parts of the slices, sweep dead code.
+        let cleanup = spans.begin("o3-cleanup");
         optimize_module(&mut optimized);
+        spans.end(cleanup);
         Optimized {
             module: optimized,
             analysis,

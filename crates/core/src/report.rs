@@ -3,9 +3,12 @@
 use apt_cpu::PerfStats;
 
 /// Execution-time speedup of `opt` over `base` (in simulated cycles).
+/// A zero-cycle optimised run yields `f64::INFINITY`, consistent with
+/// [`Comparison::mpki_reduction`] — a 0.0 here would read as a slowdown
+/// and poison [`geomean`] aggregation.
 pub fn speedup(base: &PerfStats, opt: &PerfStats) -> f64 {
     if opt.cycles == 0 {
-        return 0.0;
+        return f64::INFINITY;
     }
     base.cycles as f64 / opt.cycles as f64
 }
@@ -73,7 +76,7 @@ mod tests {
     #[test]
     fn speedup_ratio() {
         assert_eq!(speedup(&stats(200, 1), &stats(100, 1)), 2.0);
-        assert_eq!(speedup(&stats(200, 1), &stats(0, 1)), 0.0);
+        assert_eq!(speedup(&stats(200, 1), &stats(0, 1)), f64::INFINITY);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use apt_lir::eval::{bin_cost, eval_bin, eval_un, sign_extend};
 use apt_lir::{AddressMap, BlockId, FuncId, Reg};
 use apt_lir::{Inst, Module, Operand, Pc, Terminator};
 use apt_mem::{Hierarchy, MemConfig};
+use apt_trace::{TraceConfig, TraceReport};
 
 use crate::lbr::{LbrRing, LbrSample};
 use crate::memimg::{MemFault, MemImage};
@@ -25,6 +26,9 @@ pub struct SimConfig {
     pub pebs_period: u64,
     /// Abort after this many retired instructions (runaway guard).
     pub inst_limit: u64,
+    /// Structured-tracing configuration (off by default: the hierarchy
+    /// hooks reduce to a single predictable branch each).
+    pub trace: TraceConfig,
 }
 
 impl Default for SimConfig {
@@ -34,6 +38,7 @@ impl Default for SimConfig {
             lbr_sample_period: 20_000,
             pebs_period: 64,
             inst_limit: 20_000_000_000,
+            trace: TraceConfig::off(),
         }
     }
 }
@@ -109,12 +114,16 @@ pub struct Machine<'m> {
 impl<'m> Machine<'m> {
     /// Creates a machine executing `module` against `image`.
     pub fn new(module: &'m Module, cfg: SimConfig, image: MemImage) -> Machine<'m> {
+        let mut hier = Hierarchy::new(&cfg.mem);
+        if cfg.trace.is_active() {
+            hier.set_trace(cfg.trace);
+        }
         Machine {
             module,
             map: module.assign_pcs(),
             cfg,
             image,
-            hier: Hierarchy::new(&cfg.mem),
+            hier,
             lbr: LbrRing::new(),
             lbr_samples: Vec::new(),
             next_lbr_sample: if cfg.lbr_sample_period == 0 {
@@ -152,6 +161,17 @@ impl<'m> Machine<'m> {
             lbr_samples: std::mem::take(&mut self.lbr_samples),
             pebs: self.pebs.take_records(),
         }
+    }
+
+    /// Ends structured tracing and takes everything it gathered (events,
+    /// per-PC prefetch outcomes). Still-outstanding prefetches finalize as
+    /// `useless`, so call this after the workload has finished.
+    pub fn take_trace(&mut self) -> TraceReport {
+        // Install any still-ready fills first so prefetches whose data
+        // arrived (but was never demanded) classify as useless/early
+        // rather than staying in-flight.
+        self.hier.drain(self.cycles);
+        self.hier.take_trace()
     }
 
     /// Calls `func` with `args`; returns its return value, if any.
@@ -295,7 +315,7 @@ impl<'m> Machine<'m> {
                         let a = Self::val(&regs, *addr);
                         // Prefetching unmapped addresses is architecturally
                         // a no-op (like x86 PREFETCHT0), so no fault check.
-                        self.hier.sw_prefetch(a, self.cycles);
+                        self.hier.sw_prefetch(pc.0, a, self.cycles);
                         self.retire(1);
                     }
                 }

@@ -34,13 +34,7 @@ pub fn eval_bin(op: BinOp, a: u64, b: u64) -> u64 {
         BinOp::Add => a.wrapping_add(b),
         BinOp::Sub => a.wrapping_sub(b),
         BinOp::Mul => a.wrapping_mul(b),
-        BinOp::DivU => {
-            if b == 0 {
-                0
-            } else {
-                a / b
-            }
-        }
+        BinOp::DivU => a.checked_div(b).unwrap_or(0),
         BinOp::DivS => {
             if b == 0 {
                 0
@@ -48,13 +42,7 @@ pub fn eval_bin(op: BinOp, a: u64, b: u64) -> u64 {
                 (a as i64).wrapping_div(b as i64) as u64
             }
         }
-        BinOp::RemU => {
-            if b == 0 {
-                a
-            } else {
-                a % b
-            }
-        }
+        BinOp::RemU => a.checked_rem(b).unwrap_or(a),
         BinOp::And => a & b,
         BinOp::Or => a | b,
         BinOp::Xor => a ^ b,

@@ -107,7 +107,7 @@ impl AddressMap {
 
     /// Resolves a PC back to its IR location.
     pub fn resolve(&self, pc: Pc) -> Option<Location> {
-        if pc.0 < TEXT_BASE || pc.0 >= self.text_end || pc.0 % INST_BYTES != 0 {
+        if pc.0 < TEXT_BASE || pc.0 >= self.text_end || !pc.0.is_multiple_of(INST_BYTES) {
             return None;
         }
         let i = match self.index.binary_search_by_key(&pc.0, |e| e.0) {

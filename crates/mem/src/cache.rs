@@ -22,11 +22,12 @@ struct Entry {
 pub enum Evicted {
     /// Nothing was evicted (free way available).
     None,
-    /// A demand-installed or already-used line was evicted.
-    Normal,
+    /// A demand-installed or already-used line was evicted; carries the
+    /// victim line number.
+    Normal(u64),
     /// A prefetched line was evicted before any demand access used it —
-    /// the paper's "too early" prefetch failure.
-    UnusedPrefetch,
+    /// the paper's "too early" prefetch failure. Carries the victim line.
+    UnusedPrefetch(u64),
 }
 
 /// Result of a lookup.
@@ -122,9 +123,9 @@ impl Cache {
         if ways.len() > assoc {
             let victim = ways.pop().expect("set cannot be empty here");
             if victim.from_prefetch && !victim.used {
-                Evicted::UnusedPrefetch
+                Evicted::UnusedPrefetch(victim.tag)
             } else {
-                Evicted::Normal
+                Evicted::Normal(victim.tag)
             }
         } else {
             Evicted::None
@@ -166,7 +167,7 @@ mod tests {
         c.fill(2, false);
         // Touch 0 → 2 becomes LRU.
         c.access(0, true);
-        assert_eq!(c.fill(4, false), Evicted::Normal);
+        assert_eq!(c.fill(4, false), Evicted::Normal(2));
         assert!(c.contains(0));
         assert!(!c.contains(2));
         assert!(c.contains(4));
@@ -178,7 +179,7 @@ mod tests {
         c.fill(0, true); // Prefetch, never used.
         c.fill(2, false);
         c.access(2, true);
-        assert_eq!(c.fill(4, false), Evicted::UnusedPrefetch);
+        assert_eq!(c.fill(4, false), Evicted::UnusedPrefetch(0));
     }
 
     #[test]
@@ -191,7 +192,7 @@ mod tests {
         assert!(!c.access(0, true).first_use_of_prefetch);
         c.fill(2, false);
         c.access(2, true);
-        assert_eq!(c.fill(4, false), Evicted::Normal);
+        assert_eq!(c.fill(4, false), Evicted::Normal(0));
     }
 
     #[test]

@@ -20,7 +20,7 @@ impl CacheConfig {
     pub fn sets(&self) -> u64 {
         let lines = self.size_bytes / crate::LINE_BYTES;
         assert!(
-            lines % self.assoc as u64 == 0 && lines > 0,
+            lines.is_multiple_of(self.assoc as u64) && lines > 0,
             "cache geometry must divide into whole sets"
         );
         lines / self.assoc as u64

@@ -21,6 +21,8 @@
 //! * Stores are write-allocate but never stall the core (store-buffer
 //!   semantics); they perturb cache state and train the stride prefetcher.
 
+use apt_trace::{PfDisposition, PfSource, TraceConfig, TraceReport, Tracer};
+
 use crate::cache::{Cache, Evicted};
 use crate::config::MemConfig;
 use crate::counters::MemCounters;
@@ -58,6 +60,16 @@ pub enum ReqSource {
     HwPrefetch,
 }
 
+impl ReqSource {
+    fn trace_source(self) -> PfSource {
+        match self {
+            ReqSource::Demand => PfSource::Demand,
+            ReqSource::SwPrefetch => PfSource::Sw,
+            ReqSource::HwPrefetch => PfSource::Hw,
+        }
+    }
+}
+
 /// Timing outcome of one demand access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessResult {
@@ -83,6 +95,8 @@ pub struct Hierarchy {
     dram_free_at: Cycle,
     /// Event counters.
     pub counters: MemCounters,
+    /// Structured-event tracer; inactive (single-branch hooks) by default.
+    pub tracer: Tracer,
 }
 
 impl Hierarchy {
@@ -98,6 +112,7 @@ impl Hierarchy {
             next_line: NextLinePrefetcher,
             dram_free_at: 0,
             counters: MemCounters::default(),
+            tracer: Tracer::default(),
         }
     }
 
@@ -106,18 +121,37 @@ impl Hierarchy {
         &self.cfg
     }
 
+    /// Replaces the tracer, enabling collection per `cfg`.
+    pub fn set_trace(&mut self, cfg: TraceConfig) {
+        self.tracer = Tracer::new(cfg);
+    }
+
+    /// Ends collection and returns everything the tracer gathered.
+    pub fn take_trace(&mut self) -> TraceReport {
+        self.tracer.take_report()
+    }
+
     /// Installs fills whose data has arrived by `now`.
     pub fn drain(&mut self, now: Cycle) {
         for e in self.mshr.drain_ready(now) {
-            self.install_all_levels(e.line, true);
+            // The data became usable at `e.ready`, which may predate `now`;
+            // stamp the fill with the ready cycle so timeliness slack is
+            // measured from when the line could first have been used.
+            self.tracer.fill(e.ready, e.line, e.source.trace_source());
+            self.install_all_levels(e.line, true, now);
         }
     }
 
-    fn install_all_levels(&mut self, line: u64, from_prefetch: bool) {
+    fn install_all_levels(&mut self, line: u64, from_prefetch: bool, now: Cycle) {
         self.l1.fill(line, from_prefetch);
         self.l2.fill(line, from_prefetch);
-        if self.llc.fill(line, from_prefetch) == Evicted::UnusedPrefetch {
-            self.counters.pf_evicted_unused += 1;
+        match self.llc.fill(line, from_prefetch) {
+            Evicted::UnusedPrefetch(victim) => {
+                self.counters.pf_evicted_unused += 1;
+                self.tracer.eviction(now, victim, true);
+            }
+            Evicted::Normal(victim) => self.tracer.eviction(now, victim, false),
+            Evicted::None => {}
         }
     }
 
@@ -147,6 +181,7 @@ impl Hierarchy {
         if h.hit {
             if h.first_use_of_prefetch {
                 self.counters.pf_used += 1;
+                self.tracer.pf_first_use(now, pc, line, true);
             }
             self.counters.l1_hits += 1;
             return AccessResult {
@@ -161,6 +196,7 @@ impl Hierarchy {
         if h.hit {
             if h.first_use_of_prefetch {
                 self.counters.pf_used += 1;
+                self.tracer.pf_first_use(now, pc, line, true);
             }
             self.counters.l2_hits += 1;
             self.l1.fill(line, false);
@@ -184,6 +220,7 @@ impl Hierarchy {
         if h.hit {
             if h.first_use_of_prefetch {
                 self.counters.pf_used += 1;
+                self.tracer.pf_first_use(now, pc, line, true);
             }
             self.counters.llc_hits += 1;
             self.l1.fill(line, false);
@@ -206,6 +243,7 @@ impl Hierarchy {
             } else {
                 self.counters.fb_hits_other += 1;
             }
+            self.tracer.fb_hit(now, pc, line, swpf);
             let lat = wait + self.cfg.l1.latency;
             self.counters.stall_dram += lat - self.cfg.l1.latency;
             return AccessResult {
@@ -217,9 +255,10 @@ impl Hierarchy {
 
         // Full miss: blocking DRAM fill.
         self.counters.demand_fills += 1;
+        self.tracer.demand_fill(now, pc, line);
         let ready = self.dram_fill_ready(now);
         let lat = (ready - now) + self.cfg.l1.latency;
-        self.install_all_levels(line, false);
+        self.install_all_levels(line, false, now);
         self.counters.stall_dram += lat - self.cfg.l1.latency;
         AccessResult {
             latency: lat,
@@ -256,33 +295,44 @@ impl Hierarchy {
         // Write-allocate fill; the store buffer hides the latency, but the
         // transfer still consumes DRAM bandwidth.
         let _ = self.dram_fill_ready(now);
-        self.install_all_levels(line, false);
+        self.install_all_levels(line, false, now);
     }
 
     /// A software `prefetch` instruction (fills towards L1, like
-    /// `prefetcht0`).
-    pub fn sw_prefetch(&mut self, addr: Addr, now: Cycle) {
+    /// `prefetcht0`). `pc` is the prefetch instruction's program counter,
+    /// used for per-PC outcome attribution.
+    pub fn sw_prefetch(&mut self, pc: u64, addr: Addr, now: Cycle) {
         self.drain(now);
         self.counters.sw_pf_issued += 1;
         let line = line_of(addr);
         if self.l1.contains(line) || self.mshr.find(line).is_some() {
             self.counters.sw_pf_redundant += 1;
+            self.tracer
+                .sw_pf_issue(now, pc, line, PfDisposition::Redundant);
             return;
         }
         // Served on-chip: model the L2→L1 / LLC→L1 move as an immediate
         // install (its latency is far below one loop iteration).
         if self.l2.access(line, false).hit || self.llc.access(line, false).hit {
             self.counters.sw_pf_oncore += 1;
+            self.tracer
+                .sw_pf_issue(now, pc, line, PfDisposition::Oncore);
             self.l1.fill(line, true);
             self.l2.fill(line, true);
             return;
         }
         if !self.mshr.has_free() {
             self.counters.sw_pf_dropped_full += 1;
+            self.tracer
+                .sw_pf_issue(now, pc, line, PfDisposition::DroppedFull);
+            self.tracer.mshr_drop(now, pc, line, PfSource::Sw);
             return;
         }
         let ready = self.dram_fill_ready(now);
         self.counters.sw_pf_offcore += 1;
+        self.tracer
+            .sw_pf_issue(now, pc, line, PfDisposition::Offcore);
+        self.tracer.mshr_alloc(now, pc, line, PfSource::Sw, ready);
         let ok = self.mshr.allocate(MshrEntry {
             line,
             ready,
@@ -307,10 +357,12 @@ impl Hierarchy {
             return;
         }
         if !self.mshr.has_free() {
+            self.tracer.mshr_drop(now, 0, line, PfSource::Hw);
             return;
         }
         let ready = self.dram_fill_ready(now);
         self.counters.hw_pf_offcore += 1;
+        self.tracer.mshr_alloc(now, 0, line, PfSource::Hw, ready);
         let ok = self.mshr.allocate(MshrEntry {
             line,
             ready,
@@ -356,7 +408,7 @@ mod tests {
     fn timely_prefetch_turns_miss_into_l1_hit() {
         let cfg = no_hw_cfg();
         let mut h = Hierarchy::new(&cfg);
-        h.sw_prefetch(0x20000, 0);
+        h.sw_prefetch(0x400020, 0x20000, 0);
         // Long after the fill latency: the line is resident.
         let r = h.demand_load(0x400000, 0x20000, cfg.dram_latency + 10);
         assert_eq!(r.served, Level::L1);
@@ -369,7 +421,7 @@ mod tests {
     fn late_prefetch_hits_fill_buffer() {
         let cfg = no_hw_cfg();
         let mut h = Hierarchy::new(&cfg);
-        h.sw_prefetch(0x20000, 0);
+        h.sw_prefetch(0x400020, 0x20000, 0);
         // Demand arrives 10 cycles later — most of the latency remains.
         let r = h.demand_load(0x400000, 0x20000, 10);
         assert!(r.fb_hit_swpf);
@@ -384,11 +436,11 @@ mod tests {
     fn redundant_prefetch_counted() {
         let cfg = no_hw_cfg();
         let mut h = Hierarchy::new(&cfg);
-        h.sw_prefetch(0x20000, 0);
-        h.sw_prefetch(0x20000, 1); // In flight → redundant.
+        h.sw_prefetch(0x400020, 0x20000, 0);
+        h.sw_prefetch(0x400020, 0x20000, 1); // In flight → redundant.
         assert_eq!(h.counters.sw_pf_redundant, 1);
         h.drain(cfg.dram_latency + 5);
-        h.sw_prefetch(0x20000, cfg.dram_latency + 6); // Resident → redundant.
+        h.sw_prefetch(0x400020, 0x20000, cfg.dram_latency + 6); // Resident → redundant.
         assert_eq!(h.counters.sw_pf_redundant, 2);
         assert_eq!(h.counters.sw_pf_offcore, 1);
     }
@@ -398,9 +450,9 @@ mod tests {
         let mut cfg = no_hw_cfg();
         cfg.mshr_entries = 2;
         let mut h = Hierarchy::new(&cfg);
-        h.sw_prefetch(0x10000, 0);
-        h.sw_prefetch(0x20000, 0);
-        h.sw_prefetch(0x30000, 0);
+        h.sw_prefetch(0x400020, 0x10000, 0);
+        h.sw_prefetch(0x400020, 0x20000, 0);
+        h.sw_prefetch(0x400020, 0x30000, 0);
         assert_eq!(h.counters.sw_pf_dropped_full, 1);
         assert_eq!(h.counters.sw_pf_offcore, 2);
     }

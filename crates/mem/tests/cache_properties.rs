@@ -2,6 +2,7 @@
 
 use apt_mem::cache::Cache;
 use apt_mem::{CacheConfig, Hierarchy, Level, MemConfig};
+use apt_trace::TraceConfig;
 use proptest::prelude::*;
 
 /// Reference model: fully-explicit LRU per set.
@@ -113,13 +114,62 @@ proptest! {
         let mut now = 0;
         for l in lines {
             let addr = 0x1000_0000 + l * 64;
-            h.sw_prefetch(addr, now);
+            h.sw_prefetch(0x400020, addr, now);
             now += cfg.dram_latency + cfg.dram_service_interval + 1;
             let r = h.demand_load(0x400000, addr, now);
             prop_assert!(r.served == Level::L1 || r.served == Level::L2,
                 "served {:?}", r.served);
             now += r.latency;
         }
+    }
+
+    /// Prefetch-outcome conservation: on random interleavings of software
+    /// prefetches and demand loads, every issued prefetch is classified
+    /// into exactly one of timely / late / early / useless / redundant /
+    /// dropped, and the classes reconcile with the PMU counters
+    /// (`sw_pf_issued`, `fb_hits_swpf`, `sw_pf_dropped_full`).
+    #[test]
+    fn prefetch_outcomes_conserve_pmu_counters(
+        ops in prop::collection::vec(
+            (any::<bool>(), 0u64..(1 << 10), 0u64..500), 1..400),
+        mshr_entries in 2usize..8,
+    ) {
+        let cfg = MemConfig {
+            stride_prefetcher: false,
+            next_line_prefetcher: false,
+            mshr_entries,
+            ..MemConfig::scaled_machine()
+        };
+        let mut h = Hierarchy::new(&cfg);
+        h.set_trace(TraceConfig::outcomes());
+        let mut now = 0;
+        for (is_pf, l, gap) in ops {
+            let addr = 0x1000_0000 + l * 64;
+            if is_pf {
+                h.sw_prefetch(0x400020, addr, now);
+                now += 1 + gap;
+            } else {
+                let r = h.demand_load(0x400000, addr, now);
+                now += r.latency + gap;
+            }
+        }
+        h.drain(now + cfg.dram_latency + 1);
+        let c = h.counters;
+        let table = h.take_trace().outcomes;
+        prop_assert!(table.is_conserved());
+        let t = table.total;
+        prop_assert_eq!(t.issued, c.sw_pf_issued);
+        prop_assert_eq!(
+            t.issued,
+            t.timely + t.late + t.early + t.useless + t.redundant + t.dropped
+        );
+        prop_assert_eq!(t.late, c.fb_hits_swpf);
+        prop_assert_eq!(t.dropped, c.sw_pf_dropped_full);
+        prop_assert_eq!(t.redundant, c.sw_pf_redundant);
+        // Early ⊆ PMU unused-prefetch evictions (the PMU counter also
+        // includes hardware prefetches; here HW prefetchers are off, but
+        // L1/L2 evictions of still-LLC-resident lines are not counted).
+        prop_assert!(t.early <= c.pf_evicted_unused);
     }
 
     /// The DRAM bandwidth model never reorders: issuing the same trace

@@ -184,15 +184,15 @@ pub fn detect_indirect_loads(module: &Module) -> Vec<(FuncId, InstPos)> {
                 }
                 let pos = (b, InstId(i as u32));
                 match extract_slice(func, &forest, &defs, pos, scope) {
-                    Ok(s) if s.is_indirect() => {
+                    Ok(s)
+                        if s.is_indirect()
                         // Only injectable when the loop bound is known.
-                        if forest.loops[scope]
+                        && forest.loops[scope]
                             .iv
                             .map(|iv| iv.bound.is_some())
-                            .unwrap_or(false)
-                        {
-                            out.push((fid, pos));
-                        }
+                            .unwrap_or(false) =>
+                    {
+                        out.push((fid, pos));
                     }
                     _ => {}
                 }
@@ -202,12 +202,13 @@ pub fn detect_indirect_loads(module: &Module) -> Vec<(FuncId, InstPos)> {
     out
 }
 
+/// `(block, position, count)` insertions plus the number of instructions
+/// added — what each injection strategy reports back.
+type Insertions = Result<(Vec<(BlockId, usize, usize)>, usize), String>;
+
 /// Performs one injection; returns the list of `(block, position, count)`
 /// insertions and the number of instructions added.
-fn inject_one(
-    func: &mut Function,
-    spec: &InjectionSpec,
-) -> Result<(Vec<(BlockId, usize, usize)>, usize), String> {
+fn inject_one(func: &mut Function, spec: &InjectionSpec) -> Insertions {
     let forest = analyze_loops(func);
     let defs = DefMap::build(func);
     let inner_idx = forest
@@ -343,7 +344,7 @@ fn inject_inner(
     defs: &DefMap,
     spec: &InjectionSpec,
     scope: usize,
-) -> Result<(Vec<(BlockId, usize, usize)>, usize), String> {
+) -> Insertions {
     let iv = forest.loops[scope]
         .iv
         .ok_or_else(|| SliceError::NoInductionVar.to_string())?;
@@ -376,7 +377,7 @@ fn inject_outer(
     spec: &InjectionSpec,
     inner_idx: usize,
     outer_idx: usize,
-) -> Result<(Vec<(BlockId, usize, usize)>, usize), String> {
+) -> Insertions {
     let outer_iv = forest.loops[outer_idx]
         .iv
         .ok_or("outer loop has no induction variable")?;

@@ -126,7 +126,7 @@ pub fn analyze_loops(func: &Function) -> LoopForest {
 
     // Sort by size descending so parents precede children, then link
     // parents (smallest enclosing loop with a strict superset of blocks).
-    loops.sort_by(|a, b| b.blocks.len().cmp(&a.blocks.len()));
+    loops.sort_by_key(|l| std::cmp::Reverse(l.blocks.len()));
     for i in 0..loops.len() {
         let mut parent: Option<usize> = None;
         for j in (0..i).rev() {
@@ -154,8 +154,8 @@ pub fn analyze_loops(func: &Function) -> LoopForest {
     }
 
     // Induction variables.
-    for i in 0..loops.len() {
-        loops[i].iv = find_induction_var(func, &loops[i]);
+    for l in &mut loops {
+        l.iv = find_induction_var(func, l);
     }
 
     LoopForest { loops, innermost }
@@ -277,15 +277,11 @@ fn find_bound(func: &Function, l: &LoopInfo, phi: Reg, next: Reg) -> Option<Oper
         {
             let on_iv = |o: Operand| o == Operand::Reg(next) || o == Operand::Reg(phi);
             match pred {
-                ICmpPred::Lts | ICmpPred::Ltu | ICmpPred::Les | ICmpPred::Leu => {
-                    if on_iv(*a) {
-                        return Some(*b);
-                    }
+                ICmpPred::Lts | ICmpPred::Ltu | ICmpPred::Les | ICmpPred::Leu if on_iv(*a) => {
+                    return Some(*b);
                 }
-                ICmpPred::Gts | ICmpPred::Gtu | ICmpPred::Ges | ICmpPred::Geu => {
-                    if on_iv(*b) {
-                        return Some(*a);
-                    }
+                ICmpPred::Gts | ICmpPred::Gtu | ICmpPred::Ges | ICmpPred::Geu if on_iv(*b) => {
+                    return Some(*a);
                 }
                 _ => {}
             }

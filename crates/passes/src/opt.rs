@@ -351,8 +351,12 @@ mod tests {
         }
         crate::inject::ainsworth_jones(&mut m, 16);
         // The loop body lives in bb1 (guard = bb0, exit = bb2).
-        let body_len =
-            |m: &Module| m.function(apt_lir::FuncId(0)).block(apt_lir::BlockId(1)).insts.len();
+        let body_len = |m: &Module| {
+            m.function(apt_lir::FuncId(0))
+                .block(apt_lir::BlockId(1))
+                .insts
+                .len()
+        };
         let before = body_len(&m);
         let stats = optimize_module(&mut m);
         assert!(stats.hoisted >= 1, "{stats:?}");

@@ -226,7 +226,7 @@ mod tests {
         // Maximum at the centre, negative side lobes.
         let center = 50;
         assert!(w[center] > 0.0);
-        assert!(w.iter().enumerate().all(|(_, &v)| v <= w[center]));
+        assert!(w.iter().all(|&v| v <= w[center]));
         assert!(w[center + 15] < 0.0);
         // Near-zero mean (admissibility).
         let mean: f64 = w.iter().sum::<f64>() / w.len() as f64;

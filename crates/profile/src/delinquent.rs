@@ -63,9 +63,9 @@ mod tests {
     #[test]
     fn ranks_by_frequency() {
         let mut rs = vec![];
-        rs.extend(std::iter::repeat(rec(0x100)).take(70));
-        rs.extend(std::iter::repeat(rec(0x200)).take(25));
-        rs.extend(std::iter::repeat(rec(0x300)).take(5));
+        rs.extend(std::iter::repeat_n(rec(0x100), 70));
+        rs.extend(std::iter::repeat_n(rec(0x200), 25));
+        rs.extend(std::iter::repeat_n(rec(0x300), 5));
         let d = rank_delinquent_loads(&rs, 0.10, 10);
         assert_eq!(d.len(), 2);
         assert_eq!(d[0].pc, Pc(0x100));
@@ -77,7 +77,7 @@ mod tests {
     fn caps_the_list() {
         let mut rs = vec![];
         for i in 0..20u64 {
-            rs.extend(std::iter::repeat(rec(0x100 + i * 4)).take(5));
+            rs.extend(std::iter::repeat_n(rec(0x100 + i * 4), 5));
         }
         let d = rank_delinquent_loads(&rs, 0.0, 3);
         assert_eq!(d.len(), 3);

@@ -207,7 +207,7 @@ mod tests {
             e(0x100, 60),
             e(0x200, 95),
         ];
-        let outer = iteration_latencies(&[s.clone()], Pc(0x200));
+        let outer = iteration_latencies(std::slice::from_ref(&s), Pc(0x200));
         assert_eq!(outer, vec![40, 45]);
         let inner = iteration_latencies(&[s], Pc(0x100));
         // 30−20 = 10 (adjacent); 60−30 crosses an outer iteration and is

@@ -28,5 +28,6 @@ pub use hintfile::{parse as parse_hints, serialize_hints, HintRecord};
 pub use histogram::Histogram;
 pub use lbr_analysis::{iteration_latencies, trip_counts, trip_counts_between, TripCountStats};
 pub use model::{
-    analyze, latency_distribution, AnalysisConfig, AnalysisResult, LoadHint, PeakSummary,
+    analyze, analyze_traced, latency_distribution, AnalysisConfig, AnalysisResult, LoadHint,
+    PeakSummary,
 };

@@ -6,6 +6,7 @@ use apt_lir::pcmap::Location;
 use apt_lir::{AddressMap, BlockId, FuncId, InstId, Module, Pc};
 use apt_passes::loops::analyze_loops;
 use apt_passes::{InjectionSpec, Site};
+use apt_trace::SpanRecorder;
 
 use crate::cwt::find_peaks_cwt;
 use crate::delinquent::{rank_delinquent_loads, DelinquentLoad};
@@ -238,12 +239,40 @@ pub fn analyze(
     profile_stats: &apt_cpu::PerfStats,
     cfg: &AnalysisConfig,
 ) -> AnalysisResult {
+    // Span recording is cheap relative to the analysis itself (CWT over
+    // histograms), so the untraced entry point just discards the spans.
+    let mut spans = SpanRecorder::new();
+    analyze_traced(module, map, profile, profile_stats, cfg, &mut spans)
+}
+
+/// [`analyze`], additionally emitting one span per phase and per analyzed
+/// load into `spans` (the data behind `--explain` / `--trace-out`).
+pub fn analyze_traced(
+    module: &Module,
+    map: &AddressMap,
+    profile: &ProfileData,
+    profile_stats: &apt_cpu::PerfStats,
+    cfg: &AnalysisConfig,
+    spans: &mut SpanRecorder,
+) -> AnalysisResult {
+    let rank = spans.begin("delinquency-ranking");
     let mut result = AnalysisResult {
         delinquent: rank_delinquent_loads(&profile.pebs, cfg.min_share, cfg.max_loads),
         ..Default::default()
     };
+    spans.note(&rank, "pebs_records", profile.pebs.len());
+    spans.note(&rank, "candidates", result.delinquent.len());
+    for d in &result.delinquent {
+        spans.note(
+            &rank,
+            &format!("share[{}]", d.pc),
+            format!("{:.1}%", d.share * 100.0),
+        );
+    }
+    spans.end(rank);
 
     for d in result.delinquent.clone() {
+        let load_span = spans.begin(&format!("load {}", d.pc));
         // Gate on absolute miss volume: a load must miss often enough per
         // instruction for prefetching to pay for its slice (the CG case).
         let est_mpki = d.samples as f64 * cfg.pebs_period.max(1) as f64 * 1000.0
@@ -253,12 +282,24 @@ pub fn analyze(
                 "pc {}: ~{est_mpki:.2} MPKI below threshold; not worth prefetching",
                 d.pc
             ));
+            spans.note(
+                &load_span,
+                "skipped",
+                format!("{est_mpki:.2} MPKI below threshold"),
+            );
+            spans.end(load_span);
             continue;
         }
         let Some(Location::Inst(iref)) = map.resolve(d.pc) else {
             result
                 .notes
                 .push(format!("pc {} does not resolve to an instruction", d.pc));
+            spans.note(
+                &load_span,
+                "skipped",
+                "pc does not resolve to an instruction",
+            );
+            spans.end(load_span);
             continue;
         };
         let func = module.function(iref.func);
@@ -267,6 +308,8 @@ pub fn analyze(
             result
                 .notes
                 .push(format!("load at {} is not inside a loop", d.pc));
+            spans.note(&load_span, "skipped", "not inside a loop");
+            spans.end(load_span);
             continue;
         };
 
@@ -282,7 +325,11 @@ pub fn analyze(
             let outer_latch = forest.loops[o].latches[0];
             map.term_pc(iref.func, outer_latch)
         });
+        let lbr = spans.begin("lbr-matching");
         let lats = iteration_latencies_bounded(&profile.lbr_samples, bbl_branch, boundary);
+        spans.note(&lbr, "loop_branch", bbl_branch);
+        spans.note(&lbr, "observations", lats.len());
+        spans.end(lbr);
 
         let (ic, mc, mut distance, peaks);
         if lats.len() < cfg.min_observations {
@@ -296,19 +343,40 @@ pub fn analyze(
                 d.pc,
                 lats.len()
             ));
+            spans.note(
+                &load_span,
+                "fallback",
+                format!("only {} latency observations; distance 1", lats.len()),
+            );
         } else {
+            let cwt = spans.begin("cwt-peaks");
             let hist = Histogram::build(&lats, cfg.hist_bins, 0.995)
                 .expect("non-empty latencies")
                 .smoothed(cfg.smoothing);
             let ps = detect_peaks(&hist, cfg);
+            spans.note(&cwt, "histogram", format!("\n{}", hist.ascii(48)));
+            for (i, p) in ps.iter().enumerate() {
+                spans.note(
+                    &cwt,
+                    &format!("peak{i}"),
+                    format!("{} cycles ({:.0}% mass)", p.latency, p.mass * 100.0),
+                );
+            }
+            spans.end(cwt);
+            let eq1 = spans.begin("eq1-distance");
             let (i, m, dist) = derive_distance(&ps, cfg);
             ic = i;
             mc = m;
             distance = dist;
             peaks = ps;
+            spans.note(&eq1, "ic_latency", format!("{ic:.1}"));
+            spans.note(&eq1, "mc_latency", format!("{mc:.1}"));
+            spans.note(&eq1, "distance", distance);
+            spans.end(eq1);
         }
 
         // Eq. 2: choose the injection site.
+        let eq2 = spans.begin("eq2-site");
         let mut site = Site::Inner;
         let mut fanout = 1u64;
         let mut trip_count = None;
@@ -363,6 +431,17 @@ pub fn analyze(
                 }
             }
         }
+
+        spans.note(&eq2, "site", format!("{site:?}"));
+        spans.note(&eq2, "fanout", fanout);
+        if let Some(t) = trip_count {
+            spans.note(&eq2, "trip_count", format!("{t:.1}"));
+        }
+        spans.end(eq2);
+
+        spans.note(&load_span, "distance", distance);
+        spans.note(&load_span, "site", format!("{site:?}"));
+        spans.end(load_span);
 
         result.hints.push(LoadHint {
             pc: d.pc,

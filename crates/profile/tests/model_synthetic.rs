@@ -52,7 +52,11 @@ fn synth_profile(
         let mut s: LbrSample = Vec::new();
         for _ in 0..apt_cpu::LBR_ENTRIES {
             iter += 1;
-            cycle += if iter % miss_every == 0 { ic + mc } else { ic };
+            cycle += if iter.is_multiple_of(miss_every) {
+                ic + mc
+            } else {
+                ic
+            };
             s.push(LbrEntry {
                 from: branch_pc,
                 to: Pc(branch_pc.0 - 40),

@@ -1,0 +1,278 @@
+//! Event sinks: where structured [`TraceEvent`]s go.
+//!
+//! The hot loop talks to a concrete recorder (no `dyn` in the fast path);
+//! the [`EventSink`] trait exists so tools and tests can plug alternative
+//! consumers (counting, collecting) behind the same interface.
+
+use crate::event::{EventKind, TraceEvent};
+
+/// A consumer of structured trace events.
+pub trait EventSink {
+    /// Receives one event. Implementations must not assume ordering beyond
+    /// monotonically non-decreasing `cycle` within one simulation.
+    fn record(&mut self, ev: TraceEvent);
+
+    /// Total events offered to the sink (including any it discarded).
+    fn offered(&self) -> u64;
+}
+
+/// A `Copy` predicate applied before an event reaches a sink.
+///
+/// All fields are conjunctive: an event passes if it matches the kind mask
+/// AND the optional PC restriction AND the optional line restriction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventFilter {
+    /// Bitmask over [`EventKind::id`]; bit `i` set ⇒ kind `i` passes.
+    pub kind_mask: u32,
+    /// If `Some`, only events with exactly this PC pass.
+    pub pc: Option<u64>,
+    /// If `Some`, only events touching exactly this cache line pass.
+    pub line: Option<u64>,
+}
+
+impl EventFilter {
+    /// Passes every event.
+    pub const ALL: EventFilter = EventFilter {
+        kind_mask: u32::MAX,
+        pc: None,
+        line: None,
+    };
+
+    /// Passes no event.
+    pub const NONE: EventFilter = EventFilter {
+        kind_mask: 0,
+        pc: None,
+        line: None,
+    };
+
+    /// Restricts to a single kind (chainable with [`EventFilter::also_kind`]).
+    pub fn only_kind(kind: EventKind) -> EventFilter {
+        EventFilter {
+            kind_mask: 1 << kind.id(),
+            ..EventFilter::ALL
+        }
+    }
+
+    /// Adds one more kind to the mask.
+    pub fn also_kind(mut self, kind: EventKind) -> EventFilter {
+        self.kind_mask |= 1 << kind.id();
+        self
+    }
+
+    /// Restricts to a single issuing PC.
+    pub fn at_pc(mut self, pc: u64) -> EventFilter {
+        self.pc = Some(pc);
+        self
+    }
+
+    /// Restricts to a single cache line.
+    pub fn at_line(mut self, line: u64) -> EventFilter {
+        self.line = Some(line);
+        self
+    }
+
+    /// Whether `ev` passes the filter.
+    #[inline]
+    pub fn accepts(&self, ev: &TraceEvent) -> bool {
+        self.kind_mask & (1 << ev.kind.id()) != 0
+            && self.pc.is_none_or(|pc| pc == ev.pc)
+            && self.line.is_none_or(|line| line == ev.line)
+    }
+}
+
+impl Default for EventFilter {
+    fn default() -> EventFilter {
+        EventFilter::ALL
+    }
+}
+
+/// Fixed-capacity ring buffer keeping the **latest** `capacity` events.
+///
+/// Allocates once at construction; recording never allocates, so it is safe
+/// to leave enabled during long simulations — old events are overwritten.
+#[derive(Debug, Clone)]
+pub struct RingRecorder {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Next write position when the ring has wrapped.
+    head: usize,
+    offered: u64,
+}
+
+impl RingRecorder {
+    pub fn new(capacity: usize) -> RingRecorder {
+        RingRecorder {
+            buf: Vec::with_capacity(capacity),
+            capacity: capacity.max(1),
+            head: 0,
+            offered: 0,
+        }
+    }
+
+    /// Number of events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events dropped because the ring wrapped.
+    pub fn dropped(&self) -> u64 {
+        self.offered - self.buf.len() as u64
+    }
+
+    /// Events in arrival order, oldest first.
+    pub fn iter_in_order(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (newer, older) = self.buf.split_at(self.head.min(self.buf.len()));
+        older.iter().chain(newer.iter())
+    }
+
+    /// Drains into a plain `Vec`, oldest first, leaving the ring empty.
+    pub fn take_in_order(&mut self) -> Vec<TraceEvent> {
+        let out: Vec<TraceEvent> = self.iter_in_order().copied().collect();
+        self.buf.clear();
+        self.head = 0;
+        out
+    }
+}
+
+impl EventSink for RingRecorder {
+    #[inline]
+    fn record(&mut self, ev: TraceEvent) {
+        self.offered += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    fn offered(&self) -> u64 {
+        self.offered
+    }
+}
+
+/// Unbounded collector, mainly for tests and small traces.
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    pub events: Vec<TraceEvent>,
+}
+
+impl EventSink for VecSink {
+    fn record(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    fn offered(&self) -> u64 {
+        self.events.len() as u64
+    }
+}
+
+/// Counts events per kind without storing them.
+#[derive(Debug, Clone, Default)]
+pub struct CountingSink {
+    pub by_kind: [u64; EventKind::COUNT],
+    offered: u64,
+}
+
+impl CountingSink {
+    pub fn count_of(&self, kind: EventKind) -> u64 {
+        self.by_kind[kind.id()]
+    }
+}
+
+impl EventSink for CountingSink {
+    fn record(&mut self, ev: TraceEvent) {
+        self.offered += 1;
+        self.by_kind[ev.kind.id()] += 1;
+    }
+
+    fn offered(&self) -> u64 {
+        self.offered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::PfDisposition;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            pc: 0x40,
+            line: cycle,
+            kind: EventKind::DemandFill,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_latest_in_order() {
+        let mut r = RingRecorder::new(3);
+        for c in 0..7 {
+            r.record(ev(c));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.offered(), 7);
+        assert_eq!(r.dropped(), 4);
+        let cycles: Vec<u64> = r.iter_in_order().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![4, 5, 6]);
+        assert_eq!(
+            r.take_in_order()
+                .iter()
+                .map(|e| e.cycle)
+                .collect::<Vec<_>>(),
+            vec![4, 5, 6]
+        );
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn ring_below_capacity() {
+        let mut r = RingRecorder::new(8);
+        r.record(ev(1));
+        r.record(ev(2));
+        let cycles: Vec<u64> = r.iter_in_order().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![1, 2]);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn filter_conjunction() {
+        let e = TraceEvent {
+            cycle: 9,
+            pc: 0x40,
+            line: 7,
+            kind: EventKind::SwPfIssue {
+                disposition: PfDisposition::Offcore,
+            },
+        };
+        assert!(EventFilter::ALL.accepts(&e));
+        assert!(!EventFilter::NONE.accepts(&e));
+        assert!(EventFilter::only_kind(e.kind).accepts(&e));
+        assert!(!EventFilter::only_kind(EventKind::DemandFill).accepts(&e));
+        assert!(EventFilter::only_kind(EventKind::DemandFill)
+            .also_kind(e.kind)
+            .accepts(&e));
+        assert!(EventFilter::ALL.at_pc(0x40).at_line(7).accepts(&e));
+        assert!(!EventFilter::ALL.at_pc(0x44).accepts(&e));
+        assert!(!EventFilter::ALL.at_line(8).accepts(&e));
+    }
+
+    #[test]
+    fn counting_sink_tallies_by_kind() {
+        let mut s = CountingSink::default();
+        s.record(ev(1));
+        s.record(ev(2));
+        s.record(TraceEvent {
+            kind: EventKind::PfFirstUse,
+            ..ev(3)
+        });
+        assert_eq!(s.count_of(EventKind::DemandFill), 2);
+        assert_eq!(s.count_of(EventKind::PfFirstUse), 1);
+        assert_eq!(s.offered(), 3);
+    }
+}

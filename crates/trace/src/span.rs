@@ -1,0 +1,188 @@
+//! Pipeline spans: named, nested phases with wall-time, simulated cycles,
+//! and free-form key/value detail.
+//!
+//! `AptGet::optimize` wraps each phase (profile run, delinquency ranking,
+//! LBR matching, CWT peaks, Eq.1/Eq.2, injection, cleanup) in a span.
+//! Spans render both as the human-readable part of `--explain` and as
+//! Chrome trace-event "X" entries.
+
+use std::time::Instant;
+
+/// One completed phase.
+#[derive(Debug, Clone)]
+pub struct Span {
+    pub name: String,
+    /// Nesting depth (0 = top level).
+    pub depth: usize,
+    /// Wall-clock time relative to the recorder's creation.
+    pub start_us: u64,
+    pub wall_us: u64,
+    /// Simulated cycles consumed inside the span (0 for pure-analysis
+    /// phases that never advance the simulator).
+    pub sim_cycles: u64,
+    /// Key outputs, e.g. `("delinquent_pc", "0x4010")`.
+    pub detail: Vec<(String, String)>,
+}
+
+impl Span {
+    /// `detail` value for `key`, if recorded.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.detail
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Handle to a span that is still open; returned by [`SpanRecorder::begin`]
+/// and consumed by [`SpanRecorder::end`].
+#[derive(Debug)]
+#[must_use = "pass the guard back to SpanRecorder::end to close the span"]
+pub struct SpanGuard {
+    index: usize,
+    started: Instant,
+}
+
+/// Collects spans for one pipeline run.
+#[derive(Debug)]
+pub struct SpanRecorder {
+    epoch: Instant,
+    spans: Vec<Span>,
+    open_depth: usize,
+}
+
+impl Default for SpanRecorder {
+    fn default() -> SpanRecorder {
+        SpanRecorder::new()
+    }
+}
+
+impl SpanRecorder {
+    pub fn new() -> SpanRecorder {
+        SpanRecorder {
+            epoch: Instant::now(),
+            spans: Vec::new(),
+            open_depth: 0,
+        }
+    }
+
+    /// Opens a span. Spans close LIFO (strict nesting).
+    pub fn begin(&mut self, name: &str) -> SpanGuard {
+        let started = Instant::now();
+        let index = self.spans.len();
+        self.spans.push(Span {
+            name: name.to_string(),
+            depth: self.open_depth,
+            start_us: started.duration_since(self.epoch).as_micros() as u64,
+            wall_us: 0,
+            sim_cycles: 0,
+            detail: Vec::new(),
+        });
+        self.open_depth += 1;
+        SpanGuard { index, started }
+    }
+
+    /// Closes a span opened by [`SpanRecorder::begin`].
+    pub fn end(&mut self, guard: SpanGuard) {
+        self.open_depth = self.open_depth.saturating_sub(1);
+        let span = &mut self.spans[guard.index];
+        span.wall_us = guard.started.elapsed().as_micros() as u64;
+    }
+
+    /// Attaches a key/value detail to the span behind `guard`.
+    pub fn note(&mut self, guard: &SpanGuard, key: &str, value: impl ToString) {
+        self.spans[guard.index]
+            .detail
+            .push((key.to_string(), value.to_string()));
+    }
+
+    /// Records simulated cycles consumed inside the span behind `guard`.
+    pub fn add_sim_cycles(&mut self, guard: &SpanGuard, cycles: u64) {
+        self.spans[guard.index].sim_cycles += cycles;
+    }
+
+    /// Convenience: run `f` inside a span named `name`.
+    pub fn scoped<T>(
+        &mut self,
+        name: &str,
+        f: impl FnOnce(&mut SpanRecorder, &SpanGuard) -> T,
+    ) -> T {
+        let guard = self.begin(name);
+        let out = f(self, &guard);
+        self.end(guard);
+        out
+    }
+
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    pub fn into_spans(self) -> Vec<Span> {
+        self.spans
+    }
+
+    /// Indented plain-text rendering of the recorded phases.
+    pub fn render(&self) -> String {
+        render_spans(&self.spans)
+    }
+}
+
+/// Indented plain-text rendering of a span slice (see
+/// [`SpanRecorder::render`]).
+pub fn render_spans(spans: &[Span]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        out.push_str(&"  ".repeat(s.depth));
+        out.push_str(&format!("{} ({} µs", s.name, s.wall_us));
+        if s.sim_cycles > 0 {
+            out.push_str(&format!(", {} sim cycles", s.sim_cycles));
+        }
+        out.push(')');
+        for (k, v) in &s.detail {
+            out.push_str(&format!("\n{}- {k}: {v}", "  ".repeat(s.depth + 1)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_carry_detail() {
+        let mut r = SpanRecorder::new();
+        let outer = r.begin("optimize");
+        let inner = r.begin("profile-run");
+        r.note(&inner, "instructions", 1234u64);
+        r.add_sim_cycles(&inner, 999);
+        r.end(inner);
+        r.end(outer);
+
+        let spans = r.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!((spans[0].depth, spans[1].depth), (0, 1));
+        assert_eq!(spans[1].get("instructions"), Some("1234"));
+        assert_eq!(spans[1].sim_cycles, 999);
+        assert_eq!(spans[0].get("missing"), None);
+
+        let text = r.render();
+        assert!(text.contains("optimize"));
+        assert!(text.contains("  profile-run"));
+        assert!(text.contains("instructions: 1234"));
+        assert!(text.contains("999 sim cycles"));
+    }
+
+    #[test]
+    fn scoped_runs_closure_and_closes() {
+        let mut r = SpanRecorder::new();
+        let v = r.scoped("phase", |r, g| {
+            r.note(g, "k", "v");
+            42
+        });
+        assert_eq!(v, 42);
+        assert_eq!(r.spans().len(), 1);
+        assert_eq!(r.spans()[0].get("k"), Some("v"));
+    }
+}

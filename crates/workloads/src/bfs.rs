@@ -177,7 +177,6 @@ pub fn build(name: &str, g: &Csr, src: u32) -> BuiltWorkload {
                         .iter(),
                 )
                 .enumerate()
-                .map(|(i, p)| (i, p))
             {
                 if g_ != w {
                     return Err(format!("dist[{v}] = {g_}, expected {w}"));

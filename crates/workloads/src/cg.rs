@@ -196,9 +196,9 @@ mod tests {
         let p = small();
         let (row_ptr, col, _) = banded_matrix(&p);
         for r in 0..p.n as usize {
-            for e in row_ptr[r] as usize..row_ptr[r + 1] as usize {
-                let d = (col[e] as i64 - r as i64).unsigned_abs();
-                assert!(d <= p.bandwidth, "row {r} col {} too far", col[e]);
+            for &c in &col[row_ptr[r] as usize..row_ptr[r + 1] as usize] {
+                let d = (c as i64 - r as i64).unsigned_abs();
+                assert!(d <= p.bandwidth, "row {r} col {c} too far");
             }
         }
     }

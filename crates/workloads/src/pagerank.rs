@@ -85,15 +85,15 @@ pub fn reference(g: &Csr, iters: usize) -> Vec<f64> {
         .collect();
     let mut contrib = vec![0.0; n];
     for _ in 0..iters {
-        for v in 0..n {
-            contrib[v] = rank[v] * inv_deg[v];
+        for ((c, r), d) in contrib.iter_mut().zip(&rank).zip(&inv_deg) {
+            *c = r * d;
         }
-        for v in 0..n {
+        for (v, r) in rank.iter_mut().enumerate() {
             let mut sum = 0.0;
             for &nb in g.neighbors(v as u32) {
                 sum += contrib[nb as usize];
             }
-            rank[v] = base + DAMPING * sum;
+            *r = base + DAMPING * sum;
         }
     }
     rank

@@ -1,0 +1,128 @@
+//! The explain layer, end to end: run the full pipeline on the canonical
+//! indirect-access kernel, then check that the `--explain` report tells
+//! the story the paper tells — which load is delinquent, what distance
+//! Eq. 1 chose, where the hint went — and that the measured per-PC
+//! outcome table reconciles *exactly* with the PMU counters.
+
+use apt_cpu::MemImage;
+use apt_lir::{FunctionBuilder, Module, Width};
+use aptget::{
+    chrome_trace_json, execute_traced, format_explain, injected_prefetch_pcs, AptGet,
+    PipelineConfig, SpanRecorder, TraceConfig,
+};
+
+/// `sum += T[B[i]]` over a table much larger than the scaled LLC — the
+/// same shape as the paper's GUPS/hash-join kernels.
+fn indirect_program() -> (Module, MemImage, Vec<(String, Vec<u64>)>) {
+    let mut module = Module::new("t");
+    let f = module.add_function("kernel", &["t", "b", "n"]);
+    {
+        let mut bd = FunctionBuilder::new(module.function_mut(f));
+        let (t, b, n) = (bd.param(0), bd.param(1), bd.param(2));
+        let s = bd.loop_up_reduce(0, n, 1, 0, |bd, iv, acc| {
+            let x = bd.load_elem(b, iv, Width::W4, false);
+            let v = bd.load_elem(t, x, Width::W4, false);
+            bd.add(acc, v).into()
+        });
+        bd.ret(Some(s));
+    }
+    let mut image = MemImage::new();
+    let tlen = 1u32 << 20; // 4 MiB of u32.
+    let t: Vec<u32> = (0..tlen).map(|i| i % 1000).collect();
+    let b: Vec<u32> = (0..100_000u32)
+        .map(|i| i.wrapping_mul(2_654_435_761) % tlen)
+        .collect();
+    let tb = image.alloc_u32_slice(&t);
+    let bb = image.alloc_u32_slice(&b);
+    let calls = vec![("kernel".to_string(), vec![tb, bb, 100_000])];
+    (module, image, calls)
+}
+
+#[test]
+fn explain_report_names_the_decision_and_reconciles_with_pmu() {
+    let (module, image, calls) = indirect_program();
+    let cfg = PipelineConfig::default();
+    let apt = AptGet::new(cfg);
+
+    let mut spans = SpanRecorder::new();
+    let opt = apt
+        .optimize_traced(&module, image.clone(), &calls, &mut spans)
+        .unwrap();
+    assert_eq!(opt.injection.injected.len(), 1, "{:?}", opt.analysis.notes);
+    let hint = &opt.analysis.hints[0];
+    assert!(hint.distance >= 2, "distance {}", hint.distance);
+
+    // Measure the optimised module with outcome attribution on.
+    let (tuned, trace) = execute_traced(
+        &opt.module,
+        image,
+        &calls,
+        &cfg.measure_sim,
+        TraceConfig::outcomes(),
+    )
+    .unwrap();
+
+    // The outcome table must reconcile EXACTLY with the PMU counters.
+    let t = &trace.outcomes.total;
+    let m = &tuned.stats.mem;
+    assert!(trace.outcomes.is_conserved(), "{}", trace.outcomes.render());
+    assert_eq!(t.issued, m.sw_pf_issued);
+    assert_eq!(t.late, m.fb_hits_swpf);
+    assert_eq!(t.dropped, m.sw_pf_dropped_full);
+    assert_eq!(t.redundant, m.sw_pf_redundant);
+    assert!(t.issued > 0, "optimised run issued no prefetches");
+
+    // Every counted outcome is attributed to an actually-injected PC.
+    let pcs = injected_prefetch_pcs(&opt.module);
+    assert_eq!(pcs.len(), 1);
+    for pc in trace.outcomes.per_pc.keys() {
+        assert!(
+            pcs.iter().any(|(p, _)| p == pc),
+            "outcome table PC {pc:#x} is not an injected prefetch"
+        );
+    }
+
+    let report = format_explain(&opt, spans.spans(), Some((&tuned.stats, &trace)));
+
+    // Names the delinquent load and the Eq.1/Eq.2 decision...
+    assert!(
+        report.contains(&format!("load {}", hint.pc)),
+        "missing delinquent load:\n{report}"
+    );
+    assert!(report.contains(&format!("distance {}", hint.distance)));
+    assert!(
+        report.contains("site Inner"),
+        "single-loop kernel must choose the inner site:\n{report}"
+    );
+    // ...walks through the pipeline phases...
+    for phase in [
+        "profile-run",
+        "delinquency-ranking",
+        "injection",
+        "o3-cleanup",
+    ] {
+        assert!(report.contains(phase), "missing phase {phase}:\n{report}");
+    }
+    // ...and reconciles cleanly.
+    assert!(report.contains("[ok]"), "{report}");
+    assert!(!report.contains("MISMATCH"), "{report}");
+
+    // The Chrome trace covers the same spans and is structurally valid.
+    let json = chrome_trace_json(spans.spans(), Some(&trace));
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.contains("\"profile-run\""));
+    assert!(json.trim_end().ends_with('}'));
+}
+
+#[test]
+fn explain_without_measurement_still_renders() {
+    let (module, image, calls) = indirect_program();
+    let apt = AptGet::new(PipelineConfig::default());
+    let mut spans = SpanRecorder::new();
+    let opt = apt
+        .optimize_traced(&module, image, &calls, &mut spans)
+        .unwrap();
+    let report = format_explain(&opt, spans.spans(), None);
+    assert!(report.contains("--- decisions ---"));
+    assert!(!report.contains("PMU reconciliation"));
+}

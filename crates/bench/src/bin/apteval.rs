@@ -1,0 +1,41 @@
+//! `apteval` — the parallel evaluation-campaign runner.
+//!
+//! Runs the paper's (workload × variant) comparison matrix across worker
+//! threads with on-disk profile caching:
+//!
+//! ```text
+//! apteval                                # full registry, all cores, cached
+//! apteval --jobs 4 --scale 0.05          # bounded parallelism, small inputs
+//! apteval --workloads BFS,IS --stats     # subset + wall-time/cache stats
+//! apteval --no-cache                     # force re-profiling
+//! apteval --csv-out campaign.csv         # CSV copy of the table
+//! apteval --trace-out campaign.json      # merged per-worker Chrome trace
+//! ```
+//!
+//! The comparison table is byte-identical at any `--jobs` value and any
+//! cache state; only the `--stats` section reflects scheduling and cache
+//! traffic. `$APT_JOBS` sets the default worker count, `$APT_PROFILE_CACHE`
+//! the default cache directory.
+
+use std::process::ExitCode;
+
+use apt_bench::eval::{campaign_cli, CampaignArgs};
+
+fn main() -> ExitCode {
+    let parsed = CampaignArgs::parse(std::env::args().skip(1));
+    let args = match parsed {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("usage: apteval {}", CampaignArgs::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match campaign_cli(&args) {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

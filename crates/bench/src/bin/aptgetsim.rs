@@ -9,10 +9,13 @@
 //! aptgetsim run BFS --trace-out t.json   # + Chrome trace-event JSON
 //! aptgetsim hints BFS [--scale S]        # print the hint file (§3.4 output)
 //! aptgetsim ir BFS [--optimized]         # dump the workload's IR
+//! aptgetsim campaign [--jobs N] ...      # full comparison matrix in
+//!                                        #   parallel (alias of `apteval`)
 //! ```
 
 use std::process::ExitCode;
 
+use apt_bench::eval::{campaign_cli, CampaignArgs};
 use apt_bench::{compare_variants_traced, fx, pct, AJ_STATIC_DISTANCE};
 use apt_profile::hintfile;
 use apt_workloads::registry::{all_workloads, by_name};
@@ -75,11 +78,32 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn main() -> ExitCode {
+    // The campaign command has its own flag set (shared with `apteval`);
+    // hand it the raw arguments before the single-workload parser runs.
+    let mut raw = std::env::args().skip(1);
+    if raw.next().as_deref() == Some("campaign") {
+        let args = match CampaignArgs::parse(raw) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}\n");
+                eprintln!("usage: aptgetsim campaign {}", CampaignArgs::USAGE);
+                return ExitCode::FAILURE;
+            }
+        };
+        return match campaign_cli(&args) {
+            Ok(_) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n");
-            eprintln!("usage: aptgetsim <list|run|hints|ir> [WORKLOAD] [--scale S] [--seed N] [--optimized] [--explain] [--trace-out PATH]");
+            eprintln!("usage: aptgetsim <list|run|hints|ir|campaign> [WORKLOAD] [--scale S] [--seed N] [--optimized] [--explain] [--trace-out PATH]");
             return ExitCode::FAILURE;
         }
     };

@@ -1,0 +1,617 @@
+//! `apt-eval`: the parallel evaluation-campaign runner.
+//!
+//! The paper's evaluation is a (workload × variant) matrix: every Table-3
+//! application under baseline, Ainsworth & Jones static injection, and
+//! APT-GET. Run serially with per-cell re-profiling, the full table
+//! dominates iteration time. This module attacks both axes:
+//!
+//! * **Sharding** — each matrix cell is one independent task on the
+//!   hand-rolled work-stealing pool ([`crate::pool`]). Cells build their
+//!   workload locally from a [`WorkloadDesc`] (a `Copy` descriptor, not a
+//!   prebuilt multi-MB image) and seed deterministically, so the campaign
+//!   report is **byte-identical at any `--jobs` value**.
+//! * **Profile caching** — APT-GET cells resolve their profiling run
+//!   through the on-disk [`ProfileCache`]; a warm cache skips profiling
+//!   entirely and `AptGet::optimize_cached` reproduces the cold
+//!   optimisation bit-for-bit.
+//!
+//! The deterministic comparison table ([`CampaignReport::table`]) is kept
+//! strictly separate from the timing-dependent diagnostics
+//! ([`CampaignReport::stats_text`]: per-cell wall time, worker
+//! attribution, steals, cache hits) and from the merged per-worker Chrome
+//! trace ([`CampaignReport::chrome_trace`]).
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use apt_trace::{ChromeTrace, Span, SpanRecorder};
+use apt_workloads::registry::by_name;
+use apt_workloads::WorkloadDesc;
+use aptget::{
+    ainsworth_jones_optimize, execute, geomean, AptGet, Comparison, PerfStats, PipelineConfig,
+};
+
+use crate::cache::ProfileCache;
+use crate::pool::{run_indexed, PoolStats};
+use crate::{format_table, fx, AJ_STATIC_DISTANCE};
+
+/// The three columns of the paper's comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    Baseline,
+    AinsworthJones,
+    AptGet,
+}
+
+impl Variant {
+    /// Campaign execution order per workload.
+    pub const ALL: [Variant; 3] = [Variant::Baseline, Variant::AinsworthJones, Variant::AptGet];
+
+    /// Display name as used in report rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Baseline => "baseline",
+            Variant::AinsworthJones => "A&J",
+            Variant::AptGet => "APT-GET",
+        }
+    }
+}
+
+/// Campaign parameters.
+pub struct CampaignConfig {
+    /// Workload scale (see `APT_SCALE` / `apt_bench::scale`).
+    pub scale: f64,
+    /// Input-generation seed, shared by every cell.
+    pub seed: u64,
+    /// Worker threads (1 = serial in-thread execution).
+    pub jobs: usize,
+    /// Workload names to run; empty = the full registry.
+    pub workloads: Vec<String>,
+    /// Pipeline configuration applied to every cell.
+    pub pipeline: PipelineConfig,
+    /// Profile cache; `None` disables caching (every APT-GET cell
+    /// re-profiles).
+    pub cache: Option<ProfileCache>,
+}
+
+impl CampaignConfig {
+    /// A campaign over the full registry with caching enabled at the
+    /// default location.
+    pub fn new(scale: f64, seed: u64, jobs: usize) -> CampaignConfig {
+        CampaignConfig {
+            scale,
+            seed,
+            jobs,
+            workloads: Vec::new(),
+            pipeline: PipelineConfig::default(),
+            cache: Some(ProfileCache::new(ProfileCache::default_dir())),
+        }
+    }
+}
+
+/// How an APT-GET cell obtained its profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the on-disk cache.
+    Hit,
+    /// Profiled from scratch; the result was stored for next time.
+    MissStored,
+    /// Profiled from scratch; caching disabled.
+    Uncached,
+}
+
+/// One completed matrix cell.
+pub struct CellResult {
+    /// Workload figure label.
+    pub workload: String,
+    /// Which variant this cell measured.
+    pub variant: Variant,
+    /// Measurement-run counters (profiling runs are *not* included here).
+    pub stats: PerfStats,
+    /// Prefetch hints injected (APT-GET cells; 0 otherwise).
+    pub hints: usize,
+    /// Profile provenance (APT-GET cells only).
+    pub cache: Option<CacheOutcome>,
+    /// Wall-clock cost of the whole cell, µs.
+    pub wall_us: u64,
+    /// Cell start relative to the campaign epoch, µs (for trace merging).
+    pub start_us: u64,
+    /// Worker that executed the cell.
+    pub worker: usize,
+    /// Pipeline spans recorded inside the cell.
+    pub spans: Vec<Span>,
+}
+
+/// A finished campaign.
+pub struct CampaignReport {
+    pub scale: f64,
+    pub seed: u64,
+    /// All cells in matrix order (workload-major, [`Variant::ALL`] minor).
+    pub cells: Vec<CellResult>,
+    /// Per-workload comparisons, in registry order.
+    pub comparisons: Vec<Comparison>,
+    /// What the pool did.
+    pub pool: PoolStats,
+    /// Total campaign wall time, µs.
+    pub wall_us: u64,
+    /// Cache counters for this campaign: (hits, misses, stores).
+    pub cache_counts: (u64, u64, u64),
+}
+
+/// Resolves the campaign's workload axis. Unknown names are an error —
+/// a silently skipped workload would produce a misleading table.
+fn resolve_workloads(cfg: &CampaignConfig) -> Result<Vec<WorkloadDesc>, String> {
+    if cfg.workloads.is_empty() {
+        return Ok(apt_workloads::descriptors(cfg.scale, cfg.seed));
+    }
+    cfg.workloads
+        .iter()
+        .map(|name| {
+            by_name(name)
+                .map(|spec| spec.descriptor(cfg.scale, cfg.seed))
+                .ok_or_else(|| format!("unknown workload `{name}` (try `aptgetsim list`)"))
+        })
+        .collect()
+}
+
+/// Runs one cell: build the workload locally, run its variant, check the
+/// result. Panics on simulation or correctness failure — a broken cell
+/// must never silently contribute a row.
+fn run_cell(
+    desc: WorkloadDesc,
+    variant: Variant,
+    pipeline: &PipelineConfig,
+    cache: Option<&ProfileCache>,
+    worker: usize,
+    epoch: Instant,
+) -> CellResult {
+    let started = Instant::now();
+    let start_us = started.duration_since(epoch).as_micros() as u64;
+    let name = desc.name();
+    let mut spans = SpanRecorder::new();
+    let w = desc.build();
+
+    let (module, hints, cache_outcome) = match variant {
+        Variant::Baseline => (w.module.clone(), 0, None),
+        Variant::AinsworthJones => {
+            let (m, _) = ainsworth_jones_optimize(&w.module, AJ_STATIC_DISTANCE);
+            (m, 0, None)
+        }
+        Variant::AptGet => {
+            let apt = AptGet::new(*pipeline);
+            let key = ProfileCache::key(name, desc.scale, desc.seed, &pipeline.profile_sim);
+            let cached = cache.and_then(|c| c.load(key));
+            let outcome = match (&cached, cache) {
+                (Some(_), _) => CacheOutcome::Hit,
+                (None, Some(_)) => CacheOutcome::MissStored,
+                (None, None) => CacheOutcome::Uncached,
+            };
+            let (opt, collected) = apt
+                .optimize_cached(&w.module, w.image.clone(), &w.calls, cached, &mut spans)
+                .unwrap_or_else(|e| panic!("{name}: profiling failed: {e}"));
+            if let (Some(c), Some((profile, stats))) = (cache, collected.as_ref()) {
+                c.store(key, profile, stats);
+            }
+            (opt.module, opt.injection.injected.len(), Some(outcome))
+        }
+    };
+
+    let measure = spans.begin("measurement-run");
+    let exec = execute(&module, w.image.clone(), &w.calls, &pipeline.measure_sim)
+        .unwrap_or_else(|e| panic!("{name}: simulation failed: {e}"));
+    (w.check)(&exec.image, &exec.rets)
+        .unwrap_or_else(|e| panic!("{name} [{}]: wrong result: {e}", variant.name()));
+    spans.add_sim_cycles(&measure, exec.stats.cycles);
+    spans.end(measure);
+
+    CellResult {
+        workload: name.to_string(),
+        variant,
+        stats: exec.stats,
+        hints,
+        cache: cache_outcome,
+        wall_us: started.elapsed().as_micros() as u64,
+        start_us,
+        worker,
+        spans: spans.into_spans(),
+    }
+}
+
+/// Runs the full campaign. Cell results (and therefore the table) depend
+/// only on `(scale, seed, pipeline)` — never on `jobs` or cache state.
+pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, String> {
+    let descs = resolve_workloads(cfg)?;
+    let epoch = Instant::now();
+
+    let pipeline = &cfg.pipeline;
+    let cache = cfg.cache.as_ref();
+    let tasks: Vec<_> = descs
+        .iter()
+        .flat_map(|&desc| Variant::ALL.map(|variant| (desc, variant)))
+        .map(|(desc, variant)| {
+            move |worker: usize| run_cell(desc, variant, pipeline, cache, worker, epoch)
+        })
+        .collect();
+
+    let (cells, pool) = run_indexed(cfg.jobs, tasks);
+    let wall_us = epoch.elapsed().as_micros() as u64;
+
+    // Reassemble the per-workload comparisons from the flat cell list.
+    // Cells come back in submission order, so each workload owns a
+    // contiguous [baseline, A&J, APT-GET] triple.
+    let comparisons = cells
+        .chunks_exact(Variant::ALL.len())
+        .map(|chunk| Comparison {
+            workload: chunk[0].workload.clone(),
+            baseline: chunk[0].stats,
+            variants: chunk[1..]
+                .iter()
+                .map(|c| (c.variant.name().to_string(), c.stats))
+                .collect(),
+        })
+        .collect();
+
+    let cache_counts = cfg
+        .cache
+        .as_ref()
+        .map(|c| (c.stats.hits(), c.stats.misses(), c.stats.stores()))
+        .unwrap_or_default();
+    Ok(CampaignReport {
+        scale: cfg.scale,
+        seed: cfg.seed,
+        cells,
+        comparisons,
+        pool,
+        wall_us,
+        cache_counts,
+    })
+}
+
+impl CampaignReport {
+    /// The paper-style comparison table: one row per workload plus the
+    /// geomean row. Purely a function of simulated results — byte-identical
+    /// across `--jobs` values and cache states.
+    pub fn table(&self) -> (Vec<&'static str>, Vec<Vec<String>>) {
+        let headers = vec![
+            "workload",
+            "base_cycles",
+            "aj_speedup",
+            "apt_speedup",
+            "apt_instr",
+            "apt_mpki",
+            "hints",
+        ];
+        let mut aj_all = Vec::new();
+        let mut apt_all = Vec::new();
+        let mut rows = Vec::with_capacity(self.comparisons.len() + 1);
+        for (cmp, chunk) in self
+            .comparisons
+            .iter()
+            .zip(self.cells.chunks_exact(Variant::ALL.len()))
+        {
+            let aj = cmp.speedup_of("A&J").unwrap_or(1.0);
+            let apt = cmp.speedup_of("APT-GET").unwrap_or(1.0);
+            aj_all.push(aj);
+            apt_all.push(apt);
+            rows.push(vec![
+                cmp.workload.clone(),
+                cmp.baseline.cycles.to_string(),
+                fx(aj),
+                fx(apt),
+                format!("x{:.2}", cmp.instruction_overhead("APT-GET").unwrap_or(1.0)),
+                format!("{:.2}", chunk[2].stats.mpki()),
+                chunk[2].hints.to_string(),
+            ]);
+        }
+        rows.push(vec![
+            "geomean".to_string(),
+            "-".to_string(),
+            fx(geomean(&aj_all)),
+            fx(geomean(&apt_all)),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+        (headers, rows)
+    }
+
+    /// The deterministic report text (header line + aligned table).
+    pub fn table_text(&self) -> String {
+        let (headers, rows) = self.table();
+        format!(
+            "campaign scale={} seed={} workloads={}\n{}",
+            self.scale,
+            self.seed,
+            self.comparisons.len(),
+            format_table(&headers, &rows)
+        )
+    }
+
+    /// Timing-dependent diagnostics: per-cell wall time, worker
+    /// attribution, pool behaviour and profile-cache traffic. Deliberately
+    /// *not* part of the deterministic table.
+    pub fn stats_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "campaign wall time: {:.1} ms across {} workers ({} steals)\n",
+            self.wall_us as f64 / 1000.0,
+            self.pool.jobs,
+            self.pool.total_steals()
+        ));
+        let serial_us: u64 = self.cells.iter().map(|c| c.wall_us).sum();
+        if self.wall_us > 0 {
+            out.push_str(&format!(
+                "cell wall time: {:.1} ms total → parallel speedup {}\n",
+                serial_us as f64 / 1000.0,
+                fx(serial_us as f64 / self.wall_us as f64)
+            ));
+        }
+        let (hits, misses, stores) = self.cache_counts;
+        out.push_str(&format!(
+            "profile cache: {hits} hits, {misses} misses, {stores} stores\n"
+        ));
+        for (w, n) in self.pool.executed.iter().enumerate() {
+            out.push_str(&format!(
+                "  worker {w}: {n} cells, {} steals\n",
+                self.pool.steals.get(w).copied().unwrap_or(0)
+            ));
+        }
+        for cell in &self.cells {
+            let cache = match cell.cache {
+                Some(CacheOutcome::Hit) => " [cache hit]",
+                Some(CacheOutcome::MissStored) => " [cache miss, stored]",
+                Some(CacheOutcome::Uncached) => " [uncached]",
+                None => "",
+            };
+            out.push_str(&format!(
+                "  {:<12} {:<9} {:>9.1} ms on worker {}{}\n",
+                cell.workload,
+                cell.variant.name(),
+                cell.wall_us as f64 / 1000.0,
+                cell.worker,
+                cache
+            ));
+        }
+        out
+    }
+
+    /// Merges every cell's pipeline spans into one Chrome trace document:
+    /// one thread row per worker (named via `name_thread`), each span
+    /// re-based from its cell's epoch onto the campaign clock.
+    pub fn chrome_trace(&self) -> String {
+        let mut doc = ChromeTrace::new();
+        for worker in 0..self.pool.jobs {
+            let tid = worker as u32 + 1;
+            let mut row = ChromeTrace::new();
+            row.name_thread(tid, &format!("worker-{worker}"));
+            for cell in self.cells.iter().filter(|c| c.worker == worker) {
+                // One synthetic span wrapping the whole cell, then the
+                // pipeline phases inside it.
+                row.push_span_at(
+                    &Span {
+                        name: format!("{} [{}]", cell.workload, cell.variant.name()),
+                        depth: 0,
+                        start_us: cell.start_us,
+                        wall_us: cell.wall_us,
+                        sim_cycles: cell.stats.cycles,
+                        detail: vec![],
+                    },
+                    tid,
+                    cell.start_us,
+                );
+                for span in &cell.spans {
+                    row.push_span_at(span, tid, cell.start_us + span.start_us);
+                }
+            }
+            doc.append(row);
+        }
+        doc.to_json()
+    }
+
+    /// Total cache hits across APT-GET cells of *this* campaign (the
+    /// cache's own counters also include lookups by earlier campaigns in
+    /// the same process).
+    pub fn cells_with_cache_hit(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.cache == Some(CacheOutcome::Hit))
+            .count()
+    }
+}
+
+/// Parsed command-line options shared by `apteval` and
+/// `aptgetsim campaign`.
+pub struct CampaignArgs {
+    pub scale: f64,
+    pub seed: u64,
+    pub jobs: usize,
+    /// Comma-separated `--workloads` selections, flattened.
+    pub workloads: Vec<String>,
+    pub no_cache: bool,
+    pub cache_dir: Option<String>,
+    pub stats: bool,
+    pub trace_out: Option<String>,
+    pub csv_out: Option<String>,
+}
+
+impl CampaignArgs {
+    /// The flag summary for usage messages.
+    pub const USAGE: &'static str = "[--jobs N] [--scale S] [--seed N] \
+        [--workloads A,B,..] [--no-cache] [--cache-dir DIR] [--stats] \
+        [--trace-out PATH] [--csv-out PATH]";
+
+    /// Parses campaign flags. `--jobs` defaults to `$APT_JOBS`, then the
+    /// machine's available parallelism.
+    pub fn parse(mut args: impl Iterator<Item = String>) -> Result<CampaignArgs, String> {
+        let default_jobs = std::env::var("APT_JOBS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        let mut out = CampaignArgs {
+            scale: crate::scale(),
+            seed: crate::TRAIN_SEED,
+            jobs: default_jobs,
+            workloads: Vec::new(),
+            no_cache: false,
+            cache_dir: None,
+            stats: false,
+            trace_out: None,
+            csv_out: None,
+        };
+        while let Some(a) = args.next() {
+            let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+            match a.as_str() {
+                "--jobs" => {
+                    out.jobs = value("--jobs")?
+                        .parse()
+                        .map_err(|e| format!("bad --jobs: {e}"))?;
+                }
+                "--scale" => {
+                    out.scale = value("--scale")?
+                        .parse()
+                        .map_err(|e| format!("bad --scale: {e}"))?;
+                }
+                "--seed" => {
+                    out.seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("bad --seed: {e}"))?;
+                }
+                "--workloads" => {
+                    out.workloads.extend(
+                        value("--workloads")?
+                            .split(',')
+                            .filter(|s| !s.is_empty())
+                            .map(str::to_string),
+                    );
+                }
+                "--no-cache" => out.no_cache = true,
+                "--cache-dir" => out.cache_dir = Some(value("--cache-dir")?),
+                "--stats" => out.stats = true,
+                "--trace-out" => out.trace_out = Some(value("--trace-out")?),
+                "--csv-out" => out.csv_out = Some(value("--csv-out")?),
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The campaign configuration these arguments describe.
+    pub fn config(&self) -> CampaignConfig {
+        let cache = if self.no_cache {
+            None
+        } else {
+            let dir = self
+                .cache_dir
+                .clone()
+                .map(PathBuf::from)
+                .unwrap_or_else(ProfileCache::default_dir);
+            Some(ProfileCache::new(dir))
+        };
+        CampaignConfig {
+            scale: self.scale,
+            seed: self.seed,
+            jobs: self.jobs,
+            workloads: self.workloads.clone(),
+            pipeline: PipelineConfig::default(),
+            cache,
+        }
+    }
+}
+
+/// Runs a campaign from parsed CLI arguments, prints the report and
+/// writes the requested artifacts. The shared entry point behind both
+/// `apteval` and `aptgetsim campaign`.
+pub fn campaign_cli(args: &CampaignArgs) -> Result<CampaignReport, String> {
+    let cfg = args.config();
+    let report = run_campaign(&cfg)?;
+
+    println!("{}", report.table_text());
+    if args.stats {
+        println!();
+        print!("{}", report.stats_text());
+    }
+    if let Some(path) = &args.csv_out {
+        let (headers, rows) = report.table();
+        fs::write(path, crate::format_csv(&headers, &rows))
+            .map_err(|e| format!("could not write {path}: {e}"))?;
+        println!("[csv written to {path}]");
+    }
+    if let Some(path) = &args.trace_out {
+        fs::write(path, report.chrome_trace())
+            .map_err(|e| format!("could not write {path}: {e}"))?;
+        println!("[trace written to {path}]");
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config(jobs: usize) -> CampaignConfig {
+        CampaignConfig {
+            scale: 0.004,
+            seed: 42,
+            jobs,
+            workloads: vec!["RandAcc".into(), "IS".into()],
+            pipeline: PipelineConfig::default(),
+            cache: None,
+        }
+    }
+
+    #[test]
+    fn campaign_rows_cover_the_matrix() {
+        let report = run_campaign(&tiny_config(2)).unwrap();
+        assert_eq!(report.cells.len(), 2 * Variant::ALL.len());
+        assert_eq!(report.comparisons.len(), 2);
+        assert_eq!(report.comparisons[0].workload, "RandAcc");
+        assert_eq!(report.comparisons[1].workload, "IS");
+        let (headers, rows) = report.table();
+        assert_eq!(headers.len(), rows[0].len());
+        assert_eq!(rows.len(), 3); // 2 workloads + geomean.
+        assert_eq!(rows[2][0], "geomean");
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error() {
+        let mut cfg = tiny_config(1);
+        cfg.workloads = vec!["Nope".into()];
+        assert!(run_campaign(&cfg).is_err());
+    }
+
+    #[test]
+    fn table_text_is_identical_across_jobs() {
+        let a = run_campaign(&tiny_config(1)).unwrap().table_text();
+        let b = run_campaign(&tiny_config(4)).unwrap().table_text();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cli_args_parse_and_reject() {
+        fn argv(s: &str) -> impl Iterator<Item = String> + '_ {
+            s.split_whitespace().map(str::to_string)
+        }
+        let a = CampaignArgs::parse(argv(
+            "--jobs 4 --scale 0.01 --seed 7 --workloads BFS,IS --no-cache --stats",
+        ))
+        .unwrap();
+        assert_eq!(a.jobs, 4);
+        assert_eq!(a.scale, 0.01);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.workloads, vec!["BFS", "IS"]);
+        assert!(a.no_cache && a.stats);
+        assert!(a.config().cache.is_none());
+        assert!(CampaignArgs::parse(argv("--bogus")).is_err());
+        assert!(CampaignArgs::parse(argv("--jobs")).is_err());
+    }
+
+    #[test]
+    fn chrome_trace_names_worker_rows() {
+        let report = run_campaign(&tiny_config(2)).unwrap();
+        let json = report.chrome_trace();
+        assert!(json.contains("\"worker-0\""));
+        assert!(json.contains("RandAcc [baseline]"));
+        assert!(json.contains("IS [APT-GET]"));
+    }
+}

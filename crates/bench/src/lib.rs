@@ -17,6 +17,10 @@ use aptget::{
     Comparison, Execution, PerfStats, PipelineConfig,
 };
 
+pub mod cache;
+pub mod eval;
+pub mod pool;
+
 /// Workload scale for the experiment benches.
 ///
 /// 1.0 runs the full scaled-machine footprints (minutes); the default
@@ -37,9 +41,10 @@ pub const TEST_SEED: u64 = 1337;
 /// The A&J baseline's static distance (the `-DFETCHDIST` flag of §2.1).
 pub const AJ_STATIC_DISTANCE: u64 = 32;
 
-/// Prints an aligned table and mirrors it to `target/paper/<name>.csv`.
-pub fn emit_table(name: &str, title: &str, headers: &[&str], rows: &[Vec<String>]) {
-    println!("\n=== {title} ===");
+/// Renders an aligned, right-justified text table — the deterministic
+/// rendering behind both [`emit_table`] and the campaign report (whose
+/// byte-identity across `--jobs` values is asserted in tests).
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -56,13 +61,29 @@ pub fn emit_table(name: &str, title: &str, headers: &[&str], rows: &[Vec<String>
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!(
-        "{}",
-        fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
-    );
+    let mut out = fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    out.push('\n');
     for row in rows {
-        println!("{}", fmt_row(row));
+        out.push_str(&fmt_row(row));
+        out.push('\n');
     }
+    out
+}
+
+/// Renders rows as CSV (headers first).
+pub fn format_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut csv = headers.join(",") + "\n";
+    for row in rows {
+        csv.push_str(&row.join(","));
+        csv.push('\n');
+    }
+    csv
+}
+
+/// Prints an aligned table and mirrors it to `target/paper/<name>.csv`.
+pub fn emit_table(name: &str, title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    print!("{}", format_table(headers, rows));
 
     // Benches run with the crate as CWD; anchor the output at the
     // workspace root so every figure lands in `target/paper/`.
@@ -71,13 +92,8 @@ pub fn emit_table(name: &str, title: &str, headers: &[&str], rows: &[Vec<String>
         .unwrap_or_else(|_| PathBuf::from("."));
     let dir = root.join("target/paper");
     let _ = fs::create_dir_all(&dir);
-    let mut csv = headers.join(",") + "\n";
-    for row in rows {
-        csv.push_str(&row.join(","));
-        csv.push('\n');
-    }
     let path = dir.join(format!("{name}.csv"));
-    if let Err(e) = fs::write(&path, csv) {
+    if let Err(e) = fs::write(&path, format_csv(headers, rows)) {
         eprintln!("warning: could not write {}: {e}", path.display());
     } else {
         println!("[written to {}]", path.display());

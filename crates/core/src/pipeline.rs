@@ -145,14 +145,49 @@ impl AptGet {
         calls: &[(String, Vec<u64>)],
         spans: &mut SpanRecorder,
     ) -> Result<Optimized, SimError> {
-        let prof = spans.begin("profile-run");
-        let exec = execute(module, image, calls, &self.cfg.profile_sim)?;
-        spans.add_sim_cycles(&prof, exec.stats.cycles);
-        spans.note(&prof, "instructions", exec.stats.instructions);
-        spans.note(&prof, "lbr_samples", exec.profile.lbr_samples.len());
-        spans.note(&prof, "pebs_records", exec.profile.pebs.len());
-        spans.end(prof);
-        Ok(self.optimize_with_profile_traced(module, &exec.profile, exec.stats, spans))
+        self.optimize_cached(module, image, calls, None, spans)
+            .map(|(opt, _)| opt)
+    }
+
+    /// The cache-aware §3.4 flow. With `cached = Some((profile, stats))`
+    /// the profiling run is skipped entirely and the stored profile drives
+    /// the analysis — the AutoFDO deployment model of §3.6, and the fast
+    /// path of the campaign runner's on-disk profile cache. With `None`,
+    /// one profiling run of `calls` collects the profile, and it is
+    /// *returned* alongside the optimisation so the caller can persist it.
+    ///
+    /// Every type crossing this boundary (`Module`, `MemImage`,
+    /// `ProfileData`, `PerfStats`, `Optimized`) is `Send`, so campaign
+    /// workers can shard cells across threads freely.
+    pub fn optimize_cached(
+        &self,
+        module: &Module,
+        image: MemImage,
+        calls: &[(String, Vec<u64>)],
+        cached: Option<(ProfileData, PerfStats)>,
+        spans: &mut SpanRecorder,
+    ) -> Result<(Optimized, Option<(ProfileData, PerfStats)>), SimError> {
+        let (profile, profile_stats, collected) = match cached {
+            Some((profile, stats)) => {
+                let hit = spans.begin("profile-cache");
+                spans.note(&hit, "lbr_samples", profile.lbr_samples.len());
+                spans.note(&hit, "pebs_records", profile.pebs.len());
+                spans.end(hit);
+                (profile, stats, false)
+            }
+            None => {
+                let prof = spans.begin("profile-run");
+                let exec = execute(module, image, calls, &self.cfg.profile_sim)?;
+                spans.add_sim_cycles(&prof, exec.stats.cycles);
+                spans.note(&prof, "instructions", exec.stats.instructions);
+                spans.note(&prof, "lbr_samples", exec.profile.lbr_samples.len());
+                spans.note(&prof, "pebs_records", exec.profile.pebs.len());
+                spans.end(prof);
+                (exec.profile, exec.stats, true)
+            }
+        };
+        let opt = self.optimize_with_profile_traced(module, &profile, profile_stats, spans);
+        Ok((opt, collected.then_some((profile, profile_stats))))
     }
 
     /// Applies the analysis to an already-collected profile (used by the
@@ -301,5 +336,45 @@ mod tests {
         let exec = execute(&module, image, &calls, &SimConfig::default()).unwrap();
         assert!(!exec.profile.lbr_samples.is_empty());
         assert!(!exec.profile.pebs.is_empty());
+    }
+
+    #[test]
+    fn cached_profile_reproduces_the_cold_optimization() {
+        let (module, image, calls) = indirect_program();
+        let apt = AptGet::new(PipelineConfig::default());
+        let mut spans = SpanRecorder::new();
+        let (cold, collected) = apt
+            .optimize_cached(&module, image.clone(), &calls, None, &mut spans)
+            .unwrap();
+        let (profile, stats) = collected.expect("cold run returns the collected profile");
+
+        let mut spans2 = SpanRecorder::new();
+        let (warm, collected2) = apt
+            .optimize_cached(&module, image, &calls, Some((profile, stats)), &mut spans2)
+            .unwrap();
+        assert!(collected2.is_none(), "warm run must not re-profile");
+        assert_eq!(
+            apt_lir::print::module_to_string(&cold.module),
+            apt_lir::print::module_to_string(&warm.module)
+        );
+        assert_eq!(cold.analysis.hints.len(), warm.analysis.hints.len());
+        assert!(spans2.spans().iter().any(|s| s.name == "profile-cache"));
+        assert!(!spans2.spans().iter().any(|s| s.name == "profile-run"));
+    }
+
+    /// The campaign runner ships whole pipeline cells across threads; every
+    /// type crossing that boundary must stay `Send`.
+    #[test]
+    fn pipeline_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Module>();
+        assert_send::<MemImage>();
+        assert_send::<PipelineConfig>();
+        assert_send::<AptGet>();
+        assert_send::<Execution>();
+        assert_send::<Optimized>();
+        assert_send::<ProfileData>();
+        assert_send::<PerfStats>();
+        assert_send::<SimError>();
     }
 }

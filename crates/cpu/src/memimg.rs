@@ -155,6 +155,36 @@ impl MemImage {
             .map(|i| self.read_f64(base + i as u64 * 8))
             .collect()
     }
+
+    /// The raw data segment (address [`DATA_BASE`] onwards).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// FNV-1a digest of the full data segment — a cheap architectural
+    /// fingerprint for differential testing: two executions that leave
+    /// memory in the same state produce the same digest.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in &self.bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// The reference interpreter reads and writes the image with exactly the
+/// simulator's bounds behaviour, so `apt_lir::eval::run_function` and
+/// [`crate::Machine`] observe identical memory.
+impl apt_lir::eval::Memory for MemImage {
+    fn read(&self, addr: u64, width: u64) -> Option<u64> {
+        MemImage::read(self, addr, width).ok()
+    }
+
+    fn write(&mut self, addr: u64, value: u64, width: u64) -> Option<()> {
+        MemImage::write(self, addr, value, width).ok()
+    }
 }
 
 #[cfg(test)]
@@ -210,5 +240,28 @@ mod tests {
         assert_eq!(m.footprint(), 0);
         m.alloc(100, 64);
         assert!(m.footprint() >= 100);
+    }
+
+    #[test]
+    fn digest_tracks_contents() {
+        let mut a = MemImage::new();
+        let pa = a.alloc(64, 8);
+        let mut b = a.clone();
+        assert_eq!(a.digest(), b.digest());
+        b.write(pa, 1, 8).unwrap();
+        assert_ne!(a.digest(), b.digest());
+        a.write(pa, 1, 8).unwrap();
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn memory_trait_matches_inherent_semantics() {
+        use apt_lir::eval::Memory;
+        let mut m = MemImage::new();
+        let a = m.alloc(16, 8);
+        Memory::write(&mut m, a, 0xabcd, 4).unwrap();
+        assert_eq!(Memory::read(&m, a, 4), Some(0xabcd));
+        assert_eq!(Memory::read(&m, a + 16, 4), None);
+        assert_eq!(Memory::write(&mut m, a + 16, 0, 4), None);
     }
 }

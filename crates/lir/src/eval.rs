@@ -1,9 +1,17 @@
-//! Reference evaluation semantics of the IR's pure operations.
+//! Reference evaluation semantics of the IR.
 //!
-//! Shared by the timing simulator (`apt-cpu`) and the constant-folding
+//! The pure-operation helpers ([`eval_bin`], [`eval_un`], [`sign_extend`])
+//! are shared by the timing simulator (`apt-cpu`) and the constant-folding
 //! pass (`apt-passes`), so both agree on every arithmetic corner case.
+//!
+//! [`run_function`] builds on them: a complete *architectural* interpreter
+//! with no timing, caches or profiling. It is the differential-testing
+//! oracle — `apt-cpu::Machine` must produce exactly the same return values
+//! and memory contents, with or without injected prefetches.
 
-use crate::inst::{BinOp, FCmpPred, ICmpPred, UnOp};
+use crate::inst::{BinOp, FCmpPred, ICmpPred, Inst, Terminator, UnOp};
+use crate::module::{BlockId, Module, Reg};
+use crate::Operand;
 
 #[inline]
 pub fn sign_extend(v: u64, bytes: u64) -> u64 {
@@ -95,5 +103,333 @@ pub fn eval_un(op: UnOp, a: u64) -> u64 {
         UnOp::IToF => ((a as i64) as f64).to_bits(),
         UnOp::FToI => (f64::from_bits(a) as i64) as u64,
         UnOp::Copy => a,
+    }
+}
+
+/// Byte-addressed data memory as the reference interpreter sees it.
+///
+/// `apt-cpu::MemImage` implements this; tests may substitute their own
+/// (e.g. a sparse map) as long as reads and writes are little-endian with
+/// the same bounds behaviour.
+pub trait Memory {
+    /// Reads `width` (1/2/4/8) bytes little-endian, zero-extended, or
+    /// `None` on an out-of-bounds access.
+    fn read(&self, addr: u64, width: u64) -> Option<u64>;
+    /// Writes the low `width` bytes of `value`; `None` if out of bounds.
+    fn write(&mut self, addr: u64, value: u64, width: u64) -> Option<()>;
+}
+
+/// Architectural interpretation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// No function with the given name exists in the module.
+    UnknownFunction(String),
+    /// Wrong number of call arguments.
+    ArityMismatch {
+        func: String,
+        expected: usize,
+        got: usize,
+    },
+    /// An out-of-bounds access by a non-speculative load or a store.
+    Fault { addr: u64, width: u64 },
+    /// The step limit was exceeded (runaway-loop guard).
+    StepLimit,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            EvalError::ArityMismatch {
+                func,
+                expected,
+                got,
+            } => write!(f, "`{func}` expects {expected} args, got {got}"),
+            EvalError::Fault { addr, width } => {
+                write!(f, "memory fault at {addr:#x} (width {width})")
+            }
+            EvalError::StepLimit => write!(f, "step limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Runs `func` against `mem` with the module's architectural semantics:
+/// φ-nodes resolve as parallel copies on block entry, speculative
+/// (prefetch-slice) loads yield 0 instead of faulting, and `Prefetch` is a
+/// no-op. Retires at most `step_limit` instructions (terminators included).
+///
+/// This is deliberately the same contract as `apt-cpu::Machine::call`
+/// minus timing and profiling, so the two can be compared bit-for-bit.
+pub fn run_function(
+    module: &Module,
+    func: &str,
+    args: &[u64],
+    mem: &mut impl Memory,
+    step_limit: u64,
+) -> Result<Option<u64>, EvalError> {
+    let (_, f) = module
+        .function_by_name(func)
+        .ok_or_else(|| EvalError::UnknownFunction(func.to_string()))?;
+    if f.arity() != args.len() {
+        return Err(EvalError::ArityMismatch {
+            func: func.to_string(),
+            expected: f.arity(),
+            got: args.len(),
+        });
+    }
+
+    let mut regs = vec![0u64; f.next_reg as usize];
+    regs[..args.len()].copy_from_slice(args);
+    let mut steps = 0u64;
+    let mut cur: BlockId = f.entry;
+    let mut prev: Option<BlockId> = None;
+    let mut phi_tmp: Vec<(u32, u64)> = Vec::new();
+
+    let val = |regs: &[u64], op: Operand| match op {
+        Operand::Reg(Reg(r)) => regs[r as usize],
+        Operand::Imm(v) => v,
+    };
+
+    loop {
+        if steps > step_limit {
+            return Err(EvalError::StepLimit);
+        }
+        let block = f.block(cur);
+
+        // φ prefix: parallel copies selected by the edge we arrived on.
+        let phi_count = block.phi_count();
+        if phi_count > 0 {
+            let from = prev.expect("phi in entry block rejected by verifier");
+            phi_tmp.clear();
+            for inst in &block.insts[..phi_count] {
+                let Inst::Phi { dst, incomings } = inst else {
+                    unreachable!("phi prefix")
+                };
+                let (_, op) = incomings
+                    .iter()
+                    .find(|(p, _)| *p == from)
+                    .expect("verifier guarantees an incoming per predecessor");
+                phi_tmp.push((dst.0, val(&regs, *op)));
+            }
+            for &(d, v) in &phi_tmp {
+                regs[d as usize] = v;
+            }
+        }
+
+        for inst in block.insts.iter().skip(phi_count) {
+            steps += 1;
+            match inst {
+                Inst::Phi { .. } => unreachable!("phi prefix"),
+                Inst::Bin { dst, op, a, b } => {
+                    regs[dst.0 as usize] = eval_bin(*op, val(&regs, *a), val(&regs, *b));
+                }
+                Inst::Un { dst, op, a } => {
+                    regs[dst.0 as usize] = eval_un(*op, val(&regs, *a));
+                }
+                Inst::Select {
+                    dst,
+                    cond,
+                    if_true,
+                    if_false,
+                } => {
+                    regs[dst.0 as usize] = if val(&regs, *cond) != 0 {
+                        val(&regs, *if_true)
+                    } else {
+                        val(&regs, *if_false)
+                    };
+                }
+                Inst::Load {
+                    dst,
+                    addr,
+                    width,
+                    sext,
+                    spec,
+                } => {
+                    let a = val(&regs, *addr);
+                    let w = width.bytes();
+                    regs[dst.0 as usize] = match mem.read(a, w) {
+                        Some(raw) => {
+                            if *sext {
+                                sign_extend(raw, w)
+                            } else {
+                                raw
+                            }
+                        }
+                        // Speculative (prefetch-slice) loads never fault.
+                        None if *spec => 0,
+                        None => return Err(EvalError::Fault { addr: a, width: w }),
+                    };
+                }
+                Inst::Store { addr, value, width } => {
+                    let a = val(&regs, *addr);
+                    let w = width.bytes();
+                    mem.write(a, val(&regs, *value), w)
+                        .ok_or(EvalError::Fault { addr: a, width: w })?;
+                }
+                Inst::Prefetch { .. } => {} // Architecturally a no-op.
+            }
+        }
+
+        steps += 1;
+        match &block.term {
+            Terminator::Br { target } => {
+                prev = Some(cur);
+                cur = *target;
+            }
+            Terminator::CondBr { cond, then_, else_ } => {
+                prev = Some(cur);
+                cur = if val(&regs, *cond) != 0 {
+                    *then_
+                } else {
+                    *else_
+                };
+            }
+            Terminator::Ret { value } => {
+                return Ok(value.map(|v| val(&regs, v)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod interp_tests {
+    use super::*;
+    use crate::{FunctionBuilder, Width};
+    use std::collections::HashMap;
+
+    /// A sparse byte memory for interpreter unit tests.
+    #[derive(Default)]
+    struct MapMem {
+        bytes: HashMap<u64, u8>,
+        limit: u64,
+    }
+
+    impl Memory for MapMem {
+        fn read(&self, addr: u64, width: u64) -> Option<u64> {
+            if addr + width > self.limit {
+                return None;
+            }
+            let mut v = 0u64;
+            for i in 0..width {
+                v |= (*self.bytes.get(&(addr + i)).unwrap_or(&0) as u64) << (8 * i);
+            }
+            Some(v)
+        }
+
+        fn write(&mut self, addr: u64, value: u64, width: u64) -> Option<()> {
+            if addr + width > self.limit {
+                return None;
+            }
+            for i in 0..width {
+                self.bytes.insert(addr + i, (value >> (8 * i)) as u8);
+            }
+            Some(())
+        }
+    }
+
+    fn sum_kernel() -> Module {
+        let mut m = Module::new("t");
+        let f = m.add_function("kernel", &["b", "n"]);
+        {
+            let mut bd = FunctionBuilder::new(m.function_mut(f));
+            let (b, n) = (bd.param(0), bd.param(1));
+            let s = bd.loop_up_reduce(0u64, n, 1, 0u64, |bd, iv, acc| {
+                let v = bd.load_elem(b, iv, Width::W4, false);
+                bd.add(acc, v).into()
+            });
+            bd.ret(Some(s));
+        }
+        m
+    }
+
+    #[test]
+    fn interprets_a_reduction_loop() {
+        let m = sum_kernel();
+        let mut mem = MapMem {
+            limit: 64,
+            ..Default::default()
+        };
+        for i in 0..8u64 {
+            mem.write(i * 4, i + 1, 4).unwrap();
+        }
+        let r = run_function(&m, "kernel", &[0, 8], &mut mem, 1 << 20).unwrap();
+        assert_eq!(r, Some(36)); // 1 + 2 + … + 8.
+    }
+
+    #[test]
+    fn rejects_unknown_function_and_bad_arity() {
+        let m = sum_kernel();
+        let mut mem = MapMem::default();
+        assert!(matches!(
+            run_function(&m, "nope", &[], &mut mem, 100),
+            Err(EvalError::UnknownFunction(_))
+        ));
+        assert!(matches!(
+            run_function(&m, "kernel", &[1], &mut mem, 100),
+            Err(EvalError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn nonspec_load_faults_spec_load_yields_zero() {
+        let mut m = Module::new("t");
+        let f = m.add_function("k", &["a"]);
+        {
+            let mut bd = FunctionBuilder::new(m.function_mut(f));
+            let a = bd.param(0);
+            let v = bd.load(a, Width::W8, false);
+            bd.ret(Some(v));
+        }
+        let mut mem = MapMem {
+            limit: 8,
+            ..Default::default()
+        };
+        mem.write(0, 7, 8).unwrap();
+        assert_eq!(run_function(&m, "k", &[0], &mut mem, 100), Ok(Some(7)));
+        assert_eq!(
+            run_function(&m, "k", &[64], &mut mem, 100),
+            Err(EvalError::Fault { addr: 64, width: 8 })
+        );
+
+        // The same load marked speculative returns 0 instead of faulting.
+        let mut m2 = Module::new("t");
+        let f2 = m2.add_function("k", &["a"]);
+        {
+            let mut bd = FunctionBuilder::new(m2.function_mut(f2));
+            let a = bd.param(0);
+            let v = bd.func().fresh_reg();
+            let cur = bd.current_block();
+            bd.func().block_mut(cur).insts.push(Inst::Load {
+                dst: v,
+                addr: Operand::Reg(a),
+                width: Width::W8,
+                sext: false,
+                spec: true,
+            });
+            bd.ret(Some(v));
+        }
+        assert_eq!(run_function(&m2, "k", &[64], &mut mem, 100), Ok(Some(0)));
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loops() {
+        let mut m = Module::new("t");
+        let f = m.add_function("spin", &[]);
+        {
+            let mut bd = FunctionBuilder::new(m.function_mut(f));
+            let b = bd.current_block();
+            bd.br(b);
+        }
+        let mut mem = MapMem::default();
+        assert_eq!(
+            run_function(&m, "spin", &[], &mut mem, 1000),
+            Err(EvalError::StepLimit)
+        );
     }
 }

@@ -88,9 +88,13 @@ impl HintRecord {
 pub fn serialize(hints: &[HintRecord]) -> String {
     let mut out = String::from(HEADER);
     out.push('\n');
+    // `share` uses Rust's shortest round-trip float formatting: a stored
+    // hint file must reparse to *structurally equal* records (the AutoFDO
+    // deployment model re-resolves old profiles), and a fixed-precision
+    // format silently corrupted shares on the way through.
     for h in hints {
         out.push_str(&format!(
-            "pc={:#x} distance={} site={} fanout={} fallback={} share={:.4}\n",
+            "pc={:#x} distance={} site={} fanout={} fallback={} share={}\n",
             h.pc.0,
             h.distance,
             match h.site {

@@ -148,6 +148,13 @@ pub fn latency_distribution(
     Some((hist, peaks))
 }
 
+/// CWT peak detection over a latency histogram, with per-peak mass
+/// attribution — the §3.2 step between the raw distribution and Eq. 1.
+/// Public for the figure benches and the recovery property tests.
+pub fn latency_peaks(hist: &Histogram, cfg: &AnalysisConfig) -> Vec<PeakSummary> {
+    detect_peaks(hist, cfg)
+}
+
 fn detect_peaks(hist: &Histogram, cfg: &AnalysisConfig) -> Vec<PeakSummary> {
     let max_width = (hist.counts.len() / 8).clamp(2, 24);
     let widths: Vec<usize> = (1..=max_width).collect();
@@ -173,6 +180,14 @@ fn detect_peaks(hist: &Histogram, cfg: &AnalysisConfig) -> Vec<PeakSummary> {
         });
     }
     out
+}
+
+/// Eq. 1, exposed for property testing: derive `(IC_latency, MC_latency,
+/// distance)` from the detected latency peaks. The distance is
+/// `round(MC / IC)` clamped to `[1, cfg.max_distance]`, with the single-
+/// and zero-peak fallbacks of §3.2/§3.6.
+pub fn eq1_distance(peaks: &[PeakSummary], cfg: &AnalysisConfig) -> (f64, f64, u64) {
+    derive_distance(peaks, cfg)
 }
 
 /// Eq. 1: derive `(IC, MC, distance)` from the latency peaks.

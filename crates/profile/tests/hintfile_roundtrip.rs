@@ -1,0 +1,181 @@
+//! Hint-file round-trip golden tests (§3.4's textual artefact).
+//!
+//! The AutoFDO deployment model (§3.6) stores hint files and re-resolves
+//! them against later builds, so `parse(serialize(x)) == x` must hold
+//! *structurally* — including full-precision shares and the §3 fallback
+//! metadata (outer-site hints carry `fallback_inner_distance` so
+//! injection can degrade gracefully on loops whose structure changed).
+//! A fixed-precision share format used to violate exactly this.
+
+use apt_lir::{FunctionBuilder, ICmpPred, Module, Operand, Pc, Width};
+use apt_passes::Site;
+use apt_profile::hintfile::{parse, resolve_all, serialize, HintRecord, HEADER};
+
+/// Records exercising the tricky corners: full-precision shares that a
+/// `{:.4}`-style format would corrupt, fallback present and absent, and
+/// extreme-but-legal values.
+fn awkward_records() -> Vec<HintRecord> {
+    vec![
+        HintRecord {
+            pc: Pc(0x40_0024),
+            distance: 10,
+            site: Site::Inner,
+            fanout: 1,
+            fallback_inner_distance: Some(10),
+            share: 1.0 / 3.0,
+        },
+        HintRecord {
+            pc: Pc(0x40_00c0),
+            distance: 2,
+            site: Site::Outer,
+            fanout: 8,
+            fallback_inner_distance: Some(3),
+            share: 0.1 + 0.2, // 0.30000000000000004 — must survive.
+        },
+        HintRecord {
+            pc: Pc(u64::MAX),
+            distance: 1024,
+            site: Site::Outer,
+            fanout: 1,
+            fallback_inner_distance: None,
+            share: 2f64.powi(-14), // Exact binary fraction, long decimal.
+        },
+    ]
+}
+
+#[test]
+fn serialization_matches_the_golden_text() {
+    let text = serialize(&awkward_records());
+    let golden = format!(
+        "{HEADER}\n\
+         pc=0x400024 distance=10 site=inner fanout=1 fallback=10 share=0.3333333333333333\n\
+         pc=0x4000c0 distance=2 site=outer fanout=8 fallback=3 share=0.30000000000000004\n\
+         pc=0xffffffffffffffff distance=1024 site=outer fanout=1 fallback=- share=0.00006103515625\n"
+    );
+    assert_eq!(text, golden);
+}
+
+#[test]
+fn round_trip_is_structurally_exact() {
+    let records = awkward_records();
+    let parsed = parse(&serialize(&records)).expect("own output parses");
+    assert_eq!(parsed, records, "serialize → parse must be the identity");
+    // Idempotence: a second trip changes nothing either.
+    assert_eq!(serialize(&parsed), serialize(&records));
+}
+
+/// A module with the loop shapes that force the §3 fallback paths: a
+/// non-canonical induction (step 4, so distance scaling cannot assume
+/// `iv + d`) and a multi-exit loop (early break on a sentinel value, so
+/// the loop has two exit edges and no unique latch-dominated exit).
+fn tricky_module() -> Module {
+    let mut m = Module::new("tricky");
+
+    // Non-canonical induction: for (i = 0; i < n; i += 4) sum += t[b[i]].
+    let f = m.add_function("stride4", &["t", "b", "n"]);
+    {
+        let mut bd = FunctionBuilder::new(m.function_mut(f));
+        let (t, b, n) = (bd.param(0), bd.param(1), bd.param(2));
+        let sum = bd.loop_up_reduce(0u64, n, 4, 0u64, |bd, iv, acc| {
+            let x = bd.load_elem(b, iv, Width::W4, false);
+            let v = bd.load_elem(t, x, Width::W4, false);
+            bd.add(acc, v).into()
+        });
+        bd.ret(Some(sum));
+    }
+
+    // Multi-exit: while (i < n) { v = t[b[i]]; if (v == 7) return i; i++ }
+    // Bottom-tested with an entry guard (the canonical shape the loop
+    // analysis recognises) plus the early `found` exit from mid-body —
+    // two exit edges, which is what forces the §3.5 handling.
+    let f = m.add_function("find7", &["t", "b", "n"]);
+    {
+        let mut bd = FunctionBuilder::new(m.function_mut(f));
+        let (t, b, n) = (bd.param(0), bd.param(1), bd.param(2));
+        let body = bd.new_block("body");
+        let latch = bd.new_block("latch");
+        let found = bd.new_block("found");
+        let exit = bd.new_block("exit");
+
+        let entry = bd.current_block();
+        let nonempty = bd.icmp(ICmpPred::Ltu, 0u64, n);
+        bd.cond_br(nonempty, body, exit);
+
+        bd.switch_to(body);
+        let (iv, iv_phi) = bd.phi_placeholder();
+        let x = bd.load_elem(b, iv, Width::W4, false);
+        let v = bd.load_elem(t, x, Width::W4, false);
+        let hit = bd.icmp(ICmpPred::Eq, v, 7u64);
+        bd.cond_br(hit, found, latch);
+
+        bd.switch_to(latch);
+        let next = bd.add(iv, 1u64);
+        let more = bd.icmp(ICmpPred::Ltu, next, n);
+        bd.set_phi_incomings(
+            iv_phi,
+            vec![(entry, Operand::from(0u64)), (latch, next.into())],
+        );
+        bd.cond_br(more, body, exit);
+
+        bd.switch_to(found);
+        bd.ret(Some(iv));
+        bd.switch_to(exit);
+        bd.ret(Some(n));
+    }
+    m
+}
+
+#[test]
+fn pipeline_shaped_records_survive_the_trip_and_still_resolve() {
+    let m = tricky_module();
+    let map = m.assign_pcs();
+    let loads = apt_passes::inject::detect_indirect_loads(&m);
+    assert!(
+        loads.len() >= 2,
+        "expected the indirect loads of both tricky loops, got {}",
+        loads.len()
+    );
+
+    // One record per detected load, shaped like the §3 fallback cases:
+    // outer-site with an inner fallback for the stride-4 loop, inner-site
+    // for the multi-exit loop.
+    let records: Vec<HintRecord> = loads
+        .iter()
+        .enumerate()
+        .map(|(i, &(func, load))| HintRecord {
+            pc: map.pc_of(apt_lir::InstRef {
+                func,
+                block: load.0,
+                inst: load.1,
+            }),
+            distance: 3 + i as u64,
+            site: if i % 2 == 0 { Site::Outer } else { Site::Inner },
+            fanout: if i % 2 == 0 { 8 } else { 1 },
+            fallback_inner_distance: if i % 2 == 0 {
+                Some(12 + i as u64)
+            } else {
+                None
+            },
+            share: 1.0 / (i as f64 + 3.0),
+        })
+        .collect();
+
+    let reparsed = parse(&serialize(&records)).expect("parses");
+    assert_eq!(reparsed, records);
+
+    // Resolution must agree before and after the trip: same specs, with
+    // the fallback metadata intact.
+    let (specs_direct, dropped_direct) = resolve_all(&records, &m);
+    let (specs_trip, dropped_trip) = resolve_all(&reparsed, &m);
+    assert_eq!(dropped_direct, 0, "all PCs come from this module's map");
+    assert_eq!(dropped_trip, 0);
+    assert_eq!(specs_direct.len(), specs_trip.len());
+    for (a, b) in specs_direct.iter().zip(&specs_trip) {
+        assert_eq!(a.func, b.func);
+        assert_eq!(a.load, b.load);
+        assert_eq!(a.distance, b.distance);
+        assert_eq!(a.site, b.site);
+        assert_eq!(a.fanout, b.fanout);
+        assert_eq!(a.fallback_inner_distance, b.fallback_inner_distance);
+    }
+}

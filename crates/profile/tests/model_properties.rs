@@ -1,0 +1,124 @@
+//! Property tests for the analytical model (§3.2): CWT peak detection
+//! must recover the latency components of synthetic distributions, and
+//! Eq. 1 must behave monotonically.
+//!
+//! These pin down the *shape* of the model rather than single examples:
+//! every case builds a fresh synthetic latency population, so regressions
+//! in binning, smoothing, or peak ranking show up as recovery error
+//! rather than as an off-by-one in one golden value.
+
+use apt_profile::model::{eq1_distance, latency_peaks};
+use apt_profile::{AnalysisConfig, Histogram, PeakSummary};
+use proptest::prelude::*;
+
+/// Builds the model's view of a synthetic latency population: the same
+/// histogram + smoothing the pipeline applies before peak detection.
+fn model_hist(latencies: &[u64], cfg: &AnalysisConfig) -> Histogram {
+    Histogram::build(latencies, cfg.hist_bins, 0.995)
+        .expect("non-empty population")
+        .smoothed(cfg.smoothing)
+}
+
+/// A bimodal population: `hits` iterations around `ic` (all caches hit)
+/// and `misses` iterations around `ic + mc` (served from DRAM), each with
+/// deterministic ±2-cycle jitter.
+fn bimodal(ic: u64, mc: u64, hits: u64, misses: u64) -> Vec<u64> {
+    let jitter = |i: u64| i % 5; // 0..=4, centred at +2.
+    let mut lats = Vec::with_capacity((hits + misses) as usize);
+    lats.extend((0..hits).map(|i| ic - 2 + jitter(i)));
+    lats.extend((0..misses).map(|i| ic + mc - 2 + jitter(i)));
+    lats
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CWT recovery: from a synthetic bimodal latency histogram the model
+    /// must recover both `IC_latency` and `MC_latency` within binning
+    /// tolerance, and Eq. 1 must then land near `MC / IC`.
+    #[test]
+    fn cwt_recovers_bimodal_latency_components(
+        ic in 20u64..80,
+        mc in 100u64..1200,
+        hit_share in 3u64..8, // hits = share×100, misses = 400.
+    ) {
+        let cfg = AnalysisConfig::default();
+        let lats = bimodal(ic, mc, hit_share * 100, 400);
+        let hist = model_hist(&lats, &cfg);
+        let peaks = latency_peaks(&hist, &cfg);
+
+        prop_assert!(
+            peaks.len() >= 2,
+            "expected both modes as peaks, got {peaks:?} (ic={ic}, mc={mc})"
+        );
+
+        // Tolerance: the peak sits on a bin centre, smoothing can shift it
+        // by a bin or two, and the jitter adds ±2 cycles.
+        let tol = 3 * hist.bin_width + 4;
+        let lo = peaks.first().unwrap().latency;
+        let hi = peaks.iter().map(|p| p.latency).max().unwrap();
+        prop_assert!(
+            lo.abs_diff(ic) <= tol,
+            "IC peak at {lo}, expected ≈{ic} (±{tol})"
+        );
+        prop_assert!(
+            hi.abs_diff(ic + mc) <= tol,
+            "miss peak at {hi}, expected ≈{} (±{tol})", ic + mc
+        );
+
+        let (ic_d, mc_d, distance) = eq1_distance(&peaks, &cfg);
+        prop_assert!(ic_d > 0.0 && mc_d > 0.0);
+        // Eq. 1 on the recovered components must approximate the true
+        // ratio: distance error is bounded by the component tolerances.
+        let want = mc as f64 / ic as f64;
+        let got = distance as f64;
+        prop_assert!(
+            (got - want).abs() <= want * 0.35 + 1.5,
+            "distance {got} too far from MC/IC = {want:.2} (ic={ic}, mc={mc})"
+        );
+    }
+
+    /// Eq. 1 monotonicity: with `IC_latency` fixed, a larger `MC_latency`
+    /// never yields a *smaller* prefetch distance (a violation would mean
+    /// slower memory asks for less lookahead).
+    #[test]
+    fn eq1_distance_is_monotone_in_mc(
+        ic in 1u64..200,
+        mc in 0u64..100_000,
+        extra in 0u64..100_000,
+    ) {
+        let cfg = AnalysisConfig::default();
+        let peaks_at = |mc: u64| vec![
+            PeakSummary { latency: ic, mass: 0.6 },
+            PeakSummary { latency: ic + mc, mass: 0.4 },
+        ];
+        let (_, _, d1) = eq1_distance(&peaks_at(mc), &cfg);
+        let (_, _, d2) = eq1_distance(&peaks_at(mc + extra), &cfg);
+        prop_assert!(
+            d1 <= d2,
+            "distance shrank from {d1} to {d2} when MC grew {mc} → {}", mc + extra
+        );
+        // Distances always respect the paper's clamp.
+        prop_assert!((1..=cfg.max_distance).contains(&d1));
+        prop_assert!((1..=cfg.max_distance).contains(&d2));
+    }
+
+    /// Eq. 1 exactness away from the clamp: with two clean peaks the
+    /// distance is literally `round(MC / IC)`.
+    #[test]
+    fn eq1_distance_matches_the_paper_formula(
+        ic in 1u64..100,
+        mc in 1u64..10_000,
+    ) {
+        let cfg = AnalysisConfig::default();
+        let peaks = vec![
+            PeakSummary { latency: ic, mass: 0.5 },
+            PeakSummary { latency: ic + mc, mass: 0.5 },
+        ];
+        let (ic_d, mc_d, distance) = eq1_distance(&peaks, &cfg);
+        prop_assert_eq!(ic_d, ic as f64);
+        prop_assert_eq!(mc_d, mc as f64);
+        let want = ((mc as f64 / ic as f64).round() as u64).clamp(1, cfg.max_distance);
+        prop_assert_eq!(distance, want);
+    }
+}

@@ -61,6 +61,15 @@ impl ChromeTrace {
 
     /// Adds a complete ("X") event for one pipeline span on thread `tid`.
     pub fn push_span(&mut self, span: &Span, tid: u32) {
+        self.push_span_at(span, tid, span.start_us);
+    }
+
+    /// [`ChromeTrace::push_span`] with an explicit timeline position.
+    ///
+    /// Campaign merging uses this: each worker records spans against its
+    /// own epoch, and the merger re-bases them onto the campaign clock so
+    /// parallel cells line up on one shared time axis.
+    pub fn push_span_at(&mut self, span: &Span, tid: u32, start_us: u64) {
         let mut e = String::with_capacity(128);
         e.push('{');
         push_str_field(&mut e, "name", &span.name, true);
@@ -68,7 +77,7 @@ impl ChromeTrace {
         push_str_field(&mut e, "cat", "pipeline", true);
         e.push_str(&format!(
             "\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{tid},\"args\":{{",
-            span.start_us, span.wall_us
+            start_us, span.wall_us
         ));
         let mut first = true;
         if span.sim_cycles > 0 {
@@ -109,6 +118,15 @@ impl ChromeTrace {
         }
         e.push_str("}}");
         self.entries.push(e);
+    }
+
+    /// Appends every entry of `other`, preserving order.
+    ///
+    /// Workers build their traces independently (each on its own `tid`
+    /// row, named via [`ChromeTrace::name_thread`]); the campaign runner
+    /// folds them into one document with this.
+    pub fn append(&mut self, other: ChromeTrace) {
+        self.entries.extend(other.entries);
     }
 
     /// Adds metadata naming a thread row in the viewer.
@@ -249,5 +267,32 @@ mod tests {
         let t = ChromeTrace::new();
         assert!(t.is_empty());
         assert_balanced_json(&t.to_json());
+    }
+
+    #[test]
+    fn merged_worker_traces_share_one_document() {
+        let span = Span {
+            name: "cell".into(),
+            depth: 0,
+            start_us: 3,
+            wall_us: 10,
+            sim_cycles: 0,
+            detail: vec![],
+        };
+        let mut merged = ChromeTrace::new();
+        for worker in 0..2u32 {
+            let mut t = ChromeTrace::new();
+            t.name_thread(worker + 1, &format!("worker-{worker}"));
+            // Re-based onto the campaign clock: worker 1 started 100 µs in.
+            t.push_span_at(&span, worker + 1, 100 * worker as u64 + span.start_us);
+            merged.append(t);
+        }
+        let json = merged.to_json();
+        assert_balanced_json(&json);
+        assert!(json.contains("\"worker-0\""));
+        assert!(json.contains("\"worker-1\""));
+        assert!(json.contains("\"ts\":3"));
+        assert!(json.contains("\"ts\":103"));
+        assert_eq!(merged.len(), 4);
     }
 }

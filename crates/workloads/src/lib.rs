@@ -34,7 +34,7 @@ pub mod registry;
 pub mod sssp;
 
 pub use graphs::{Csr, DatasetSpec};
-pub use registry::{all_workloads, nested_loop_workloads, WorkloadSpec};
+pub use registry::{all_workloads, descriptors, nested_loop_workloads, WorkloadDesc, WorkloadSpec};
 
 use apt_cpu::MemImage;
 use apt_lir::Module;

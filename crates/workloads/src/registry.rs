@@ -7,6 +7,7 @@ use crate::BuiltWorkload;
 use crate::{bc, bfs, cg, dfs, graph500, hashjoin, is, pagerank, randacc, sssp};
 
 /// One registered application.
+#[derive(Clone, Copy)]
 pub struct WorkloadSpec {
     /// Figure label ("BFS", "HJ8-NPO", …).
     pub name: &'static str,
@@ -22,6 +23,56 @@ impl WorkloadSpec {
     pub fn build(&self, scale: f64, seed: u64) -> BuiltWorkload {
         (self.builder)(scale, seed)
     }
+
+    /// The spec's descriptor at the given build parameters.
+    pub fn descriptor(&self, scale: f64, seed: u64) -> WorkloadDesc {
+        WorkloadDesc {
+            spec: *self,
+            scale,
+            seed,
+        }
+    }
+}
+
+/// A *deferred* workload: spec plus build parameters, but no prebuilt
+/// state. `Copy + Send`, a few dozen bytes — the unit the campaign runner
+/// shards across worker threads, each worker materialising (graph
+/// generation, image population) locally instead of shipping multi-MB
+/// images through the queue.
+#[derive(Clone, Copy)]
+pub struct WorkloadDesc {
+    spec: WorkloadSpec,
+    /// Input scale (1.0 = the paper's scaled-machine footprints).
+    pub scale: f64,
+    /// Input generation seed.
+    pub seed: u64,
+}
+
+impl WorkloadDesc {
+    /// Figure label of the underlying workload.
+    pub fn name(&self) -> &'static str {
+        self.spec.name
+    }
+
+    /// True if the delinquent loads sit in nested loops.
+    pub fn nested(&self) -> bool {
+        self.spec.nested
+    }
+
+    /// Materialises the workload. Deterministic: equal descriptors build
+    /// bit-identical modules, images and call schedules on any thread.
+    pub fn build(&self) -> BuiltWorkload {
+        self.spec.build(self.scale, self.seed)
+    }
+}
+
+/// Descriptors for the whole registry at one (scale, seed) — the
+/// evaluation campaign's workload axis.
+pub fn descriptors(scale: f64, seed: u64) -> Vec<WorkloadDesc> {
+    all_workloads()
+        .into_iter()
+        .map(|spec| spec.descriptor(scale, seed))
+        .collect()
 }
 
 fn sz(scale: f64, base: usize, min: usize) -> usize {
@@ -241,5 +292,23 @@ mod tests {
     fn lookup_by_name() {
         assert!(by_name("BFS").is_some());
         assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn descriptors_are_send_and_build_deterministically() {
+        fn assert_send<T: Send + Copy>() {}
+        assert_send::<WorkloadDesc>();
+
+        let descs = descriptors(0.004, 7);
+        assert_eq!(descs.len(), all_workloads().len());
+        let d = descs.iter().find(|d| d.name() == "BFS").expect("BFS");
+        // Built on another thread, the descriptor yields the same image.
+        let d2 = *d;
+        let remote = std::thread::spawn(move || d2.build().image.digest())
+            .join()
+            .expect("builder thread");
+        assert_eq!(d.build().image.digest(), remote);
+        assert_eq!(d.scale, 0.004);
+        assert_eq!(d.seed, 7);
     }
 }

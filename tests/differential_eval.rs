@@ -1,0 +1,138 @@
+//! Differential testing: the reference LIR interpreter (`apt_lir::eval`)
+//! versus the cycle-accurate machine (`apt_cpu::Machine`).
+//!
+//! The two implementations share nothing but the IR definition: the
+//! interpreter executes architecturally (no pipeline, no memory
+//! hierarchy, no prefetching), the machine models timing. For every
+//! registry workload they must nevertheless agree on *architectural*
+//! results — per-call return values and the final memory image — both on
+//! the unmodified module and after APT-GET injects prefetches (which by
+//! construction must not change program semantics). A divergence means
+//! one of them mis-executes the IR; historically this class of bug hides
+//! behind workloads whose checkers only inspect part of the output,
+//! which is why the comparison also covers the full image digest.
+
+use apt_cpu::{Machine, MemImage, SimConfig};
+use apt_lir::eval::run_function;
+use apt_lir::Module;
+use apt_workloads::registry::all_workloads;
+use aptget::{AptGet, PipelineConfig};
+
+/// Far above any tiny-scale workload's instruction count, far below
+/// anything that would make the suite slow on a hang.
+const STEP_LIMIT: u64 = 200_000_000;
+
+/// Tiny inputs: differential coverage scales with workload count, not
+/// input size.
+const SCALE: f64 = 0.004;
+const SEED: u64 = 42;
+
+/// Runs the call schedule through the interpreter.
+fn interp_run(
+    module: &Module,
+    image: &MemImage,
+    calls: &[(String, Vec<u64>)],
+) -> (Vec<Option<u64>>, u64) {
+    let mut mem = image.clone();
+    let rets = calls
+        .iter()
+        .map(|(f, args)| {
+            run_function(module, f, args, &mut mem, STEP_LIMIT)
+                .unwrap_or_else(|e| panic!("interpreter failed on {f}: {e}"))
+        })
+        .collect();
+    (rets, mem.digest())
+}
+
+/// Runs the call schedule through the cycle-accurate machine.
+fn machine_run(
+    module: &Module,
+    image: &MemImage,
+    calls: &[(String, Vec<u64>)],
+) -> (Vec<Option<u64>>, u64) {
+    let mut mach = Machine::new(module, SimConfig::default(), image.clone());
+    let rets = calls
+        .iter()
+        .map(|(f, args)| {
+            mach.call(f, args)
+                .unwrap_or_else(|e| panic!("machine failed on {f}: {e}"))
+        })
+        .collect();
+    (rets, mach.image.digest())
+}
+
+fn assert_agree(
+    name: &str,
+    variant: &str,
+    module: &Module,
+    image: &MemImage,
+    calls: &[(String, Vec<u64>)],
+) {
+    let (i_rets, i_digest) = interp_run(module, image, calls);
+    let (m_rets, m_digest) = machine_run(module, image, calls);
+    assert_eq!(
+        i_rets, m_rets,
+        "{name} [{variant}]: return values diverge between interpreter and machine"
+    );
+    assert_eq!(
+        i_digest, m_digest,
+        "{name} [{variant}]: final memory images diverge between interpreter and machine"
+    );
+}
+
+#[test]
+fn interpreter_and_machine_agree_on_every_workload() {
+    for spec in all_workloads() {
+        let w = spec.build(SCALE, SEED);
+        assert_agree(&w.name, "unoptimized", &w.module, &w.image, &w.calls);
+    }
+}
+
+#[test]
+fn interpreter_and_machine_agree_after_aptget_injection() {
+    let cfg = PipelineConfig::default();
+    for spec in all_workloads() {
+        let w = spec.build(SCALE, SEED);
+        let opt = AptGet::new(cfg)
+            .optimize(&w.module, w.image.clone(), &w.calls)
+            .unwrap_or_else(|e| panic!("{}: optimization failed: {e}", w.name));
+        // The optimized module must also satisfy the workload's own
+        // checker under pure architectural execution.
+        let (rets, _) = interp_run(&opt.module, &w.image, &w.calls);
+        let mut mem = w.image.clone();
+        for (f, args) in &w.calls {
+            run_function(&opt.module, f, args, &mut mem, STEP_LIMIT)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        }
+        (w.check)(&mem, &rets)
+            .unwrap_or_else(|e| panic!("{}: interpreter result wrong: {e}", w.name));
+
+        assert_agree(&w.name, "APT-GET", &opt.module, &w.image, &w.calls);
+    }
+}
+
+#[test]
+fn injection_preserves_interpreter_semantics() {
+    // Prefetches are architectural no-ops: for each workload the
+    // *interpreter* must produce identical results on the original and
+    // the injected module (no machine involved at all).
+    let cfg = PipelineConfig::default();
+    for spec in all_workloads() {
+        let w = spec.build(SCALE, SEED);
+        let opt = AptGet::new(cfg)
+            .optimize(&w.module, w.image.clone(), &w.calls)
+            .unwrap_or_else(|e| panic!("{}: optimization failed: {e}", w.name));
+        let (base_rets, base_digest) = interp_run(&w.module, &w.image, &w.calls);
+        let (opt_rets, opt_digest) = interp_run(&opt.module, &w.image, &w.calls);
+        assert_eq!(
+            base_rets, opt_rets,
+            "{}: injection changed return values",
+            w.name
+        );
+        assert_eq!(
+            base_digest, opt_digest,
+            "{}: injection changed memory",
+            w.name
+        );
+    }
+}

@@ -9,6 +9,10 @@
 //! aptgetsim run BFS --trace-out t.json   # + Chrome trace-event JSON
 //! aptgetsim hints BFS [--scale S]        # print the hint file (§3.4 output)
 //! aptgetsim ir BFS [--optimized]         # dump the workload's IR
+//! aptgetsim export BFS [--out FILE]      # profiling run → `perf script` text
+//! aptgetsim ingest FILE [--db PATH] [--label STR] [--pc-offset HEX]
+//!                                        # parse a dump into the profile DB
+//! aptgetsim drift [--db PATH]            # newest epoch vs merged history
 //! aptgetsim campaign [--jobs N] ...      # full comparison matrix in
 //!                                        #   parallel (alias of `apteval`)
 //! ```
@@ -19,7 +23,10 @@ use apt_bench::eval::{campaign_cli, CampaignArgs};
 use apt_bench::{compare_variants_traced, fx, pct, AJ_STATIC_DISTANCE};
 use apt_profile::hintfile;
 use apt_workloads::registry::{all_workloads, by_name};
-use aptget::{chrome_trace_json, format_explain, AptGet, PipelineConfig, TraceConfig};
+use aptget::{
+    chrome_trace_json, detect_drift, execute, format_explain, parse_file, AggregateProfile, AptGet,
+    DriftConfig, IdentityRemap, OffsetRemap, PipelineConfig, ProfileDb, TraceConfig,
+};
 
 /// Ring capacity for `--trace-out`: enough to keep the tail of a scaled
 /// run without unbounded memory.
@@ -27,12 +34,17 @@ const TRACE_RING_CAPACITY: usize = 1 << 16;
 
 struct Args {
     command: String,
+    /// First positional: a workload name, or the dump file for `ingest`.
     workload: Option<String>,
     scale: f64,
     seed: u64,
     optimized: bool,
     explain: bool,
     trace_out: Option<String>,
+    out: Option<String>,
+    db: Option<String>,
+    label: Option<String>,
+    pc_offset: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,6 +58,10 @@ fn parse_args() -> Result<Args, String> {
         optimized: false,
         explain: false,
         trace_out: None,
+        out: None,
+        db: None,
+        label: None,
+        pc_offset: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -67,6 +83,22 @@ fn parse_args() -> Result<Args, String> {
             "--explain" => out.explain = true,
             "--trace-out" => {
                 out.trace_out = Some(args.next().ok_or("--trace-out needs a path")?);
+            }
+            "--out" => {
+                out.out = Some(args.next().ok_or("--out needs a path")?);
+            }
+            "--db" => {
+                out.db = Some(args.next().ok_or("--db needs a path")?);
+            }
+            "--label" => {
+                out.label = Some(args.next().ok_or("--label needs a value")?);
+            }
+            "--pc-offset" => {
+                let v = args.next().ok_or("--pc-offset needs a hex value")?;
+                let digits = v.strip_prefix("0x").unwrap_or(&v);
+                out.pc_offset = Some(
+                    u64::from_str_radix(digits, 16).map_err(|e| format!("bad --pc-offset: {e}"))?,
+                );
             }
             w if out.workload.is_none() && !w.starts_with('-') => {
                 out.workload = Some(w.to_string());
@@ -103,7 +135,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n");
-            eprintln!("usage: aptgetsim <list|run|hints|ir|campaign> [WORKLOAD] [--scale S] [--seed N] [--optimized] [--explain] [--trace-out PATH]");
+            eprintln!("usage: aptgetsim <list|run|hints|ir|export|ingest|drift|campaign> [WORKLOAD|FILE] [--scale S] [--seed N] [--optimized] [--explain] [--trace-out PATH] [--out PATH] [--db PATH] [--label STR] [--pc-offset HEX]");
             return ExitCode::FAILURE;
         }
     };
@@ -114,6 +146,110 @@ fn main() -> ExitCode {
             for w in all_workloads() {
                 println!("{:<12} {}", w.name, if w.nested { "yes" } else { "no" });
             }
+            ExitCode::SUCCESS
+        }
+        "export" => {
+            let Some(name) = args.workload.as_deref() else {
+                eprintln!("error: `export` needs a workload name");
+                return ExitCode::FAILURE;
+            };
+            let Some(spec) = by_name(name) else {
+                eprintln!("error: unknown workload `{name}` (try `aptgetsim list`)");
+                return ExitCode::FAILURE;
+            };
+            let w = spec.build(args.scale, args.seed);
+            let cfg = PipelineConfig::default();
+            let exec = match execute(&w.module, w.image, &w.calls, &cfg.profile_sim) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let dump = apt_cpu::perfscript::export_perf_script(&exec.profile, &exec.stats);
+            match &args.out {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(path, &dump) {
+                        eprintln!("error: could not write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!(
+                        "[{} LBR snapshots, {} PEBS records → {path}]",
+                        exec.profile.lbr_samples.len(),
+                        exec.profile.pebs.len()
+                    );
+                }
+                None => print!("{dump}"),
+            }
+            ExitCode::SUCCESS
+        }
+        "ingest" => {
+            let Some(file) = args.workload.as_deref() else {
+                eprintln!("error: `ingest` needs a perf-script file");
+                return ExitCode::FAILURE;
+            };
+            let ing = match args.pc_offset {
+                Some(base) => parse_file(file, &OffsetRemap { base }),
+                None => parse_file(file, &IdentityRemap),
+            };
+            let ing = match ing {
+                Ok(i) => i,
+                Err(e) => {
+                    eprintln!("error: {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let agg = AggregateProfile::from_profile(&ing.profile, &ing.stats_or_default());
+            let db_path = args
+                .db
+                .clone()
+                .unwrap_or_else(|| ProfileDb::default_path().display().to_string());
+            let mut db = ProfileDb::load_or_empty(&db_path);
+            let label = args.label.clone().unwrap_or_else(|| {
+                std::path::Path::new(file)
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| file.to_string())
+            });
+            db.push_epoch(label.clone(), agg);
+            if let Err(e) = db.save(&db_path) {
+                eprintln!("error: could not write {db_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "ingested `{label}`: {} events ({} LBR snapshots, {} PEBS records), \
+                 {} unknown skipped, {} unmapped",
+                ing.events,
+                ing.profile.lbr_samples.len(),
+                ing.profile.pebs.len(),
+                ing.skipped_unknown,
+                ing.skipped_unmapped
+            );
+            println!("database {db_path}: {} epoch(s)", db.epochs.len());
+            ExitCode::SUCCESS
+        }
+        "drift" => {
+            let db_path = args
+                .db
+                .clone()
+                .unwrap_or_else(|| ProfileDb::default_path().display().to_string());
+            let db = ProfileDb::load_or_empty(&db_path);
+            if db.epochs.len() < 2 {
+                eprintln!(
+                    "error: drift needs at least 2 epochs in {db_path} (found {})",
+                    db.epochs.len()
+                );
+                return ExitCode::FAILURE;
+            }
+            let newest = db.epochs.last().expect("non-empty");
+            let report = detect_drift(
+                &db.baseline(),
+                &newest.agg,
+                &newest.label,
+                db.epochs.len() - 1,
+                &DriftConfig::default(),
+            );
+            print!("{}", report.render());
             ExitCode::SUCCESS
         }
         "run" | "hints" | "ir" => {

@@ -1,6 +1,7 @@
 //! The profiling → analysis → injection → measurement pipeline.
 
 use apt_cpu::{Machine, MemImage, PerfStats, ProfileData, SimConfig, SimError};
+use apt_ingest::{analyze_aggregate, ProfileDb};
 use apt_lir::Module;
 use apt_passes::{ainsworth_jones, inject_prefetches, optimize_module, InjectionReport};
 use apt_profile::{analyze_traced, AnalysisConfig, AnalysisResult};
@@ -190,6 +191,38 @@ impl AptGet {
         Ok((opt, collected.then_some((profile, profile_stats))))
     }
 
+    /// Optimises from the cross-run profile database instead of a raw
+    /// profile: the sample-count-weighted merge of every stored epoch
+    /// drives the aggregate analysis path (`apt-ingest`'s mirror of the
+    /// §3.4 model), then injection and -O3 cleanup run as usual. This is
+    /// the §3.6 AutoFDO deployment flow — `perf record` in production,
+    /// `aptgetsim ingest` per run, re-optimise from accumulated history
+    /// with no profiling run at build time.
+    pub fn optimize_from_db(&self, module: &Module, db: &ProfileDb) -> Optimized {
+        let agg = db.merged();
+        // The analysis only reads the counters the aggregate carries;
+        // reconstruct the stats it gates on (MPKI needs instructions).
+        let profile_stats = PerfStats {
+            instructions: agg.instructions,
+            cycles: agg.cycles,
+            branches: agg.branches,
+            taken_branches: agg.taken_branches,
+            ..Default::default()
+        };
+        let map = module.assign_pcs();
+        let analysis = analyze_aggregate(module, &map, &agg, &self.cfg.analysis);
+
+        let mut optimized = module.clone();
+        let injection = inject_prefetches(&mut optimized, &analysis.specs());
+        optimize_module(&mut optimized);
+        Optimized {
+            module: optimized,
+            analysis,
+            injection,
+            profile_stats,
+        }
+    }
+
     /// Applies the analysis to an already-collected profile (used by the
     /// Fig. 12 train/test experiment to reuse a training profile).
     pub fn optimize_with_profile(
@@ -360,6 +393,39 @@ mod tests {
         assert_eq!(cold.analysis.hints.len(), warm.analysis.hints.len());
         assert!(spans2.spans().iter().any(|s| s.name == "profile-cache"));
         assert!(!spans2.spans().iter().any(|s| s.name == "profile-run"));
+    }
+
+    #[test]
+    fn db_path_optimizes_from_an_exported_profile() {
+        let (module, image, calls) = indirect_program();
+        let cfg = PipelineConfig::default();
+        let apt = AptGet::new(cfg);
+
+        // Profile run → perf-script text → ingest → one DB epoch.
+        let exec = execute(&module, image.clone(), &calls, &cfg.profile_sim).unwrap();
+        let dump = apt_cpu::perfscript::export_perf_script(&exec.profile, &exec.stats);
+        let ing = apt_ingest::parse_str(&dump, &apt_ingest::IdentityRemap).unwrap();
+        let mut db = ProfileDb::new();
+        db.push_epoch(
+            "run",
+            apt_ingest::AggregateProfile::from_profile(&ing.profile, &ing.stats_or_default()),
+        );
+
+        let opt = apt.optimize_from_db(&module, &db);
+        assert_eq!(opt.injection.injected.len(), 1, "{:?}", opt.analysis.notes);
+        assert!(opt.analysis.hints[0].distance >= 2);
+
+        let base = execute(&module, image.clone(), &calls, &cfg.measure_sim).unwrap();
+        let tuned = execute(&opt.module, image, &calls, &cfg.measure_sim).unwrap();
+        assert_eq!(base.rets, tuned.rets);
+        assert!(base.stats.cycles > tuned.stats.cycles);
+
+        // Same database, same module — the DB path is deterministic.
+        let again = apt.optimize_from_db(&module, &db);
+        assert_eq!(
+            apt_lir::print::module_to_string(&opt.module),
+            apt_lir::print::module_to_string(&again.module)
+        );
     }
 
     /// The campaign runner ships whole pipeline cells across threads; every

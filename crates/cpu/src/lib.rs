@@ -19,10 +19,12 @@ pub mod lbr;
 pub mod machine;
 pub mod memimg;
 pub mod pebs;
+pub mod perfscript;
 pub mod stats;
 
 pub use lbr::{LbrEntry, LbrRing, LbrSample, LBR_ENTRIES};
 pub use machine::{Machine, SimConfig, SimError};
 pub use memimg::MemImage;
 pub use pebs::PebsRecord;
+pub use perfscript::export_perf_script;
 pub use stats::{PerfStats, ProfileData};

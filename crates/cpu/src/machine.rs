@@ -163,6 +163,16 @@ impl<'m> Machine<'m> {
         }
     }
 
+    /// Renders the profiles collected so far as `perf script` text (see
+    /// [`crate::perfscript`]), without consuming them.
+    pub fn export_perf_script(&self) -> String {
+        let profile = ProfileData {
+            lbr_samples: self.lbr_samples.clone(),
+            pebs: self.pebs.records().to_vec(),
+        };
+        crate::perfscript::export_perf_script(&profile, &self.stats())
+    }
+
     /// Ends structured tracing and takes everything it gathered (events,
     /// per-PC prefetch outcomes). Still-outstanding prefetches finalize as
     /// `useless`, so call this after the workload has finished.

@@ -1,0 +1,220 @@
+//! `perf script`-compatible export of collected hardware profiles.
+//!
+//! The paper's profiles come from `perf record` on production machines;
+//! the textual `perf script` dump is the interchange format every
+//! downstream tool consumes. This module renders the simulator's
+//! [`ProfileData`] in that shape so the `apt-ingest` crate can exercise
+//! its real-profile ingestion path against dumps from *every* registered
+//! workload, and so the two paths (in-memory profile vs. exported dump)
+//! can be pinned byte-identical by the round-trip test.
+//!
+//! ## Format (v1)
+//!
+//! One event per line, `perf script -F comm,pid,cpu,time,event` framing:
+//!
+//! ```text
+//! # apt-get perf script v1
+//! # stats: instructions=81236 cycles=312200 branches=4100 taken_branches=4000
+//! aptgetsim     0 [000]     0.020000: cpu/branch-stack/: 0x88/0x80/P/-/-/12 0x88/0x80/P/-/-/0
+//! aptgetsim     0 [000]     0.020123: cpu/mem-loads,ldlat=30/P: 0x24 weight: 120 lvl: RAM
+//! ```
+//!
+//! * **time** — the simulator has no wall clock, so the timestamp encodes
+//!   the cycle count at a fictional 1 MHz: `cycle 20123` prints as
+//!   `0.020123`. Microsecond precision makes the u64 cycle round-trip
+//!   exact (perf itself prints µs).
+//! * **branch-stack** — LBR entries *newest first* (perf's `brstack`
+//!   order), `from/to/mispred/in_tx/abort/cycles` with perf's cycle
+//!   semantics: each entry's cycles field is the delta to the next-older
+//!   entry. The line's timestamp is the newest entry's absolute cycle, so
+//!   absolute cycles reconstruct exactly; the oldest entry's delta (to a
+//!   branch before the snapshot) is unknowable and prints as `0`.
+//! * **mem-loads** — one PEBS record: instruction pointer, an advisory
+//!   `weight` (nominal latency of the serving level, like PEBS load
+//!   latency), and `lvl`, the serving memory level in perf's `data_src`
+//!   naming (`L1`/`L2`/`L3`/`RAM`). Parsers key on `lvl`.
+//! * **`# stats:`** — carries the profiling run's core counters; real
+//!   `perf script` dumps lack it, so ingestion treats it as optional.
+//!
+//! The two event streams are merged in timestamp order (stable: LBR
+//! before PEBS on ties), preserving each stream's internal order — a
+//! parser that keeps per-stream encounter order reconstructs the original
+//! `ProfileData` vectors exactly.
+
+use apt_mem::Level;
+
+use crate::stats::{PerfStats, ProfileData};
+
+/// First line of every export.
+pub const HEADER: &str = "# apt-get perf script v1";
+
+/// The `comm` / `pid` / `cpu` columns of the simulated process.
+const COMM: &str = "aptgetsim";
+
+/// Nominal PEBS load weight per serving level (advisory; ingestion keys
+/// on the `lvl` field).
+fn level_weight(l: Level) -> u64 {
+    match l {
+        Level::L1 => 4,
+        Level::L2 => 14,
+        Level::Llc => 40,
+        Level::Dram => 120,
+    }
+}
+
+/// Perf `data_src`-style level name.
+fn level_name(l: Level) -> &'static str {
+    match l {
+        Level::L1 => "L1",
+        Level::L2 => "L2",
+        Level::Llc => "L3",
+        Level::Dram => "RAM",
+    }
+}
+
+/// Renders a cycle count as a perf timestamp (fictional 1 MHz clock).
+fn timestamp(cycle: u64) -> String {
+    format!("{}.{:06}", cycle / 1_000_000, cycle % 1_000_000)
+}
+
+fn line_prefix(out: &mut String, cycle: u64) {
+    out.push_str(&format!("{COMM} {:>5} [000] {:>12}: ", 0, timestamp(cycle)));
+}
+
+/// Serialises a collected profile (plus the run's counters) to the
+/// `perf script` text format described in the module docs.
+pub fn export_perf_script(profile: &ProfileData, stats: &PerfStats) -> String {
+    let mut out = String::with_capacity(
+        128 + profile
+            .lbr_samples
+            .iter()
+            .map(|s| 24 + s.len() * 28)
+            .sum::<usize>()
+            + profile.pebs.len() * 64,
+    );
+    out.push_str(HEADER);
+    out.push('\n');
+    out.push_str(&format!(
+        "# stats: instructions={} cycles={} branches={} taken_branches={}\n",
+        stats.instructions, stats.cycles, stats.branches, stats.taken_branches
+    ));
+
+    // Two-pointer merge of the (individually time-ordered) streams.
+    // An empty snapshot has no newest entry; it inherits the previous
+    // snapshot's timestamp to keep the merge stable and order-preserving.
+    let mut li = 0usize;
+    let mut pi = 0usize;
+    let mut last_lbr_cycle = 0u64;
+    while li < profile.lbr_samples.len() || pi < profile.pebs.len() {
+        let lbr_cycle = profile.lbr_samples.get(li).map(|s| {
+            let c = s.last().map(|e| e.cycle).unwrap_or(last_lbr_cycle);
+            c.max(last_lbr_cycle)
+        });
+        let take_lbr = match (lbr_cycle, profile.pebs.get(pi)) {
+            (Some(lc), Some(p)) => lc <= p.cycle,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if take_lbr {
+            let sample = &profile.lbr_samples[li];
+            let cycle = lbr_cycle.expect("lbr stream non-empty");
+            last_lbr_cycle = cycle;
+            line_prefix(&mut out, cycle);
+            out.push_str("cpu/branch-stack/:");
+            // Newest first; each entry's cycles field is the delta to the
+            // next-older one, 0 for the oldest (pre-snapshot delta).
+            for (i, e) in sample.iter().enumerate().rev() {
+                let delta = if i == 0 {
+                    0
+                } else {
+                    e.cycle - sample[i - 1].cycle
+                };
+                out.push_str(&format!(" {:#x}/{:#x}/P/-/-/{}", e.from.0, e.to.0, delta));
+            }
+            out.push('\n');
+            li += 1;
+        } else {
+            let r = &profile.pebs[pi];
+            line_prefix(&mut out, r.cycle);
+            out.push_str(&format!(
+                "cpu/mem-loads,ldlat=30/P: {:#x} weight: {} lvl: {}\n",
+                r.pc.0,
+                level_weight(r.served),
+                level_name(r.served)
+            ));
+            pi += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lbr::LbrEntry;
+    use crate::pebs::PebsRecord;
+    use apt_lir::Pc;
+
+    fn profile() -> ProfileData {
+        ProfileData {
+            lbr_samples: vec![
+                vec![
+                    LbrEntry {
+                        from: Pc(0x88),
+                        to: Pc(0x80),
+                        cycle: 100,
+                    },
+                    LbrEntry {
+                        from: Pc(0x88),
+                        to: Pc(0x80),
+                        cycle: 112,
+                    },
+                ],
+                vec![],
+            ],
+            pebs: vec![PebsRecord {
+                pc: Pc(0x24),
+                served: Level::Dram,
+                cycle: 105,
+            }],
+        }
+    }
+
+    #[test]
+    fn renders_header_stats_and_events() {
+        let stats = PerfStats {
+            instructions: 81236,
+            cycles: 312_200,
+            ..Default::default()
+        };
+        let text = export_perf_script(&profile(), &stats);
+        assert!(text.starts_with(HEADER));
+        assert!(text.contains("# stats: instructions=81236 cycles=312200"));
+        // Newest entry first, delta to the older one is 12, oldest gets 0.
+        assert!(text.contains("cpu/branch-stack/: 0x88/0x80/P/-/-/12 0x88/0x80/P/-/-/0"));
+        assert!(text.contains("cpu/mem-loads,ldlat=30/P: 0x24 weight: 120 lvl: RAM"));
+    }
+
+    #[test]
+    fn events_are_time_ordered_and_streams_stay_ordered() {
+        let text = export_perf_script(&profile(), &PerfStats::default());
+        let events: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(events.len(), 3);
+        // Snapshot at cycle 112 precedes the PEBS record at 105? No:
+        // 105 < 112, so mem-loads sorts between the two brstack lines
+        // only if its cycle allows — here the first snapshot is at 112,
+        // so the PEBS record at 105 comes first.
+        assert!(events[0].contains("mem-loads"));
+        assert!(events[1].contains("branch-stack"));
+        // The empty snapshot inherits the previous timestamp and stays
+        // after its predecessor.
+        assert!(events[2].ends_with("cpu/branch-stack/:"));
+    }
+
+    #[test]
+    fn timestamp_encodes_cycles_at_microsecond_precision() {
+        assert_eq!(timestamp(0), "0.000000");
+        assert_eq!(timestamp(20_123), "0.020123");
+        assert_eq!(timestamp(3_000_001), "3.000001");
+    }
+}

@@ -1,0 +1,348 @@
+//! The versioned on-disk profile database (`APTDB1`).
+//!
+//! One file holds the whole cross-run history as a sequence of labelled
+//! epochs, each an [`AggregateProfile`]. The format follows the profile
+//! cache's conventions (`APTPROF2` in `apt-bench`): an 8-byte magic, then
+//! little-endian `u64` framing throughout, so every count round-trips
+//! exactly. Corrupt or truncated files decode to `None` and are treated
+//! as an empty database, never an error — the database accelerates and
+//! informs, it is not a correctness dependency. Writes go through a
+//! per-process temp file + rename, so concurrent ingests never tear an
+//! epoch.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use apt_profile::LatencySketch;
+
+use crate::aggregate::{AggregateProfile, TripAgg};
+
+/// Magic + format version; bump when the layout changes.
+pub const MAGIC: &[u8; 8] = b"APTDB1\0\0";
+
+/// One ingested profile run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Epoch {
+    /// Caller-chosen label (dump file name, date, host, …).
+    pub label: String,
+    /// The run's aggregate.
+    pub agg: AggregateProfile,
+}
+
+/// The cross-run profile history.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileDb {
+    /// Epochs in ingestion order (oldest first).
+    pub epochs: Vec<Epoch>,
+}
+
+impl ProfileDb {
+    /// An empty database.
+    pub fn new() -> ProfileDb {
+        ProfileDb::default()
+    }
+
+    /// Appends an epoch.
+    pub fn push_epoch(&mut self, label: impl Into<String>, agg: AggregateProfile) {
+        self.epochs.push(Epoch {
+            label: label.into(),
+            agg,
+        });
+    }
+
+    /// The sample-count-weighted merge of every epoch — the baseline the
+    /// optimiser and the drift detector consume.
+    pub fn merged(&self) -> AggregateProfile {
+        let mut out = AggregateProfile::default();
+        for e in &self.epochs {
+            out.merge(&e.agg);
+        }
+        out
+    }
+
+    /// Merge of every epoch except the last — the drift baseline.
+    pub fn baseline(&self) -> AggregateProfile {
+        let mut out = AggregateProfile::default();
+        for e in &self.epochs[..self.epochs.len().saturating_sub(1)] {
+            out.merge(&e.agg);
+        }
+        out
+    }
+
+    /// The default on-disk location: `$APT_PROFILE_DB` if set, else
+    /// `target/apt-profile-db/profiles.aptdb` at the workspace root.
+    pub fn default_path() -> PathBuf {
+        if let Some(p) = std::env::var_os("APT_PROFILE_DB") {
+            return PathBuf::from(p);
+        }
+        let root = std::env::var("CARGO_MANIFEST_DIR")
+            .map(|d| PathBuf::from(d).join("../.."))
+            .unwrap_or_else(|_| PathBuf::from("."));
+        root.join("target/apt-profile-db/profiles.aptdb")
+    }
+
+    /// Loads a database; a missing, corrupt or truncated file is an
+    /// empty database.
+    pub fn load_or_empty(path: impl AsRef<Path>) -> ProfileDb {
+        fs::read(path)
+            .ok()
+            .and_then(|b| decode(&b))
+            .unwrap_or_default()
+    }
+
+    /// Persists the database atomically (temp file + rename).
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        let bytes = encode(self);
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        fs::write(&tmp, &bytes)?;
+        fs::rename(&tmp, path)
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Serialises the database to the `APTDB1` byte format.
+pub fn encode(db: &ProfileDb) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(MAGIC);
+    put_u64(&mut out, db.epochs.len() as u64);
+    for e in &db.epochs {
+        put_u64(&mut out, e.label.len() as u64);
+        out.extend_from_slice(e.label.as_bytes());
+        let a = &e.agg;
+        for v in [
+            a.instructions,
+            a.cycles,
+            a.branches,
+            a.taken_branches,
+            a.lbr_snapshots,
+            a.pebs_samples,
+        ] {
+            put_u64(&mut out, v);
+        }
+        put_u64(&mut out, a.pc_misses.len() as u64);
+        for (pc, counts) in &a.pc_misses {
+            put_u64(&mut out, *pc);
+            for c in counts {
+                put_u64(&mut out, *c);
+            }
+        }
+        put_u64(&mut out, a.iter_lat.len() as u64);
+        for (pc, sketch) in &a.iter_lat {
+            put_u64(&mut out, *pc);
+            put_u64(&mut out, sketch.distinct() as u64);
+            for (v, c) in sketch.entries() {
+                put_u64(&mut out, v);
+                put_u64(&mut out, c);
+            }
+        }
+        put_u64(&mut out, a.trips.len() as u64);
+        for (pc, t) in &a.trips {
+            put_u64(&mut out, *pc);
+            put_u64(&mut out, t.total);
+            put_u64(&mut out, t.total_sq);
+            put_u64(&mut out, t.runs);
+            put_u64(&mut out, t.saturated_runs);
+        }
+    }
+    out
+}
+
+/// Decodes a database; `None` on any corruption (wrong magic, truncated
+/// framing, oversized lengths, trailing garbage).
+pub fn decode(bytes: &[u8]) -> Option<ProfileDb> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize| -> Option<u64> {
+        let end = pos.checked_add(8)?;
+        let v = u64::from_le_bytes(bytes.get(*pos..end)?.try_into().ok()?);
+        *pos = end;
+        Some(v)
+    };
+    // Sanity bound shared by every length field: a corrupt count must
+    // not trigger a giant allocation.
+    let bounded = |n: u64| -> Option<usize> {
+        if n > bytes.len() as u64 {
+            None
+        } else {
+            Some(n as usize)
+        }
+    };
+
+    if bytes.get(..8)? != MAGIC {
+        return None;
+    }
+    pos += 8;
+
+    let n_epochs = bounded(take(&mut pos)?)?;
+    let mut db = ProfileDb::new();
+    for _ in 0..n_epochs {
+        let label_len = bounded(take(&mut pos)?)?;
+        let end = pos.checked_add(label_len)?;
+        let label = std::str::from_utf8(bytes.get(pos..end)?).ok()?.to_string();
+        pos = end;
+
+        let mut agg = AggregateProfile {
+            instructions: take(&mut pos)?,
+            cycles: take(&mut pos)?,
+            branches: take(&mut pos)?,
+            taken_branches: take(&mut pos)?,
+            lbr_snapshots: take(&mut pos)?,
+            pebs_samples: take(&mut pos)?,
+            ..AggregateProfile::default()
+        };
+        let n_misses = bounded(take(&mut pos)?)?;
+        for _ in 0..n_misses {
+            let pc = take(&mut pos)?;
+            let mut counts = [0u64; 4];
+            for c in &mut counts {
+                *c = take(&mut pos)?;
+            }
+            agg.pc_misses.insert(pc, counts);
+        }
+        let n_lat = bounded(take(&mut pos)?)?;
+        for _ in 0..n_lat {
+            let pc = take(&mut pos)?;
+            let distinct = bounded(take(&mut pos)?)?;
+            let mut sketch = LatencySketch::new();
+            for _ in 0..distinct {
+                let v = take(&mut pos)?;
+                let c = take(&mut pos)?;
+                sketch.record_n(v, c);
+            }
+            agg.iter_lat.insert(pc, sketch);
+        }
+        let n_trips = bounded(take(&mut pos)?)?;
+        for _ in 0..n_trips {
+            let pc = take(&mut pos)?;
+            agg.trips.insert(
+                pc,
+                TripAgg {
+                    total: take(&mut pos)?,
+                    total_sq: take(&mut pos)?,
+                    runs: take(&mut pos)?,
+                    saturated_runs: take(&mut pos)?,
+                },
+            );
+        }
+        db.epochs.push(Epoch { label, agg });
+    }
+
+    if pos != bytes.len() {
+        return None; // Trailing garbage: treat as corrupt.
+    }
+    Some(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_cpu::{LbrEntry, PebsRecord, PerfStats, ProfileData};
+    use apt_lir::Pc;
+    use apt_mem::Level;
+
+    fn sample_db() -> ProfileDb {
+        let profile = ProfileData {
+            lbr_samples: vec![vec![
+                LbrEntry {
+                    from: Pc(0x88),
+                    to: Pc(0x80),
+                    cycle: 100,
+                },
+                LbrEntry {
+                    from: Pc(0x88),
+                    to: Pc(0x80),
+                    cycle: 112,
+                },
+                LbrEntry {
+                    from: Pc(0x40),
+                    to: Pc(0x44),
+                    cycle: 140,
+                },
+            ]],
+            pebs: vec![PebsRecord {
+                pc: Pc(0x24),
+                served: Level::Dram,
+                cycle: 105,
+            }],
+        };
+        let stats = PerfStats {
+            instructions: 1_000_000,
+            cycles: 312_200,
+            branches: 4100,
+            taken_branches: 4000,
+            ..Default::default()
+        };
+        let mut db = ProfileDb::new();
+        db.push_epoch("run-a", AggregateProfile::from_profile(&profile, &stats));
+        db.push_epoch("run-b (später)", AggregateProfile::default());
+        db
+    }
+
+    #[test]
+    fn encode_decode_round_trips_exactly() {
+        let mut db = sample_db();
+        db.epochs[0].agg.instructions = u64::MAX; // Extremes must survive.
+        let decoded = decode(&encode(&db)).expect("decodes");
+        assert_eq!(decoded, db);
+    }
+
+    #[test]
+    fn corrupt_and_truncated_inputs_decode_to_none() {
+        let bytes = encode(&sample_db());
+        assert!(decode(&bytes[..bytes.len() - 1]).is_none());
+        assert!(decode(&bytes[1..]).is_none());
+        assert!(decode(b"not a database").is_none());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(decode(&trailing).is_none());
+        // A corrupt length field must not allocate terabytes.
+        let mut huge = bytes.clone();
+        huge[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode(&huge).is_none());
+    }
+
+    #[test]
+    fn save_load_round_trips_and_tolerates_missing_files() {
+        let dir = std::env::temp_dir().join(format!("apt-db-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("profiles.aptdb");
+
+        assert_eq!(ProfileDb::load_or_empty(&path), ProfileDb::new());
+        let db = sample_db();
+        db.save(&path).expect("saves");
+        assert_eq!(ProfileDb::load_or_empty(&path), db);
+
+        fs::write(&path, b"garbage").unwrap();
+        assert_eq!(ProfileDb::load_or_empty(&path), ProfileDb::new());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merged_and_baseline_split_the_last_epoch() {
+        let db = sample_db();
+        let merged = db.merged();
+        assert_eq!(merged.cycles, db.epochs[0].agg.cycles);
+        // Epoch 2 is empty, so the baseline (all but last) equals epoch 1.
+        assert_eq!(db.baseline(), db.epochs[0].agg);
+        assert_eq!(ProfileDb::new().baseline(), AggregateProfile::default());
+    }
+
+    #[test]
+    fn merged_is_sample_count_weighted() {
+        let mut db = sample_db();
+        let extra = db.epochs[0].agg.clone();
+        db.push_epoch("run-c", extra);
+        let merged = db.merged();
+        assert_eq!(merged.pebs_samples, 2 * db.epochs[0].agg.pebs_samples);
+        assert_eq!(
+            merged.dram_misses(0x24),
+            2 * db.epochs[0].agg.dram_misses(0x24)
+        );
+    }
+}

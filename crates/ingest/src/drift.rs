@@ -1,0 +1,344 @@
+//! Profile drift detection: is the stored history still telling the
+//! truth about this program?
+//!
+//! Stale profiles are the failure mode of every AutoFDO-style pipeline
+//! (§3.6): input distributions shift, memory latencies change with
+//! co-runners, and a prefetch distance derived from last month's epochs
+//! quietly stops hiding the misses. The detector compares the **newest
+//! epoch** against the **merged baseline** of every earlier epoch along
+//! the two axes that actually feed the model:
+//!
+//! * **Latency distributions** (per loop-branch PC) — total-variation
+//!   distance between the two distributions over a *common* binning
+//!   (geometry derived from the union multiset, so neither side's
+//!   outliers skew the comparison), plus the end-to-end signal: the
+//!   relative change in the Eq. 1 prefetch distance each side implies.
+//! * **Delinquency shares** (per load PC) — a load responsible for 5 %
+//!   of misses in the baseline and 30 % today means the ranking itself
+//!   has shifted.
+//!
+//! Either signal past its threshold marks the entry *stale*; a stale
+//! entry is a re-profile prompt, not an error.
+
+use apt_profile::{eq1_distance, latency_peaks, AnalysisConfig, LatencySketch};
+
+use crate::aggregate::AggregateProfile;
+
+/// Drift thresholds and the analysis tunables behind the Eq. 1 replay.
+#[derive(Debug, Clone, Copy)]
+pub struct DriftConfig {
+    /// Bins for the common-geometry TV comparison.
+    pub tv_bins: usize,
+    /// Minimum observations on *both* sides before a branch is compared.
+    pub min_observations: u64,
+    /// TV distance at or above which a latency distribution is stale.
+    pub tv_threshold: f64,
+    /// Relative Eq. 1 distance change at or above which a branch is
+    /// stale (|new − old| / old).
+    pub distance_delta_threshold: f64,
+    /// Absolute delinquency-share change at or above which a load is
+    /// stale.
+    pub share_delta_threshold: f64,
+    /// Eq. 1 tunables (histogram bins, smoothing, SNR, DRAM hint).
+    pub analysis: AnalysisConfig,
+}
+
+impl Default for DriftConfig {
+    fn default() -> DriftConfig {
+        DriftConfig {
+            tv_bins: 64,
+            min_observations: 16,
+            tv_threshold: 0.35,
+            distance_delta_threshold: 0.25,
+            share_delta_threshold: 0.10,
+            analysis: AnalysisConfig::default(),
+        }
+    }
+}
+
+/// Drift verdict for one loop-branch PC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BranchDrift {
+    pub pc: u64,
+    /// Total-variation distance in `[0, 1]` over the common binning.
+    pub tv_distance: f64,
+    /// Eq. 1 distance the baseline implies.
+    pub baseline_distance: u64,
+    /// Eq. 1 distance the newest epoch implies.
+    pub current_distance: u64,
+    /// `|current − baseline| / baseline`.
+    pub distance_delta: f64,
+    pub baseline_obs: u64,
+    pub current_obs: u64,
+    pub stale: bool,
+}
+
+/// Drift verdict for one delinquent-load PC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadDrift {
+    pub pc: u64,
+    /// Share of DRAM-served miss samples in the baseline.
+    pub baseline_share: f64,
+    /// Share in the newest epoch.
+    pub current_share: f64,
+    pub stale: bool,
+}
+
+/// The full drift report.
+#[derive(Debug, Clone, Default)]
+pub struct DriftReport {
+    /// Label of the epoch under test.
+    pub current_label: String,
+    /// Epochs merged into the baseline.
+    pub baseline_epochs: usize,
+    /// Per-branch verdicts, most drifted first.
+    pub branches: Vec<BranchDrift>,
+    /// Per-load verdicts, most drifted first.
+    pub loads: Vec<LoadDrift>,
+}
+
+impl DriftReport {
+    /// True if any branch or load is flagged stale.
+    pub fn any_stale(&self) -> bool {
+        self.branches.iter().any(|b| b.stale) || self.loads.iter().any(|l| l.stale)
+    }
+
+    /// Human-readable rendering for logs and the CLI.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "drift report: epoch `{}` vs {} baseline epoch(s)\n",
+            self.current_label, self.baseline_epochs
+        ));
+        out.push_str(&format!(
+            "  verdict: {}\n",
+            if self.any_stale() {
+                "STALE — re-profile recommended"
+            } else {
+                "fresh"
+            }
+        ));
+        for b in &self.branches {
+            out.push_str(&format!(
+                "  branch {:#x}: TV {:.3}, distance {} → {} (Δ {:.0}%), obs {}/{}{}\n",
+                b.pc,
+                b.tv_distance,
+                b.baseline_distance,
+                b.current_distance,
+                b.distance_delta * 100.0,
+                b.baseline_obs,
+                b.current_obs,
+                if b.stale { "  [STALE]" } else { "" }
+            ));
+        }
+        for l in &self.loads {
+            out.push_str(&format!(
+                "  load {:#x}: miss share {:.1}% → {:.1}%{}\n",
+                l.pc,
+                l.baseline_share * 100.0,
+                l.current_share * 100.0,
+                if l.stale { "  [STALE]" } else { "" }
+            ));
+        }
+        out
+    }
+}
+
+/// Bins a sketch with an externally fixed geometry (for the common-grid
+/// TV comparison).
+fn binned(sketch: &LatencySketch, min: u64, bin_width: u64, nbins: usize) -> Vec<f64> {
+    let mut counts = vec![0.0; nbins];
+    for (v, c) in sketch.entries() {
+        let b = (((v.saturating_sub(min)) / bin_width) as usize).min(nbins - 1);
+        counts[b] += c as f64;
+    }
+    counts
+}
+
+/// Total-variation distance between two binned distributions.
+fn tv_distance(a: &[f64], b: &[f64]) -> f64 {
+    let (ta, tb): (f64, f64) = (a.iter().sum(), b.iter().sum());
+    if ta == 0.0 || tb == 0.0 {
+        return 0.0;
+    }
+    0.5 * a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| (x / ta - y / tb).abs())
+        .sum::<f64>()
+}
+
+/// The Eq. 1 distance a sketch implies (histogram → smoothing → CWT
+/// peaks → Eq. 1), exactly as the optimiser would derive it.
+fn implied_distance(sketch: &LatencySketch, cfg: &AnalysisConfig) -> u64 {
+    sketch
+        .to_histogram(cfg.hist_bins, 0.995)
+        .map(|h| {
+            let peaks = latency_peaks(&h.smoothed(cfg.smoothing), cfg);
+            eq1_distance(&peaks, cfg).2
+        })
+        .unwrap_or(1)
+}
+
+/// Compares `current` (the newest epoch) against `baseline` (the merged
+/// history). See the module docs for the semantics.
+pub fn detect_drift(
+    baseline: &AggregateProfile,
+    current: &AggregateProfile,
+    current_label: &str,
+    baseline_epochs: usize,
+    cfg: &DriftConfig,
+) -> DriftReport {
+    let mut report = DriftReport {
+        current_label: current_label.to_string(),
+        baseline_epochs,
+        ..Default::default()
+    };
+
+    // Branch latency drift: every branch PC with enough evidence on
+    // both sides.
+    for (pc, base_sketch) in &baseline.iter_lat {
+        let Some(cur_sketch) = current.iter_lat.get(pc) else {
+            continue;
+        };
+        let (b_obs, c_obs) = (base_sketch.total(), cur_sketch.total());
+        if b_obs < cfg.min_observations || c_obs < cfg.min_observations {
+            continue;
+        }
+        // Common binning from the union multiset: both sides measured
+        // on the same grid, tail clipped once for both.
+        let mut union = base_sketch.clone();
+        union.merge(cur_sketch);
+        let Some(grid) = union.to_histogram(cfg.tv_bins, 0.995) else {
+            continue;
+        };
+        let nbins = grid.counts.len();
+        let tv = tv_distance(
+            &binned(base_sketch, grid.min, grid.bin_width, nbins),
+            &binned(cur_sketch, grid.min, grid.bin_width, nbins),
+        );
+        let bd = implied_distance(base_sketch, &cfg.analysis);
+        let cd = implied_distance(cur_sketch, &cfg.analysis);
+        let delta = (cd as f64 - bd as f64).abs() / bd.max(1) as f64;
+        report.branches.push(BranchDrift {
+            pc: *pc,
+            tv_distance: tv,
+            baseline_distance: bd,
+            current_distance: cd,
+            distance_delta: delta,
+            baseline_obs: b_obs,
+            current_obs: c_obs,
+            stale: tv >= cfg.tv_threshold || delta >= cfg.distance_delta_threshold,
+        });
+    }
+    report.branches.sort_by(|a, b| {
+        b.tv_distance
+            .partial_cmp(&a.tv_distance)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.pc.cmp(&b.pc))
+    });
+
+    // Delinquency-share drift over DRAM-served misses.
+    let base_total: u64 = baseline.pc_misses.values().map(|c| c[3]).sum();
+    let cur_total: u64 = current.pc_misses.values().map(|c| c[3]).sum();
+    if base_total > 0 && cur_total > 0 {
+        let pcs: std::collections::BTreeSet<u64> = baseline
+            .pc_misses
+            .keys()
+            .chain(current.pc_misses.keys())
+            .copied()
+            .collect();
+        for pc in pcs {
+            let bs = baseline.dram_misses(pc) as f64 / base_total as f64;
+            let cs = current.dram_misses(pc) as f64 / cur_total as f64;
+            // Only loads that matter on at least one side.
+            if bs < 0.02 && cs < 0.02 {
+                continue;
+            }
+            report.loads.push(LoadDrift {
+                pc,
+                baseline_share: bs,
+                current_share: cs,
+                stale: (cs - bs).abs() >= cfg.share_delta_threshold,
+            });
+        }
+    }
+    report.loads.sort_by(|a, b| {
+        let da = (a.current_share - a.baseline_share).abs();
+        let db = (b.current_share - b.baseline_share).abs();
+        db.partial_cmp(&da)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.pc.cmp(&b.pc))
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An aggregate whose branch `pc` saw `n` iteration latencies spread
+    /// tightly around `center`, and whose load 0x24 has all the misses.
+    fn agg_with_latencies(pc: u64, center: u64, n: u64) -> AggregateProfile {
+        let mut agg = AggregateProfile::default();
+        let sketch = agg.iter_lat.entry(pc).or_default();
+        for i in 0..n {
+            sketch.record(center + (i % 5));
+        }
+        agg.pc_misses.insert(0x24, [0, 0, 0, n]);
+        agg.instructions = n * 1000;
+        agg
+    }
+
+    #[test]
+    fn identical_epochs_are_fresh() {
+        let a = agg_with_latencies(0x88, 100, 200);
+        let r = detect_drift(&a, &a.clone(), "same", 1, &DriftConfig::default());
+        assert!(!r.any_stale(), "{}", r.render());
+        assert_eq!(r.branches.len(), 1);
+        assert!(r.branches[0].tv_distance < 1e-9);
+    }
+
+    #[test]
+    fn shifted_latency_distribution_is_flagged_stale() {
+        // Baseline iterations ~40 cycles; the new epoch jumps to ~400
+        // (the backing store fell out of cache): both the TV distance
+        // and the implied Eq. 1 distance move.
+        let base = agg_with_latencies(0x88, 40, 300);
+        let cur = agg_with_latencies(0x88, 400, 300);
+        let r = detect_drift(&base, &cur, "shifted", 3, &DriftConfig::default());
+        assert!(r.any_stale(), "{}", r.render());
+        let b = &r.branches[0];
+        assert!(b.stale);
+        assert!(b.tv_distance > 0.9, "tv {}", b.tv_distance);
+        assert!(r.render().contains("STALE"));
+    }
+
+    #[test]
+    fn under_observed_branches_are_not_compared() {
+        let base = agg_with_latencies(0x88, 40, 300);
+        let cur = agg_with_latencies(0x88, 400, 4); // Too few samples.
+        let r = detect_drift(&base, &cur, "sparse", 1, &DriftConfig::default());
+        assert!(r.branches.is_empty());
+    }
+
+    #[test]
+    fn delinquency_share_shift_is_flagged() {
+        let mut base = agg_with_latencies(0x88, 40, 300);
+        base.pc_misses.insert(0x24, [0, 0, 0, 90]);
+        base.pc_misses.insert(0x48, [0, 0, 0, 10]);
+        let mut cur = agg_with_latencies(0x88, 40, 300);
+        cur.pc_misses.insert(0x24, [0, 0, 0, 30]);
+        cur.pc_misses.insert(0x48, [0, 0, 0, 70]);
+        let r = detect_drift(&base, &cur, "reranked", 1, &DriftConfig::default());
+        assert!(r.loads.iter().any(|l| l.pc == 0x48 && l.stale));
+        assert!(r.loads.iter().any(|l| l.pc == 0x24 && l.stale));
+    }
+
+    #[test]
+    fn tv_distance_bounds() {
+        assert_eq!(tv_distance(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert!((tv_distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(tv_distance(&[], &[]), 0.0);
+    }
+}

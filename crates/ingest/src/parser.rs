@@ -1,0 +1,491 @@
+//! Line-oriented parser for `perf script` textual output.
+//!
+//! Accepts the subset of `perf script` a PEBS + LBR profiling session
+//! produces (and that [`apt_cpu::perfscript`] exports):
+//!
+//! ```text
+//! # apt-get perf script v1
+//! # stats: instructions=81236 cycles=312200 branches=4100 taken_branches=4000
+//! aptgetsim     0 [000]     0.000112: cpu/branch-stack/: 0x88/0x80/P/-/-/12 0x88/0x80/P/-/-/0
+//! aptgetsim     0 [000]     0.000105: cpu/mem-loads,ldlat=30/P: 0x24 weight: 120 lvl: RAM
+//! ```
+//!
+//! Error handling follows the two failure modes of real dump files:
+//!
+//! * **Unknown event kinds** (`cycles`, `instructions`, context-switch
+//!   records, …) are *skipped* and counted — `perf script` interleaves
+//!   whatever events were recorded, and ingestion must not require a
+//!   pre-filtered dump.
+//! * **Truncated or malformed records** of a *known* kind are hard
+//!   errors carrying the 1-based line number and the byte offset of the
+//!   offending line — a cut-off dump silently dropping its tail would
+//!   bias every downstream distribution.
+//!
+//! Timestamps are the absolute cycle count at a fictional 1 MHz clock
+//! (`sec.usec`, so `cycle = sec × 10⁶ + usec` exactly — see the export
+//! module docs). LBR entries arrive newest-first with per-entry cycle
+//! deltas; the parser reconstructs absolute cycles from the line
+//! timestamp backwards and stores snapshots oldest-first, the order the
+//! analysis layer expects.
+
+use std::fmt;
+use std::path::Path;
+
+use apt_cpu::{LbrEntry, PebsRecord, PerfStats, ProfileData};
+use apt_mem::Level;
+
+use crate::remap::PcRemapper;
+
+/// A hard parse failure, located to the byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Byte offset of the start of the offending line within the input.
+    pub byte_offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {} (byte {}): {}",
+            self.line, self.byte_offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// [`parse_file`] failures: I/O or parse.
+#[derive(Debug)]
+pub enum IngestError {
+    Io(std::io::Error),
+    Parse(ParseError),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "{e}"),
+            IngestError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<ParseError> for IngestError {
+    fn from(e: ParseError) -> IngestError {
+        IngestError::Parse(e)
+    }
+}
+
+/// The decoded dump.
+#[derive(Debug, Clone, Default)]
+pub struct Ingested {
+    /// LBR snapshots + PEBS records, in per-stream encounter order.
+    pub profile: ProfileData,
+    /// Counters from the `# stats:` header comment, when present (real
+    /// `perf script` dumps lack it; the simulator's exports carry it).
+    pub stats: Option<PerfStats>,
+    /// Event lines of kinds ingestion does not consume.
+    pub skipped_unknown: usize,
+    /// PEBS records / LBR entries whose PC the remapper rejected.
+    pub skipped_unmapped: usize,
+    /// Event lines consumed into `profile`.
+    pub events: usize,
+}
+
+impl Ingested {
+    /// The header counters, or zeroed stats when the dump had none.
+    pub fn stats_or_default(&self) -> PerfStats {
+        self.stats.unwrap_or_default()
+    }
+}
+
+struct Cursor<'a> {
+    line: usize,
+    byte_offset: usize,
+    text: &'a str,
+}
+
+impl Cursor<'_> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            byte_offset: self.byte_offset,
+            message: message.into(),
+        }
+    }
+
+    fn context(&self) -> String {
+        let head: String = self.text.chars().take(60).collect();
+        if head.len() < self.text.len() {
+            format!("`{head}…`")
+        } else {
+            format!("`{head}`")
+        }
+    }
+}
+
+/// Parses a whole dump. See the module docs for the accepted grammar.
+pub fn parse_str(text: &str, remap: &dyn PcRemapper) -> Result<Ingested, ParseError> {
+    let mut out = Ingested::default();
+    let mut offset = 0usize;
+    for (i, raw_line) in text.split('\n').enumerate() {
+        let cur = Cursor {
+            line: i + 1,
+            byte_offset: offset,
+            text: raw_line.trim_end_matches('\r'),
+        };
+        offset += raw_line.len() + 1;
+        parse_line(&cur, remap, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Reads and parses a dump file.
+pub fn parse_file(path: impl AsRef<Path>, remap: &dyn PcRemapper) -> Result<Ingested, IngestError> {
+    let text = std::fs::read_to_string(path).map_err(IngestError::Io)?;
+    Ok(parse_str(&text, remap)?)
+}
+
+fn parse_line(
+    cur: &Cursor<'_>,
+    remap: &dyn PcRemapper,
+    out: &mut Ingested,
+) -> Result<(), ParseError> {
+    let line = cur.text;
+    if line.trim().is_empty() {
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("# stats:") {
+        out.stats = Some(parse_stats(cur, rest)?);
+        return Ok(());
+    }
+    if line.starts_with('#') {
+        return Ok(()); // Comment / header.
+    }
+
+    // Event framing: `comm pid [cpu] TIME: EVENT: payload…`.
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    if tokens.len() < 5 {
+        return Err(cur.err(format!(
+            "truncated event line: expected `comm pid [cpu] time: event: …`, got {}",
+            cur.context()
+        )));
+    }
+    let cycle = parse_timestamp(cur, tokens[3])?;
+    let Some(event) = tokens[4].strip_suffix(':') else {
+        return Err(cur.err(format!(
+            "malformed event field `{}` (missing trailing `:`)",
+            tokens[4]
+        )));
+    };
+    let payload = &tokens[5..];
+
+    if event.contains("mem-loads") {
+        parse_mem_loads(cur, cycle, payload, remap, out)?;
+        out.events += 1;
+    } else if event.contains("branch-stack") || event.contains("branches") {
+        parse_branch_stack(cur, cycle, payload, remap, out)?;
+        out.events += 1;
+    } else {
+        out.skipped_unknown += 1;
+    }
+    Ok(())
+}
+
+fn parse_stats(cur: &Cursor<'_>, rest: &str) -> Result<PerfStats, ParseError> {
+    let mut stats = PerfStats::default();
+    for kv in rest.split_whitespace() {
+        let Some((key, value)) = kv.split_once('=') else {
+            return Err(cur.err(format!("malformed stats field `{kv}` (expected key=value)")));
+        };
+        let value: u64 = value.parse().map_err(|_| {
+            cur.err(format!(
+                "stats field `{key}` has non-numeric value `{value}`"
+            ))
+        })?;
+        match key {
+            "instructions" => stats.instructions = value,
+            "cycles" => stats.cycles = value,
+            "branches" => stats.branches = value,
+            "taken_branches" => stats.taken_branches = value,
+            _ => {} // Forward compatibility: ignore unknown counters.
+        }
+    }
+    Ok(stats)
+}
+
+/// `sec.usec` at the 1 MHz fiction: `cycle = sec × 10⁶ + usec`.
+fn parse_timestamp(cur: &Cursor<'_>, tok: &str) -> Result<u64, ParseError> {
+    let bad = || {
+        cur.err(format!(
+            "malformed timestamp `{tok}` (expected `sec.usec:`)"
+        ))
+    };
+    let t = tok.strip_suffix(':').ok_or_else(bad)?;
+    let (sec, usec) = t.split_once('.').ok_or_else(bad)?;
+    if usec.len() != 6 {
+        return Err(bad());
+    }
+    let sec: u64 = sec.parse().map_err(|_| bad())?;
+    let usec: u64 = usec.parse().map_err(|_| bad())?;
+    Ok(sec * 1_000_000 + usec)
+}
+
+/// Hex instruction pointer, `0x` prefix optional (`perf` prints bare hex).
+fn parse_pc(cur: &Cursor<'_>, tok: &str) -> Result<u64, ParseError> {
+    let digits = tok
+        .strip_prefix("0x")
+        .or_else(|| tok.strip_prefix("0X"))
+        .unwrap_or(tok);
+    u64::from_str_radix(digits, 16)
+        .map_err(|_| cur.err(format!("malformed instruction pointer `{tok}`")))
+}
+
+/// `lvl:` → [`Level`]. Perf's `data_src` naming varies across kernels;
+/// unknown names fall back to classifying by the sampled load weight
+/// (latency in cycles), the same signal `ldlat` filters on.
+fn parse_level(name: &str, weight: u64) -> Level {
+    match name {
+        "L1" => Level::L1,
+        "L2" => Level::L2,
+        "L3" | "LLC" => Level::Llc,
+        "RAM" | "DRAM" | "LocRAM" | "RemRAM" => Level::Dram,
+        _ => {
+            if weight >= 80 {
+                Level::Dram
+            } else if weight >= 30 {
+                Level::Llc
+            } else if weight >= 10 {
+                Level::L2
+            } else {
+                Level::L1
+            }
+        }
+    }
+}
+
+/// Payload: `IP weight: N lvl: LVL`.
+fn parse_mem_loads(
+    cur: &Cursor<'_>,
+    cycle: u64,
+    payload: &[&str],
+    remap: &dyn PcRemapper,
+    out: &mut Ingested,
+) -> Result<(), ParseError> {
+    let [ip, w_key, w, l_key, lvl] = payload else {
+        return Err(cur.err(format!(
+            "truncated mem-loads record: expected `IP weight: N lvl: LVL`, got {} field(s) in {}",
+            payload.len(),
+            cur.context()
+        )));
+    };
+    if *w_key != "weight:" || *l_key != "lvl:" {
+        return Err(cur.err(format!(
+            "malformed mem-loads record: expected `weight:`/`lvl:` markers, got {}",
+            cur.context()
+        )));
+    }
+    let raw_pc = parse_pc(cur, ip)?;
+    let weight: u64 = w
+        .parse()
+        .map_err(|_| cur.err(format!("malformed mem-loads weight `{w}`")))?;
+    let served = parse_level(lvl, weight);
+    match remap.map_pc(raw_pc) {
+        Some(pc) => out.profile.pebs.push(PebsRecord { pc, served, cycle }),
+        None => out.skipped_unmapped += 1,
+    }
+    Ok(())
+}
+
+/// Payload: brstack entries newest-first, `from/to/mispred/in_tx/abort/
+/// cycles` (6+ fields, perf ≥ 4.10) or the compact `from/to/cycles`
+/// (3 fields). The cycles field is the delta to the next-older entry;
+/// `-` means unknown. The line timestamp is the newest entry's absolute
+/// cycle; older entries reconstruct backwards.
+fn parse_branch_stack(
+    cur: &Cursor<'_>,
+    cycle: u64,
+    payload: &[&str],
+    remap: &dyn PcRemapper,
+    out: &mut Ingested,
+) -> Result<(), ParseError> {
+    // (from, to, delta-to-next-older), newest first.
+    let mut newest_first: Vec<(u64, u64, u64)> = Vec::with_capacity(payload.len());
+    for entry in payload {
+        let fields: Vec<&str> = entry.split('/').collect();
+        let (from, to, cyc) = match fields.as_slice() {
+            [from, to, cyc] => (from, to, cyc),
+            [from, to, _mispred, _in_tx, _abort, cyc, ..] => (from, to, cyc),
+            _ => {
+                return Err(cur.err(format!(
+                    "malformed branch-stack entry `{entry}` (expected from/to/cyc or \
+                     from/to/M/T/A/cyc)"
+                )));
+            }
+        };
+        let delta = if *cyc == "-" {
+            0
+        } else {
+            cyc.parse().map_err(|_| {
+                cur.err(format!(
+                    "malformed branch-stack cycle count `{cyc}` in `{entry}`"
+                ))
+            })?
+        };
+        newest_first.push((parse_pc(cur, from)?, parse_pc(cur, to)?, delta));
+    }
+
+    // Absolute cycles: newest = line timestamp, each delta steps back.
+    let mut abs = cycle;
+    let mut sample: Vec<LbrEntry> = Vec::with_capacity(newest_first.len());
+    // The oldest (last printed) entry's own delta is unused by design.
+    for (i, &(from, to, _)) in newest_first.iter().enumerate() {
+        if i > 0 {
+            // The *previous* (newer) entry's delta spans to this one.
+            abs = abs.saturating_sub(newest_first[i - 1].2);
+        }
+        match (remap.map_pc(from), remap.map_pc(to)) {
+            (Some(f), Some(t)) => sample.push(LbrEntry {
+                from: f,
+                to: t,
+                cycle: abs,
+            }),
+            _ => out.skipped_unmapped += 1,
+        }
+    }
+    sample.reverse(); // Analysis expects oldest-first.
+    out.profile.lbr_samples.push(sample);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::remap::{IdentityRemap, OffsetRemap};
+    use apt_lir::Pc;
+
+    const CLEAN: &str = "\
+# apt-get perf script v1
+# stats: instructions=81236 cycles=312200 branches=4100 taken_branches=4000
+aptgetsim     0 [000]     0.000105: cpu/mem-loads,ldlat=30/P: 0x24 weight: 120 lvl: RAM
+aptgetsim     0 [000]     0.000112: cpu/branch-stack/: 0x88/0x80/P/-/-/12 0x88/0x80/P/-/-/0
+";
+
+    #[test]
+    fn parses_a_clean_dump() {
+        let r = parse_str(CLEAN, &IdentityRemap).expect("clean dump parses");
+        let stats = r.stats.expect("stats header present");
+        assert_eq!(stats.instructions, 81236);
+        assert_eq!(stats.taken_branches, 4000);
+        assert_eq!(r.events, 2);
+        assert_eq!(r.skipped_unknown, 0);
+        assert_eq!(r.profile.pebs.len(), 1);
+        assert_eq!(r.profile.pebs[0].pc, Pc(0x24));
+        assert_eq!(r.profile.pebs[0].cycle, 105);
+        assert_eq!(r.profile.pebs[0].served, apt_mem::Level::Dram);
+        // Newest at cycle 112, delta 12 back to the older entry; stored
+        // oldest-first.
+        assert_eq!(
+            r.profile.lbr_samples,
+            vec![vec![
+                LbrEntry {
+                    from: Pc(0x88),
+                    to: Pc(0x80),
+                    cycle: 100,
+                },
+                LbrEntry {
+                    from: Pc(0x88),
+                    to: Pc(0x80),
+                    cycle: 112,
+                },
+            ]]
+        );
+    }
+
+    #[test]
+    fn unknown_events_are_skipped_and_counted() {
+        let text = format!(
+            "{CLEAN}swapper     0 [001]     0.000200: cycles: ffffffff81000000 [unknown]\n"
+        );
+        let r = parse_str(&text, &IdentityRemap).unwrap();
+        assert_eq!(r.skipped_unknown, 1);
+        assert_eq!(r.events, 2);
+    }
+
+    #[test]
+    fn truncated_mem_loads_is_an_error_with_location() {
+        let text = "aptgetsim 0 [000] 0.000105: cpu/mem-loads,ldlat=30/P: 0x24 weight:";
+        let e = parse_str(text, &IdentityRemap).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert_eq!(e.byte_offset, 0);
+        assert!(e.message.contains("truncated mem-loads"), "{e}");
+    }
+
+    #[test]
+    fn error_locations_are_exact() {
+        let text = format!("{CLEAN}aptgetsim 0 [000] 0.000200: cpu/branch-stack/: 0x88/0x80\n");
+        let e = parse_str(&text, &IdentityRemap).unwrap_err();
+        assert_eq!(e.line, 5);
+        assert_eq!(e.byte_offset, CLEAN.len());
+        assert!(e.message.contains("branch-stack entry"), "{e}");
+    }
+
+    #[test]
+    fn compact_three_field_brstack_entries_parse() {
+        let text = "aptgetsim 0 [000] 0.000050: cpu/branch-stack/: 0x88/0x80/7 0x88/0x80/-\n";
+        let r = parse_str(text, &IdentityRemap).unwrap();
+        let s = &r.profile.lbr_samples[0];
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[1].cycle, 50);
+        assert_eq!(s[0].cycle, 43);
+    }
+
+    #[test]
+    fn empty_branch_stack_is_preserved() {
+        let text = "aptgetsim 0 [000] 0.000050: cpu/branch-stack/:\n";
+        let r = parse_str(text, &IdentityRemap).unwrap();
+        assert_eq!(r.profile.lbr_samples, vec![Vec::<LbrEntry>::new()]);
+    }
+
+    #[test]
+    fn remapper_drops_foreign_addresses() {
+        let text = "\
+aptgetsim 0 [000] 0.000105: cpu/mem-loads,ldlat=30/P: 0x5024 weight: 120 lvl: RAM
+aptgetsim 0 [000] 0.000200: cpu/mem-loads,ldlat=30/P: 0x24 weight: 120 lvl: RAM
+";
+        let r = parse_str(text, &OffsetRemap { base: 0x5000 }).unwrap();
+        // 0x5024 − 0x5000 = 0x24 maps; the bare 0x24 is below the base.
+        assert_eq!(r.profile.pebs.len(), 1);
+        assert_eq!(r.profile.pebs[0].pc, Pc(0x24));
+        assert_eq!(r.skipped_unmapped, 1);
+    }
+
+    #[test]
+    fn unknown_level_names_classify_by_weight() {
+        assert_eq!(parse_level("N/A", 200), Level::Dram);
+        assert_eq!(parse_level("N/A", 40), Level::Llc);
+        assert_eq!(parse_level("N/A", 12), Level::L2);
+        assert_eq!(parse_level("N/A", 3), Level::L1);
+        assert_eq!(parse_level("LFB", 250), Level::Dram);
+    }
+
+    #[test]
+    fn malformed_timestamp_is_an_error() {
+        let text = "aptgetsim 0 [000] abc: cpu/branch-stack/: 0x8/0x4/1\n";
+        let e = parse_str(text, &IdentityRemap).unwrap_err();
+        assert!(e.message.contains("timestamp"), "{e}");
+    }
+
+    #[test]
+    fn stats_header_rejects_garbage_values() {
+        let e = parse_str("# stats: instructions=lots\n", &IdentityRemap).unwrap_err();
+        assert!(e.message.contains("non-numeric"), "{e}");
+    }
+}

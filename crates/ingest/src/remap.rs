@@ -1,0 +1,89 @@
+//! Mapping raw profile instruction pointers onto module PCs.
+//!
+//! A real `perf script` dump carries *runtime* addresses: the module's
+//! PCs plus an ASLR slide, or symbols that need a table lookup. The
+//! parser runs every PC through a [`PcRemapper`] before decoding, so the
+//! same parsing code serves simulator exports (identity) and
+//! production-style dumps (slide / table).
+
+use std::collections::BTreeMap;
+
+use apt_lir::Pc;
+
+/// Maps a raw instruction pointer from the dump to a module PC.
+pub trait PcRemapper {
+    /// `None` means the address does not belong to the profiled module
+    /// (another DSO, the kernel); the parser drops such records and
+    /// counts them in [`crate::Ingested::skipped_unmapped`].
+    fn map_pc(&self, raw: u64) -> Option<Pc>;
+}
+
+/// The identity mapping — simulator exports carry module PCs directly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityRemap;
+
+impl PcRemapper for IdentityRemap {
+    fn map_pc(&self, raw: u64) -> Option<Pc> {
+        Some(Pc(raw))
+    }
+}
+
+/// Subtracts a load base (ASLR slide): `module PC = raw − base`.
+/// Addresses below the base don't belong to the module.
+#[derive(Debug, Clone, Copy)]
+pub struct OffsetRemap {
+    /// The mapped base address of the profiled module.
+    pub base: u64,
+}
+
+impl PcRemapper for OffsetRemap {
+    fn map_pc(&self, raw: u64) -> Option<Pc> {
+        raw.checked_sub(self.base).map(Pc)
+    }
+}
+
+/// An explicit address table (e.g. from a symbolizer); addresses absent
+/// from the table are dropped.
+#[derive(Debug, Clone, Default)]
+pub struct TableRemap {
+    map: BTreeMap<u64, u64>,
+}
+
+impl TableRemap {
+    /// Builds the table from `(raw, module PC)` pairs.
+    pub fn new(pairs: impl IntoIterator<Item = (u64, u64)>) -> TableRemap {
+        TableRemap {
+            map: pairs.into_iter().collect(),
+        }
+    }
+}
+
+impl PcRemapper for TableRemap {
+    fn map_pc(&self, raw: u64) -> Option<Pc> {
+        self.map.get(&raw).copied().map(Pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_passes_through() {
+        assert_eq!(IdentityRemap.map_pc(0x1234), Some(Pc(0x1234)));
+    }
+
+    #[test]
+    fn offset_subtracts_the_slide() {
+        let r = OffsetRemap { base: 0x5000 };
+        assert_eq!(r.map_pc(0x5010), Some(Pc(0x10)));
+        assert_eq!(r.map_pc(0x4fff), None);
+    }
+
+    #[test]
+    fn table_maps_known_addresses_only() {
+        let r = TableRemap::new([(0x9000, 0x10), (0x9004, 0x14)]);
+        assert_eq!(r.map_pc(0x9004), Some(Pc(0x14)));
+        assert_eq!(r.map_pc(0x9008), None);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for the cross-run aggregate merge: aggregating shards
+//! and merging must equal aggregating the concatenated profile, under
+//! any association, and the on-disk codec must be the identity.
+
+use apt_cpu::{LbrEntry, PebsRecord, PerfStats, ProfileData};
+use apt_ingest::{
+    db::{decode, encode},
+    AggregateProfile, ProfileDb,
+};
+use apt_lir::Pc;
+use apt_mem::Level;
+use proptest::prelude::*;
+
+/// Builds a profile from primitive generator output: `steps` become one
+/// LBR snapshot per chunk of 8 (PC picked from a 4-branch pool, cycles
+/// strictly increasing), `loads` become PEBS records over a 2-load pool
+/// with all four serving levels.
+fn build_profile(steps: &[(u8, u8)], loads: &[(u8, u8)]) -> ProfileData {
+    let mut lbr_samples = Vec::new();
+    for chunk in steps.chunks(8) {
+        let mut cycle = 0u64;
+        let sample: Vec<LbrEntry> = chunk
+            .iter()
+            .map(|&(pc_idx, delta)| {
+                cycle += 1 + delta as u64;
+                let pc = 0x80 + (pc_idx as u64 % 4) * 4;
+                LbrEntry {
+                    from: Pc(pc),
+                    to: Pc(pc + 4),
+                    cycle,
+                }
+            })
+            .collect();
+        lbr_samples.push(sample);
+    }
+    let pebs = loads
+        .iter()
+        .enumerate()
+        .map(|(i, &(pc_idx, lvl))| PebsRecord {
+            pc: Pc(0x24 + (pc_idx as u64 % 2) * 0x24),
+            served: match lvl % 4 {
+                0 => Level::L1,
+                1 => Level::L2,
+                2 => Level::Llc,
+                _ => Level::Dram,
+            },
+            cycle: i as u64 * 3,
+        })
+        .collect();
+    ProfileData { lbr_samples, pebs }
+}
+
+fn stats(seed: u64) -> PerfStats {
+    PerfStats {
+        instructions: seed * 911 + 1,
+        cycles: seed * 3313 + 7,
+        branches: seed * 17,
+        taken_branches: seed * 13,
+        ..Default::default()
+    }
+}
+
+fn add_stats(a: &PerfStats, b: &PerfStats) -> PerfStats {
+    PerfStats {
+        instructions: a.instructions + b.instructions,
+        cycles: a.cycles + b.cycles,
+        branches: a.branches + b.branches,
+        taken_branches: a.taken_branches + b.taken_branches,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// merge(agg(A), agg(B)) == agg(A ++ B): two short profiling runs
+    /// aggregated separately and merged are indistinguishable from one
+    /// long run.
+    #[test]
+    fn merge_equals_concatenation(
+        steps_a in prop::collection::vec((0u8..4, 0u8..40), 0..48),
+        loads_a in prop::collection::vec((0u8..2, 0u8..4), 0..24),
+        steps_b in prop::collection::vec((0u8..4, 0u8..40), 0..48),
+        loads_b in prop::collection::vec((0u8..2, 0u8..4), 0..24),
+    ) {
+        let (pa, pb) = (build_profile(&steps_a, &loads_a), build_profile(&steps_b, &loads_b));
+        let (sa, sb) = (stats(3), stats(11));
+
+        let mut merged = AggregateProfile::from_profile(&pa, &sa);
+        merged.merge(&AggregateProfile::from_profile(&pb, &sb));
+
+        let mut concat = pa.clone();
+        concat.merge(pb.clone());
+        let direct = AggregateProfile::from_profile(&concat, &add_stats(&sa, &sb));
+
+        prop_assert_eq!(merged, direct);
+    }
+
+    /// (a + b) + c == a + (b + c): the merge is associative, so any
+    /// merge tree over the same epochs yields the same baseline.
+    #[test]
+    fn merge_is_associative(
+        steps in prop::collection::vec((0u8..4, 0u8..40), 0..96),
+        loads in prop::collection::vec((0u8..2, 0u8..4), 0..36),
+        cut_a in 0usize..96,
+        cut_b in 0usize..96,
+    ) {
+        let (mut ca, mut cb) = (cut_a.min(steps.len()), cut_b.min(steps.len()));
+        if ca > cb {
+            std::mem::swap(&mut ca, &mut cb);
+        }
+        let lc = loads.len() / 3;
+        let parts = [
+            AggregateProfile::from_profile(&build_profile(&steps[..ca], &loads[..lc]), &stats(1)),
+            AggregateProfile::from_profile(&build_profile(&steps[ca..cb], &loads[lc..2 * lc]), &stats(2)),
+            AggregateProfile::from_profile(&build_profile(&steps[cb..], &loads[2 * lc..]), &stats(3)),
+        ];
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        let mut tail = parts[1].clone();
+        tail.merge(&parts[2]);
+        let mut right = parts[0].clone();
+        right.merge(&tail);
+        prop_assert_eq!(left, right);
+    }
+
+    /// decode(encode(db)) == db for arbitrary aggregates: every counter
+    /// round-trips exactly through the `APTDB1` codec.
+    #[test]
+    fn db_codec_is_identity(
+        steps in prop::collection::vec((0u8..4, 0u8..40), 0..64),
+        loads in prop::collection::vec((0u8..2, 0u8..4), 0..24),
+    ) {
+        let mut db = ProfileDb::new();
+        db.push_epoch(
+            "round-trip",
+            AggregateProfile::from_profile(&build_profile(&steps, &loads), &stats(5)),
+        );
+        db.push_epoch("empty", AggregateProfile::default());
+        prop_assert_eq!(decode(&encode(&db)), Some(db));
+    }
+}

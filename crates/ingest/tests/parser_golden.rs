@@ -1,0 +1,89 @@
+//! Golden-file parser tests: pinned `perf script` dumps under
+//! `tests/fixtures/`, decoded structure asserted field by field. These
+//! freeze the accepted grammar — a parser change that reshapes any
+//! decoded value or shifts an error location fails here first.
+
+use apt_ingest::{parse_str, IdentityRemap};
+use apt_lir::Pc;
+use apt_mem::Level;
+
+const CLEAN: &str = include_str!("fixtures/clean.perf");
+const INTERLEAVED: &str = include_str!("fixtures/interleaved.perf");
+const TRUNCATED: &str = include_str!("fixtures/truncated.perf");
+
+#[test]
+fn clean_dump_decodes_exactly() {
+    let r = parse_str(CLEAN, &IdentityRemap).expect("clean dump parses");
+
+    let stats = r.stats.expect("stats header present");
+    assert_eq!(stats.instructions, 81236);
+    assert_eq!(stats.cycles, 312_200);
+    assert_eq!(stats.branches, 4100);
+    assert_eq!(stats.taken_branches, 4000);
+
+    assert_eq!(r.events, 5);
+    assert_eq!(r.skipped_unknown, 0);
+    assert_eq!(r.skipped_unmapped, 0);
+
+    // PEBS records in encounter order, levels decoded from `lvl:`.
+    let pebs: Vec<(u64, Level, u64)> = r
+        .profile
+        .pebs
+        .iter()
+        .map(|p| (p.pc.0, p.served, p.cycle))
+        .collect();
+    assert_eq!(
+        pebs,
+        vec![
+            (0x24, Level::Dram, 105),
+            (0x48, Level::Llc, 140),
+            (0x24, Level::L2, 200),
+        ]
+    );
+
+    // LBR snapshots oldest-first, absolute cycles reconstructed from
+    // the line timestamp backwards through the printed deltas.
+    assert_eq!(r.profile.lbr_samples.len(), 2);
+    let flat: Vec<Vec<(u64, u64, u64)>> = r
+        .profile
+        .lbr_samples
+        .iter()
+        .map(|s| s.iter().map(|e| (e.from.0, e.to.0, e.cycle)).collect())
+        .collect();
+    assert_eq!(flat[0], vec![(0x88, 0x80, 100), (0x88, 0x80, 112)]);
+    assert_eq!(
+        flat[1],
+        vec![(0x88, 0x80, 152), (0x88, 0x80, 160), (0x90, 0x10, 180)]
+    );
+}
+
+#[test]
+fn interleaved_unknown_events_are_tolerated() {
+    let r = parse_str(INTERLEAVED, &IdentityRemap).expect("interleaved dump parses");
+    // `cycles`, `sched:sched_switch` and `instructions` lines are
+    // skipped; blank lines and comments are free.
+    assert_eq!(r.skipped_unknown, 3);
+    assert_eq!(r.events, 2);
+    assert_eq!(r.profile.pebs.len(), 1);
+    assert_eq!(r.profile.pebs[0].pc, Pc(0x24));
+    assert_eq!(r.profile.lbr_samples.len(), 1);
+    assert_eq!(r.profile.lbr_samples[0].len(), 1);
+    assert_eq!(r.profile.lbr_samples[0][0].cycle, 140);
+    assert_eq!(r.stats.expect("stats").instructions, 1000);
+}
+
+#[test]
+fn truncated_dump_errors_with_line_and_byte_offset() {
+    let e = parse_str(TRUNCATED, &IdentityRemap).expect_err("truncated dump must not parse");
+    assert_eq!(e.line, 4);
+    // Byte offset of the start of line 4, independently recomputed.
+    let expected: usize = TRUNCATED.split('\n').take(3).map(|l| l.len() + 1).sum();
+    assert_eq!(e.byte_offset, expected);
+    assert!(e.message.contains("truncated mem-loads"), "{e}");
+    // And the rendering carries both coordinates.
+    let shown = e.to_string();
+    assert!(
+        shown.starts_with(&format!("line 4 (byte {expected})")),
+        "{shown}"
+    );
+}

@@ -38,9 +38,13 @@ impl Histogram {
         })
     }
 
-    /// The latency at the centre of bin `i`.
+    /// The latency at the centre of bin `i`, saturating at `u64::MAX` for
+    /// degenerate geometries (extreme value ranges make
+    /// `min + i × bin_width` overflow for the last catch-all bin).
     pub fn bin_center(&self, i: usize) -> u64 {
-        self.min + self.bin_width * i as u64 + self.bin_width / 2
+        self.min
+            .saturating_add(self.bin_width.saturating_mul(i as u64))
+            .saturating_add(self.bin_width / 2)
     }
 
     /// Total mass.
@@ -143,5 +147,76 @@ mod tests {
         let h = Histogram::build(&[1, 1, 1, 9], 4, 1.0).unwrap();
         let a = h.ascii(10);
         assert!(a.contains('#'));
+    }
+
+    #[test]
+    fn zero_bins_is_none() {
+        assert!(Histogram::build(&[1, 2, 3], 0, 1.0).is_none());
+    }
+
+    #[test]
+    fn all_equal_values_collapse_to_one_bin() {
+        // A constant distribution must not panic or lose mass: the range
+        // degenerates to [v, v+1) and everything lands in bin 0.
+        let h = Histogram::build(&[42; 100], 16, 1.0).unwrap();
+        assert_eq!(h.min, 42);
+        assert_eq!(h.bin_width, 1);
+        assert_eq!(h.total(), 100.0);
+        assert_eq!(h.counts[0], 100.0);
+    }
+
+    #[test]
+    fn single_value_input() {
+        let h = Histogram::build(&[7], 8, 0.995).unwrap();
+        assert_eq!(h.total(), 1.0);
+        assert_eq!(h.min, 7);
+    }
+
+    #[test]
+    fn clip_quantile_zero_clips_to_the_minimum() {
+        // clip 0.0 collapses the range to [min, min+1); everything above
+        // min lands in the catch-all last bin, mass preserved.
+        let values: Vec<u64> = (0..50).map(|i| i * 10).collect();
+        let h = Histogram::build(&values, 10, 0.0).unwrap();
+        assert_eq!(h.min, 0);
+        assert_eq!(h.bin_width, 1);
+        assert_eq!(h.total(), 50.0);
+        assert_eq!(h.counts[0], 1.0); // Only the minimum itself.
+        assert_eq!(*h.counts.last().unwrap(), 49.0);
+    }
+
+    #[test]
+    fn clip_quantile_one_spans_the_full_range() {
+        let values: Vec<u64> = vec![10, 20, 1000];
+        let h = Histogram::build(&values, 10, 1.0).unwrap();
+        assert_eq!(h.total(), 3.0);
+        // The last value must land in a real (not clipped) bin.
+        let last_bin = ((1000 - 10) / h.bin_width) as usize;
+        assert_eq!(h.counts[last_bin.min(h.counts.len() - 1)], 1.0);
+    }
+
+    #[test]
+    fn out_of_range_clip_quantile_is_clamped() {
+        // Out-of-range quantiles behave like 0.0 / 1.0 instead of
+        // indexing out of bounds.
+        let values: Vec<u64> = (0..20).collect();
+        let lo = Histogram::build(&values, 4, -3.0).unwrap();
+        let hi = Histogram::build(&values, 4, 7.5).unwrap();
+        assert_eq!(lo.total(), 20.0);
+        assert_eq!(hi.total(), 20.0);
+        assert_eq!(
+            hi.bin_width,
+            Histogram::build(&values, 4, 1.0).unwrap().bin_width
+        );
+    }
+
+    #[test]
+    fn extreme_range_does_not_overflow_bin_center() {
+        // u64::MAX-wide range: nbins ≈ target_bins+1 and the last bin's
+        // centre saturates instead of overflowing.
+        let h = Histogram::build(&[0, u64::MAX], 4, 1.0).unwrap();
+        assert_eq!(h.total(), 2.0);
+        let last = h.counts.len() - 1;
+        assert!(h.bin_center(last) >= h.bin_center(last - 1));
     }
 }

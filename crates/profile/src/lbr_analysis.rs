@@ -72,7 +72,28 @@ pub struct TripCountStats {
 }
 
 impl TripCountStats {
-    /// True if there is enough evidence to trust `mean`.
+    /// True if there is enough evidence to trust `mean` (and
+    /// `weighted_mean`) for the Eq. 2 site decision.
+    ///
+    /// Two conditions, both derived from how the 32-entry LBR truncates
+    /// observations (§3.6):
+    ///
+    /// * **`runs >= 4`** — each fully observed run is one trip-count
+    ///   observation. LBR snapshots are sparse (one per sampling period),
+    ///   so small run counts are common for loops that execute rarely;
+    ///   below four observations a single unlucky snapshot (e.g. a
+    ///   boundary-adjacent short run) would swing the mean by 25 % or
+    ///   more, enough to flip Eq. 2's `trip_count < k × distance` test.
+    ///   Four is deliberately low: profiles are cheap but sparse, and the
+    ///   cost of a wrong "unreliable" verdict is only falling back to the
+    ///   conservative inner-loop site.
+    /// * **`runs > saturated_runs`** — a *saturated* snapshot (all 32
+    ///   entries from one loop) proves the trip count is ≥ 32 but not
+    ///   what it is. When saturated snapshots are at least as common as
+    ///   fully observed runs, the observed runs are a biased sample of
+    ///   the short tail and their mean badly underestimates the true
+    ///   trip count; callers should treat the loop as long-running
+    ///   instead (inner-loop prefetching is then always viable).
     pub fn reliable(&self) -> bool {
         self.runs >= 4 && self.runs > self.saturated_runs
     }
@@ -259,6 +280,38 @@ mod tests {
         let t = trip_counts(&samples, Pc(0x100));
         assert_eq!(t.runs, 4);
         assert!((t.mean - 3.0).abs() < 1e-12);
+        assert!(t.reliable());
+    }
+
+    #[test]
+    fn reliability_threshold_is_exactly_four_runs() {
+        // Both sides of the `runs >= 4` threshold: three observations of
+        // the same loop are not enough, the fourth tips it over.
+        let mk = || -> LbrSample { vec![e(0x200, 0), e(0x100, 1), e(0x100, 2), e(0x200, 3)] };
+        let three: Vec<LbrSample> = (0..3).map(|_| mk()).collect();
+        assert_eq!(trip_counts(&three, Pc(0x100)).runs, 3);
+        assert!(!trip_counts(&three, Pc(0x100)).reliable());
+        let four: Vec<LbrSample> = (0..4).map(|_| mk()).collect();
+        assert!(trip_counts(&four, Pc(0x100)).reliable());
+    }
+
+    #[test]
+    fn saturation_majority_defeats_reliability() {
+        // Both sides of `runs > saturated_runs`: with as many saturated
+        // snapshots as observed runs, the observed runs are a biased
+        // sample of the short tail — unreliable. One fewer saturated
+        // snapshot and the verdict flips.
+        let observed = || -> LbrSample { vec![e(0x200, 0), e(0x100, 1), e(0x100, 2), e(0x200, 3)] };
+        let saturated = || -> LbrSample { (0..LBR_ENTRIES as u64).map(|i| e(0x100, i)).collect() };
+        let mut samples: Vec<LbrSample> = (0..4).map(|_| observed()).collect();
+        samples.extend((0..4).map(|_| saturated()));
+        let t = trip_counts(&samples, Pc(0x100));
+        assert_eq!((t.runs, t.saturated_runs), (4, 4));
+        assert!(!t.reliable());
+
+        samples.pop();
+        let t = trip_counts(&samples, Pc(0x100));
+        assert_eq!((t.runs, t.saturated_runs), (4, 3));
         assert!(t.reliable());
     }
 

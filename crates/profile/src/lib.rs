@@ -21,6 +21,7 @@ pub mod hintfile;
 pub mod histogram;
 pub mod lbr_analysis;
 pub mod model;
+pub mod sketch;
 
 pub use cwt::{find_peaks_cwt, Peak};
 pub use delinquent::{rank_delinquent_loads, DelinquentLoad};
@@ -28,6 +29,7 @@ pub use hintfile::{parse as parse_hints, serialize_hints, HintRecord};
 pub use histogram::Histogram;
 pub use lbr_analysis::{iteration_latencies, trip_counts, trip_counts_between, TripCountStats};
 pub use model::{
-    analyze, analyze_traced, latency_distribution, AnalysisConfig, AnalysisResult, LoadHint,
-    PeakSummary,
+    analyze, analyze_traced, eq1_distance, eq2_site, latency_distribution, latency_peaks,
+    AnalysisConfig, AnalysisResult, LoadHint, PeakSummary, SiteDecision, SiteNote,
 };
+pub use sketch::LatencySketch;

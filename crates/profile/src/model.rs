@@ -11,7 +11,9 @@ use apt_trace::SpanRecorder;
 use crate::cwt::find_peaks_cwt;
 use crate::delinquent::{rank_delinquent_loads, DelinquentLoad};
 use crate::histogram::Histogram;
-use crate::lbr_analysis::{iteration_latencies, iteration_latencies_bounded, trip_counts_between};
+use crate::lbr_analysis::{
+    iteration_latencies, iteration_latencies_bounded, trip_counts_between, TripCountStats,
+};
 
 /// Tunables of the analysis.
 #[derive(Debug, Clone, Copy)]
@@ -245,6 +247,102 @@ fn derive_distance(peaks: &[PeakSummary], cfg: &AnalysisConfig) -> (f64, f64, u6
     (ic, mc, distance)
 }
 
+/// A structured §3.6 fallback reason attached to a [`SiteDecision`];
+/// callers format it with the load's PC for human-readable notes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteNote {
+    /// The inner loop saturates the LBR: its trip count is unmeasurably
+    /// large, so the inner site stays and no trip count is reported.
+    SaturatedInner,
+    /// The outer loop's latency distribution had too few observations;
+    /// the inner distance was scaled by the trip count instead.
+    OuterUnmeasuredScaled {
+        /// The scaled distance chosen.
+        distance: u64,
+    },
+}
+
+/// The outcome of Eq. 2 for a load inside a nested loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiteDecision {
+    /// Chosen injection site.
+    pub site: Site,
+    /// Inner iterations prefetched per outer iteration (outer site only).
+    pub fanout: u64,
+    /// Measured trip count, when reliable.
+    pub trip_count: Option<f64>,
+    /// Prefetch distance in iterations of the chosen site's loop.
+    pub distance: u64,
+    /// Structural-fallback inner distance (capped by short trip counts).
+    pub inner_fallback: u64,
+    /// Fallback reason, if any.
+    pub note: Option<SiteNote>,
+}
+
+/// Eq. 2 (§3.3): decide the injection site for a load in a nested loop
+/// from its inner-loop trip-count statistics.
+///
+/// `inner_distance` is the Eq. 1 distance on the inner loop;
+/// `outer_hist` lazily supplies the *outer* loop's latency histogram
+/// (unsmoothed), or `None` when it is unmeasured (too few observations) —
+/// the distance is then scaled by the trip count instead of re-derived.
+///
+/// Pure: both the sample-driven path ([`analyze`]) and the profile-
+/// database path (`apt-ingest`'s aggregate analysis) call this, so the
+/// two pipelines cannot drift apart on the site decision.
+pub fn eq2_site(
+    trips: &TripCountStats,
+    inner_distance: u64,
+    cfg: &AnalysisConfig,
+    outer_hist: impl FnOnce() -> Option<Histogram>,
+) -> SiteDecision {
+    let mut dec = SiteDecision {
+        site: Site::Inner,
+        fanout: 1,
+        trip_count: None,
+        distance: inner_distance,
+        inner_fallback: inner_distance,
+        note: None,
+    };
+    let long_tail = trips.saturated_runs * 8 >= trips.runs.max(1);
+    if long_tail {
+        // §3.6: LBR snapshots land wholly inside the inner loop — its
+        // trip count is large (at least for the iterations where the
+        // misses happen), so inner-loop prefetching is the right site
+        // and the outer latency is unmeasurable.
+        dec.note = Some(SiteNote::SaturatedInner);
+    } else if trips.reliable() {
+        dec.trip_count = Some(trips.weighted_mean);
+        // If outer injection turns out to be structurally impossible,
+        // fall back to the inner site with the distance capped by the
+        // short trip count (a longer distance would only emit clamped,
+        // useless prefetches).
+        let cap = ((trips.weighted_mean / 2.0).floor() as u64).max(1);
+        dec.inner_fallback = inner_distance.min(cap);
+        if trips.weighted_mean < cfg.k * inner_distance as f64 {
+            // Inner-loop prefetching cannot reach the coverage target:
+            // move to the outer loop.
+            dec.site = Site::Outer;
+            dec.fanout = (trips.weighted_mean.round() as u64).clamp(1, cfg.max_fanout);
+            // Recompute the distance against the *outer* loop's latency
+            // distribution (§3.3).
+            if let Some(h) = outer_hist() {
+                let ps = detect_peaks(&h.smoothed(cfg.smoothing), cfg);
+                let (_, _, od) = derive_distance(&ps, cfg);
+                dec.distance = od;
+            } else {
+                // Scale the inner distance by the trip count.
+                dec.distance = ((inner_distance as f64 / trips.weighted_mean).ceil() as u64)
+                    .clamp(1, cfg.max_distance);
+                dec.note = Some(SiteNote::OuterUnmeasuredScaled {
+                    distance: dec.distance,
+                });
+            }
+        }
+    }
+    dec
+}
+
 /// Runs the full §3.4 pipeline: PEBS → delinquent loads → LBR latency
 /// distributions → peaks → Eq. 1 distance → Eq. 2 site → hints.
 pub fn analyze(
@@ -401,49 +499,29 @@ pub fn analyze_traced(
             let outer_latch = forest.loops[outer_idx].latches[0];
             let outer_branch_pc = map.term_pc(iref.func, outer_latch);
             let trips = trip_counts_between(&profile.lbr_samples, bbl_branch, outer_branch_pc);
-            let long_tail = trips.saturated_runs * 8 >= trips.runs.max(1);
-            if long_tail {
-                // §3.6: LBR snapshots land wholly inside the inner loop —
-                // its trip count is large (at least for the iterations
-                // where the misses happen), so inner-loop prefetching is
-                // the right site and the outer latency is unmeasurable.
-                trip_count = None;
-                result.notes.push(format!(
+            let dec = eq2_site(&trips, inner_distance, cfg, || {
+                let outer_lats = iteration_latencies(&profile.lbr_samples, outer_branch_pc);
+                if outer_lats.len() >= cfg.min_observations {
+                    Histogram::build(&outer_lats, cfg.hist_bins, 0.995)
+                } else {
+                    None
+                }
+            });
+            site = dec.site;
+            fanout = dec.fanout;
+            trip_count = dec.trip_count;
+            distance = dec.distance;
+            inner_fallback = dec.inner_fallback;
+            match dec.note {
+                Some(SiteNote::SaturatedInner) => result.notes.push(format!(
                     "pc {}: inner loop saturates the LBR; staying inner",
                     d.pc
-                ));
-            } else if trips.reliable() {
-                trip_count = Some(trips.weighted_mean);
-                // If outer injection turns out to be structurally
-                // impossible, fall back to the inner site with the
-                // distance capped by the short trip count (a longer
-                // distance would only emit clamped, useless prefetches).
-                let cap = ((trips.weighted_mean / 2.0).floor() as u64).max(1);
-                inner_fallback = inner_distance.min(cap);
-                if trips.weighted_mean < cfg.k * distance as f64 {
-                    // Inner-loop prefetching cannot reach the coverage
-                    // target: move to the outer loop.
-                    site = Site::Outer;
-                    fanout = (trips.weighted_mean.round() as u64).clamp(1, cfg.max_fanout);
-                    // Recompute the distance against the *outer* loop's
-                    // latency distribution (§3.3).
-                    let outer_lats = iteration_latencies(&profile.lbr_samples, outer_branch_pc);
-                    if outer_lats.len() >= cfg.min_observations {
-                        if let Some(h) = Histogram::build(&outer_lats, cfg.hist_bins, 0.995) {
-                            let ps = detect_peaks(&h.smoothed(cfg.smoothing), cfg);
-                            let (_, _, od) = derive_distance(&ps, cfg);
-                            distance = od;
-                        }
-                    } else {
-                        // Scale the inner distance by the trip count.
-                        distance = ((distance as f64 / trips.weighted_mean).ceil() as u64)
-                            .clamp(1, cfg.max_distance);
-                        result.notes.push(format!(
-                            "pc {}: outer latency unmeasured; scaled distance to {}",
-                            d.pc, distance
-                        ));
-                    }
-                }
+                )),
+                Some(SiteNote::OuterUnmeasuredScaled { distance }) => result.notes.push(format!(
+                    "pc {}: outer latency unmeasured; scaled distance to {}",
+                    d.pc, distance
+                )),
+                None => {}
             }
         }
 

@@ -1,0 +1,76 @@
+//! Property tests for the weighted cross-run merge: a latency
+//! distribution sharded across any number of short runs and merged back
+//! must be indistinguishable from one long run — down to the exact
+//! histogram the analytical model consumes.
+
+use apt_profile::{Histogram, LatencySketch};
+use proptest::prelude::*;
+
+fn assert_hist_eq(a: &Histogram, b: &Histogram) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.min, b.min);
+    prop_assert_eq!(a.bin_width, b.bin_width);
+    prop_assert_eq!(&a.counts, &b.counts);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging the sketches of k random shards equals the sketch of the
+    /// concatenated samples, and both yield bit-identical histograms.
+    #[test]
+    fn shard_merge_equals_concatenation(
+        values in prop::collection::vec(1u64..4000, 1..300),
+        cuts in prop::collection::vec(0usize..300, 0..6),
+        bins in 1usize..128,
+    ) {
+        // Split `values` at the (sorted, clamped) cut points.
+        let mut cuts: Vec<usize> = cuts.iter().map(|&c| c.min(values.len())).collect();
+        cuts.sort_unstable();
+        let mut shards: Vec<&[u64]> = Vec::new();
+        let mut prev = 0usize;
+        for &c in &cuts {
+            shards.push(&values[prev..c]);
+            prev = c;
+        }
+        shards.push(&values[prev..]);
+
+        let mut merged = LatencySketch::new();
+        for shard in &shards {
+            merged.merge(&LatencySketch::from_values(shard));
+        }
+        let direct = LatencySketch::from_values(&values);
+        prop_assert_eq!(&merged, &direct);
+        prop_assert_eq!(merged.total(), values.len() as u64);
+
+        // The merged sketch reproduces Histogram::build on the
+        // concatenated samples exactly, at any bin count and clip.
+        for clip in [1.0, 0.995, 0.5] {
+            let from_samples = Histogram::build(&values, bins, clip).expect("non-empty");
+            let from_sketch = merged.to_histogram(bins, clip).expect("non-empty");
+            assert_hist_eq(&from_samples, &from_sketch)?;
+        }
+    }
+
+    /// Merge order never matters: left fold and right fold agree.
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(1u64..500, 0..60),
+        b in prop::collection::vec(1u64..500, 0..60),
+        c in prop::collection::vec(1u64..500, 0..60),
+    ) {
+        let (sa, sb, sc) = (
+            LatencySketch::from_values(&a),
+            LatencySketch::from_values(&b),
+            LatencySketch::from_values(&c),
+        );
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut right_tail = sb.clone();
+        right_tail.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_tail);
+        prop_assert_eq!(left, right);
+    }
+}

@@ -1,0 +1,120 @@
+//! The tentpole acceptance test: for every registered workload, a
+//! profiling run exported as `perf script` text and re-ingested must
+//! reproduce the in-memory profile exactly — the same LBR snapshots,
+//! the same PEBS records, the same counters, and therefore the same
+//! optimisation decisions down to the serialized hint-file bytes.
+//!
+//! This closes the loop the §3.6 deployment model depends on: the
+//! textual dump is a lossless transport, so profiles collected in
+//! production and profiles collected in-process are interchangeable.
+
+use apt_workloads::all_workloads;
+use aptget::{
+    execute, parse_str, AggregateProfile, AptGet, IdentityRemap, PipelineConfig, ProfileDb,
+};
+
+/// Small scale keeps debug-mode profiling runs reasonable while still
+/// collecting hundreds of LBR snapshots per app.
+const TEST_SCALE: f64 = 0.02;
+
+#[test]
+fn export_ingest_analyze_round_trips_every_workload() {
+    let cfg = PipelineConfig::default();
+    let apt = AptGet::new(cfg);
+    for spec in all_workloads() {
+        let w = spec.build(TEST_SCALE, 42);
+        let exec = execute(&w.module, w.image.clone(), &w.calls, &cfg.profile_sim)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+
+        let dump = apt_cpu::perfscript::export_perf_script(&exec.profile, &exec.stats);
+        let ing = parse_str(&dump, &IdentityRemap)
+            .unwrap_or_else(|e| panic!("{}: export does not re-parse: {e}", spec.name));
+
+        // The dump is a lossless transport: nothing skipped, every
+        // sample identical.
+        assert_eq!(ing.skipped_unknown, 0, "{}", spec.name);
+        assert_eq!(ing.skipped_unmapped, 0, "{}", spec.name);
+        assert_eq!(
+            ing.profile.lbr_samples, exec.profile.lbr_samples,
+            "{}: LBR snapshots differ after round-trip",
+            spec.name
+        );
+        assert_eq!(
+            ing.profile.pebs, exec.profile.pebs,
+            "{}: PEBS records differ after round-trip",
+            spec.name
+        );
+        let stats = ing
+            .stats
+            .unwrap_or_else(|| panic!("{}: stats header lost", spec.name));
+        assert_eq!(stats.instructions, exec.stats.instructions, "{}", spec.name);
+        assert_eq!(stats.cycles, exec.stats.cycles, "{}", spec.name);
+        assert_eq!(stats.branches, exec.stats.branches, "{}", spec.name);
+        assert_eq!(
+            stats.taken_branches, exec.stats.taken_branches,
+            "{}",
+            spec.name
+        );
+
+        // Identical profiles ⇒ byte-identical analysis output.
+        let direct = apt.optimize_with_profile(&w.module, &exec.profile, exec.stats);
+        let ingested = apt.optimize_with_profile(&w.module, &ing.profile, stats);
+        assert_eq!(
+            aptget::hintfile::serialize_hints(&direct.analysis.hints),
+            aptget::hintfile::serialize_hints(&ingested.analysis.hints),
+            "{}: hint files diverge after round-trip",
+            spec.name
+        );
+        assert_eq!(
+            apt_lir::print::module_to_string(&direct.module),
+            apt_lir::print::module_to_string(&ingested.module),
+            "{}: optimised modules diverge after round-trip",
+            spec.name
+        );
+    }
+}
+
+/// The database path: two ingested epochs of the same workload drive
+/// `optimize_from_db` deterministically, and the result still computes
+/// what the baseline computes.
+#[test]
+fn db_backed_optimization_is_deterministic_and_correct() {
+    let cfg = PipelineConfig::default();
+    let apt = AptGet::new(cfg);
+    let spec = all_workloads()
+        .into_iter()
+        .find(|s| s.name == "BFS")
+        .expect("BFS registered");
+    let w = spec.build(TEST_SCALE, 42);
+
+    let mut db = ProfileDb::new();
+    for seed in [42u64, 43] {
+        let wi = spec.build(TEST_SCALE, seed);
+        let exec = execute(&wi.module, wi.image, &wi.calls, &cfg.profile_sim).unwrap();
+        let dump = apt_cpu::perfscript::export_perf_script(&exec.profile, &exec.stats);
+        let ing = parse_str(&dump, &IdentityRemap).unwrap();
+        db.push_epoch(
+            format!("seed-{seed}"),
+            AggregateProfile::from_profile(&ing.profile, &ing.stats_or_default()),
+        );
+    }
+
+    let a = apt.optimize_from_db(&w.module, &db);
+    let b = apt.optimize_from_db(&w.module, &db);
+    assert_eq!(
+        apt_lir::print::module_to_string(&a.module),
+        apt_lir::print::module_to_string(&b.module)
+    );
+    assert!(
+        !a.injection.injected.is_empty(),
+        "DB path injected nothing: {:?}",
+        a.analysis.notes
+    );
+
+    let base = execute(&w.module, w.image.clone(), &w.calls, &cfg.measure_sim).unwrap();
+    let tuned = execute(&a.module, w.image, &w.calls, &cfg.measure_sim).unwrap();
+    assert_eq!(
+        base.rets, tuned.rets,
+        "DB-driven prefetching changed results"
+    );
+}

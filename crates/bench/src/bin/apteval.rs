@@ -10,6 +10,10 @@
 //! apteval --no-cache                     # force re-profiling
 //! apteval --csv-out campaign.csv         # CSV copy of the table
 //! apteval --trace-out campaign.json      # merged per-worker Chrome trace
+//! apteval --progress                     # live progress line on stderr
+//! apteval --metrics-out m.prom           # Prometheus exposition dump
+//! apteval --metrics-addr 127.0.0.1:9184  # live /metrics scrape endpoint
+//! apteval --bench-out BENCH_4.json       # snapshot for `bench-gate`
 //! ```
 //!
 //! The comparison table is byte-identical at any `--jobs` value and any

@@ -12,15 +12,23 @@
 //! aptgetsim export BFS [--out FILE]      # profiling run → `perf script` text
 //! aptgetsim ingest FILE [--db PATH] [--label STR] [--pc-offset HEX]
 //!                                        # parse a dump into the profile DB
-//! aptgetsim drift [--db PATH]            # newest epoch vs merged history
+//! aptgetsim drift [--db PATH] [--fail-threshold TV]
+//!                                        # newest epoch vs merged history;
+//!                                        #   nonzero exit above threshold
+//! aptgetsim bench-gate SNAP.json --baseline BASE.json [--tolerance T]
+//!                                        # fail on benchmark regression
+//! aptgetsim serve-metrics BFS [--addr HOST:PORT]
+//!                                        # run one workload's matrix and
+//!                                        #   serve /metrics until killed
 //! aptgetsim campaign [--jobs N] ...      # full comparison matrix in
 //!                                        #   parallel (alias of `apteval`)
 //! ```
 
 use std::process::ExitCode;
 
-use apt_bench::eval::{campaign_cli, CampaignArgs};
+use apt_bench::eval::{campaign_cli, run_campaign, CampaignArgs, CampaignConfig};
 use apt_bench::{compare_variants_traced, fx, pct, AJ_STATIC_DISTANCE};
+use apt_metrics::{gate, BenchSnapshot, GateConfig, MetricsServer, Registry};
 use apt_profile::hintfile;
 use apt_workloads::registry::{all_workloads, by_name};
 use aptget::{
@@ -45,6 +53,14 @@ struct Args {
     db: Option<String>,
     label: Option<String>,
     pc_offset: Option<u64>,
+    /// `drift`: exit nonzero when any branch drifts past this distance.
+    fail_threshold: Option<f64>,
+    /// `bench-gate`: the committed baseline snapshot.
+    baseline: Option<String>,
+    /// `bench-gate`: relative regression tolerance.
+    tolerance: Option<f64>,
+    /// `serve-metrics`: bind address.
+    addr: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -62,6 +78,10 @@ fn parse_args() -> Result<Args, String> {
         db: None,
         label: None,
         pc_offset: None,
+        fail_threshold: None,
+        baseline: None,
+        tolerance: None,
+        addr: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -100,6 +120,28 @@ fn parse_args() -> Result<Args, String> {
                     u64::from_str_radix(digits, 16).map_err(|e| format!("bad --pc-offset: {e}"))?,
                 );
             }
+            "--fail-threshold" => {
+                out.fail_threshold = Some(
+                    args.next()
+                        .ok_or("--fail-threshold needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --fail-threshold: {e}"))?,
+                );
+            }
+            "--baseline" => {
+                out.baseline = Some(args.next().ok_or("--baseline needs a path")?);
+            }
+            "--tolerance" => {
+                out.tolerance = Some(
+                    args.next()
+                        .ok_or("--tolerance needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --tolerance: {e}"))?,
+                );
+            }
+            "--addr" => {
+                out.addr = Some(args.next().ok_or("--addr needs HOST:PORT")?);
+            }
             w if out.workload.is_none() && !w.starts_with('-') => {
                 out.workload = Some(w.to_string());
             }
@@ -135,7 +177,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n");
-            eprintln!("usage: aptgetsim <list|run|hints|ir|export|ingest|drift|campaign> [WORKLOAD|FILE] [--scale S] [--seed N] [--optimized] [--explain] [--trace-out PATH] [--out PATH] [--db PATH] [--label STR] [--pc-offset HEX]");
+            eprintln!("usage: aptgetsim <list|run|hints|ir|export|ingest|drift|bench-gate|serve-metrics|campaign> [WORKLOAD|FILE] [--scale S] [--seed N] [--optimized] [--explain] [--trace-out PATH] [--out PATH] [--db PATH] [--label STR] [--pc-offset HEX] [--fail-threshold TV] [--baseline PATH] [--tolerance T] [--addr HOST:PORT]");
             return ExitCode::FAILURE;
         }
     };
@@ -250,7 +292,88 @@ fn main() -> ExitCode {
                 &DriftConfig::default(),
             );
             print!("{}", report.render());
+            if let Some(threshold) = args.fail_threshold {
+                if report.exceeds(threshold) {
+                    eprintln!(
+                        "error: drift exceeds threshold {threshold}: \
+                         max TV distance {:.4}, max distance delta {:.4}",
+                        report.max_tv_distance(),
+                        report.max_distance_delta()
+                    );
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "drift within threshold {threshold} (max TV {:.4}, max Δdistance {:.4})",
+                    report.max_tv_distance(),
+                    report.max_distance_delta()
+                );
+            }
             ExitCode::SUCCESS
+        }
+        "bench-gate" => {
+            let Some(snap_path) = args.workload.as_deref() else {
+                eprintln!("error: `bench-gate` needs a snapshot path (from `--bench-out`)");
+                return ExitCode::FAILURE;
+            };
+            let base_path = args.baseline.as_deref().unwrap_or("bench/baseline.json");
+            let read = |path: &str| -> Result<BenchSnapshot, String> {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("could not read {path}: {e}"))?;
+                BenchSnapshot::from_json(&text).map_err(|e| format!("{path}: {e}"))
+            };
+            let (baseline, current) = match (read(base_path), read(snap_path)) {
+                (Ok(b), Ok(c)) => (b, c),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let cfg = GateConfig {
+                tolerance: args.tolerance.unwrap_or(GateConfig::default().tolerance),
+            };
+            let report = gate(&baseline, &current, &cfg);
+            print!("{}", report.render());
+            if report.passed() {
+                println!("bench-gate: PASS ({} vs {base_path})", snap_path);
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("bench-gate: FAIL ({} vs {base_path})", snap_path);
+                ExitCode::FAILURE
+            }
+        }
+        "serve-metrics" => {
+            let Some(name) = args.workload.as_deref() else {
+                eprintln!("error: `serve-metrics` needs a workload name");
+                return ExitCode::FAILURE;
+            };
+            let registry = Registry::new();
+            let addr = args.addr.as_deref().unwrap_or("127.0.0.1:9184");
+            let server = match MetricsServer::bind(addr, registry.clone()) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: could not bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("serving http://{}/metrics (Ctrl-C to stop)", server.addr());
+            let cfg = CampaignConfig {
+                workloads: vec![name.to_string()],
+                cache: None,
+                metrics: registry,
+                collect_outcomes: true,
+                ..CampaignConfig::new(args.scale, args.seed, 1)
+            };
+            match run_campaign(&cfg) {
+                Ok(report) => println!("{}", report.table_text()),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            // Keep the scrape endpoint alive; the process is the server.
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
         }
         "run" | "hints" | "ir" => {
             let Some(name) = args.workload.as_deref() else {

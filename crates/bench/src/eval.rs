@@ -23,13 +23,18 @@
 
 use std::fs;
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use apt_trace::{ChromeTrace, Span, SpanRecorder};
+use apt_metrics::{
+    render_prometheus, BenchSnapshot, MetricsServer, OutcomeMix, Progress, ProgressReporter,
+    Registry, WorkloadBench, WALL_US_BUCKETS,
+};
+use apt_trace::{ChromeTrace, OutcomeTable, Span, SpanRecorder, TraceConfig};
 use apt_workloads::registry::by_name;
 use apt_workloads::WorkloadDesc;
 use aptget::{
-    ainsworth_jones_optimize, execute, geomean, AptGet, Comparison, PerfStats, PipelineConfig,
+    ainsworth_jones_optimize, execute_traced, geomean, AptGet, Comparison, PerfStats,
+    PipelineConfig,
 };
 
 use crate::cache::ProfileCache;
@@ -73,6 +78,18 @@ pub struct CampaignConfig {
     /// Profile cache; `None` disables caching (every APT-GET cell
     /// re-profiles).
     pub cache: Option<ProfileCache>,
+    /// Metrics registry the campaign reports into. The default is
+    /// [`Registry::disabled`]: every handle is a no-op and the per-cell
+    /// export never runs, so metrics-off campaigns cost one branch.
+    pub metrics: Registry,
+    /// Live progress handle, fed from inside the pool as cells start and
+    /// finish. Disabled by default; rendering (stderr) is the caller's
+    /// business via [`ProgressReporter`].
+    pub progress: Progress,
+    /// Collect the per-PC prefetch-outcome table on APT-GET measurement
+    /// runs (feeds [`CampaignReport::bench_snapshot`]). Outcome tracing is
+    /// passive: it never changes simulated results, only records them.
+    pub collect_outcomes: bool,
 }
 
 impl CampaignConfig {
@@ -86,6 +103,9 @@ impl CampaignConfig {
             workloads: Vec::new(),
             pipeline: PipelineConfig::default(),
             cache: Some(ProfileCache::new(ProfileCache::default_dir())),
+            metrics: Registry::disabled(),
+            progress: Progress::disabled(),
+            collect_outcomes: false,
         }
     }
 }
@@ -121,6 +141,9 @@ pub struct CellResult {
     pub worker: usize,
     /// Pipeline spans recorded inside the cell.
     pub spans: Vec<Span>,
+    /// Per-PC prefetch-outcome table of the measurement run (APT-GET
+    /// cells with [`CampaignConfig::collect_outcomes`] only).
+    pub outcomes: Option<OutcomeTable>,
 }
 
 /// A finished campaign.
@@ -155,6 +178,15 @@ fn resolve_workloads(cfg: &CampaignConfig) -> Result<Vec<WorkloadDesc>, String> 
         .collect()
 }
 
+/// Observability handles shared by every cell of one campaign. Both are
+/// cheap-to-clone `Arc` wrappers; a disabled handle reduces every call
+/// below to a single branch.
+struct CellHooks {
+    metrics: Registry,
+    progress: Progress,
+    collect_outcomes: bool,
+}
+
 /// Runs one cell: build the workload locally, run its variant, check the
 /// result. Panics on simulation or correctness failure — a broken cell
 /// must never silently contribute a row.
@@ -163,11 +195,13 @@ fn run_cell(
     variant: Variant,
     pipeline: &PipelineConfig,
     cache: Option<&ProfileCache>,
+    hooks: &CellHooks,
     worker: usize,
     epoch: Instant,
 ) -> CellResult {
     let started = Instant::now();
     let start_us = started.duration_since(epoch).as_micros() as u64;
+    hooks.progress.job_started();
     let name = desc.name();
     let mut spans = SpanRecorder::new();
     let w = desc.build();
@@ -197,13 +231,65 @@ fn run_cell(
         }
     };
 
+    match cache_outcome {
+        Some(CacheOutcome::Hit) => hooks.progress.cache_hit(),
+        Some(_) => hooks.progress.cache_miss(),
+        None => {}
+    }
+
     let measure = spans.begin("measurement-run");
-    let exec = execute(&module, w.image.clone(), &w.calls, &pipeline.measure_sim)
-        .unwrap_or_else(|e| panic!("{name}: simulation failed: {e}"));
+    // Outcome tracing is passive observation; the plain `execute` path is
+    // literally `execute_traced` with tracing off, so the simulated result
+    // cannot depend on `collect_outcomes`.
+    let trace = if hooks.collect_outcomes && variant == Variant::AptGet {
+        TraceConfig::outcomes()
+    } else {
+        TraceConfig::off()
+    };
+    let (exec, trace_report) = execute_traced(
+        &module,
+        w.image.clone(),
+        &w.calls,
+        &pipeline.measure_sim,
+        trace,
+    )
+    .unwrap_or_else(|e| panic!("{name}: simulation failed: {e}"));
     (w.check)(&exec.image, &exec.rets)
         .unwrap_or_else(|e| panic!("{name} [{}]: wrong result: {e}", variant.name()));
     spans.add_sim_cycles(&measure, exec.stats.cycles);
     spans.end(measure);
+    let outcomes =
+        (hooks.collect_outcomes && variant == Variant::AptGet).then_some(trace_report.outcomes);
+
+    let wall_us = started.elapsed().as_micros() as u64;
+    hooks.progress.job_finished(exec.stats.cycles, wall_us);
+    if hooks.metrics.is_enabled() {
+        let labels = [("workload", name), ("variant", variant.name())];
+        hooks
+            .metrics
+            .counter("apt_bench_cells_total", "Matrix cells completed.", &labels)
+            .inc();
+        hooks
+            .metrics
+            .histogram(
+                "apt_bench_cell_wall_us",
+                "Wall-clock cost of one matrix cell, microseconds.",
+                &labels,
+                &WALL_US_BUCKETS,
+            )
+            .observe(wall_us);
+        if hints > 0 {
+            hooks
+                .metrics
+                .counter(
+                    "apt_bench_hints_total",
+                    "Prefetch hints injected by APT-GET cells.",
+                    &[("workload", name)],
+                )
+                .add(hints as u64);
+        }
+        exec.stats.export_metrics(&hooks.metrics, &labels);
+    }
 
     CellResult {
         workload: name.to_string(),
@@ -211,10 +297,11 @@ fn run_cell(
         stats: exec.stats,
         hints,
         cache: cache_outcome,
-        wall_us: started.elapsed().as_micros() as u64,
+        wall_us,
         start_us,
         worker,
         spans: spans.into_spans(),
+        outcomes,
     }
 }
 
@@ -226,11 +313,21 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, String> {
 
     let pipeline = &cfg.pipeline;
     let cache = cfg.cache.as_ref();
+    let hooks = CellHooks {
+        metrics: cfg.metrics.clone(),
+        progress: cfg.progress.clone(),
+        collect_outcomes: cfg.collect_outcomes,
+    };
+    let cell_count = descs.len() * Variant::ALL.len();
+    cfg.progress.set_total(cell_count as u64);
+    cfg.progress
+        .set_workers(cfg.jobs.clamp(1, cell_count.max(1)) as u64);
+    let hooks = &hooks;
     let tasks: Vec<_> = descs
         .iter()
         .flat_map(|&desc| Variant::ALL.map(|variant| (desc, variant)))
         .map(|(desc, variant)| {
-            move |worker: usize| run_cell(desc, variant, pipeline, cache, worker, epoch)
+            move |worker: usize| run_cell(desc, variant, pipeline, cache, hooks, worker, epoch)
         })
         .collect();
 
@@ -257,6 +354,46 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, String> {
         .as_ref()
         .map(|c| (c.stats.hits(), c.stats.misses(), c.stats.stores()))
         .unwrap_or_default();
+
+    if cfg.metrics.is_enabled() {
+        let m = &cfg.metrics;
+        m.counter(
+            "apt_bench_pool_steals_total",
+            "Successful work steals across pool workers.",
+            &[],
+        )
+        .add(pool.total_steals());
+        m.gauge(
+            "apt_bench_pool_utilization_ratio",
+            "Mean worker utilization of the last campaign, 0 to 1.",
+            &[],
+        )
+        .set(pool.utilization());
+        m.gauge(
+            "apt_bench_campaign_wall_us",
+            "Wall time of the last campaign, microseconds.",
+            &[],
+        )
+        .set(wall_us as f64);
+        for (w, &busy) in pool.busy_us.iter().enumerate() {
+            m.counter(
+                "apt_bench_worker_busy_us_total",
+                "Time each pool worker spent inside cells, microseconds.",
+                &[("worker", &w.to_string())],
+            )
+            .add(busy);
+        }
+        let (hits, misses, stores) = cache_counts;
+        for (event, n) in [("hit", hits), ("miss", misses), ("store", stores)] {
+            m.counter(
+                "apt_bench_profile_cache_total",
+                "Profile-cache traffic by event.",
+                &[("event", event)],
+            )
+            .add(n);
+        }
+    }
+
     Ok(CampaignReport {
         scale: cfg.scale,
         seed: cfg.seed,
@@ -334,10 +471,11 @@ impl CampaignReport {
     pub fn stats_text(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "campaign wall time: {:.1} ms across {} workers ({} steals)\n",
+            "campaign wall time: {:.1} ms across {} workers ({} steals, {:.0}% utilization)\n",
             self.wall_us as f64 / 1000.0,
             self.pool.jobs,
-            self.pool.total_steals()
+            self.pool.total_steals(),
+            self.pool.utilization() * 100.0
         ));
         let serial_us: u64 = self.cells.iter().map(|c| c.wall_us).sum();
         if self.wall_us > 0 {
@@ -409,6 +547,38 @@ impl CampaignReport {
         doc.to_json()
     }
 
+    /// The benchmark snapshot of this campaign, ready for `--bench-out`
+    /// and the `bench-gate` regression check. Cycles and speedups come
+    /// straight from the deterministic cells; the outcome mix is present
+    /// when the campaign ran with
+    /// [`CampaignConfig::collect_outcomes`]; wall times are informational.
+    pub fn bench_snapshot(&self, config: &str) -> BenchSnapshot {
+        let mut snap = BenchSnapshot::new(config.to_string());
+        for chunk in self.cells.chunks_exact(Variant::ALL.len()) {
+            let mut wb = WorkloadBench::new(
+                &chunk[0].workload,
+                chunk[0].stats.cycles,
+                chunk[1].stats.cycles,
+                chunk[2].stats.cycles,
+            );
+            wb.wall_us = chunk.iter().map(|c| c.wall_us).sum();
+            wb.outcomes = chunk[2].outcomes.as_ref().map(|t| OutcomeMix {
+                issued: t.total.issued,
+                timely: t.total.timely,
+                late: t.total.late,
+                early: t.total.early,
+                useless: t.total.useless,
+                redundant: t.total.redundant,
+                dropped: t.total.dropped,
+            });
+            snap.workloads.push(wb);
+        }
+        snap.wall_us = self.wall_us;
+        snap.cache_hits = self.cache_counts.0;
+        snap.cache_misses = self.cache_counts.1;
+        snap
+    }
+
     /// Total cache hits across APT-GET cells of *this* campaign (the
     /// cache's own counters also include lookups by earlier campaigns in
     /// the same process).
@@ -433,13 +603,25 @@ pub struct CampaignArgs {
     pub stats: bool,
     pub trace_out: Option<String>,
     pub csv_out: Option<String>,
+    /// Serve a Prometheus scrape endpoint at this address for the
+    /// campaign's duration (also enables the registry).
+    pub metrics_addr: Option<String>,
+    /// Write the final Prometheus exposition here (also enables the
+    /// registry).
+    pub metrics_out: Option<String>,
+    /// Write a `BenchSnapshot` JSON here (also enables outcome tracing on
+    /// APT-GET cells so the snapshot carries the prefetch-outcome mix).
+    pub bench_out: Option<String>,
+    /// Render a live progress line on stderr.
+    pub progress: bool,
 }
 
 impl CampaignArgs {
     /// The flag summary for usage messages.
     pub const USAGE: &'static str = "[--jobs N] [--scale S] [--seed N] \
         [--workloads A,B,..] [--no-cache] [--cache-dir DIR] [--stats] \
-        [--trace-out PATH] [--csv-out PATH]";
+        [--trace-out PATH] [--csv-out PATH] [--metrics-addr HOST:PORT] \
+        [--metrics-out PATH] [--bench-out PATH] [--progress]";
 
     /// Parses campaign flags. `--jobs` defaults to `$APT_JOBS`, then the
     /// machine's available parallelism.
@@ -458,6 +640,10 @@ impl CampaignArgs {
             stats: false,
             trace_out: None,
             csv_out: None,
+            metrics_addr: None,
+            metrics_out: None,
+            bench_out: None,
+            progress: false,
         };
         while let Some(a) = args.next() {
             let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
@@ -490,6 +676,10 @@ impl CampaignArgs {
                 "--stats" => out.stats = true,
                 "--trace-out" => out.trace_out = Some(value("--trace-out")?),
                 "--csv-out" => out.csv_out = Some(value("--csv-out")?),
+                "--metrics-addr" => out.metrics_addr = Some(value("--metrics-addr")?),
+                "--metrics-out" => out.metrics_out = Some(value("--metrics-out")?),
+                "--bench-out" => out.bench_out = Some(value("--bench-out")?),
+                "--progress" => out.progress = true,
                 other => return Err(format!("unknown argument `{other}`")),
             }
         }
@@ -508,6 +698,16 @@ impl CampaignArgs {
                 .unwrap_or_else(ProfileCache::default_dir);
             Some(ProfileCache::new(dir))
         };
+        let metrics = if self.metrics_addr.is_some() || self.metrics_out.is_some() {
+            Registry::new()
+        } else {
+            Registry::disabled()
+        };
+        let progress = if self.progress {
+            Progress::new()
+        } else {
+            Progress::disabled()
+        };
         CampaignConfig {
             scale: self.scale,
             seed: self.seed,
@@ -515,6 +715,9 @@ impl CampaignArgs {
             workloads: self.workloads.clone(),
             pipeline: PipelineConfig::default(),
             cache,
+            metrics,
+            progress,
+            collect_outcomes: self.bench_out.is_some(),
         }
     }
 }
@@ -524,7 +727,25 @@ impl CampaignArgs {
 /// `apteval` and `aptgetsim campaign`.
 pub fn campaign_cli(args: &CampaignArgs) -> Result<CampaignReport, String> {
     let cfg = args.config();
-    let report = run_campaign(&cfg)?;
+    let server = match &args.metrics_addr {
+        Some(addr) => {
+            let s = MetricsServer::bind(addr, cfg.metrics.clone())
+                .map_err(|e| format!("could not bind metrics endpoint {addr}: {e}"))?;
+            eprintln!("[metrics served at http://{}/metrics]", s.addr());
+            Some(s)
+        }
+        None => None,
+    };
+    let reporter = cfg
+        .progress
+        .is_enabled()
+        .then(|| ProgressReporter::spawn(cfg.progress.clone(), Duration::from_millis(200)));
+
+    let report = run_campaign(&cfg);
+    if let Some(r) = reporter {
+        r.finish();
+    }
+    let report = report?;
 
     println!("{}", report.table_text());
     if args.stats {
@@ -542,6 +763,18 @@ pub fn campaign_cli(args: &CampaignArgs) -> Result<CampaignReport, String> {
             .map_err(|e| format!("could not write {path}: {e}"))?;
         println!("[trace written to {path}]");
     }
+    if let Some(path) = &args.bench_out {
+        let config = format!("scale={} seed={}", cfg.scale, cfg.seed);
+        fs::write(path, report.bench_snapshot(&config).to_json())
+            .map_err(|e| format!("could not write {path}: {e}"))?;
+        println!("[bench snapshot written to {path}]");
+    }
+    if let Some(path) = &args.metrics_out {
+        fs::write(path, render_prometheus(&cfg.metrics))
+            .map_err(|e| format!("could not write {path}: {e}"))?;
+        println!("[metrics written to {path}]");
+    }
+    drop(server);
     Ok(report)
 }
 
@@ -551,12 +784,9 @@ mod tests {
 
     fn tiny_config(jobs: usize) -> CampaignConfig {
         CampaignConfig {
-            scale: 0.004,
-            seed: 42,
-            jobs,
             workloads: vec!["RandAcc".into(), "IS".into()],
-            pipeline: PipelineConfig::default(),
             cache: None,
+            ..CampaignConfig::new(0.004, 42, jobs)
         }
     }
 
@@ -588,6 +818,92 @@ mod tests {
     }
 
     #[test]
+    fn metrics_and_outcomes_do_not_change_the_table() {
+        let plain = run_campaign(&tiny_config(2)).unwrap();
+        let mut cfg = tiny_config(2);
+        cfg.metrics = Registry::new();
+        cfg.progress = Progress::new();
+        cfg.collect_outcomes = true;
+        let observed = run_campaign(&cfg).unwrap();
+
+        assert_eq!(
+            plain.table_text(),
+            observed.table_text(),
+            "observability must be passive"
+        );
+
+        // The registry saw every cell, labelled by workload and variant.
+        let m = &cfg.metrics;
+        for wl in ["RandAcc", "IS"] {
+            for variant in ["baseline", "A&J", "APT-GET"] {
+                let labels = [("workload", wl), ("variant", variant)];
+                assert_eq!(
+                    m.counter_value("apt_bench_cells_total", &labels),
+                    Some(1),
+                    "{wl}/{variant}"
+                );
+                let cell = observed
+                    .cells
+                    .iter()
+                    .find(|c| c.workload == wl && c.variant.name() == variant)
+                    .unwrap();
+                assert_eq!(
+                    m.counter_value("apt_cpu_cycles_total", &labels),
+                    Some(cell.stats.cycles),
+                    "{wl}/{variant}"
+                );
+            }
+        }
+        assert!(m
+            .gauge_value("apt_bench_pool_utilization_ratio", &[])
+            .is_some());
+
+        // Outcome tables ride on APT-GET cells only, and they balance.
+        for cell in &observed.cells {
+            match (cell.variant, &cell.outcomes) {
+                (Variant::AptGet, Some(t)) => assert!(t.is_conserved()),
+                (Variant::AptGet, None) => panic!("APT-GET cell lost its outcome table"),
+                (_, Some(_)) => panic!("non-APT-GET cell grew an outcome table"),
+                (_, None) => {}
+            }
+        }
+
+        // Progress accounting drained: all jobs finished, none in flight.
+        let snap = cfg.progress.snapshot().unwrap();
+        assert_eq!(snap.completed, 6);
+        assert_eq!(snap.in_flight, 0);
+        assert!(snap.sim_cycles > 0);
+    }
+
+    #[test]
+    fn bench_snapshot_round_trips_and_gates_clean() {
+        let mut cfg = tiny_config(2);
+        cfg.collect_outcomes = true;
+        let report = run_campaign(&cfg).unwrap();
+        let snap = report.bench_snapshot("scale=0.004 seed=42");
+
+        assert_eq!(snap.workloads.len(), 2);
+        let rand = &snap.workloads[0];
+        assert_eq!(rand.workload, "RandAcc");
+        assert_eq!(rand.baseline_cycles, report.cells[0].stats.cycles);
+        assert_eq!(rand.aptget_cycles, report.cells[2].stats.cycles);
+        let mix = rand.outcomes.expect("outcome mix present");
+        assert_eq!(
+            mix.issued,
+            mix.timely + mix.late + mix.early + mix.useless + mix.redundant + mix.dropped
+        );
+
+        let parsed = apt_metrics::BenchSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(parsed, snap);
+        let gate = apt_metrics::gate(&parsed, &snap, &apt_metrics::GateConfig::default());
+        assert!(
+            gate.passed(),
+            "self-comparison must pass:\n{}",
+            gate.render()
+        );
+    }
+
+    #[test]
     fn cli_args_parse_and_reject() {
         fn argv(s: &str) -> impl Iterator<Item = String> + '_ {
             s.split_whitespace().map(str::to_string)
@@ -602,8 +918,21 @@ mod tests {
         assert_eq!(a.workloads, vec!["BFS", "IS"]);
         assert!(a.no_cache && a.stats);
         assert!(a.config().cache.is_none());
+        assert!(!a.config().metrics.is_enabled());
+        assert!(!a.config().progress.is_enabled());
+        assert!(!a.config().collect_outcomes);
+        let b = CampaignArgs::parse(argv(
+            "--metrics-out m.prom --bench-out BENCH_4.json --progress",
+        ))
+        .unwrap();
+        assert_eq!(b.metrics_out.as_deref(), Some("m.prom"));
+        assert_eq!(b.bench_out.as_deref(), Some("BENCH_4.json"));
+        assert!(b.config().metrics.is_enabled());
+        assert!(b.config().progress.is_enabled());
+        assert!(b.config().collect_outcomes);
         assert!(CampaignArgs::parse(argv("--bogus")).is_err());
         assert!(CampaignArgs::parse(argv("--jobs")).is_err());
+        assert!(CampaignArgs::parse(argv("--metrics-addr")).is_err());
     }
 
     #[test]

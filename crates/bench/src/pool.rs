@@ -22,6 +22,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// What the pool did, for the campaign's explain output.
 #[derive(Debug, Clone, Default)]
@@ -32,12 +33,28 @@ pub struct PoolStats {
     pub executed: Vec<u64>,
     /// Successful steals by each worker.
     pub steals: Vec<u64>,
+    /// Wall time each worker spent inside tasks, microseconds. A worker's
+    /// idle time is `wall_us - busy_us[w]`.
+    pub busy_us: Vec<u64>,
+    /// Wall time of the whole pool run, microseconds.
+    pub wall_us: u64,
 }
 
 impl PoolStats {
     /// Total successful steals across workers.
     pub fn total_steals(&self) -> u64 {
         self.steals.iter().sum()
+    }
+
+    /// Mean worker utilization in [0, 1]: task time summed over workers
+    /// divided by `jobs × wall`. Sequential runs are 1.0 by construction
+    /// (modulo the pool's own bookkeeping).
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.wall_us.saturating_mul(self.jobs as u64);
+        if capacity == 0 {
+            return 0.0;
+        }
+        (self.busy_us.iter().sum::<u64>() as f64 / capacity as f64).min(1.0)
     }
 }
 
@@ -56,15 +73,27 @@ where
 {
     let n = tasks.len();
     let jobs = jobs.max(1).min(n.max(1));
+    let start = Instant::now();
 
     if jobs == 1 {
-        let results = tasks.into_iter().map(|t| t(0)).collect();
+        let mut busy = 0u64;
+        let results = tasks
+            .into_iter()
+            .map(|t| {
+                let t0 = Instant::now();
+                let out = t(0);
+                busy += t0.elapsed().as_micros() as u64;
+                out
+            })
+            .collect();
         return (
             results,
             PoolStats {
                 jobs: 1,
                 executed: vec![n as u64],
                 steals: vec![0],
+                busy_us: vec![busy],
+                wall_us: start.elapsed().as_micros() as u64,
             },
         );
     }
@@ -82,6 +111,7 @@ where
 
     let executed: Vec<AtomicU64> = (0..jobs).map(|_| AtomicU64::new(0)).collect();
     let steals: Vec<AtomicU64> = (0..jobs).map(|_| AtomicU64::new(0)).collect();
+    let busy_us: Vec<AtomicU64> = (0..jobs).map(|_| AtomicU64::new(0)).collect();
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(jobs);
@@ -91,6 +121,7 @@ where
             let deques = &deques;
             let executed = &executed;
             let steals = &steals;
+            let busy_us = &busy_us;
             handles.push(scope.spawn(move || {
                 loop {
                     // Own deque first, newest work first.
@@ -119,7 +150,9 @@ where
                         .unwrap()
                         .take()
                         .expect("task claimed twice");
+                    let t0 = Instant::now();
                     let out = task(worker);
+                    busy_us[worker].fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
                     *result_slots[idx].lock().unwrap() = Some(out);
                     executed[worker].fetch_add(1, Ordering::Relaxed);
                     if stolen {
@@ -147,6 +180,8 @@ where
         jobs,
         executed: executed.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
         steals: steals.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        busy_us: busy_us.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        wall_us: start.elapsed().as_micros() as u64,
     };
     (results, stats)
 }
@@ -219,7 +254,70 @@ mod tests {
 
     #[test]
     fn empty_task_list() {
-        let (results, _) = run_indexed(4, Vec::<fn(usize) -> u64>::new());
+        let (results, stats) = run_indexed(4, Vec::<fn(usize) -> u64>::new());
         assert!(results.is_empty());
+        assert_eq!(stats.utilization(), 0.0);
+    }
+
+    /// Satellite check: per-worker busy time plus idle time accounts for
+    /// the pool's wall time, within measurement tolerance, at every
+    /// worker count the CI campaign uses.
+    #[test]
+    fn worker_utilization_accounts_for_wall_time() {
+        const SLEEP_MS: u64 = 4;
+        const TASKS: u64 = 12;
+        let mk_tasks = || {
+            (0..TASKS)
+                .map(|i| {
+                    move |_w: usize| {
+                        std::thread::sleep(std::time::Duration::from_millis(SLEEP_MS));
+                        i
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        for jobs in [1usize, 2, 8] {
+            let (_, stats) = run_indexed(jobs, mk_tasks());
+            let used = stats.jobs;
+            assert_eq!(stats.busy_us.len(), used, "jobs={jobs}");
+            assert_eq!(stats.executed.len(), used, "jobs={jobs}");
+            // Busy time is bounded by wall time per worker (idle = wall −
+            // busy must be non-negative), with a small slop for timer
+            // granularity.
+            let slop_us = 2_000;
+            for (w, &busy) in stats.busy_us.iter().enumerate() {
+                assert!(
+                    busy <= stats.wall_us + slop_us,
+                    "jobs={jobs} worker={w}: busy {busy}µs > wall {}µs",
+                    stats.wall_us
+                );
+            }
+            // Total busy time is at least the sleep actually performed —
+            // the accounting loses nothing.
+            let total_busy: u64 = stats.busy_us.iter().sum();
+            let min_expected = TASKS * SLEEP_MS * 1_000;
+            assert!(
+                total_busy >= min_expected.saturating_sub(slop_us),
+                "jobs={jobs}: busy {total_busy}µs < sleep floor {min_expected}µs"
+            );
+            // And busy + idle sums to jobs × wall by construction.
+            let idle: u64 = stats
+                .busy_us
+                .iter()
+                .map(|&b| stats.wall_us.saturating_sub(b.min(stats.wall_us)))
+                .sum();
+            let capacity = stats.wall_us * used as u64;
+            let accounted = total_busy.min(capacity) + idle;
+            let tolerance = capacity / 5 + slop_us * used as u64;
+            assert!(
+                accounted.abs_diff(capacity) <= tolerance,
+                "jobs={jobs}: accounted {accounted}µs vs capacity {capacity}µs (tol {tolerance})"
+            );
+            let util = stats.utilization();
+            assert!((0.0..=1.0).contains(&util), "jobs={jobs}: util {util}");
+            // With uniform sleep tasks every worker stays saturated until
+            // the end: utilization must be substantial at any width.
+            assert!(util > 0.5, "jobs={jobs}: util {util}");
+        }
     }
 }

@@ -155,6 +155,30 @@ impl<'m> Machine<'m> {
         }
     }
 
+    /// Exports the machine's cumulative counters into `registry`: core
+    /// stats ([`PerfStats::export_metrics`], which includes the memory
+    /// counters) plus live MSHR-pressure gauges only the hierarchy knows.
+    pub fn export_metrics(&self, registry: &apt_metrics::Registry, labels: &[(&str, &str)]) {
+        if !registry.is_enabled() {
+            return;
+        }
+        self.stats().export_metrics(registry, labels);
+        registry
+            .gauge(
+                "apt_mem_mshr_peak_occupancy",
+                "Peak fill-buffer occupancy of the last exported simulation",
+                labels,
+            )
+            .set(self.hier.mshr_peak() as f64);
+        registry
+            .gauge(
+                "apt_mem_mshr_capacity",
+                "Configured fill-buffer entries",
+                labels,
+            )
+            .set(self.hier.mshr_capacity() as f64);
+    }
+
     /// Takes the collected hardware profiles.
     pub fn take_profile(&mut self) -> ProfileData {
         ProfileData {
@@ -399,6 +423,45 @@ mod tests {
         let stats = mach.stats();
         assert!(stats.instructions > 400);
         assert!(stats.cycles > stats.instructions);
+    }
+
+    #[test]
+    fn export_metrics_reflects_the_run() {
+        let m = sum_module();
+        let mut img = MemImage::new();
+        let data: Vec<u64> = (1..=100).collect();
+        let base = img.alloc_u64_slice(&data);
+        let mut mach = Machine::new(&m, SimConfig::default(), img);
+        mach.call("sum", &[base, 100]).unwrap();
+        let registry = apt_metrics::Registry::new();
+        let labels = [("workload", "sum")];
+        mach.export_metrics(&registry, &labels);
+        let stats = mach.stats();
+        assert_eq!(
+            registry.counter_value("apt_cpu_instructions_total", &labels),
+            Some(stats.instructions)
+        );
+        assert_eq!(
+            registry.counter_value("apt_cpu_cycles_total", &labels),
+            Some(stats.cycles)
+        );
+        assert_eq!(
+            registry.counter_value("apt_mem_demand_loads_total", &labels),
+            Some(stats.mem.loads)
+        );
+        let ipc = registry.gauge_value("apt_cpu_ipc_ratio", &labels).unwrap();
+        assert!((ipc - stats.ipc()).abs() < 1e-12);
+        let cap = registry
+            .gauge_value("apt_mem_mshr_capacity", &labels)
+            .unwrap();
+        assert!(cap >= 1.0);
+        // Disabled registries see nothing and cost nothing.
+        let off = apt_metrics::Registry::disabled();
+        mach.export_metrics(&off, &labels);
+        assert_eq!(
+            off.counter_value("apt_cpu_instructions_total", &labels),
+            None
+        );
     }
 
     #[test]

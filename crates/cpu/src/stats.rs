@@ -49,6 +49,53 @@ impl PerfStats {
             self.mem.memory_bound_stalls() as f64 / self.cycles as f64
         }
     }
+
+    /// Adds this run's core counters (and, via [`MemCounters`], the memory
+    /// counters) into `registry` under the given base labels, plus derived
+    /// IPC / MPKI gauges for the run.
+    pub fn export_metrics(&self, registry: &apt_metrics::Registry, labels: &[(&str, &str)]) {
+        if !registry.is_enabled() {
+            return;
+        }
+        registry
+            .counter("apt_cpu_instructions_total", "Retired instructions", labels)
+            .add(self.instructions);
+        registry
+            .counter("apt_cpu_cycles_total", "Simulated elapsed cycles", labels)
+            .add(self.cycles);
+        registry
+            .counter("apt_cpu_branches_total", "Retired branches", labels)
+            .add(self.branches);
+        registry
+            .counter(
+                "apt_cpu_taken_branches_total",
+                "Retired taken branches",
+                labels,
+            )
+            .add(self.taken_branches);
+        registry
+            .gauge(
+                "apt_cpu_ipc_ratio",
+                "Instructions per cycle of the last exported run",
+                labels,
+            )
+            .set(self.ipc());
+        registry
+            .gauge(
+                "apt_cpu_mpki",
+                "LLC misses per kilo-instruction of the last exported run",
+                labels,
+            )
+            .set(self.mpki());
+        registry
+            .gauge(
+                "apt_cpu_memory_bound_fraction",
+                "Fraction of cycles stalled on L3/DRAM in the last exported run",
+                labels,
+            )
+            .set(self.memory_bound_fraction());
+        self.mem.export_metrics(registry, labels);
+    }
 }
 
 /// Hardware profiles collected during a run.

@@ -90,6 +90,43 @@ impl ProfileDb {
             .unwrap_or_default()
     }
 
+    /// Exports database-shape gauges (epoch count, merged sample volume)
+    /// into `registry`.
+    pub fn export_metrics(&self, registry: &apt_metrics::Registry, labels: &[(&str, &str)]) {
+        if !registry.is_enabled() {
+            return;
+        }
+        registry
+            .gauge(
+                "apt_ingest_db_epochs",
+                "Epochs currently held by the profile database",
+                labels,
+            )
+            .set(self.epochs.len() as f64);
+        let merged = self.merged();
+        registry
+            .gauge(
+                "apt_ingest_db_lbr_snapshots",
+                "LBR snapshots across all epochs",
+                labels,
+            )
+            .set(merged.lbr_snapshots as f64);
+        registry
+            .gauge(
+                "apt_ingest_db_pebs_samples",
+                "PEBS samples across all epochs",
+                labels,
+            )
+            .set(merged.pebs_samples as f64);
+        registry
+            .gauge(
+                "apt_ingest_db_tracked_branches",
+                "Distinct branch PCs with latency sketches across all epochs",
+                labels,
+            )
+            .set(merged.iter_lat.len() as f64);
+    }
+
     /// Persists the database atomically (temp file + rename).
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         let path = path.as_ref();
@@ -321,6 +358,23 @@ mod tests {
         fs::write(&path, b"garbage").unwrap();
         assert_eq!(ProfileDb::load_or_empty(&path), ProfileDb::new());
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn export_metrics_reports_db_shape() {
+        let db = sample_db();
+        let registry = apt_metrics::Registry::new();
+        db.export_metrics(&registry, &[]);
+        assert_eq!(registry.gauge_value("apt_ingest_db_epochs", &[]), Some(2.0));
+        let merged = db.merged();
+        assert_eq!(
+            registry.gauge_value("apt_ingest_db_lbr_snapshots", &[]),
+            Some(merged.lbr_snapshots as f64)
+        );
+        assert_eq!(
+            registry.gauge_value("apt_ingest_db_tracked_branches", &[]),
+            Some(merged.iter_lat.len() as f64)
+        );
     }
 
     #[test]

@@ -103,6 +103,76 @@ impl DriftReport {
         self.branches.iter().any(|b| b.stale) || self.loads.iter().any(|l| l.stale)
     }
 
+    /// The largest per-branch TV distance (0.0 with no branches).
+    pub fn max_tv_distance(&self) -> f64 {
+        self.branches
+            .iter()
+            .map(|b| b.tv_distance)
+            .fold(0.0, f64::max)
+    }
+
+    /// The largest per-branch Eq. 1 distance delta (0.0 with no branches).
+    pub fn max_distance_delta(&self) -> f64 {
+        self.branches
+            .iter()
+            .map(|b| b.distance_delta)
+            .fold(0.0, f64::max)
+    }
+
+    /// The `drift --fail-threshold` gate: true when any branch's TV
+    /// distance or Eq. 1 distance delta reaches `threshold`.
+    pub fn exceeds(&self, threshold: f64) -> bool {
+        self.branches
+            .iter()
+            .any(|b| b.tv_distance >= threshold || b.distance_delta >= threshold)
+    }
+
+    /// Exports drift summary gauges and comparison counters into
+    /// `registry`.
+    pub fn export_metrics(&self, registry: &apt_metrics::Registry, labels: &[(&str, &str)]) {
+        if !registry.is_enabled() {
+            return;
+        }
+        registry
+            .counter(
+                "apt_ingest_drift_branches_total",
+                "Branches compared by drift detection",
+                labels,
+            )
+            .add(self.branches.len() as u64);
+        registry
+            .counter(
+                "apt_ingest_drift_loads_total",
+                "Loads compared by drift detection",
+                labels,
+            )
+            .add(self.loads.len() as u64);
+        registry
+            .counter(
+                "apt_ingest_drift_stale_total",
+                "Branches and loads flagged stale",
+                labels,
+            )
+            .add(
+                (self.branches.iter().filter(|b| b.stale).count()
+                    + self.loads.iter().filter(|l| l.stale).count()) as u64,
+            );
+        registry
+            .gauge(
+                "apt_ingest_drift_max_tv_distance",
+                "Largest per-branch TV distance in the last drift report",
+                labels,
+            )
+            .set(self.max_tv_distance());
+        registry
+            .gauge(
+                "apt_ingest_drift_max_distance_delta",
+                "Largest per-branch Eq. 1 distance delta in the last drift report",
+                labels,
+            )
+            .set(self.max_distance_delta());
+    }
+
     /// Human-readable rendering for logs and the CLI.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -333,6 +403,44 @@ mod tests {
         let r = detect_drift(&base, &cur, "reranked", 1, &DriftConfig::default());
         assert!(r.loads.iter().any(|l| l.pc == 0x48 && l.stale));
         assert!(r.loads.iter().any(|l| l.pc == 0x24 && l.stale));
+    }
+
+    #[test]
+    fn threshold_gate_and_maxima() {
+        let base = agg_with_latencies(0x88, 40, 300);
+        let cur = agg_with_latencies(0x88, 400, 300);
+        let r = detect_drift(&base, &cur, "shifted", 1, &DriftConfig::default());
+        let tv = r.max_tv_distance();
+        assert!(tv > 0.9, "tv {tv}");
+        assert!(r.exceeds(0.5));
+        assert!(!r.exceeds(f64::max(tv, r.max_distance_delta()) + 0.01));
+        // A fresh report exceeds nothing sensible.
+        let fresh = detect_drift(&base, &base.clone(), "same", 1, &DriftConfig::default());
+        assert!(!fresh.exceeds(0.5));
+        assert_eq!(DriftReport::default().max_tv_distance(), 0.0);
+        assert!(!DriftReport::default().exceeds(0.0_f64.max(1e-9)));
+    }
+
+    #[test]
+    fn export_metrics_summarises_the_report() {
+        let base = agg_with_latencies(0x88, 40, 300);
+        let cur = agg_with_latencies(0x88, 400, 300);
+        let r = detect_drift(&base, &cur, "shifted", 1, &DriftConfig::default());
+        let registry = apt_metrics::Registry::new();
+        let labels = [("workload", "BFS")];
+        r.export_metrics(&registry, &labels);
+        assert_eq!(
+            registry.counter_value("apt_ingest_drift_branches_total", &labels),
+            Some(r.branches.len() as u64)
+        );
+        let tv = registry
+            .gauge_value("apt_ingest_drift_max_tv_distance", &labels)
+            .unwrap();
+        assert!((tv - r.max_tv_distance()).abs() < 1e-12);
+        let stale = registry
+            .counter_value("apt_ingest_drift_stale_total", &labels)
+            .unwrap();
+        assert!(stale >= 1);
     }
 
     #[test]

@@ -104,6 +104,52 @@ impl Ingested {
     pub fn stats_or_default(&self) -> PerfStats {
         self.stats.unwrap_or_default()
     }
+
+    /// Exports ingestion counters (events consumed, lines skipped by
+    /// reason, records by kind) into `registry`.
+    pub fn export_metrics(&self, registry: &apt_metrics::Registry, labels: &[(&str, &str)]) {
+        if !registry.is_enabled() {
+            return;
+        }
+        fn join<'a>(
+            base: &[(&'a str, &'a str)],
+            extra: (&'a str, &'a str),
+        ) -> Vec<(&'a str, &'a str)> {
+            base.iter().copied().chain([extra]).collect()
+        }
+        let with = |extra| join(labels, extra);
+        registry
+            .counter(
+                "apt_ingest_events_total",
+                "perf-script event lines consumed into the profile",
+                labels,
+            )
+            .add(self.events as u64);
+        for (reason, n) in [
+            ("unknown", self.skipped_unknown),
+            ("unmapped", self.skipped_unmapped),
+        ] {
+            registry
+                .counter(
+                    "apt_ingest_skipped_total",
+                    "Lines or records ingestion dropped, by reason",
+                    &with(("reason", reason)),
+                )
+                .add(n as u64);
+        }
+        for (kind, n) in [
+            ("lbr", self.profile.lbr_samples.len()),
+            ("pebs", self.profile.pebs.len()),
+        ] {
+            registry
+                .counter(
+                    "apt_ingest_records_total",
+                    "Profile records decoded, by kind",
+                    &with(("kind", kind)),
+                )
+                .add(n as u64);
+        }
+    }
 }
 
 struct Cursor<'a> {
@@ -417,6 +463,42 @@ aptgetsim     0 [000]     0.000112: cpu/branch-stack/: 0x88/0x80/P/-/-/12 0x88/0
         let r = parse_str(&text, &IdentityRemap).unwrap();
         assert_eq!(r.skipped_unknown, 1);
         assert_eq!(r.events, 2);
+    }
+
+    #[test]
+    fn export_metrics_counts_events_and_skips() {
+        let text = format!(
+            "{CLEAN}swapper     0 [001]     0.000200: cycles: ffffffff81000000 [unknown]\n"
+        );
+        let r = parse_str(&text, &IdentityRemap).unwrap();
+        let registry = apt_metrics::Registry::new();
+        let labels = [("source", "test")];
+        r.export_metrics(&registry, &labels);
+        assert_eq!(
+            registry.counter_value("apt_ingest_events_total", &labels),
+            Some(2)
+        );
+        assert_eq!(
+            registry.counter_value(
+                "apt_ingest_skipped_total",
+                &[("source", "test"), ("reason", "unknown")]
+            ),
+            Some(1)
+        );
+        assert_eq!(
+            registry.counter_value(
+                "apt_ingest_records_total",
+                &[("source", "test"), ("kind", "pebs")]
+            ),
+            Some(1)
+        );
+        assert_eq!(
+            registry.counter_value(
+                "apt_ingest_records_total",
+                &[("source", "test"), ("kind", "lbr")]
+            ),
+            Some(1)
+        );
     }
 
     #[test]

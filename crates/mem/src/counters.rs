@@ -1,6 +1,8 @@
 //! PMU-style event counters, named after the hardware events the paper
 //! reads with `perf stat` (§2.3, §4.4).
 
+use apt_metrics::Registry;
+
 /// Aggregate memory-system counters for one simulation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemCounters {
@@ -80,6 +82,123 @@ impl MemCounters {
     pub fn memory_bound_stalls(&self) -> u64 {
         self.stall_llc + self.stall_dram
     }
+
+    /// Adds this simulation's counters into `registry` under the given
+    /// base labels (typically `workload` / `config`). Export happens once
+    /// per finished simulation — nothing here touches the simulator's hot
+    /// loop, which keeps updating the plain `u64` fields.
+    pub fn export_metrics(&self, registry: &Registry, labels: &[(&str, &str)]) {
+        if !registry.is_enabled() {
+            return;
+        }
+        fn join<'a>(
+            base: &[(&'a str, &'a str)],
+            extra: (&'a str, &'a str),
+        ) -> Vec<(&'a str, &'a str)> {
+            base.iter().copied().chain([extra]).collect()
+        }
+        let with = |extra| join(labels, extra);
+        registry
+            .counter(
+                "apt_mem_demand_loads_total",
+                "Demand loads issued by the core",
+                labels,
+            )
+            .add(self.loads);
+        registry
+            .counter("apt_mem_stores_total", "Stores issued by the core", labels)
+            .add(self.stores);
+        for (level, hits) in [
+            ("l1", self.l1_hits),
+            ("l2", self.l2_hits),
+            ("llc", self.llc_hits),
+        ] {
+            registry
+                .counter(
+                    "apt_mem_level_hits_total",
+                    "Demand loads served by each cache level",
+                    &with(("level", level)),
+                )
+                .add(hits);
+        }
+        registry
+            .counter(
+                "apt_mem_demand_fills_total",
+                "Demand loads that allocated a new offcore fill",
+                labels,
+            )
+            .add(self.demand_fills);
+        for (source, hits) in [("sw_pf", self.fb_hits_swpf), ("other", self.fb_hits_other)] {
+            registry
+                .counter(
+                    "apt_mem_fb_hits_total",
+                    "Demand loads that coalesced onto an in-flight fill, by fill source",
+                    &with(("source", source)),
+                )
+                .add(hits);
+        }
+        for (disposition, n) in [
+            ("issued", self.sw_pf_issued),
+            ("redundant", self.sw_pf_redundant),
+            ("dropped_full", self.sw_pf_dropped_full),
+            ("offcore", self.sw_pf_offcore),
+            ("oncore", self.sw_pf_oncore),
+        ] {
+            registry
+                .counter(
+                    "apt_mem_sw_pf_total",
+                    "Software prefetches by disposition",
+                    &with(("disposition", disposition)),
+                )
+                .add(n);
+        }
+        registry
+            .counter(
+                "apt_mem_hw_pf_offcore_total",
+                "Hardware prefetches that went offcore",
+                labels,
+            )
+            .add(self.hw_pf_offcore);
+        for (fate, n) in [
+            ("used", self.pf_used),
+            ("evicted_unused", self.pf_evicted_unused),
+        ] {
+            registry
+                .counter(
+                    "apt_mem_pf_lines_total",
+                    "Prefetched LLC lines by fate (first demand use vs unused eviction)",
+                    &with(("fate", fate)),
+                )
+                .add(n);
+        }
+        for (level, cycles) in [
+            ("l2", self.stall_l2),
+            ("llc", self.stall_llc),
+            ("dram", self.stall_dram),
+        ] {
+            registry
+                .counter(
+                    "apt_mem_stall_cycles_total",
+                    "Core stall cycles attributed to the serving level of demand loads",
+                    &with(("level", level)),
+                )
+                .add(cycles);
+        }
+        registry
+            .gauge(
+                "apt_mem_prefetch_accuracy_ratio",
+                "Table-1 prefetch accuracy of the last exported simulation",
+                labels,
+            )
+            .set(self.prefetch_accuracy());
+        registry
+            .gauge(
+                "apt_mem_late_prefetch_ratio",
+                "Table-1 late-prefetch ratio of the last exported simulation",
+                labels,
+            )
+            .set(self.late_prefetch_ratio());
+    }
 }
 
 #[cfg(test)]
@@ -108,5 +227,67 @@ mod tests {
         let c = MemCounters::default();
         assert_eq!(c.prefetch_accuracy(), 0.0);
         assert_eq!(c.late_prefetch_ratio(), 0.0);
+    }
+
+    #[test]
+    fn export_metrics_labels_every_series() {
+        let c = MemCounters {
+            loads: 100,
+            l1_hits: 70,
+            l2_hits: 20,
+            llc_hits: 5,
+            demand_fills: 5,
+            sw_pf_issued: 40,
+            fb_hits_swpf: 4,
+            sw_pf_offcore: 30,
+            stall_dram: 900,
+            ..Default::default()
+        };
+        let r = Registry::new();
+        let labels = [("workload", "BFS"), ("config", "aptget")];
+        c.export_metrics(&r, &labels);
+        // A second export accumulates (counters are cumulative across sims).
+        c.export_metrics(&r, &labels);
+        assert_eq!(
+            r.counter_value("apt_mem_demand_loads_total", &labels),
+            Some(200)
+        );
+        assert_eq!(
+            r.counter_value(
+                "apt_mem_level_hits_total",
+                &[("workload", "BFS"), ("config", "aptget"), ("level", "l1")]
+            ),
+            Some(140)
+        );
+        assert_eq!(
+            r.counter_value(
+                "apt_mem_sw_pf_total",
+                &[
+                    ("workload", "BFS"),
+                    ("config", "aptget"),
+                    ("disposition", "issued")
+                ]
+            ),
+            Some(80)
+        );
+        assert_eq!(
+            r.counter_value(
+                "apt_mem_stall_cycles_total",
+                &[("workload", "BFS"), ("config", "aptget"), ("level", "dram")]
+            ),
+            Some(1800)
+        );
+        // Gauges report the last simulation, not a sum.
+        let acc = r
+            .gauge_value("apt_mem_prefetch_accuracy_ratio", &labels)
+            .unwrap();
+        assert!((acc - c.prefetch_accuracy()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn export_to_disabled_registry_is_a_noop() {
+        let r = Registry::disabled();
+        MemCounters::default().export_metrics(&r, &[]);
+        assert_eq!(r.counter_value("apt_mem_demand_loads_total", &[]), None);
     }
 }

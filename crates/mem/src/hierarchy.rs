@@ -376,6 +376,39 @@ impl Hierarchy {
     pub fn mshr_occupancy(&self) -> usize {
         self.mshr.occupancy()
     }
+
+    /// Peak MSHR occupancy over the simulation so far.
+    pub fn mshr_peak(&self) -> usize {
+        self.mshr.peak()
+    }
+
+    /// Configured MSHR entry count.
+    pub fn mshr_capacity(&self) -> usize {
+        self.mshr.capacity()
+    }
+
+    /// Exports this hierarchy's [`MemCounters`] plus MSHR pressure gauges
+    /// into `registry` (once, at end of simulation).
+    pub fn export_metrics(&self, registry: &apt_metrics::Registry, labels: &[(&str, &str)]) {
+        if !registry.is_enabled() {
+            return;
+        }
+        self.counters.export_metrics(registry, labels);
+        registry
+            .gauge(
+                "apt_mem_mshr_peak_occupancy",
+                "Peak fill-buffer occupancy of the last exported simulation",
+                labels,
+            )
+            .set(self.mshr.peak() as f64);
+        registry
+            .gauge(
+                "apt_mem_mshr_capacity",
+                "Configured fill-buffer entries",
+                labels,
+            )
+            .set(self.mshr.capacity() as f64);
+    }
 }
 
 #[cfg(test)]

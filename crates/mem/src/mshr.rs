@@ -27,6 +27,7 @@ pub struct MshrEntry {
 pub struct MshrFile {
     entries: Vec<MshrEntry>,
     capacity: usize,
+    peak: usize,
 }
 
 impl MshrFile {
@@ -35,6 +36,7 @@ impl MshrFile {
         MshrFile {
             entries: Vec::with_capacity(capacity),
             capacity,
+            peak: 0,
         }
     }
 
@@ -46,6 +48,16 @@ impl MshrFile {
     /// Number of occupied entries.
     pub fn occupancy(&self) -> usize {
         self.entries.len()
+    }
+
+    /// High-water mark of [`MshrFile::occupancy`] over the file's lifetime.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Configured entry count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// True if a new entry can be allocated.
@@ -63,6 +75,7 @@ impl MshrFile {
             return false;
         }
         self.entries.push(entry);
+        self.peak = self.peak.max(self.entries.len());
         true
     }
 
@@ -129,6 +142,24 @@ mod tests {
         let lines: Vec<u64> = done.iter().map(|e| e.line).collect();
         assert_eq!(lines, vec![1, 2]);
         assert_eq!(m.occupancy(), 1);
+    }
+
+    #[test]
+    fn peak_is_a_high_water_mark() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.peak(), 0);
+        assert_eq!(m.capacity(), 4);
+        m.allocate(entry(1, 10));
+        m.allocate(entry(2, 20));
+        assert_eq!(m.peak(), 2);
+        // Draining lowers occupancy but never the peak.
+        m.drain_ready(15);
+        assert_eq!(m.occupancy(), 1);
+        assert_eq!(m.peak(), 2);
+        m.allocate(entry(3, 30));
+        assert_eq!(m.peak(), 2);
+        m.allocate(entry(4, 40));
+        assert_eq!(m.peak(), 3);
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! # apt-metrics
+//!
+//! Workspace-wide observability for the APT-GET reproduction:
+//!
+//! * [`registry`] — named counter/gauge/histogram families with labels.
+//!   Disabled handles cost a single branch (the `TraceConfig::off`
+//!   discipline); enabled updates are one relaxed atomic RMW.
+//! * [`prom`] — deterministic Prometheus text exposition (format 0.0.4)
+//!   plus a small validating parser used by the property tests.
+//! * [`serve`] — a std-only `GET /metrics` scrape endpoint.
+//! * [`progress`] — live campaign progress on stderr (stdout stays
+//!   byte-identical for the determinism invariants).
+//! * [`snapshot`] — `BENCH_<n>.json` benchmark snapshots and the
+//!   `bench-gate` regression comparison.
+//! * [`json`] — the hand-rolled JSON subset backing the snapshots (the
+//!   workspace is offline: no serde).
+//!
+//! Metric naming convention: `apt_<crate>_<name>_<unit>` — see
+//! DESIGN.md §13.
+
+pub mod json;
+pub mod progress;
+pub mod prom;
+pub mod registry;
+pub mod serve;
+pub mod snapshot;
+
+pub use progress::{Progress, ProgressReporter, ProgressSnapshot};
+pub use prom::{render_prometheus, Exposition, Sample};
+pub use registry::{Counter, Gauge, Histogram, MetricKind, Registry, WALL_US_BUCKETS};
+pub use serve::MetricsServer;
+pub use snapshot::{
+    gate, BenchSnapshot, GateConfig, GateReport, OutcomeMix, WorkloadBench, SNAPSHOT_SCHEMA,
+};

@@ -1,0 +1,382 @@
+//! Live campaign progress on stderr.
+//!
+//! Campaign results go to stdout and are byte-identical across `--jobs`
+//! values and cache states (a PR 2 invariant), so progress must live
+//! entirely on stderr and default to off. The `Progress` handle follows
+//! the registry's discipline: a disabled handle is a `None` and every
+//! update is a single branch.
+
+use std::io::{IsTerminal, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct State {
+    start: Instant,
+    total: AtomicU64,
+    completed: AtomicU64,
+    in_flight: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    sim_cycles: AtomicU64,
+    busy_us: AtomicU64,
+    workers: AtomicU64,
+}
+
+/// Shared campaign-progress handle. Cloning is cheap; a default handle
+/// is disabled and every update on it is a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct Progress {
+    inner: Option<Arc<State>>,
+}
+
+impl Progress {
+    pub fn new() -> Self {
+        Progress {
+            inner: Some(Arc::new(State {
+                start: Instant::now(),
+                total: AtomicU64::new(0),
+                completed: AtomicU64::new(0),
+                in_flight: AtomicU64::new(0),
+                cache_hits: AtomicU64::new(0),
+                cache_misses: AtomicU64::new(0),
+                sim_cycles: AtomicU64::new(0),
+                busy_us: AtomicU64::new(0),
+                workers: AtomicU64::new(1),
+            })),
+        }
+    }
+
+    pub fn disabled() -> Self {
+        Progress::default()
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    pub fn set_total(&self, jobs: u64) {
+        if let Some(s) = &self.inner {
+            s.total.store(jobs, Ordering::Relaxed);
+        }
+    }
+
+    pub fn set_workers(&self, workers: u64) {
+        if let Some(s) = &self.inner {
+            s.workers.store(workers.max(1), Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn job_started(&self) {
+        if let Some(s) = &self.inner {
+            s.in_flight.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a finished job along with the simulated cycles it covered
+    /// and the wall time its worker spent busy on it.
+    #[inline]
+    pub fn job_finished(&self, sim_cycles: u64, busy_us: u64) {
+        if let Some(s) = &self.inner {
+            s.in_flight.fetch_sub(1, Ordering::Relaxed);
+            s.completed.fetch_add(1, Ordering::Relaxed);
+            s.sim_cycles.fetch_add(sim_cycles, Ordering::Relaxed);
+            s.busy_us.fetch_add(busy_us, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn cache_hit(&self) {
+        if let Some(s) = &self.inner {
+            s.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn cache_miss(&self) {
+        if let Some(s) = &self.inner {
+            s.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Point-in-time view; `None` on a disabled handle.
+    pub fn snapshot(&self) -> Option<ProgressSnapshot> {
+        let s = self.inner.as_ref()?;
+        Some(ProgressSnapshot {
+            wall: s.start.elapsed(),
+            total: s.total.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            in_flight: s.in_flight.load(Ordering::Relaxed),
+            cache_hits: s.cache_hits.load(Ordering::Relaxed),
+            cache_misses: s.cache_misses.load(Ordering::Relaxed),
+            sim_cycles: s.sim_cycles.load(Ordering::Relaxed),
+            busy_us: s.busy_us.load(Ordering::Relaxed),
+            workers: s.workers.load(Ordering::Relaxed).max(1),
+        })
+    }
+}
+
+/// Point-in-time campaign progress.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressSnapshot {
+    pub wall: Duration,
+    pub total: u64,
+    pub completed: u64,
+    pub in_flight: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub sim_cycles: u64,
+    pub busy_us: u64,
+    pub workers: u64,
+}
+
+impl ProgressSnapshot {
+    /// Profile-cache hit ratio in [0, 1]; `None` before any lookup.
+    pub fn cache_hit_ratio(&self) -> Option<f64> {
+        let lookups = self.cache_hits + self.cache_misses;
+        (lookups > 0).then(|| self.cache_hits as f64 / lookups as f64)
+    }
+
+    /// Simulated cycles per wall-clock second, across all workers.
+    pub fn cycles_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.sim_cycles as f64 / secs
+        }
+    }
+
+    /// Mean worker utilization in [0, 1]: busy wall time summed over
+    /// workers divided by `workers * elapsed`.
+    pub fn utilization(&self) -> f64 {
+        let capacity_us = self.wall.as_micros() as f64 * self.workers as f64;
+        if capacity_us <= 0.0 {
+            0.0
+        } else {
+            (self.busy_us as f64 / capacity_us).min(1.0)
+        }
+    }
+
+    /// Remaining-time estimate from mean completed-job throughput.
+    pub fn eta(&self) -> Option<Duration> {
+        if self.completed == 0 || self.total <= self.completed {
+            return None;
+        }
+        let per_job = self.wall.as_secs_f64() / self.completed as f64;
+        Some(Duration::from_secs_f64(
+            per_job * (self.total - self.completed) as f64,
+        ))
+    }
+
+    /// One status line, e.g.
+    /// `[ 3/12] 2 in flight | util 87% | cache 4/6 hit | 1.2e8 sim cyc/s | eta 12.3s`.
+    pub fn render(&self) -> String {
+        let mut line = format!(
+            "[{:>3}/{}] {} in flight | util {:>3.0}%",
+            self.completed,
+            self.total,
+            self.in_flight,
+            self.utilization() * 100.0
+        );
+        match self.cache_hit_ratio() {
+            Some(r) => {
+                line.push_str(&format!(
+                    " | cache {}/{} hit ({:.0}%)",
+                    self.cache_hits,
+                    self.cache_hits + self.cache_misses,
+                    r * 100.0
+                ));
+            }
+            None => line.push_str(" | cache --"),
+        }
+        line.push_str(&format!(" | {:.2e} sim cyc/s", self.cycles_per_sec()));
+        match self.eta() {
+            Some(eta) => line.push_str(&format!(" | eta {:.1}s", eta.as_secs_f64())),
+            None if self.total > 0 && self.completed >= self.total => line.push_str(" | done"),
+            None => line.push_str(" | eta --"),
+        }
+        line
+    }
+}
+
+/// Background thread that renders `Progress` to stderr at a fixed
+/// interval. Uses `\r` in-place updates when stderr is a terminal and
+/// plain lines otherwise (CI logs).
+#[derive(Debug)]
+pub struct ProgressReporter {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ProgressReporter {
+    pub fn spawn(progress: Progress, interval: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("apt-progress".to_string())
+            .spawn(move || {
+                let tty = std::io::stderr().is_terminal();
+                let mut last = String::new();
+                while !stop2.load(Ordering::Relaxed) {
+                    if let Some(snap) = progress.snapshot() {
+                        let line = snap.render();
+                        if line != last {
+                            if tty {
+                                eprint!("\r\x1b[2K{line}");
+                                let _ = std::io::stderr().flush();
+                            } else {
+                                eprintln!("{line}");
+                            }
+                            last = line;
+                        }
+                    }
+                    std::thread::sleep(interval);
+                }
+                // Final state, on its own completed line.
+                if let Some(snap) = progress.snapshot() {
+                    if tty {
+                        eprint!("\r\x1b[2K{}\n", snap.render());
+                        let _ = std::io::stderr().flush();
+                    } else {
+                        eprintln!("{}", snap.render());
+                    }
+                }
+            })
+            .expect("spawn progress reporter");
+        ProgressReporter {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the reporter and waits for its final line.
+    pub fn finish(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ProgressReporter {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let p = Progress::disabled();
+        assert!(!p.is_enabled());
+        p.set_total(10);
+        p.job_started();
+        p.job_finished(100, 100);
+        p.cache_hit();
+        assert!(p.snapshot().is_none());
+    }
+
+    #[test]
+    fn counts_flow_into_snapshot() {
+        let p = Progress::new();
+        p.set_total(4);
+        p.set_workers(2);
+        p.job_started();
+        p.job_started();
+        p.job_finished(1_000, 500);
+        p.cache_hit();
+        p.cache_hit();
+        p.cache_miss();
+        let snap = p.snapshot().unwrap();
+        assert_eq!(snap.total, 4);
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.in_flight, 1);
+        assert_eq!(snap.sim_cycles, 1_000);
+        assert_eq!(snap.busy_us, 500);
+        assert_eq!(snap.cache_hit_ratio(), Some(2.0 / 3.0));
+    }
+
+    #[test]
+    fn eta_requires_progress_and_remaining_work() {
+        let mut snap = ProgressSnapshot {
+            wall: Duration::from_secs(10),
+            total: 4,
+            completed: 2,
+            in_flight: 1,
+            cache_hits: 0,
+            cache_misses: 0,
+            sim_cycles: 0,
+            busy_us: 0,
+            workers: 2,
+        };
+        let eta = snap.eta().unwrap();
+        assert!((eta.as_secs_f64() - 10.0).abs() < 1e-9, "{eta:?}");
+        snap.completed = 0;
+        assert!(snap.eta().is_none());
+        snap.completed = 4;
+        assert!(snap.eta().is_none());
+    }
+
+    #[test]
+    fn utilization_is_clamped_and_scaled_by_workers() {
+        let snap = ProgressSnapshot {
+            wall: Duration::from_micros(1_000),
+            total: 1,
+            completed: 1,
+            in_flight: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            sim_cycles: 0,
+            busy_us: 1_500,
+            workers: 2,
+        };
+        assert!((snap.utilization() - 0.75).abs() < 1e-9);
+        let over = ProgressSnapshot {
+            busy_us: 10_000,
+            ..snap
+        };
+        assert_eq!(over.utilization(), 1.0);
+    }
+
+    #[test]
+    fn render_mentions_the_key_numbers() {
+        let snap = ProgressSnapshot {
+            wall: Duration::from_secs(1),
+            total: 12,
+            completed: 3,
+            in_flight: 2,
+            cache_hits: 4,
+            cache_misses: 2,
+            sim_cycles: 120_000_000,
+            busy_us: 1_900_000,
+            workers: 2,
+        };
+        let line = snap.render();
+        assert!(line.contains("[  3/12]"), "{line}");
+        assert!(line.contains("2 in flight"), "{line}");
+        assert!(line.contains("cache 4/6 hit"), "{line}");
+        assert!(line.contains("sim cyc/s"), "{line}");
+        assert!(line.contains("eta"), "{line}");
+    }
+
+    #[test]
+    fn reporter_stops_cleanly() {
+        let p = Progress::new();
+        p.set_total(1);
+        let reporter = ProgressReporter::spawn(p.clone(), Duration::from_millis(5));
+        p.job_started();
+        p.job_finished(10, 10);
+        std::thread::sleep(Duration::from_millis(20));
+        reporter.finish();
+    }
+}

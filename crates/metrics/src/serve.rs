@@ -1,0 +1,173 @@
+//! Minimal std-only Prometheus scrape endpoint.
+//!
+//! One background thread, a non-blocking `TcpListener`, and a hand-written
+//! HTTP/1.0 response — just enough for `curl`/Prometheus to scrape
+//! `GET /metrics`. No external HTTP stack (the workspace is offline).
+
+use crate::registry::Registry;
+use crate::render_prometheus;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running scrape endpoint. Dropping it stops the listener thread.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`, or port 0 for an ephemeral
+    /// port) and serves `GET /metrics` from `registry` until shutdown.
+    pub fn bind(addr: &str, registry: Registry) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("apt-metrics-serve".to_string())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // One request per connection; errors on a single
+                            // connection never take the endpoint down.
+                            let _ = serve_one(stream, &registry);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(25));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(25)),
+                    }
+                }
+            })
+            .expect("spawn metrics server");
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener thread and waits for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve_one(mut stream: TcpStream, registry: &Registry) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    // Read the request head; we only need the request line.
+    let mut buf = [0u8; 2048];
+    let mut head = Vec::new();
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 16 * 1024 {
+            break;
+        }
+    }
+    let request_line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .map(String::from_utf8_lossy)
+        .unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, body) = match (method, path) {
+        ("GET", "/metrics") | ("GET", "/") => ("200 OK", render_prometheus(registry)),
+        ("GET", _) => ("404 Not Found", "not found\n".to_string()),
+        _ => (
+            "405 Method Not Allowed",
+            "only GET is supported\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Binds an ephemeral-port server, or `None` when the sandbox forbids
+    /// sockets — the test then skips rather than fails.
+    fn try_server(registry: Registry) -> Option<MetricsServer> {
+        match MetricsServer::bind("127.0.0.1:0", registry) {
+            Ok(server) => Some(server),
+            Err(e) => {
+                eprintln!("skipping serve test: cannot bind a socket here ({e})");
+                None
+            }
+        }
+    }
+
+    fn http_get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").as_bytes())
+            .expect("send request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        response
+    }
+
+    #[test]
+    fn scrape_returns_current_metrics() {
+        let registry = Registry::new();
+        let jobs = registry.counter("apt_test_jobs_total", "Jobs", &[]);
+        let Some(server) = try_server(registry) else {
+            return;
+        };
+        jobs.add(3);
+        let response = http_get(server.addr(), "/metrics");
+        assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+        assert!(response.contains("text/plain; version=0.0.4"), "{response}");
+        assert!(response.contains("apt_test_jobs_total 3"), "{response}");
+        // Counters keep moving between scrapes.
+        jobs.add(2);
+        assert!(http_get(server.addr(), "/metrics").contains("apt_test_jobs_total 5"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_path_is_404() {
+        let Some(server) = try_server(Registry::new()) else {
+            return;
+        };
+        let response = http_get(server.addr(), "/nope");
+        assert!(response.starts_with("HTTP/1.0 404"), "{response}");
+        server.shutdown();
+    }
+}

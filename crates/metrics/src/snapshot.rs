@@ -1,0 +1,437 @@
+//! Benchmark snapshots (`BENCH_<n>.json`) and the regression gate.
+//!
+//! A snapshot records, per workload, the simulated cycle counts of the
+//! three configurations the paper compares (baseline, Ainsworth & Jones
+//! style next-line, APT-GET profile-guided) plus the prefetch-outcome
+//! mix of the APT-GET run and campaign-level wall time / cache stats.
+//!
+//! The gate (`bench-gate` subcommand) compares a fresh snapshot against
+//! a committed baseline. Simulated cycles are deterministic, so the
+//! default tolerance only needs to absorb intentional model changes;
+//! wall times are recorded for humans and never gated on.
+
+use crate::json::{self, Json};
+use std::fmt::Write as _;
+
+/// Prefetch-outcome mix of one APT-GET cell, copied from the tracer's
+/// `OutcomeTable` totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeMix {
+    pub issued: u64,
+    pub timely: u64,
+    pub late: u64,
+    pub early: u64,
+    pub useless: u64,
+    pub redundant: u64,
+    pub dropped: u64,
+}
+
+impl OutcomeMix {
+    fn write_json(&self, out: &mut String, indent: &str) {
+        let _ = write!(
+            out,
+            "{{\n{indent}  \"issued\": {},\n{indent}  \"timely\": {},\n{indent}  \"late\": {},\n{indent}  \"early\": {},\n{indent}  \"useless\": {},\n{indent}  \"redundant\": {},\n{indent}  \"dropped\": {}\n{indent}}}",
+            self.issued, self.timely, self.late, self.early, self.useless, self.redundant,
+            self.dropped
+        );
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(OutcomeMix {
+            issued: v.u64_field("issued")?,
+            timely: v.u64_field("timely")?,
+            late: v.u64_field("late")?,
+            early: v.u64_field("early")?,
+            useless: v.u64_field("useless")?,
+            redundant: v.u64_field("redundant")?,
+            dropped: v.u64_field("dropped")?,
+        })
+    }
+}
+
+/// Per-workload benchmark results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadBench {
+    pub workload: String,
+    pub baseline_cycles: u64,
+    pub aj_cycles: u64,
+    pub aptget_cycles: u64,
+    /// baseline / A&J cycles.
+    pub speedup_aj: f64,
+    /// baseline / APT-GET cycles.
+    pub speedup_aptget: f64,
+    /// Outcome mix of the APT-GET cell (absent when outcome tracing was off).
+    pub outcomes: Option<OutcomeMix>,
+    /// Wall time of the slowest cell for this workload, microseconds.
+    /// Informational only — never compared by the gate.
+    pub wall_us: u64,
+}
+
+impl WorkloadBench {
+    pub fn new(workload: &str, baseline_cycles: u64, aj_cycles: u64, aptget_cycles: u64) -> Self {
+        let speedup = |denom: u64| {
+            if denom == 0 {
+                0.0
+            } else {
+                baseline_cycles as f64 / denom as f64
+            }
+        };
+        WorkloadBench {
+            workload: workload.to_string(),
+            baseline_cycles,
+            aj_cycles,
+            aptget_cycles,
+            speedup_aj: speedup(aj_cycles),
+            speedup_aptget: speedup(aptget_cycles),
+            outcomes: None,
+            wall_us: 0,
+        }
+    }
+}
+
+/// A full benchmark snapshot, one per campaign run with `--bench-out`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchSnapshot {
+    /// Bumped if the JSON layout changes incompatibly.
+    pub schema: u32,
+    /// Free-form provenance string ("apteval --jobs 2 --scale 0.02 ...").
+    pub config: String,
+    pub workloads: Vec<WorkloadBench>,
+    /// Campaign wall time, microseconds. Informational only.
+    pub wall_us: u64,
+    /// Profile-cache hits / misses during the campaign.
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+}
+
+pub const SNAPSHOT_SCHEMA: u32 = 1;
+
+impl BenchSnapshot {
+    pub fn new(config: String) -> Self {
+        BenchSnapshot {
+            schema: SNAPSHOT_SCHEMA,
+            config,
+            ..Default::default()
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": ");
+        let _ = write!(out, "{}", self.schema);
+        out.push_str(",\n  \"config\": ");
+        json::write_str(&mut out, &self.config);
+        let _ = write!(
+            out,
+            ",\n  \"wall_us\": {},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"workloads\": [",
+            self.wall_us, self.cache_hits, self.cache_misses
+        );
+        for (i, w) in self.workloads.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n      \"workload\": ");
+            json::write_str(&mut out, &w.workload);
+            let _ = write!(
+                out,
+                ",\n      \"baseline_cycles\": {},\n      \"aj_cycles\": {},\n      \"aptget_cycles\": {},\n      \"speedup_aj\": ",
+                w.baseline_cycles, w.aj_cycles, w.aptget_cycles
+            );
+            json::write_f64(&mut out, w.speedup_aj);
+            out.push_str(",\n      \"speedup_aptget\": ");
+            json::write_f64(&mut out, w.speedup_aptget);
+            let _ = write!(out, ",\n      \"wall_us\": {}", w.wall_us);
+            if let Some(mix) = &w.outcomes {
+                out.push_str(",\n      \"outcomes\": ");
+                mix.write_json(&mut out, "      ");
+            }
+            out.push_str("\n    }");
+        }
+        if !self.workloads.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text)?;
+        let schema = doc.u64_field("schema")? as u32;
+        if schema != SNAPSHOT_SCHEMA {
+            return Err(format!(
+                "snapshot schema {schema} unsupported (expected {SNAPSHOT_SCHEMA})"
+            ));
+        }
+        let mut snap = BenchSnapshot::new(doc.str_field("config")?.to_string());
+        snap.wall_us = doc.u64_field("wall_us")?;
+        snap.cache_hits = doc.u64_field("cache_hits")?;
+        snap.cache_misses = doc.u64_field("cache_misses")?;
+        let workloads = doc
+            .get("workloads")
+            .and_then(Json::as_arr)
+            .ok_or("missing `workloads` array")?;
+        for w in workloads {
+            let mut bench = WorkloadBench::new(
+                w.str_field("workload")?,
+                w.u64_field("baseline_cycles")?,
+                w.u64_field("aj_cycles")?,
+                w.u64_field("aptget_cycles")?,
+            );
+            // Stored speedups win over recomputed ones so the gate compares
+            // exactly what the producing run reported.
+            bench.speedup_aj = w.num_field("speedup_aj")?;
+            bench.speedup_aptget = w.num_field("speedup_aptget")?;
+            bench.wall_us = w.u64_field("wall_us")?;
+            if let Some(mix) = w.get("outcomes") {
+                bench.outcomes = Some(OutcomeMix::from_json(mix)?);
+            }
+            snap.workloads.push(bench);
+        }
+        Ok(snap)
+    }
+}
+
+/// Gate configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GateConfig {
+    /// Maximum tolerated relative regression, e.g. `0.05` = 5 %. Applies
+    /// to per-configuration cycle counts (higher is a regression for all
+    /// of them) and to speedups (lower is a regression).
+    pub tolerance: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig { tolerance: 0.05 }
+    }
+}
+
+/// One gate comparison line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateCheck {
+    pub workload: String,
+    pub metric: &'static str,
+    pub baseline: f64,
+    pub current: f64,
+    /// Signed relative change, positive = worse.
+    pub regression: f64,
+    pub failed: bool,
+}
+
+/// Result of gating a snapshot against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    pub checks: Vec<GateCheck>,
+    /// Structural problems (missing workloads, schema issues).
+    pub errors: Vec<String>,
+}
+
+impl GateReport {
+    pub fn passed(&self) -> bool {
+        self.errors.is_empty() && self.checks.iter().all(|c| !c.failed)
+    }
+
+    /// Human-readable multi-line report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for err in &self.errors {
+            let _ = writeln!(out, "ERROR  {err}");
+        }
+        for c in &self.checks {
+            let _ = writeln!(
+                out,
+                "{}  {:<10} {:<16} baseline {:>14.4}  current {:>14.4}  change {:>+8.3}%",
+                if c.failed { "FAIL " } else { "ok   " },
+                c.workload,
+                c.metric,
+                c.baseline,
+                c.current,
+                c.regression * 100.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "bench-gate: {} checks, {} failures, {} errors => {}",
+            self.checks.len(),
+            self.checks.iter().filter(|c| c.failed).count(),
+            self.errors.len(),
+            if self.passed() { "PASS" } else { "FAIL" }
+        );
+        out
+    }
+}
+
+/// Compares `current` against `baseline`, flagging regressions beyond
+/// `cfg.tolerance`. Cycle counts regress upward; speedups regress
+/// downward. Improvements never fail the gate.
+pub fn gate(baseline: &BenchSnapshot, current: &BenchSnapshot, cfg: &GateConfig) -> GateReport {
+    let mut report = GateReport::default();
+    for base in &baseline.workloads {
+        let Some(cur) = current
+            .workloads
+            .iter()
+            .find(|w| w.workload == base.workload)
+        else {
+            report.errors.push(format!(
+                "workload `{}` missing from current snapshot",
+                base.workload
+            ));
+            continue;
+        };
+        let mut check = |metric: &'static str, b: f64, c: f64, higher_is_worse: bool| {
+            let regression = if b == 0.0 {
+                if c == 0.0 {
+                    0.0
+                } else if higher_is_worse {
+                    f64::INFINITY
+                } else {
+                    f64::NEG_INFINITY
+                }
+            } else if higher_is_worse {
+                (c - b) / b
+            } else {
+                (b - c) / b
+            };
+            report.checks.push(GateCheck {
+                workload: base.workload.clone(),
+                metric,
+                baseline: b,
+                current: c,
+                regression,
+                failed: regression > cfg.tolerance,
+            });
+        };
+        check(
+            "baseline_cycles",
+            base.baseline_cycles as f64,
+            cur.baseline_cycles as f64,
+            true,
+        );
+        check(
+            "aj_cycles",
+            base.aj_cycles as f64,
+            cur.aj_cycles as f64,
+            true,
+        );
+        check(
+            "aptget_cycles",
+            base.aptget_cycles as f64,
+            cur.aptget_cycles as f64,
+            true,
+        );
+        check("speedup_aj", base.speedup_aj, cur.speedup_aj, false);
+        check(
+            "speedup_aptget",
+            base.speedup_aptget,
+            cur.speedup_aptget,
+            false,
+        );
+    }
+    for cur in &current.workloads {
+        if !baseline
+            .workloads
+            .iter()
+            .any(|w| w.workload == cur.workload)
+        {
+            report.errors.push(format!(
+                "workload `{}` absent from baseline (update bench/baseline.json)",
+                cur.workload
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchSnapshot {
+        let mut snap = BenchSnapshot::new("apteval --jobs 2 --scale 0.02".to_string());
+        snap.wall_us = 123_456;
+        snap.cache_hits = 4;
+        snap.cache_misses = 2;
+        let mut w = WorkloadBench::new("BFS", 1_000_000, 900_000, 700_000);
+        w.wall_us = 55_000;
+        w.outcomes = Some(OutcomeMix {
+            issued: 100,
+            timely: 60,
+            late: 20,
+            early: 5,
+            useless: 10,
+            redundant: 5,
+            dropped: 0,
+        });
+        snap.workloads.push(w);
+        snap.workloads.push(WorkloadBench::new(
+            "RandAcc", 2_000_000, 1_500_000, 1_200_000,
+        ));
+        snap
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let snap = sample();
+        let text = snap.to_json();
+        let back = BenchSnapshot::from_json(&text).expect("valid snapshot JSON");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = BenchSnapshot::new(String::new());
+        let back = BenchSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let text = sample()
+            .to_json()
+            .replace("\"schema\": 1", "\"schema\": 99");
+        assert!(BenchSnapshot::from_json(&text).is_err());
+    }
+
+    #[test]
+    fn identical_snapshots_pass_the_gate() {
+        let snap = sample();
+        let report = gate(&snap, &snap, &GateConfig::default());
+        assert!(report.passed(), "{}", report.render());
+        assert_eq!(report.checks.len(), 10);
+    }
+
+    #[test]
+    fn cycle_regression_beyond_tolerance_fails() {
+        let base = sample();
+        let mut cur = sample();
+        // 10 % more APT-GET cycles on BFS: beyond the default 5 % tolerance.
+        cur.workloads[0].aptget_cycles = 770_000;
+        cur.workloads[0].speedup_aptget = 1_000_000.0 / 770_000.0;
+        let report = gate(&base, &cur, &GateConfig::default());
+        assert!(!report.passed());
+        let failed: Vec<_> = report.checks.iter().filter(|c| c.failed).collect();
+        assert!(failed.iter().any(|c| c.metric == "aptget_cycles"));
+        assert!(failed.iter().any(|c| c.metric == "speedup_aptget"));
+        // A looser tolerance admits the same change.
+        assert!(gate(&base, &cur, &GateConfig { tolerance: 0.2 }).passed());
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let base = sample();
+        let mut cur = sample();
+        cur.workloads[0].aptget_cycles = 350_000; // 2x faster
+        cur.workloads[0].speedup_aptget = 1_000_000.0 / 350_000.0;
+        assert!(gate(&base, &cur, &GateConfig::default()).passed());
+    }
+
+    #[test]
+    fn missing_and_extra_workloads_are_errors() {
+        let base = sample();
+        let mut cur = sample();
+        cur.workloads[1].workload = "Camel".to_string();
+        let report = gate(&base, &cur, &GateConfig::default());
+        assert!(!report.passed());
+        assert_eq!(report.errors.len(), 2); // RandAcc missing + Camel extra
+    }
+}

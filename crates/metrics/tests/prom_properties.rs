@@ -1,0 +1,126 @@
+//! Property tests for the Prometheus exposition: whatever the registry
+//! renders must be valid exposition format and round-trip through the
+//! in-repo parser (`prom::parse`), with counters staying monotone across
+//! re-renders and histogram buckets staying cumulative.
+
+use apt_metrics::prom;
+use apt_metrics::registry::Registry;
+use apt_metrics::render_prometheus;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Label values drawn from a palette chosen to stress the escaper:
+/// the three escaped characters (`\`, `"`, newline) plus the label-set
+/// structural characters (`,`, `{`, `}`, `=`), spaces, and non-ASCII.
+fn label_value() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop::sample::select(vec![
+            'a', 'Z', '0', '_', '\\', '"', '\n', ',', '{', '}', '=', ' ', 'µ', '→',
+        ]),
+        0..12,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+const FAMILIES: [&str; 4] = [
+    "apt_prop_a_total",
+    "apt_prop_b_total",
+    "apt_prop_c_total",
+    "apt_prop_d_total",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any mix of counter families and nasty label values renders to a
+    /// document that parses, declares each `# TYPE` exactly once, and
+    /// reports every accumulated value exactly.
+    #[test]
+    fn render_parse_round_trips(
+        entries in prop::collection::vec((0usize..4, label_value(), 0u64..1000), 1..10)
+    ) {
+        let registry = Registry::new();
+        let mut expected: BTreeMap<(usize, String), u64> = BTreeMap::new();
+        for (family, value, add) in &entries {
+            registry
+                .counter(FAMILIES[*family], "property counter", &[("v", value)])
+                .add(*add);
+            *expected.entry((*family, value.clone())).or_default() += *add;
+        }
+
+        let text = render_prometheus(&registry);
+        let doc = prom::parse(&text).map_err(TestCaseError::fail)?;
+        for ((family, value), total) in &expected {
+            prop_assert_eq!(
+                doc.value(FAMILIES[*family], &[("v", value)]),
+                Some(*total as f64),
+                "family {} value {:?} in:\n{}", FAMILIES[*family], value, text
+            );
+        }
+
+        // `# TYPE` appears exactly once per family (the parser rejects
+        // duplicates; here we also pin the count to the distinct families).
+        let type_lines = text.lines().filter(|l| l.starts_with("# TYPE ")).count();
+        let distinct: std::collections::BTreeSet<usize> =
+            expected.keys().map(|(f, _)| *f).collect();
+        prop_assert_eq!(type_lines, distinct.len());
+        prop_assert_eq!(doc.types.len(), distinct.len());
+    }
+
+    /// Re-rendering after more increments never shows a counter going
+    /// backwards.
+    #[test]
+    fn counter_re_renders_are_monotone(adds in prop::collection::vec(0u64..50, 1..8)) {
+        let registry = Registry::new();
+        let counter = registry.counter("apt_prop_mono_total", "h", &[]);
+        let mut last = -1.0;
+        for add in adds {
+            counter.add(add);
+            let doc = prom::parse(&render_prometheus(&registry)).map_err(TestCaseError::fail)?;
+            let v = doc.value("apt_prop_mono_total", &[]).expect("series exists");
+            prop_assert!(v >= last, "counter went backwards: {v} < {last}");
+            last = v;
+        }
+    }
+
+    /// Rendered histogram buckets are cumulative and consistent with the
+    /// `_count` / `_sum` series.
+    #[test]
+    fn histogram_buckets_stay_cumulative(obs in prop::collection::vec(0u64..5000, 0..40)) {
+        let registry = Registry::new();
+        let hist = registry.histogram("apt_prop_h_us", "h", &[], &[10, 100, 1000]);
+        for v in &obs {
+            hist.observe(*v);
+        }
+        let text = render_prometheus(&registry);
+        let doc = prom::parse(&text).map_err(TestCaseError::fail)?;
+        let counts: Vec<f64> = doc
+            .series("apt_prop_h_us_bucket")
+            .iter()
+            .map(|s| s.value)
+            .collect();
+        prop_assert_eq!(counts.len(), 4, "three finite buckets plus +Inf:\n{}", text);
+        prop_assert!(counts.windows(2).all(|w| w[0] <= w[1]), "not cumulative: {:?}", counts);
+        prop_assert_eq!(*counts.last().unwrap(), obs.len() as f64);
+        prop_assert_eq!(doc.value("apt_prop_h_us_count", &[]), Some(obs.len() as f64));
+        prop_assert_eq!(
+            doc.value("apt_prop_h_us_sum", &[]),
+            Some(obs.iter().sum::<u64>() as f64)
+        );
+    }
+
+    /// Escaping alone: any palette string survives render → parse as a
+    /// label value.
+    #[test]
+    fn nasty_label_values_round_trip(value in label_value()) {
+        let registry = Registry::new();
+        registry.counter("apt_prop_esc_total", "h", &[("k", &value)]).inc();
+        let text = render_prometheus(&registry);
+        let doc = prom::parse(&text).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(
+            doc.value("apt_prop_esc_total", &[("k", &value)]),
+            Some(1.0),
+            "value {:?} in:\n{}", value, text
+        );
+    }
+}

@@ -52,6 +52,33 @@ impl Histogram {
         self.counts.iter().sum()
     }
 
+    /// The latency at quantile `q` (clamped to `[0, 1]`), resolved to a
+    /// bin centre: the centre of the first non-empty bin whose cumulative
+    /// mass reaches `q × total`. `q = 0` is the first non-empty bin,
+    /// `q = 1` the last. Returns `None` when the histogram holds no mass.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.total();
+        if total <= 0.0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * total;
+        let mut cum = 0.0;
+        let mut last_nonempty = None;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c <= 0.0 {
+                continue;
+            }
+            cum += c;
+            last_nonempty = Some(i);
+            if cum >= target {
+                return Some(self.bin_center(i));
+            }
+        }
+        // Floating-point shortfall (cum summed to slightly under total):
+        // fall back to the last non-empty bin.
+        last_nonempty.map(|i| self.bin_center(i))
+    }
+
     /// Returns a copy smoothed with a 3-tap binomial kernel, applied
     /// `passes` times (stabilises the CWT on spiky integer data).
     pub fn smoothed(&self, passes: usize) -> Histogram {
@@ -208,6 +235,49 @@ mod tests {
             hi.bin_width,
             Histogram::build(&values, 4, 1.0).unwrap().bin_width
         );
+    }
+
+    #[test]
+    fn quantile_endpoints_and_median() {
+        // 100 values 0..100 in 10-ish bins: q=0 is the first bin's centre,
+        // q=1 the last's, and the median lands in the middle bin.
+        let values: Vec<u64> = (0..100).collect();
+        let h = Histogram::build(&values, 10, 1.0).unwrap();
+        assert_eq!(h.quantile(0.0), Some(h.bin_center(0)));
+        assert_eq!(h.quantile(1.0), Some(h.bin_center(h.counts.len() - 1)));
+        let median = h.quantile(0.5).unwrap();
+        assert!((40..=60).contains(&median), "median bin centre {median}");
+        // Out-of-range quantiles clamp to the endpoints.
+        assert_eq!(h.quantile(-2.0), h.quantile(0.0));
+        assert_eq!(h.quantile(9.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_skips_empty_bins() {
+        let h = Histogram {
+            min: 0,
+            bin_width: 10,
+            counts: vec![0.0, 3.0, 0.0, 1.0, 0.0],
+        };
+        assert_eq!(h.quantile(0.0), Some(h.bin_center(1)));
+        assert_eq!(h.quantile(0.5), Some(h.bin_center(1)));
+        assert_eq!(h.quantile(1.0), Some(h.bin_center(3)));
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let h = Histogram {
+            min: 0,
+            bin_width: 1,
+            counts: vec![0.0; 4],
+        };
+        assert_eq!(h.quantile(0.5), None);
+        let no_bins = Histogram {
+            min: 0,
+            bin_width: 1,
+            counts: Vec::new(),
+        };
+        assert_eq!(no_bins.quantile(0.0), None);
     }
 
     #[test]

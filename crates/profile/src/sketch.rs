@@ -112,6 +112,19 @@ impl LatencySketch {
         None
     }
 
+    /// The exact quantile-`q` observation (clamped to `[0, 1]`): the
+    /// `⌊(n−1)·q⌋`-th order statistic of the multiset, matching the index
+    /// convention [`Histogram::build`] uses for tail clipping. `q = 0` is
+    /// the minimum, `q = 1` the maximum; an empty sketch yields `None`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let n = self.total();
+        if n == 0 {
+            return None;
+        }
+        let k = (((n - 1) as f64) * q.clamp(0.0, 1.0)) as u64;
+        self.kth(k)
+    }
+
     /// Builds the same histogram [`Histogram::build`] would build from
     /// the expanded multiset: identical `min`, `bin_width` and bin counts.
     /// Returns `None` exactly when `Histogram::build` would (no
@@ -198,6 +211,26 @@ mod tests {
         assert!(LatencySketch::from_values(&[1])
             .to_histogram(0, 1.0)
             .is_none());
+    }
+
+    #[test]
+    fn quantiles_are_exact_order_statistics() {
+        let s = LatencySketch::from_values(&[10, 10, 20, 30]);
+        assert_eq!(s.quantile(0.0), s.min());
+        assert_eq!(s.quantile(0.5), Some(10)); // k = ⌊3 · 0.5⌋ = 1.
+        assert_eq!(s.quantile(1.0), s.max());
+        // Out-of-range quantiles clamp instead of indexing out of bounds.
+        assert_eq!(s.quantile(-1.0), Some(10));
+        assert_eq!(s.quantile(42.0), Some(30));
+        // Odd count: the median is the literal middle observation.
+        let odd = LatencySketch::from_values(&[1, 2, 3, 4, 100]);
+        assert_eq!(odd.quantile(0.5), Some(3));
+    }
+
+    #[test]
+    fn quantile_of_empty_sketch_is_none() {
+        assert_eq!(LatencySketch::new().quantile(0.5), None);
+        assert_eq!(LatencySketch::new().quantile(0.0), None);
     }
 
     #[test]

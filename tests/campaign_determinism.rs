@@ -8,18 +8,14 @@
 
 use apt_bench::cache::ProfileCache;
 use apt_bench::eval::{run_campaign, CampaignConfig, CampaignReport};
-use aptget::PipelineConfig;
 
 /// Tiny, fast campaign over a workload mix that exercises both loop
 /// shapes (IS: flat induction; BFS: nested with fallback metadata).
 fn config(jobs: usize, cache: Option<ProfileCache>) -> CampaignConfig {
     CampaignConfig {
-        scale: 0.004,
-        seed: 42,
-        jobs,
         workloads: vec!["BFS".into(), "IS".into(), "RandAcc".into()],
-        pipeline: PipelineConfig::default(),
         cache,
+        ..CampaignConfig::new(0.004, 42, jobs)
     }
 }
 

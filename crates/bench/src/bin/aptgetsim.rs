@@ -15,8 +15,13 @@
 //! aptgetsim drift [--db PATH] [--fail-threshold TV]
 //!                                        # newest epoch vs merged history;
 //!                                        #   nonzero exit above threshold
-//! aptgetsim bench-gate SNAP.json --baseline BASE.json [--tolerance T]
-//!                                        # fail on benchmark regression
+//! aptgetsim bench-gate SNAP.json --baseline BASE.json [--tolerance T] [--phases]
+//!                                        # fail on benchmark regression;
+//!                                        #   --phases gates each detected
+//!                                        #   execution phase by name
+//! aptgetsim report BFS [--out FILE]      # one workload's matrix as a
+//!                                        #   self-contained HTML timeline
+//!                                        #   report (default report.html)
 //! aptgetsim serve-metrics BFS [--addr HOST:PORT]
 //!                                        # run one workload's matrix and
 //!                                        #   serve /metrics until killed
@@ -27,6 +32,7 @@
 use std::process::ExitCode;
 
 use apt_bench::eval::{campaign_cli, run_campaign, CampaignArgs, CampaignConfig};
+use apt_bench::report::render_campaign_report;
 use apt_bench::{compare_variants_traced, fx, pct, AJ_STATIC_DISTANCE};
 use apt_metrics::{gate, BenchSnapshot, GateConfig, MetricsServer, Registry};
 use apt_profile::hintfile;
@@ -59,6 +65,8 @@ struct Args {
     baseline: Option<String>,
     /// `bench-gate`: relative regression tolerance.
     tolerance: Option<f64>,
+    /// `bench-gate`: also gate each detected execution phase.
+    phases: bool,
     /// `serve-metrics`: bind address.
     addr: Option<String>,
 }
@@ -81,6 +89,7 @@ fn parse_args() -> Result<Args, String> {
         fail_threshold: None,
         baseline: None,
         tolerance: None,
+        phases: false,
         addr: None,
     };
     while let Some(a) = args.next() {
@@ -139,6 +148,7 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad --tolerance: {e}"))?,
                 );
             }
+            "--phases" => out.phases = true,
             "--addr" => {
                 out.addr = Some(args.next().ok_or("--addr needs HOST:PORT")?);
             }
@@ -177,7 +187,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n");
-            eprintln!("usage: aptgetsim <list|run|hints|ir|export|ingest|drift|bench-gate|serve-metrics|campaign> [WORKLOAD|FILE] [--scale S] [--seed N] [--optimized] [--explain] [--trace-out PATH] [--out PATH] [--db PATH] [--label STR] [--pc-offset HEX] [--fail-threshold TV] [--baseline PATH] [--tolerance T] [--addr HOST:PORT]");
+            eprintln!("usage: aptgetsim <list|run|hints|ir|export|ingest|drift|bench-gate|report|serve-metrics|campaign> [WORKLOAD|FILE] [--scale S] [--seed N] [--optimized] [--explain] [--trace-out PATH] [--out PATH] [--db PATH] [--label STR] [--pc-offset HEX] [--fail-threshold TV] [--baseline PATH] [--tolerance T] [--phases] [--addr HOST:PORT]");
             return ExitCode::FAILURE;
         }
     };
@@ -330,6 +340,7 @@ fn main() -> ExitCode {
             };
             let cfg = GateConfig {
                 tolerance: args.tolerance.unwrap_or(GateConfig::default().tolerance),
+                per_phase: args.phases,
             };
             let report = gate(&baseline, &current, &cfg);
             print!("{}", report.render());
@@ -340,6 +351,35 @@ fn main() -> ExitCode {
                 eprintln!("bench-gate: FAIL ({} vs {base_path})", snap_path);
                 ExitCode::FAILURE
             }
+        }
+        "report" => {
+            let Some(name) = args.workload.as_deref() else {
+                eprintln!("error: `report` needs a workload name");
+                return ExitCode::FAILURE;
+            };
+            // One workload's [baseline, A&J, APT-GET] triple, serial and
+            // uncached: the report depends only on simulated results.
+            let cfg = CampaignConfig {
+                workloads: vec![name.to_string()],
+                cache: None,
+                collect_outcomes: true,
+                ..CampaignConfig::new(args.scale, args.seed, 1)
+            };
+            let report = match run_campaign(&cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("{}", report.table_text());
+            let path = args.out.as_deref().unwrap_or("report.html");
+            if let Err(e) = std::fs::write(path, render_campaign_report(&report)) {
+                eprintln!("error: could not write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("[timeline report written to {path}]");
+            ExitCode::SUCCESS
         }
         "serve-metrics" => {
             let Some(name) = args.workload.as_deref() else {

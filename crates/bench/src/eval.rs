@@ -26,15 +26,15 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use apt_metrics::{
-    render_prometheus, BenchSnapshot, MetricsServer, OutcomeMix, Progress, ProgressReporter,
-    Registry, WorkloadBench, WALL_US_BUCKETS,
+    render_prometheus, BenchSnapshot, MetricsServer, OutcomeMix, PhaseBench, Progress,
+    ProgressReporter, Registry, WorkloadBench, WALL_US_BUCKETS,
 };
 use apt_trace::{ChromeTrace, OutcomeTable, Span, SpanRecorder, TraceConfig};
 use apt_workloads::registry::by_name;
 use apt_workloads::WorkloadDesc;
 use aptget::{
-    ainsworth_jones_optimize, execute_traced, geomean, AptGet, Comparison, PerfStats,
-    PipelineConfig,
+    ainsworth_jones_optimize, detect_phases, execute_traced, geomean, phase_diff, AptGet,
+    Comparison, PerfStats, PhaseConfig, PipelineConfig, Timeline,
 };
 
 use crate::cache::ProfileCache;
@@ -144,6 +144,10 @@ pub struct CellResult {
     /// Per-PC prefetch-outcome table of the measurement run (APT-GET
     /// cells with [`CampaignConfig::collect_outcomes`] only).
     pub outcomes: Option<OutcomeTable>,
+    /// Cycle-windowed telemetry of the measurement run. Empty when the
+    /// pipeline's `measure_sim.timeline_window` is 0; otherwise its
+    /// field-wise sum reproduces `stats` exactly (asserted per cell).
+    pub timeline: Timeline,
 }
 
 /// A finished campaign.
@@ -176,6 +180,38 @@ fn resolve_workloads(cfg: &CampaignConfig) -> Result<Vec<WorkloadDesc>, String> 
                 .ok_or_else(|| format!("unknown workload `{name}` (try `aptgetsim list`)"))
         })
         .collect()
+}
+
+/// Window samples are *defined* as deltas of the run's cumulative
+/// counters, so their sum must reproduce the end-of-run totals exactly.
+/// Checked on every cell of every campaign — a drifting timeline would
+/// silently corrupt phase detection and the HTML report.
+fn assert_timeline_conserved(name: &str, variant: Variant, timeline: &Timeline, stats: &PerfStats) {
+    if timeline.window == 0 {
+        return;
+    }
+    let t = timeline.total();
+    let pairs = [
+        ("instructions", t.instructions, stats.instructions),
+        ("cycles", t.cycles, stats.cycles),
+        ("branches", t.branches, stats.branches),
+        ("loads", t.loads, stats.mem.loads),
+        ("stores", t.stores, stats.mem.stores),
+        ("l1_hits", t.l1_hits, stats.mem.l1_hits),
+        ("l2_hits", t.l2_hits, stats.mem.l2_hits),
+        ("llc_hits", t.llc_hits, stats.mem.llc_hits),
+        ("demand_fills", t.demand_fills, stats.mem.demand_fills),
+        ("sw_pf_issued", t.sw_pf_issued, stats.mem.sw_pf_issued),
+        ("stall_dram", t.stall_dram, stats.mem.stall_dram),
+    ];
+    for (field, windowed, total) in pairs {
+        assert_eq!(
+            windowed,
+            total,
+            "{name} [{}]: timeline windows sum to {windowed} {field}, run total is {total}",
+            variant.name()
+        );
+    }
 }
 
 /// Observability handles shared by every cell of one campaign. Both are
@@ -260,6 +296,7 @@ fn run_cell(
     spans.end(measure);
     let outcomes =
         (hooks.collect_outcomes && variant == Variant::AptGet).then_some(trace_report.outcomes);
+    assert_timeline_conserved(name, variant, &exec.timeline, &exec.stats);
 
     let wall_us = started.elapsed().as_micros() as u64;
     hooks.progress.job_finished(exec.stats.cycles, wall_us);
@@ -302,6 +339,7 @@ fn run_cell(
         worker,
         spans: spans.into_spans(),
         outcomes,
+        timeline: exec.timeline,
     }
 }
 
@@ -571,6 +609,7 @@ impl CampaignReport {
                 redundant: t.total.redundant,
                 dropped: t.total.dropped,
             });
+            wb.phases = workload_phases(&chunk[0].timeline, &chunk[2].timeline);
             snap.workloads.push(wb);
         }
         snap.wall_us = self.wall_us;
@@ -588,6 +627,28 @@ impl CampaignReport {
             .filter(|c| c.cache == Some(CacheOutcome::Hit))
             .count()
     }
+}
+
+/// Detects the baseline run's execution phases and projects each onto
+/// the APT-GET run's cycle axis, yielding the snapshot's per-phase rows
+/// (`p0`, `p1`, … in execution order). Empty when timelines were off.
+pub fn workload_phases(baseline: &Timeline, aptget: &Timeline) -> Vec<PhaseBench> {
+    let total = baseline.total_instructions();
+    if total == 0 {
+        return Vec::new();
+    }
+    let phases = detect_phases(baseline, &PhaseConfig::default());
+    phase_diff(baseline, &phases, aptget)
+        .iter()
+        .map(|d| PhaseBench {
+            label: format!("p{}", d.phase.index),
+            start_frac: d.phase.start_instr as f64 / total as f64,
+            end_frac: d.phase.end_instr as f64 / total as f64,
+            baseline_cycles: d.base_cycles,
+            aptget_cycles: d.other_cycles,
+            implied_distance: d.phase.implied_distance,
+        })
+        .collect()
 }
 
 /// Parsed command-line options shared by `apteval` and
@@ -612,6 +673,11 @@ pub struct CampaignArgs {
     /// Write a `BenchSnapshot` JSON here (also enables outcome tracing on
     /// APT-GET cells so the snapshot carries the prefetch-outcome mix).
     pub bench_out: Option<String>,
+    /// Render the self-contained HTML timeline report here (also enables
+    /// outcome tracing so the report carries the per-window outcome mix).
+    pub report_out: Option<String>,
+    /// Write every cell's windowed timeline as a JSON artifact here.
+    pub timeline_out: Option<String>,
     /// Render a live progress line on stderr.
     pub progress: bool,
 }
@@ -621,7 +687,8 @@ impl CampaignArgs {
     pub const USAGE: &'static str = "[--jobs N] [--scale S] [--seed N] \
         [--workloads A,B,..] [--no-cache] [--cache-dir DIR] [--stats] \
         [--trace-out PATH] [--csv-out PATH] [--metrics-addr HOST:PORT] \
-        [--metrics-out PATH] [--bench-out PATH] [--progress]";
+        [--metrics-out PATH] [--bench-out PATH] [--report-out PATH] \
+        [--timeline-out PATH] [--progress]";
 
     /// Parses campaign flags. `--jobs` defaults to `$APT_JOBS`, then the
     /// machine's available parallelism.
@@ -643,6 +710,8 @@ impl CampaignArgs {
             metrics_addr: None,
             metrics_out: None,
             bench_out: None,
+            report_out: None,
+            timeline_out: None,
             progress: false,
         };
         while let Some(a) = args.next() {
@@ -679,6 +748,8 @@ impl CampaignArgs {
                 "--metrics-addr" => out.metrics_addr = Some(value("--metrics-addr")?),
                 "--metrics-out" => out.metrics_out = Some(value("--metrics-out")?),
                 "--bench-out" => out.bench_out = Some(value("--bench-out")?),
+                "--report-out" => out.report_out = Some(value("--report-out")?),
+                "--timeline-out" => out.timeline_out = Some(value("--timeline-out")?),
                 "--progress" => out.progress = true,
                 other => return Err(format!("unknown argument `{other}`")),
             }
@@ -717,7 +788,7 @@ impl CampaignArgs {
             cache,
             metrics,
             progress,
-            collect_outcomes: self.bench_out.is_some(),
+            collect_outcomes: self.bench_out.is_some() || self.report_out.is_some(),
         }
     }
 }
@@ -768,6 +839,16 @@ pub fn campaign_cli(args: &CampaignArgs) -> Result<CampaignReport, String> {
         fs::write(path, report.bench_snapshot(&config).to_json())
             .map_err(|e| format!("could not write {path}: {e}"))?;
         println!("[bench snapshot written to {path}]");
+    }
+    if let Some(path) = &args.report_out {
+        fs::write(path, crate::report::render_campaign_report(&report))
+            .map_err(|e| format!("could not write {path}: {e}"))?;
+        println!("[timeline report written to {path}]");
+    }
+    if let Some(path) = &args.timeline_out {
+        fs::write(path, crate::report::timelines_json(&report))
+            .map_err(|e| format!("could not write {path}: {e}"))?;
+        println!("[timelines written to {path}]");
     }
     if let Some(path) = &args.metrics_out {
         fs::write(path, render_prometheus(&cfg.metrics))
@@ -893,6 +974,17 @@ mod tests {
             mix.timely + mix.late + mix.early + mix.useless + mix.redundant + mix.dropped
         );
 
+        // Timelines are on by default, so the snapshot carries per-phase
+        // rows whose baseline cycles tile the whole run.
+        for wb in &snap.workloads {
+            assert!(!wb.phases.is_empty(), "{}: no phases", wb.workload);
+            let phase_cycles: u64 = wb.phases.iter().map(|p| p.baseline_cycles).sum();
+            assert_eq!(phase_cycles, wb.baseline_cycles, "{}", wb.workload);
+            assert_eq!(wb.phases[0].label, "p0");
+            assert_eq!(wb.phases[0].start_frac, 0.0);
+            assert_eq!(wb.phases.last().unwrap().end_frac, 1.0);
+        }
+
         let parsed = apt_metrics::BenchSnapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(parsed, snap);
         let gate = apt_metrics::gate(&parsed, &snap, &apt_metrics::GateConfig::default());
@@ -901,6 +993,21 @@ mod tests {
             "self-comparison must pass:\n{}",
             gate.render()
         );
+        // Per-phase mode also self-gates clean now that phases are present.
+        let per_phase = apt_metrics::GateConfig {
+            per_phase: true,
+            ..apt_metrics::GateConfig::default()
+        };
+        let gate = apt_metrics::gate(&parsed, &snap, &per_phase);
+        assert!(
+            gate.passed(),
+            "per-phase self-comparison must pass:\n{}",
+            gate.render()
+        );
+        assert!(gate
+            .checks
+            .iter()
+            .any(|c| c.metric == "phase_aptget_cycles"));
     }
 
     #[test]
@@ -930,6 +1037,12 @@ mod tests {
         assert!(b.config().metrics.is_enabled());
         assert!(b.config().progress.is_enabled());
         assert!(b.config().collect_outcomes);
+        let c = CampaignArgs::parse(argv("--report-out r.html --timeline-out t.json")).unwrap();
+        assert_eq!(c.report_out.as_deref(), Some("r.html"));
+        assert_eq!(c.timeline_out.as_deref(), Some("t.json"));
+        // The report embeds the outcome mix, so it implies outcome tracing.
+        assert!(c.config().collect_outcomes);
+        assert!(CampaignArgs::parse(argv("--report-out")).is_err());
         assert!(CampaignArgs::parse(argv("--bogus")).is_err());
         assert!(CampaignArgs::parse(argv("--jobs")).is_err());
         assert!(CampaignArgs::parse(argv("--metrics-addr")).is_err());

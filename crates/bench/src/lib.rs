@@ -20,6 +20,7 @@ use aptget::{
 pub mod cache;
 pub mod eval;
 pub mod pool;
+pub mod report;
 
 /// Workload scale for the experiment benches.
 ///

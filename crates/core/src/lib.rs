@@ -68,4 +68,8 @@ pub use apt_mem::MemConfig;
 pub use apt_passes::{InjectionReport, InjectionSpec, Site};
 pub use apt_profile::hintfile;
 pub use apt_profile::{AnalysisConfig, AnalysisResult, LoadHint};
+pub use apt_timeline::{
+    detect_phases, phase_diff, timeline_to_json, Phase, PhaseConfig, PhaseDiff, Timeline,
+    TimelineDiff, WindowSample,
+};
 pub use apt_trace::{Span, SpanRecorder, TraceConfig, TraceReport, Tracer};

@@ -5,6 +5,7 @@ use apt_ingest::{analyze_aggregate, ProfileDb};
 use apt_lir::Module;
 use apt_passes::{ainsworth_jones, inject_prefetches, optimize_module, InjectionReport};
 use apt_profile::{analyze_traced, AnalysisConfig, AnalysisResult};
+use apt_timeline::Timeline;
 use apt_trace::{SpanRecorder, TraceConfig, TraceReport};
 
 /// Configuration of the whole pipeline.
@@ -49,6 +50,9 @@ pub struct Execution {
     pub image: MemImage,
     /// Hardware profiles (empty when profiling is disabled).
     pub profile: ProfileData,
+    /// Cycle-windowed telemetry (empty when `sim.timeline_window` is 0).
+    /// Summing every window reproduces `stats` exactly — see `apt-timeline`.
+    pub timeline: Timeline,
 }
 
 /// Executes a call schedule against `module` and collects statistics.
@@ -81,12 +85,14 @@ pub fn execute_traced(
     let stats = machine.stats();
     let profile = machine.take_profile();
     let report = machine.take_trace();
+    let timeline = machine.take_timeline();
     Ok((
         Execution {
             stats,
             rets,
             image: machine.image,
             profile,
+            timeline,
         },
         report,
     ))

@@ -14,6 +14,11 @@
 //! demand loads block for the full hierarchy latency, software prefetches
 //! are fire-and-forget. See `apt-mem` for the rationale and the latency
 //! calibration.
+//!
+//! The machine also emits cycle-windowed telemetry ([`Machine::take_timeline`],
+//! `apt-timeline`): every `SimConfig::timeline_window` cycles it snapshots
+//! the cumulative counters and records the per-window delta, giving a
+//! time-resolved view whose windows sum exactly to the end-of-run totals.
 
 pub mod lbr;
 pub mod machine;
@@ -28,3 +33,5 @@ pub use memimg::MemImage;
 pub use pebs::PebsRecord;
 pub use perfscript::export_perf_script;
 pub use stats::{PerfStats, ProfileData};
+
+pub use apt_timeline::{Timeline, WindowOutcomes, WindowSample};

@@ -4,7 +4,8 @@ use apt_lir::eval::{bin_cost, eval_bin, eval_un, sign_extend};
 use apt_lir::{AddressMap, BlockId, FuncId, Reg};
 use apt_lir::{Inst, Module, Operand, Pc, Terminator};
 use apt_mem::{Hierarchy, MemConfig};
-use apt_trace::{TraceConfig, TraceReport};
+use apt_timeline::{Timeline, WindowOutcomes, WindowSample};
+use apt_trace::{PcOutcomes, TraceConfig, TraceReport};
 
 use crate::lbr::{LbrRing, LbrSample};
 use crate::memimg::{MemFault, MemImage};
@@ -29,6 +30,12 @@ pub struct SimConfig {
     /// Structured-tracing configuration (off by default: the hierarchy
     /// hooks reduce to a single predictable branch each).
     pub trace: TraceConfig,
+    /// Cycles per telemetry window ([`Machine::take_timeline`]); 0
+    /// disables sampling. Sampling is passive — it reads counters that are
+    /// maintained anyway — so it is on by default; the cost is one
+    /// predictable branch per retired instruction plus ~¼ KiB of samples
+    /// per million cycles.
+    pub timeline_window: u64,
 }
 
 impl Default for SimConfig {
@@ -39,6 +46,7 @@ impl Default for SimConfig {
             pebs_period: 64,
             inst_limit: 20_000_000_000,
             trace: TraceConfig::off(),
+            timeline_window: 10_000,
         }
     }
 }
@@ -109,6 +117,15 @@ pub struct Machine<'m> {
     cycles: u64,
     branches: u64,
     taken_branches: u64,
+    // Telemetry windows (see `close_window`): samples emitted so far, the
+    // next boundary, and the cumulative-counter snapshot at the last close.
+    timeline: Vec<WindowSample>,
+    next_window: u64,
+    win_index: u64,
+    win_start: PerfStats,
+    win_start_mshr_occ: u64,
+    win_start_outcomes: PcOutcomes,
+    timeline_done: bool,
 }
 
 impl<'m> Machine<'m> {
@@ -136,6 +153,17 @@ impl<'m> Machine<'m> {
             cycles: 0,
             branches: 0,
             taken_branches: 0,
+            timeline: Vec::new(),
+            next_window: if cfg.timeline_window == 0 {
+                u64::MAX
+            } else {
+                cfg.timeline_window
+            },
+            win_index: 0,
+            win_start: PerfStats::default(),
+            win_start_mshr_occ: 0,
+            win_start_outcomes: PcOutcomes::default(),
+            timeline_done: false,
         }
     }
 
@@ -201,9 +229,11 @@ impl<'m> Machine<'m> {
     /// per-PC prefetch outcomes). Still-outstanding prefetches finalize as
     /// `useless`, so call this after the workload has finished.
     pub fn take_trace(&mut self) -> TraceReport {
-        // Install any still-ready fills first so prefetches whose data
-        // arrived (but was never demanded) classify as useless/early
-        // rather than staying in-flight.
+        // Flush the final telemetry window before the outcome tracker
+        // finalizes (it needs the pre-finalize pending count), then install
+        // any still-ready fills so prefetches whose data arrived (but was
+        // never demanded) classify as useless/early rather than in-flight.
+        self.finish_timeline();
         self.hier.drain(self.cycles);
         self.hier.take_trace()
     }
@@ -239,6 +269,101 @@ impl<'m> Machine<'m> {
         if self.cycles >= self.next_lbr_sample {
             self.lbr_samples.push(self.lbr.snapshot());
             self.next_lbr_sample = self.cycles + self.cfg.lbr_sample_period;
+        }
+        if self.cycles >= self.next_window {
+            self.close_window(0);
+            // One instruction can cost more than a whole window; realign to
+            // the next boundary past `cycles` rather than emitting a
+            // backlog of empty windows.
+            let w = self.cfg.timeline_window;
+            self.next_window = (self.cycles / w + 1) * w;
+        }
+    }
+
+    /// Closes the current telemetry window at `self.cycles`: emits the
+    /// delta of every cumulative counter since the last close. Purely
+    /// observational — it never mutates cache, MSHR, or tracer *state*,
+    /// only reads (and re-anchors) monotone counters, so enabling the
+    /// timeline cannot change simulated results.
+    fn close_window(&mut self, pending_useless: u64) {
+        let end = self.stats();
+        let s = self.win_start;
+        let (mshr_occ_cum, mshr_peak) = self.hier.mshr_window_stats(self.cycles);
+        let out = self.hier.tracer.outcome_totals();
+        let o = self.win_start_outcomes;
+        self.timeline.push(WindowSample {
+            index: self.win_index,
+            start_cycle: s.cycles,
+            end_cycle: end.cycles,
+            start_instr: s.instructions,
+            instructions: end.instructions - s.instructions,
+            cycles: end.cycles - s.cycles,
+            branches: end.branches - s.branches,
+            taken_branches: end.taken_branches - s.taken_branches,
+            loads: end.mem.loads - s.mem.loads,
+            stores: end.mem.stores - s.mem.stores,
+            l1_hits: end.mem.l1_hits - s.mem.l1_hits,
+            l2_hits: end.mem.l2_hits - s.mem.l2_hits,
+            llc_hits: end.mem.llc_hits - s.mem.llc_hits,
+            demand_fills: end.mem.demand_fills - s.mem.demand_fills,
+            fb_hits_swpf: end.mem.fb_hits_swpf - s.mem.fb_hits_swpf,
+            fb_hits_other: end.mem.fb_hits_other - s.mem.fb_hits_other,
+            sw_pf_issued: end.mem.sw_pf_issued - s.mem.sw_pf_issued,
+            sw_pf_redundant: end.mem.sw_pf_redundant - s.mem.sw_pf_redundant,
+            sw_pf_dropped_full: end.mem.sw_pf_dropped_full - s.mem.sw_pf_dropped_full,
+            sw_pf_offcore: end.mem.sw_pf_offcore - s.mem.sw_pf_offcore,
+            sw_pf_oncore: end.mem.sw_pf_oncore - s.mem.sw_pf_oncore,
+            hw_pf_offcore: end.mem.hw_pf_offcore - s.mem.hw_pf_offcore,
+            pf_evicted_unused: end.mem.pf_evicted_unused - s.mem.pf_evicted_unused,
+            pf_used: end.mem.pf_used - s.mem.pf_used,
+            stall_l2: end.mem.stall_l2 - s.mem.stall_l2,
+            stall_llc: end.mem.stall_llc - s.mem.stall_llc,
+            stall_dram: end.mem.stall_dram - s.mem.stall_dram,
+            mshr_occ_cycles: mshr_occ_cum - self.win_start_mshr_occ,
+            mshr_peak: mshr_peak as u64,
+            outcomes: WindowOutcomes {
+                issued: out.issued - o.issued,
+                timely: out.timely - o.timely,
+                late: out.late - o.late,
+                early: out.early - o.early,
+                useless: out.useless - o.useless + pending_useless,
+                redundant: out.redundant - o.redundant,
+                dropped: out.dropped - o.dropped,
+            },
+        });
+        self.win_index += 1;
+        self.win_start = end;
+        self.win_start_mshr_occ = mshr_occ_cum;
+        self.win_start_outcomes = out;
+    }
+
+    /// Flushes the final (usually partial) telemetry window. Idempotent;
+    /// called from [`Machine::take_timeline`] and [`Machine::take_trace`]
+    /// so either call order sees complete windows. Prefetches still
+    /// unclassified at this point count as `useless`, mirroring the
+    /// outcome tracker's finalization rule.
+    fn finish_timeline(&mut self) {
+        if self.timeline_done || self.cfg.timeline_window == 0 {
+            return;
+        }
+        self.timeline_done = true;
+        // Install any already-arrived fills so their classifications land
+        // in the final window (`take_trace` does the same drain).
+        self.hier.drain(self.cycles);
+        let pending = self.hier.tracer.outcome_pending() as u64;
+        if self.instructions > self.win_start.instructions || pending > 0 {
+            self.close_window(pending);
+        }
+    }
+
+    /// Ends telemetry collection and returns the window stream. The final
+    /// partial window is flushed first, so the samples sum exactly to the
+    /// end-of-run [`Machine::stats`] totals.
+    pub fn take_timeline(&mut self) -> Timeline {
+        self.finish_timeline();
+        Timeline {
+            window: self.cfg.timeline_window,
+            samples: std::mem::take(&mut self.timeline),
         }
     }
 
@@ -525,6 +650,130 @@ mod tests {
         let stats = mach.stats();
         assert_eq!(stats.taken_branches, 64);
         assert_eq!(stats.branches, 65); // + the final not-taken exit.
+    }
+
+    fn assert_timeline_conserves(timeline: &Timeline, stats: &PerfStats) {
+        let t = timeline.total();
+        assert_eq!(t.instructions, stats.instructions);
+        assert_eq!(t.cycles, stats.cycles);
+        assert_eq!(t.branches, stats.branches);
+        assert_eq!(t.taken_branches, stats.taken_branches);
+        assert_eq!(t.loads, stats.mem.loads);
+        assert_eq!(t.stores, stats.mem.stores);
+        assert_eq!(t.l1_hits, stats.mem.l1_hits);
+        assert_eq!(t.demand_fills, stats.mem.demand_fills);
+        assert_eq!(t.sw_pf_issued, stats.mem.sw_pf_issued);
+        assert_eq!(t.stall_dram, stats.mem.stall_dram);
+    }
+
+    #[test]
+    fn timeline_windows_sum_to_run_totals() {
+        let m = sum_module();
+        let mut img = MemImage::new();
+        let data: Vec<u64> = (1..=4000).collect();
+        let base = img.alloc_u64_slice(&data);
+        let cfg = SimConfig {
+            timeline_window: 1_000,
+            ..SimConfig::default()
+        };
+        let mut mach = Machine::new(&m, cfg, img);
+        mach.call("sum", &[base, 4000]).unwrap();
+        let stats = mach.stats();
+        let timeline = mach.take_timeline();
+        assert!(timeline.samples.len() > 3, "expected several windows");
+        assert_timeline_conserves(&timeline, &stats);
+        // Windows tile the cycle axis without gaps and in order.
+        for pair in timeline.samples.windows(2) {
+            assert_eq!(pair[0].end_cycle, pair[1].start_cycle);
+            assert_eq!(pair[0].index + 1, pair[1].index);
+        }
+        // The last window is partial unless the run ended on a boundary.
+        let last = timeline.samples.last().unwrap();
+        assert_eq!(last.end_cycle, stats.cycles);
+    }
+
+    #[test]
+    fn window_larger_than_run_yields_one_window() {
+        let m = sum_module();
+        let mut img = MemImage::new();
+        let base = img.alloc_u64_slice(&[1, 2, 3]);
+        let cfg = SimConfig {
+            timeline_window: 1_000_000_000,
+            ..SimConfig::default()
+        };
+        let mut mach = Machine::new(&m, cfg, img);
+        mach.call("sum", &[base, 3]).unwrap();
+        let stats = mach.stats();
+        let timeline = mach.take_timeline();
+        assert_eq!(timeline.samples.len(), 1);
+        assert_timeline_conserves(&timeline, &stats);
+    }
+
+    #[test]
+    fn timeline_disabled_collects_nothing() {
+        let m = sum_module();
+        let mut img = MemImage::new();
+        let base = img.alloc_u64_slice(&[1, 2, 3]);
+        let cfg = SimConfig {
+            timeline_window: 0,
+            ..SimConfig::default()
+        };
+        let mut mach = Machine::new(&m, cfg, img);
+        mach.call("sum", &[base, 3]).unwrap();
+        assert!(mach.take_timeline().is_empty());
+    }
+
+    #[test]
+    fn take_timeline_is_idempotent_and_trace_order_agnostic() {
+        let m = sum_module();
+        let mut img = MemImage::new();
+        let data: Vec<u64> = (1..=500).collect();
+        let base = img.alloc_u64_slice(&data);
+        let cfg = SimConfig {
+            timeline_window: 1_000,
+            trace: TraceConfig::outcomes(),
+            ..SimConfig::default()
+        };
+        let mut mach = Machine::new(&m, cfg, img);
+        mach.call("sum", &[base, 500]).unwrap();
+        let stats = mach.stats();
+        // take_trace first: it must flush the final window itself.
+        let report = mach.take_trace();
+        let timeline = mach.take_timeline();
+        assert_timeline_conserves(&timeline, &stats);
+        // Window outcome mixes sum to the finalized outcome table.
+        let mix = timeline.total().outcomes;
+        assert_eq!(mix.issued, report.outcomes.total.issued);
+        assert_eq!(mix.timely, report.outcomes.total.timely);
+        assert_eq!(mix.late, report.outcomes.total.late);
+        assert_eq!(mix.useless, report.outcomes.total.useless);
+        assert_eq!(mix.classified(), report.outcomes.total.classified());
+        // A second take returns an empty stream, not duplicates.
+        assert!(mach.take_timeline().is_empty());
+    }
+
+    #[test]
+    fn timeline_does_not_change_simulated_results() {
+        let m = sum_module();
+        let data: Vec<u64> = (1..=2000).collect();
+        let run = |window: u64| {
+            let mut img = MemImage::new();
+            let base = img.alloc_u64_slice(&data);
+            let cfg = SimConfig {
+                timeline_window: window,
+                ..SimConfig::default()
+            };
+            let mut mach = Machine::new(&m, cfg, img);
+            let r = mach.call("sum", &[base, 2000]).unwrap();
+            (r, mach.stats())
+        };
+        let (r_off, s_off) = run(0);
+        for w in [100, 1_000, 977] {
+            let (r_on, s_on) = run(w);
+            assert_eq!(r_on, r_off);
+            assert_eq!(s_on.cycles, s_off.cycles, "window={w}");
+            assert_eq!(s_on.mem.loads, s_off.mem.loads);
+        }
     }
 
     #[test]

@@ -157,6 +157,64 @@ proptest! {
         prop_assert!(run(n1 + extra) > run(n1));
     }
 
+    /// Timeline conservation over random workloads and window sizes:
+    /// whatever the window (tiny, non-divisor, or larger than the whole
+    /// run), the field-wise sum of the window samples equals the
+    /// end-of-run counters, the windows tile the cycle axis, and the
+    /// final partial window is emitted.
+    #[test]
+    fn timeline_conserves_for_any_window_size(
+        values in prop::collection::vec(any::<u64>(), 1..120),
+        window in prop_oneof![
+            1u64..64,                       // tiny: many windows, partial tail
+            977u64..10_000,                 // non-divisor mid-size windows
+            1_000_000u64..1_000_000_000,    // far larger than any run here
+        ],
+    ) {
+        let mut m = Module::new("t");
+        let f = m.add_function("copy", &["src", "dst", "n"]);
+        {
+            let mut bd = FunctionBuilder::new(m.function_mut(f));
+            let (src, dst, n) = (bd.param(0), bd.param(1), bd.param(2));
+            bd.loop_up(0, n, 1, |bd, i| {
+                let v = bd.load_elem(src, i, Width::W8, false);
+                let w = bd.mul(v, 3u64);
+                bd.store_elem(dst, i, w, Width::W8);
+            });
+            bd.ret(None::<Operand>);
+        }
+        let mut img = MemImage::new();
+        let src = img.alloc_u64_slice(&values);
+        let dst = img.alloc(values.len() as u64 * 8, 64);
+        let cfg = SimConfig { timeline_window: window, ..SimConfig::default() };
+        let mut mach = Machine::new(&m, cfg, img);
+        mach.call("copy", &[src, dst, values.len() as u64]).unwrap();
+        let stats = mach.stats();
+        let timeline = mach.take_timeline();
+
+        prop_assert!(!timeline.samples.is_empty(), "no windows emitted");
+        if window > stats.cycles {
+            prop_assert_eq!(timeline.samples.len(), 1, "window > run must yield one window");
+        }
+        let total = timeline.total();
+        prop_assert_eq!(total.instructions, stats.instructions);
+        prop_assert_eq!(total.cycles, stats.cycles);
+        prop_assert_eq!(total.branches, stats.branches);
+        prop_assert_eq!(total.loads, stats.mem.loads);
+        prop_assert_eq!(total.stores, stats.mem.stores);
+        prop_assert_eq!(total.l1_hits, stats.mem.l1_hits);
+        prop_assert_eq!(total.demand_fills, stats.mem.demand_fills);
+        prop_assert_eq!(total.stall_dram, stats.mem.stall_dram);
+        // Windows tile the cycle axis in order, and the last (possibly
+        // partial) window closes exactly at the end of the run.
+        for pair in timeline.samples.windows(2) {
+            prop_assert_eq!(pair[0].end_cycle, pair[1].start_cycle);
+            prop_assert_eq!(pair[0].index + 1, pair[1].index);
+        }
+        prop_assert_eq!(timeline.samples[0].start_cycle, 0);
+        prop_assert_eq!(timeline.samples.last().unwrap().end_cycle, stats.cycles);
+    }
+
     /// The LBR never exceeds its architectural depth and cycles are
     /// monotone within a snapshot.
     #[test]

@@ -133,6 +133,10 @@ impl Hierarchy {
 
     /// Installs fills whose data has arrived by `now`.
     pub fn drain(&mut self, now: Cycle) {
+        // Integrate MSHR occupancy before it changes: every occupancy
+        // mutation goes through a `Hierarchy` entry point that drains
+        // first, so advancing here keeps the occupancy-time integral exact.
+        self.mshr.advance(now);
         for e in self.mshr.drain_ready(now) {
             // The data became usable at `e.ready`, which may predate `now`;
             // stamp the fill with the ready cycle so timeliness slack is
@@ -387,6 +391,14 @@ impl Hierarchy {
         self.mshr.capacity()
     }
 
+    /// Closes a telemetry window at `now`: advances the occupancy-time
+    /// integral and returns `(cumulative ∫occupancy d cycle, window peak)`,
+    /// resetting the window peak for the next window.
+    pub fn mshr_window_stats(&mut self, now: Cycle) -> (u64, usize) {
+        self.mshr.advance(now);
+        (self.mshr.occ_cycles(), self.mshr.take_window_peak())
+    }
+
     /// Exports this hierarchy's [`MemCounters`] plus MSHR pressure gauges
     /// into `registry` (once, at end of simulation).
     pub fn export_metrics(&self, registry: &apt_metrics::Registry, labels: &[(&str, &str)]) {
@@ -540,6 +552,34 @@ mod tests {
         assert_eq!(h.counters.loads, 0);
         let r = h.demand_load(0x400004, 0x30000, 10);
         assert_eq!(r.served, Level::L1);
+    }
+
+    #[test]
+    fn window_stats_integrate_between_closes() {
+        let cfg = no_hw_cfg();
+        let mut h = Hierarchy::new(&cfg);
+        // One offcore prefetch outstanding from cycle 0.
+        h.sw_prefetch(0x400020, 0x20000, 0);
+        let (occ, peak) = h.mshr_window_stats(100);
+        assert_eq!(occ, 100, "1 entry × 100 cycles");
+        assert_eq!(peak, 1);
+        // Next window: the fill lands at dram_latency, so the entry only
+        // occupies part of the window.
+        let (occ2, peak2) = h.mshr_window_stats(cfg.dram_latency + 500);
+        assert!(occ2 >= occ, "integral is cumulative");
+        assert!(occ2 <= cfg.dram_latency + 500);
+        assert_eq!(peak2, 1, "entry was outstanding at window start");
+        // The drain advances first (entry still resident for 100 cycles),
+        // then removes it; the rest of the window integrates nothing, but
+        // the window peak still records the entry that started the window.
+        h.drain(cfg.dram_latency + 600);
+        let (occ3, peak3) = h.mshr_window_stats(cfg.dram_latency + 1000);
+        assert_eq!(occ3, occ2 + 100);
+        assert_eq!(peak3, 1);
+        // A fully quiet window reports a zero peak.
+        let (occ4, peak4) = h.mshr_window_stats(cfg.dram_latency + 2000);
+        assert_eq!(occ4, occ3);
+        assert_eq!(peak4, 0);
     }
 
     #[test]

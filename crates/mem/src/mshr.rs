@@ -28,6 +28,10 @@ pub struct MshrFile {
     entries: Vec<MshrEntry>,
     capacity: usize,
     peak: usize,
+    window_peak: usize,
+    /// ∫ occupancy d(cycle) since creation, advanced by [`MshrFile::advance`].
+    occ_cycles: u64,
+    last_advance: Cycle,
 }
 
 impl MshrFile {
@@ -37,6 +41,9 @@ impl MshrFile {
             entries: Vec::with_capacity(capacity),
             capacity,
             peak: 0,
+            window_peak: 0,
+            occ_cycles: 0,
+            last_advance: 0,
         }
     }
 
@@ -53,6 +60,30 @@ impl MshrFile {
     /// High-water mark of [`MshrFile::occupancy`] over the file's lifetime.
     pub fn peak(&self) -> usize {
         self.peak
+    }
+
+    /// Accumulates the occupancy-time integral up to `now`. Occupancy only
+    /// changes inside `Hierarchy` calls, which all advance first, so the
+    /// occupancy seen here held for the whole `[last_advance, now)` span.
+    pub fn advance(&mut self, now: Cycle) {
+        if now > self.last_advance {
+            self.occ_cycles += self.entries.len() as u64 * (now - self.last_advance);
+            self.last_advance = now;
+        }
+    }
+
+    /// Cumulative ∫ occupancy d(cycle) as of the last [`MshrFile::advance`].
+    pub fn occ_cycles(&self) -> u64 {
+        self.occ_cycles
+    }
+
+    /// High-water mark since the last [`MshrFile::take_window_peak`] call.
+    /// Resets to the *current* occupancy (still-outstanding fills keep
+    /// counting toward the next window's peak).
+    pub fn take_window_peak(&mut self) -> usize {
+        let peak = self.window_peak;
+        self.window_peak = self.entries.len();
+        peak
     }
 
     /// Configured entry count.
@@ -76,6 +107,7 @@ impl MshrFile {
         }
         self.entries.push(entry);
         self.peak = self.peak.max(self.entries.len());
+        self.window_peak = self.window_peak.max(self.entries.len());
         true
     }
 
@@ -160,6 +192,39 @@ mod tests {
         assert_eq!(m.peak(), 2);
         m.allocate(entry(4, 40));
         assert_eq!(m.peak(), 3);
+    }
+
+    #[test]
+    fn advance_integrates_occupancy_over_time() {
+        let mut m = MshrFile::new(4);
+        m.advance(10);
+        assert_eq!(m.occ_cycles(), 0, "empty file integrates to zero");
+        m.allocate(entry(1, 100));
+        m.allocate(entry(2, 100));
+        m.advance(20); // 2 entries × 10 cycles
+        assert_eq!(m.occ_cycles(), 20);
+        m.drain_ready(100);
+        m.advance(30); // still 20: drain happened at t=20's occupancy already integrated
+        assert_eq!(m.occ_cycles(), 20);
+        // Time never runs backwards; a stale advance is a no-op.
+        m.advance(25);
+        assert_eq!(m.occ_cycles(), 20);
+    }
+
+    #[test]
+    fn window_peak_resets_to_current_occupancy() {
+        let mut m = MshrFile::new(4);
+        m.allocate(entry(1, 50));
+        m.allocate(entry(2, 10));
+        m.drain_ready(20);
+        assert_eq!(m.take_window_peak(), 2);
+        // Entry 1 is still outstanding, so the new window starts at 1.
+        assert_eq!(m.occupancy(), 1);
+        assert_eq!(m.take_window_peak(), 1);
+        m.allocate(entry(3, 60));
+        assert_eq!(m.take_window_peak(), 2);
+        // Lifetime peak is untouched by window resets.
+        assert_eq!(m.peak(), 2);
     }
 
     #[test]

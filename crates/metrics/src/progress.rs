@@ -161,8 +161,11 @@ impl ProgressSnapshot {
     }
 
     /// Remaining-time estimate from mean completed-job throughput.
+    /// `None` until at least one job finished *and* measurable wall time
+    /// elapsed — a zero-wall snapshot would otherwise extrapolate a
+    /// zero-second ETA for any amount of remaining work.
     pub fn eta(&self) -> Option<Duration> {
-        if self.completed == 0 || self.total <= self.completed {
+        if self.completed == 0 || self.total <= self.completed || self.wall.is_zero() {
             return None;
         }
         let per_job = self.wall.as_secs_f64() / self.completed as f64;
@@ -196,7 +199,7 @@ impl ProgressSnapshot {
         match self.eta() {
             Some(eta) => line.push_str(&format!(" | eta {:.1}s", eta.as_secs_f64())),
             None if self.total > 0 && self.completed >= self.total => line.push_str(" | done"),
-            None => line.push_str(" | eta --"),
+            None => line.push_str(" | eta --:--"),
         }
         line
     }
@@ -325,6 +328,41 @@ mod tests {
         assert!(snap.eta().is_none());
         snap.completed = 4;
         assert!(snap.eta().is_none());
+    }
+
+    #[test]
+    fn eta_is_a_placeholder_when_it_cannot_be_estimated() {
+        // Zero wall time with work remaining: no throughput to
+        // extrapolate from, so eta() must decline rather than claim 0 s.
+        let snap = ProgressSnapshot {
+            wall: Duration::ZERO,
+            total: 8,
+            completed: 2,
+            in_flight: 1,
+            cache_hits: 0,
+            cache_misses: 0,
+            sim_cycles: 0,
+            busy_us: 0,
+            workers: 2,
+        };
+        assert!(snap.eta().is_none());
+        assert!(snap.render().contains("| eta --:--"), "{}", snap.render());
+        // No completed jobs yet: same placeholder.
+        let fresh = ProgressSnapshot {
+            wall: Duration::from_secs(3),
+            completed: 0,
+            in_flight: 2,
+            ..snap
+        };
+        assert!(fresh.eta().is_none());
+        assert!(fresh.render().contains("| eta --:--"), "{}", fresh.render());
+        // A finished campaign renders `done`, not the placeholder.
+        let done = ProgressSnapshot {
+            completed: 8,
+            in_flight: 0,
+            ..fresh
+        };
+        assert!(done.render().contains("| done"), "{}", done.render());
     }
 
     #[test]

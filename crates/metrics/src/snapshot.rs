@@ -49,6 +49,53 @@ impl OutcomeMix {
     }
 }
 
+/// One detected execution phase of a workload's baseline run, projected
+/// onto the APT-GET run (plain data — phase *detection* lives in
+/// `apt-timeline`; this crate only stores and gates the result).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseBench {
+    /// Stable label in detection order: "p0", "p1", …
+    pub label: String,
+    /// Normalized instruction-progress range of the phase in the baseline
+    /// run (the cross-variant alignment axis).
+    pub start_frac: f64,
+    pub end_frac: f64,
+    /// Baseline cycles spent inside the phase (exact).
+    pub baseline_cycles: u64,
+    /// APT-GET cycles over the same progress range (apportioned).
+    pub aptget_cycles: u64,
+    /// Eq. 1-style implied prefetch distance of the phase.
+    pub implied_distance: u64,
+}
+
+impl PhaseBench {
+    fn write_json(&self, out: &mut String, indent: &str) {
+        out.push_str("{\n");
+        let _ = write!(out, "{indent}  \"label\": ");
+        json::write_str(out, &self.label);
+        let _ = write!(out, ",\n{indent}  \"start_frac\": ");
+        json::write_f64(out, self.start_frac);
+        let _ = write!(out, ",\n{indent}  \"end_frac\": ");
+        json::write_f64(out, self.end_frac);
+        let _ = write!(
+            out,
+            ",\n{indent}  \"baseline_cycles\": {},\n{indent}  \"aptget_cycles\": {},\n{indent}  \"implied_distance\": {}\n{indent}}}",
+            self.baseline_cycles, self.aptget_cycles, self.implied_distance
+        );
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(PhaseBench {
+            label: v.str_field("label")?.to_string(),
+            start_frac: v.num_field("start_frac")?,
+            end_frac: v.num_field("end_frac")?,
+            baseline_cycles: v.u64_field("baseline_cycles")?,
+            aptget_cycles: v.u64_field("aptget_cycles")?,
+            implied_distance: v.u64_field("implied_distance")?,
+        })
+    }
+}
+
 /// Per-workload benchmark results.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadBench {
@@ -62,6 +109,10 @@ pub struct WorkloadBench {
     pub speedup_aptget: f64,
     /// Outcome mix of the APT-GET cell (absent when outcome tracing was off).
     pub outcomes: Option<OutcomeMix>,
+    /// Per-phase breakdown (empty when the producing campaign ran without
+    /// timelines). Old snapshots without the field parse as empty; old
+    /// parsers ignore the field — the schema number stays at 1.
+    pub phases: Vec<PhaseBench>,
     /// Wall time of the slowest cell for this workload, microseconds.
     /// Informational only — never compared by the gate.
     pub wall_us: u64,
@@ -84,6 +135,7 @@ impl WorkloadBench {
             speedup_aj: speedup(aj_cycles),
             speedup_aptget: speedup(aptget_cycles),
             outcomes: None,
+            phases: Vec::new(),
             wall_us: 0,
         }
     }
@@ -145,6 +197,17 @@ impl BenchSnapshot {
                 out.push_str(",\n      \"outcomes\": ");
                 mix.write_json(&mut out, "      ");
             }
+            if !w.phases.is_empty() {
+                out.push_str(",\n      \"phases\": [");
+                for (j, p) in w.phases.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("\n        ");
+                    p.write_json(&mut out, "        ");
+                }
+                out.push_str("\n      ]");
+            }
             out.push_str("\n    }");
         }
         if !self.workloads.is_empty() {
@@ -185,6 +248,11 @@ impl BenchSnapshot {
             if let Some(mix) = w.get("outcomes") {
                 bench.outcomes = Some(OutcomeMix::from_json(mix)?);
             }
+            if let Some(phases) = w.get("phases").and_then(Json::as_arr) {
+                for p in phases {
+                    bench.phases.push(PhaseBench::from_json(p)?);
+                }
+            }
             snap.workloads.push(bench);
         }
         Ok(snap)
@@ -198,11 +266,19 @@ pub struct GateConfig {
     /// to per-configuration cycle counts (higher is a regression for all
     /// of them) and to speedups (lower is a regression).
     pub tolerance: f64,
+    /// When set, additionally gate each recorded phase's APT-GET cycles,
+    /// so a regression confined to one execution phase is reported by
+    /// name ("BFS/p2") instead of diluted into the whole-run total. A
+    /// baseline workload without phase data is an error in this mode.
+    pub per_phase: bool,
 }
 
 impl Default for GateConfig {
     fn default() -> Self {
-        GateConfig { tolerance: 0.05 }
+        GateConfig {
+            tolerance: 0.05,
+            per_phase: false,
+        }
     }
 }
 
@@ -326,6 +402,44 @@ pub fn gate(baseline: &BenchSnapshot, current: &BenchSnapshot, cfg: &GateConfig)
             cur.speedup_aptget,
             false,
         );
+        if cfg.per_phase {
+            if base.phases.is_empty() {
+                report.errors.push(format!(
+                    "workload `{}` has no phase data in the baseline (re-record it \
+                     from a campaign with timelines enabled)",
+                    base.workload
+                ));
+                continue;
+            }
+            for phase in &base.phases {
+                let Some(cur_phase) = cur.phases.iter().find(|p| p.label == phase.label) else {
+                    report.errors.push(format!(
+                        "phase `{}/{}` missing from current snapshot",
+                        base.workload, phase.label
+                    ));
+                    continue;
+                };
+                let b = phase.aptget_cycles as f64;
+                let c = cur_phase.aptget_cycles as f64;
+                let regression = if b == 0.0 {
+                    if c == 0.0 {
+                        0.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    (c - b) / b
+                };
+                report.checks.push(GateCheck {
+                    workload: format!("{}/{}", base.workload, phase.label),
+                    metric: "phase_aptget_cycles",
+                    baseline: b,
+                    current: c,
+                    regression,
+                    failed: regression > cfg.tolerance,
+                });
+            }
+        }
     }
     for cur in &current.workloads {
         if !baseline
@@ -362,6 +476,24 @@ mod tests {
             redundant: 5,
             dropped: 0,
         });
+        w.phases = vec![
+            PhaseBench {
+                label: "p0".to_string(),
+                start_frac: 0.0,
+                end_frac: 0.25,
+                baseline_cycles: 300_000,
+                aptget_cycles: 280_000,
+                implied_distance: 4,
+            },
+            PhaseBench {
+                label: "p1".to_string(),
+                start_frac: 0.25,
+                end_frac: 1.0,
+                baseline_cycles: 700_000,
+                aptget_cycles: 420_000,
+                implied_distance: 23,
+            },
+        ];
         snap.workloads.push(w);
         snap.workloads.push(WorkloadBench::new(
             "RandAcc", 2_000_000, 1_500_000, 1_200_000,
@@ -413,7 +545,11 @@ mod tests {
         assert!(failed.iter().any(|c| c.metric == "aptget_cycles"));
         assert!(failed.iter().any(|c| c.metric == "speedup_aptget"));
         // A looser tolerance admits the same change.
-        assert!(gate(&base, &cur, &GateConfig { tolerance: 0.2 }).passed());
+        let loose = GateConfig {
+            tolerance: 0.2,
+            ..GateConfig::default()
+        };
+        assert!(gate(&base, &cur, &loose).passed());
     }
 
     #[test]
@@ -423,6 +559,59 @@ mod tests {
         cur.workloads[0].aptget_cycles = 350_000; // 2x faster
         cur.workloads[0].speedup_aptget = 1_000_000.0 / 350_000.0;
         assert!(gate(&base, &cur, &GateConfig::default()).passed());
+    }
+
+    #[test]
+    fn per_phase_gate_names_the_offending_phase() {
+        let cfg = GateConfig {
+            per_phase: true,
+            ..GateConfig::default()
+        };
+        let base = sample();
+        let mut cur = sample();
+        // RandAcc carries no phase data — that alone must fail the mode.
+        let report = gate(&base, &cur, &cfg);
+        assert!(!report.passed());
+        assert!(report.errors.iter().any(|e| e.contains("RandAcc")));
+
+        // Give both snapshots RandAcc phases, regress only BFS/p1: the
+        // whole-run totals stay untouched, yet the gate points at p1.
+        let filler = PhaseBench {
+            label: "p0".to_string(),
+            start_frac: 0.0,
+            end_frac: 1.0,
+            baseline_cycles: 2_000_000,
+            aptget_cycles: 1_200_000,
+            implied_distance: 9,
+        };
+        let mut base = sample();
+        base.workloads[1].phases = vec![filler.clone()];
+        let mut cur2 = sample();
+        cur2.workloads[1].phases = vec![filler];
+        cur2.workloads[0].phases[1].aptget_cycles = 500_000; // ~19 % worse
+        let report = gate(&base, &cur2, &cfg);
+        assert!(!report.passed(), "{}", report.render());
+        let failed: Vec<_> = report.checks.iter().filter(|c| c.failed).collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].workload, "BFS/p1");
+        assert_eq!(failed[0].metric, "phase_aptget_cycles");
+        // Same snapshots pass when gated whole-run only.
+        assert!(gate(&base, &cur2, &GateConfig::default()).passed());
+
+        // A current snapshot that lost a phase is a structural error.
+        cur.workloads[0].phases.pop();
+        cur.workloads[1].phases = vec![PhaseBench {
+            label: "p0".to_string(),
+            start_frac: 0.0,
+            end_frac: 1.0,
+            baseline_cycles: 1,
+            aptget_cycles: 1,
+            implied_distance: 0,
+        }];
+        let mut base3 = sample();
+        base3.workloads[1].phases = cur.workloads[1].phases.clone();
+        let report = gate(&base3, &cur, &cfg);
+        assert!(report.errors.iter().any(|e| e.contains("BFS/p1")));
     }
 
     #[test]

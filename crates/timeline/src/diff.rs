@@ -1,0 +1,279 @@
+//! Cross-variant timeline alignment and diff.
+//!
+//! Baseline, Ainsworth&Jones, and APT-GET runs of the same workload
+//! execute the same *algorithm* but not the same instruction stream:
+//! injected `PREFETCH` ops inflate the optimized variants' retired
+//! instruction counts, and their cycle axes diverge wherever prefetches
+//! change miss behaviour. Comparing window `k` of one run against window
+//! `k` of another is therefore meaningless.
+//!
+//! Instead, timelines are aligned on **normalized instruction progress**:
+//! position `p ∈ [0, 1]` means "the point where a fraction `p` of the
+//! run's retired instructions had committed". Loop iterations retire in
+//! the same order in every variant, so equal progress fractions denote
+//! (approximately) the same algorithmic work. Each timeline's window
+//! cycles are apportioned onto progress ranges proportionally to
+//! instruction overlap, which conserves total cycles exactly: summing any
+//! full partition of `[0, 1]` returns the run's cycle count.
+
+use crate::phase::Phase;
+use crate::window::Timeline;
+
+/// Cycles a timeline spent inside the normalized-progress range
+/// `[lo, hi)`. Window cycles are apportioned proportionally to the
+/// instruction overlap between the window's progress span and the range.
+fn cycles_in_range(t: &Timeline, lo: f64, hi: f64) -> f64 {
+    let total = t.total_instructions();
+    if total == 0 || hi <= lo {
+        return 0.0;
+    }
+    let n = total as f64;
+    let mut cycles = 0.0;
+    for s in &t.samples {
+        if s.instructions == 0 {
+            continue;
+        }
+        let w_lo = s.start_instr as f64 / n;
+        let w_hi = (s.start_instr + s.instructions) as f64 / n;
+        let overlap = w_hi.min(hi) - w_lo.max(lo);
+        if overlap > 0.0 {
+            cycles += s.cycles as f64 * overlap / (w_hi - w_lo);
+        }
+    }
+    cycles
+}
+
+/// Resamples a timeline onto `bins` equal-width normalized-progress bins,
+/// returning the cycles spent in each. The bin sum equals the run's total
+/// cycles (up to float rounding); an empty timeline yields all-zero bins.
+pub fn resample_cycles(t: &Timeline, bins: usize) -> Vec<f64> {
+    (0..bins)
+        .map(|b| {
+            cycles_in_range(
+                t,
+                b as f64 / bins as f64,
+                // Close the last bin at a value strictly above every
+                // window's upper edge so the final instruction lands in it.
+                if b + 1 == bins {
+                    1.0 + f64::EPSILON
+                } else {
+                    (b + 1) as f64 / bins as f64
+                },
+            )
+        })
+        .collect()
+}
+
+/// Two timelines resampled onto a shared progress axis, with per-bin
+/// cycle deltas (`other − base`; negative bins are where `other` is
+/// faster).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineDiff {
+    pub bins: usize,
+    pub base_cycles: Vec<f64>,
+    pub other_cycles: Vec<f64>,
+    pub delta: Vec<f64>,
+}
+
+impl TimelineDiff {
+    pub fn new(base: &Timeline, other: &Timeline, bins: usize) -> TimelineDiff {
+        let base_cycles = resample_cycles(base, bins);
+        let other_cycles = resample_cycles(other, bins);
+        let delta = base_cycles
+            .iter()
+            .zip(&other_cycles)
+            .map(|(b, o)| o - b)
+            .collect();
+        TimelineDiff {
+            bins,
+            base_cycles,
+            other_cycles,
+            delta,
+        }
+    }
+
+    /// Total cycle delta across all bins (`other − base`).
+    pub fn total_delta(&self) -> f64 {
+        self.delta.iter().sum()
+    }
+
+    /// Index of the bin where `other` gains the most over `base` (most
+    /// negative delta), or `None` when no bin improves.
+    pub fn best_bin(&self) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &d) in self.delta.iter().enumerate() {
+            if d < 0.0 && best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+/// One baseline phase projected onto another variant's timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseDiff {
+    /// The baseline phase (carries the progress range and aggregates).
+    pub phase: Phase,
+    /// Exact baseline cycles of the phase.
+    pub base_cycles: u64,
+    /// Cycles the other variant spent over the same progress range
+    /// (apportioned, rounded to the nearest cycle).
+    pub other_cycles: u64,
+    /// `other_cycles − base_cycles`; negative means the other variant is
+    /// faster in this phase.
+    pub delta: i64,
+}
+
+/// Projects each baseline phase's normalized-progress range onto `other`
+/// and reports per-phase cycle deltas. Phase cycle totals conserve: the
+/// `other_cycles` over all phases sum to `other`'s total (± rounding),
+/// because phases tile the baseline's progress axis.
+pub fn phase_diff(base: &Timeline, phases: &[Phase], other: &Timeline) -> Vec<PhaseDiff> {
+    let base_total = base.total_instructions();
+    if base_total == 0 {
+        return Vec::new();
+    }
+    let n = base_total as f64;
+    phases
+        .iter()
+        .map(|p| {
+            let lo = p.start_instr as f64 / n;
+            let hi = if p.end_instr == base_total {
+                1.0 + f64::EPSILON
+            } else {
+                p.end_instr as f64 / n
+            };
+            let other_cycles = cycles_in_range(other, lo, hi).round() as u64;
+            PhaseDiff {
+                phase: *p,
+                base_cycles: p.cycles,
+                other_cycles,
+                delta: other_cycles as i64 - p.cycles as i64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::{detect_phases, PhaseConfig};
+    use crate::window::WindowSample;
+
+    /// A timeline of `spec` windows given as (instructions, cycles).
+    fn timeline(spec: &[(u64, u64)]) -> Timeline {
+        let mut samples = Vec::new();
+        let (mut instr, mut cycle) = (0u64, 0u64);
+        for (i, &(n, c)) in spec.iter().enumerate() {
+            samples.push(WindowSample {
+                index: i as u64,
+                start_cycle: cycle,
+                end_cycle: cycle + c,
+                start_instr: instr,
+                instructions: n,
+                cycles: c,
+                loads: n / 2,
+                ..Default::default()
+            });
+            instr += n;
+            cycle += c;
+        }
+        Timeline { window: 0, samples }
+    }
+
+    #[test]
+    fn resampling_conserves_total_cycles() {
+        let t = timeline(&[(100, 300), (50, 700), (77, 123)]);
+        for bins in [1, 2, 3, 7, 64] {
+            let sum: f64 = resample_cycles(&t, bins).iter().sum();
+            assert!(
+                (sum - t.total_cycles() as f64).abs() < 1e-6,
+                "bins={bins} sum={sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn resampling_empty_timeline_is_zero() {
+        assert_eq!(resample_cycles(&Timeline::default(), 4), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn uniform_timeline_resamples_uniformly() {
+        let t = timeline(&[(100, 500), (100, 500)]);
+        let bins = resample_cycles(&t, 4);
+        for b in &bins {
+            assert!((b - 250.0).abs() < 1e-9, "{bins:?}");
+        }
+    }
+
+    #[test]
+    fn diff_localizes_the_improvement() {
+        // Both variants retire the same work; `other` is 400 cycles
+        // faster, all of it in the second half.
+        let base = timeline(&[(100, 500), (100, 1000)]);
+        let other = timeline(&[(100, 500), (100, 600)]);
+        let d = TimelineDiff::new(&base, &other, 4);
+        assert!((d.total_delta() + 400.0).abs() < 1e-6);
+        assert!((d.delta[0]).abs() < 1e-9);
+        assert!((d.delta[1]).abs() < 1e-9);
+        assert!(d.delta[2] < 0.0 && d.delta[3] < 0.0);
+        // Ties resolve to the earliest bin — deterministic.
+        assert_eq!(d.best_bin(), Some(2));
+    }
+
+    #[test]
+    fn diff_handles_different_instruction_counts() {
+        // `other` retires 20% more instructions (injected prefetches) but
+        // finishes faster; alignment is by fraction, not absolute count.
+        let base = timeline(&[(100, 1000), (100, 1000)]);
+        let other = timeline(&[(120, 800), (120, 800)]);
+        let d = TimelineDiff::new(&base, &other, 2);
+        assert!((d.delta[0] + 200.0).abs() < 1e-6);
+        assert!((d.delta[1] + 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn phase_diff_projects_ranges_and_conserves() {
+        // Baseline: calm phase then memory-bound phase (detected).
+        let mut spec = Vec::new();
+        for _ in 0..6 {
+            spec.push((900u64, 1000u64));
+        }
+        for _ in 0..6 {
+            spec.push((300u64, 1000u64));
+        }
+        let mut base = timeline(&spec);
+        // Give the second half a DRAM signature so phases split.
+        for s in &mut base.samples[6..] {
+            s.demand_fills = s.loads / 2;
+            s.stall_dram = 400;
+        }
+        let phases = detect_phases(&base, &PhaseConfig::default());
+        assert_eq!(phases.len(), 2);
+
+        // Other variant: same instruction profile, second phase is faster.
+        let mut other_spec = Vec::new();
+        for _ in 0..6 {
+            other_spec.push((900u64, 1000u64));
+        }
+        for _ in 0..6 {
+            other_spec.push((300u64, 600u64));
+        }
+        let other = timeline(&other_spec);
+
+        let diffs = phase_diff(&base, &phases, &other);
+        assert_eq!(diffs.len(), 2);
+        assert_eq!(diffs[0].delta, 0);
+        assert_eq!(diffs[1].delta, -2400);
+        let projected: u64 = diffs.iter().map(|d| d.other_cycles).sum();
+        assert_eq!(projected, other.total_cycles());
+    }
+
+    #[test]
+    fn phase_diff_on_empty_base_is_empty() {
+        let other = timeline(&[(10, 10)]);
+        assert!(phase_diff(&Timeline::default(), &[], &other).is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+//! Timeline serialization through the `apt-metrics` hand-rolled JSON
+//! layer (DESIGN.md §8 policy: no external serialisation crates).
+//!
+//! A timeline is mostly a dense matrix of `u64` counters, so the format
+//! is columnar-by-name: a `fields` header lists the column names once and
+//! each sample is a plain number row in that order. Readers map names to
+//! columns, which keeps the format self-describing — a reader ignores
+//! columns it does not know and defaults columns the writer did not emit,
+//! mirroring the bench-snapshot compatibility rule.
+
+use apt_metrics::json::{self, Json};
+
+use crate::window::{Timeline, WindowSample};
+
+type Get = fn(&WindowSample) -> u64;
+type Set = fn(&mut WindowSample, u64);
+
+macro_rules! field_table {
+    ($(($name:literal, $($path:ident).+)),* $(,)?) => {
+        &[$((
+            $name,
+            (|s: &WindowSample| s.$($path).+) as Get,
+            (|s: &mut WindowSample, v: u64| s.$($path).+ = v) as Set,
+        )),*]
+    };
+}
+
+/// Every serialized column: name, reader, writer. Order defines the row
+/// layout the writer emits.
+const FIELDS: &[(&str, Get, Set)] = field_table![
+    ("index", index),
+    ("start_cycle", start_cycle),
+    ("end_cycle", end_cycle),
+    ("start_instr", start_instr),
+    ("instructions", instructions),
+    ("cycles", cycles),
+    ("branches", branches),
+    ("taken_branches", taken_branches),
+    ("loads", loads),
+    ("stores", stores),
+    ("l1_hits", l1_hits),
+    ("l2_hits", l2_hits),
+    ("llc_hits", llc_hits),
+    ("demand_fills", demand_fills),
+    ("fb_hits_swpf", fb_hits_swpf),
+    ("fb_hits_other", fb_hits_other),
+    ("sw_pf_issued", sw_pf_issued),
+    ("sw_pf_redundant", sw_pf_redundant),
+    ("sw_pf_dropped_full", sw_pf_dropped_full),
+    ("sw_pf_offcore", sw_pf_offcore),
+    ("sw_pf_oncore", sw_pf_oncore),
+    ("hw_pf_offcore", hw_pf_offcore),
+    ("pf_evicted_unused", pf_evicted_unused),
+    ("pf_used", pf_used),
+    ("stall_l2", stall_l2),
+    ("stall_llc", stall_llc),
+    ("stall_dram", stall_dram),
+    ("mshr_occ_cycles", mshr_occ_cycles),
+    ("mshr_peak", mshr_peak),
+    ("out_issued", outcomes.issued),
+    ("out_timely", outcomes.timely),
+    ("out_late", outcomes.late),
+    ("out_early", outcomes.early),
+    ("out_useless", outcomes.useless),
+    ("out_redundant", outcomes.redundant),
+    ("out_dropped", outcomes.dropped),
+];
+
+/// Serializes a timeline to a compact single-line JSON document.
+pub fn timeline_to_json(t: &Timeline) -> String {
+    let mut out = String::with_capacity(64 + t.samples.len() * FIELDS.len() * 8);
+    out.push_str("{\"schema\":1,\"window\":");
+    out.push_str(&t.window.to_string());
+    out.push_str(",\"fields\":[");
+    for (i, (name, _, _)) in FIELDS.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_str(&mut out, name);
+    }
+    out.push_str("],\"samples\":[");
+    for (i, s) in t.samples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, (_, get, _)) in FIELDS.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&get(s).to_string());
+        }
+        out.push(']');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parses a timeline written by [`timeline_to_json`] (or a compatible
+/// writer with a column subset/superset).
+pub fn timeline_from_json(text: &str) -> Result<Timeline, String> {
+    let doc = json::parse(text)?;
+    timeline_from_value(&doc)
+}
+
+/// Parses a timeline from an already-parsed JSON value (for timelines
+/// embedded inside a larger campaign artifact).
+pub fn timeline_from_value(doc: &Json) -> Result<Timeline, String> {
+    let schema = doc.u64_field("schema")?;
+    if schema != 1 {
+        return Err(format!("unsupported timeline schema {schema}"));
+    }
+    let window = doc.u64_field("window")?;
+    let names = doc
+        .get("fields")
+        .and_then(Json::as_arr)
+        .ok_or("missing `fields` array")?;
+    // Map each serialized column to its setter; unknown names are skipped.
+    let mut setters: Vec<Option<Set>> = Vec::with_capacity(names.len());
+    for n in names {
+        let name = n.as_str().ok_or("non-string field name")?;
+        setters.push(
+            FIELDS
+                .iter()
+                .find(|(f, _, _)| *f == name)
+                .map(|(_, _, set)| *set),
+        );
+    }
+    let rows = doc
+        .get("samples")
+        .and_then(Json::as_arr)
+        .ok_or("missing `samples` array")?;
+    let mut samples = Vec::with_capacity(rows.len());
+    for (r, row) in rows.iter().enumerate() {
+        let cols = row
+            .as_arr()
+            .ok_or_else(|| format!("sample {r} is not an array"))?;
+        if cols.len() != setters.len() {
+            return Err(format!(
+                "sample {r} has {} columns, header names {}",
+                cols.len(),
+                setters.len()
+            ));
+        }
+        let mut s = WindowSample::default();
+        for (c, val) in cols.iter().enumerate() {
+            if let Some(set) = setters[c] {
+                set(
+                    &mut s,
+                    val.as_u64()
+                        .ok_or_else(|| format!("sample {r} column {c} is not a u64"))?,
+                );
+            }
+        }
+        samples.push(s);
+    }
+    Ok(Timeline { window, samples })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::WindowOutcomes;
+
+    fn sample_timeline() -> Timeline {
+        let mut a = WindowSample {
+            index: 0,
+            start_cycle: 0,
+            end_cycle: 10_010,
+            instructions: 4_000,
+            cycles: 10_010,
+            loads: 1_500,
+            l1_hits: 1_200,
+            demand_fills: 90,
+            stall_dram: 3_600,
+            mshr_occ_cycles: 22_000,
+            mshr_peak: 7,
+            ..Default::default()
+        };
+        a.outcomes = WindowOutcomes {
+            issued: 40,
+            timely: 25,
+            late: 10,
+            useless: 5,
+            ..Default::default()
+        };
+        let b = WindowSample {
+            index: 1,
+            start_cycle: 10_010,
+            end_cycle: 13_044,
+            start_instr: 4_000,
+            instructions: 900,
+            cycles: 3_034,
+            loads: 300,
+            ..Default::default()
+        };
+        Timeline {
+            window: 10_000,
+            samples: vec![a, b],
+        }
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let t = sample_timeline();
+        let text = timeline_to_json(&t);
+        assert!(!text.contains('\n'), "single-line artifact");
+        let back = timeline_from_json(&text).expect("parses");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn unknown_columns_are_ignored_and_missing_default() {
+        // A future writer with an extra column and without `mshr_peak`.
+        let text = r#"{"schema":1,"window":500,
+            "fields":["index","cycles","instructions","novel_counter"],
+            "samples":[[0,500,200,99],[1,250,80,1]]}"#;
+        let t = timeline_from_json(text).expect("forward compatible");
+        assert_eq!(t.window, 500);
+        assert_eq!(t.samples.len(), 2);
+        assert_eq!(t.samples[0].cycles, 500);
+        assert_eq!(t.samples[1].instructions, 80);
+        assert_eq!(t.samples[0].mshr_peak, 0);
+    }
+
+    #[test]
+    fn rejects_bad_documents() {
+        assert!(timeline_from_json("{}").is_err());
+        assert!(timeline_from_json(r#"{"schema":2,"window":1,"fields":[],"samples":[]}"#).is_err());
+        assert!(timeline_from_json(
+            r#"{"schema":1,"window":1,"fields":["cycles"],"samples":[[1,2]]}"#
+        )
+        .is_err());
+        assert!(timeline_from_json(
+            r#"{"schema":1,"window":1,"fields":["cycles"],"samples":[[1.5]]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_timeline_round_trips() {
+        let t = Timeline {
+            window: 10_000,
+            samples: Vec::new(),
+        };
+        assert_eq!(timeline_from_json(&timeline_to_json(&t)).unwrap(), t);
+    }
+}

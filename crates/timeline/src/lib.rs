@@ -1,0 +1,40 @@
+//! Time-resolved telemetry for the APT-GET reproduction.
+//!
+//! Every other observability layer in the workspace (trace outcome tables,
+//! campaign tables, Prometheus series, bench snapshots) reports *end-of-run
+//! aggregates*. This crate adds the temporal dimension the paper's Eq. 1
+//! timeliness argument is actually about:
+//!
+//! * [`window`] — the [`WindowSample`] record the simulator emits every
+//!   `SimConfig::timeline_window` cycles, and the [`Timeline`] container.
+//!   Samples are *deltas of cumulative counters* taken at window
+//!   boundaries, so summing every window reproduces the end-of-run
+//!   `PerfStats` / `MemCounters` totals exactly (conservation — asserted
+//!   by the campaign runner on every cell);
+//! * [`phase`] — change-point segmentation of the window stream on IPC and
+//!   DRAM-miss-share deltas, with per-phase Eq. 1-style implied prefetch
+//!   distances re-derived from aggregate window counters;
+//! * [`diff`] — cross-variant alignment: baseline / A&J / APT-GET runs of
+//!   the same workload retire different instruction counts on divergent
+//!   cycle axes, so timelines are aligned on *normalized instruction
+//!   progress* and compared per-bin and per-phase;
+//! * [`html`] — a hand-rolled inline-SVG chart renderer (no JavaScript, no
+//!   external resources) in the same spirit as the in-repo Chrome-trace
+//!   and Prometheus writers;
+//! * [`jsonio`] — serialization through the `apt-metrics` JSON writer so
+//!   timelines travel inside campaign artifacts.
+//!
+//! The crate sits below `apt-cpu` in the workspace DAG (the `Machine`
+//! produces `WindowSample`s) and depends only on `apt-metrics` (for JSON).
+
+pub mod diff;
+pub mod html;
+pub mod jsonio;
+pub mod phase;
+pub mod window;
+
+pub use diff::{phase_diff, resample_cycles, PhaseDiff, TimelineDiff};
+pub use html::{escape, html_page, line_chart, stack_chart, Band, Series};
+pub use jsonio::{timeline_from_json, timeline_from_value, timeline_to_json};
+pub use phase::{detect_phases, Phase, PhaseConfig};
+pub use window::{Timeline, WindowOutcomes, WindowSample};

@@ -1,0 +1,308 @@
+//! Phase detection over the window stream.
+//!
+//! Programs the paper targets alternate between compute-bound and
+//! memory-bound phases (BC's forward/backward sweeps, IS's histogram vs
+//! rank passes). The detector segments the window sequence at *change
+//! points* of two features — IPC and DRAM-miss share — using a greedy
+//! running-mean scan with breach confirmation: a new phase opens only
+//! after `confirm` consecutive windows deviate from the current phase's
+//! running mean beyond the configured thresholds, and phases shorter than
+//! `min_windows` are merged back into their predecessor. The algorithm is
+//! O(windows), allocation-light, and fully deterministic.
+//!
+//! Each phase reports an **Eq. 1-style implied distance**: the paper sets
+//! `distance = round(MC / IC)` where `MC` is the cost of one off-core miss
+//! and `IC` the cost of one loop iteration. At phase granularity the same
+//! quantities fall out of the window counters: `MC ≈ stall_dram / offcore
+//! demand loads` (mean DRAM service seen by the core) and `IC ≈ (cycles −
+//! stall_dram) / offcore demand loads` (mean non-DRAM work separating
+//! consecutive misses). The ratio says how many miss-free work quanta fit
+//! inside one miss latency — the distance a software prefetch issued in
+//! this phase would need to be timely.
+
+use crate::window::{Timeline, WindowSample};
+
+/// Detector tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseConfig {
+    /// Minimum phase length in windows; shorter segments merge backward.
+    pub min_windows: usize,
+    /// Relative IPC deviation (vs the running phase mean) that counts as a
+    /// breach.
+    pub ipc_rel_threshold: f64,
+    /// Absolute DRAM-miss-share deviation that counts as a breach.
+    pub miss_abs_threshold: f64,
+    /// Consecutive breach windows required to confirm a change point.
+    pub confirm: usize,
+}
+
+impl Default for PhaseConfig {
+    fn default() -> PhaseConfig {
+        PhaseConfig {
+            min_windows: 3,
+            ipc_rel_threshold: 0.25,
+            miss_abs_threshold: 0.08,
+            confirm: 2,
+        }
+    }
+}
+
+/// One detected phase: a contiguous window range plus its aggregates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// Zero-based phase index.
+    pub index: usize,
+    /// First window of the phase (inclusive).
+    pub start_window: usize,
+    /// One past the last window of the phase.
+    pub end_window: usize,
+    /// Cumulative instruction count at phase start / end (alignment axis).
+    pub start_instr: u64,
+    pub end_instr: u64,
+    /// Cumulative cycle count at phase start / end.
+    pub start_cycle: u64,
+    pub end_cycle: u64,
+    /// Instructions retired and cycles elapsed inside the phase.
+    pub instructions: u64,
+    pub cycles: u64,
+    /// Mean IPC of the phase.
+    pub ipc: f64,
+    /// Mean DRAM-miss share of the phase.
+    pub dram_share: f64,
+    /// Eq. 1-style implied prefetch distance (0 when the phase has no
+    /// off-core demand misses).
+    pub implied_distance: u64,
+}
+
+/// Feature vector of one window.
+fn features(s: &WindowSample) -> (f64, f64) {
+    (s.ipc(), s.dram_share())
+}
+
+fn breaches(cfg: &PhaseConfig, mean: (f64, f64), win: (f64, f64)) -> bool {
+    let ipc_dev = (win.0 - mean.0).abs();
+    // The relative threshold is floored at a small absolute deviation so
+    // near-zero-IPC phases don't split on noise.
+    let ipc_limit = (mean.0 * cfg.ipc_rel_threshold).max(0.02);
+    ipc_dev > ipc_limit || (win.1 - mean.1).abs() > cfg.miss_abs_threshold
+}
+
+/// Aggregates the half-open window range `[start, end)` into a [`Phase`].
+fn build_phase(samples: &[WindowSample], index: usize, start: usize, end: usize) -> Phase {
+    let mut sum = WindowSample::default();
+    for s in &samples[start..end] {
+        sum.add(s);
+    }
+    let first = &samples[start];
+    let last = &samples[end - 1];
+    let offcore = sum.demand_fills + sum.fb_hits_swpf + sum.fb_hits_other;
+    let implied_distance = if offcore == 0 || sum.cycles <= sum.stall_dram {
+        0
+    } else {
+        // MC / IC with the shared per-miss denominator cancelled:
+        // (stall_dram/offcore) / ((cycles-stall_dram)/offcore).
+        let mc = sum.stall_dram as f64 / offcore as f64;
+        let ic = (sum.cycles - sum.stall_dram) as f64 / offcore as f64;
+        (mc / ic).round().clamp(0.0, 4096.0) as u64
+    };
+    Phase {
+        index,
+        start_window: start,
+        end_window: end,
+        start_instr: first.start_instr,
+        end_instr: last.start_instr + last.instructions,
+        start_cycle: first.start_cycle,
+        end_cycle: last.end_cycle,
+        instructions: sum.instructions,
+        cycles: sum.cycles,
+        ipc: sum.ipc(),
+        dram_share: sum.dram_share(),
+        implied_distance,
+    }
+}
+
+/// Segments `timeline` into phases. An empty timeline yields no phases; a
+/// homogeneous one yields exactly one covering every window.
+pub fn detect_phases(timeline: &Timeline, cfg: &PhaseConfig) -> Vec<Phase> {
+    let samples = &timeline.samples;
+    if samples.is_empty() {
+        return Vec::new();
+    }
+
+    // Pass 1: greedy change-point scan with breach confirmation.
+    let mut cuts: Vec<usize> = vec![0];
+    let mut mean = features(&samples[0]);
+    let mut len = 1usize;
+    let mut breach_run = 0usize;
+    let mut breach_start = 0usize;
+    for (i, s) in samples.iter().enumerate().skip(1) {
+        let f = features(s);
+        if breaches(cfg, mean, f) {
+            if breach_run == 0 {
+                breach_start = i;
+            }
+            breach_run += 1;
+            if breach_run >= cfg.confirm.max(1) {
+                cuts.push(breach_start);
+                // Restart the running mean from the breach windows.
+                mean = features(&samples[breach_start]);
+                len = 1;
+                for t in &samples[breach_start + 1..=i] {
+                    let g = features(t);
+                    mean.0 += (g.0 - mean.0) / (len + 1) as f64;
+                    mean.1 += (g.1 - mean.1) / (len + 1) as f64;
+                    len += 1;
+                }
+                breach_run = 0;
+            }
+        } else {
+            breach_run = 0;
+            mean.0 += (f.0 - mean.0) / (len + 1) as f64;
+            mean.1 += (f.1 - mean.1) / (len + 1) as f64;
+            len += 1;
+        }
+    }
+    cuts.push(samples.len());
+
+    // Pass 2: merge segments shorter than `min_windows` into their
+    // predecessor (the first segment merges forward instead).
+    let mut merged: Vec<(usize, usize)> = Vec::new();
+    for pair in cuts.windows(2) {
+        let (s, e) = (pair[0], pair[1]);
+        match merged.last_mut() {
+            Some(prev) if e - s < cfg.min_windows => prev.1 = e,
+            Some(prev) if prev.1 - prev.0 < cfg.min_windows => prev.1 = e,
+            _ => merged.push((s, e)),
+        }
+    }
+
+    merged
+        .iter()
+        .enumerate()
+        .map(|(i, &(s, e))| build_phase(samples, i, s, e))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic window with the given IPC (per mille) and DRAM share
+    /// (percent), 10k cycles each.
+    fn win(
+        index: u64,
+        ipc_milli: u64,
+        dram_pct: u64,
+        start_instr: u64,
+        start_cycle: u64,
+    ) -> WindowSample {
+        let cycles = 10_000;
+        let instructions = cycles * ipc_milli / 1000;
+        let loads = instructions / 2;
+        let offcore = loads * dram_pct / 100;
+        WindowSample {
+            index,
+            start_cycle,
+            end_cycle: start_cycle + cycles,
+            start_instr,
+            instructions,
+            cycles,
+            loads,
+            l1_hits: loads - offcore,
+            demand_fills: offcore,
+            stall_dram: offcore * 10,
+            ..Default::default()
+        }
+    }
+
+    fn stream(spec: &[(usize, u64, u64)]) -> Timeline {
+        let mut samples = Vec::new();
+        let (mut instr, mut cycle, mut idx) = (0u64, 0u64, 0u64);
+        for &(n, ipc, dram) in spec {
+            for _ in 0..n {
+                let s = win(idx, ipc, dram, instr, cycle);
+                instr += s.instructions;
+                cycle += s.cycles;
+                idx += 1;
+                samples.push(s);
+            }
+        }
+        Timeline {
+            window: 10_000,
+            samples,
+        }
+    }
+
+    #[test]
+    fn homogeneous_stream_is_one_phase() {
+        let t = stream(&[(12, 800, 5)]);
+        let phases = detect_phases(&t, &PhaseConfig::default());
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].start_window, 0);
+        assert_eq!(phases[0].end_window, 12);
+        assert_eq!(phases[0].instructions, t.total_instructions());
+        assert_eq!(phases[0].cycles, t.total_cycles());
+    }
+
+    #[test]
+    fn two_regimes_split_at_the_change_point() {
+        // Compute-bound then memory-bound: IPC halves, DRAM share jumps.
+        let t = stream(&[(10, 900, 2), (10, 400, 40)]);
+        let phases = detect_phases(&t, &PhaseConfig::default());
+        assert_eq!(phases.len(), 2, "{phases:#?}");
+        assert_eq!(phases[0].end_window, 10);
+        assert_eq!(phases[1].start_window, 10);
+        assert!(phases[0].ipc > phases[1].ipc);
+        assert!(phases[1].dram_share > phases[0].dram_share);
+        // Phases tile the run: counters conserve across the partition.
+        assert_eq!(
+            phases.iter().map(|p| p.instructions).sum::<u64>(),
+            t.total_instructions()
+        );
+        assert_eq!(phases[0].end_instr, phases[1].start_instr);
+    }
+
+    #[test]
+    fn single_noise_window_does_not_split() {
+        let mut t = stream(&[(6, 800, 5), (1, 300, 50), (6, 800, 5)]);
+        // Re-anchor the noise window's ordering fields (stream already did).
+        assert_eq!(t.samples.len(), 13);
+        let phases = detect_phases(&t, &PhaseConfig::default());
+        assert_eq!(phases.len(), 1, "one-window blip must not confirm");
+        // But two consecutive deviating windows do.
+        t = stream(&[(6, 800, 5), (4, 300, 50)]);
+        assert_eq!(detect_phases(&t, &PhaseConfig::default()).len(), 2);
+    }
+
+    #[test]
+    fn short_tail_merges_into_previous_phase() {
+        let t = stream(&[(10, 900, 2), (2, 300, 50)]);
+        let phases = detect_phases(&t, &PhaseConfig::default());
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].end_window, 12);
+    }
+
+    #[test]
+    fn implied_distance_tracks_miss_density() {
+        // dram share 40%, 10-cycle stalls per miss.
+        let t = stream(&[(8, 400, 40)]);
+        let p = detect_phases(&t, &PhaseConfig::default())[0];
+        let s = t.total();
+        let offcore = s.demand_fills;
+        let mc = s.stall_dram as f64 / offcore as f64;
+        let ic = (s.cycles - s.stall_dram) as f64 / offcore as f64;
+        assert_eq!(p.implied_distance, (mc / ic).round() as u64);
+        assert!(p.implied_distance >= 1);
+        // No misses → no implied distance.
+        let calm = stream(&[(8, 900, 0)]);
+        assert_eq!(
+            detect_phases(&calm, &PhaseConfig::default())[0].implied_distance,
+            0
+        );
+    }
+
+    #[test]
+    fn empty_timeline_yields_no_phases() {
+        assert!(detect_phases(&Timeline::default(), &PhaseConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,299 @@
+//! Window samples and the timeline container.
+//!
+//! A [`WindowSample`] is the per-window *delta* of every cumulative counter
+//! the simulator keeps, plus window-scoped MSHR statistics and the
+//! prefetch-outcome mix. Deltas (rather than instantaneous readings) make
+//! conservation exact by construction: for any partition of a run into
+//! windows, the field-wise sum of the samples equals the end-of-run totals,
+//! regardless of window size, non-divisor boundaries, or a final partial
+//! window.
+
+/// Per-window software-prefetch outcome mix, as deltas of the tracer's
+/// cumulative classification counts. A prefetch is attributed to the
+/// window in which its classification became *terminal* (first use, fill
+/// buffer coalesce, eviction, …); prefetches still pending at end of run
+/// finalize as `useless` in the last window, mirroring
+/// `OutcomeTracker::finalize`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowOutcomes {
+    pub issued: u64,
+    pub timely: u64,
+    pub late: u64,
+    pub early: u64,
+    pub useless: u64,
+    pub redundant: u64,
+    pub dropped: u64,
+}
+
+impl WindowOutcomes {
+    /// Sum of the terminal classifications in this window.
+    pub fn classified(&self) -> u64 {
+        self.timely + self.late + self.early + self.useless + self.redundant + self.dropped
+    }
+
+    /// Accumulates another mix into this one.
+    pub fn add(&mut self, other: &WindowOutcomes) {
+        self.issued += other.issued;
+        self.timely += other.timely;
+        self.late += other.late;
+        self.early += other.early;
+        self.useless += other.useless;
+        self.redundant += other.redundant;
+        self.dropped += other.dropped;
+    }
+}
+
+/// One window's worth of simulation activity. All counter fields are
+/// deltas over `[start_cycle, end_cycle)`; `start_cycle` / `start_instr`
+/// anchor the window on the run's cumulative axes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowSample {
+    /// Zero-based window index.
+    pub index: u64,
+    /// Cumulative cycle count at window start.
+    pub start_cycle: u64,
+    /// Cumulative cycle count at window close. Because instructions retire
+    /// with variable cycle costs, the close overshoots the nominal N-cycle
+    /// boundary by up to one instruction's latency.
+    pub end_cycle: u64,
+    /// Cumulative retired-instruction count at window start (the
+    /// cross-variant alignment axis — see [`crate::diff`]).
+    pub start_instr: u64,
+    /// Instructions retired in this window.
+    pub instructions: u64,
+    /// Cycles elapsed in this window (`end_cycle - start_cycle`).
+    pub cycles: u64,
+    pub branches: u64,
+    pub taken_branches: u64,
+    // ---- MemCounters deltas (field-for-field) ----
+    pub loads: u64,
+    pub stores: u64,
+    pub l1_hits: u64,
+    pub l2_hits: u64,
+    pub llc_hits: u64,
+    pub demand_fills: u64,
+    pub fb_hits_swpf: u64,
+    pub fb_hits_other: u64,
+    pub sw_pf_issued: u64,
+    pub sw_pf_redundant: u64,
+    pub sw_pf_dropped_full: u64,
+    pub sw_pf_offcore: u64,
+    pub sw_pf_oncore: u64,
+    pub hw_pf_offcore: u64,
+    pub pf_evicted_unused: u64,
+    pub pf_used: u64,
+    pub stall_l2: u64,
+    pub stall_llc: u64,
+    pub stall_dram: u64,
+    // ---- window-scoped MSHR statistics ----
+    /// ∫ occupancy d(cycle) over the window: divide by `cycles` for the
+    /// mean number of occupied fill-buffer entries.
+    pub mshr_occ_cycles: u64,
+    /// High-water mark of MSHR occupancy within this window (the PR 4
+    /// lifetime peak, reset per window).
+    pub mshr_peak: u64,
+    /// Prefetch-outcome mix classified within this window.
+    pub outcomes: WindowOutcomes,
+}
+
+impl WindowSample {
+    /// Instructions per cycle in this window.
+    pub fn ipc(&self) -> f64 {
+        ratio(self.instructions, self.cycles)
+    }
+
+    /// Demand loads served past DRAM as a share of all loads
+    /// (`offcore demand_data_rd / loads`), the paper's DRAM-miss share.
+    pub fn dram_share(&self) -> f64 {
+        ratio(
+            self.demand_fills + self.fb_hits_swpf + self.fb_hits_other,
+            self.loads,
+        )
+    }
+
+    /// Fraction of loads that missed L1.
+    pub fn l1_miss_rate(&self) -> f64 {
+        ratio(self.loads.saturating_sub(self.l1_hits), self.loads)
+    }
+
+    /// Fraction of loads reaching the LLC that missed it too.
+    pub fn llc_miss_rate(&self) -> f64 {
+        let reached = self
+            .loads
+            .saturating_sub(self.l1_hits)
+            .saturating_sub(self.l2_hits);
+        ratio(reached.saturating_sub(self.llc_hits), reached)
+    }
+
+    /// Mean MSHR occupancy over the window.
+    pub fn mshr_mean(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.mshr_occ_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of cycles stalled on DRAM in this window.
+    pub fn dram_stall_fraction(&self) -> f64 {
+        ratio(self.stall_dram, self.cycles)
+    }
+
+    /// Field-wise accumulation (for conservation checks and phase sums).
+    /// Keeps the receiver's anchors (`index`, `start_*`) and extends
+    /// `end_cycle`.
+    pub fn add(&mut self, other: &WindowSample) {
+        self.end_cycle = self.end_cycle.max(other.end_cycle);
+        self.instructions += other.instructions;
+        self.cycles += other.cycles;
+        self.branches += other.branches;
+        self.taken_branches += other.taken_branches;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.l1_hits += other.l1_hits;
+        self.l2_hits += other.l2_hits;
+        self.llc_hits += other.llc_hits;
+        self.demand_fills += other.demand_fills;
+        self.fb_hits_swpf += other.fb_hits_swpf;
+        self.fb_hits_other += other.fb_hits_other;
+        self.sw_pf_issued += other.sw_pf_issued;
+        self.sw_pf_redundant += other.sw_pf_redundant;
+        self.sw_pf_dropped_full += other.sw_pf_dropped_full;
+        self.sw_pf_offcore += other.sw_pf_offcore;
+        self.sw_pf_oncore += other.sw_pf_oncore;
+        self.hw_pf_offcore += other.hw_pf_offcore;
+        self.pf_evicted_unused += other.pf_evicted_unused;
+        self.pf_used += other.pf_used;
+        self.stall_l2 += other.stall_l2;
+        self.stall_llc += other.stall_llc;
+        self.stall_dram += other.stall_dram;
+        self.mshr_occ_cycles += other.mshr_occ_cycles;
+        self.mshr_peak = self.mshr_peak.max(other.mshr_peak);
+        self.outcomes.add(&other.outcomes);
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// The sample stream of one simulated run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Timeline {
+    /// Nominal window size in cycles (`SimConfig::timeline_window`);
+    /// 0 means sampling was disabled and `samples` is empty.
+    pub window: u64,
+    /// Windows in execution order. The last window is partial unless the
+    /// run ended exactly on a boundary.
+    pub samples: Vec<WindowSample>,
+}
+
+impl Timeline {
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Field-wise sum over all windows: the run totals a conserving
+    /// sampler must reproduce.
+    pub fn total(&self) -> WindowSample {
+        let mut total = WindowSample::default();
+        for s in &self.samples {
+            total.add(s);
+        }
+        total
+    }
+
+    /// Total instructions retired (the alignment axis length).
+    pub fn total_instructions(&self) -> u64 {
+        self.samples.iter().map(|s| s.instructions).sum()
+    }
+
+    /// Total cycles elapsed.
+    pub fn total_cycles(&self) -> u64 {
+        self.samples.iter().map(|s| s.cycles).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample(index: u64, instr: u64, cycles: u64) -> WindowSample {
+        WindowSample {
+            index,
+            instructions: instr,
+            cycles,
+            loads: instr / 2,
+            l1_hits: instr / 4,
+            stall_dram: cycles / 3,
+            mshr_occ_cycles: cycles * 2,
+            mshr_peak: 3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn totals_sum_field_wise() {
+        let t = Timeline {
+            window: 100,
+            samples: vec![sample(0, 10, 100), sample(1, 20, 120), sample(2, 5, 40)],
+        };
+        let total = t.total();
+        assert_eq!(total.instructions, 35);
+        assert_eq!(total.cycles, 260);
+        assert_eq!(total.loads, 17);
+        assert_eq!(total.stall_dram, 33 + 40 + 13);
+        assert_eq!(total.mshr_peak, 3);
+        assert_eq!(t.total_instructions(), 35);
+        assert_eq!(t.total_cycles(), 260);
+    }
+
+    #[test]
+    fn derived_rates_guard_zero() {
+        let z = WindowSample::default();
+        assert_eq!(z.ipc(), 0.0);
+        assert_eq!(z.dram_share(), 0.0);
+        assert_eq!(z.l1_miss_rate(), 0.0);
+        assert_eq!(z.llc_miss_rate(), 0.0);
+        assert_eq!(z.mshr_mean(), 0.0);
+        let s = WindowSample {
+            instructions: 50,
+            cycles: 100,
+            loads: 20,
+            l1_hits: 10,
+            l2_hits: 4,
+            llc_hits: 2,
+            demand_fills: 3,
+            fb_hits_swpf: 1,
+            mshr_occ_cycles: 250,
+            ..Default::default()
+        };
+        assert!((s.ipc() - 0.5).abs() < 1e-12);
+        assert!((s.l1_miss_rate() - 0.5).abs() < 1e-12);
+        assert!((s.llc_miss_rate() - 4.0 / 6.0).abs() < 1e-12);
+        assert!((s.dram_share() - 0.2).abs() < 1e-12);
+        assert!((s.mshr_mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outcome_mix_accumulates() {
+        let mut a = WindowOutcomes {
+            issued: 5,
+            timely: 3,
+            late: 1,
+            ..Default::default()
+        };
+        let b = WindowOutcomes {
+            issued: 2,
+            useless: 2,
+            ..Default::default()
+        };
+        a.add(&b);
+        assert_eq!(a.issued, 7);
+        assert_eq!(a.classified(), 6);
+    }
+}

@@ -244,6 +244,25 @@ impl Tracer {
         }
     }
 
+    /// Cumulative outcome classification totals so far (all counters are
+    /// bump-only, so snapshots at two points in time can be diffed to get
+    /// the classifications that became terminal in between). Zero when
+    /// outcome tracking is off.
+    pub fn outcome_totals(&self) -> crate::PcOutcomes {
+        self.outcomes
+            .as_ref()
+            .map(|o| o.table().total)
+            .unwrap_or_default()
+    }
+
+    /// Prefetches issued but not yet classified (these finalize as
+    /// `useless` in [`Tracer::take_report`]). Zero when tracking is off.
+    pub fn outcome_pending(&self) -> usize {
+        self.outcomes
+            .as_ref()
+            .map_or(0, OutcomeTracker::pending_len)
+    }
+
     /// Ends collection and returns everything gathered. The tracer resets
     /// to an inactive state.
     pub fn take_report(&mut self) -> TraceReport {

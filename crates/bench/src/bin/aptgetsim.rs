@@ -19,6 +19,12 @@
 //!                                        # fail on benchmark regression;
 //!                                        #   --phases gates each detected
 //!                                        #   execution phase by name
+//! aptgetsim perf-history DIR [--out FILE] [--tolerance T]
+//!                                        # BENCH_*.json snapshots in DIR →
+//!                                        #   self-contained HTML trend
+//!                                        #   report with gate-tolerance
+//!                                        #   corridors (default
+//!                                        #   perf-history.html)
 //! aptgetsim report BFS [--out FILE]      # one workload's matrix as a
 //!                                        #   self-contained HTML timeline
 //!                                        #   report (default report.html)
@@ -187,7 +193,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n");
-            eprintln!("usage: aptgetsim <list|run|hints|ir|export|ingest|drift|bench-gate|report|serve-metrics|campaign> [WORKLOAD|FILE] [--scale S] [--seed N] [--optimized] [--explain] [--trace-out PATH] [--out PATH] [--db PATH] [--label STR] [--pc-offset HEX] [--fail-threshold TV] [--baseline PATH] [--tolerance T] [--phases] [--addr HOST:PORT]");
+            eprintln!("usage: aptgetsim <list|run|hints|ir|export|ingest|drift|bench-gate|perf-history|report|serve-metrics|campaign> [WORKLOAD|FILE|DIR] [--scale S] [--seed N] [--optimized] [--explain] [--trace-out PATH] [--out PATH] [--db PATH] [--label STR] [--pc-offset HEX] [--fail-threshold TV] [--baseline PATH] [--tolerance T] [--phases] [--addr HOST:PORT]");
             return ExitCode::FAILURE;
         }
     };
@@ -351,6 +357,52 @@ fn main() -> ExitCode {
                 eprintln!("bench-gate: FAIL ({} vs {base_path})", snap_path);
                 ExitCode::FAILURE
             }
+        }
+        "perf-history" => {
+            let Some(dir) = args.workload.as_deref() else {
+                eprintln!("error: `perf-history` needs a snapshot directory");
+                return ExitCode::FAILURE;
+            };
+            let points = match apt_bench::history::load_dir(std::path::Path::new(dir)) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if points.len() < 2 {
+                eprintln!(
+                    "error: perf-history needs at least 2 BENCH_*.json snapshots in {dir} \
+                     (found {})",
+                    points.len()
+                );
+                return ExitCode::FAILURE;
+            }
+            let tolerance = args.tolerance.unwrap_or(GateConfig::default().tolerance);
+            let annotations = apt_bench::history::trend_annotations(&points, tolerance);
+            for a in &annotations {
+                println!(
+                    "regression: {} {} since {}: {:.4} -> {:.4} ({:+.1}%)",
+                    a.workload,
+                    a.metric,
+                    a.at,
+                    a.first,
+                    a.current,
+                    a.regression * 100.0
+                );
+            }
+            let path = args.out.as_deref().unwrap_or("perf-history.html");
+            let html = apt_bench::history::render_perf_history(&points, tolerance);
+            if let Err(e) = std::fs::write(path, html) {
+                eprintln!("error: could not write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "[perf-history: {} snapshot(s), {} regression annotation(s), written to {path}]",
+                points.len(),
+                annotations.len()
+            );
+            ExitCode::SUCCESS
         }
         "report" => {
             let Some(name) = args.workload.as_deref() else {

@@ -114,6 +114,7 @@ impl ProfileCache {
 
     /// Looks a profile up; counts a hit or a miss.
     pub fn load(&self, key: u64) -> Option<(ProfileData, PerfStats)> {
+        apt_selfprof::prof_scope!("bench/cache/load");
         let loaded = fs::read(self.path_of(key)).ok().and_then(|b| decode(&b));
         match &loaded {
             Some(_) => self.stats.hits.fetch_add(1, Ordering::Relaxed),
@@ -127,6 +128,7 @@ impl ProfileCache {
     /// dependency. The write goes through a per-process temp file + rename
     /// so concurrent campaigns never observe a torn entry.
     pub fn store(&self, key: u64, profile: &ProfileData, stats: &PerfStats) {
+        apt_selfprof::prof_scope!("bench/cache/store");
         let path = self.path_of(key);
         let bytes = encode(profile, stats);
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));

@@ -235,6 +235,10 @@ fn run_cell(
     worker: usize,
     epoch: Instant,
 ) -> CellResult {
+    // Worker threads label their self-profile section once; redundant
+    // calls are cheap (and free when no session is active).
+    apt_selfprof::set_thread_label(&format!("worker-{worker}"));
+    apt_selfprof::prof_scope!("bench/cell");
     let started = Instant::now();
     let start_us = started.duration_since(epoch).as_micros() as u64;
     hooks.progress.job_started();
@@ -395,32 +399,13 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, String> {
 
     if cfg.metrics.is_enabled() {
         let m = &cfg.metrics;
-        m.counter(
-            "apt_bench_pool_steals_total",
-            "Successful work steals across pool workers.",
-            &[],
-        )
-        .add(pool.total_steals());
-        m.gauge(
-            "apt_bench_pool_utilization_ratio",
-            "Mean worker utilization of the last campaign, 0 to 1.",
-            &[],
-        )
-        .set(pool.utilization());
+        pool.export_metrics(m);
         m.gauge(
             "apt_bench_campaign_wall_us",
             "Wall time of the last campaign, microseconds.",
             &[],
         )
         .set(wall_us as f64);
-        for (w, &busy) in pool.busy_us.iter().enumerate() {
-            m.counter(
-                "apt_bench_worker_busy_us_total",
-                "Time each pool worker spent inside cells, microseconds.",
-                &[("worker", &w.to_string())],
-            )
-            .add(busy);
-        }
         let (hits, misses, stores) = cache_counts;
         for (event, n) in [("hit", hits), ("miss", misses), ("store", stores)] {
             m.counter(
@@ -529,8 +514,9 @@ impl CampaignReport {
         ));
         for (w, n) in self.pool.executed.iter().enumerate() {
             out.push_str(&format!(
-                "  worker {w}: {n} cells, {} steals\n",
-                self.pool.steals.get(w).copied().unwrap_or(0)
+                "  worker {w}: {n} cells, {} steals, {:.1} ms busy\n",
+                self.pool.steals.get(w).copied().unwrap_or(0),
+                self.pool.busy_us.get(w).copied().unwrap_or(0) as f64 / 1000.0
             ));
         }
         for cell in &self.cells {
@@ -600,6 +586,13 @@ impl CampaignReport {
                 chunk[2].stats.cycles,
             );
             wb.wall_us = chunk.iter().map(|c| c.wall_us).sum();
+            // Simulator throughput: simulated cycles across the triple
+            // per host wall second. Host-dependent by design — this is
+            // the series `perf-history` turns into a trajectory.
+            let cycles: u64 = chunk.iter().map(|c| c.stats.cycles).sum();
+            if wb.wall_us > 0 {
+                wb.cycles_per_sec = cycles as f64 / (wb.wall_us as f64 / 1e6);
+            }
             wb.outcomes = chunk[2].outcomes.as_ref().map(|t| OutcomeMix {
                 issued: t.total.issued,
                 timely: t.total.timely,
@@ -612,6 +605,7 @@ impl CampaignReport {
             wb.phases = workload_phases(&chunk[0].timeline, &chunk[2].timeline);
             snap.workloads.push(wb);
         }
+        snap.host = apt_metrics::snapshot::host_fingerprint();
         snap.wall_us = self.wall_us;
         snap.cache_hits = self.cache_counts.0;
         snap.cache_misses = self.cache_counts.1;
@@ -678,6 +672,11 @@ pub struct CampaignArgs {
     pub report_out: Option<String>,
     /// Write every cell's windowed timeline as a JSON artifact here.
     pub timeline_out: Option<String>,
+    /// Profile the simulator itself for the campaign's duration and
+    /// write a flamegraph HTML page here (plus folded stacks next to it
+    /// with a `.folded` extension). Observation only: the result table
+    /// stays byte-identical.
+    pub selfprof_out: Option<String>,
     /// Render a live progress line on stderr.
     pub progress: bool,
 }
@@ -688,7 +687,7 @@ impl CampaignArgs {
         [--workloads A,B,..] [--no-cache] [--cache-dir DIR] [--stats] \
         [--trace-out PATH] [--csv-out PATH] [--metrics-addr HOST:PORT] \
         [--metrics-out PATH] [--bench-out PATH] [--report-out PATH] \
-        [--timeline-out PATH] [--progress]";
+        [--timeline-out PATH] [--selfprof-out PATH] [--progress]";
 
     /// Parses campaign flags. `--jobs` defaults to `$APT_JOBS`, then the
     /// machine's available parallelism.
@@ -712,6 +711,7 @@ impl CampaignArgs {
             bench_out: None,
             report_out: None,
             timeline_out: None,
+            selfprof_out: None,
             progress: false,
         };
         while let Some(a) = args.next() {
@@ -750,6 +750,7 @@ impl CampaignArgs {
                 "--bench-out" => out.bench_out = Some(value("--bench-out")?),
                 "--report-out" => out.report_out = Some(value("--report-out")?),
                 "--timeline-out" => out.timeline_out = Some(value("--timeline-out")?),
+                "--selfprof-out" => out.selfprof_out = Some(value("--selfprof-out")?),
                 "--progress" => out.progress = true,
                 other => return Err(format!("unknown argument `{other}`")),
             }
@@ -798,6 +799,13 @@ impl CampaignArgs {
 /// `apteval` and `aptgetsim campaign`.
 pub fn campaign_cli(args: &CampaignArgs) -> Result<CampaignReport, String> {
     let cfg = args.config();
+    // Start self-profiling before the first cell so worker threads bind
+    // to the session; it stays open across artifact rendering so report
+    // generation shows up in the flamegraph too.
+    let selfprof = args
+        .selfprof_out
+        .as_ref()
+        .map(|_| apt_selfprof::begin_monotonic());
     let server = match &args.metrics_addr {
         Some(addr) => {
             let s = MetricsServer::bind(addr, cfg.metrics.clone())
@@ -854,6 +862,18 @@ pub fn campaign_cli(args: &CampaignArgs) -> Result<CampaignReport, String> {
         fs::write(path, render_prometheus(&cfg.metrics))
             .map_err(|e| format!("could not write {path}: {e}"))?;
         println!("[metrics written to {path}]");
+    }
+    if let (Some(path), Some(session)) = (&args.selfprof_out, selfprof) {
+        let profile = session.finish();
+        let folded_path = std::path::Path::new(path).with_extension("folded");
+        fs::write(&folded_path, profile.merged().folded())
+            .map_err(|e| format!("could not write {}: {e}", folded_path.display()))?;
+        fs::write(path, crate::selfprof_report::render_selfprof_html(&profile))
+            .map_err(|e| format!("could not write {path}: {e}"))?;
+        println!(
+            "[self-profile written to {path}, folded stacks to {}]",
+            folded_path.display()
+        );
     }
     drop(server);
     Ok(report)

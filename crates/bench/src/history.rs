@@ -1,0 +1,420 @@
+//! The perf-trajectory report (`aptgetsim perf-history`).
+//!
+//! Reads a directory of `BENCH_*.json` snapshots (the same files the
+//! bench gate consumes), orders them by filename, and renders one
+//! self-contained HTML page: per-workload simulated-cycle and speedup
+//! trends with the bench-gate tolerance drawn as a corridor around the
+//! first snapshot, plus the host-dependent simulator-throughput
+//! (cycles-per-second) trajectory. Anything that drifts outside its
+//! corridor is listed in an annotation table, so a slow regression that
+//! never trips the gate in one step is still visible across the series.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use apt_metrics::snapshot::BenchSnapshot;
+use apt_timeline::{escape, html_page, line_chart_banded, HBand, Series};
+
+/// One loaded snapshot: the filename stem (`BENCH_3`) and its contents.
+#[derive(Debug, Clone)]
+pub struct HistoryPoint {
+    pub label: String,
+    pub snap: BenchSnapshot,
+}
+
+/// A metric that drifted outside its tolerance corridor relative to the
+/// first snapshot of the series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendAnnotation {
+    /// Snapshot label where the drift was observed.
+    pub at: String,
+    pub workload: String,
+    pub metric: &'static str,
+    /// Value in the first snapshot.
+    pub first: f64,
+    /// Value at `at`.
+    pub current: f64,
+    /// Signed relative change, positive = worse.
+    pub regression: f64,
+}
+
+/// Loads every `BENCH_*.json` in `dir`, sorted by filename so
+/// `BENCH_1 … BENCH_9` read in chronological order of the naming
+/// convention. Non-matching files are ignored; a matching file that
+/// fails to parse is an error (a corrupt history should not silently
+/// shrink).
+pub fn load_dir(dir: &Path) -> Result<Vec<HistoryPoint>, String> {
+    apt_selfprof::prof_scope!("bench/history/load");
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("could not read {}: {e}", dir.display()))?;
+    let mut names: Vec<String> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("could not read {}: {e}", dir.display()))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            names.push(name);
+        }
+    }
+    names.sort();
+    let mut out = Vec::with_capacity(names.len());
+    for name in names {
+        let path = dir.join(&name);
+        let text = fs::read_to_string(&path)
+            .map_err(|e| format!("could not read {}: {e}", path.display()))?;
+        let snap =
+            BenchSnapshot::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        out.push(HistoryPoint {
+            label: name.trim_end_matches(".json").to_string(),
+            snap,
+        });
+    }
+    Ok(out)
+}
+
+/// Per-workload series of one metric across the history, in workload
+/// order of the first snapshot. Workloads missing from a later snapshot
+/// carry their previous value forward so the series stays plottable.
+fn metric_series(
+    points: &[HistoryPoint],
+    pick: impl Fn(&apt_metrics::snapshot::WorkloadBench) -> f64,
+) -> Vec<(String, Vec<f64>)> {
+    let Some(first) = points.first() else {
+        return Vec::new();
+    };
+    first
+        .snap
+        .workloads
+        .iter()
+        .map(|w0| {
+            let mut last = pick(w0);
+            let series = points
+                .iter()
+                .map(|p| {
+                    if let Some(w) = p.snap.workloads.iter().find(|w| w.workload == w0.workload) {
+                        last = pick(w);
+                    }
+                    last
+                })
+                .collect();
+            (w0.workload.clone(), series)
+        })
+        .collect()
+}
+
+/// Flags every metric that drifted outside `tolerance` relative to the
+/// first snapshot: simulated cycles up, speedup down, or simulator
+/// throughput (cycles/s) down. Only the *first* snapshot where a
+/// workload/metric pair crosses the corridor is reported, so a
+/// persistent regression yields one row, not one per later snapshot.
+pub fn trend_annotations(points: &[HistoryPoint], tolerance: f64) -> Vec<TrendAnnotation> {
+    let Some(first) = points.first() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for w0 in &first.snap.workloads {
+        // (metric, first value, higher_is_worse)
+        let metrics: [(&'static str, f64, bool); 4] = [
+            ("aptget_cycles", w0.aptget_cycles as f64, true),
+            ("baseline_cycles", w0.baseline_cycles as f64, true),
+            ("speedup_aptget", w0.speedup_aptget, false),
+            ("cycles_per_sec", w0.cycles_per_sec, false),
+        ];
+        for (metric, base, higher_is_worse) in metrics {
+            if base == 0.0 {
+                continue;
+            }
+            for p in &points[1..] {
+                let Some(w) = p.snap.workloads.iter().find(|w| w.workload == w0.workload) else {
+                    continue;
+                };
+                let cur = match metric {
+                    "aptget_cycles" => w.aptget_cycles as f64,
+                    "baseline_cycles" => w.baseline_cycles as f64,
+                    "speedup_aptget" => w.speedup_aptget,
+                    _ => w.cycles_per_sec,
+                };
+                if metric == "cycles_per_sec" && cur == 0.0 {
+                    continue; // old snapshot without the field
+                }
+                let regression = if higher_is_worse {
+                    cur / base - 1.0
+                } else {
+                    base / cur.max(1e-12) - 1.0
+                };
+                if regression > tolerance {
+                    out.push(TrendAnnotation {
+                        at: p.label.clone(),
+                        workload: w0.workload.clone(),
+                        metric,
+                        first: base,
+                        current: cur,
+                        regression,
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn fmt_val(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.3}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn annotation_table(annotations: &[TrendAnnotation]) -> String {
+    if annotations.is_empty() {
+        return "<p class='good'>No metric drifted outside the tolerance \
+                corridor relative to the first snapshot.</p>"
+            .to_string();
+    }
+    let mut out = String::from(
+        "<p class='bad'>Metrics outside the tolerance corridor (relative \
+         to the first snapshot):</p>\
+         <table><tr><th>workload</th><th>metric</th><th>since</th>\
+         <th>first</th><th>current</th><th>regression</th></tr>",
+    );
+    for a in annotations {
+        let _ = write!(
+            out,
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td class='bad'>{:+.1}%</td></tr>",
+            escape(&a.workload),
+            a.metric,
+            escape(&a.at),
+            fmt_val(a.first),
+            fmt_val(a.current),
+            a.regression * 100.0
+        );
+    }
+    out.push_str("</table>");
+    out
+}
+
+/// The snapshot index: label, host, config, wall time. Flags host
+/// changes, since cycles-per-second is only comparable within one host.
+fn index_table(points: &[HistoryPoint]) -> String {
+    let mut out = String::from(
+        "<table><tr><th>snapshot</th><th>host</th><th>config</th>\
+         <th>wall ms</th></tr>",
+    );
+    let first_host = points
+        .first()
+        .map(|p| p.snap.host.clone())
+        .unwrap_or_default();
+    let mut host_changed = false;
+    for p in points {
+        let mismatch = !p.snap.host.is_empty() && p.snap.host != first_host;
+        host_changed |= mismatch;
+        let _ = write!(
+            out,
+            "<tr><td>{}</td><td{}>{}</td><td>{}</td><td>{:.1}</td></tr>",
+            escape(&p.label),
+            if mismatch { " class='bad'" } else { "" },
+            escape(if p.snap.host.is_empty() {
+                "(unknown)"
+            } else {
+                &p.snap.host
+            }),
+            escape(&p.snap.config),
+            p.snap.wall_us as f64 / 1000.0
+        );
+    }
+    out.push_str("</table>");
+    if host_changed {
+        out.push_str(
+            "<p class='bad'>Host fingerprint changes across the series: \
+             throughput (cycles/s) is not comparable across hosts.</p>",
+        );
+    }
+    out
+}
+
+/// One trend chart: a line per workload plus, for gated metrics, the
+/// tolerance corridor of the first snapshot's slowest workload (the
+/// widest band keeps every corridor visible without clutter per line).
+fn trend_chart(
+    rows: &[(String, Vec<f64>)],
+    tolerance: f64,
+    higher_is_worse: Option<bool>,
+    y_label: &str,
+) -> String {
+    let palette = apt_timeline::PALETTE;
+    let series: Vec<Series> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, (name, pts))| Series::new(name.clone(), palette[i % palette.len()], pts.clone()))
+        .collect();
+    let mut hbands = Vec::new();
+    if let Some(higher_is_worse) = higher_is_worse {
+        for (name, pts) in rows {
+            let first = pts.first().copied().unwrap_or(0.0);
+            if first <= 0.0 {
+                continue;
+            }
+            let (lo, hi) = if higher_is_worse {
+                (first, first * (1.0 + tolerance))
+            } else {
+                (first / (1.0 + tolerance), first)
+            };
+            hbands.push(HBand {
+                label: format!("{name} ±{:.0}% gate", tolerance * 100.0),
+                lo,
+                hi,
+            });
+        }
+    }
+    line_chart_banded(&series, &[], &hbands, y_label)
+}
+
+/// Renders the whole history as one self-contained HTML document.
+pub fn render_perf_history(points: &[HistoryPoint], tolerance: f64) -> String {
+    apt_selfprof::prof_scope!("bench/history/render");
+    let annotations = trend_annotations(points, tolerance);
+    let mut sections: Vec<(String, String)> = Vec::new();
+
+    sections.push(("Snapshots".to_string(), index_table(points)));
+    sections.push(("Regressions".to_string(), annotation_table(&annotations)));
+
+    let cycles = metric_series(points, |w| w.aptget_cycles as f64);
+    sections.push((
+        "APT-GET simulated cycles".to_string(),
+        format!(
+            "<p>Lower is better; the corridor is the first snapshot's \
+             value plus the gate tolerance.</p>{}",
+            trend_chart(&cycles, tolerance, Some(true), "cycles")
+        ),
+    ));
+
+    let speedup = metric_series(points, |w| w.speedup_aptget);
+    sections.push((
+        "APT-GET speedup over baseline".to_string(),
+        format!(
+            "<p>Higher is better; the corridor floor is the first \
+             snapshot's speedup shrunk by the gate tolerance.</p>{}",
+            trend_chart(&speedup, tolerance, Some(false), "speedup")
+        ),
+    ));
+
+    let cps = metric_series(points, |w| w.cycles_per_sec);
+    if cps.iter().any(|(_, pts)| pts.iter().any(|&v| v > 0.0)) {
+        sections.push((
+            "Simulator throughput".to_string(),
+            format!(
+                "<p>Simulated cycles per host wall-clock second. \
+                 Host-dependent and never gated, but a sustained drop on \
+                 one host is a simulator performance regression.</p>{}",
+                trend_chart(&cps, tolerance, Some(false), "cycles/s")
+            ),
+        ));
+    }
+
+    let intro = format!(
+        "Performance trajectory across {} benchmark snapshot(s), oldest \
+         first, with a ±{:.0}% tolerance corridor anchored at the first \
+         snapshot. {} regression annotation(s).",
+        points.len(),
+        tolerance * 100.0,
+        annotations.len()
+    );
+    html_page("APT-GET perf history", &intro, &sections)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_metrics::snapshot::WorkloadBench;
+
+    fn snap(label: &str, aptget: u64, cps: f64) -> HistoryPoint {
+        let mut s = BenchSnapshot::new("apteval --scale 0.01".to_string());
+        s.host = "linux-x86_64-8c".to_string();
+        let mut w = WorkloadBench::new("BFS", 1_000_000, 900_000, aptget);
+        w.cycles_per_sec = cps;
+        s.workloads.push(w);
+        s.wall_us = 42_000;
+        HistoryPoint {
+            label: label.to_string(),
+            snap: s,
+        }
+    }
+
+    #[test]
+    fn stable_series_produces_no_annotations() {
+        let pts = vec![snap("BENCH_1", 700_000, 5e7), snap("BENCH_2", 707_000, 5e7)];
+        assert!(trend_annotations(&pts, 0.05).is_empty());
+    }
+
+    #[test]
+    fn cycle_and_throughput_regressions_are_annotated_once() {
+        let pts = vec![
+            snap("BENCH_1", 700_000, 5e7),
+            snap("BENCH_2", 760_000, 2e7), // cycles +8.6%, throughput -60%
+            snap("BENCH_3", 780_000, 2e7), // still bad: must not re-annotate
+        ];
+        let ann = trend_annotations(&pts, 0.05);
+        let cycles: Vec<_> = ann.iter().filter(|a| a.metric == "aptget_cycles").collect();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].at, "BENCH_2");
+        assert!(cycles[0].regression > 0.08 && cycles[0].regression < 0.09);
+        let cps: Vec<_> = ann
+            .iter()
+            .filter(|a| a.metric == "cycles_per_sec")
+            .collect();
+        assert_eq!(cps.len(), 1);
+        assert_eq!(cps[0].at, "BENCH_2");
+        // Speedup regressed too (baseline constant, APT-GET cycles up).
+        assert!(ann.iter().any(|a| a.metric == "speedup_aptget"));
+    }
+
+    #[test]
+    fn old_snapshots_without_throughput_are_skipped_not_flagged() {
+        let pts = vec![snap("BENCH_1", 700_000, 5e7), snap("BENCH_2", 700_000, 0.0)];
+        assert!(trend_annotations(&pts, 0.05).is_empty());
+    }
+
+    #[test]
+    fn report_renders_bands_annotations_and_host_warning() {
+        let mut pts = vec![snap("BENCH_1", 700_000, 5e7), snap("BENCH_2", 800_000, 5e7)];
+        pts[1].snap.host = "linux-aarch64-4c".to_string();
+        let html = render_perf_history(&pts, 0.05);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(!html.contains("http"), "external reference in report");
+        assert!(!html.contains("<script"), "script in report");
+        assert!(html.contains("stroke-dasharray"), "tolerance band missing");
+        assert!(html.contains("aptget_cycles"), "annotation table missing");
+        assert!(html.contains("not comparable across hosts"));
+        assert_eq!(html, render_perf_history(&pts, 0.05), "nondeterministic");
+    }
+
+    #[test]
+    fn load_dir_orders_by_filename_and_ignores_strangers() {
+        let dir = std::env::temp_dir().join(format!("apt-history-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("BENCH_2.json"), snap("x", 1, 1.0).snap.to_json()).unwrap();
+        fs::write(dir.join("BENCH_1.json"), snap("x", 2, 2.0).snap.to_json()).unwrap();
+        fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let pts = load_dir(&dir).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].label, "BENCH_1");
+        assert_eq!(pts[0].snap.workloads[0].aptget_cycles, 2);
+        assert_eq!(pts[1].label, "BENCH_2");
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_an_error_not_a_skip() {
+        let dir = std::env::temp_dir().join(format!("apt-history-bad-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("BENCH_1.json"), "{ not json").unwrap();
+        let err = load_dir(&dir).unwrap_err();
+        fs::remove_dir_all(&dir).unwrap();
+        assert!(err.contains("BENCH_1.json"));
+    }
+}

@@ -19,8 +19,10 @@ use aptget::{
 
 pub mod cache;
 pub mod eval;
+pub mod history;
 pub mod pool;
 pub mod report;
+pub mod selfprof_report;
 
 /// Workload scale for the experiment benches.
 ///

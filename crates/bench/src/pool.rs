@@ -56,6 +56,69 @@ impl PoolStats {
         }
         (self.busy_us.iter().sum::<u64>() as f64 / capacity as f64).min(1.0)
     }
+
+    /// Exports pool health into `registry` so `/metrics` scrapes see the
+    /// campaign: pool-level gauges (worker count, utilization, wall
+    /// time), plus per-worker task / steal / busy-time counters labelled
+    /// `worker="<id>"`. A disabled registry makes this a no-op.
+    pub fn export_metrics(&self, registry: &apt_metrics::Registry) {
+        if !registry.is_enabled() {
+            return;
+        }
+        registry
+            .gauge(
+                "apt_bench_pool_jobs",
+                "Workers used by the last pool run.",
+                &[],
+            )
+            .set(self.jobs as f64);
+        registry
+            .gauge(
+                "apt_bench_pool_utilization_ratio",
+                "Mean worker utilization of the last campaign, 0 to 1.",
+                &[],
+            )
+            .set(self.utilization());
+        registry
+            .gauge(
+                "apt_bench_pool_wall_us",
+                "Wall time of the last pool run, microseconds.",
+                &[],
+            )
+            .set(self.wall_us as f64);
+        registry
+            .counter(
+                "apt_bench_pool_steals_total",
+                "Successful work steals across pool workers.",
+                &[],
+            )
+            .add(self.total_steals());
+        for w in 0..self.jobs {
+            let id = w.to_string();
+            let labels = [("worker", id.as_str())];
+            registry
+                .counter(
+                    "apt_bench_worker_tasks_total",
+                    "Tasks completed by each pool worker.",
+                    &labels,
+                )
+                .add(self.executed.get(w).copied().unwrap_or(0));
+            registry
+                .counter(
+                    "apt_bench_worker_steals_total",
+                    "Successful steals by each pool worker.",
+                    &labels,
+                )
+                .add(self.steals.get(w).copied().unwrap_or(0));
+            registry
+                .counter(
+                    "apt_bench_worker_busy_us_total",
+                    "Time each pool worker spent inside cells, microseconds.",
+                    &labels,
+                )
+                .add(self.busy_us.get(w).copied().unwrap_or(0));
+        }
+    }
 }
 
 /// Runs `tasks` on `jobs` workers and returns `(results, stats)`, with
@@ -281,6 +344,20 @@ mod tests {
             let used = stats.jobs;
             assert_eq!(stats.busy_us.len(), used, "jobs={jobs}");
             assert_eq!(stats.executed.len(), used, "jobs={jobs}");
+            assert_eq!(stats.steals.len(), used, "jobs={jobs}");
+            // Per-worker completed-task counts partition the task list:
+            // they sum to the submission count, and any worker that
+            // reported busy time must have completed at least one task.
+            assert_eq!(stats.executed.iter().sum::<u64>(), TASKS, "jobs={jobs}");
+            for (w, (&n, &busy)) in stats.executed.iter().zip(&stats.busy_us).enumerate() {
+                assert!(
+                    n > 0 || busy == 0,
+                    "jobs={jobs} worker={w}: {busy}µs busy but 0 tasks"
+                );
+            }
+            if used == 1 {
+                assert_eq!(stats.executed, vec![TASKS], "jobs={jobs}");
+            }
             // Busy time is bounded by wall time per worker (idle = wall −
             // busy must be non-negative), with a small slop for timer
             // granularity.
@@ -319,5 +396,48 @@ mod tests {
             // the end: utilization must be substantial at any width.
             assert!(util > 0.5, "jobs={jobs}: util {util}");
         }
+    }
+
+    /// Satellite check: `PoolStats::export_metrics` round-trips through
+    /// the in-repo Prometheus renderer and parser with per-worker task
+    /// counts intact.
+    #[test]
+    fn pool_stats_export_renders_as_prometheus() {
+        let tasks: Vec<_> = (0..9).map(|i| move |_w: usize| i).collect();
+        let (_, stats) = run_indexed(3, tasks);
+        let registry = apt_metrics::Registry::new();
+        stats.export_metrics(&registry);
+        let text = apt_metrics::render_prometheus(&registry);
+        let exposition = apt_metrics::prom::parse(&text).expect("valid exposition");
+        assert_eq!(
+            exposition.value("apt_bench_pool_jobs", &[]),
+            Some(stats.jobs as f64)
+        );
+        assert_eq!(
+            exposition.value("apt_bench_pool_utilization_ratio", &[]),
+            Some(stats.utilization())
+        );
+        assert_eq!(
+            exposition.value("apt_bench_pool_wall_us", &[]),
+            Some(stats.wall_us as f64)
+        );
+        let mut tasks_seen = 0.0;
+        for w in 0..stats.jobs {
+            let id = w.to_string();
+            let labels = [("worker", id.as_str())];
+            tasks_seen += exposition
+                .value("apt_bench_worker_tasks_total", &labels)
+                .unwrap_or_else(|| panic!("missing worker={w} task counter"));
+            assert_eq!(
+                exposition.value("apt_bench_worker_busy_us_total", &labels),
+                Some(stats.busy_us[w] as f64)
+            );
+        }
+        assert_eq!(tasks_seen, 9.0);
+
+        // A disabled registry stays empty.
+        let off = apt_metrics::Registry::disabled();
+        stats.export_metrics(&off);
+        assert!(apt_metrics::render_prometheus(&off).is_empty());
     }
 }

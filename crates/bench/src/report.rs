@@ -98,6 +98,7 @@ fn outcome_stack(apt: &Timeline) -> String {
 
 /// Renders the whole campaign as one self-contained HTML document.
 pub fn render_campaign_report(report: &CampaignReport) -> String {
+    apt_selfprof::prof_scope!("bench/report/render");
     let mut sections: Vec<(String, String)> = Vec::new();
     for chunk in report.cells.chunks_exact(Variant::ALL.len()) {
         let base = &chunk[0].timeline;

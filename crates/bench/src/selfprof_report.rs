@@ -1,0 +1,118 @@
+//! The `--selfprof-out` artifact: wraps `apt-selfprof` flamegraphs in
+//! the workspace's self-contained HTML page style (`apt-timeline`
+//! provides the shell, so `apt-selfprof` itself stays dependency-free).
+//!
+//! The page carries the merged icicle flamegraph, a hot-scopes table
+//! (exclusive time descending), and one flamegraph per worker thread.
+//! Everything is a pure function of the collected profile: under the
+//! fake clock the whole page is byte-stable.
+
+use apt_selfprof::{flamegraph_svg, CallTree, Profile};
+use apt_timeline::{escape, html_page};
+
+fn fmt_ms(us: u64) -> String {
+    format!("{:.1}", us as f64 / 1000.0)
+}
+
+/// The hot-scopes table: top `limit` scopes by exclusive time.
+fn hot_table(tree: &CallTree, limit: usize) -> String {
+    let rows = tree.hot_scopes();
+    let total = tree.total_incl_us().max(1);
+    let mut out = String::from(
+        "<table><tr><th>scope</th><th>excl ms</th><th>incl ms</th>\
+         <th>incl %</th><th>hits</th></tr>",
+    );
+    for (path, excl, incl, hits) in rows.iter().take(limit) {
+        out.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{:.1}</td><td>{}</td></tr>",
+            escape(path),
+            fmt_ms(*excl),
+            fmt_ms(*incl),
+            100.0 * *incl as f64 / total as f64,
+            hits
+        ));
+    }
+    if rows.len() > limit {
+        out.push_str(&format!(
+            "<tr><td>… {} more scopes</td><td></td><td></td><td></td><td></td></tr>",
+            rows.len() - limit
+        ));
+    }
+    out.push_str("</table>");
+    out
+}
+
+/// Renders the complete self-profile page.
+pub fn render_selfprof_html(profile: &Profile) -> String {
+    let merged = profile.merged();
+    let mut sections: Vec<(String, String)> = Vec::new();
+    sections.push((
+        "Merged flamegraph (all workers)".to_string(),
+        format!(
+            "<p>{} attributed across {} thread{}. Width is inclusive \
+             wall time; hover a frame for details.</p>{}",
+            escape(&format!("{} ms", fmt_ms(merged.total_incl_us()))),
+            profile.threads.len(),
+            if profile.threads.len() == 1 { "" } else { "s" },
+            flamegraph_svg(&merged, "all workers")
+        ),
+    ));
+    sections.push(("Hot scopes".to_string(), hot_table(&merged, 20)));
+    for (label, tree) in &profile.threads {
+        sections.push((format!("Thread: {label}"), flamegraph_svg(tree, label)));
+    }
+    html_page(
+        "Simulator self-profile",
+        "Scoped wall-time profile of the campaign run itself (apt-selfprof). \
+         Observation only: the campaign result table is byte-identical with \
+         profiling on or off.",
+        &sections,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_selfprof::Recorder;
+
+    fn demo_profile() -> Profile {
+        let mut r = Recorder::new();
+        r.enter("bench/cell", 0);
+        r.enter("cpu/exec", 100);
+        r.exit(4100);
+        r.exit(5000);
+        Profile {
+            threads: vec![("worker-0".to_string(), r.tree())],
+        }
+    }
+
+    #[test]
+    fn page_is_self_contained_and_deterministic() {
+        let p = demo_profile();
+        let page = render_selfprof_html(&p);
+        assert!(page.starts_with("<!DOCTYPE html>"));
+        assert!(!page.contains("http"));
+        assert!(!page.contains("<script"));
+        assert!(page.contains("Merged flamegraph"));
+        assert!(page.contains("Thread: worker-0"));
+        assert!(page.contains("cpu/exec"));
+        assert_eq!(page, render_selfprof_html(&p));
+    }
+
+    #[test]
+    fn hot_table_ranks_by_exclusive_time() {
+        let p = demo_profile();
+        let table = hot_table(&p.merged(), 20);
+        // cpu/exec has 4.0 ms exclusive vs bench/cell's 1.0 ms: it must
+        // come first even though it is the deeper frame.
+        let exec_pos = table.find("bench/cell;cpu/exec").unwrap();
+        let cell_pos = table.find("<td>bench/cell</td>").unwrap();
+        assert!(exec_pos < cell_pos);
+    }
+
+    #[test]
+    fn empty_profile_still_renders() {
+        let page = render_selfprof_html(&Profile::default());
+        assert!(page.contains("no samples"));
+    }
+}

@@ -368,6 +368,7 @@ impl<'m> Machine<'m> {
     }
 
     fn exec(&mut self, fid: FuncId, args: &[u64]) -> Result<Option<u64>, SimError> {
+        apt_selfprof::prof_scope!("cpu/exec");
         let func = self.module.function(fid);
         let mut regs = vec![0u64; func.next_reg as usize];
         regs[..args.len()].copy_from_slice(args);
@@ -381,10 +382,12 @@ impl<'m> Machine<'m> {
             if self.instructions > self.cfg.inst_limit {
                 return Err(SimError::InstLimit);
             }
+            let fetch_scope = apt_selfprof::ScopeGuard::enter("cpu/step/fetch");
             let block = func.block(cur);
             let base_pc = self.map.block_start_pc(fid, cur).0;
 
             // φ prefix: parallel copies selected by the edge we arrived on.
+            // (Block lookup + φ resolution stand in for fetch/decode.)
             let phi_count = block.phi_count();
             if phi_count > 0 {
                 let from = prev.expect("phi in entry block rejected by verifier");
@@ -404,7 +407,10 @@ impl<'m> Machine<'m> {
                 }
             }
 
+            drop(fetch_scope);
+
             // Straight-line body.
+            apt_selfprof::prof_scope!("cpu/step/exec");
             for (i, inst) in block.insts.iter().enumerate().skip(phi_count) {
                 let pc = Pc(base_pc + 4 * i as u64);
                 match inst {
@@ -457,7 +463,10 @@ impl<'m> Machine<'m> {
                         };
                         let v = if *sext { sign_extend(raw, w) } else { raw };
                         regs[dst.0 as usize] = v;
-                        let r = self.hier.demand_load(pc.0, a, self.cycles);
+                        let r = {
+                            apt_selfprof::prof_scope!("cpu/step/mem");
+                            self.hier.demand_load(pc.0, a, self.cycles)
+                        };
                         self.pebs.observe(pc, r.served, self.cycles);
                         self.retire(r.latency);
                     }
@@ -467,14 +476,20 @@ impl<'m> Machine<'m> {
                         self.image
                             .write(a, v, width.bytes())
                             .map_err(|fault| SimError::Fault { pc, fault })?;
-                        self.hier.store(pc.0, a, self.cycles);
+                        {
+                            apt_selfprof::prof_scope!("cpu/step/mem");
+                            self.hier.store(pc.0, a, self.cycles);
+                        }
                         self.retire(1);
                     }
                     Inst::Prefetch { addr } => {
                         let a = Self::val(&regs, *addr);
                         // Prefetching unmapped addresses is architecturally
                         // a no-op (like x86 PREFETCHT0), so no fault check.
-                        self.hier.sw_prefetch(pc.0, a, self.cycles);
+                        {
+                            apt_selfprof::prof_scope!("cpu/step/mem");
+                            self.hier.sw_prefetch(pc.0, a, self.cycles);
+                        }
                         self.retire(1);
                     }
                 }

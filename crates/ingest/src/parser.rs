@@ -179,6 +179,7 @@ impl Cursor<'_> {
 
 /// Parses a whole dump. See the module docs for the accepted grammar.
 pub fn parse_str(text: &str, remap: &dyn PcRemapper) -> Result<Ingested, ParseError> {
+    apt_selfprof::prof_scope!("ingest/parse");
     let mut out = Ingested::default();
     let mut offset = 0usize;
     for (i, raw_line) in text.split('\n').enumerate() {

@@ -180,6 +180,7 @@ pub fn run_function(
         });
     }
 
+    apt_selfprof::prof_scope!("lir/eval");
     let mut regs = vec![0u64; f.next_reg as usize];
     regs[..args.len()].copy_from_slice(args);
     let mut steps = 0u64;
@@ -196,6 +197,7 @@ pub fn run_function(
         if steps > step_limit {
             return Err(EvalError::StepLimit);
         }
+        apt_selfprof::prof_scope!("lir/eval/dispatch");
         let block = f.block(cur);
 
         // φ prefix: parallel copies selected by the edge we arrived on.

@@ -133,6 +133,7 @@ impl Hierarchy {
 
     /// Installs fills whose data has arrived by `now`.
     pub fn drain(&mut self, now: Cycle) {
+        apt_selfprof::prof_scope!("mem/hier/mshr_drain");
         // Integrate MSHR occupancy before it changes: every occupancy
         // mutation goes through a `Hierarchy` entry point that drains
         // first, so advancing here keeps the occupancy-time integral exact.
@@ -169,6 +170,7 @@ impl Hierarchy {
     /// A demand load from the core. `pc` is the load's program counter
     /// (used by the stride prefetcher).
     pub fn demand_load(&mut self, pc: u64, addr: Addr, now: Cycle) -> AccessResult {
+        apt_selfprof::prof_scope!("mem/hier/demand_load");
         self.drain(now);
         self.counters.loads += 1;
         let line = line_of(addr);
@@ -273,6 +275,7 @@ impl Hierarchy {
 
     /// A store from the core. Write-allocate, never stalls.
     pub fn store(&mut self, pc: u64, addr: Addr, now: Cycle) {
+        apt_selfprof::prof_scope!("mem/hier/store");
         self.drain(now);
         self.counters.stores += 1;
         let line = line_of(addr);
@@ -306,6 +309,7 @@ impl Hierarchy {
     /// `prefetcht0`). `pc` is the prefetch instruction's program counter,
     /// used for per-PC outcome attribution.
     pub fn sw_prefetch(&mut self, pc: u64, addr: Addr, now: Cycle) {
+        apt_selfprof::prof_scope!("mem/hier/sw_prefetch");
         self.drain(now);
         self.counters.sw_pf_issued += 1;
         let line = line_of(addr);

@@ -30,6 +30,6 @@ pub use prom::{render_prometheus, Exposition, Sample};
 pub use registry::{Counter, Gauge, Histogram, MetricKind, Registry, WALL_US_BUCKETS};
 pub use serve::MetricsServer;
 pub use snapshot::{
-    gate, BenchSnapshot, GateConfig, GateReport, OutcomeMix, PhaseBench, WorkloadBench,
-    SNAPSHOT_SCHEMA,
+    gate, host_fingerprint, BenchSnapshot, GateConfig, GateReport, OutcomeMix, PhaseBench,
+    WorkloadBench, SNAPSHOT_SCHEMA,
 };

@@ -116,6 +116,12 @@ pub struct WorkloadBench {
     /// Wall time of the slowest cell for this workload, microseconds.
     /// Informational only — never compared by the gate.
     pub wall_us: u64,
+    /// Simulated cycles per host wall-clock second across the workload's
+    /// cells — the simulator-throughput trajectory that `perf-history`
+    /// plots. Informational (host-dependent), never compared by the
+    /// gate; absent in old snapshots and parsed as 0 (the schema stays
+    /// at 1, same precedent as `phases`).
+    pub cycles_per_sec: f64,
 }
 
 impl WorkloadBench {
@@ -137,6 +143,7 @@ impl WorkloadBench {
             outcomes: None,
             phases: Vec::new(),
             wall_us: 0,
+            cycles_per_sec: 0.0,
         }
     }
 }
@@ -148,6 +155,10 @@ pub struct BenchSnapshot {
     pub schema: u32,
     /// Free-form provenance string ("apteval --jobs 2 --scale 0.02 ...").
     pub config: String,
+    /// Host fingerprint (`os-arch-<n>c`, see [`host_fingerprint`]) so
+    /// `perf-history` can flag cross-host throughput comparisons.
+    /// Informational; absent in old snapshots and parsed as empty.
+    pub host: String,
     pub workloads: Vec<WorkloadBench>,
     /// Campaign wall time, microseconds. Informational only.
     pub wall_us: u64,
@@ -157,6 +168,20 @@ pub struct BenchSnapshot {
 }
 
 pub const SNAPSHOT_SCHEMA: u32 = 1;
+
+/// A coarse host identity (`os-arch-<n>c`, e.g. `linux-x86_64-16c`) for
+/// snapshot provenance. Deliberately free of hostnames or serials: just
+/// enough for `perf-history` to warn when a throughput trend mixes
+/// machines that cannot be compared.
+pub fn host_fingerprint() -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    format!(
+        "{}-{}-{}c",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        cores
+    )
+}
 
 impl BenchSnapshot {
     pub fn new(config: String) -> Self {
@@ -173,6 +198,8 @@ impl BenchSnapshot {
         let _ = write!(out, "{}", self.schema);
         out.push_str(",\n  \"config\": ");
         json::write_str(&mut out, &self.config);
+        out.push_str(",\n  \"host\": ");
+        json::write_str(&mut out, &self.host);
         let _ = write!(
             out,
             ",\n  \"wall_us\": {},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"workloads\": [",
@@ -193,6 +220,8 @@ impl BenchSnapshot {
             out.push_str(",\n      \"speedup_aptget\": ");
             json::write_f64(&mut out, w.speedup_aptget);
             let _ = write!(out, ",\n      \"wall_us\": {}", w.wall_us);
+            out.push_str(",\n      \"cycles_per_sec\": ");
+            json::write_f64(&mut out, w.cycles_per_sec);
             if let Some(mix) = &w.outcomes {
                 out.push_str(",\n      \"outcomes\": ");
                 mix.write_json(&mut out, "      ");
@@ -226,6 +255,9 @@ impl BenchSnapshot {
             ));
         }
         let mut snap = BenchSnapshot::new(doc.str_field("config")?.to_string());
+        if let Some(host) = doc.get("host").and_then(Json::as_str) {
+            snap.host = host.to_string();
+        }
         snap.wall_us = doc.u64_field("wall_us")?;
         snap.cache_hits = doc.u64_field("cache_hits")?;
         snap.cache_misses = doc.u64_field("cache_misses")?;
@@ -245,6 +277,9 @@ impl BenchSnapshot {
             bench.speedup_aj = w.num_field("speedup_aj")?;
             bench.speedup_aptget = w.num_field("speedup_aptget")?;
             bench.wall_us = w.u64_field("wall_us")?;
+            if let Some(cps) = w.get("cycles_per_sec").and_then(Json::as_f64) {
+                bench.cycles_per_sec = cps;
+            }
             if let Some(mix) = w.get("outcomes") {
                 bench.outcomes = Some(OutcomeMix::from_json(mix)?);
             }
@@ -307,6 +342,20 @@ impl GateReport {
         self.errors.is_empty() && self.checks.iter().all(|c| !c.failed)
     }
 
+    /// Every workload (or `workload/phase`) with at least one failed
+    /// check, deduplicated, in first-failure order — so a gate failure
+    /// names *all* regressed workloads in one message instead of making
+    /// the user fix and re-run one at a time.
+    pub fn offending_workloads(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for c in self.checks.iter().filter(|c| c.failed) {
+            if !out.contains(&c.workload) {
+                out.push(c.workload.clone());
+            }
+        }
+        out
+    }
+
     /// Human-readable multi-line report.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -325,13 +374,19 @@ impl GateReport {
                 c.regression * 100.0
             );
         }
+        let offenders = self.offending_workloads();
         let _ = writeln!(
             out,
-            "bench-gate: {} checks, {} failures, {} errors => {}",
+            "bench-gate: {} checks, {} failures, {} errors => {}{}",
             self.checks.len(),
             self.checks.iter().filter(|c| c.failed).count(),
             self.errors.len(),
-            if self.passed() { "PASS" } else { "FAIL" }
+            if self.passed() { "PASS" } else { "FAIL" },
+            if offenders.is_empty() {
+                String::new()
+            } else {
+                format!(" (regressed: {})", offenders.join(", "))
+            }
         );
         out
     }
@@ -462,11 +517,13 @@ mod tests {
 
     fn sample() -> BenchSnapshot {
         let mut snap = BenchSnapshot::new("apteval --jobs 2 --scale 0.02".to_string());
+        snap.host = "linux-x86_64-8c".to_string();
         snap.wall_us = 123_456;
         snap.cache_hits = 4;
         snap.cache_misses = 2;
         let mut w = WorkloadBench::new("BFS", 1_000_000, 900_000, 700_000);
         w.wall_us = 55_000;
+        w.cycles_per_sec = 47_272_727.27;
         w.outcomes = Some(OutcomeMix {
             issued: 100,
             timely: 60,
@@ -550,6 +607,55 @@ mod tests {
             ..GateConfig::default()
         };
         assert!(gate(&base, &cur, &loose).passed());
+    }
+
+    #[test]
+    fn snapshots_without_host_or_throughput_fields_still_parse() {
+        // Snapshots written before the perf-history fields existed.
+        let stripped = sample()
+            .to_json()
+            .replace(",\n  \"host\": \"linux-x86_64-8c\"", "")
+            .replace(",\n      \"cycles_per_sec\": 47272727.27", "")
+            .replace(",\n      \"cycles_per_sec\": 0", "");
+        assert!(!stripped.contains("cycles_per_sec"));
+        let back = BenchSnapshot::from_json(&stripped).expect("old-layout snapshot");
+        assert_eq!(back.host, "");
+        assert!(back.workloads.iter().all(|w| w.cycles_per_sec == 0.0));
+        assert_eq!(back.workloads[0].wall_us, 55_000);
+    }
+
+    #[test]
+    fn host_fingerprint_is_stable_and_descriptive() {
+        let a = host_fingerprint();
+        assert_eq!(a, host_fingerprint());
+        assert!(a.contains(std::env::consts::ARCH));
+        assert!(a.ends_with('c'));
+    }
+
+    /// Satellite: a failing gate must name *every* regressed workload in
+    /// the one summary line, not just the first one encountered.
+    #[test]
+    fn gate_failure_names_all_offending_workloads() {
+        let base = sample();
+        let mut cur = sample();
+        // Plant two independent regressions: BFS APT-GET cycles +10 %,
+        // RandAcc A&J cycles +50 %.
+        cur.workloads[0].aptget_cycles = 770_000;
+        cur.workloads[0].speedup_aptget = 1_000_000.0 / 770_000.0;
+        cur.workloads[1].aj_cycles = 2_250_000;
+        cur.workloads[1].speedup_aj = 2_000_000.0 / 2_250_000.0;
+        let report = gate(&base, &cur, &GateConfig::default());
+        assert!(!report.passed());
+        assert_eq!(report.offending_workloads(), ["BFS", "RandAcc"]);
+        let rendered = report.render();
+        let summary = rendered.lines().last().unwrap();
+        assert!(
+            summary.contains("FAIL (regressed: BFS, RandAcc)"),
+            "summary must list both offenders: {summary}"
+        );
+        // A passing gate keeps the plain summary.
+        let clean = gate(&base, &base, &GateConfig::default());
+        assert!(clean.render().lines().last().unwrap().ends_with("PASS"));
     }
 
     #[test]

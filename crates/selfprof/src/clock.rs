@@ -1,0 +1,93 @@
+//! Time sources for the self-profiler.
+//!
+//! Every timestamp the profiler records flows through the [`Clock`] trait
+//! so that tests can inject a deterministic [`FakeClock`] and assert the
+//! rendered artifacts byte-for-byte, while production sessions use the
+//! process-monotonic [`MonotonicClock`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic microsecond counter. Implementations must be cheap and
+/// callable from any thread; the profiler never subtracts timestamps from
+/// different clocks.
+pub trait Clock: Send + Sync {
+    /// Microseconds since an arbitrary (per-clock) epoch.
+    fn now_us(&self) -> u64;
+}
+
+/// Wall-clock time from [`Instant`], anchored at construction.
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl MonotonicClock {
+    pub fn new() -> MonotonicClock {
+        MonotonicClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+/// A deterministic clock for byte-stable tests: every `now_us` call
+/// returns the current reading and then advances it by a fixed step, so a
+/// single-threaded scope sequence always observes the same durations.
+pub struct FakeClock {
+    step_us: u64,
+    now: AtomicU64,
+}
+
+impl FakeClock {
+    /// A clock that starts at 0 and advances `step_us` per reading.
+    pub fn new(step_us: u64) -> FakeClock {
+        FakeClock {
+            step_us,
+            now: AtomicU64::new(0),
+        }
+    }
+
+    /// Jumps the clock forward by `us` (on top of the per-read step).
+    pub fn advance(&self, us: u64) {
+        self.now.fetch_add(us, Ordering::Relaxed);
+    }
+}
+
+impl Clock for FakeClock {
+    fn now_us(&self) -> u64 {
+        self.now.fetch_add(self.step_us, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let c = MonotonicClock::new();
+        let a = c.now_us();
+        let b = c.now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn fake_clock_is_deterministic() {
+        let c = FakeClock::new(3);
+        assert_eq!(c.now_us(), 0);
+        assert_eq!(c.now_us(), 3);
+        c.advance(100);
+        assert_eq!(c.now_us(), 106);
+    }
+}

@@ -1,0 +1,348 @@
+//! Global profiling session and the scope guard behind `prof_scope!`.
+//!
+//! Instrumentation sites are scattered across crates whose hot types
+//! (e.g. `SimConfig`) are `Copy` and must not grow profiler handles, so
+//! the collector is process-global: at most one [`Session`] is active at
+//! a time (a static gate serializes concurrent tests), and each thread
+//! lazily binds a private frame-stack recorder to the active session the
+//! first time it enters a scope.
+//!
+//! The overhead contract matches `crates/metrics`: with no session
+//! active, [`ScopeGuard::enter`] is one relaxed atomic load and a branch
+//! (asserted by the microbench test below). Sessions are epoch-numbered
+//! so a guard can never report into a session other than the one it
+//! entered under.
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::tree::{CallTree, Recorder};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+/// Serializes whole sessions (held for the session's lifetime).
+static GATE: Mutex<()> = Mutex::new(());
+/// The active session's shared state, if any.
+static CURRENT: Mutex<Option<Arc<SessionShared>>> = Mutex::new(None);
+
+/// `Mutex::lock` that shrugs off poisoning: a panicking profiled test
+/// must not wedge every later session.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct SessionShared {
+    epoch: u64,
+    clock: Arc<dyn Clock>,
+    threads: Mutex<Vec<Arc<ThreadSlot>>>,
+}
+
+struct ThreadSlot {
+    label: Mutex<String>,
+    rec: Mutex<Recorder>,
+}
+
+struct Binding {
+    epoch: u64,
+    shared: Arc<SessionShared>,
+    slot: Arc<ThreadSlot>,
+}
+
+thread_local! {
+    static TLS: RefCell<Option<Binding>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with this thread's binding to the active session, binding
+/// lazily if needed. Returns `None` when no session is active.
+fn with_binding<R>(f: impl FnOnce(&Binding) -> R) -> Option<R> {
+    TLS.with(|tls| {
+        let mut b = tls.borrow_mut();
+        let epoch = EPOCH.load(Ordering::Acquire);
+        let stale = !matches!(&*b, Some(bind) if bind.epoch == epoch);
+        if stale {
+            let shared = match &*lock(&CURRENT) {
+                Some(s) if s.epoch == epoch => Arc::clone(s),
+                _ => return None,
+            };
+            let slot = Arc::new(ThreadSlot {
+                label: Mutex::new(String::from("thread")),
+                rec: Mutex::new(Recorder::new()),
+            });
+            lock(&shared.threads).push(Arc::clone(&slot));
+            *b = Some(Binding {
+                epoch,
+                shared,
+                slot,
+            });
+        }
+        b.as_ref().map(f)
+    })
+}
+
+/// An active profiling session. Dropping without [`Session::finish`]
+/// discards the collected profile but still disables collection.
+pub struct Session {
+    shared: Arc<SessionShared>,
+    _gate: MutexGuard<'static, ()>,
+}
+
+/// Starts a session with an injected clock (tests pass
+/// [`crate::FakeClock`] for byte-stable output). Blocks until any other
+/// session has finished.
+pub fn begin(clock: Arc<dyn Clock>) -> Session {
+    let gate = lock(&GATE);
+    let epoch = EPOCH.fetch_add(1, Ordering::AcqRel) + 1;
+    let shared = Arc::new(SessionShared {
+        epoch,
+        clock,
+        threads: Mutex::new(Vec::new()),
+    });
+    *lock(&CURRENT) = Some(Arc::clone(&shared));
+    ENABLED.store(true, Ordering::Release);
+    Session {
+        shared,
+        _gate: gate,
+    }
+}
+
+/// Starts a session on the default monotonic wall clock.
+pub fn begin_monotonic() -> Session {
+    begin(Arc::new(MonotonicClock::new()))
+}
+
+impl Session {
+    /// Stops collection and returns the per-thread profile. Scopes still
+    /// open on any thread are closed at the current clock reading so the
+    /// trees conserve time.
+    pub fn finish(self) -> Profile {
+        ENABLED.store(false, Ordering::Release);
+        EPOCH.fetch_add(1, Ordering::AcqRel);
+        *lock(&CURRENT) = None;
+        let now = self.shared.clock.now_us();
+        let slots: Vec<Arc<ThreadSlot>> = lock(&self.shared.threads).drain(..).collect();
+        let mut threads = Vec::new();
+        for slot in slots {
+            let mut rec = lock(&slot.rec);
+            rec.close_open_frames(now);
+            if rec.is_empty() {
+                continue;
+            }
+            threads.push((lock(&slot.label).clone(), rec.tree()));
+        }
+        threads.sort_by(|a, b| a.0.cmp(&b.0));
+        Profile { threads }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // Runs both for abandoned sessions and at the end of `finish`
+        // (which already deregistered CURRENT), so it must be idempotent.
+        ENABLED.store(false, Ordering::Release);
+        if lock(&CURRENT)
+            .as_ref()
+            .is_some_and(|s| s.epoch == self.shared.epoch)
+        {
+            EPOCH.fetch_add(1, Ordering::AcqRel);
+            *lock(&CURRENT) = None;
+        }
+    }
+}
+
+/// The result of a session: `(thread label, call tree)` pairs sorted by
+/// label. Worker threads label themselves via [`set_thread_label`].
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    pub threads: Vec<(String, CallTree)>,
+}
+
+impl Profile {
+    pub fn is_empty(&self) -> bool {
+        self.threads.is_empty()
+    }
+
+    /// All thread trees folded together. Merging is associative and
+    /// commutative, so the result is independent of worker scheduling.
+    pub fn merged(&self) -> CallTree {
+        let mut out = CallTree::default();
+        for (_, tree) in &self.threads {
+            out.merge(tree);
+        }
+        out
+    }
+}
+
+/// Labels the calling thread's profile section (e.g. `worker-3`). A
+/// single relaxed load when no session is active.
+pub fn set_thread_label(label: &str) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    with_binding(|bind| {
+        *lock(&bind.slot.label) = label.to_string();
+    });
+}
+
+/// RAII scope created by [`crate::prof_scope!`]. When profiling is
+/// disabled the constructor is a single relaxed load + branch and the
+/// drop is a branch on a local bool.
+pub struct ScopeGuard {
+    /// Epoch the scope entered under; 0 = disarmed (epochs start at 1).
+    epoch: u64,
+}
+
+impl ScopeGuard {
+    #[inline]
+    pub fn enter(name: &'static str) -> ScopeGuard {
+        if !ENABLED.load(Ordering::Relaxed) {
+            return ScopeGuard { epoch: 0 };
+        }
+        Self::enter_slow(name)
+    }
+
+    #[cold]
+    fn enter_slow(name: &'static str) -> ScopeGuard {
+        let epoch = with_binding(|bind| {
+            let now = bind.shared.clock.now_us();
+            lock(&bind.slot.rec).enter(name, now);
+            bind.epoch
+        });
+        ScopeGuard {
+            epoch: epoch.unwrap_or(0),
+        }
+    }
+}
+
+impl Drop for ScopeGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if self.epoch == 0 {
+            return;
+        }
+        TLS.with(|tls| {
+            if let Some(bind) = tls.borrow().as_ref() {
+                // Only report into the session we entered under.
+                if bind.epoch == self.epoch {
+                    let now = bind.shared.clock.now_us();
+                    lock(&bind.slot.rec).exit(now);
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::FakeClock;
+    use crate::prof_scope;
+    use std::time::Instant;
+
+    /// The collector is process-global and `cargo test` runs tests
+    /// concurrently, so every test that enters scopes (even disabled
+    /// ones) serializes here to keep thread counts and hit counts exact.
+    static TEST_GATE: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_scopes_record_nothing() {
+        let _t = lock(&TEST_GATE);
+        {
+            prof_scope!("ghost");
+        }
+        let session = begin(Arc::new(FakeClock::new(1)));
+        let profile = session.finish();
+        assert!(profile.is_empty());
+    }
+
+    #[test]
+    fn session_collects_nested_scopes() {
+        let _t = lock(&TEST_GATE);
+        let session = begin(Arc::new(FakeClock::new(5)));
+        set_thread_label("main");
+        {
+            prof_scope!("outer");
+            {
+                prof_scope!("inner");
+            }
+        }
+        let profile = session.finish();
+        assert_eq!(profile.threads.len(), 1);
+        assert_eq!(profile.threads[0].0, "main");
+        let tree = profile.merged();
+        let outer = tree.node(&["outer"]).unwrap();
+        let inner = tree.node(&["outer", "inner"]).unwrap();
+        assert_eq!(outer.hits, 1);
+        assert_eq!(inner.hits, 1);
+        assert!(tree.conserves());
+        assert!(outer.incl_us >= inner.incl_us);
+    }
+
+    #[test]
+    fn worker_threads_get_their_own_sections() {
+        let _t = lock(&TEST_GATE);
+        let session = begin(Arc::new(FakeClock::new(1)));
+        let handles: Vec<_> = (0..3)
+            .map(|w| {
+                std::thread::spawn(move || {
+                    set_thread_label(&format!("worker-{w}"));
+                    prof_scope!("work");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let profile = session.finish();
+        let labels: Vec<&str> = profile.threads.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, ["worker-0", "worker-1", "worker-2"]);
+        assert_eq!(profile.merged().node(&["work"]).unwrap().hits, 3);
+    }
+
+    #[test]
+    fn scopes_straddling_sessions_do_not_cross_report() {
+        let _t = lock(&TEST_GATE);
+        let session = begin(Arc::new(FakeClock::new(1)));
+        let stale = ScopeGuard::enter("stale");
+        let _ = session.finish();
+        let session = begin(Arc::new(FakeClock::new(1)));
+        {
+            prof_scope!("fresh");
+        }
+        drop(stale); // epoch mismatch: must not pop `fresh`'s recorder
+        let profile = session.finish();
+        let tree = profile.merged();
+        assert!(tree.node(&["stale"]).is_none());
+        assert_eq!(tree.node(&["fresh"]).unwrap().hits, 1);
+    }
+
+    /// The `crates/metrics` overhead contract: a disabled scope is a
+    /// single branch, so a disabled loop must not be meaningfully slower
+    /// than the same loop with a session active (which does strictly
+    /// more work: TLS access, clock reads, recorder locking).
+    #[test]
+    fn disabled_scopes_are_not_slower_than_enabled() {
+        let _t = lock(&TEST_GATE);
+        const N: u32 = 200_000;
+        fn run() -> std::time::Duration {
+            let start = Instant::now();
+            for _ in 0..N {
+                prof_scope!("bench/scope");
+            }
+            start.elapsed()
+        }
+        run(); // warm up
+        let off = run();
+        let session = begin(Arc::new(FakeClock::new(1)));
+        let on = run();
+        let profile = session.finish();
+        assert_eq!(
+            profile.merged().node(&["bench/scope"]).unwrap().hits,
+            u64::from(N)
+        );
+        assert!(
+            off <= on * 3 + std::time::Duration::from_millis(50),
+            "disabled prof_scope too slow: off={off:?} on={on:?}"
+        );
+    }
+}

@@ -1,0 +1,327 @@
+//! Merged call trees: the aggregation format behind folded stacks and
+//! flamegraphs.
+//!
+//! A [`CallTree`] maps scope names to [`CallNode`]s carrying inclusive
+//! microseconds and hit counts. Merging is pointwise addition over the
+//! path-keyed maps, which makes it associative and commutative — the
+//! campaign runner can fold per-worker trees together in any order and
+//! land on the same totals. Exclusive time is *derived* at render time
+//! (`inclusive − Σ children inclusive`, saturating), so it conserves by
+//! construction.
+
+use std::collections::BTreeMap;
+
+/// One aggregated scope: inclusive time, number of times entered, and
+/// child scopes keyed by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CallNode {
+    /// Total wall micros spent inside this scope, children included.
+    pub incl_us: u64,
+    /// Number of times the scope was entered.
+    pub hits: u64,
+    pub children: BTreeMap<String, CallNode>,
+}
+
+impl CallNode {
+    /// Sum of the children's inclusive micros.
+    pub fn children_incl_us(&self) -> u64 {
+        self.children.values().map(|c| c.incl_us).sum()
+    }
+
+    /// Exclusive micros: inclusive minus children, floored at zero.
+    /// (A clock with coarse resolution can make children appear to
+    /// out-run their parent by a tick; saturation keeps the folded
+    /// output well-formed instead of panicking.)
+    pub fn excl_us(&self) -> u64 {
+        self.incl_us.saturating_sub(self.children_incl_us())
+    }
+
+    fn merge_from(&mut self, other: &CallNode) {
+        self.incl_us += other.incl_us;
+        self.hits += other.hits;
+        for (name, child) in &other.children {
+            self.children
+                .entry(name.clone())
+                .or_default()
+                .merge_from(child);
+        }
+    }
+}
+
+/// A forest of root scopes. Thread profiles and worker profiles are each
+/// a `CallTree`; [`CallTree::merge`] folds them together.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CallTree {
+    pub roots: BTreeMap<String, CallNode>,
+}
+
+impl CallTree {
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Adds `other` into `self` (pointwise sum over paths).
+    pub fn merge(&mut self, other: &CallTree) {
+        for (name, node) in &other.roots {
+            self.roots.entry(name.clone()).or_default().merge_from(node);
+        }
+    }
+
+    /// Sum of root inclusive micros — the tree's total attributed time.
+    pub fn total_incl_us(&self) -> u64 {
+        self.roots.values().map(|n| n.incl_us).sum()
+    }
+
+    /// Looks up a node by path, e.g. `&["cpu/exec", "cpu/step/mem"]`.
+    pub fn node(&self, path: &[&str]) -> Option<&CallNode> {
+        let (first, rest) = path.split_first()?;
+        let mut cur = self.roots.get(*first)?;
+        for seg in rest {
+            cur = cur.children.get(*seg)?;
+        }
+        Some(cur)
+    }
+
+    /// True when every node's children sum to at most its inclusive time
+    /// — the conservation invariant the proptests pin down.
+    pub fn conserves(&self) -> bool {
+        fn ok(n: &CallNode) -> bool {
+            n.children_incl_us() <= n.incl_us && n.children.values().all(ok)
+        }
+        self.roots.values().all(ok)
+    }
+
+    /// Brendan Gregg folded-stack text: one `a;b;c <exclusive-us>` line
+    /// per node with nonzero exclusive time, in deterministic
+    /// (lexicographic path) order. Feedable straight into `flamegraph.pl`.
+    pub fn folded(&self) -> String {
+        fn walk(out: &mut String, prefix: &str, name: &str, node: &CallNode) {
+            let path = if prefix.is_empty() {
+                name.to_string()
+            } else {
+                format!("{prefix};{name}")
+            };
+            let excl = node.excl_us();
+            if excl > 0 || node.children.is_empty() {
+                out.push_str(&path);
+                out.push(' ');
+                out.push_str(&excl.to_string());
+                out.push('\n');
+            }
+            for (cname, child) in &node.children {
+                walk(out, &path, cname, child);
+            }
+        }
+        let mut out = String::new();
+        for (name, node) in &self.roots {
+            walk(&mut out, "", name, node);
+        }
+        out
+    }
+
+    /// Flat `(path, excl_us, incl_us, hits)` rows sorted by descending
+    /// exclusive time (ties broken by path) — the "hot scopes" table.
+    pub fn hot_scopes(&self) -> Vec<(String, u64, u64, u64)> {
+        fn walk(out: &mut Vec<(String, u64, u64, u64)>, prefix: &str, name: &str, node: &CallNode) {
+            let path = if prefix.is_empty() {
+                name.to_string()
+            } else {
+                format!("{prefix};{name}")
+            };
+            out.push((path.clone(), node.excl_us(), node.incl_us, node.hits));
+            for (cname, child) in &node.children {
+                walk(out, &path, cname, child);
+            }
+        }
+        let mut rows = Vec::new();
+        for (name, node) in &self.roots {
+            walk(&mut rows, "", name, node);
+        }
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        rows
+    }
+}
+
+/// A per-thread frame-stack recorder. Scope enter/exit events append into
+/// a flat arena; [`Recorder::tree`] converts the arena into a
+/// [`CallTree`]. Names are `&'static str` so the hot path never
+/// allocates for an already-seen scope.
+#[derive(Debug)]
+pub struct Recorder {
+    nodes: Vec<RecNode>,
+    /// Open frames: `(arena index, entry timestamp)`.
+    stack: Vec<(usize, u64)>,
+    /// Children of the virtual root (top-level scopes).
+    roots: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct RecNode {
+    name: &'static str,
+    incl_us: u64,
+    hits: u64,
+    children: Vec<usize>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    pub fn new() -> Recorder {
+        Recorder {
+            nodes: Vec::new(),
+            stack: Vec::new(),
+            roots: Vec::new(),
+        }
+    }
+
+    fn child_of(&mut self, siblings_of: Option<usize>, name: &'static str) -> usize {
+        // Linear scan: real scope trees have a handful of children per
+        // node, and the common case (scope already exists) touches only
+        // this node's child list.
+        let list = match siblings_of {
+            Some(p) => &self.nodes[p].children,
+            None => &self.roots,
+        };
+        for &idx in list {
+            if self.nodes[idx].name == name {
+                return idx;
+            }
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(RecNode {
+            name,
+            incl_us: 0,
+            hits: 0,
+            children: Vec::new(),
+        });
+        match siblings_of {
+            Some(p) => self.nodes[p].children.push(idx),
+            None => self.roots.push(idx),
+        }
+        idx
+    }
+
+    pub fn enter(&mut self, name: &'static str, now_us: u64) {
+        let parent = self.stack.last().map(|&(idx, _)| idx);
+        let idx = self.child_of(parent, name);
+        self.stack.push((idx, now_us));
+    }
+
+    pub fn exit(&mut self, now_us: u64) {
+        if let Some((idx, start)) = self.stack.pop() {
+            let node = &mut self.nodes[idx];
+            node.incl_us += now_us.saturating_sub(start);
+            node.hits += 1;
+        }
+    }
+
+    /// Closes any still-open frames at `now_us` (used at session end so a
+    /// scope spanning `Session::finish` still conserves time).
+    pub fn close_open_frames(&mut self, now_us: u64) {
+        while !self.stack.is_empty() {
+            self.exit(now_us);
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Converts the arena into the mergeable map form.
+    pub fn tree(&self) -> CallTree {
+        fn convert(rec: &Recorder, idx: usize) -> (String, CallNode) {
+            let n = &rec.nodes[idx];
+            let mut node = CallNode {
+                incl_us: n.incl_us,
+                hits: n.hits,
+                children: BTreeMap::new(),
+            };
+            for &c in &n.children {
+                let (name, child) = convert(rec, c);
+                // Same name can only appear once per child list
+                // (child_of dedups), so no merge needed here.
+                node.children.insert(name, child);
+            }
+            (n.name.to_string(), node)
+        }
+        let mut tree = CallTree::default();
+        for &r in &self.roots {
+            let (name, node) = convert(self, r);
+            tree.roots.insert(name, node);
+        }
+        tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record_demo() -> CallTree {
+        let mut r = Recorder::new();
+        r.enter("a", 0);
+        r.enter("b", 10);
+        r.exit(30);
+        r.enter("b", 30);
+        r.exit(40);
+        r.enter("c", 40);
+        r.exit(45);
+        r.exit(100);
+        r.tree()
+    }
+
+    #[test]
+    fn recorder_builds_inclusive_and_hits() {
+        let t = record_demo();
+        let a = t.node(&["a"]).unwrap();
+        assert_eq!(a.incl_us, 100);
+        assert_eq!(a.hits, 1);
+        let b = t.node(&["a", "b"]).unwrap();
+        assert_eq!((b.incl_us, b.hits), (30, 2));
+        let c = t.node(&["a", "c"]).unwrap();
+        assert_eq!((c.incl_us, c.hits), (5, 1));
+        assert_eq!(a.excl_us(), 100 - 35);
+        assert!(t.conserves());
+    }
+
+    #[test]
+    fn merge_sums_pointwise() {
+        let t = record_demo();
+        let mut m = CallTree::default();
+        m.merge(&t);
+        m.merge(&t);
+        assert_eq!(m.node(&["a"]).unwrap().incl_us, 200);
+        assert_eq!(m.node(&["a", "b"]).unwrap().hits, 4);
+        assert_eq!(m.total_incl_us(), 200);
+        assert!(m.conserves());
+    }
+
+    #[test]
+    fn folded_lines_are_exclusive_and_sorted() {
+        let t = record_demo();
+        assert_eq!(t.folded(), "a 65\na;b 30\na;c 5\n");
+    }
+
+    #[test]
+    fn hot_scopes_sort_by_exclusive() {
+        let t = record_demo();
+        let rows = t.hot_scopes();
+        assert_eq!(rows[0].0, "a");
+        assert_eq!(rows[0].1, 65);
+        assert_eq!(rows[1].0, "a;b");
+    }
+
+    #[test]
+    fn unbalanced_exit_is_ignored() {
+        let mut r = Recorder::new();
+        r.exit(5);
+        assert!(r.is_empty());
+        r.enter("x", 0);
+        r.close_open_frames(7);
+        assert_eq!(r.tree().node(&["x"]).unwrap().incl_us, 7);
+    }
+}

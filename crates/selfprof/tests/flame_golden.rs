@@ -1,0 +1,81 @@
+//! Golden byte-stability test: under the injected fake clock, a fixed
+//! scope sequence must render the exact same folded-stack text and
+//! flamegraph SVG, byte for byte, forever. Regenerate the goldens after
+//! an intentional renderer change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p apt-selfprof --test flame_golden
+//! ```
+
+use apt_selfprof::{begin, flamegraph_svg, prof_scope, set_thread_label, FakeClock};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e}); run with UPDATE_GOLDEN=1", name));
+    assert_eq!(actual, expected, "golden mismatch for {name}");
+}
+
+/// A deterministic single-threaded campaign in miniature: every clock
+/// read advances the fake clock by a fixed step, so the recorded
+/// durations — and therefore the rendered bytes — are a pure function
+/// of the scope sequence.
+fn record_fixture() -> apt_selfprof::Profile {
+    let session = begin(Arc::new(FakeClock::new(7)));
+    set_thread_label("worker-0");
+    {
+        prof_scope!("bench/cell");
+        {
+            prof_scope!("cpu/exec");
+            for _ in 0..3 {
+                prof_scope!("cpu/step/mem");
+            }
+        }
+        {
+            prof_scope!("bench/cache/store");
+        }
+    }
+    session.finish()
+}
+
+#[test]
+fn folded_and_svg_are_byte_stable_under_fake_clock() {
+    let first = record_fixture();
+    let second = record_fixture();
+    let tree = first.merged();
+
+    // Two identical sessions produce identical bytes.
+    assert_eq!(tree.folded(), second.merged().folded());
+    assert_eq!(
+        flamegraph_svg(&tree, "all workers"),
+        flamegraph_svg(&second.merged(), "all workers")
+    );
+
+    // And those bytes match the committed goldens.
+    check_golden("flame.folded", &tree.folded());
+    check_golden("flame.svg", &flamegraph_svg(&tree, "all workers"));
+
+    // Sanity on the fixture itself.
+    assert_eq!(first.threads.len(), 1);
+    assert_eq!(first.threads[0].0, "worker-0");
+    assert_eq!(
+        tree.node(&["bench/cell", "cpu/exec", "cpu/step/mem"])
+            .unwrap()
+            .hits,
+        3
+    );
+    assert!(tree.conserves());
+}

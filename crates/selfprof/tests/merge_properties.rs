@@ -1,0 +1,99 @@
+//! Property tests for the call-tree invariants the flamegraph relies on:
+//! recorder-produced trees conserve time (children's inclusive sum never
+//! exceeds the parent's inclusive), exclusive time is exactly the
+//! inclusive remainder, and merging is associative/commutative so the
+//! campaign's per-worker trees can be folded in any order.
+
+use apt_selfprof::{CallNode, CallTree, Recorder};
+use proptest::prelude::*;
+
+const NAMES: [&str; 6] = [
+    "cpu/exec",
+    "cpu/step/mem",
+    "mem/hier/demand_load",
+    "lir/eval",
+    "bench/cell",
+    "report/render",
+];
+
+/// Replays a random enter/exit event tape through a [`Recorder`]. The
+/// tape needs no balancing: exits at depth zero are ignored and frames
+/// still open at the end are closed, exactly like a real session.
+fn build_tree(events: &[(bool, usize, u64)]) -> CallTree {
+    let mut r = Recorder::new();
+    let mut now = 0u64;
+    let mut depth = 0usize;
+    for &(enter, name, dt) in events {
+        now += dt;
+        if enter || depth == 0 {
+            r.enter(NAMES[name % NAMES.len()], now);
+            depth += 1;
+        } else {
+            r.exit(now);
+            depth -= 1;
+        }
+    }
+    r.close_open_frames(now + 1);
+    r.tree()
+}
+
+fn check_exclusive_identity(node: &CallNode) -> bool {
+    node.excl_us() + node.children_incl_us() == node.incl_us
+        && node.children.values().all(check_exclusive_identity)
+}
+
+fn merge_all<'a>(trees: impl Iterator<Item = &'a CallTree>) -> CallTree {
+    let mut out = CallTree::default();
+    for t in trees {
+        out.merge(t);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn recorded_trees_conserve_time(
+        events in prop::collection::vec((any::<bool>(), 0usize..6, 0u64..40), 0..60),
+    ) {
+        let tree = build_tree(&events);
+        prop_assert!(tree.conserves());
+        prop_assert!(tree.roots.values().all(check_exclusive_identity));
+    }
+
+    #[test]
+    fn merge_is_order_independent_and_conserving(
+        tapes in prop::collection::vec(
+            prop::collection::vec((any::<bool>(), 0usize..6, 0u64..40), 0..40),
+            1..5,
+        ),
+    ) {
+        let trees: Vec<CallTree> = tapes.iter().map(|t| build_tree(t)).collect();
+        let forward = merge_all(trees.iter());
+        let backward = merge_all(trees.iter().rev());
+        prop_assert_eq!(&forward, &backward);
+        prop_assert!(forward.conserves());
+        prop_assert!(forward.roots.values().all(check_exclusive_identity));
+        let total: u64 = trees.iter().map(CallTree::total_incl_us).sum();
+        prop_assert_eq!(forward.total_incl_us(), total);
+        prop_assert_eq!(forward.folded(), backward.folded());
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec((any::<bool>(), 0usize..6, 0u64..40), 0..40),
+        b in prop::collection::vec((any::<bool>(), 0usize..6, 0u64..40), 0..40),
+        c in prop::collection::vec((any::<bool>(), 0usize..6, 0u64..40), 0..40),
+    ) {
+        let (ta, tb, tc) = (build_tree(&a), build_tree(&b), build_tree(&c));
+        let mut left = ta.clone();
+        left.merge(&tb);
+        left.merge(&tc);
+        let mut bc = tb.clone();
+        bc.merge(&tc);
+        let mut right = ta.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+}

@@ -36,6 +36,15 @@ pub struct Band {
     pub end: f64,
 }
 
+/// A labelled horizontal band in *value* space (e.g. a bench-gate
+/// tolerance corridor around a baseline value).
+#[derive(Debug, Clone)]
+pub struct HBand {
+    pub label: String,
+    pub lo: f64,
+    pub hi: f64,
+}
+
 /// Default qualitative palette (colorblind-safe subset).
 pub const PALETTE: [&str; 7] = [
     "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf",
@@ -117,6 +126,39 @@ fn band_rects(out: &mut String, bands: &[Band]) {
     }
 }
 
+fn hband_rects(out: &mut String, hbands: &[HBand], max: f64) {
+    for b in hbands {
+        let (lo, hi) = (b.lo.min(b.hi), b.lo.max(b.hi));
+        let y_hi = y_at(hi, max);
+        let y_lo = y_at(lo, max);
+        out.push_str(&format!(
+            "<rect x='{}' y='{}' width='{}' height='{}' fill='#2ca02c' opacity='0.12'/>",
+            px(PAD_L),
+            px(y_hi),
+            px(W - PAD_L - PAD_R),
+            px((y_lo - y_hi).max(0.0))
+        ));
+        for y in [y_hi, y_lo] {
+            out.push_str(&format!(
+                "<line x1='{}' y1='{}' x2='{}' y2='{}' stroke='#2ca02c' \
+                 stroke-width='0.8' stroke-dasharray='4 3'/>",
+                px(PAD_L),
+                px(y),
+                px(W - PAD_R),
+                px(y)
+            ));
+        }
+        if !b.label.is_empty() {
+            out.push_str(&format!(
+                "<text x='{}' y='{}' font-size='9' fill='#2ca02c' text-anchor='end'>{}</text>",
+                px(W - PAD_R - 2.0),
+                px((y_hi + 9.0).min(H - PAD_B - 2.0)),
+                escape(&b.label)
+            ));
+        }
+    }
+}
+
 fn frame(out: &mut String, max: f64, y_label: &str) {
     out.push_str(&format!(
         "<rect x='{}' y='{}' width='{}' height='{}' fill='none' stroke='#ccc'/>",
@@ -167,10 +209,22 @@ fn legend(out: &mut String, series: &[Series]) {
 /// Renders a line chart of one or more series over a shared implicit x
 /// axis, with optional phase bands. Returns an `<svg>` element.
 pub fn line_chart(series: &[Series], bands: &[Band], y_label: &str) -> String {
+    line_chart_banded(series, bands, &[], y_label)
+}
+
+/// [`line_chart`] plus horizontal value-space bands (tolerance
+/// corridors). The y scale stretches to keep every band in view.
+pub fn line_chart_banded(
+    series: &[Series],
+    bands: &[Band],
+    hbands: &[HBand],
+    y_label: &str,
+) -> String {
     let n = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
     let max = series
         .iter()
         .flat_map(|s| s.points.iter().copied())
+        .chain(hbands.iter().flat_map(|b| [b.lo, b.hi]))
         .fold(0.0_f64, f64::max)
         .max(1e-9);
     let mut out = format!(
@@ -178,6 +232,7 @@ pub fn line_chart(series: &[Series], bands: &[Band], y_label: &str) -> String {
         W, H, W, H
     );
     band_rects(&mut out, bands);
+    hband_rects(&mut out, hbands, max);
     frame(&mut out, max, y_label);
     for s in series {
         if s.points.is_empty() {
@@ -317,6 +372,25 @@ mod tests {
         let a = line_chart(&demo_series(), &demo_bands(), "rate");
         let b = line_chart(&demo_series(), &demo_bands(), "rate");
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tolerance_bands_render_and_stretch_the_scale() {
+        let hband = HBand {
+            label: "±5% gate".into(),
+            lo: 0.9,
+            hi: 1.5,
+        };
+        let svg = line_chart_banded(&demo_series(), &[], &[hband], "rate");
+        assert!(svg.contains("stroke-dasharray"));
+        assert!(svg.contains("±5% gate"));
+        // The y max must cover the band top (1.5), not just the series
+        // max (0.8): the axis label shows the stretched value.
+        assert!(svg.contains(">1.500<"));
+        assert_eq!(
+            line_chart(&demo_series(), &demo_bands(), "rate"),
+            line_chart_banded(&demo_series(), &demo_bands(), &[], "rate"),
+        );
     }
 
     #[test]

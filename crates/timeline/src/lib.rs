@@ -34,7 +34,9 @@ pub mod phase;
 pub mod window;
 
 pub use diff::{phase_diff, resample_cycles, PhaseDiff, TimelineDiff};
-pub use html::{escape, html_page, line_chart, stack_chart, Band, Series};
+pub use html::{
+    escape, html_page, line_chart, line_chart_banded, stack_chart, Band, HBand, Series, PALETTE,
+};
 pub use jsonio::{timeline_from_json, timeline_from_value, timeline_to_json};
 pub use phase::{detect_phases, Phase, PhaseConfig};
 pub use window::{Timeline, WindowOutcomes, WindowSample};

@@ -347,6 +347,7 @@ fn main() -> ExitCode {
             let cfg = GateConfig {
                 tolerance: args.tolerance.unwrap_or(GateConfig::default().tolerance),
                 per_phase: args.phases,
+                ..GateConfig::default()
             };
             let report = gate(&baseline, &current, &cfg);
             print!("{}", report.render());

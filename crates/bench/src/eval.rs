@@ -27,8 +27,9 @@ use std::time::{Duration, Instant};
 
 use apt_metrics::{
     render_prometheus, BenchSnapshot, MetricsServer, OutcomeMix, PhaseBench, Progress,
-    ProgressReporter, Registry, WorkloadBench, WALL_US_BUCKETS,
+    ProgressReporter, Registry, SampledBench, WorkloadBench, WALL_US_BUCKETS,
 };
+use apt_sample::{run_sampled, SampleConfig};
 use apt_trace::{ChromeTrace, OutcomeTable, Span, SpanRecorder, TraceConfig};
 use apt_workloads::registry::by_name;
 use apt_workloads::WorkloadDesc;
@@ -90,6 +91,22 @@ pub struct CampaignConfig {
     /// runs (feeds [`CampaignReport::bench_snapshot`]). Outcome tracing is
     /// passive: it never changes simulated results, only records them.
     pub collect_outcomes: bool,
+    /// SMARTS-style sampled measurement runs (`--sampled`). Profiling
+    /// runs (and their cache keys) stay fully detailed — sampling only
+    /// replaces the *measurement* execution, trading exact counters for
+    /// ratio estimates at a fraction of the wall time.
+    pub sampling: Option<SamplingSpec>,
+}
+
+/// Sampled-measurement configuration for a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SamplingSpec {
+    /// The sampling schedule (period / window / warm-up / seed).
+    pub sample: SampleConfig,
+    /// Additionally run the exact detailed measurement per cell and
+    /// record the estimated-vs-exact error (`--sampled-check`). Costs the
+    /// full detailed run again — for accuracy audits, not for speed.
+    pub check_exact: bool,
 }
 
 impl CampaignConfig {
@@ -106,6 +123,7 @@ impl CampaignConfig {
             metrics: Registry::disabled(),
             progress: Progress::disabled(),
             collect_outcomes: false,
+            sampling: None,
         }
     }
 }
@@ -147,7 +165,29 @@ pub struct CellResult {
     /// Cycle-windowed telemetry of the measurement run. Empty when the
     /// pipeline's `measure_sim.timeline_window` is 0; otherwise its
     /// field-wise sum reproduces `stats` exactly (asserted per cell).
+    /// Sampled cells carry the *reconstructed* timeline, which conserves
+    /// the estimated `stats` by construction.
     pub timeline: Timeline,
+    /// Sampled-measurement record (cells of `--sampled` campaigns only).
+    pub sampled: Option<SampledCell>,
+}
+
+/// What a sampled measurement run estimated, and — with
+/// [`SamplingSpec::check_exact`] — how far it was from the exact run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampledCell {
+    /// |estimated − exact| / exact on cycles (`None` without check).
+    pub cycle_err: Option<f64>,
+    /// |estimated − exact| / exact on IPC (`None` without check).
+    pub ipc_err: Option<f64>,
+    /// The exact run's cycle count (`None` without check).
+    pub exact_cycles: Option<u64>,
+    /// Fraction of instructions simulated in detail.
+    pub detail_fraction: f64,
+    /// Measurement windows recorded.
+    pub windows: u64,
+    /// Relative CPI confidence-interval half-width (`z·s/(√n·mean)`).
+    pub rel_half_width: f64,
 }
 
 /// A finished campaign.
@@ -221,6 +261,7 @@ struct CellHooks {
     metrics: Registry,
     progress: Progress,
     collect_outcomes: bool,
+    sampling: Option<SamplingSpec>,
 }
 
 /// Runs one cell: build the workload locally, run its variant, check the
@@ -286,24 +327,97 @@ fn run_cell(
     } else {
         TraceConfig::off()
     };
-    let (exec, trace_report) = execute_traced(
-        &module,
-        w.image.clone(),
-        &w.calls,
-        &pipeline.measure_sim,
-        trace,
-    )
-    .unwrap_or_else(|e| panic!("{name}: simulation failed: {e}"));
-    (w.check)(&exec.image, &exec.rets)
+    let (stats, image, rets, timeline, outcome_table, mut sampled) = match hooks.sampling {
+        // Sampled measurement: the SMARTS driver fast-forwards between
+        // detailed windows and reconstructs the counters statistically.
+        // Architectural results stay exact, so the correctness check
+        // below is as strong as in a detailed run.
+        Some(spec) => {
+            let s = run_sampled(
+                &module,
+                w.image.clone(),
+                &w.calls,
+                &pipeline.measure_sim,
+                &spec.sample,
+                trace,
+            )
+            .unwrap_or_else(|e| panic!("{name}: sampled simulation failed: {e}"));
+            let cell = SampledCell {
+                cycle_err: None,
+                ipc_err: None,
+                exact_cycles: None,
+                detail_fraction: s.detail_fraction(),
+                windows: s.windows.len() as u64,
+                rel_half_width: s.ci.rel_half_width,
+            };
+            (
+                s.stats,
+                s.image,
+                s.rets,
+                s.timeline,
+                s.trace.outcomes,
+                Some(cell),
+            )
+        }
+        None => {
+            let (exec, trace_report) = execute_traced(
+                &module,
+                w.image.clone(),
+                &w.calls,
+                &pipeline.measure_sim,
+                trace,
+            )
+            .unwrap_or_else(|e| panic!("{name}: simulation failed: {e}"));
+            (
+                exec.stats,
+                exec.image,
+                exec.rets,
+                exec.timeline,
+                trace_report.outcomes,
+                None,
+            )
+        }
+    };
+    (w.check)(&image, &rets)
         .unwrap_or_else(|e| panic!("{name} [{}]: wrong result: {e}", variant.name()));
-    spans.add_sim_cycles(&measure, exec.stats.cycles);
+    spans.add_sim_cycles(&measure, stats.cycles);
     spans.end(measure);
-    let outcomes =
-        (hooks.collect_outcomes && variant == Variant::AptGet).then_some(trace_report.outcomes);
-    assert_timeline_conserved(name, variant, &exec.timeline, &exec.stats);
+
+    // `--sampled-check`: run the exact detailed measurement too and record
+    // the estimation error. Deliberately in its own span so the
+    // measurement-run span still reflects the sampled run's cost.
+    if let (Some(spec), Some(cell)) = (hooks.sampling, sampled.as_mut()) {
+        if spec.check_exact {
+            let check = spans.begin("exact-check-run");
+            let (exact, _) = execute_traced(
+                &module,
+                w.image.clone(),
+                &w.calls,
+                &pipeline.measure_sim,
+                TraceConfig::off(),
+            )
+            .unwrap_or_else(|e| panic!("{name}: exact check run failed: {e}"));
+            let rel = |est: f64, ex: f64| {
+                if ex == 0.0 {
+                    0.0
+                } else {
+                    (est - ex).abs() / ex
+                }
+            };
+            let est_ipc = stats.instructions as f64 / stats.cycles.max(1) as f64;
+            let ex_ipc = exact.stats.instructions as f64 / exact.stats.cycles.max(1) as f64;
+            cell.cycle_err = Some(rel(stats.cycles as f64, exact.stats.cycles as f64));
+            cell.ipc_err = Some(rel(est_ipc, ex_ipc));
+            cell.exact_cycles = Some(exact.stats.cycles);
+            spans.add_sim_cycles(&check, exact.stats.cycles);
+            spans.end(check);
+        }
+    }
+    let outcomes = (hooks.collect_outcomes && variant == Variant::AptGet).then_some(outcome_table);
+    assert_timeline_conserved(name, variant, &timeline, &stats);
 
     let wall_us = started.elapsed().as_micros() as u64;
-    hooks.progress.job_finished(exec.stats.cycles, wall_us);
+    hooks.progress.job_finished(stats.cycles, wall_us);
     if hooks.metrics.is_enabled() {
         let labels = [("workload", name), ("variant", variant.name())];
         hooks
@@ -329,13 +443,13 @@ fn run_cell(
                 )
                 .add(hints as u64);
         }
-        exec.stats.export_metrics(&hooks.metrics, &labels);
+        stats.export_metrics(&hooks.metrics, &labels);
     }
 
     CellResult {
         workload: name.to_string(),
         variant,
-        stats: exec.stats,
+        stats,
         hints,
         cache: cache_outcome,
         wall_us,
@@ -343,7 +457,8 @@ fn run_cell(
         worker,
         spans: spans.into_spans(),
         outcomes,
-        timeline: exec.timeline,
+        timeline,
+        sampled,
     }
 }
 
@@ -359,6 +474,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, String> {
         metrics: cfg.metrics.clone(),
         progress: cfg.progress.clone(),
         collect_outcomes: cfg.collect_outcomes,
+        sampling: cfg.sampling,
     };
     let cell_count = descs.len() * Variant::ALL.len();
     cfg.progress.set_total(cell_count as u64);
@@ -433,7 +549,7 @@ impl CampaignReport {
     /// geomean row. Purely a function of simulated results — byte-identical
     /// across `--jobs` values and cache states.
     pub fn table(&self) -> (Vec<&'static str>, Vec<Vec<String>>) {
-        let headers = vec![
+        let mut headers = vec![
             "workload",
             "base_cycles",
             "aj_speedup",
@@ -442,6 +558,19 @@ impl CampaignReport {
             "apt_mpki",
             "hints",
         ];
+        // Sampled campaigns grow extra columns; detailed campaigns keep
+        // the exact historical layout (byte-identical output).
+        let sampled = self.cells.iter().any(|c| c.sampled.is_some());
+        let checked = self
+            .cells
+            .iter()
+            .any(|c| c.sampled.is_some_and(|s| s.cycle_err.is_some()));
+        if sampled {
+            headers.push("detail");
+            if checked {
+                headers.push("cyc_err");
+            }
+        }
         let mut aj_all = Vec::new();
         let mut apt_all = Vec::new();
         let mut rows = Vec::with_capacity(self.comparisons.len() + 1);
@@ -454,7 +583,7 @@ impl CampaignReport {
             let apt = cmp.speedup_of("APT-GET").unwrap_or(1.0);
             aj_all.push(aj);
             apt_all.push(apt);
-            rows.push(vec![
+            let mut row = vec![
                 cmp.workload.clone(),
                 cmp.baseline.cycles.to_string(),
                 fx(aj),
@@ -462,9 +591,20 @@ impl CampaignReport {
                 format!("x{:.2}", cmp.instruction_overhead("APT-GET").unwrap_or(1.0)),
                 format!("{:.2}", chunk[2].stats.mpki()),
                 chunk[2].hints.to_string(),
-            ]);
+            ];
+            if sampled {
+                let cells: Vec<SampledCell> = chunk.iter().filter_map(|c| c.sampled).collect();
+                let detail = cells.iter().map(|s| s.detail_fraction).sum::<f64>()
+                    / cells.len().max(1) as f64;
+                row.push(format!("{:.1}%", detail * 100.0));
+                if checked {
+                    let err = cells.iter().filter_map(|s| s.cycle_err).fold(0.0, f64::max);
+                    row.push(format!("{:.2}%", err * 100.0));
+                }
+            }
+            rows.push(row);
         }
-        rows.push(vec![
+        let mut geo = vec![
             "geomean".to_string(),
             "-".to_string(),
             fx(geomean(&aj_all)),
@@ -472,7 +612,9 @@ impl CampaignReport {
             "-".to_string(),
             "-".to_string(),
             "-".to_string(),
-        ]);
+        ];
+        geo.resize(headers.len(), "-".to_string());
+        rows.push(geo);
         (headers, rows)
     }
 
@@ -603,6 +745,17 @@ impl CampaignReport {
                 dropped: t.total.dropped,
             });
             wb.phases = workload_phases(&chunk[0].timeline, &chunk[2].timeline);
+            let cells: Vec<SampledCell> = chunk.iter().filter_map(|c| c.sampled).collect();
+            if !cells.is_empty() {
+                wb.sampled = Some(SampledBench {
+                    cycle_err: cells.iter().filter_map(|s| s.cycle_err).fold(0.0, f64::max),
+                    ipc_err: cells.iter().filter_map(|s| s.ipc_err).fold(0.0, f64::max),
+                    detail_fraction: cells.iter().map(|s| s.detail_fraction).sum::<f64>()
+                        / cells.len() as f64,
+                    windows: cells.iter().map(|s| s.windows).sum(),
+                    checked: cells.iter().any(|s| s.cycle_err.is_some()),
+                });
+            }
             snap.workloads.push(wb);
         }
         snap.host = apt_metrics::snapshot::host_fingerprint();
@@ -679,6 +832,22 @@ pub struct CampaignArgs {
     pub selfprof_out: Option<String>,
     /// Render a live progress line on stderr.
     pub progress: bool,
+    /// Run every cell under SMARTS sampled simulation instead of
+    /// detailed end-to-end execution.
+    pub sampled: bool,
+    /// After each sampled cell, re-run it exactly and record the
+    /// estimated-vs-exact error (implies `--sampled`).
+    pub sampled_check: bool,
+    /// Sampling period in instructions (`--sample-period`).
+    pub sample_period: Option<u64>,
+    /// Measured window length in instructions (`--sample-window`).
+    pub sample_window: Option<u64>,
+    /// Detailed warmup before each window (`--sample-warmup`).
+    pub sample_warmup: Option<u64>,
+    /// Seed for window-placement jitter (`--sample-seed`).
+    pub sample_seed: Option<u64>,
+    /// Functional-warming horizon in instructions (`--sample-horizon`).
+    pub sample_horizon: Option<u64>,
 }
 
 impl CampaignArgs {
@@ -687,7 +856,10 @@ impl CampaignArgs {
         [--workloads A,B,..] [--no-cache] [--cache-dir DIR] [--stats] \
         [--trace-out PATH] [--csv-out PATH] [--metrics-addr HOST:PORT] \
         [--metrics-out PATH] [--bench-out PATH] [--report-out PATH] \
-        [--timeline-out PATH] [--selfprof-out PATH] [--progress]";
+        [--timeline-out PATH] [--selfprof-out PATH] [--progress] \
+        [--sampled] [--sampled-check] [--sample-period N] \
+        [--sample-window N] [--sample-warmup N] [--sample-seed N] \
+        [--sample-horizon N]";
 
     /// Parses campaign flags. `--jobs` defaults to `$APT_JOBS`, then the
     /// machine's available parallelism.
@@ -713,6 +885,13 @@ impl CampaignArgs {
             timeline_out: None,
             selfprof_out: None,
             progress: false,
+            sampled: false,
+            sampled_check: false,
+            sample_period: None,
+            sample_window: None,
+            sample_warmup: None,
+            sample_seed: None,
+            sample_horizon: None,
         };
         while let Some(a) = args.next() {
             let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
@@ -752,6 +931,43 @@ impl CampaignArgs {
                 "--timeline-out" => out.timeline_out = Some(value("--timeline-out")?),
                 "--selfprof-out" => out.selfprof_out = Some(value("--selfprof-out")?),
                 "--progress" => out.progress = true,
+                "--sampled" => out.sampled = true,
+                "--sampled-check" => out.sampled_check = true,
+                "--sample-period" => {
+                    out.sample_period = Some(
+                        value("--sample-period")?
+                            .parse()
+                            .map_err(|e| format!("bad --sample-period: {e}"))?,
+                    );
+                }
+                "--sample-window" => {
+                    out.sample_window = Some(
+                        value("--sample-window")?
+                            .parse()
+                            .map_err(|e| format!("bad --sample-window: {e}"))?,
+                    );
+                }
+                "--sample-warmup" => {
+                    out.sample_warmup = Some(
+                        value("--sample-warmup")?
+                            .parse()
+                            .map_err(|e| format!("bad --sample-warmup: {e}"))?,
+                    );
+                }
+                "--sample-seed" => {
+                    out.sample_seed = Some(
+                        value("--sample-seed")?
+                            .parse()
+                            .map_err(|e| format!("bad --sample-seed: {e}"))?,
+                    );
+                }
+                "--sample-horizon" => {
+                    out.sample_horizon = Some(
+                        value("--sample-horizon")?
+                            .parse()
+                            .map_err(|e| format!("bad --sample-horizon: {e}"))?,
+                    );
+                }
                 other => return Err(format!("unknown argument `{other}`")),
             }
         }
@@ -790,7 +1006,36 @@ impl CampaignArgs {
             metrics,
             progress,
             collect_outcomes: self.bench_out.is_some() || self.report_out.is_some(),
+            sampling: self.sampling_spec(),
         }
+    }
+
+    /// The sampling specification these arguments describe, or `None`
+    /// for a detailed campaign. `--sampled-check` implies `--sampled`.
+    fn sampling_spec(&self) -> Option<SamplingSpec> {
+        if !self.sampled && !self.sampled_check {
+            return None;
+        }
+        let mut sample = SampleConfig::default();
+        if let Some(p) = self.sample_period {
+            sample.period = p;
+        }
+        if let Some(w) = self.sample_window {
+            sample.window = w;
+        }
+        if let Some(w) = self.sample_warmup {
+            sample.warmup = w;
+        }
+        if let Some(s) = self.sample_seed {
+            sample.seed = s;
+        }
+        if let Some(h) = self.sample_horizon {
+            sample.warm_horizon = h;
+        }
+        Some(SamplingSpec {
+            sample,
+            check_exact: self.sampled_check,
+        })
     }
 }
 
@@ -1075,5 +1320,135 @@ mod tests {
         assert!(json.contains("\"worker-0\""));
         assert!(json.contains("RandAcc [baseline]"));
         assert!(json.contains("IS [APT-GET]"));
+    }
+
+    fn sampled_config(jobs: usize, spec: SamplingSpec) -> CampaignConfig {
+        CampaignConfig {
+            sampling: Some(spec),
+            ..tiny_config(jobs)
+        }
+    }
+
+    #[test]
+    fn full_coverage_sampling_reproduces_the_exact_campaign() {
+        let spec = SamplingSpec {
+            sample: SampleConfig {
+                window: SampleConfig::default().period,
+                warmup: 0,
+                ..SampleConfig::default()
+            },
+            check_exact: true,
+        };
+        let exact = run_campaign(&tiny_config(2)).unwrap();
+        let sampled = run_campaign(&sampled_config(2, spec)).unwrap();
+        for (e, s) in exact.cells.iter().zip(&sampled.cells) {
+            let tag = format!("{} [{}]", e.workload, e.variant.name());
+            assert_eq!(e.stats, s.stats, "{tag}");
+            let sc = s.sampled.expect("sampled cell metadata");
+            assert_eq!(sc.cycle_err, Some(0.0), "{tag}");
+            assert_eq!(sc.ipc_err, Some(0.0), "{tag}");
+            assert_eq!(sc.detail_fraction, 1.0, "{tag}");
+            assert_eq!(sc.exact_cycles, Some(e.stats.cycles), "{tag}");
+        }
+        // The speedup columns agree with the detailed campaign; the table
+        // only *grows* the sampling diagnostics on the right.
+        let (eh, er) = exact.table();
+        let (sh, sr) = sampled.table();
+        assert_eq!(&sh[..eh.len()], &eh[..]);
+        assert_eq!(&sh[eh.len()..], &["detail", "cyc_err"]);
+        for (erow, srow) in er.iter().zip(&sr) {
+            assert_eq!(&srow[..erow.len()], &erow[..]);
+            assert_eq!(srow.len(), sh.len());
+        }
+        assert_eq!(sr.last().unwrap().last().unwrap(), "-");
+    }
+
+    #[test]
+    fn sampled_campaign_bounds_error_and_gates_on_it() {
+        let spec = SamplingSpec {
+            sample: SampleConfig {
+                period: 4_096,
+                window: 2_048,
+                warmup: 1_024,
+                ..SampleConfig::default()
+            },
+            check_exact: true,
+        };
+        let mut cfg = sampled_config(2, spec);
+        cfg.collect_outcomes = true;
+        let report = run_campaign(&cfg).unwrap();
+        for cell in &report.cells {
+            let tag = format!("{} [{}]", cell.workload, cell.variant.name());
+            let sc = cell.sampled.expect("sampled cell metadata");
+            assert!(sc.windows >= 1, "{tag}");
+            assert!(
+                sc.detail_fraction > 0.0 && sc.detail_fraction <= 1.0,
+                "{tag}: detail {}",
+                sc.detail_fraction
+            );
+            let err = sc.cycle_err.expect("checked cell records error");
+            assert!(err <= 0.05, "{tag}: cycle error {err}");
+        }
+
+        let snap = report.bench_snapshot("sampled scale=0.004 seed=42");
+        for wb in &snap.workloads {
+            let s = wb.sampled.expect("snapshot sampled record");
+            assert!(s.checked, "{}", wb.workload);
+            assert!(s.cycle_err <= 0.05, "{}: {}", wb.workload, s.cycle_err);
+            assert!(s.windows >= 3, "{}", wb.workload);
+        }
+        let parsed = apt_metrics::BenchSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(parsed, snap);
+        let gate = apt_metrics::gate(&parsed, &snap, &apt_metrics::GateConfig::default());
+        assert!(gate.passed(), "self-comparison:\n{}", gate.render());
+        assert!(gate.checks.iter().any(|c| c.metric == "sampled_cycle_err"));
+
+        // bench-gate rejects a sampled snapshot whose recorded error
+        // exceeds the tolerance, regardless of the baseline's contents.
+        let mut bad = snap.clone();
+        for wb in &mut bad.workloads {
+            if let Some(s) = wb.sampled.as_mut() {
+                s.cycle_err = 0.5;
+            }
+        }
+        let gate = apt_metrics::gate(&parsed, &bad, &apt_metrics::GateConfig::default());
+        assert!(
+            !gate.passed(),
+            "inflated error must fail:\n{}",
+            gate.render()
+        );
+        assert!(gate
+            .checks
+            .iter()
+            .any(|c| c.metric == "sampled_cycle_err" && c.failed));
+    }
+
+    #[test]
+    fn sampling_cli_flags_parse_into_a_spec() {
+        fn argv(s: &str) -> impl Iterator<Item = String> + '_ {
+            s.split_whitespace().map(str::to_string)
+        }
+        let a = CampaignArgs::parse(argv(
+            "--sampled-check --sample-period 8192 --sample-window 1024 \
+             --sample-warmup 256 --sample-seed 3",
+        ))
+        .unwrap();
+        let spec = a.config().sampling.expect("sampling spec");
+        assert!(spec.check_exact);
+        assert_eq!(spec.sample.period, 8192);
+        assert_eq!(spec.sample.window, 1024);
+        assert_eq!(spec.sample.warmup, 256);
+        assert_eq!(spec.sample.seed, 3);
+        let b = CampaignArgs::parse(argv("--sampled")).unwrap();
+        let spec = b.config().sampling.expect("sampling spec");
+        assert!(!spec.check_exact);
+        assert_eq!(spec.sample, SampleConfig::default());
+        assert!(CampaignArgs::parse(argv("--jobs 2"))
+            .unwrap()
+            .config()
+            .sampling
+            .is_none());
+        assert!(CampaignArgs::parse(argv("--sample-period")).is_err());
+        assert!(CampaignArgs::parse(argv("--sample-seed x")).is_err());
     }
 }

@@ -28,7 +28,7 @@ pub mod perfscript;
 pub mod stats;
 
 pub use lbr::{LbrEntry, LbrRing, LbrSample, LBR_ENTRIES};
-pub use machine::{Machine, SimConfig, SimError};
+pub use machine::{CoreOutcome, CoreState, Machine, SimConfig, SimError, WarmMem};
 pub use memimg::MemImage;
 pub use pebs::PebsRecord;
 pub use perfscript::export_perf_script;

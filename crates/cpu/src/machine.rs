@@ -240,6 +240,18 @@ impl<'m> Machine<'m> {
 
     /// Calls `func` with `args`; returns its return value, if any.
     pub fn call(&mut self, func: &str, args: &[u64]) -> Result<Option<u64>, SimError> {
+        let mut st = self.begin_call(func, args)?;
+        match self.run_core(&mut st, u64::MAX)? {
+            CoreOutcome::Done(v) => Ok(v),
+            CoreOutcome::Paused => unreachable!("unbounded run_core always finishes"),
+        }
+    }
+
+    /// Resolves `func`, checks arity, and returns the initial detailed
+    /// activation state without executing anything. Drive it with
+    /// [`Machine::run_core`]; [`Machine::call`] is the unbounded
+    /// combination of the two.
+    pub fn begin_call(&mut self, func: &str, args: &[u64]) -> Result<CoreState, SimError> {
         let (fid, f) = self
             .module
             .function_by_name(func)
@@ -251,7 +263,13 @@ impl<'m> Machine<'m> {
                 got: args.len(),
             });
         }
-        self.exec(fid, args)
+        let mut regs = vec![0u64; f.next_reg as usize];
+        regs[..args.len()].copy_from_slice(args);
+        Ok(CoreState {
+            fid,
+            regs,
+            block: f.entry,
+        })
     }
 
     #[inline]
@@ -367,16 +385,56 @@ impl<'m> Machine<'m> {
         }
     }
 
-    fn exec(&mut self, fid: FuncId, args: &[u64]) -> Result<Option<u64>, SimError> {
+    /// Runs the detailed core from `st` until the function returns or at
+    /// least `fuel` more instructions have retired, pausing at the next
+    /// block boundary (the overshoot is at most one block, so the state
+    /// stays a clean `(regs, block)` pair the functional interpreter can
+    /// pick up). Timing, profiling, and telemetry behave exactly as in an
+    /// unbounded run — a paused-and-resumed execution is byte-identical to
+    /// a straight one.
+    pub fn run_core(&mut self, st: &mut CoreState, fuel: u64) -> Result<CoreOutcome, SimError> {
         apt_selfprof::prof_scope!("cpu/exec");
+        let fid = st.fid;
         let func = self.module.function(fid);
-        let mut regs = vec![0u64; func.next_reg as usize];
-        regs[..args.len()].copy_from_slice(args);
-
-        let mut cur: BlockId = func.entry;
-        let mut prev: Option<BlockId> = None;
+        let regs = &mut st.regs;
+        let mut cur: BlockId = st.block;
+        let run_start = self.instructions;
         // Scratch for parallel-copy φ resolution.
         let mut phi_tmp: Vec<(u32, u64)> = Vec::new();
+
+        // φ-nodes resolve when the edge into their block is taken (the
+        // incoming value is picked by predecessor, and at that point the
+        // predecessor's registers are exactly the edge's source values).
+        // Resolving on entry via a `prev` block would be equivalent; the
+        // edge formulation is what lets a pause point be just `(regs,
+        // block)` with no edge memory.
+        fn apply_phis(
+            func: &apt_lir::Function,
+            from: BlockId,
+            target: BlockId,
+            regs: &mut [u64],
+            phi_tmp: &mut Vec<(u32, u64)>,
+        ) {
+            let block = func.block(target);
+            let phi_count = block.phi_count();
+            if phi_count == 0 {
+                return;
+            }
+            phi_tmp.clear();
+            for inst in &block.insts[..phi_count] {
+                let Inst::Phi { dst, incomings } = inst else {
+                    unreachable!("phi prefix")
+                };
+                let (_, op) = incomings
+                    .iter()
+                    .find(|(p, _)| *p == from)
+                    .expect("verifier guarantees an incoming per predecessor");
+                phi_tmp.push((dst.0, Machine::val(regs, *op)));
+            }
+            for &(d, v) in phi_tmp.iter() {
+                regs[d as usize] = v;
+            }
+        }
 
         loop {
             if self.instructions > self.cfg.inst_limit {
@@ -385,27 +443,8 @@ impl<'m> Machine<'m> {
             let fetch_scope = apt_selfprof::ScopeGuard::enter("cpu/step/fetch");
             let block = func.block(cur);
             let base_pc = self.map.block_start_pc(fid, cur).0;
-
-            // φ prefix: parallel copies selected by the edge we arrived on.
-            // (Block lookup + φ resolution stand in for fetch/decode.)
+            // (Block lookup stands in for fetch/decode; φs retire free.)
             let phi_count = block.phi_count();
-            if phi_count > 0 {
-                let from = prev.expect("phi in entry block rejected by verifier");
-                phi_tmp.clear();
-                for inst in &block.insts[..phi_count] {
-                    let Inst::Phi { dst, incomings } = inst else {
-                        unreachable!("phi prefix")
-                    };
-                    let (_, op) = incomings
-                        .iter()
-                        .find(|(p, _)| *p == from)
-                        .expect("verifier guarantees an incoming per predecessor");
-                    phi_tmp.push((dst.0, Self::val(&regs, *op)));
-                }
-                for &(d, v) in &phi_tmp {
-                    regs[d as usize] = v;
-                }
-            }
 
             drop(fetch_scope);
 
@@ -416,13 +455,13 @@ impl<'m> Machine<'m> {
                 match inst {
                     Inst::Phi { .. } => unreachable!("phi prefix"),
                     Inst::Bin { dst, op, a, b } => {
-                        let x = Self::val(&regs, *a);
-                        let y = Self::val(&regs, *b);
+                        let x = Self::val(regs, *a);
+                        let y = Self::val(regs, *b);
                         regs[dst.0 as usize] = eval_bin(*op, x, y);
                         self.retire(bin_cost(*op));
                     }
                     Inst::Un { dst, op, a } => {
-                        let x = Self::val(&regs, *a);
+                        let x = Self::val(regs, *a);
                         regs[dst.0 as usize] = eval_un(*op, x);
                         self.retire(1);
                     }
@@ -432,11 +471,11 @@ impl<'m> Machine<'m> {
                         if_true,
                         if_false,
                     } => {
-                        let c = Self::val(&regs, *cond);
+                        let c = Self::val(regs, *cond);
                         regs[dst.0 as usize] = if c != 0 {
-                            Self::val(&regs, *if_true)
+                            Self::val(regs, *if_true)
                         } else {
-                            Self::val(&regs, *if_false)
+                            Self::val(regs, *if_false)
                         };
                         self.retire(1);
                     }
@@ -447,7 +486,7 @@ impl<'m> Machine<'m> {
                         sext,
                         spec,
                     } => {
-                        let a = Self::val(&regs, *addr);
+                        let a = Self::val(regs, *addr);
                         let w = width.bytes();
                         let raw = match self.image.read(a, w) {
                             Ok(v) => v,
@@ -471,8 +510,8 @@ impl<'m> Machine<'m> {
                         self.retire(r.latency);
                     }
                     Inst::Store { addr, value, width } => {
-                        let a = Self::val(&regs, *addr);
-                        let v = Self::val(&regs, *value);
+                        let a = Self::val(regs, *addr);
+                        let v = Self::val(regs, *value);
                         self.image
                             .write(a, v, width.bytes())
                             .map_err(|fault| SimError::Fault { pc, fault })?;
@@ -483,7 +522,7 @@ impl<'m> Machine<'m> {
                         self.retire(1);
                     }
                     Inst::Prefetch { addr } => {
-                        let a = Self::val(&regs, *addr);
+                        let a = Self::val(regs, *addr);
                         // Prefetching unmapped addresses is architecturally
                         // a no-op (like x86 PREFETCHT0), so no fault check.
                         {
@@ -504,29 +543,172 @@ impl<'m> Machine<'m> {
                     self.retire(1);
                     self.lbr
                         .record(term_pc, self.map.block_start_pc(fid, *target), self.cycles);
-                    prev = Some(cur);
+                    apply_phis(func, cur, *target, regs, &mut phi_tmp);
                     cur = *target;
                 }
                 Terminator::CondBr { cond, then_, else_ } => {
-                    let c = Self::val(&regs, *cond);
+                    let c = Self::val(regs, *cond);
                     self.branches += 1;
                     self.retire(1);
-                    prev = Some(cur);
-                    if c != 0 {
+                    let target = if c != 0 {
                         self.taken_branches += 1;
                         self.lbr
                             .record(term_pc, self.map.block_start_pc(fid, *then_), self.cycles);
-                        cur = *then_;
+                        *then_
                     } else {
-                        cur = *else_;
-                    }
+                        *else_
+                    };
+                    apply_phis(func, cur, target, regs, &mut phi_tmp);
+                    cur = target;
                 }
                 Terminator::Ret { value } => {
                     self.retire(1);
-                    return Ok(value.map(|v| Self::val(&regs, v)));
+                    return Ok(CoreOutcome::Done(value.map(|v| Self::val(regs, v))));
                 }
             }
+            if self.instructions - run_start >= fuel {
+                st.block = cur;
+                return Ok(CoreOutcome::Paused);
+            }
         }
+    }
+
+    /// Advances the architectural instruction count and the cycle clock
+    /// without executing anything — the bookkeeping half of a functional
+    /// fast-forward (`apt-sample` executes the skipped instructions on the
+    /// `apt-lir` interpreter and charges their estimated cycles here).
+    /// Profiling/telemetry boundaries are realigned past the new clock so
+    /// a skip never emits a backlog of samples or empty windows.
+    pub fn skip_ahead(&mut self, insts: u64, cycles: u64) {
+        self.instructions += insts;
+        self.cycles += cycles;
+        if self.cfg.lbr_sample_period != 0 && self.cycles >= self.next_lbr_sample {
+            self.next_lbr_sample = self.cycles + self.cfg.lbr_sample_period;
+        }
+        let w = self.cfg.timeline_window;
+        if w != 0 && self.cycles >= self.next_window {
+            self.next_window = (self.cycles / w + 1) * w;
+        }
+    }
+
+    /// A functional-warming view of this machine's memory for fast-forward
+    /// phases: reads/writes hit the architectural image and every access
+    /// (and software prefetch) warms the cache hierarchy, state-only.
+    pub fn warm_mem(&mut self) -> WarmMem<'_> {
+        WarmMem {
+            image: &mut self.image,
+            hier: &mut self.hier,
+            last_line: u64::MAX,
+        }
+    }
+
+    /// The tracer's cumulative per-outcome totals (see `apt-trace`) — the
+    /// counter snapshot `apt-sample` diffs around measurement windows.
+    pub fn outcome_totals(&self) -> PcOutcomes {
+        self.hier.tracer.outcome_totals()
+    }
+
+    /// Installs any already-arrived fills and returns how many prefetches
+    /// are still unclassified — the count that finalizes as `useless` when
+    /// tracing ends (mirrors [`Machine::finish_timeline`]'s bookkeeping).
+    pub fn settle_outcomes(&mut self) -> u64 {
+        self.hier.drain(self.cycles);
+        self.hier.tracer.outcome_pending() as u64
+    }
+
+    /// Closes an MSHR accounting window at the current cycle: cumulative
+    /// `∫occupancy` and the peak since the previous close (delegates to
+    /// `Hierarchy::mshr_window_stats`).
+    pub fn mshr_window_stats(&mut self) -> (u64, usize) {
+        self.hier.mshr_window_stats(self.cycles)
+    }
+}
+
+/// A paused detailed activation: the SSA register file plus the block
+/// about to execute, whose φ-copies have already been applied. Block
+/// boundaries are the only pause points, so this pair is the complete
+/// architectural state — interchangeable with `apt_lir::Interp`
+/// checkpoints, which use the same convention.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreState {
+    fid: FuncId,
+    /// SSA register file.
+    pub regs: Vec<u64>,
+    /// Block about to execute (φ-copies already applied).
+    pub block: BlockId,
+}
+
+impl CoreState {
+    /// The function this activation executes.
+    pub fn fid(&self) -> FuncId {
+        self.fid
+    }
+}
+
+/// Outcome of a fueled [`Machine::run_core`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreOutcome {
+    /// The function returned.
+    Done(Option<u64>),
+    /// The fuel budget was reached; the activation paused at a block
+    /// boundary and can be resumed (or handed to the interpreter).
+    Paused,
+}
+
+/// Functional-warming memory for fast-forward phases (see
+/// [`Machine::warm_mem`]). Implements the interpreter's `Memory` trait:
+/// architectural semantics are the image's, and every in-bounds access
+/// additionally moves cache tag/LRU state the way the detailed path
+/// would — without counters, tracer events, stalls, or MSHR traffic.
+pub struct WarmMem<'a> {
+    image: &'a mut MemImage,
+    hier: &'a mut Hierarchy,
+    /// Last demand-accessed line — a 1-entry filter. A repeat access to
+    /// the line that just warmed is exactly a no-op (the line is L1-MRU
+    /// with its usage bit already settled), so it can skip the hierarchy
+    /// probe entirely. Invalidated by prefetches, whose fills could evict
+    /// the filtered line.
+    last_line: u64,
+}
+
+impl apt_lir::eval::Memory for WarmMem<'_> {
+    fn read(&mut self, addr: u64, width: u64) -> Option<u64> {
+        // Explicit inherent-method call: `self.image` is `&mut MemImage`,
+        // where plain `.read()` would resolve to the trait method again.
+        match MemImage::read(self.image, addr, width) {
+            Ok(v) => {
+                let line = apt_mem::line_of(addr);
+                if line != self.last_line {
+                    self.hier.warm_access(addr);
+                    self.last_line = line;
+                }
+                Some(v)
+            }
+            // Faulting (speculative) loads skip the memory system in the
+            // detailed path too.
+            Err(_) => None,
+        }
+    }
+
+    fn write(&mut self, addr: u64, value: u64, width: u64) -> Option<()> {
+        match MemImage::write(self.image, addr, value, width) {
+            Ok(()) => {
+                let line = apt_mem::line_of(addr);
+                if line != self.last_line {
+                    self.hier.warm_access(addr);
+                    self.last_line = line;
+                }
+                Some(())
+            }
+            Err(_) => None,
+        }
+    }
+
+    fn prefetch(&mut self, addr: u64) {
+        // Unmapped prefetches are architectural no-ops but still probe the
+        // hierarchy, exactly like `Hierarchy::sw_prefetch`.
+        self.hier.warm_prefetch(addr);
+        self.last_line = u64::MAX;
     }
 }
 

@@ -95,18 +95,41 @@ impl MemImage {
     }
 
     /// Reads `width` (1/2/4/8) bytes, little-endian, zero-extended.
+    ///
+    /// Width-specialized: each arm is a fixed-size `from_le_bytes`, so the
+    /// compiler emits a plain load instead of a variable-length `memcpy` —
+    /// this is the hottest function of the reference interpreter and the
+    /// sampled fast-forward path.
+    #[inline]
     pub fn read(&self, addr: u64, width: u64) -> Result<u64, MemFault> {
         let off = self.offset(addr, width)?;
-        let mut buf = [0u8; 8];
-        buf[..width as usize].copy_from_slice(&self.bytes[off..off + width as usize]);
-        Ok(u64::from_le_bytes(buf))
+        let b = &self.bytes[off..];
+        Ok(match width {
+            1 => b[0] as u64,
+            2 => u16::from_le_bytes([b[0], b[1]]) as u64,
+            4 => u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as u64,
+            8 => u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]),
+            w => {
+                let mut buf = [0u8; 8];
+                buf[..w as usize].copy_from_slice(&b[..w as usize]);
+                u64::from_le_bytes(buf)
+            }
+        })
     }
 
     /// Writes the low `width` bytes of `value`, little-endian.
+    #[inline]
     pub fn write(&mut self, addr: u64, value: u64, width: u64) -> Result<(), MemFault> {
         let off = self.offset(addr, width)?;
-        self.bytes[off..off + width as usize]
-            .copy_from_slice(&value.to_le_bytes()[..width as usize]);
+        let b = &mut self.bytes[off..];
+        let v = value.to_le_bytes();
+        match width {
+            1 => b[0] = v[0],
+            2 => b[..2].copy_from_slice(&v[..2]),
+            4 => b[..4].copy_from_slice(&v[..4]),
+            8 => b[..8].copy_from_slice(&v[..8]),
+            w => b[..w as usize].copy_from_slice(&v[..w as usize]),
+        }
         Ok(())
     }
 
@@ -178,7 +201,7 @@ impl MemImage {
 /// simulator's bounds behaviour, so `apt_lir::eval::run_function` and
 /// [`crate::Machine`] observe identical memory.
 impl apt_lir::eval::Memory for MemImage {
-    fn read(&self, addr: u64, width: u64) -> Option<u64> {
+    fn read(&mut self, addr: u64, width: u64) -> Option<u64> {
         MemImage::read(self, addr, width).ok()
     }
 
@@ -260,8 +283,8 @@ mod tests {
         let mut m = MemImage::new();
         let a = m.alloc(16, 8);
         Memory::write(&mut m, a, 0xabcd, 4).unwrap();
-        assert_eq!(Memory::read(&m, a, 4), Some(0xabcd));
-        assert_eq!(Memory::read(&m, a + 16, 4), None);
+        assert_eq!(Memory::read(&mut m, a, 4), Some(0xabcd));
+        assert_eq!(Memory::read(&mut m, a + 16, 4), None);
         assert_eq!(Memory::write(&mut m, a + 16, 0, 4), None);
     }
 }

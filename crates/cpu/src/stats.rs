@@ -7,7 +7,7 @@ use crate::pebs::PebsRecord;
 
 /// `perf stat`-style counters for one simulation (cumulative across calls
 /// on the same [`crate::Machine`]).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PerfStats {
     /// Retired instructions (terminators included).
     pub instructions: u64,

@@ -8,9 +8,18 @@
 //! with no timing, caches or profiling. It is the differential-testing
 //! oracle — `apt-cpu::Machine` must produce exactly the same return values
 //! and memory contents, with or without injected prefetches.
+//!
+//! Since the sampled-simulation work the interpreter is no longer a tree
+//! walker: functions are predecoded once into a flat threaded op array
+//! ([`DecodedFunc`]) whose φ-nodes are compiled into parallel-copy lists
+//! attached to each CFG *edge*, and execution is a resumable [`Interp`]
+//! that can pause at any block boundary ([`Interp::run`] with fuel) and be
+//! checkpointed/restored ([`Interp::checkpoint`]). `apt-sample` uses this
+//! to fast-forward functionally between detailed measurement windows;
+//! [`run_function`] is now a thin wrapper with its original contract.
 
 use crate::inst::{BinOp, FCmpPred, ICmpPred, Inst, Terminator, UnOp};
-use crate::module::{BlockId, Module, Reg};
+use crate::module::{BlockId, FuncId, Function, Module, Reg};
 use crate::Operand;
 
 #[inline]
@@ -113,10 +122,16 @@ pub fn eval_un(op: UnOp, a: u64) -> u64 {
 /// the same bounds behaviour.
 pub trait Memory {
     /// Reads `width` (1/2/4/8) bytes little-endian, zero-extended, or
-    /// `None` on an out-of-bounds access.
-    fn read(&self, addr: u64, width: u64) -> Option<u64>;
+    /// `None` on an out-of-bounds access. Takes `&mut self` so warming
+    /// memories can promote cache lines as a side effect of reads;
+    /// architectural implementations simply don't mutate.
+    fn read(&mut self, addr: u64, width: u64) -> Option<u64>;
     /// Writes the low `width` bytes of `value`; `None` if out of bounds.
     fn write(&mut self, addr: u64, value: u64, width: u64) -> Option<()>;
+    /// Observes a `Prefetch` instruction. Architecturally a no-op (the
+    /// default), but warming memories (`apt-sample`'s fast-forward path)
+    /// override it to keep cache state hot between measurement windows.
+    fn prefetch(&mut self, _addr: u64) {}
 }
 
 /// Architectural interpretation failure.
@@ -155,6 +170,999 @@ impl std::fmt::Display for EvalError {
 
 impl std::error::Error for EvalError {}
 
+/// A CFG edge in decoded form: where it lands plus the parallel copies
+/// that implement the target block's φ-nodes for this predecessor.
+#[derive(Debug, Clone)]
+struct Edge {
+    /// Target block (for checkpointing — the interpreter itself jumps by
+    /// op index).
+    block: u32,
+    /// First op index of the target block.
+    ip: u32,
+    /// φ parallel copies `(dst reg, source reg)`, sources all read before
+    /// any destination is written.
+    copies: Box<[(u32, u32)]>,
+}
+
+/// One predecoded op. Mirrors [`Inst`]/[`Terminator`] minus φ-nodes
+/// (compiled into [`Edge`] copies) with `Width` pre-lowered to bytes,
+/// branch targets pre-resolved to op indices, and *every operand
+/// pre-resolved to a register index* — immediates live in a per-function
+/// constant pool appended to the register file, so the hot loop reads
+/// any operand with a single unconditioned indexed load.
+///
+/// The decoder additionally *fuses* adjacent ops into superinstructions
+/// (`CmpBr`, `AddLoad`, `ShlAdd*`) to cut dispatch count — the dominant
+/// interpreter cost. Fusion is purely mechanical: a fused op executes its
+/// constituents verbatim, in order, including every intermediate register
+/// write, and retires the same number of instructions, so architectural
+/// state and step counts are bit-identical to the unfused sequence.
+#[derive(Debug, Clone)]
+enum Op {
+    Bin {
+        dst: u32,
+        op: BinOp,
+        a: u32,
+        b: u32,
+    },
+    /// Specialized `Bin { op: Add }` — the most common op (induction
+    /// variables, accumulators, address math) skips the inner `BinOp`
+    /// dispatch.
+    Add {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    Un {
+        dst: u32,
+        op: UnOp,
+        a: u32,
+    },
+    Select {
+        dst: u32,
+        cond: u32,
+        if_true: u32,
+        if_false: u32,
+    },
+    Load {
+        dst: u32,
+        addr: u32,
+        width: u8,
+        sext: bool,
+        spec: bool,
+    },
+    Store {
+        addr: u32,
+        value: u32,
+        width: u8,
+    },
+    Prefetch {
+        addr: u32,
+    },
+    Jump {
+        edge: u32,
+    },
+    Branch {
+        cond: u32,
+        then_edge: u32,
+        else_edge: u32,
+    },
+    Ret {
+        value: Option<u32>,
+    },
+    /// Fused `ICmp` + `CondBr` on its result (retires 2). The compare
+    /// result is still written to `dst` for any later (φ or cross-block)
+    /// use.
+    CmpBr {
+        dst: u32,
+        pred: ICmpPred,
+        a: u32,
+        b: u32,
+        then_edge: u32,
+        else_edge: u32,
+    },
+    /// Fused `Add` + `ICmp` + `CondBr` (retires 3): the loop latch every
+    /// counted loop ends with — bump the induction variable, compare,
+    /// branch back.
+    AddCmpBr {
+        adst: u32,
+        aa: u32,
+        ab: u32,
+        dst: u32,
+        pred: ICmpPred,
+        a: u32,
+        b: u32,
+        then_edge: u32,
+        else_edge: u32,
+    },
+    /// Fused `Add` + `Load` (retires 2): the `load_elem` tail for byte
+    /// arrays and pointer-offset loads.
+    AddLoad {
+        adst: u32,
+        aa: u32,
+        ab: u32,
+        dst: u32,
+        addr: u32,
+        width: u8,
+        sext: bool,
+        spec: bool,
+    },
+    /// Fused `Shl` + `Add` + `Load` (retires 3): the scaled-index
+    /// addressing sequence `FunctionBuilder::load_elem` emits for every
+    /// array access.
+    ShlAddLoad {
+        sdst: u32,
+        sa: u32,
+        sb: u32,
+        adst: u32,
+        aa: u32,
+        ab: u32,
+        dst: u32,
+        addr: u32,
+        width: u8,
+        sext: bool,
+        spec: bool,
+    },
+    /// Fused `Shl` + `Add` + `Store` (retires 3).
+    ShlAddStore {
+        sdst: u32,
+        sa: u32,
+        sb: u32,
+        adst: u32,
+        aa: u32,
+        ab: u32,
+        addr: u32,
+        value: u32,
+        width: u8,
+    },
+    /// Fused `Shl` + `Add` + `Prefetch` (retires 3): the address slice of
+    /// an injected software prefetch.
+    ShlAddPrefetch {
+        sdst: u32,
+        sa: u32,
+        sb: u32,
+        adst: u32,
+        aa: u32,
+        ab: u32,
+        addr: u32,
+    },
+}
+
+/// Appends `op` to a block body, fusing it with the preceding one or two
+/// ops when they form a known addressing pattern. Fusion never inspects
+/// operand relationships — it only requires the ops to be consecutive in
+/// one block, because the fused execution replays them verbatim.
+fn push_fused(body: &mut Vec<Op>, op: Op) {
+    let n = body.len();
+    match op {
+        Op::Load {
+            dst,
+            addr,
+            width,
+            sext,
+            spec,
+        } => {
+            if n >= 2 {
+                if let (
+                    &Op::Bin {
+                        dst: sdst,
+                        op: BinOp::Shl,
+                        a: sa,
+                        b: sb,
+                    },
+                    &Op::Add {
+                        dst: adst,
+                        a: aa,
+                        b: ab,
+                    },
+                ) = (&body[n - 2], &body[n - 1])
+                {
+                    body.truncate(n - 2);
+                    body.push(Op::ShlAddLoad {
+                        sdst,
+                        sa,
+                        sb,
+                        adst,
+                        aa,
+                        ab,
+                        dst,
+                        addr,
+                        width,
+                        sext,
+                        spec,
+                    });
+                    return;
+                }
+            }
+            if let Some(&Op::Add {
+                dst: adst,
+                a: aa,
+                b: ab,
+            }) = body.last()
+            {
+                body.truncate(n - 1);
+                body.push(Op::AddLoad {
+                    adst,
+                    aa,
+                    ab,
+                    dst,
+                    addr,
+                    width,
+                    sext,
+                    spec,
+                });
+                return;
+            }
+            body.push(op);
+        }
+        Op::Store { addr, value, width } => {
+            if n >= 2 {
+                if let (
+                    &Op::Bin {
+                        dst: sdst,
+                        op: BinOp::Shl,
+                        a: sa,
+                        b: sb,
+                    },
+                    &Op::Add {
+                        dst: adst,
+                        a: aa,
+                        b: ab,
+                    },
+                ) = (&body[n - 2], &body[n - 1])
+                {
+                    body.truncate(n - 2);
+                    body.push(Op::ShlAddStore {
+                        sdst,
+                        sa,
+                        sb,
+                        adst,
+                        aa,
+                        ab,
+                        addr,
+                        value,
+                        width,
+                    });
+                    return;
+                }
+            }
+            body.push(op);
+        }
+        Op::Prefetch { addr } => {
+            if n >= 2 {
+                if let (
+                    &Op::Bin {
+                        dst: sdst,
+                        op: BinOp::Shl,
+                        a: sa,
+                        b: sb,
+                    },
+                    &Op::Add {
+                        dst: adst,
+                        a: aa,
+                        b: ab,
+                    },
+                ) = (&body[n - 2], &body[n - 1])
+                {
+                    body.truncate(n - 2);
+                    body.push(Op::ShlAddPrefetch {
+                        sdst,
+                        sa,
+                        sb,
+                        adst,
+                        aa,
+                        ab,
+                        addr,
+                    });
+                    return;
+                }
+            }
+            body.push(op);
+        }
+        op => body.push(op),
+    }
+}
+
+/// A function predecoded for threaded dispatch: a flat op array in block
+/// order, a side table of φ-resolved edges, the block→op-index map used
+/// to pause/resume at block boundaries, and the deduplicated constant
+/// pool operand indices ≥ `next_reg` refer into.
+#[derive(Debug, Clone)]
+pub struct DecodedFunc {
+    name: String,
+    arity: usize,
+    /// Architectural register count — the checkpoint/hand-off boundary.
+    /// The live register file is `next_reg + consts.len()` wide.
+    next_reg: u32,
+    consts: Vec<u64>,
+    ops: Vec<Op>,
+    edges: Vec<Edge>,
+    block_ip: Vec<u32>,
+    entry: u32,
+}
+
+/// Strength reduction for decode: `x · 2ᵏ ≡ x << k` under wrapping
+/// arithmetic, so a multiply by a power-of-two immediate decodes as a
+/// shift. This is what lets the `ShlAdd*` fusions fire on builder output:
+/// `FunctionBuilder::elem_addr` emits `index * width` for every array
+/// access, and widths are always powers of two.
+fn shl_of_mul(a: Operand, b: Operand) -> Option<(Operand, u64)> {
+    let (x, imm) = match (a, b) {
+        (x, Operand::Imm(v)) => (x, v),
+        (Operand::Imm(v), x) => (x, v),
+        _ => return None,
+    };
+    imm.is_power_of_two()
+        .then(|| (x, imm.trailing_zeros() as u64))
+}
+
+impl DecodedFunc {
+    /// Decodes one function. Assumes the module verifies (φ prefixes only,
+    /// an incoming value per predecessor — the same invariants the tree
+    /// walker relied on).
+    pub fn decode(f: &Function) -> DecodedFunc {
+        // Immediates intern into a constant pool living above the
+        // architectural registers; `reg_of` turns any operand into a
+        // plain register index.
+        let mut consts: Vec<u64> = Vec::new();
+        let arch = f.next_reg;
+        let mut reg_of = |op: Operand| -> u32 {
+            match op {
+                Operand::Reg(Reg(r)) => r,
+                Operand::Imm(v) => {
+                    let slot = consts.iter().position(|&c| c == v).unwrap_or_else(|| {
+                        consts.push(v);
+                        consts.len() - 1
+                    });
+                    arch + slot as u32
+                }
+            }
+        };
+
+        // Pass 1: decode and fuse every block body (φs emit no ops), and
+        // decide whether its compare fuses into the terminator. Fusion
+        // changes op counts, so block start indices can only be laid out
+        // after all bodies are known.
+        let mut bodies: Vec<Vec<Op>> = Vec::with_capacity(f.blocks.len());
+        let mut fuse_term: Vec<u8> = Vec::with_capacity(f.blocks.len());
+        for b in &f.blocks {
+            let mut body: Vec<Op> = Vec::with_capacity(b.insts.len() - b.phi_count() + 1);
+            for inst in b.insts.iter().skip(b.phi_count()) {
+                let op = match inst {
+                    Inst::Phi { .. } => unreachable!("phi prefix"),
+                    Inst::Bin {
+                        dst,
+                        op: BinOp::Add,
+                        a,
+                        b,
+                    } => Op::Add {
+                        dst: dst.0,
+                        a: reg_of(*a),
+                        b: reg_of(*b),
+                    },
+                    Inst::Bin {
+                        dst,
+                        op: BinOp::Mul,
+                        a,
+                        b,
+                    } if shl_of_mul(*a, *b).is_some() => {
+                        let (x, k) = shl_of_mul(*a, *b).expect("guard checked");
+                        Op::Bin {
+                            dst: dst.0,
+                            op: BinOp::Shl,
+                            a: reg_of(x),
+                            b: reg_of(Operand::Imm(k)),
+                        }
+                    }
+                    Inst::Bin { dst, op, a, b } => Op::Bin {
+                        dst: dst.0,
+                        op: *op,
+                        a: reg_of(*a),
+                        b: reg_of(*b),
+                    },
+                    Inst::Un { dst, op, a } => Op::Un {
+                        dst: dst.0,
+                        op: *op,
+                        a: reg_of(*a),
+                    },
+                    Inst::Select {
+                        dst,
+                        cond,
+                        if_true,
+                        if_false,
+                    } => Op::Select {
+                        dst: dst.0,
+                        cond: reg_of(*cond),
+                        if_true: reg_of(*if_true),
+                        if_false: reg_of(*if_false),
+                    },
+                    Inst::Load {
+                        dst,
+                        addr,
+                        width,
+                        sext,
+                        spec,
+                    } => Op::Load {
+                        dst: dst.0,
+                        addr: reg_of(*addr),
+                        width: width.bytes() as u8,
+                        sext: *sext,
+                        spec: *spec,
+                    },
+                    Inst::Store { addr, value, width } => Op::Store {
+                        addr: reg_of(*addr),
+                        value: reg_of(*value),
+                        width: width.bytes() as u8,
+                    },
+                    Inst::Prefetch { addr } => Op::Prefetch {
+                        addr: reg_of(*addr),
+                    },
+                };
+                push_fused(&mut body, op);
+            }
+            // How many trailing body ops the terminator absorbs: the
+            // compare feeding a conditional branch, and — the loop-latch
+            // pattern — the induction-variable bump before it.
+            let cmp_feeds_term = matches!(
+                (body.last(), &b.term),
+                (
+                    Some(Op::Bin {
+                        op: BinOp::ICmp(_),
+                        dst,
+                        ..
+                    }),
+                    Terminator::CondBr { cond, .. },
+                ) if *cond == Operand::Reg(Reg(*dst))
+            );
+            let ft = if !cmp_feeds_term {
+                0u8
+            } else if body.len() >= 2 && matches!(body[body.len() - 2], Op::Add { .. }) {
+                2
+            } else {
+                1
+            };
+            bodies.push(body);
+            fuse_term.push(ft);
+        }
+
+        // Block start indices from the fused lengths (+1 terminator op,
+        // which absorbs the body's trailing ops when fused).
+        let mut block_ip = Vec::with_capacity(f.blocks.len());
+        let mut at = 0u32;
+        for (body, &ft) in bodies.iter().zip(&fuse_term) {
+            block_ip.push(at);
+            at += body.len() as u32 + 1 - ft as u32;
+        }
+
+        // Pass 2: emit ops and φ-resolved edges.
+        let mut ops = Vec::with_capacity(at as usize);
+        let mut edges = Vec::new();
+        let mk_edge = |edges: &mut Vec<Edge>,
+                       reg_of: &mut dyn FnMut(Operand) -> u32,
+                       from: BlockId,
+                       target: BlockId|
+         -> u32 {
+            let tb = f.block(target);
+            let copies: Vec<(u32, u32)> = tb.insts[..tb.phi_count()]
+                .iter()
+                .map(|inst| {
+                    let Inst::Phi { dst, incomings } = inst else {
+                        unreachable!("phi prefix")
+                    };
+                    let (_, op) = incomings
+                        .iter()
+                        .find(|(p, _)| *p == from)
+                        .expect("verifier guarantees an incoming per predecessor");
+                    (dst.0, reg_of(*op))
+                })
+                .collect();
+            edges.push(Edge {
+                block: target.0,
+                ip: block_ip[target.0 as usize],
+                copies: copies.into_boxed_slice(),
+            });
+            (edges.len() - 1) as u32
+        };
+
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let from = BlockId(bi as u32);
+            let mut body = std::mem::take(&mut bodies[bi]);
+            let fused_cmp = if fuse_term[bi] > 0 { body.pop() } else { None };
+            let fused_add = if fuse_term[bi] > 1 { body.pop() } else { None };
+            ops.extend(body);
+            ops.push(match &b.term {
+                Terminator::Br { target } => Op::Jump {
+                    edge: mk_edge(&mut edges, &mut reg_of, from, *target),
+                },
+                Terminator::CondBr { cond, then_, else_ } => {
+                    let then_edge = mk_edge(&mut edges, &mut reg_of, from, *then_);
+                    let else_edge = mk_edge(&mut edges, &mut reg_of, from, *else_);
+                    match (fused_add, fused_cmp) {
+                        (
+                            Some(Op::Add {
+                                dst: adst,
+                                a: aa,
+                                b: ab,
+                            }),
+                            Some(Op::Bin {
+                                dst,
+                                op: BinOp::ICmp(pred),
+                                a,
+                                b,
+                            }),
+                        ) => Op::AddCmpBr {
+                            adst,
+                            aa,
+                            ab,
+                            dst,
+                            pred,
+                            a,
+                            b,
+                            then_edge,
+                            else_edge,
+                        },
+                        (
+                            None,
+                            Some(Op::Bin {
+                                dst,
+                                op: BinOp::ICmp(pred),
+                                a,
+                                b,
+                            }),
+                        ) => Op::CmpBr {
+                            dst,
+                            pred,
+                            a,
+                            b,
+                            then_edge,
+                            else_edge,
+                        },
+                        _ => Op::Branch {
+                            cond: reg_of(*cond),
+                            then_edge,
+                            else_edge,
+                        },
+                    }
+                }
+                Terminator::Ret { value } => Op::Ret {
+                    value: value.map(&mut reg_of),
+                },
+            });
+        }
+
+        DecodedFunc {
+            name: f.name.clone(),
+            arity: f.arity(),
+            next_reg: f.next_reg,
+            consts,
+            ops,
+            edges,
+            block_ip,
+            entry: f.entry.0,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+}
+
+/// Every function of a module predecoded — decode once, interpret many
+/// times (the sampled driver re-enters the interpreter at every
+/// fast-forward phase).
+#[derive(Debug, Clone)]
+pub struct DecodedModule {
+    funcs: Vec<DecodedFunc>,
+}
+
+impl DecodedModule {
+    pub fn decode(module: &Module) -> DecodedModule {
+        DecodedModule {
+            funcs: module
+                .iter_functions()
+                .map(|(_, f)| DecodedFunc::decode(f))
+                .collect(),
+        }
+    }
+
+    pub fn func(&self, fid: FuncId) -> &DecodedFunc {
+        &self.funcs[fid.0 as usize]
+    }
+
+    pub fn func_by_name(&self, name: &str) -> Option<(FuncId, &DecodedFunc)> {
+        self.funcs
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+}
+
+/// Outcome of a fueled [`Interp::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunState {
+    /// The function returned.
+    Done(Option<u64>),
+    /// The fuel budget was reached; the interpreter paused at a block
+    /// boundary and can be resumed (or checkpointed).
+    Paused,
+}
+
+/// A serializable-in-spirit snapshot of a paused interpreter: registers
+/// plus the block about to execute (whose φ-copies were already applied —
+/// block boundaries are the only pause points precisely so that this pair
+/// captures the complete architectural state).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    pub regs: Vec<u64>,
+    pub block: BlockId,
+    pub steps: u64,
+}
+
+/// A resumable threaded-dispatch interpreter over one [`DecodedFunc`].
+pub struct Interp<'c> {
+    code: &'c DecodedFunc,
+    regs: Vec<u64>,
+    /// Block about to execute; its φ-copies have already been applied.
+    block: u32,
+    steps: u64,
+    copy_tmp: Vec<u64>,
+}
+
+impl<'c> Interp<'c> {
+    /// Starts a fresh activation of `code` with `args`.
+    pub fn new(code: &'c DecodedFunc, args: &[u64]) -> Result<Interp<'c>, EvalError> {
+        if code.arity != args.len() {
+            return Err(EvalError::ArityMismatch {
+                func: code.name.clone(),
+                expected: code.arity,
+                got: args.len(),
+            });
+        }
+        let mut regs = vec![0u64; code.next_reg as usize];
+        regs[..args.len()].copy_from_slice(args);
+        regs.extend_from_slice(&code.consts);
+        Ok(Interp {
+            code,
+            regs,
+            block: code.entry,
+            steps: 0,
+            copy_tmp: Vec::new(),
+        })
+    }
+
+    /// Rebuilds a paused interpreter from raw *architectural* state (the
+    /// inverse of [`Interp::into_state`]; also what [`Interp::restore`]
+    /// uses). The registers must come from a pause at the start of
+    /// `block`; the constant pool is re-seeded from the decoded function.
+    pub fn resume(
+        code: &'c DecodedFunc,
+        mut regs: Vec<u64>,
+        block: BlockId,
+        steps: u64,
+    ) -> Interp<'c> {
+        assert_eq!(regs.len(), code.next_reg as usize, "register file size");
+        assert!((block.0 as usize) < code.block_ip.len(), "block id");
+        regs.extend_from_slice(&code.consts);
+        Interp {
+            code,
+            regs,
+            block: block.0,
+            steps,
+            copy_tmp: Vec::new(),
+        }
+    }
+
+    /// Instructions retired so far (terminators included, φs excluded —
+    /// the same counting rule as `apt-cpu::Machine`).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The block the interpreter is paused at.
+    pub fn block(&self) -> BlockId {
+        BlockId(self.block)
+    }
+
+    /// Read-only view of the architectural register file (the constant
+    /// pool tail is an implementation detail and not exposed).
+    pub fn regs(&self) -> &[u64] {
+        &self.regs[..self.code.next_reg as usize]
+    }
+
+    /// Snapshots the paused state (architectural registers are cloned;
+    /// the constant pool is immutable and lives in the decoded function).
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            regs: self.regs[..self.code.next_reg as usize].to_vec(),
+            block: BlockId(self.block),
+            steps: self.steps,
+        }
+    }
+
+    /// Restores a snapshot taken from the same decoded function.
+    pub fn restore(&mut self, cp: &Checkpoint) {
+        assert_eq!(cp.regs.len(), self.code.next_reg as usize);
+        self.regs[..cp.regs.len()].copy_from_slice(&cp.regs);
+        self.block = cp.block.0;
+        self.steps = cp.steps;
+    }
+
+    /// Consumes the interpreter, returning `(regs, block, steps)` without
+    /// cloning — the hand-off the sampled driver uses to enter detailed
+    /// simulation from a fast-forwarded state. The returned registers are
+    /// the architectural file (`next_reg` wide), constant pool stripped.
+    pub fn into_state(mut self) -> (Vec<u64>, BlockId, u64) {
+        self.regs.truncate(self.code.next_reg as usize);
+        (self.regs, BlockId(self.block), self.steps)
+    }
+
+    /// Runs until the function returns or at least `fuel` more
+    /// instructions have retired, pausing at the next block boundary (so
+    /// the overshoot is at most one block). `fuel == 0` still executes one
+    /// block.
+    pub fn run(&mut self, mem: &mut impl Memory, fuel: u64) -> Result<RunState, EvalError> {
+        apt_selfprof::prof_scope!("lir/eval/dispatch");
+        let target = self.steps.saturating_add(fuel);
+        let ops = &self.code.ops[..];
+        let edges = &self.code.edges[..];
+        let regs = &mut self.regs[..];
+        let mut steps = self.steps;
+        let mut ip = self.code.block_ip[self.block as usize] as usize;
+
+        // Every operand is a register index (immediates were interned
+        // into the constant-pool tail at decode time), so an operand read
+        // is one unconditioned indexed load.
+        macro_rules! val {
+            ($op:expr) => {
+                regs[$op as usize]
+            };
+        }
+        // Applies an edge's φ parallel copies (sources all read before any
+        // destination is written) and either jumps or pauses on fuel-out.
+        macro_rules! take_edge {
+            ($e:expr) => {{
+                let e = &edges[$e as usize];
+                if !e.copies.is_empty() {
+                    self.copy_tmp.clear();
+                    for &(_, src) in e.copies.iter() {
+                        self.copy_tmp.push(val!(src));
+                    }
+                    for (&(d, _), &v) in e.copies.iter().zip(&self.copy_tmp) {
+                        regs[d as usize] = v;
+                    }
+                }
+                if steps >= target {
+                    self.block = e.block;
+                    self.steps = steps;
+                    return Ok(RunState::Paused);
+                }
+                ip = e.ip as usize;
+            }};
+        }
+
+        // The architectural load: read, zero/sign-extend, or fault
+        // (speculative loads yield 0 instead). Shared by the plain and
+        // fused load ops.
+        macro_rules! do_load {
+            ($dst:expr, $addr:expr, $width:expr, $sext:expr, $spec:expr) => {{
+                let a = val!($addr);
+                let w = $width as u64;
+                regs[$dst as usize] = match mem.read(a, w) {
+                    Some(raw) => {
+                        if $sext {
+                            sign_extend(raw, w)
+                        } else {
+                            raw
+                        }
+                    }
+                    None if $spec => 0,
+                    None => {
+                        self.steps = steps;
+                        return Err(EvalError::Fault { addr: a, width: w });
+                    }
+                };
+            }};
+        }
+        // The two arithmetic halves of the fused addressing sequences,
+        // executed verbatim (intermediate registers included).
+        macro_rules! do_shl {
+            ($dst:expr, $a:expr, $b:expr) => {
+                regs[$dst as usize] = val!($a).wrapping_shl(val!($b) as u32 & 63)
+            };
+        }
+        macro_rules! do_add {
+            ($dst:expr, $a:expr, $b:expr) => {
+                regs[$dst as usize] = val!($a).wrapping_add(val!($b))
+            };
+        }
+
+        loop {
+            steps += 1;
+            match ops[ip] {
+                Op::Bin { dst, op, a, b } => {
+                    regs[dst as usize] = eval_bin(op, val!(a), val!(b));
+                    ip += 1;
+                }
+                Op::Add { dst, a, b } => {
+                    do_add!(dst, a, b);
+                    ip += 1;
+                }
+                Op::Un { dst, op, a } => {
+                    regs[dst as usize] = eval_un(op, val!(a));
+                    ip += 1;
+                }
+                Op::Select {
+                    dst,
+                    cond,
+                    if_true,
+                    if_false,
+                } => {
+                    regs[dst as usize] = if val!(cond) != 0 {
+                        val!(if_true)
+                    } else {
+                        val!(if_false)
+                    };
+                    ip += 1;
+                }
+                Op::Load {
+                    dst,
+                    addr,
+                    width,
+                    sext,
+                    spec,
+                } => {
+                    do_load!(dst, addr, width, sext, spec);
+                    ip += 1;
+                }
+                Op::Store { addr, value, width } => {
+                    let a = val!(addr);
+                    let w = width as u64;
+                    if mem.write(a, val!(value), w).is_none() {
+                        self.steps = steps;
+                        return Err(EvalError::Fault { addr: a, width: w });
+                    }
+                    ip += 1;
+                }
+                Op::Prefetch { addr } => {
+                    // Architecturally a no-op; warming memories listen in.
+                    mem.prefetch(val!(addr));
+                    ip += 1;
+                }
+                Op::Jump { edge } => take_edge!(edge),
+                Op::Branch {
+                    cond,
+                    then_edge,
+                    else_edge,
+                } => {
+                    if val!(cond) != 0 {
+                        take_edge!(then_edge)
+                    } else {
+                        take_edge!(else_edge)
+                    }
+                }
+                Op::Ret { value } => {
+                    self.steps = steps;
+                    return Ok(RunState::Done(value.map(|v| val!(v))));
+                }
+                Op::CmpBr {
+                    dst,
+                    pred,
+                    a,
+                    b,
+                    then_edge,
+                    else_edge,
+                } => {
+                    steps += 1;
+                    let c = eval_bin(BinOp::ICmp(pred), val!(a), val!(b));
+                    regs[dst as usize] = c;
+                    if c != 0 {
+                        take_edge!(then_edge)
+                    } else {
+                        take_edge!(else_edge)
+                    }
+                }
+                Op::AddCmpBr {
+                    adst,
+                    aa,
+                    ab,
+                    dst,
+                    pred,
+                    a,
+                    b,
+                    then_edge,
+                    else_edge,
+                } => {
+                    steps += 2;
+                    do_add!(adst, aa, ab);
+                    let c = eval_bin(BinOp::ICmp(pred), val!(a), val!(b));
+                    regs[dst as usize] = c;
+                    if c != 0 {
+                        take_edge!(then_edge)
+                    } else {
+                        take_edge!(else_edge)
+                    }
+                }
+                Op::AddLoad {
+                    adst,
+                    aa,
+                    ab,
+                    dst,
+                    addr,
+                    width,
+                    sext,
+                    spec,
+                } => {
+                    steps += 1;
+                    do_add!(adst, aa, ab);
+                    do_load!(dst, addr, width, sext, spec);
+                    ip += 1;
+                }
+                Op::ShlAddLoad {
+                    sdst,
+                    sa,
+                    sb,
+                    adst,
+                    aa,
+                    ab,
+                    dst,
+                    addr,
+                    width,
+                    sext,
+                    spec,
+                } => {
+                    steps += 2;
+                    do_shl!(sdst, sa, sb);
+                    do_add!(adst, aa, ab);
+                    do_load!(dst, addr, width, sext, spec);
+                    ip += 1;
+                }
+                Op::ShlAddStore {
+                    sdst,
+                    sa,
+                    sb,
+                    adst,
+                    aa,
+                    ab,
+                    addr,
+                    value,
+                    width,
+                } => {
+                    steps += 2;
+                    do_shl!(sdst, sa, sb);
+                    do_add!(adst, aa, ab);
+                    let a = val!(addr);
+                    let w = width as u64;
+                    if mem.write(a, val!(value), w).is_none() {
+                        self.steps = steps;
+                        return Err(EvalError::Fault { addr: a, width: w });
+                    }
+                    ip += 1;
+                }
+                Op::ShlAddPrefetch {
+                    sdst,
+                    sa,
+                    sb,
+                    adst,
+                    aa,
+                    ab,
+                    addr,
+                } => {
+                    steps += 2;
+                    do_shl!(sdst, sa, sb);
+                    do_add!(adst, aa, ab);
+                    mem.prefetch(val!(addr));
+                    ip += 1;
+                }
+            }
+        }
+    }
+}
+
 /// Runs `func` against `mem` with the module's architectural semantics:
 /// φ-nodes resolve as parallel copies on block entry, speculative
 /// (prefetch-slice) loads yield 0 instead of faulting, and `Prefetch` is a
@@ -181,117 +1189,14 @@ pub fn run_function(
     }
 
     apt_selfprof::prof_scope!("lir/eval");
-    let mut regs = vec![0u64; f.next_reg as usize];
-    regs[..args.len()].copy_from_slice(args);
-    let mut steps = 0u64;
-    let mut cur: BlockId = f.entry;
-    let mut prev: Option<BlockId> = None;
-    let mut phi_tmp: Vec<(u32, u64)> = Vec::new();
-
-    let val = |regs: &[u64], op: Operand| match op {
-        Operand::Reg(Reg(r)) => regs[r as usize],
-        Operand::Imm(v) => v,
-    };
-
-    loop {
-        if steps > step_limit {
-            return Err(EvalError::StepLimit);
-        }
-        apt_selfprof::prof_scope!("lir/eval/dispatch");
-        let block = f.block(cur);
-
-        // φ prefix: parallel copies selected by the edge we arrived on.
-        let phi_count = block.phi_count();
-        if phi_count > 0 {
-            let from = prev.expect("phi in entry block rejected by verifier");
-            phi_tmp.clear();
-            for inst in &block.insts[..phi_count] {
-                let Inst::Phi { dst, incomings } = inst else {
-                    unreachable!("phi prefix")
-                };
-                let (_, op) = incomings
-                    .iter()
-                    .find(|(p, _)| *p == from)
-                    .expect("verifier guarantees an incoming per predecessor");
-                phi_tmp.push((dst.0, val(&regs, *op)));
-            }
-            for &(d, v) in &phi_tmp {
-                regs[d as usize] = v;
-            }
-        }
-
-        for inst in block.insts.iter().skip(phi_count) {
-            steps += 1;
-            match inst {
-                Inst::Phi { .. } => unreachable!("phi prefix"),
-                Inst::Bin { dst, op, a, b } => {
-                    regs[dst.0 as usize] = eval_bin(*op, val(&regs, *a), val(&regs, *b));
-                }
-                Inst::Un { dst, op, a } => {
-                    regs[dst.0 as usize] = eval_un(*op, val(&regs, *a));
-                }
-                Inst::Select {
-                    dst,
-                    cond,
-                    if_true,
-                    if_false,
-                } => {
-                    regs[dst.0 as usize] = if val(&regs, *cond) != 0 {
-                        val(&regs, *if_true)
-                    } else {
-                        val(&regs, *if_false)
-                    };
-                }
-                Inst::Load {
-                    dst,
-                    addr,
-                    width,
-                    sext,
-                    spec,
-                } => {
-                    let a = val(&regs, *addr);
-                    let w = width.bytes();
-                    regs[dst.0 as usize] = match mem.read(a, w) {
-                        Some(raw) => {
-                            if *sext {
-                                sign_extend(raw, w)
-                            } else {
-                                raw
-                            }
-                        }
-                        // Speculative (prefetch-slice) loads never fault.
-                        None if *spec => 0,
-                        None => return Err(EvalError::Fault { addr: a, width: w }),
-                    };
-                }
-                Inst::Store { addr, value, width } => {
-                    let a = val(&regs, *addr);
-                    let w = width.bytes();
-                    mem.write(a, val(&regs, *value), w)
-                        .ok_or(EvalError::Fault { addr: a, width: w })?;
-                }
-                Inst::Prefetch { .. } => {} // Architecturally a no-op.
-            }
-        }
-
-        steps += 1;
-        match &block.term {
-            Terminator::Br { target } => {
-                prev = Some(cur);
-                cur = *target;
-            }
-            Terminator::CondBr { cond, then_, else_ } => {
-                prev = Some(cur);
-                cur = if val(&regs, *cond) != 0 {
-                    *then_
-                } else {
-                    *else_
-                };
-            }
-            Terminator::Ret { value } => {
-                return Ok(value.map(|v| val(&regs, v)));
-            }
-        }
+    let code = DecodedFunc::decode(f);
+    let mut interp = Interp::new(&code, args)?;
+    // The tree walker checked the limit at every block top and errored on
+    // `steps > step_limit`; a single fueled run pausing once `steps`
+    // reaches `step_limit + 1` reproduces that boundary exactly.
+    match interp.run(mem, step_limit.saturating_add(1))? {
+        RunState::Done(v) => Ok(v),
+        RunState::Paused => Err(EvalError::StepLimit),
     }
 }
 
@@ -309,7 +1214,7 @@ mod interp_tests {
     }
 
     impl Memory for MapMem {
-        fn read(&self, addr: u64, width: u64) -> Option<u64> {
+        fn read(&mut self, addr: u64, width: u64) -> Option<u64> {
             if addr + width > self.limit {
                 return None;
             }
@@ -346,9 +1251,7 @@ mod interp_tests {
         m
     }
 
-    #[test]
-    fn interprets_a_reduction_loop() {
-        let m = sum_kernel();
+    fn sum_mem() -> MapMem {
         let mut mem = MapMem {
             limit: 64,
             ..Default::default()
@@ -356,6 +1259,13 @@ mod interp_tests {
         for i in 0..8u64 {
             mem.write(i * 4, i + 1, 4).unwrap();
         }
+        mem
+    }
+
+    #[test]
+    fn interprets_a_reduction_loop() {
+        let m = sum_kernel();
+        let mut mem = sum_mem();
         let r = run_function(&m, "kernel", &[0, 8], &mut mem, 1 << 20).unwrap();
         assert_eq!(r, Some(36)); // 1 + 2 + … + 8.
     }
@@ -433,5 +1343,101 @@ mod interp_tests {
             run_function(&m, "spin", &[], &mut mem, 1000),
             Err(EvalError::StepLimit)
         );
+    }
+
+    #[test]
+    fn fueled_runs_pause_at_block_boundaries_and_agree_with_one_shot() {
+        let m = sum_kernel();
+        let (_, f) = m.function_by_name("kernel").unwrap();
+        let code = DecodedFunc::decode(f);
+
+        let mut mem = sum_mem();
+        let oneshot = run_function(&m, "kernel", &[0, 8], &mut mem, 1 << 20).unwrap();
+
+        let mut mem = sum_mem();
+        let mut interp = Interp::new(&code, &[0, 8]).unwrap();
+        let mut pauses = 0;
+        let result = loop {
+            match interp.run(&mut mem, 3).unwrap() {
+                RunState::Done(v) => break v,
+                RunState::Paused => pauses += 1,
+            }
+        };
+        assert_eq!(result, oneshot);
+        assert!(pauses > 3, "a 3-step fuel must pause many times");
+    }
+
+    #[test]
+    fn checkpoint_restore_replays_identically() {
+        let m = sum_kernel();
+        let (_, f) = m.function_by_name("kernel").unwrap();
+        let code = DecodedFunc::decode(f);
+
+        // Run halfway, checkpoint, finish.
+        let mut mem = sum_mem();
+        let mut interp = Interp::new(&code, &[0, 8]).unwrap();
+        assert_eq!(interp.run(&mut mem, 20).unwrap(), RunState::Paused);
+        let cp = interp.checkpoint();
+        let steps_at_cp = interp.steps();
+        let RunState::Done(first) = interp.run(&mut mem, u64::MAX).unwrap() else {
+            panic!("must finish")
+        };
+        let total_steps = interp.steps();
+
+        // Restore into a fresh interpreter and replay the tail.
+        let mut replay = Interp::resume(&code, cp.regs.clone(), cp.block, cp.steps);
+        assert_eq!(replay.steps(), steps_at_cp);
+        let RunState::Done(second) = replay.run(&mut mem, u64::MAX).unwrap() else {
+            panic!("must finish")
+        };
+        assert_eq!(second, first);
+        assert_eq!(replay.steps(), total_steps);
+
+        // `restore` on the finished interpreter rewinds it too.
+        interp.restore(&cp);
+        let RunState::Done(third) = interp.run(&mut mem, u64::MAX).unwrap() else {
+            panic!("must finish")
+        };
+        assert_eq!(third, first);
+    }
+
+    #[test]
+    fn step_counts_match_the_one_shot_contract() {
+        // The step-limit guard only fires at block boundaries (both in the
+        // old tree walker and in the fueled interpreter), so the exact
+        // acceptance boundary is the step count at the *last edge taken*:
+        // a limit one below it errors, the boundary value itself succeeds.
+        let m = sum_kernel();
+        let (_, f) = m.function_by_name("kernel").unwrap();
+        let code = DecodedFunc::decode(f);
+        let mut mem = sum_mem();
+        let mut interp = Interp::new(&code, &[0, 8]).unwrap();
+        let mut last_edge_steps = 0;
+        loop {
+            // Fuel 0: exactly one block per run, pausing at every edge.
+            match interp.run(&mut mem, 0).unwrap() {
+                RunState::Done(_) => break,
+                RunState::Paused => last_edge_steps = interp.steps(),
+            }
+        }
+        assert!(last_edge_steps > 0);
+        let mut mem = sum_mem();
+        assert!(run_function(&m, "kernel", &[0, 8], &mut mem, last_edge_steps).is_ok());
+        let mut mem = sum_mem();
+        assert_eq!(
+            run_function(&m, "kernel", &[0, 8], &mut mem, last_edge_steps - 1),
+            Err(EvalError::StepLimit)
+        );
+    }
+
+    #[test]
+    fn decoded_module_resolves_functions_by_name() {
+        let m = sum_kernel();
+        let dm = DecodedModule::decode(&m);
+        let (fid, code) = dm.func_by_name("kernel").unwrap();
+        assert_eq!(code.name(), "kernel");
+        assert_eq!(code.arity(), 2);
+        assert_eq!(dm.func(fid).name(), "kernel");
+        assert!(dm.func_by_name("nope").is_none());
     }
 }

@@ -75,6 +75,21 @@ impl Cache {
     pub fn access(&mut self, line: u64, demand: bool) -> HitInfo {
         let set = self.set_of(line);
         let ways = &mut self.sets[set];
+        // MRU fast path: a hit on the most-recent way needs no reordering.
+        // This is the common case on any access stream with locality and
+        // keeps the remove/insert shuffle off the hot path.
+        if let Some(e) = ways.first_mut() {
+            if e.tag == line {
+                let first_use = demand && e.from_prefetch && !e.used;
+                if demand {
+                    e.used = true;
+                }
+                return HitInfo {
+                    hit: true,
+                    first_use_of_prefetch: first_use,
+                };
+            }
+        }
         if let Some(pos) = ways.iter().position(|e| e.tag == line) {
             let mut e = ways.remove(pos);
             let first_use = demand && e.from_prefetch && !e.used;

@@ -350,6 +350,55 @@ impl Hierarchy {
         debug_assert!(ok, "free entry was checked above");
     }
 
+    /// Functionally warms the hierarchy with a demand access (SMARTS-style
+    /// fast-forward): tag/LRU/usage-bit state moves exactly as a demand
+    /// load/store would move it, but **nothing is counted** — no counters,
+    /// no tracer events, no stalls, no MSHR allocation, no DRAM timing.
+    /// The stride prefetcher is deliberately not trained either (warm
+    /// accesses carry no PC); the detailed warmup interval preceding each
+    /// measurement window re-trains it before anything is measured into
+    /// the sample.
+    pub fn warm_access(&mut self, addr: Addr) {
+        let line = line_of(addr);
+        if self.l1.access(line, true).hit {
+            return;
+        }
+        if self.l2.access(line, true).hit {
+            self.l1.fill(line, false);
+            return;
+        }
+        if self.llc.access(line, true).hit {
+            self.l1.fill(line, false);
+            self.l2.fill(line, false);
+            return;
+        }
+        if self.mshr.find(line).is_some() {
+            return; // An in-flight fill (from a detailed window) covers it.
+        }
+        self.l1.fill(line, false);
+        self.l2.fill(line, false);
+        let _ = self.llc.fill(line, false);
+    }
+
+    /// Functionally warms the hierarchy with a software prefetch: the line
+    /// is installed (towards L1) with its prefetched bit set, so a later
+    /// detailed window observes the same resident-line state an exact run
+    /// would have. State-only, like [`Hierarchy::warm_access`].
+    pub fn warm_prefetch(&mut self, addr: Addr) {
+        let line = line_of(addr);
+        if self.l1.contains(line) || self.mshr.find(line).is_some() {
+            return;
+        }
+        if self.l2.access(line, false).hit || self.llc.access(line, false).hit {
+            self.l1.fill(line, true);
+            self.l2.fill(line, true);
+            return;
+        }
+        self.l1.fill(line, true);
+        self.l2.fill(line, true);
+        let _ = self.llc.fill(line, true);
+    }
+
     /// Issues a hardware prefetch for the line containing `addr`.
     fn hw_prefetch(&mut self, addr: Addr, now: Cycle) {
         self.hw_prefetch_line(line_of(addr), now);

@@ -31,5 +31,5 @@ pub use registry::{Counter, Gauge, Histogram, MetricKind, Registry, WALL_US_BUCK
 pub use serve::MetricsServer;
 pub use snapshot::{
     gate, host_fingerprint, BenchSnapshot, GateConfig, GateReport, OutcomeMix, PhaseBench,
-    WorkloadBench, SNAPSHOT_SCHEMA,
+    SampledBench, WorkloadBench, SNAPSHOT_SCHEMA,
 };

@@ -96,6 +96,51 @@ impl PhaseBench {
     }
 }
 
+/// Sampled-simulation provenance and accuracy of one workload row
+/// (present when the producing campaign ran with `--sampled`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SampledBench {
+    /// Max |estimated − exact| / exact on cycles across the workload's
+    /// cells. 0 when the campaign ran without `--sampled-check`.
+    pub cycle_err: f64,
+    /// Max |estimated − exact| / exact on IPC across the cells.
+    pub ipc_err: f64,
+    /// Mean fraction of instructions simulated in detail.
+    pub detail_fraction: f64,
+    /// Total measurement windows across the workload's cells.
+    pub windows: u64,
+    /// True when the exact cross-check ran, i.e. the errors are measured
+    /// rather than vacuous zeros — only then does the gate judge them.
+    pub checked: bool,
+}
+
+impl SampledBench {
+    fn write_json(&self, out: &mut String, indent: &str) {
+        out.push_str("{\n");
+        let _ = write!(out, "{indent}  \"cycle_err\": ");
+        json::write_f64(out, self.cycle_err);
+        let _ = write!(out, ",\n{indent}  \"ipc_err\": ");
+        json::write_f64(out, self.ipc_err);
+        let _ = write!(out, ",\n{indent}  \"detail_fraction\": ");
+        json::write_f64(out, self.detail_fraction);
+        let _ = write!(
+            out,
+            ",\n{indent}  \"windows\": {},\n{indent}  \"checked\": {}\n{indent}}}",
+            self.windows, self.checked
+        );
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(SampledBench {
+            cycle_err: v.num_field("cycle_err")?,
+            ipc_err: v.num_field("ipc_err")?,
+            detail_fraction: v.num_field("detail_fraction")?,
+            windows: v.u64_field("windows")?,
+            checked: v.get("checked").and_then(Json::as_bool).unwrap_or(false),
+        })
+    }
+}
+
 /// Per-workload benchmark results.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadBench {
@@ -122,6 +167,11 @@ pub struct WorkloadBench {
     /// gate; absent in old snapshots and parsed as 0 (the schema stays
     /// at 1, same precedent as `phases`).
     pub cycles_per_sec: f64,
+    /// Sampled-simulation accuracy record (present only when the
+    /// producing campaign ran `--sampled`; absent in old snapshots and
+    /// parsed as `None` — the schema stays at 1, same precedent as
+    /// `outcomes`). When `checked`, the gate bounds `cycle_err`.
+    pub sampled: Option<SampledBench>,
 }
 
 impl WorkloadBench {
@@ -144,6 +194,7 @@ impl WorkloadBench {
             phases: Vec::new(),
             wall_us: 0,
             cycles_per_sec: 0.0,
+            sampled: None,
         }
     }
 }
@@ -226,6 +277,10 @@ impl BenchSnapshot {
                 out.push_str(",\n      \"outcomes\": ");
                 mix.write_json(&mut out, "      ");
             }
+            if let Some(s) = &w.sampled {
+                out.push_str(",\n      \"sampled\": ");
+                s.write_json(&mut out, "      ");
+            }
             if !w.phases.is_empty() {
                 out.push_str(",\n      \"phases\": [");
                 for (j, p) in w.phases.iter().enumerate() {
@@ -283,6 +338,9 @@ impl BenchSnapshot {
             if let Some(mix) = w.get("outcomes") {
                 bench.outcomes = Some(OutcomeMix::from_json(mix)?);
             }
+            if let Some(s) = w.get("sampled") {
+                bench.sampled = Some(SampledBench::from_json(s)?);
+            }
             if let Some(phases) = w.get("phases").and_then(Json::as_arr) {
                 for p in phases {
                     bench.phases.push(PhaseBench::from_json(p)?);
@@ -306,6 +364,11 @@ pub struct GateConfig {
     /// name ("BFS/p2") instead of diluted into the whole-run total. A
     /// baseline workload without phase data is an error in this mode.
     pub per_phase: bool,
+    /// Maximum tolerated sampled-vs-exact relative cycle error. Judged on
+    /// any current workload carrying a *checked* [`SampledBench`] record:
+    /// a sampled snapshot whose estimation error exceeds this bound fails
+    /// the gate regardless of how its (estimated) cycles compare.
+    pub max_sampled_cycle_err: f64,
 }
 
 impl Default for GateConfig {
@@ -313,6 +376,7 @@ impl Default for GateConfig {
         GateConfig {
             tolerance: 0.05,
             per_phase: false,
+            max_sampled_cycle_err: 0.05,
         }
     }
 }
@@ -457,6 +521,19 @@ pub fn gate(baseline: &BenchSnapshot, current: &BenchSnapshot, cfg: &GateConfig)
             cur.speedup_aptget,
             false,
         );
+        // A checked sampled record is gated against the absolute error
+        // bound, not against the baseline: an estimate that drifted from
+        // its own exact run is untrustworthy even if it looks fast.
+        if let Some(s) = cur.sampled.filter(|s| s.checked) {
+            report.checks.push(GateCheck {
+                workload: base.workload.clone(),
+                metric: "sampled_cycle_err",
+                baseline: cfg.max_sampled_cycle_err,
+                current: s.cycle_err,
+                regression: s.cycle_err - cfg.max_sampled_cycle_err,
+                failed: s.cycle_err > cfg.max_sampled_cycle_err,
+            });
+        }
         if cfg.per_phase {
             if base.phases.is_empty() {
                 report.errors.push(format!(

@@ -1,0 +1,275 @@
+//! The sampled-simulation driver: alternates functional fast-forward on
+//! the `apt-lir` interpreter with detailed warm-up and measurement on the
+//! `apt-cpu` machine, then reconstructs full-run statistics.
+
+use crate::estimate::{reconstruct, Confidence};
+use crate::{Phase, SampleConfig, SampleError};
+use apt_cpu::{CoreOutcome, Machine, MemImage, PerfStats, SimConfig};
+use apt_lir::eval::RunState;
+use apt_lir::{DecodedModule, Interp, Module};
+use apt_selfprof::prof_scope;
+use apt_timeline::{Timeline, WindowOutcomes, WindowSample};
+use apt_trace::{PcOutcomes, TraceConfig, TraceReport};
+
+/// Outcome of a sampled execution: architecturally exact results
+/// (`rets`, `image`, `exact_instructions`) plus statistically
+/// reconstructed performance estimates (`stats`, `timeline`, `outcomes`)
+/// with a confidence summary.
+pub struct SampledExecution {
+    /// Reconstructed `perf stat` counters. `instructions` is exact; every
+    /// other field is a ratio estimate from the measurement windows.
+    pub stats: PerfStats,
+    /// Return value of each call (architecturally exact).
+    pub rets: Vec<Option<u64>>,
+    /// Final data image (architecturally exact).
+    pub image: MemImage,
+    /// Estimated whole-run timeline: the measured windows rescaled to
+    /// cover the full run. Field-wise, the windows sum exactly to
+    /// [`SampledExecution::stats`].
+    pub timeline: Timeline,
+    /// Estimated whole-run prefetch-outcome mix.
+    pub outcomes: WindowOutcomes,
+    /// The raw (unscaled) measurement windows.
+    pub windows: Vec<WindowSample>,
+    /// Confidence summary over the per-window CPI samples.
+    pub ci: Confidence,
+    /// Exact retired-instruction count (every instruction is executed
+    /// somewhere — functionally or detailed).
+    pub exact_instructions: u64,
+    /// Instructions simulated in detail (warm-up + measured).
+    pub detailed_instructions: u64,
+    /// Instructions inside measurement windows only.
+    pub measured_instructions: u64,
+    /// Instructions executed on the functional interpreter.
+    pub ff_instructions: u64,
+    /// Structured-trace report (empty when tracing is off).
+    pub trace: TraceReport,
+}
+
+impl SampledExecution {
+    /// Fraction of instructions simulated in detail — the knob the ≥5×
+    /// throughput target rides on.
+    pub fn detail_fraction(&self) -> f64 {
+        if self.exact_instructions == 0 {
+            0.0
+        } else {
+            self.detailed_instructions as f64 / self.exact_instructions as f64
+        }
+    }
+}
+
+/// Running Σcycles/Σinstructions over closed measurement windows — the
+/// CPI estimate used to charge fast-forwarded instructions.
+#[derive(Default)]
+struct MeasuredSums {
+    cycles: u64,
+    insts: u64,
+}
+
+impl MeasuredSums {
+    /// Estimated cycles for `steps` fast-forwarded instructions
+    /// (half-rounded `steps · Σc / Σu`; CPI 1 before any window closes).
+    fn est_cycles(&self, steps: u64) -> u64 {
+        if self.insts == 0 {
+            return steps;
+        }
+        let num = steps as u128 * self.cycles as u128 + self.insts as u128 / 2;
+        (num / self.insts as u128) as u64
+    }
+}
+
+/// Executes a call schedule under SMARTS sampling. Architectural results
+/// (returns, memory image) are exact; performance statistics are
+/// reconstructed estimates. The machine runs with LBR/PEBS/timeline
+/// telemetry off — sampled runs are for *measurement*, profiling runs
+/// stay fully detailed — and with structured tracing per `trace`.
+pub fn run_sampled(
+    module: &Module,
+    image: MemImage,
+    calls: &[(String, Vec<u64>)],
+    sim: &SimConfig,
+    sample: &SampleConfig,
+    trace: TraceConfig,
+) -> Result<SampledExecution, SampleError> {
+    prof_scope!("sample/run");
+    let cfg = sample.normalized();
+    let mach_cfg = SimConfig {
+        lbr_sample_period: 0,
+        pebs_period: 0,
+        timeline_window: 0,
+        trace,
+        ..*sim
+    };
+    let mut machine = Machine::new(module, mach_cfg, image);
+    let decoded = DecodedModule::decode(module);
+
+    let mut windows: Vec<WindowSample> = Vec::new();
+    let mut rets = Vec::with_capacity(calls.len());
+    let mut measured = MeasuredSums::default();
+    let mut detailed_instructions = 0u64;
+    let mut ff_instructions = 0u64;
+
+    for (func, args) in calls {
+        let mut st = machine.begin_call(func, args)?;
+        let ret = loop {
+            let pos = machine.stats().instructions;
+            match cfg.phase_at(pos) {
+                Phase::FastForward(budget) => {
+                    prof_scope!("sample/ff");
+                    let regs = std::mem::take(&mut st.regs);
+                    let mut interp = Interp::resume(decoded.func(st.fid()), regs, st.block, 0);
+                    // Beyond the warming horizon the cold stretch runs
+                    // purely architecturally; only the tail of the
+                    // fast-forward (the instructions whose cache residue
+                    // the next detailed phase can actually observe) pays
+                    // for hierarchy warming.
+                    let cold = budget.saturating_sub(cfg.warm_horizon);
+                    let mut state = RunState::Paused;
+                    if cold > 0 {
+                        state = interp.run(&mut machine.image, cold).map_err(|err| {
+                            SampleError::Eval {
+                                func: func.clone(),
+                                err,
+                            }
+                        })?;
+                    }
+                    if state == RunState::Paused && interp.steps() < budget {
+                        let warm = budget - interp.steps();
+                        state = interp.run(&mut machine.warm_mem(), warm).map_err(|err| {
+                            SampleError::Eval {
+                                func: func.clone(),
+                                err,
+                            }
+                        })?;
+                    }
+                    let steps = interp.steps();
+                    machine.skip_ahead(steps, measured.est_cycles(steps));
+                    ff_instructions += steps;
+                    let (regs, block, _) = interp.into_state();
+                    st.regs = regs;
+                    st.block = block;
+                    if let RunState::Done(v) = state {
+                        break v;
+                    }
+                }
+                Phase::Warm(budget) => {
+                    prof_scope!("sample/warm");
+                    let before = machine.stats().instructions;
+                    let out = machine.run_core(&mut st, budget)?;
+                    detailed_instructions += machine.stats().instructions - before;
+                    if let CoreOutcome::Done(v) = out {
+                        break v;
+                    }
+                }
+                Phase::Measure(budget) => {
+                    prof_scope!("sample/measure");
+                    let s0 = machine.stats();
+                    let (occ0, _) = machine.mshr_window_stats();
+                    let o0 = machine.outcome_totals();
+                    let out = machine.run_core(&mut st, budget)?;
+                    let s1 = machine.stats();
+                    let (occ1, peak) = machine.mshr_window_stats();
+                    let o1 = machine.outcome_totals();
+                    detailed_instructions += s1.instructions - s0.instructions;
+                    measured.cycles += s1.cycles - s0.cycles;
+                    measured.insts += s1.instructions - s0.instructions;
+                    windows.push(window_delta(
+                        windows.len() as u64,
+                        &s0,
+                        &s1,
+                        occ1 - occ0,
+                        peak,
+                        &o0,
+                        &o1,
+                    ));
+                    if let CoreOutcome::Done(v) = out {
+                        break v;
+                    }
+                }
+            }
+        };
+        rets.push(ret);
+    }
+
+    // Prefetches still unclassified after the last call finalize as
+    // `useless`, attributed to the last measured window — mirroring the
+    // detailed machine's end-of-run bookkeeping.
+    let pending = machine.settle_outcomes();
+    if pending > 0 {
+        if let Some(last) = windows.last_mut() {
+            last.outcomes.useless += pending;
+        }
+    }
+    let trace_report = machine.take_trace();
+
+    let exact_instructions = machine.stats().instructions;
+    let measured_instructions = measured.insts;
+    let est = reconstruct(exact_instructions, &windows, cfg.z);
+    Ok(SampledExecution {
+        stats: est.stats,
+        rets,
+        image: machine.image,
+        timeline: est.timeline,
+        outcomes: est.outcomes,
+        windows,
+        ci: est.ci,
+        exact_instructions,
+        detailed_instructions,
+        measured_instructions,
+        ff_instructions,
+        trace: trace_report,
+    })
+}
+
+/// One measurement window's counter deltas, in the exact shape the
+/// detailed machine's own telemetry emits (`Machine::close_window`).
+fn window_delta(
+    index: u64,
+    s0: &PerfStats,
+    s1: &PerfStats,
+    mshr_occ: u64,
+    mshr_peak: usize,
+    o0: &PcOutcomes,
+    o1: &PcOutcomes,
+) -> WindowSample {
+    WindowSample {
+        index,
+        start_cycle: s0.cycles,
+        end_cycle: s1.cycles,
+        start_instr: s0.instructions,
+        instructions: s1.instructions - s0.instructions,
+        cycles: s1.cycles - s0.cycles,
+        branches: s1.branches - s0.branches,
+        taken_branches: s1.taken_branches - s0.taken_branches,
+        loads: s1.mem.loads - s0.mem.loads,
+        stores: s1.mem.stores - s0.mem.stores,
+        l1_hits: s1.mem.l1_hits - s0.mem.l1_hits,
+        l2_hits: s1.mem.l2_hits - s0.mem.l2_hits,
+        llc_hits: s1.mem.llc_hits - s0.mem.llc_hits,
+        demand_fills: s1.mem.demand_fills - s0.mem.demand_fills,
+        fb_hits_swpf: s1.mem.fb_hits_swpf - s0.mem.fb_hits_swpf,
+        fb_hits_other: s1.mem.fb_hits_other - s0.mem.fb_hits_other,
+        sw_pf_issued: s1.mem.sw_pf_issued - s0.mem.sw_pf_issued,
+        sw_pf_redundant: s1.mem.sw_pf_redundant - s0.mem.sw_pf_redundant,
+        sw_pf_dropped_full: s1.mem.sw_pf_dropped_full - s0.mem.sw_pf_dropped_full,
+        sw_pf_offcore: s1.mem.sw_pf_offcore - s0.mem.sw_pf_offcore,
+        sw_pf_oncore: s1.mem.sw_pf_oncore - s0.mem.sw_pf_oncore,
+        hw_pf_offcore: s1.mem.hw_pf_offcore - s0.mem.hw_pf_offcore,
+        pf_evicted_unused: s1.mem.pf_evicted_unused - s0.mem.pf_evicted_unused,
+        pf_used: s1.mem.pf_used - s0.mem.pf_used,
+        stall_l2: s1.mem.stall_l2 - s0.mem.stall_l2,
+        stall_llc: s1.mem.stall_llc - s0.mem.stall_llc,
+        stall_dram: s1.mem.stall_dram - s0.mem.stall_dram,
+        mshr_occ_cycles: mshr_occ,
+        mshr_peak: mshr_peak as u64,
+        outcomes: WindowOutcomes {
+            issued: o1.issued - o0.issued,
+            timely: o1.timely - o0.timely,
+            late: o1.late - o0.late,
+            early: o1.early - o0.early,
+            useless: o1.useless - o0.useless,
+            redundant: o1.redundant - o0.redundant,
+            dropped: o1.dropped - o0.dropped,
+        },
+    }
+}

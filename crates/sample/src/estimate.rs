@@ -1,0 +1,318 @@
+//! Whole-run reconstruction from measurement-window samples.
+//!
+//! Every counter is estimated with the SMARTS ratio estimator
+//! `est = round(N · Σcⱼ / Σuⱼ)` where `N` is the exact instruction count,
+//! `uⱼ` the instructions and `cⱼ` the counter delta of window `j` — in
+//! 128-bit integer arithmetic with half-rounding, so estimates are
+//! deterministic and collapse to the exact totals at 100 % coverage.
+//! The per-window scaled values are re-apportioned with cumulative
+//! rounding (largest-remainder style), which conserves the estimated
+//! total exactly regardless of rounding residue.
+
+use apt_cpu::PerfStats;
+use apt_timeline::{Timeline, WindowOutcomes, WindowSample};
+
+/// Confidence summary over the per-window CPI samples (CPI is the
+/// quantity whose variance drives all cycle-derived estimates).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Confidence {
+    /// Number of measurement windows.
+    pub windows: u64,
+    /// Mean per-window CPI.
+    pub mean_cpi: f64,
+    /// Sample standard deviation of per-window CPI.
+    pub cpi_std: f64,
+    /// Relative CI half-width `z·s / (√n · mean)` — the SMARTS error
+    /// bound the accuracy harness checks against.
+    pub rel_half_width: f64,
+}
+
+/// Reconstructed whole-run statistics.
+pub struct Reconstruction {
+    /// Estimated run totals (`instructions` exact).
+    pub stats: PerfStats,
+    /// Measured windows rescaled to cover the whole run; sums exactly to
+    /// `stats` field-wise.
+    pub timeline: Timeline,
+    /// Estimated prefetch-outcome totals (sum of the scaled windows).
+    pub outcomes: WindowOutcomes,
+    /// CPI confidence summary (over the *raw* windows).
+    pub ci: Confidence,
+}
+
+/// Half-rounded ratio estimate `total_u · Σc / Σu` in 128-bit arithmetic.
+fn ratio(total_u: u64, sum_c: u64, sum_u: u64) -> u64 {
+    if sum_u == 0 {
+        return 0;
+    }
+    let num = total_u as u128 * sum_c as u128 + sum_u as u128 / 2;
+    (num / sum_u as u128) as u64
+}
+
+/// Splits `total` across windows proportionally to `values`, with
+/// cumulative rounding: the outputs sum to `total` exactly, each output
+/// is within one unit of its real-valued share, and windows with a zero
+/// measured value get zero.
+fn apportion(total: u64, values: &[u64]) -> Vec<u64> {
+    let sum: u128 = values.iter().map(|&v| v as u128).sum();
+    let mut out = vec![0u64; values.len()];
+    if sum == 0 {
+        return out;
+    }
+    let mut cum = 0u128;
+    let mut prev = 0u64;
+    for (slot, &v) in out.iter_mut().zip(values) {
+        cum += v as u128;
+        let upto = ((cum * total as u128 + sum / 2) / sum) as u64;
+        *slot = upto - prev;
+        prev = upto;
+    }
+    out
+}
+
+/// Reconstructs whole-run statistics from measurement windows. `total_insts`
+/// is the exact retired-instruction count of the full run.
+pub fn reconstruct(total_insts: u64, windows: &[WindowSample], z: f64) -> Reconstruction {
+    let sum_u: u64 = windows.iter().map(|w| w.instructions).sum();
+    if sum_u == 0 {
+        // No measured work (empty call schedule): everything except the
+        // exact instruction count is unknown; report an empty timeline
+        // (window 0 = "sampling off" to downstream conservation checks).
+        let stats = PerfStats {
+            instructions: total_insts,
+            ..PerfStats::default()
+        };
+        return Reconstruction {
+            stats,
+            timeline: Timeline::default(),
+            outcomes: WindowOutcomes::default(),
+            ci: Confidence::default(),
+        };
+    }
+
+    let mut scaled: Vec<WindowSample> = windows.to_vec();
+    macro_rules! scale {
+        ($($field:ident).+) => {{
+            let vals: Vec<u64> = windows.iter().map(|w| w.$($field).+).collect();
+            let total = ratio(total_insts, vals.iter().sum(), sum_u);
+            for (w, v) in scaled.iter_mut().zip(apportion(total, &vals)) {
+                w.$($field).+ = v;
+            }
+        }};
+    }
+    scale!(instructions);
+    scale!(cycles);
+    scale!(branches);
+    scale!(taken_branches);
+    scale!(loads);
+    scale!(stores);
+    scale!(l1_hits);
+    scale!(l2_hits);
+    scale!(llc_hits);
+    scale!(demand_fills);
+    scale!(fb_hits_swpf);
+    scale!(fb_hits_other);
+    scale!(sw_pf_issued);
+    scale!(sw_pf_redundant);
+    scale!(sw_pf_dropped_full);
+    scale!(sw_pf_offcore);
+    scale!(sw_pf_oncore);
+    scale!(hw_pf_offcore);
+    scale!(pf_evicted_unused);
+    scale!(pf_used);
+    scale!(stall_l2);
+    scale!(stall_llc);
+    scale!(stall_dram);
+    scale!(mshr_occ_cycles);
+    scale!(outcomes.issued);
+    scale!(outcomes.timely);
+    scale!(outcomes.late);
+    scale!(outcomes.early);
+    scale!(outcomes.useless);
+    scale!(outcomes.redundant);
+    scale!(outcomes.dropped);
+    // mshr_peak is an extremum, not an extensive quantity: keep the raw
+    // per-window peaks unscaled.
+
+    // Re-anchor the scaled windows on contiguous cumulative axes so they
+    // tile the estimated run the way real telemetry tiles a detailed one.
+    let mut cyc = 0u64;
+    let mut ins = 0u64;
+    for (j, w) in scaled.iter_mut().enumerate() {
+        w.index = j as u64;
+        w.start_cycle = cyc;
+        cyc += w.cycles;
+        w.end_cycle = cyc;
+        w.start_instr = ins;
+        ins += w.instructions;
+    }
+
+    let n = scaled.len() as u64;
+    let timeline = Timeline {
+        window: (cyc / n).max(1),
+        samples: scaled,
+    };
+    let t = timeline.total();
+    let mut stats = PerfStats {
+        instructions: t.instructions,
+        cycles: t.cycles,
+        branches: t.branches,
+        taken_branches: t.taken_branches,
+        ..PerfStats::default()
+    };
+    stats.mem.loads = t.loads;
+    stats.mem.stores = t.stores;
+    stats.mem.l1_hits = t.l1_hits;
+    stats.mem.l2_hits = t.l2_hits;
+    stats.mem.llc_hits = t.llc_hits;
+    stats.mem.demand_fills = t.demand_fills;
+    stats.mem.fb_hits_swpf = t.fb_hits_swpf;
+    stats.mem.fb_hits_other = t.fb_hits_other;
+    stats.mem.sw_pf_issued = t.sw_pf_issued;
+    stats.mem.sw_pf_redundant = t.sw_pf_redundant;
+    stats.mem.sw_pf_dropped_full = t.sw_pf_dropped_full;
+    stats.mem.sw_pf_offcore = t.sw_pf_offcore;
+    stats.mem.sw_pf_oncore = t.sw_pf_oncore;
+    stats.mem.hw_pf_offcore = t.hw_pf_offcore;
+    stats.mem.pf_evicted_unused = t.pf_evicted_unused;
+    stats.mem.pf_used = t.pf_used;
+    stats.mem.stall_l2 = t.stall_l2;
+    stats.mem.stall_llc = t.stall_llc;
+    stats.mem.stall_dram = t.stall_dram;
+
+    Reconstruction {
+        stats,
+        outcomes: t.outcomes,
+        ci: confidence(windows, z),
+        timeline,
+    }
+}
+
+/// CPI mean / spread / relative CI half-width over the raw windows.
+fn confidence(windows: &[WindowSample], z: f64) -> Confidence {
+    let cpis: Vec<f64> = windows
+        .iter()
+        .filter(|w| w.instructions > 0)
+        .map(|w| w.cycles as f64 / w.instructions as f64)
+        .collect();
+    let n = cpis.len();
+    if n == 0 {
+        return Confidence::default();
+    }
+    let mean = cpis.iter().sum::<f64>() / n as f64;
+    let var = if n < 2 {
+        0.0
+    } else {
+        cpis.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / (n - 1) as f64
+    };
+    let std = var.sqrt();
+    let half = if mean > 0.0 && n > 0 {
+        z * std / ((n as f64).sqrt() * mean)
+    } else {
+        0.0
+    };
+    Confidence {
+        windows: n as u64,
+        mean_cpi: mean,
+        cpi_std: std,
+        rel_half_width: half,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn win(instr: u64, cycles: u64, loads: u64) -> WindowSample {
+        WindowSample {
+            instructions: instr,
+            cycles,
+            loads,
+            outcomes: WindowOutcomes {
+                issued: loads / 2,
+                timely: loads / 4,
+                late: loads / 2 - loads / 4,
+                ..WindowOutcomes::default()
+            },
+            ..WindowSample::default()
+        }
+    }
+
+    #[test]
+    fn apportion_conserves_and_bounds_error() {
+        let vals = [3u64, 0, 7, 11, 2];
+        let total = 1000u64;
+        let out = apportion(total, &vals);
+        assert_eq!(out.iter().sum::<u64>(), total);
+        assert_eq!(out[1], 0, "zero measured value gets zero share");
+        let sum: u64 = vals.iter().sum();
+        for (o, v) in out.iter().zip(vals) {
+            let exactly = v as f64 * total as f64 / sum as f64;
+            assert!((*o as f64 - exactly).abs() <= 1.0, "{o} vs {exactly}");
+        }
+    }
+
+    #[test]
+    fn full_coverage_reconstruction_is_exact() {
+        let windows = vec![win(100, 250, 30), win(50, 75, 10), win(25, 100, 20)];
+        let n: u64 = windows.iter().map(|w| w.instructions).sum();
+        let r = reconstruct(n, &windows, 1.96);
+        assert_eq!(r.stats.instructions, 175);
+        assert_eq!(r.stats.cycles, 425);
+        assert_eq!(r.stats.mem.loads, 60);
+        assert_eq!(r.outcomes.issued, 30);
+        // Scaled windows equal the raw windows field-wise.
+        for (s, w) in r.timeline.samples.iter().zip(&windows) {
+            assert_eq!(s.instructions, w.instructions);
+            assert_eq!(s.cycles, w.cycles);
+            assert_eq!(s.loads, w.loads);
+            assert_eq!(s.outcomes, w.outcomes);
+        }
+    }
+
+    #[test]
+    fn estimates_scale_by_coverage_and_conserve() {
+        // 175 measured of 1750 total → everything scales ×10.
+        let windows = vec![win(100, 250, 30), win(50, 75, 10), win(25, 100, 20)];
+        let r = reconstruct(1750, &windows, 1.96);
+        assert_eq!(r.stats.instructions, 1750);
+        assert_eq!(r.stats.cycles, 4250);
+        assert_eq!(r.stats.mem.loads, 600);
+        let t = r.timeline.total();
+        assert_eq!(t.instructions, r.stats.instructions);
+        assert_eq!(t.cycles, r.stats.cycles);
+        assert_eq!(t.loads, r.stats.mem.loads);
+        assert_eq!(t.outcomes, r.outcomes);
+        // Windows tile contiguous cumulative axes.
+        let mut cyc = 0;
+        for (j, w) in r.timeline.samples.iter().enumerate() {
+            assert_eq!(w.index, j as u64);
+            assert_eq!(w.start_cycle, cyc);
+            assert_eq!(w.end_cycle, cyc + w.cycles);
+            cyc = w.end_cycle;
+        }
+    }
+
+    #[test]
+    fn empty_windows_reconstruct_to_bare_instructions() {
+        let r = reconstruct(42, &[], 1.96);
+        assert_eq!(r.stats.instructions, 42);
+        assert_eq!(r.stats.cycles, 0);
+        assert!(r.timeline.is_empty());
+        assert_eq!(r.timeline.window, 0);
+        assert_eq!(r.ci.windows, 0);
+    }
+
+    #[test]
+    fn confidence_tracks_cpi_spread() {
+        let tight = vec![win(100, 200, 0), win(100, 200, 0), win(100, 200, 0)];
+        let r = reconstruct(1000, &tight, 1.96);
+        assert_eq!(r.ci.windows, 3);
+        assert!((r.ci.mean_cpi - 2.0).abs() < 1e-12);
+        assert_eq!(r.ci.rel_half_width, 0.0);
+
+        let loose = vec![win(100, 100, 0), win(100, 300, 0)];
+        let r = reconstruct(1000, &loose, 1.96);
+        assert!(r.ci.rel_half_width > 0.5);
+    }
+}

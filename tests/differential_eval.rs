@@ -11,9 +11,18 @@
 //! one of them mis-executes the IR; historically this class of bug hides
 //! behind workloads whose checkers only inspect part of the output,
 //! which is why the comparison also covers the full image digest.
+//!
+//! The interpreter side deliberately runs *chunked*: the fueled
+//! [`Interp`] pauses every few thousand instructions and is torn down and
+//! rebuilt from its [`Checkpoint`] before continuing — the exact hand-off
+//! the SMARTS sampled driver performs between fast-forward and detailed
+//! simulation. Every workload runs at a small/large scale pair so the
+//! checkpoints are exercised across `MemImage` growth (more pages, wider
+//! index types in play, longer pause chains), and the chunked result is
+//! additionally pinned to the one-shot `run_function` path.
 
 use apt_cpu::{Machine, MemImage, SimConfig};
-use apt_lir::eval::run_function;
+use apt_lir::eval::{run_function, DecodedModule, Interp, RunState};
 use apt_lir::Module;
 use apt_workloads::registry::all_workloads;
 use aptget::{AptGet, PipelineConfig};
@@ -22,26 +31,82 @@ use aptget::{AptGet, PipelineConfig};
 /// anything that would make the suite slow on a hang.
 const STEP_LIMIT: u64 = 200_000_000;
 
-/// Tiny inputs: differential coverage scales with workload count, not
-/// input size.
-const SCALE: f64 = 0.004;
+/// Small/large input pair: differential coverage scales with workload
+/// count, and checkpoint coverage with image size. The large scale is 4×
+/// the small one — enough to grow every workload's `MemImage` footprint
+/// and multiply the pause chain, while keeping the suite fast.
+const SCALES: [(f64, &str); 2] = [(0.004, "small"), (0.016, "large")];
 const SEED: u64 = 42;
 
-/// Runs the call schedule through the interpreter.
+/// Fuel per chunk: forces many checkpoint/resume round-trips per call
+/// without dominating runtime.
+const CHUNK: u64 = 10_000;
+
+/// Runs one call on the fueled interpreter, pausing every [`CHUNK`]
+/// instructions and rebuilding the interpreter from its checkpoint at
+/// every pause (both the `resume` and the `restore` paths must agree).
+fn chunked_call(
+    module: &Module,
+    decoded: &DecodedModule,
+    f: &str,
+    args: &[u64],
+    mem: &mut MemImage,
+) -> Option<u64> {
+    let (fid, _) = module
+        .function_by_name(f)
+        .unwrap_or_else(|| panic!("unknown function {f}"));
+    let code = decoded.func(fid);
+    let mut interp =
+        Interp::new(code, args).unwrap_or_else(|e| panic!("interpreter failed on {f}: {e}"));
+    loop {
+        match interp
+            .run(mem, CHUNK)
+            .unwrap_or_else(|e| panic!("interpreter failed on {f}: {e}"))
+        {
+            RunState::Done(v) => return v,
+            RunState::Paused => {
+                assert!(interp.steps() < STEP_LIMIT, "{f}: runaway interpreter");
+                let cp = interp.checkpoint();
+                // Hand-off as the sampled driver does it: a fresh
+                // interpreter resumed from raw state...
+                let resumed = Interp::resume(code, cp.regs.clone(), cp.block, cp.steps);
+                assert_eq!(resumed.checkpoint(), cp, "{f}: resume() drifts");
+                // ...and the in-place restore path must land on the same
+                // pause.
+                interp.restore(&cp);
+                assert_eq!(interp.checkpoint(), cp, "{f}: restore() drifts");
+                interp = resumed;
+            }
+        }
+    }
+}
+
+/// Runs the call schedule through the chunked interpreter and pins it to
+/// the one-shot `run_function` reference.
 fn interp_run(
     module: &Module,
     image: &MemImage,
     calls: &[(String, Vec<u64>)],
 ) -> (Vec<Option<u64>>, u64) {
+    let decoded = DecodedModule::decode(module);
     let mut mem = image.clone();
-    let rets = calls
+    let rets: Vec<Option<u64>> = calls
+        .iter()
+        .map(|(f, args)| chunked_call(module, &decoded, f, args, &mut mem))
+        .collect();
+    let digest = mem.digest();
+
+    let mut oneshot_mem = image.clone();
+    let oneshot: Vec<Option<u64>> = calls
         .iter()
         .map(|(f, args)| {
-            run_function(module, f, args, &mut mem, STEP_LIMIT)
+            run_function(module, f, args, &mut oneshot_mem, STEP_LIMIT)
                 .unwrap_or_else(|e| panic!("interpreter failed on {f}: {e}"))
         })
         .collect();
-    (rets, mem.digest())
+    assert_eq!(rets, oneshot, "chunked and one-shot interpreters diverge");
+    assert_eq!(digest, oneshot_mem.digest(), "chunked memory diverges");
+    (rets, digest)
 }
 
 /// Runs the call schedule through the cycle-accurate machine.
@@ -82,32 +147,38 @@ fn assert_agree(
 
 #[test]
 fn interpreter_and_machine_agree_on_every_workload() {
-    for spec in all_workloads() {
-        let w = spec.build(SCALE, SEED);
-        assert_agree(&w.name, "unoptimized", &w.module, &w.image, &w.calls);
+    for (scale, tag) in SCALES {
+        for spec in all_workloads() {
+            let w = spec.build(scale, SEED);
+            let variant = format!("unoptimized/{tag}");
+            assert_agree(&w.name, &variant, &w.module, &w.image, &w.calls);
+        }
     }
 }
 
 #[test]
 fn interpreter_and_machine_agree_after_aptget_injection() {
     let cfg = PipelineConfig::default();
-    for spec in all_workloads() {
-        let w = spec.build(SCALE, SEED);
-        let opt = AptGet::new(cfg)
-            .optimize(&w.module, w.image.clone(), &w.calls)
-            .unwrap_or_else(|e| panic!("{}: optimization failed: {e}", w.name));
-        // The optimized module must also satisfy the workload's own
-        // checker under pure architectural execution.
-        let (rets, _) = interp_run(&opt.module, &w.image, &w.calls);
-        let mut mem = w.image.clone();
-        for (f, args) in &w.calls {
-            run_function(&opt.module, f, args, &mut mem, STEP_LIMIT)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-        }
-        (w.check)(&mem, &rets)
-            .unwrap_or_else(|e| panic!("{}: interpreter result wrong: {e}", w.name));
+    for (scale, tag) in SCALES {
+        for spec in all_workloads() {
+            let w = spec.build(scale, SEED);
+            let opt = AptGet::new(cfg)
+                .optimize(&w.module, w.image.clone(), &w.calls)
+                .unwrap_or_else(|e| panic!("{}: optimization failed: {e}", w.name));
+            // The optimized module must also satisfy the workload's own
+            // checker under pure architectural execution.
+            let (rets, _) = interp_run(&opt.module, &w.image, &w.calls);
+            let mut mem = w.image.clone();
+            for (f, args) in &w.calls {
+                run_function(&opt.module, f, args, &mut mem, STEP_LIMIT)
+                    .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            }
+            (w.check)(&mem, &rets)
+                .unwrap_or_else(|e| panic!("{}: interpreter result wrong: {e}", w.name));
 
-        assert_agree(&w.name, "APT-GET", &opt.module, &w.image, &w.calls);
+            let variant = format!("APT-GET/{tag}");
+            assert_agree(&w.name, &variant, &opt.module, &w.image, &w.calls);
+        }
     }
 }
 
@@ -117,22 +188,24 @@ fn injection_preserves_interpreter_semantics() {
     // *interpreter* must produce identical results on the original and
     // the injected module (no machine involved at all).
     let cfg = PipelineConfig::default();
-    for spec in all_workloads() {
-        let w = spec.build(SCALE, SEED);
-        let opt = AptGet::new(cfg)
-            .optimize(&w.module, w.image.clone(), &w.calls)
-            .unwrap_or_else(|e| panic!("{}: optimization failed: {e}", w.name));
-        let (base_rets, base_digest) = interp_run(&w.module, &w.image, &w.calls);
-        let (opt_rets, opt_digest) = interp_run(&opt.module, &w.image, &w.calls);
-        assert_eq!(
-            base_rets, opt_rets,
-            "{}: injection changed return values",
-            w.name
-        );
-        assert_eq!(
-            base_digest, opt_digest,
-            "{}: injection changed memory",
-            w.name
-        );
+    for (scale, _) in SCALES {
+        for spec in all_workloads() {
+            let w = spec.build(scale, SEED);
+            let opt = AptGet::new(cfg)
+                .optimize(&w.module, w.image.clone(), &w.calls)
+                .unwrap_or_else(|e| panic!("{}: optimization failed: {e}", w.name));
+            let (base_rets, base_digest) = interp_run(&w.module, &w.image, &w.calls);
+            let (opt_rets, opt_digest) = interp_run(&opt.module, &w.image, &w.calls);
+            assert_eq!(
+                base_rets, opt_rets,
+                "{}: injection changed return values",
+                w.name
+            );
+            assert_eq!(
+                base_digest, opt_digest,
+                "{}: injection changed memory",
+                w.name
+            );
+        }
     }
 }

@@ -9,7 +9,10 @@
 //! aptgetsim run BFS --trace-out t.json   # + Chrome trace-event JSON
 //! aptgetsim hints BFS [--scale S]        # print the hint file (§3.4 output)
 //! aptgetsim ir BFS [--optimized]         # dump the workload's IR
-//! aptgetsim export BFS [--out FILE]      # profiling run → `perf script` text
+//! aptgetsim export BFS [--out FILE] [--dram-scale N]
+//!                                        # profiling run → `perf script`
+//!                                        #   text; --dram-scale emulates
+//!                                        #   slower memory (drift source)
 //! aptgetsim ingest FILE [--db PATH] [--label STR] [--pc-offset HEX]
 //!                                        # parse a dump into the profile DB
 //! aptgetsim drift [--db PATH] [--fail-threshold TV]
@@ -31,17 +34,37 @@
 //! aptgetsim serve-metrics BFS [--addr HOST:PORT]
 //!                                        # run one workload's matrix and
 //!                                        #   serve /metrics until killed
+//! aptgetsim serve [--addr HOST:PORT] [--db-dir DIR] [--hints-dir DIR]
+//!                 [--reopt-threshold TV] [--epoch-cap N] [--metrics-addr HOST:PORT]
+//!                                        # adaptive reoptimization daemon:
+//!                                        #   ingest uploaded profiles,
+//!                                        #   detect drift, hot-swap hints
+//! aptgetsim upload FILE --tenant NAME [--label STR] [--addr HOST:PORT]
+//!                                        # stream a perf-script dump to a
+//!                                        #   running daemon as one epoch
+//! aptgetsim serve-status --tenant NAME [--addr HOST:PORT]
+//!                                        # a tenant's shard + hint state
+//! aptgetsim rollback --tenant NAME [--hints-dir DIR]
+//!                                        # repoint current.hints to the
+//!                                        #   previous hot-swap generation
 //! aptgetsim campaign [--jobs N] ...      # full comparison matrix in
 //!                                        #   parallel (alias of `apteval`)
 //! ```
+//!
+//! `hints` also accepts `--db PATH` to derive the hint file from a
+//! profile database instead of an in-process profiling run — the same
+//! path the daemon's reoptimizer takes, so the two outputs are
+//! byte-comparable.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use apt_bench::eval::{campaign_cli, run_campaign, CampaignArgs, CampaignConfig};
 use apt_bench::report::render_campaign_report;
 use apt_bench::{compare_variants_traced, fx, pct, AJ_STATIC_DISTANCE};
 use apt_metrics::{gate, BenchSnapshot, GateConfig, MetricsServer, Registry};
 use apt_profile::hintfile;
+use apt_serve::{Client, Daemon, FnReoptimizer, HintSwapper, ServeConfig};
 use apt_workloads::registry::{all_workloads, by_name};
 use aptget::{
     chrome_trace_json, detect_drift, execute, format_explain, parse_file, AggregateProfile, AptGet,
@@ -73,8 +96,22 @@ struct Args {
     tolerance: Option<f64>,
     /// `bench-gate`: also gate each detected execution phase.
     phases: bool,
-    /// `serve-metrics`: bind address.
+    /// `serve-metrics`/`serve`/`upload`/`serve-status`: bind or dial address.
     addr: Option<String>,
+    /// `serve`: per-tenant shard directory.
+    db_dir: Option<String>,
+    /// `serve`/`rollback`: hint hot-swap directory.
+    hints_dir: Option<String>,
+    /// `upload`/`serve-status`/`rollback`: tenant (= workload) name.
+    tenant: Option<String>,
+    /// `serve`: drift threshold that triggers reoptimization.
+    reopt_threshold: Option<f64>,
+    /// `serve`: epochs kept per shard (0 = unlimited).
+    epoch_cap: Option<usize>,
+    /// `serve`: optional /metrics scrape address.
+    metrics_addr: Option<String>,
+    /// `export`: DRAM-latency multiplier (emulates a machine move).
+    dram_scale: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -97,6 +134,13 @@ fn parse_args() -> Result<Args, String> {
         tolerance: None,
         phases: false,
         addr: None,
+        db_dir: None,
+        hints_dir: None,
+        tenant: None,
+        reopt_threshold: None,
+        epoch_cap: None,
+        metrics_addr: None,
+        dram_scale: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -158,6 +202,42 @@ fn parse_args() -> Result<Args, String> {
             "--addr" => {
                 out.addr = Some(args.next().ok_or("--addr needs HOST:PORT")?);
             }
+            "--db-dir" => {
+                out.db_dir = Some(args.next().ok_or("--db-dir needs a directory")?);
+            }
+            "--hints-dir" => {
+                out.hints_dir = Some(args.next().ok_or("--hints-dir needs a directory")?);
+            }
+            "--tenant" => {
+                out.tenant = Some(args.next().ok_or("--tenant needs a name")?);
+            }
+            "--reopt-threshold" => {
+                out.reopt_threshold = Some(
+                    args.next()
+                        .ok_or("--reopt-threshold needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --reopt-threshold: {e}"))?,
+                );
+            }
+            "--epoch-cap" => {
+                out.epoch_cap = Some(
+                    args.next()
+                        .ok_or("--epoch-cap needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --epoch-cap: {e}"))?,
+                );
+            }
+            "--metrics-addr" => {
+                out.metrics_addr = Some(args.next().ok_or("--metrics-addr needs HOST:PORT")?);
+            }
+            "--dram-scale" => {
+                out.dram_scale = Some(
+                    args.next()
+                        .ok_or("--dram-scale needs a multiplier")?
+                        .parse()
+                        .map_err(|e| format!("bad --dram-scale: {e}"))?,
+                );
+            }
             w if out.workload.is_none() && !w.starts_with('-') => {
                 out.workload = Some(w.to_string());
             }
@@ -193,7 +273,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n");
-            eprintln!("usage: aptgetsim <list|run|hints|ir|export|ingest|drift|bench-gate|perf-history|report|serve-metrics|campaign> [WORKLOAD|FILE|DIR] [--scale S] [--seed N] [--optimized] [--explain] [--trace-out PATH] [--out PATH] [--db PATH] [--label STR] [--pc-offset HEX] [--fail-threshold TV] [--baseline PATH] [--tolerance T] [--phases] [--addr HOST:PORT]");
+            eprintln!("usage: aptgetsim <list|run|hints|ir|export|ingest|drift|bench-gate|perf-history|report|serve-metrics|serve|upload|serve-status|rollback|campaign> [WORKLOAD|FILE|DIR] [--scale S] [--seed N] [--optimized] [--explain] [--trace-out PATH] [--out PATH] [--db PATH] [--label STR] [--pc-offset HEX] [--fail-threshold TV] [--baseline PATH] [--tolerance T] [--phases] [--addr HOST:PORT] [--db-dir DIR] [--hints-dir DIR] [--tenant NAME] [--reopt-threshold TV] [--epoch-cap N] [--metrics-addr HOST:PORT] [--dram-scale N]");
             return ExitCode::FAILURE;
         }
     };
@@ -216,7 +296,10 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             };
             let w = spec.build(args.scale, args.seed);
-            let cfg = PipelineConfig::default();
+            let mut cfg = PipelineConfig::default();
+            if let Some(s) = args.dram_scale {
+                cfg.profile_sim.mem.dram_latency *= s;
+            }
             let exec = match execute(&w.module, w.image, &w.calls, &cfg.profile_sim) {
                 Ok(e) => e,
                 Err(e) => {
@@ -468,6 +551,149 @@ fn main() -> ExitCode {
                 std::thread::sleep(std::time::Duration::from_secs(3600));
             }
         }
+        "serve" => {
+            let addr = args.addr.as_deref().unwrap_or("127.0.0.1:9185");
+            let db_dir = args.db_dir.clone().unwrap_or_else(|| "serve-db".into());
+            let hints_dir = args
+                .hints_dir
+                .clone()
+                .unwrap_or_else(|| "serve-hints".into());
+            let registry = Registry::new();
+            let mut cfg = ServeConfig::new(addr, &db_dir, &hints_dir);
+            cfg.registry = registry.clone();
+            if let Some(t) = args.reopt_threshold {
+                cfg.reopt_threshold = t;
+            }
+            if let Some(c) = args.epoch_cap {
+                cfg.epoch_cap = c;
+            }
+            // Tenants are workload names: reoptimization rebuilds the
+            // tenant's module (same scale/seed as `hints --db`) and runs
+            // the shard's merged history through `optimize_from_db` —
+            // the daemon and the offline verb can never disagree.
+            let (scale, seed) = (args.scale, args.seed);
+            let reopt = Arc::new(FnReoptimizer(move |tenant: &str, db: &ProfileDb| {
+                let spec = by_name(tenant)
+                    .ok_or_else(|| format!("tenant `{tenant}` is not a registered workload"))?;
+                let w = spec.build(scale, seed);
+                let opt = AptGet::new(PipelineConfig::default()).optimize_from_db(&w.module, db);
+                Ok(hintfile::serialize_hints(&opt.analysis.hints).into_bytes())
+            }));
+            let _metrics_server = match &args.metrics_addr {
+                Some(maddr) => match MetricsServer::bind(maddr.as_str(), registry) {
+                    Ok(s) => {
+                        println!("metrics on http://{}/metrics", s.addr());
+                        Some(s)
+                    }
+                    Err(e) => {
+                        eprintln!("error: could not bind metrics on {maddr}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => None,
+            };
+            let daemon = match Daemon::start(cfg, reopt) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("error: could not bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "apt-serve listening on {} (shards in {db_dir}, hints in {hints_dir}; \
+                 Ctrl-C to stop)",
+                daemon.addr()
+            );
+            // The process is the daemon; uploads arrive on its threads.
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        "upload" => {
+            let Some(file) = args.workload.as_deref() else {
+                eprintln!("error: `upload` needs a perf-script file");
+                return ExitCode::FAILURE;
+            };
+            let Some(tenant) = args.tenant.as_deref() else {
+                eprintln!("error: `upload` needs --tenant NAME");
+                return ExitCode::FAILURE;
+            };
+            let addr = args.addr.as_deref().unwrap_or("127.0.0.1:9185");
+            let label = args.label.clone().unwrap_or_else(|| {
+                std::path::Path::new(file)
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| file.to_string())
+            });
+            let reply = Client::connect(addr).and_then(|mut c| c.upload_file(tenant, &label, file));
+            match reply {
+                Ok(r) => {
+                    println!("{}", r.message);
+                    match r.generation {
+                        Some(g) => println!(
+                            "reoptimized: hint generation {g} hot-swapped \
+                             (max TV {:.4})",
+                            r.max_tv
+                        ),
+                        None => println!("no reoptimization (max TV {:.4})", r.max_tv),
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "serve-status" => {
+            let Some(tenant) = args.tenant.as_deref() else {
+                eprintln!("error: `serve-status` needs --tenant NAME");
+                return ExitCode::FAILURE;
+            };
+            let addr = args.addr.as_deref().unwrap_or("127.0.0.1:9185");
+            match Client::connect(addr).and_then(|mut c| c.status(tenant)) {
+                Ok(report) => {
+                    print!("{report}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "rollback" => {
+            let Some(tenant) = args.tenant.as_deref() else {
+                eprintln!("error: `rollback` needs --tenant NAME");
+                return ExitCode::FAILURE;
+            };
+            let hints_dir = args
+                .hints_dir
+                .clone()
+                .unwrap_or_else(|| "serve-hints".into());
+            let dir = std::path::Path::new(&hints_dir).join(tenant);
+            let swapper = match HintSwapper::open(&dir) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: could not open {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            match swapper.rollback("operator rollback via aptgetsim") {
+                Ok(Some(gen)) => {
+                    println!("rolled back {tenant} to hint generation {gen}");
+                    ExitCode::SUCCESS
+                }
+                Ok(None) => {
+                    eprintln!("error: {tenant} has no previous generation to roll back to");
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         "run" | "hints" | "ir" => {
             let Some(name) = args.workload.as_deref() else {
                 eprintln!("error: `{}` needs a workload name", args.command);
@@ -536,6 +762,20 @@ fn main() -> ExitCode {
                 }
                 "hints" => {
                     let apt = AptGet::new(cfg);
+                    // With --db, derive from recorded profile history —
+                    // the exact computation the serve daemon runs, so
+                    // the output is byte-comparable to a hot-swapped
+                    // `current.hints`.
+                    if let Some(db_path) = &args.db {
+                        let db = ProfileDb::load_or_empty(db_path);
+                        if db.epochs.is_empty() {
+                            eprintln!("error: {db_path} has no epochs");
+                            return ExitCode::FAILURE;
+                        }
+                        let opt = apt.optimize_from_db(&w.module, &db);
+                        print!("{}", hintfile::serialize_hints(&opt.analysis.hints));
+                        return ExitCode::SUCCESS;
+                    }
                     match apt.optimize(&w.module, w.image.clone(), &w.calls) {
                         Ok(opt) => {
                             print!("{}", hintfile::serialize_hints(&opt.analysis.hints));

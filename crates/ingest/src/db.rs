@@ -90,6 +90,51 @@ impl ProfileDb {
             .unwrap_or_default()
     }
 
+    /// Opens a database for read-write use: removes orphaned temp files a
+    /// crashed writer left behind, then loads. Because [`ProfileDb::save`]
+    /// goes through temp-file + rename, a crash mid-write can only orphan
+    /// a `<stem>.tmp.<pid>` sibling — the database file itself is either
+    /// the old bytes or the new bytes, never torn. Only call this from a
+    /// path that owns writes to `path` (a concurrent *live* writer's temp
+    /// file would be swept too, failing that writer's rename).
+    pub fn open(path: impl AsRef<Path>) -> ProfileDb {
+        ProfileDb::cleanup_orphans(&path);
+        ProfileDb::load_or_empty(path)
+    }
+
+    /// Removes `<stem>.tmp.<pid>` siblings of `path` (the temp names
+    /// [`ProfileDb::save`] writes through) and returns how many were
+    /// removed.
+    pub fn cleanup_orphans(path: impl AsRef<Path>) -> usize {
+        let path = path.as_ref();
+        let Some(stem) = path.file_stem() else {
+            return 0;
+        };
+        let dir = match path.parent() {
+            Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+            _ => PathBuf::from("."),
+        };
+        let prefix = format!("{}.tmp.", stem.to_string_lossy());
+        let Ok(entries) = fs::read_dir(&dir) else {
+            return 0;
+        };
+        let mut removed = 0;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let Some(pid) = name.strip_prefix(&prefix) else {
+                continue;
+            };
+            if !pid.is_empty()
+                && pid.bytes().all(|b| b.is_ascii_digit())
+                && fs::remove_file(entry.path()).is_ok()
+            {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
     /// Exports database-shape gauges (epoch count, merged sample volume)
     /// into `registry`.
     pub fn export_metrics(&self, registry: &apt_metrics::Registry, labels: &[(&str, &str)]) {
@@ -357,6 +402,59 @@ mod tests {
 
         fs::write(&path, b"garbage").unwrap();
         assert_eq!(ProfileDb::load_or_empty(&path), ProfileDb::new());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_sweeps_orphaned_temp_files_and_keeps_the_shard() {
+        let dir = std::env::temp_dir().join(format!("apt-db-orphans-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profiles.aptdb");
+        let db = sample_db();
+        db.save(&path).expect("saves");
+
+        // A writer that died between `fs::write` and `fs::rename` leaves
+        // a partial temp file; a sibling database must survive it.
+        let orphan = dir.join("profiles.tmp.99991");
+        fs::write(&orphan, &encode(&db)[..20]).unwrap();
+        // Unrelated files — including other databases and non-numeric
+        // suffixes — are never touched.
+        let other_db = dir.join("other.aptdb");
+        fs::write(&other_db, b"keep").unwrap();
+        let odd = dir.join("profiles.tmp.notapid");
+        fs::write(&odd, b"keep").unwrap();
+
+        assert_eq!(ProfileDb::open(&path), db);
+        assert!(!orphan.exists(), "orphan temp file must be removed");
+        assert!(other_db.exists());
+        assert!(odd.exists());
+        // A second open is a no-op.
+        assert_eq!(ProfileDb::cleanup_orphans(&path), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_never_corrupts_an_existing_shard() {
+        let dir = std::env::temp_dir().join(format!("apt-db-torn-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shard.aptdb");
+        let committed = sample_db();
+        committed.save(&path).expect("saves");
+
+        // Simulate a crash at every byte of a later write: the temp file
+        // holds an arbitrary prefix of the new bytes, the rename never
+        // happened. Opening must always yield the committed database.
+        let mut bigger = committed.clone();
+        bigger.push_epoch("run-c", bigger.epochs[0].agg.clone());
+        let new_bytes = encode(&bigger);
+        for cut in [0, 1, 8, new_bytes.len() / 2, new_bytes.len() - 1] {
+            let tmp = dir.join("shard.tmp.4242");
+            fs::write(&tmp, &new_bytes[..cut]).unwrap();
+            assert_eq!(ProfileDb::open(&path), committed, "cut at {cut}");
+            assert!(!tmp.exists());
+        }
         let _ = fs::remove_dir_all(&dir);
     }
 

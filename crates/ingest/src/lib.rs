@@ -41,5 +41,5 @@ pub use aggregate::{AggregateProfile, TripAgg};
 pub use analyze::analyze_aggregate;
 pub use db::{Epoch, ProfileDb};
 pub use drift::{detect_drift, BranchDrift, DriftConfig, DriftReport, LoadDrift};
-pub use parser::{parse_file, parse_str, IngestError, Ingested, ParseError};
+pub use parser::{parse_file, parse_reader, parse_str, IngestError, Ingested, ParseError};
 pub use remap::{IdentityRemap, OffsetRemap, PcRemapper, TableRemap};

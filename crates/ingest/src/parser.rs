@@ -29,6 +29,7 @@
 //! analysis layer expects.
 
 use std::fmt;
+use std::io::BufRead;
 use std::path::Path;
 
 use apt_cpu::{LbrEntry, PebsRecord, PerfStats, ProfileData};
@@ -179,25 +180,50 @@ impl Cursor<'_> {
 
 /// Parses a whole dump. See the module docs for the accepted grammar.
 pub fn parse_str(text: &str, remap: &dyn PcRemapper) -> Result<Ingested, ParseError> {
+    match parse_reader(text.as_bytes(), remap) {
+        Ok(out) => Ok(out),
+        Err(IngestError::Parse(e)) => Err(e),
+        // Reading from an in-memory `&[u8]` of valid UTF-8 cannot fail.
+        Err(IngestError::Io(e)) => unreachable!("in-memory read failed: {e}"),
+    }
+}
+
+/// Parses a dump incrementally from any [`BufRead`] source — a socket, a
+/// pipe, a file — one line at a time, without materialising the whole
+/// text in memory. Errors carry the same 1-based line number and byte
+/// offset as [`parse_str`]; the two paths are line-for-line equivalent.
+pub fn parse_reader<R: BufRead>(
+    mut reader: R,
+    remap: &dyn PcRemapper,
+) -> Result<Ingested, IngestError> {
     apt_selfprof::prof_scope!("ingest/parse");
     let mut out = Ingested::default();
+    let mut buf = String::new();
+    let mut line = 0usize;
     let mut offset = 0usize;
-    for (i, raw_line) in text.split('\n').enumerate() {
+    loop {
+        buf.clear();
+        let n = reader.read_line(&mut buf).map_err(IngestError::Io)?;
+        if n == 0 {
+            break;
+        }
+        line += 1;
+        let text = buf.strip_suffix('\n').unwrap_or(&buf);
         let cur = Cursor {
-            line: i + 1,
+            line,
             byte_offset: offset,
-            text: raw_line.trim_end_matches('\r'),
+            text: text.trim_end_matches('\r'),
         };
-        offset += raw_line.len() + 1;
+        offset += n;
         parse_line(&cur, remap, &mut out)?;
     }
     Ok(out)
 }
 
-/// Reads and parses a dump file.
+/// Reads and parses a dump file through the streaming path.
 pub fn parse_file(path: impl AsRef<Path>, remap: &dyn PcRemapper) -> Result<Ingested, IngestError> {
-    let text = std::fs::read_to_string(path).map_err(IngestError::Io)?;
-    Ok(parse_str(&text, remap)?)
+    let file = std::fs::File::open(path).map_err(IngestError::Io)?;
+    parse_reader(std::io::BufReader::new(file), remap)
 }
 
 fn parse_line(
@@ -557,6 +583,102 @@ aptgetsim 0 [000] 0.000200: cpu/mem-loads,ldlat=30/P: 0x24 weight: 120 lvl: RAM
         assert_eq!(parse_level("N/A", 12), Level::L2);
         assert_eq!(parse_level("N/A", 3), Level::L1);
         assert_eq!(parse_level("LFB", 250), Level::Dram);
+    }
+
+    /// A [`BufRead`] that hands out one byte per `fill_buf` call: the
+    /// worst-case chunking a socket could produce.
+    struct TrickleReader<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl std::io::Read for TrickleReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.bytes.len() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.bytes[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    impl BufRead for TrickleReader<'_> {
+        fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+            Ok(&self.bytes[self.pos..(self.pos + 1).min(self.bytes.len())])
+        }
+        fn consume(&mut self, amt: usize) {
+            self.pos += amt;
+        }
+    }
+
+    #[test]
+    fn streaming_path_matches_parse_str() {
+        let text = format!(
+            "{CLEAN}swapper     0 [001]     0.000200: cycles: ffffffff81000000 [unknown]\r\n\
+             aptgetsim 0 [000] 0.000250: cpu/branch-stack/: 0x88/0x80/7 0x88/0x80/-\n"
+        );
+        let whole = parse_str(&text, &IdentityRemap).expect("parses");
+        let trickled = parse_reader(
+            TrickleReader {
+                bytes: text.as_bytes(),
+                pos: 0,
+            },
+            &IdentityRemap,
+        )
+        .expect("streams");
+        assert_eq!(trickled.events, whole.events);
+        assert_eq!(trickled.skipped_unknown, whole.skipped_unknown);
+        assert_eq!(trickled.profile.pebs, whole.profile.pebs);
+        assert_eq!(trickled.profile.lbr_samples, whole.profile.lbr_samples);
+        assert_eq!(trickled.stats, whole.stats);
+    }
+
+    #[test]
+    fn streaming_errors_keep_line_and_byte_offsets() {
+        let text = format!("{CLEAN}aptgetsim 0 [000] 0.000200: cpu/branch-stack/: 0x88/0x80\n");
+        let whole = parse_str(&text, &IdentityRemap).unwrap_err();
+        let streamed = match parse_reader(
+            TrickleReader {
+                bytes: text.as_bytes(),
+                pos: 0,
+            },
+            &IdentityRemap,
+        ) {
+            Err(IngestError::Parse(e)) => e,
+            other => panic!("expected a parse error, got {other:?}"),
+        };
+        assert_eq!(streamed, whole);
+        assert_eq!(streamed.line, 5);
+        assert_eq!(streamed.byte_offset, CLEAN.len());
+    }
+
+    #[test]
+    fn streaming_surfaces_io_errors() {
+        struct FailingReader;
+        impl std::io::Read for FailingReader {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionReset,
+                    "peer gone",
+                ))
+            }
+        }
+        impl BufRead for FailingReader {
+            fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionReset,
+                    "peer gone",
+                ))
+            }
+            fn consume(&mut self, _: usize) {}
+        }
+        match parse_reader(FailingReader, &IdentityRemap) {
+            Err(IngestError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset);
+            }
+            other => panic!("expected an I/O error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,471 @@
+//! The single-writer committer: batches concurrent uploads into one
+//! shard write per tenant, then runs drift detection and (when the
+//! shard has moved) hint reoptimization on the post-commit state.
+//!
+//! Connection handlers parse uploads concurrently but never touch disk;
+//! they hand finished [`Job`]s to one committer thread over an mpsc
+//! channel. The committer drains whatever has queued up, groups it by
+//! tenant, and commits each tenant's epochs with a *single* shard
+//! load+save — under concurrent upload bursts the write amplification
+//! drops from one save per upload to one save per tenant per batch.
+//! Single-writer also makes [`ShardStore::open`]'s orphan sweep safe:
+//! no other thread ever has a temp file in flight.
+//!
+//! Every decision the committer makes is a function of the *post-commit
+//! shard*, never of arrival order:
+//!
+//! * drift compares the shard's canonically-newest epoch (highest
+//!   label) against the merge of the rest;
+//! * hints are re-derived from the whole shard when drift crosses the
+//!   reoptimize threshold, and *refreshed* (swapped only if the bytes
+//!   changed) on later commits once a generation exists — so once any
+//!   swap has happened, `current.hints` always equals the offline
+//!   [`Reoptimizer`] output for the shard as it stands.
+
+use std::collections::{BTreeMap, HashSet};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::Instant;
+
+use apt_ingest::{detect_drift, AggregateProfile, DriftConfig, Epoch, ProfileDb};
+
+use crate::metrics::ServeMetrics;
+use crate::shard::ShardStore;
+use crate::swap::HintSwapper;
+
+/// Derives hint-file bytes for a tenant from its shard. The daemon is
+/// workload-agnostic; the embedder supplies the actual optimize path
+/// (the CLI wires `optimize_from_db` + `serialize_hints` here).
+pub trait Reoptimizer: Send + Sync {
+    /// Returns the serialized hint file, or a reason hints cannot be
+    /// derived (the current generation then stays in place).
+    fn reoptimize(&self, tenant: &str, db: &ProfileDb) -> Result<Vec<u8>, String>;
+}
+
+/// Adapts a closure into a [`Reoptimizer`].
+pub struct FnReoptimizer<F>(pub F);
+
+impl<F> Reoptimizer for FnReoptimizer<F>
+where
+    F: Fn(&str, &ProfileDb) -> Result<Vec<u8>, String> + Send + Sync,
+{
+    fn reoptimize(&self, tenant: &str, db: &ProfileDb) -> Result<Vec<u8>, String> {
+        (self.0)(tenant, db)
+    }
+}
+
+/// One parsed upload, ready to commit.
+pub struct Job {
+    pub tenant: String,
+    pub label: String,
+    pub agg: AggregateProfile,
+    /// Profile events parsed from the body (echoed in the reply).
+    pub events: u64,
+    /// When the frame arrived (ingest-latency histogram).
+    pub received: Instant,
+    /// Where the per-job verdict goes.
+    pub reply: Sender<Result<Accepted, String>>,
+}
+
+/// A committed upload's verdict.
+#[derive(Debug, Clone)]
+pub struct Accepted {
+    /// Epochs in the tenant's shard after the commit.
+    pub shard_epochs: u64,
+    /// Whether the post-commit drift crossed the reoptimize threshold.
+    pub drifted: bool,
+    /// Largest per-branch TV distance of the post-commit drift report.
+    pub max_tv: f64,
+    /// Active hint generation after the commit, if any swap has
+    /// happened for this tenant.
+    pub generation: Option<u64>,
+}
+
+/// The committer's configuration and long-lived state.
+pub struct Committer {
+    pub store: ShardStore,
+    pub hints_dir: PathBuf,
+    pub drift: DriftConfig,
+    /// `DriftReport::exceeds` threshold that triggers reoptimization.
+    pub reopt_threshold: f64,
+    /// Epochs kept per shard (0 = unlimited).
+    pub epoch_cap: usize,
+    pub metrics: ServeMetrics,
+    pub reopt: Arc<dyn Reoptimizer>,
+}
+
+impl Committer {
+    /// Drains the job channel until every sender hangs up: one blocking
+    /// `recv`, then everything already queued, forms one batch.
+    pub fn run(&self, jobs: &Receiver<Job>) {
+        while let Ok(first) = jobs.recv() {
+            let mut batch = vec![first];
+            while let Ok(job) = jobs.try_recv() {
+                batch.push(job);
+            }
+            self.commit_batch(batch);
+        }
+    }
+
+    /// Commits one batch: group by tenant, one shard write per tenant,
+    /// then drift + reoptimization on each post-commit shard.
+    pub fn commit_batch(&self, batch: Vec<Job>) {
+        apt_selfprof::prof_scope!("serve/commit_batch");
+        self.metrics.batches.inc();
+        let mut by_tenant: BTreeMap<String, Vec<Job>> = BTreeMap::new();
+        for job in batch {
+            by_tenant.entry(job.tenant.clone()).or_default().push(job);
+        }
+        for (tenant, jobs) in by_tenant {
+            self.commit_tenant(&tenant, jobs);
+        }
+    }
+
+    fn commit_tenant(&self, tenant: &str, jobs: Vec<Job>) {
+        let epochs: Vec<Epoch> = jobs
+            .iter()
+            .map(|j| Epoch {
+                label: j.label.clone(),
+                agg: j.agg.clone(),
+            })
+            .collect();
+        let outcome = match self.store.apply(tenant, epochs, self.epoch_cap) {
+            Ok(o) => o,
+            Err(e) => {
+                self.metrics.errors.add(jobs.len() as u64);
+                let msg = format!("shard write failed: {e}");
+                for job in jobs {
+                    let _ = job.reply.send(Err(msg.clone()));
+                    self.observe_latency(&job);
+                }
+                return;
+            }
+        };
+        self.metrics
+            .epochs_ingested(tenant)
+            .add(outcome.accepted.len() as u64);
+        self.metrics
+            .epochs_rejected(tenant)
+            .add(outcome.rejected.len() as u64);
+        self.metrics
+            .epochs_evicted(tenant)
+            .add(outcome.evicted.len() as u64);
+
+        let verdict = self.reoptimize_if_moved(tenant, &outcome.db);
+
+        let mut unclaimed: HashSet<&str> = outcome.accepted.iter().map(|s| s.as_str()).collect();
+        for job in jobs {
+            let result = if unclaimed.remove(job.label.as_str()) {
+                Ok(Accepted {
+                    shard_epochs: outcome.db.epochs.len() as u64,
+                    drifted: verdict.drifted,
+                    max_tv: verdict.max_tv,
+                    generation: verdict.generation,
+                })
+            } else {
+                self.metrics.errors.inc();
+                let reason = outcome
+                    .rejected
+                    .iter()
+                    .find(|(l, _)| *l == job.label)
+                    .map(|(_, r)| r.clone())
+                    .unwrap_or_else(|| "epoch not committed".to_string());
+                Err(reason)
+            };
+            let _ = job.reply.send(result);
+            self.observe_latency(&job);
+        }
+    }
+
+    fn observe_latency(&self, job: &Job) {
+        self.metrics
+            .ingest_latency_us
+            .observe(job.received.elapsed().as_micros() as u64);
+    }
+
+    /// Post-commit drift detection + hint reoptimization for one shard.
+    fn reoptimize_if_moved(&self, tenant: &str, db: &ProfileDb) -> Verdict {
+        let mut verdict = Verdict::default();
+        let swapper = match HintSwapper::open(self.hints_dir.join(tenant)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("serve: hint dir for `{tenant}` unavailable: {e}");
+                self.metrics.errors.inc();
+                return verdict;
+            }
+        };
+        verdict.generation = swapper.current_generation();
+
+        let mut report_text = None;
+        if db.epochs.len() >= 2 {
+            let newest = db.epochs.last().expect("non-empty");
+            let report = detect_drift(
+                &db.baseline(),
+                &newest.agg,
+                &newest.label,
+                db.epochs.len() - 1,
+                &self.drift,
+            );
+            verdict.drifted = report.exceeds(self.reopt_threshold);
+            verdict.max_tv = report.max_tv_distance();
+            report_text = Some(report.render());
+        }
+        if verdict.drifted {
+            self.metrics.drift_exceeded(tenant).inc();
+        }
+
+        // Derive on drift, or refresh an existing generation so
+        // `current.hints` tracks the shard. Swap only when the bytes
+        // actually change (first drift always changes: no file yet).
+        if verdict.drifted || verdict.generation.is_some() {
+            match self.reopt.reoptimize(tenant, db) {
+                Ok(bytes) => {
+                    let unchanged = fs::read(swapper.current_hints_path())
+                        .map(|cur| cur == bytes)
+                        .unwrap_or(false);
+                    if !unchanged {
+                        let note = if verdict.drifted {
+                            format!("drift max_tv={:.4}", verdict.max_tv)
+                        } else {
+                            "refresh".to_string()
+                        };
+                        match swapper.swap_in(&bytes, &note) {
+                            Ok(gen) => {
+                                verdict.generation = Some(gen);
+                                self.metrics.reoptimize(tenant).inc();
+                            }
+                            Err(e) => {
+                                eprintln!("serve: hint swap for `{tenant}` failed: {e}");
+                                self.metrics.errors.inc();
+                            }
+                        }
+                    }
+                }
+                Err(reason) => {
+                    eprintln!("serve: reoptimize for `{tenant}` failed: {reason}");
+                    self.metrics.errors.inc();
+                }
+            }
+        }
+        if let Some(text) = report_text {
+            if verdict.generation.is_some() || verdict.drifted {
+                if let Err(e) = swapper.write_sidecar("drift.txt", &text) {
+                    eprintln!("serve: drift sidecar for `{tenant}` failed: {e}");
+                }
+            }
+        }
+        verdict
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Verdict {
+    drifted: bool,
+    max_tv: f64,
+    generation: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_metrics::Registry;
+    use std::sync::mpsc;
+
+    /// An aggregate with one loop branch whose iteration latencies
+    /// cluster tightly around `center` — enough observations to clear
+    /// `DriftConfig::min_observations`.
+    fn agg(center: u64) -> AggregateProfile {
+        let mut a = AggregateProfile {
+            instructions: 1_000_000,
+            cycles: 2_000_000,
+            ..AggregateProfile::default()
+        };
+        let sketch = a.iter_lat.entry(0x400100).or_default();
+        for i in 0..32u64 {
+            sketch.record(center + (i % 5));
+        }
+        a.pc_misses.insert(0x400200, [0, 0, 0, 64]);
+        a
+    }
+
+    fn committer(tag: &str) -> (Committer, PathBuf) {
+        let root = std::env::temp_dir().join(format!("apt-batch-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let c = Committer {
+            store: ShardStore::open(root.join("db")).unwrap(),
+            hints_dir: root.join("hints"),
+            drift: DriftConfig::default(),
+            reopt_threshold: 0.35,
+            epoch_cap: 0,
+            metrics: ServeMetrics::new(&Registry::new()),
+            reopt: Arc::new(FnReoptimizer(|tenant: &str, db: &ProfileDb| {
+                Ok(format!("hints for {tenant}: {} epochs\n", db.epochs.len()).into_bytes())
+            })),
+        };
+        (c, root)
+    }
+
+    fn job(
+        tenant: &str,
+        label: &str,
+        center: u64,
+    ) -> (Job, mpsc::Receiver<Result<Accepted, String>>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Job {
+                tenant: tenant.to_string(),
+                label: label.to_string(),
+                agg: agg(center),
+                events: 1,
+                received: Instant::now(),
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn similar_epochs_commit_without_reoptimizing() {
+        let (c, root) = committer("calm");
+        let (j1, r1) = job("t", "e1", 100);
+        let (j2, r2) = job("t", "e2", 100);
+        c.commit_batch(vec![j1]);
+        c.commit_batch(vec![j2]);
+        assert!(!r1.recv().unwrap().unwrap().drifted);
+        let a2 = r2.recv().unwrap().unwrap();
+        assert!(!a2.drifted, "identical distributions must not drift");
+        assert_eq!(a2.shard_epochs, 2);
+        assert_eq!(a2.generation, None);
+        assert!(!root.join("hints/t/current.hints").exists());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn drifted_epoch_triggers_hot_swap() {
+        let (c, root) = committer("drift");
+        let (j1, r1) = job("t", "e1", 100);
+        c.commit_batch(vec![j1]);
+        r1.recv().unwrap().unwrap();
+
+        // A far-away latency center: TV distance ≈ 1 → reoptimize.
+        let (j2, r2) = job("t", "e2", 400);
+        c.commit_batch(vec![j2]);
+        let a2 = r2.recv().unwrap().unwrap();
+        assert!(a2.drifted);
+        assert!(a2.max_tv > 0.9);
+        assert_eq!(a2.generation, Some(1));
+        assert_eq!(
+            fs::read_to_string(root.join("hints/t/current.hints")).unwrap(),
+            "hints for t: 2 epochs\n"
+        );
+        assert!(root.join("hints/t/drift.txt").exists());
+        assert_eq!(c.metrics.reoptimize("t").get(), 1);
+        assert_eq!(c.metrics.drift_exceeded("t").get(), 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn existing_generation_refreshes_on_calm_commits() {
+        let (c, root) = committer("refresh");
+        // An operator-installed seed generation predates any upload.
+        let sw = crate::swap::HintSwapper::open(root.join("hints/t")).unwrap();
+        sw.swap_in(b"seed", "manual").unwrap();
+
+        let (j1, r1) = job("t", "e1", 100);
+        c.commit_batch(vec![j1]);
+        let a1 = r1.recv().unwrap().unwrap();
+        assert!(!a1.drifted, "one epoch has no baseline to drift from");
+        assert_eq!(a1.generation, Some(2), "refresh replaces the seed");
+        let hints = root.join("hints/t/current.hints");
+        assert_eq!(
+            fs::read_to_string(&hints).unwrap(),
+            "hints for t: 1 epochs\n"
+        );
+
+        // A second identical-distribution epoch: still no drift, but
+        // the hints keep tracking the shard.
+        let (j2, r2) = job("t", "e2", 100);
+        c.commit_batch(vec![j2]);
+        let a2 = r2.recv().unwrap().unwrap();
+        assert!(!a2.drifted);
+        assert_eq!(a2.generation, Some(3));
+        assert_eq!(
+            fs::read_to_string(&hints).unwrap(),
+            "hints for t: 2 epochs\n"
+        );
+        assert_eq!(c.metrics.drift_exceeded("t").get(), 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn unchanged_hint_bytes_do_not_bump_the_generation() {
+        let (mut c, root) = committer("stable");
+        c.reopt = Arc::new(FnReoptimizer(|_: &str, _: &ProfileDb| {
+            Ok(b"constant".to_vec())
+        }));
+        let (j1, r1) = job("t", "e1", 100);
+        let (j2, r2) = job("t", "e2", 400);
+        c.commit_batch(vec![j1]);
+        c.commit_batch(vec![j2]);
+        r1.recv().unwrap().unwrap();
+        assert_eq!(r2.recv().unwrap().unwrap().generation, Some(1));
+
+        // Another drifted epoch re-derives, but the bytes are identical
+        // — no pointless swap, the generation stands.
+        let (j3, r3) = job("t", "e3", 400);
+        c.commit_batch(vec![j3]);
+        assert_eq!(r3.recv().unwrap().unwrap().generation, Some(1));
+        assert_eq!(c.metrics.reoptimize("t").get(), 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn one_batch_means_one_shard_write_per_tenant() {
+        let (c, root) = committer("batch");
+        let (j1, r1) = job("a", "e1", 100);
+        let (j2, r2) = job("a", "e2", 100);
+        let (j3, r3) = job("b", "e1", 100);
+        c.commit_batch(vec![j1, j2, j3]);
+        assert_eq!(r1.recv().unwrap().unwrap().shard_epochs, 2);
+        assert_eq!(r2.recv().unwrap().unwrap().shard_epochs, 2);
+        assert_eq!(r3.recv().unwrap().unwrap().shard_epochs, 1);
+        assert_eq!(c.metrics.batches.get(), 1);
+        assert_eq!(c.metrics.epochs_ingested("a").get(), 2);
+        assert_eq!(c.metrics.epochs_ingested("b").get(), 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn duplicate_labels_get_per_job_rejections() {
+        let (c, root) = committer("dup");
+        let (j1, r1) = job("t", "e1", 100);
+        let (j2, r2) = job("t", "e1", 100);
+        c.commit_batch(vec![j1, j2]);
+        assert!(r1.recv().unwrap().is_ok());
+        let err = r2.recv().unwrap().unwrap_err();
+        assert!(err.contains("duplicate"), "got: {err}");
+        assert_eq!(c.metrics.epochs_rejected("t").get(), 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn failing_reoptimizer_keeps_the_old_generation() {
+        let (mut c, root) = committer("fail");
+        let (j1, r1) = job("t", "e1", 100);
+        c.commit_batch(vec![j1]);
+        r1.recv().unwrap().unwrap();
+        c.reopt = Arc::new(FnReoptimizer(|_: &str, _: &ProfileDb| {
+            Err("module unavailable".to_string())
+        }));
+        let (j2, r2) = job("t", "e2", 400);
+        c.commit_batch(vec![j2]);
+        let a2 = r2.recv().unwrap().unwrap();
+        assert!(a2.drifted, "drift is still reported");
+        assert_eq!(a2.generation, None, "no swap happened");
+        assert!(!root.join("hints/t/current.hints").exists());
+        assert!(c.metrics.errors.get() >= 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+}

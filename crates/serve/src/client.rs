@@ -1,0 +1,127 @@
+//! The upload client: a thin blocking wrapper over the `APTS1`
+//! protocol, streaming profile dumps from disk (or any reader) without
+//! buffering them.
+
+use std::fs;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::time::Duration;
+
+use crate::protocol::{self, Reply, UploadHeader, UploadReply};
+
+/// Client-side failures, split by where the fault lies.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed.
+    Io(io::Error),
+    /// The daemon rejected the request (its error string).
+    Server(String),
+    /// The daemon answered something the protocol does not allow here.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Server(m) => write!(f, "server rejected request: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// One connection to the daemon; reusable for many requests.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects and sends the protocol hello.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let mut stream = TcpStream::connect(addr)?;
+        // Frames are small; Nagle+delayed-ACK would add ~40 ms each.
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+        stream.write_all(protocol::HELLO)?;
+        Ok(Client { stream })
+    }
+
+    /// Uploads `len` bytes of perf-script text from `reader` as one
+    /// epoch and returns the daemon's commit verdict.
+    pub fn upload_reader(
+        &mut self,
+        tenant: &str,
+        label: &str,
+        len: u64,
+        reader: &mut dyn Read,
+    ) -> Result<UploadReply, ClientError> {
+        if !protocol::valid_tenant(tenant) {
+            return Err(ClientError::Protocol(format!("invalid tenant `{tenant}`")));
+        }
+        if !protocol::valid_label(label) {
+            return Err(ClientError::Protocol(format!("invalid label `{label}`")));
+        }
+        protocol::write_upload_header(
+            &mut self.stream,
+            &UploadHeader {
+                tenant: tenant.to_string(),
+                label: label.to_string(),
+                body_len: len,
+            },
+        )?;
+        let copied = io::copy(&mut reader.take(len), &mut self.stream)?;
+        if copied != len {
+            // The announced length was wrong; the stream is desynced
+            // and this connection cannot be reused.
+            return Err(ClientError::Protocol(format!(
+                "body shorter than announced: {copied} of {len} bytes"
+            )));
+        }
+        match protocol::read_upload_reply(&mut self.stream)? {
+            Reply::Upload(reply) => Ok(reply),
+            Reply::Err(message) => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected reply to upload: {other:?}"
+            ))),
+        }
+    }
+
+    /// Uploads a dump file as one epoch (streamed; the file is never
+    /// read into memory whole).
+    pub fn upload_file(
+        &mut self,
+        tenant: &str,
+        label: &str,
+        path: impl AsRef<Path>,
+    ) -> Result<UploadReply, ClientError> {
+        let file = fs::File::open(&path)?;
+        let len = file.metadata()?.len();
+        self.upload_reader(tenant, label, len, &mut io::BufReader::new(file))
+    }
+
+    /// Fetches a tenant's status report.
+    pub fn status(&mut self, tenant: &str) -> Result<String, ClientError> {
+        if !protocol::valid_tenant(tenant) {
+            return Err(ClientError::Protocol(format!("invalid tenant `{tenant}`")));
+        }
+        self.stream.write_all(&[protocol::KIND_STATUS])?;
+        protocol::write_str(&mut self.stream, tenant)?;
+        match protocol::read_status_reply(&mut self.stream)? {
+            Reply::Status(report) => Ok(report),
+            Reply::Err(message) => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected reply to status: {other:?}"
+            ))),
+        }
+    }
+}

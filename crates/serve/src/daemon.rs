@@ -1,0 +1,412 @@
+//! The reoptimization daemon: TCP acceptor, per-connection upload
+//! handlers, and the single committer thread, wired together.
+//!
+//! Thread layout (all std, no async runtime — the workspace is
+//! offline):
+//!
+//! ```text
+//! acceptor ──spawns──▶ handler (one per connection)
+//!                        │  parse upload body (streaming, no disk)
+//!                        ▼
+//!                  mpsc::Sender<Job> ──▶ committer (single writer)
+//!                        ▲                   │ shard write, drift,
+//!                        └── per-job reply ◀─┘ reoptimize + hot-swap
+//! ```
+//!
+//! The acceptor polls a non-blocking listener (the
+//! [`apt_metrics::MetricsServer`] pattern: 25 ms sleep, shared stop
+//! flag) so shutdown never hangs in `accept`. Handlers parse
+//! concurrently but only the committer touches shard files — see
+//! [`crate::batch`] for why that single-writer discipline matters.
+
+use std::io::{self, BufReader, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use apt_ingest::{AggregateProfile, DriftConfig, IdentityRemap};
+use apt_metrics::Registry;
+
+use crate::batch::{Committer, Job, Reoptimizer};
+use crate::metrics::ServeMetrics;
+use crate::protocol::{self, UploadReply};
+use crate::shard::ShardStore;
+use crate::swap::CURRENT_HINTS;
+
+/// Poll interval for the non-blocking acceptor and the between-frames
+/// idle wait on handler sockets.
+const POLL: Duration = Duration::from_millis(25);
+/// Read/write timeout while a frame is in flight.
+const FRAME_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`127.0.0.1:0` for an ephemeral port).
+    pub addr: String,
+    /// Per-tenant shard directory.
+    pub db_dir: PathBuf,
+    /// Per-tenant hint hot-swap directory.
+    pub hints_dir: PathBuf,
+    /// Drift-detection tunables.
+    pub drift: DriftConfig,
+    /// `DriftReport::exceeds` threshold that triggers reoptimization.
+    pub reopt_threshold: f64,
+    /// Epochs kept per shard (0 = unlimited).
+    pub epoch_cap: usize,
+    /// Upload body byte cap.
+    pub max_body: u64,
+    /// Metrics registry ([`Registry::disabled`] for none).
+    pub registry: Registry,
+}
+
+impl ServeConfig {
+    /// A config with the default tunables.
+    pub fn new(
+        addr: impl Into<String>,
+        db_dir: impl Into<PathBuf>,
+        hints_dir: impl Into<PathBuf>,
+    ) -> ServeConfig {
+        ServeConfig {
+            addr: addr.into(),
+            db_dir: db_dir.into(),
+            hints_dir: hints_dir.into(),
+            drift: DriftConfig::default(),
+            reopt_threshold: 0.35,
+            epoch_cap: 0,
+            max_body: protocol::DEFAULT_MAX_BODY,
+            registry: Registry::disabled(),
+        }
+    }
+}
+
+/// Read-only state every handler shares.
+struct Shared {
+    store: ShardStore,
+    hints_dir: PathBuf,
+    metrics: ServeMetrics,
+    max_body: u64,
+}
+
+/// A running daemon. Dropping it shuts everything down.
+pub struct Daemon {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    committer: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds the listen socket, starts the committer and acceptor
+    /// threads, and returns immediately.
+    pub fn start(config: ServeConfig, reopt: Arc<dyn Reoptimizer>) -> io::Result<Daemon> {
+        let store = ShardStore::open(&config.db_dir)?;
+        let metrics = ServeMetrics::new(&config.registry);
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
+        let committer = Committer {
+            store: store.clone(),
+            hints_dir: config.hints_dir.clone(),
+            drift: config.drift,
+            reopt_threshold: config.reopt_threshold,
+            epoch_cap: config.epoch_cap,
+            metrics: metrics.clone(),
+            reopt,
+        };
+        let committer_handle = std::thread::Builder::new()
+            .name("apt-serve-commit".to_string())
+            .spawn(move || committer.run(&jobs_rx))
+            .expect("spawn committer");
+
+        let shared = Arc::new(Shared {
+            store,
+            hints_dir: config.hints_dir,
+            metrics,
+            max_body: config.max_body,
+        });
+        let stop2 = Arc::clone(&stop);
+        let acceptor = std::thread::Builder::new()
+            .name("apt-serve-accept".to_string())
+            .spawn(move || {
+                let mut handlers = Vec::new();
+                while !stop2.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            shared.metrics.connections.inc();
+                            let shared = Arc::clone(&shared);
+                            let stop = Arc::clone(&stop2);
+                            let jobs = jobs_tx.clone();
+                            let handle = std::thread::Builder::new()
+                                .name("apt-serve-conn".to_string())
+                                .spawn(move || {
+                                    let _ = handle_connection(stream, &shared, &stop, &jobs);
+                                })
+                                .expect("spawn connection handler");
+                            handlers.push(handle);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(POLL);
+                        }
+                        Err(_) => std::thread::sleep(POLL),
+                    }
+                }
+                for handle in handlers {
+                    let _ = handle.join();
+                }
+                // `jobs_tx` drops here; with every handler joined the
+                // committer's channel closes and it drains out.
+            })
+            .expect("spawn acceptor");
+
+        Ok(Daemon {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+            committer: Some(committer_handle),
+        })
+    }
+
+    /// The bound listen address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, waits for in-flight uploads to commit, and
+    /// joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.committer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// One connection: hello, then request frames until EOF or shutdown.
+fn handle_connection(
+    stream: TcpStream,
+    shared: &Shared,
+    stop: &AtomicBool,
+    jobs: &Sender<Job>,
+) -> io::Result<()> {
+    // Replies are tiny; Nagle+delayed-ACK would add ~40 ms per frame.
+    stream.set_nodelay(true)?;
+    stream.set_write_timeout(Some(FRAME_TIMEOUT))?;
+    stream.set_read_timeout(Some(FRAME_TIMEOUT))?;
+    let mut hello = [0u8; 8];
+    (&stream).read_exact(&mut hello)?;
+    if &hello != protocol::HELLO {
+        shared.metrics.errors.inc();
+        let _ = protocol::write_error(&mut (&stream), "bad hello: this is an APTS1 endpoint");
+        return Ok(());
+    }
+    loop {
+        // Idle between frames: short timeout so shutdown is noticed.
+        stream.set_read_timeout(Some(POLL))?;
+        let kind = match wait_for_kind(&stream, stop)? {
+            Some(k) => k,
+            None => return Ok(()),
+        };
+        stream.set_read_timeout(Some(FRAME_TIMEOUT))?;
+        match kind {
+            protocol::KIND_UPLOAD => handle_upload(&stream, shared, jobs)?,
+            protocol::KIND_STATUS => handle_status(&stream, shared)?,
+            other => {
+                // Unknown kind: the stream is desynchronised, close.
+                shared.metrics.errors.inc();
+                let _ =
+                    protocol::write_error(&mut (&stream), &format!("unknown request kind {other}"));
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Polls for the next request's kind byte; `None` on clean EOF or
+/// shutdown.
+fn wait_for_kind(stream: &TcpStream, stop: &AtomicBool) -> io::Result<Option<u8>> {
+    let mut b = [0u8; 1];
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(None);
+        }
+        match (&*stream).read(&mut b) {
+            Ok(0) => return Ok(None),
+            Ok(_) => return Ok(Some(b[0])),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One UPLOAD frame: stream-parse the body, hand the aggregate to the
+/// committer, relay its verdict.
+fn handle_upload(stream: &TcpStream, shared: &Shared, jobs: &Sender<Job>) -> io::Result<()> {
+    apt_selfprof::prof_scope!("serve/upload");
+    let received = Instant::now();
+    let header = match protocol::read_upload_header(&mut (&*stream), shared.max_body) {
+        Ok(h) => h,
+        Err(e) => {
+            // Without a trusted body length the stream cannot be
+            // resynchronised; report and close.
+            shared.metrics.errors.inc();
+            let _ = protocol::write_error(&mut (&*stream), &format!("bad upload header: {e}"));
+            return Err(e);
+        }
+    };
+
+    // The body streams straight off the socket into the incremental
+    // parser — a 64 MiB dump never materialises in memory.
+    let mut body = stream.take(header.body_len);
+    let parsed = apt_ingest::parse_reader(BufReader::new(&mut body), &IdentityRemap);
+    // On a parse error the body's tail is still on the wire; drain it
+    // so the connection stays frame-aligned for the next request.
+    io::copy(&mut body, &mut io::sink())?;
+    shared.metrics.body_bytes.add(header.body_len);
+
+    let ingested = match parsed {
+        Ok(i) => i,
+        Err(e) => {
+            shared.metrics.errors.inc();
+            return protocol::write_error(&mut (&*stream), &format!("parse failed: {e}"));
+        }
+    };
+    let agg = AggregateProfile::from_profile(&ingested.profile, &ingested.stats_or_default());
+    let events = ingested.events as u64;
+
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job {
+        tenant: header.tenant,
+        label: header.label,
+        agg,
+        events,
+        received,
+        reply: reply_tx,
+    };
+    if jobs.send(job).is_err() {
+        shared.metrics.errors.inc();
+        return protocol::write_error(&mut (&*stream), "daemon is shutting down");
+    }
+    match reply_rx.recv() {
+        Ok(Ok(accepted)) => {
+            let message = format!(
+                "committed: shard has {} epoch(s), drift max_tv={:.4}{}",
+                accepted.shard_epochs,
+                accepted.max_tv,
+                if accepted.drifted {
+                    " (exceeds threshold)"
+                } else {
+                    ""
+                },
+            );
+            protocol::write_upload_reply(
+                &mut (&*stream),
+                &UploadReply {
+                    events,
+                    shard_epochs: accepted.shard_epochs,
+                    drifted: accepted.drifted,
+                    max_tv: accepted.max_tv,
+                    generation: accepted.generation,
+                    message,
+                },
+            )
+        }
+        Ok(Err(reason)) => protocol::write_error(&mut (&*stream), &reason),
+        Err(_) => protocol::write_error(&mut (&*stream), "commit pipeline hung up"),
+    }
+}
+
+/// One STATUS frame: a read-only report on a tenant's shard and hints.
+fn handle_status(stream: &TcpStream, shared: &Shared) -> io::Result<()> {
+    let tenant = protocol::read_str(&mut (&*stream), protocol::MAX_TENANT, "tenant")?;
+    if !protocol::valid_tenant(&tenant) {
+        shared.metrics.errors.inc();
+        return protocol::write_error(&mut (&*stream), &format!("invalid tenant `{tenant}`"));
+    }
+    let report = status_text(&shared.store, &shared.hints_dir, &tenant);
+    protocol::write_status_reply(&mut (&*stream), &report)
+}
+
+/// Renders a tenant's status. Deliberately excludes generation numbers
+/// and timestamps: the text is a pure function of the shard contents
+/// and hint presence, so any upload interleaving that produces the same
+/// shard produces the same report.
+pub fn status_text(store: &ShardStore, hints_dir: &std::path::Path, tenant: &str) -> String {
+    let db = store.load(tenant);
+    let hints_active = hints_dir.join(tenant).join(CURRENT_HINTS).exists();
+    let mut out = format!(
+        "tenant {tenant}: {} epoch(s), hints {}\n",
+        db.epochs.len(),
+        if hints_active { "active" } else { "absent" },
+    );
+    for e in &db.epochs {
+        out.push_str(&format!(
+            "  {}: {} lbr snapshot(s), {} pebs sample(s), {} instructions\n",
+            e.label, e.agg.lbr_snapshots, e.agg.pebs_samples, e.agg.instructions,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_text_is_a_function_of_shard_and_hints() {
+        let root = std::env::temp_dir().join(format!("apt-daemon-status-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = ShardStore::open(root.join("db")).unwrap();
+        let hints = root.join("hints");
+
+        let empty = status_text(&store, &hints, "BFS");
+        assert_eq!(empty, "tenant BFS: 0 epoch(s), hints absent\n");
+
+        store
+            .apply(
+                "BFS",
+                vec![apt_ingest::Epoch {
+                    label: "e1".into(),
+                    agg: AggregateProfile {
+                        instructions: 42,
+                        lbr_snapshots: 2,
+                        pebs_samples: 3,
+                        ..AggregateProfile::default()
+                    },
+                }],
+                0,
+            )
+            .unwrap();
+        std::fs::create_dir_all(hints.join("BFS")).unwrap();
+        std::fs::write(hints.join("BFS").join(CURRENT_HINTS), b"h").unwrap();
+        let text = status_text(&store, &hints, "BFS");
+        assert_eq!(
+            text,
+            "tenant BFS: 1 epoch(s), hints active\n  e1: 2 lbr snapshot(s), 3 pebs sample(s), 42 instructions\n"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,46 @@
+//! # apt-serve
+//!
+//! The adaptive reoptimization daemon: continuous profile ingest with
+//! automatic hint re-derivation, closing the paper's deployment loop
+//! (§3.6). Production machines keep profiling; dumps stream to this
+//! daemon; when a workload's latency distributions drift far enough
+//! that the deployed prefetch distances are stale (Eq. 1 moved), the
+//! hint file is re-derived from the accumulated history and hot-swapped
+//! atomically for the next process launch to pick up.
+//!
+//! * [`protocol`] — the `APTS1` wire format: length-prefixed streamed
+//!   uploads, hard caps on every length field.
+//! * [`shard`] — per-tenant `APTDB1` shard files with canonical
+//!   (label-sorted) epoch order, so any upload interleaving yields
+//!   byte-identical shards.
+//! * [`batch`] — the single committer thread: one shard write per
+//!   tenant per batch, post-commit drift detection, reoptimization.
+//! * [`swap`] — generation-numbered atomic hint hot-swap with rollback
+//!   and an append-only audit log.
+//! * [`daemon`] — acceptor + per-connection handlers; upload bodies go
+//!   straight from the socket into the streaming parser.
+//! * [`client`] — the blocking upload/status client the CLI wraps.
+//! * [`metrics`] — per-tenant counters and the ingest-latency histogram
+//!   on the shared registry / existing `/metrics` endpoint.
+//!
+//! The daemon is workload-agnostic: hint derivation is injected as a
+//! [`Reoptimizer`], and the CLI supplies `optimize_from_db` +
+//! `serialize_hints` — the same path the offline `hints` verb uses, so
+//! a hot-swapped `current.hints` is byte-identical to what an offline
+//! rebuild from the same shard would produce.
+
+pub mod batch;
+pub mod client;
+pub mod daemon;
+pub mod metrics;
+pub mod protocol;
+pub mod shard;
+pub mod swap;
+
+pub use batch::{Accepted, Committer, FnReoptimizer, Job, Reoptimizer};
+pub use client::{Client, ClientError};
+pub use daemon::{status_text, Daemon, ServeConfig};
+pub use metrics::ServeMetrics;
+pub use protocol::{Reply, UploadHeader, UploadReply};
+pub use shard::{ApplyOutcome, ShardStore};
+pub use swap::HintSwapper;

@@ -1,0 +1,186 @@
+//! Daemon metric families, pre-registered in the shared
+//! [`apt_metrics::Registry`] so they ride the existing `/metrics`
+//! exposition server unchanged.
+//!
+//! Per-tenant series are labelled `tenant="<name>"` (DESIGN.md §13
+//! naming: `apt_serve_<what>_<unit>`); series materialise lazily the
+//! first time a tenant touches the daemon, so an idle daemon exports
+//! only the unlabelled totals.
+
+use apt_metrics::{Counter, Histogram, Registry, WALL_US_BUCKETS};
+
+/// Handles for the daemon-global (unlabelled) families plus the shared
+/// registry for lazily materialising per-tenant series.
+#[derive(Debug, Clone)]
+pub struct ServeMetrics {
+    registry: Registry,
+    /// Accepted connections.
+    pub connections: Counter,
+    /// Frames that failed protocol validation or parsing.
+    pub errors: Counter,
+    /// Committer batches flushed.
+    pub batches: Counter,
+    /// Upload bodies' bytes read off the wire.
+    pub body_bytes: Counter,
+    /// Wall time from frame receipt to committed reply, per upload.
+    pub ingest_latency_us: Histogram,
+}
+
+impl ServeMetrics {
+    /// Registers the daemon families in `registry` (a disabled registry
+    /// yields no-op handles throughout, preserving the zero-cost-off
+    /// discipline).
+    pub fn new(registry: &Registry) -> ServeMetrics {
+        ServeMetrics {
+            registry: registry.clone(),
+            connections: registry.counter(
+                "apt_serve_connections_total",
+                "TCP connections accepted by the reoptimization daemon",
+                &[],
+            ),
+            errors: registry.counter(
+                "apt_serve_errors_total",
+                "Upload frames rejected (protocol, validation or parse errors)",
+                &[],
+            ),
+            batches: registry.counter(
+                "apt_serve_batches_total",
+                "Committer batches flushed to shard storage",
+                &[],
+            ),
+            body_bytes: registry.counter(
+                "apt_serve_body_bytes_total",
+                "Profile dump bytes streamed off the wire",
+                &[],
+            ),
+            ingest_latency_us: registry.histogram(
+                "apt_serve_ingest_latency_us",
+                "Wall microseconds from upload receipt to committed reply",
+                &[],
+                &WALL_US_BUCKETS,
+            ),
+        }
+    }
+
+    /// Per-tenant accepted-epoch counter.
+    pub fn epochs_ingested(&self, tenant: &str) -> Counter {
+        self.registry.counter(
+            "apt_serve_epochs_ingested_total",
+            "Profile epochs accepted into a tenant's shard",
+            &[("tenant", tenant)],
+        )
+    }
+
+    /// Per-tenant rejected-epoch counter (duplicates, validation).
+    pub fn epochs_rejected(&self, tenant: &str) -> Counter {
+        self.registry.counter(
+            "apt_serve_epochs_rejected_total",
+            "Profile epochs refused (duplicate label or invalid)",
+            &[("tenant", tenant)],
+        )
+    }
+
+    /// Per-tenant cap-evicted-epoch counter.
+    pub fn epochs_evicted(&self, tenant: &str) -> Counter {
+        self.registry.counter(
+            "apt_serve_epochs_evicted_total",
+            "Profile epochs garbage-collected by the epoch cap",
+            &[("tenant", tenant)],
+        )
+    }
+
+    /// Per-tenant reoptimization (hint hot-swap) counter.
+    pub fn reoptimize(&self, tenant: &str) -> Counter {
+        self.registry.counter(
+            "apt_serve_reoptimize_total",
+            "Hint files re-derived and hot-swapped after drift",
+            &[("tenant", tenant)],
+        )
+    }
+
+    /// Per-tenant drift-exceeded counter (fires whether or not the swap
+    /// succeeds, so alerting sees drift even when reoptimization fails).
+    pub fn drift_exceeded(&self, tenant: &str) -> Counter {
+        self.registry.counter(
+            "apt_serve_drift_exceeded_total",
+            "Epoch commits whose drift crossed the reoptimize threshold",
+            &[("tenant", tenant)],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_metrics::prom;
+
+    /// The satellite round-trip: every serve family renders through the
+    /// in-repo Prometheus text renderer and parses back with the in-repo
+    /// parser, values intact, per-tenant labels preserved.
+    #[test]
+    fn serve_families_round_trip_through_prometheus_text() {
+        let registry = Registry::new();
+        let m = ServeMetrics::new(&registry);
+        m.connections.add(3);
+        m.errors.inc();
+        m.batches.add(2);
+        m.body_bytes.add(4096);
+        m.ingest_latency_us.observe(750);
+        m.ingest_latency_us.observe(12_000);
+        m.epochs_ingested("BFS").add(5);
+        m.epochs_ingested("IS").add(2);
+        m.epochs_rejected("BFS").inc();
+        m.epochs_evicted("BFS").add(3);
+        m.reoptimize("BFS").inc();
+        m.drift_exceeded("BFS").inc();
+
+        let text = prom::render_prometheus(&registry);
+        let exp = prom::parse(&text).expect("exposition parses");
+        assert_eq!(exp.value("apt_serve_connections_total", &[]), Some(3.0));
+        assert_eq!(exp.value("apt_serve_errors_total", &[]), Some(1.0));
+        assert_eq!(exp.value("apt_serve_batches_total", &[]), Some(2.0));
+        assert_eq!(exp.value("apt_serve_body_bytes_total", &[]), Some(4096.0));
+        assert_eq!(
+            exp.value("apt_serve_epochs_ingested_total", &[("tenant", "BFS")]),
+            Some(5.0)
+        );
+        assert_eq!(
+            exp.value("apt_serve_epochs_ingested_total", &[("tenant", "IS")]),
+            Some(2.0)
+        );
+        assert_eq!(
+            exp.value("apt_serve_epochs_rejected_total", &[("tenant", "BFS")]),
+            Some(1.0)
+        );
+        assert_eq!(
+            exp.value("apt_serve_epochs_evicted_total", &[("tenant", "BFS")]),
+            Some(3.0)
+        );
+        assert_eq!(
+            exp.value("apt_serve_reoptimize_total", &[("tenant", "BFS")]),
+            Some(1.0)
+        );
+        assert_eq!(
+            exp.value("apt_serve_drift_exceeded_total", &[("tenant", "BFS")]),
+            Some(1.0)
+        );
+        assert_eq!(
+            exp.value("apt_serve_ingest_latency_us_count", &[]),
+            Some(2.0)
+        );
+        assert_eq!(
+            exp.value("apt_serve_ingest_latency_us_sum", &[]),
+            Some(12_750.0)
+        );
+    }
+
+    #[test]
+    fn disabled_registry_keeps_everything_noop() {
+        let m = ServeMetrics::new(&Registry::disabled());
+        assert!(m.connections.is_noop());
+        assert!(m.epochs_ingested("BFS").is_noop());
+        assert!(m.reoptimize("BFS").is_noop());
+        m.connections.inc();
+        assert_eq!(m.connections.get(), 0);
+    }
+}

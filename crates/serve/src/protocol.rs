@@ -1,0 +1,385 @@
+//! The `APTS1` wire protocol: length-prefixed profile uploads.
+//!
+//! The daemon speaks a deliberately tiny binary protocol — the workspace
+//! is offline, so there is no HTTP stack to lean on, and the payloads
+//! (multi-megabyte `perf script` dumps) want streaming, not buffering.
+//! Framing follows the repository's on-disk conventions: little-endian
+//! `u64` everywhere, explicit lengths, hard caps on every length field so
+//! a corrupt or hostile frame can never trigger a giant allocation.
+//!
+//! A connection is: an 8-byte hello (`APTS1\n\0\0`), then any number of
+//! request/response exchanges. Requests:
+//!
+//! ```text
+//! UPLOAD (kind 1):  u64 tenant_len, tenant, u64 label_len, label,
+//!                   u64 body_len, body  (raw perf-script text, streamed)
+//! STATUS (kind 2):  u64 tenant_len, tenant
+//! ```
+//!
+//! Responses open with a status byte (`0` ok, `1` error). An error
+//! carries one string. An UPLOAD ok carries the commit verdict (events
+//! consumed, shard epoch count, drift verdict, hot-swap generation) and a
+//! human-readable summary; a STATUS ok carries one string (the tenant
+//! report). The body length is known up front, so the server can hand the
+//! socket to the streaming parser ([`apt_ingest::parse_reader`]) without
+//! ever materialising the dump.
+
+use std::io::{self, Read, Write};
+
+/// Connection hello: protocol name + version, newline-terminated so a
+/// stray HTTP client fails fast and visibly.
+pub const HELLO: &[u8; 8] = b"APTS1\n\0\0";
+
+/// Request kind: one profile epoch upload.
+pub const KIND_UPLOAD: u8 = 1;
+/// Request kind: tenant status report.
+pub const KIND_STATUS: u8 = 2;
+
+/// Response status byte: success.
+pub const STATUS_OK: u8 = 0;
+/// Response status byte: failure (one string follows).
+pub const STATUS_ERR: u8 = 1;
+
+/// Wire encoding of "no hint generation was swapped in".
+pub const NO_GENERATION: u64 = u64::MAX;
+
+/// Longest accepted tenant name.
+pub const MAX_TENANT: usize = 64;
+/// Longest accepted epoch label.
+pub const MAX_LABEL: usize = 256;
+/// Longest accepted response message.
+pub const MAX_MESSAGE: usize = 1 << 20;
+/// Default upload body cap (64 MiB of perf-script text).
+pub const DEFAULT_MAX_BODY: u64 = 64 << 20;
+
+/// True iff `name` is usable as a tenant: non-empty, at most
+/// [`MAX_TENANT`] bytes of `[A-Za-z0-9._-]`, and not dot-led (tenants
+/// name shard files on disk).
+pub fn valid_tenant(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_TENANT
+        && !name.starts_with('.')
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
+/// True iff `label` is usable as an epoch label: non-empty, at most
+/// [`MAX_LABEL`] bytes, no control characters (labels appear in logs and
+/// status reports line-by-line).
+pub fn valid_label(label: &str) -> bool {
+    !label.is_empty() && label.len() <= MAX_LABEL && !label.chars().any(|c| c.is_control())
+}
+
+pub fn write_u64(w: &mut dyn Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+pub fn read_u64(r: &mut dyn Read) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+pub fn write_str(w: &mut dyn Write, s: &str) -> io::Result<()> {
+    write_u64(w, s.len() as u64)?;
+    w.write_all(s.as_bytes())
+}
+
+/// Reads a length-prefixed UTF-8 string of at most `max` bytes. `what`
+/// names the field in error messages.
+pub fn read_str(r: &mut dyn Read, max: usize, what: &str) -> io::Result<String> {
+    let len = read_u64(r)?;
+    if len > max as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{what} length {len} exceeds the {max}-byte cap"),
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{what} is not valid UTF-8"),
+        )
+    })
+}
+
+/// An UPLOAD request's header (the body streams behind it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UploadHeader {
+    pub tenant: String,
+    pub label: String,
+    /// Exact byte length of the perf-script body that follows.
+    pub body_len: u64,
+}
+
+/// Writes the UPLOAD kind byte + header; the caller streams the body.
+pub fn write_upload_header(w: &mut dyn Write, h: &UploadHeader) -> io::Result<()> {
+    w.write_all(&[KIND_UPLOAD])?;
+    write_str(w, &h.tenant)?;
+    write_str(w, &h.label)?;
+    write_u64(w, h.body_len)
+}
+
+/// Reads an UPLOAD header (after the kind byte), validating the fields.
+/// The body is *not* consumed; on error the caller must still drain
+/// `body_len` bytes (when known) to keep the connection usable.
+pub fn read_upload_header(r: &mut dyn Read, max_body: u64) -> io::Result<UploadHeader> {
+    let tenant = read_str(r, MAX_TENANT, "tenant")?;
+    let label = read_str(r, MAX_LABEL, "label")?;
+    let body_len = read_u64(r)?;
+    if !valid_tenant(&tenant) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("invalid tenant `{tenant}` (want 1..={MAX_TENANT} bytes of [A-Za-z0-9._-], not dot-led)"),
+        ));
+    }
+    if !valid_label(&label) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("invalid label `{label}`"),
+        ));
+    }
+    if body_len > max_body {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("body length {body_len} exceeds the {max_body}-byte cap"),
+        ));
+    }
+    Ok(UploadHeader {
+        tenant,
+        label,
+        body_len,
+    })
+}
+
+/// The commit verdict an accepted upload returns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UploadReply {
+    /// Event lines the parser consumed from this upload.
+    pub events: u64,
+    /// Epochs in the tenant's shard after the commit.
+    pub shard_epochs: u64,
+    /// True when the shard's newest epoch drifts past the daemon's
+    /// reoptimization threshold.
+    pub drifted: bool,
+    /// Largest per-branch TV distance of the post-commit drift report
+    /// (0.0 with fewer than two epochs).
+    pub max_tv: f64,
+    /// Hint generation hot-swapped in by this commit, if any.
+    pub generation: Option<u64>,
+    /// Human-readable commit summary.
+    pub message: String,
+}
+
+/// Writes an UPLOAD success response.
+pub fn write_upload_reply(w: &mut dyn Write, reply: &UploadReply) -> io::Result<()> {
+    w.write_all(&[STATUS_OK])?;
+    write_u64(w, reply.events)?;
+    write_u64(w, reply.shard_epochs)?;
+    w.write_all(&[reply.drifted as u8])?;
+    write_u64(w, reply.max_tv.to_bits())?;
+    write_u64(w, reply.generation.unwrap_or(NO_GENERATION))?;
+    write_str(w, &reply.message)
+}
+
+/// Writes an error response (any request kind).
+pub fn write_error(w: &mut dyn Write, message: &str) -> io::Result<()> {
+    w.write_all(&[STATUS_ERR])?;
+    write_str(w, message)
+}
+
+/// Writes a STATUS success response.
+pub fn write_status_reply(w: &mut dyn Write, report: &str) -> io::Result<()> {
+    w.write_all(&[STATUS_OK])?;
+    write_str(w, report)
+}
+
+/// A decoded response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    Upload(UploadReply),
+    Status(String),
+    Err(String),
+}
+
+fn read_status_byte(r: &mut dyn Read) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+/// Reads the response to an UPLOAD request.
+pub fn read_upload_reply(r: &mut dyn Read) -> io::Result<Reply> {
+    match read_status_byte(r)? {
+        STATUS_OK => {
+            let events = read_u64(r)?;
+            let shard_epochs = read_u64(r)?;
+            let drifted = read_status_byte(r)? != 0;
+            let max_tv = f64::from_bits(read_u64(r)?);
+            let generation = match read_u64(r)? {
+                NO_GENERATION => None,
+                g => Some(g),
+            };
+            let message = read_str(r, MAX_MESSAGE, "message")?;
+            Ok(Reply::Upload(UploadReply {
+                events,
+                shard_epochs,
+                drifted,
+                max_tv,
+                generation,
+                message,
+            }))
+        }
+        STATUS_ERR => Ok(Reply::Err(read_str(r, MAX_MESSAGE, "error message")?)),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown response status byte {other}"),
+        )),
+    }
+}
+
+/// Reads the response to a STATUS request.
+pub fn read_status_reply(r: &mut dyn Read) -> io::Result<Reply> {
+    match read_status_byte(r)? {
+        STATUS_OK => Ok(Reply::Status(read_str(r, MAX_MESSAGE, "status report")?)),
+        STATUS_ERR => Ok(Reply::Err(read_str(r, MAX_MESSAGE, "error message")?)),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown response status byte {other}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_and_label_validation() {
+        assert!(valid_tenant("BFS"));
+        assert!(valid_tenant("tenant-7.shard_2"));
+        assert!(!valid_tenant(""));
+        assert!(!valid_tenant(".hidden"));
+        assert!(!valid_tenant("a/b"));
+        assert!(!valid_tenant("päth"));
+        assert!(!valid_tenant(&"x".repeat(MAX_TENANT + 1)));
+        assert!(valid_label("run 42 (später)"));
+        assert!(!valid_label(""));
+        assert!(!valid_label("two\nlines"));
+    }
+
+    #[test]
+    fn upload_header_round_trips() {
+        let h = UploadHeader {
+            tenant: "BFS".into(),
+            label: "epoch-1".into(),
+            body_len: 12345,
+        };
+        let mut buf = Vec::new();
+        write_upload_header(&mut buf, &h).unwrap();
+        let mut r = &buf[..];
+        let mut kind = [0u8; 1];
+        r.read_exact(&mut kind).unwrap();
+        assert_eq!(kind[0], KIND_UPLOAD);
+        assert_eq!(read_upload_header(&mut r, DEFAULT_MAX_BODY).unwrap(), h);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn upload_header_rejects_bad_fields() {
+        let write = |tenant: &str, label: &str, body: u64| {
+            let mut buf = Vec::new();
+            write_str(&mut buf, tenant).unwrap();
+            write_str(&mut buf, label).unwrap();
+            write_u64(&mut buf, body).unwrap();
+            buf
+        };
+        let cases = [
+            write("a/b", "ok", 10),
+            write("BFS", "bad\nlabel", 10),
+            write("BFS", "ok", 1 << 40),
+        ];
+        for bytes in &cases {
+            let err = read_upload_header(&mut &bytes[..], DEFAULT_MAX_BODY).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+        }
+        // Oversized length prefixes fail before allocating.
+        let mut huge = Vec::new();
+        write_u64(&mut huge, u64::MAX).unwrap();
+        let err = read_upload_header(&mut &huge[..], DEFAULT_MAX_BODY).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let reply = UploadReply {
+            events: 77,
+            shard_epochs: 3,
+            drifted: true,
+            max_tv: 0.875,
+            generation: Some(4),
+            message: "drift 0.875, swapped generation 4".into(),
+        };
+        let mut buf = Vec::new();
+        write_upload_reply(&mut buf, &reply).unwrap();
+        assert_eq!(
+            read_upload_reply(&mut &buf[..]).unwrap(),
+            Reply::Upload(reply)
+        );
+
+        let mut buf = Vec::new();
+        write_upload_reply(
+            &mut buf,
+            &UploadReply {
+                events: 0,
+                shard_epochs: 1,
+                drifted: false,
+                max_tv: 0.0,
+                generation: None,
+                message: String::new(),
+            },
+        )
+        .unwrap();
+        match read_upload_reply(&mut &buf[..]).unwrap() {
+            Reply::Upload(r) => assert_eq!(r.generation, None),
+            other => panic!("{other:?}"),
+        }
+
+        let mut buf = Vec::new();
+        write_error(&mut buf, "duplicate epoch label `run-1`").unwrap();
+        assert_eq!(
+            read_upload_reply(&mut &buf[..]).unwrap(),
+            Reply::Err("duplicate epoch label `run-1`".into())
+        );
+
+        let mut buf = Vec::new();
+        write_status_reply(&mut buf, "tenant BFS: 2 epoch(s)").unwrap();
+        assert_eq!(
+            read_status_reply(&mut &buf[..]).unwrap(),
+            Reply::Status("tenant BFS: 2 epoch(s)".into())
+        );
+    }
+
+    #[test]
+    fn truncated_frames_are_io_errors() {
+        let mut buf = Vec::new();
+        write_upload_reply(
+            &mut buf,
+            &UploadReply {
+                events: 1,
+                shard_epochs: 1,
+                drifted: false,
+                max_tv: 0.5,
+                generation: Some(1),
+                message: "ok".into(),
+            },
+        )
+        .unwrap();
+        for cut in [0, 1, 9, buf.len() - 1] {
+            assert!(read_upload_reply(&mut &buf[..cut]).is_err(), "cut {cut}");
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Ingest-throughput microbench for the reoptimization daemon: four
+//! concurrent tenants stream epochs over real localhost sockets and the
+//! sustained commit rate must clear a conservative floor. Prints a
+//! `--stats`-style summary line (epochs/sec, MiB/sec, batching factor)
+//! so CI logs track the trend.
+//!
+//! Ignored by default (it hammers sockets for a few seconds); the CI
+//! daemon job runs it with `-- --ignored --nocapture`.
+
+mod common;
+
+use std::time::Instant;
+
+use apt_metrics::Registry;
+use apt_serve::Client;
+use common::{dump, scratch, try_daemon};
+
+const TENANTS: usize = 4;
+const EPOCHS_PER_TENANT: usize = 50;
+
+#[test]
+#[ignore = "saturates localhost sockets for seconds; the CI daemon job runs it with --ignored"]
+fn concurrent_ingest_sustains_throughput() {
+    let root = scratch("throughput");
+    let registry = Registry::new();
+    let reg = registry.clone();
+    // A bounded shard (the deployment setting): commits stay O(cap),
+    // not O(total-epochs-ever), so the bench measures steady state.
+    let Some(daemon) = try_daemon(&root, move |c| {
+        c.registry = reg;
+        c.epoch_cap = 8;
+    }) else {
+        return;
+    };
+    let addr = daemon.addr();
+
+    // Pre-render one dump per tenant; upload cost should be wire+parse+
+    // commit, not test-side formatting.
+    let text = dump(100, 8);
+    let body_bytes = text.len() as u64;
+
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..TENANTS)
+        .map(|t| {
+            let text = text.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for e in 0..EPOCHS_PER_TENANT {
+                    client
+                        .upload_reader(
+                            &format!("tenant-{t}"),
+                            &format!("epoch-{e:04}"),
+                            text.len() as u64,
+                            &mut text.as_bytes(),
+                        )
+                        .expect("upload");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker");
+    }
+    let wall = t0.elapsed();
+    daemon.shutdown();
+
+    let total_epochs = (TENANTS * EPOCHS_PER_TENANT) as u64;
+    let epochs_per_sec = total_epochs as f64 / wall.as_secs_f64();
+    let mib_per_sec = (total_epochs * body_bytes) as f64 / (1 << 20) as f64 / wall.as_secs_f64();
+    let batches = registry
+        .counter_value("apt_serve_batches_total", &[])
+        .unwrap_or(0);
+    let batching = total_epochs as f64 / batches.max(1) as f64;
+    eprintln!(
+        "serve ingest throughput: {total_epochs} epochs over {TENANTS} tenants in {:.2}s \
+         = {epochs_per_sec:.0} epochs/s, {mib_per_sec:.1} MiB/s wire, \
+         {batches} batches ({batching:.2} epochs/batch)",
+        wall.as_secs_f64(),
+    );
+
+    // Every epoch landed.
+    for t in 0..TENANTS {
+        assert_eq!(
+            registry.counter_value(
+                "apt_serve_epochs_ingested_total",
+                &[("tenant", &format!("tenant-{t}"))],
+            ),
+            Some(EPOCHS_PER_TENANT as u64)
+        );
+    }
+    // Conservative floor: localhost ingest of small epochs should do
+    // hundreds per second even on loaded CI; 25/s catches order-of-
+    // magnitude regressions (an accidental fsync per epoch, a lost
+    // batching path) without flaking.
+    assert!(
+        epochs_per_sec >= 25.0,
+        "ingest throughput regressed: {epochs_per_sec:.1} epochs/s < 25"
+    );
+}

@@ -1,0 +1,161 @@
+//! Acceptance test for the reoptimization daemon, on a real workload:
+//! two profiling runs of BFS — one on the baseline machine, one with
+//! DRAM four times slower (the "workload moved to worse hardware"
+//! scenario) — are exported as perf-script dumps and uploaded from
+//! *parallel* client connections. The daemon must detect the Eq. 1
+//! drift, re-derive hints through the real `optimize_from_db` path, and
+//! hot-swap a `current.hints` that is **byte-identical** to an offline
+//! re-derivation from the shard it wrote — closing the §3.6 loop:
+//! online daemon and offline rebuild can never disagree.
+
+use std::sync::Arc;
+
+use apt_serve::{Client, Daemon, FnReoptimizer, ServeConfig, ShardStore};
+use apt_workloads::all_workloads;
+use aptget::{
+    execute, parse_str, AggregateProfile, AptGet, IdentityRemap, PipelineConfig, ProfileDb,
+};
+
+const TEST_SCALE: f64 = 0.02;
+
+/// One profiling run of BFS exported as perf-script text, with DRAM
+/// latency scaled by `dram_scale`.
+fn profile_dump(dram_scale: u64) -> String {
+    let spec = all_workloads()
+        .into_iter()
+        .find(|s| s.name == "BFS")
+        .expect("BFS registered");
+    let w = spec.build(TEST_SCALE, 42);
+    let mut cfg = PipelineConfig::default();
+    cfg.profile_sim.mem.dram_latency *= dram_scale;
+    let exec = execute(&w.module, w.image, &w.calls, &cfg.profile_sim).expect("profiling run");
+    apt_cpu::perfscript::export_perf_script(&exec.profile, &exec.stats)
+}
+
+#[test]
+fn daemon_hot_swap_matches_offline_reoptimization() {
+    let root = std::env::temp_dir().join(format!("apt-serve-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // The daemon's reoptimizer is the *real* pipeline: the same
+    // `optimize_from_db` + `serialize_hints` the offline `hints` verb
+    // uses, bound to the BFS module.
+    let spec = all_workloads()
+        .into_iter()
+        .find(|s| s.name == "BFS")
+        .expect("BFS registered");
+    let module = spec.build(TEST_SCALE, 42).module;
+    let apt = AptGet::new(PipelineConfig::default());
+    let module2 = module.clone();
+    let reopt = Arc::new(FnReoptimizer(move |_: &str, db: &ProfileDb| {
+        let opt = apt.optimize_from_db(&module2, db);
+        Ok(aptget::hintfile::serialize_hints(&opt.analysis.hints).into_bytes())
+    }));
+
+    let registry = apt_metrics::Registry::new();
+    let mut cfg = ServeConfig::new("127.0.0.1:0", root.join("db"), root.join("hints"));
+    cfg.registry = registry.clone();
+    cfg.reopt_threshold = 0.25;
+    let daemon = match Daemon::start(cfg, reopt) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("skipping serve e2e test: cannot bind a socket here ({e})");
+            return;
+        }
+    };
+    let addr = daemon.addr();
+
+    // Baseline machine vs 4x-slower DRAM: Eq. 1's latency term moves,
+    // so the deployed prefetch distances go stale.
+    let base = profile_dump(1);
+    let moved = profile_dump(4);
+
+    // Parallel clients, one epoch each; arrival order is whatever the
+    // scheduler gives us.
+    let uploads = [
+        ("epoch-a-base", base.clone()),
+        ("epoch-b-moved", moved.clone()),
+    ];
+    let replies: Vec<_> = uploads
+        .map(|(label, text)| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client
+                    .upload_reader("BFS", label, text.len() as u64, &mut text.as_bytes())
+                    .expect("upload")
+            })
+        })
+        .into_iter()
+        .map(|h| h.join().expect("uploader"))
+        .collect();
+
+    // Whichever upload completed the 2-epoch shard saw the drift.
+    assert!(
+        replies.iter().any(|r| r.drifted),
+        "4x DRAM latency must register as drift: {replies:?}"
+    );
+    assert!(
+        replies.iter().any(|r| r.generation == Some(1)),
+        "drift must hot-swap generation 1: {replies:?}"
+    );
+    let mut status_client = Client::connect(addr).expect("connect");
+    let status = status_client.status("BFS").expect("status");
+    assert!(
+        status.starts_with("tenant BFS: 2 epoch(s), hints active\n"),
+        "{status}"
+    );
+    daemon.shutdown();
+
+    // The shard the daemon wrote is byte-identical to an offline encode
+    // of the same two epochs in canonical label order.
+    let store = ShardStore::open(root.join("db")).unwrap();
+    let shard_bytes = std::fs::read(store.shard_path("BFS")).unwrap();
+    let mut offline_db = ProfileDb::new();
+    for (label, text) in [("epoch-a-base", &base), ("epoch-b-moved", &moved)] {
+        let ing = parse_str(text, &IdentityRemap).expect("dump re-parses");
+        offline_db.push_epoch(
+            label,
+            AggregateProfile::from_profile(&ing.profile, &ing.stats_or_default()),
+        );
+    }
+    let offline_path = root.join("offline.aptdb");
+    offline_db.save(&offline_path).unwrap();
+    assert_eq!(
+        shard_bytes,
+        std::fs::read(&offline_path).unwrap(),
+        "daemon shard must equal the offline encode"
+    );
+
+    // The hot-swapped hint file is byte-identical to an offline
+    // re-derivation from that shard.
+    let offline_opt = AptGet::new(PipelineConfig::default()).optimize_from_db(&module, &offline_db);
+    let offline_hints = aptget::hintfile::serialize_hints(&offline_opt.analysis.hints);
+    assert!(
+        !offline_opt.injection.injected.is_empty(),
+        "BFS must yield prefetch hints: {:?}",
+        offline_opt.analysis.notes
+    );
+    let swapped = std::fs::read_to_string(root.join("hints/BFS/current.hints")).unwrap();
+    assert_eq!(
+        swapped, offline_hints,
+        "hot-swapped hints must equal offline optimize_from_db output"
+    );
+    assert_eq!(
+        std::fs::read_to_string(root.join("hints/BFS/gen-000001.hints")).unwrap(),
+        offline_hints
+    );
+
+    // Drift report sidecar and metrics reflect the swap.
+    let drift_txt = std::fs::read_to_string(root.join("hints/BFS/drift.txt")).unwrap();
+    assert!(drift_txt.contains("epoch-b-moved"), "{drift_txt}");
+    assert_eq!(
+        registry.counter_value("apt_serve_epochs_ingested_total", &[("tenant", "BFS")]),
+        Some(2)
+    );
+    assert_eq!(
+        registry.counter_value("apt_serve_reoptimize_total", &[("tenant", "BFS")]),
+        Some(1)
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -36,17 +36,35 @@
 //!                                        #   serve /metrics until killed
 //! aptgetsim serve [--addr HOST:PORT] [--db-dir DIR] [--hints-dir DIR]
 //!                 [--reopt-threshold TV] [--epoch-cap N] [--metrics-addr HOST:PORT]
+//!                 [--oplog-dir DIR]
 //!                                        # adaptive reoptimization daemon:
 //!                                        #   ingest uploaded profiles,
-//!                                        #   detect drift, hot-swap hints
-//! aptgetsim upload FILE --tenant NAME [--label STR] [--addr HOST:PORT]
+//!                                        #   detect drift, hot-swap hints;
+//!                                        #   every request span + decision
+//!                                        #   lands on a JSONL op-log
+//!                                        #   (default serve-oplog)
+//! aptgetsim upload FILE --tenant NAME [--label STR] [--addr HOST:PORT] [--retry N]
 //!                                        # stream a perf-script dump to a
-//!                                        #   running daemon as one epoch
+//!                                        #   running daemon as one epoch;
+//!                                        #   --retry backs off and redials
+//!                                        #   on refused/reset connections,
+//!                                        #   reusing one trace ID
 //! aptgetsim serve-status --tenant NAME [--addr HOST:PORT]
 //!                                        # a tenant's shard + hint state
-//! aptgetsim rollback --tenant NAME [--hints-dir DIR]
+//!                                        #   (+ a warning line when the
+//!                                        #   committer queue is backlogged)
+//! aptgetsim serve-dash [--oplog-dir DIR] [--out FILE] [--trace-out FILE]
+//!                      [--metrics-addr HOST:PORT | --metrics-file FILE]
+//!                                        # validate the daemon's op-log and
+//!                                        #   render the operator dashboard
+//!                                        #   (self-contained HTML, default
+//!                                        #   serve-dash.html); --trace-out
+//!                                        #   also exports daemon spans as
+//!                                        #   Chrome trace-event JSON
+//! aptgetsim rollback --tenant NAME [--hints-dir DIR] [--oplog-dir DIR]
 //!                                        # repoint current.hints to the
 //!                                        #   previous hot-swap generation
+//!                                        #   (audited on the op-log)
 //! aptgetsim campaign [--jobs N] ...      # full comparison matrix in
 //!                                        #   parallel (alias of `apteval`)
 //! ```
@@ -64,7 +82,10 @@ use apt_bench::report::render_campaign_report;
 use apt_bench::{compare_variants_traced, fx, pct, AJ_STATIC_DISTANCE};
 use apt_metrics::{gate, BenchSnapshot, GateConfig, MetricsServer, Registry};
 use apt_profile::hintfile;
-use apt_serve::{Client, Daemon, FnReoptimizer, HintSwapper, ServeConfig};
+use apt_serve::{
+    chrome_trace, read_oplog_dir, render_dashboard, trace_hex, Client, Daemon, FnReoptimizer,
+    HintSwapper, Obs, OpKind, OpLogConfig, ServeConfig,
+};
 use apt_workloads::registry::{all_workloads, by_name};
 use aptget::{
     chrome_trace_json, detect_drift, execute, format_explain, parse_file, AggregateProfile, AptGet,
@@ -112,6 +133,12 @@ struct Args {
     metrics_addr: Option<String>,
     /// `export`: DRAM-latency multiplier (emulates a machine move).
     dram_scale: Option<u64>,
+    /// `serve`/`serve-dash`/`rollback`: op-log directory.
+    oplog_dir: Option<String>,
+    /// `upload`: redial attempts after a refused/reset connection.
+    retry: u32,
+    /// `serve-dash`: a saved /metrics scrape to join into the page.
+    metrics_file: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -141,6 +168,9 @@ fn parse_args() -> Result<Args, String> {
         epoch_cap: None,
         metrics_addr: None,
         dram_scale: None,
+        oplog_dir: None,
+        retry: 0,
+        metrics_file: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -238,6 +268,19 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad --dram-scale: {e}"))?,
                 );
             }
+            "--oplog-dir" => {
+                out.oplog_dir = Some(args.next().ok_or("--oplog-dir needs a directory")?);
+            }
+            "--retry" => {
+                out.retry = args
+                    .next()
+                    .ok_or("--retry needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad --retry: {e}"))?;
+            }
+            "--metrics-file" => {
+                out.metrics_file = Some(args.next().ok_or("--metrics-file needs a path")?);
+            }
             w if out.workload.is_none() && !w.starts_with('-') => {
                 out.workload = Some(w.to_string());
             }
@@ -245,6 +288,60 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(out)
+}
+
+/// A fresh nonzero trace ID for one `upload` invocation: pid and the
+/// wall clock through a splitmix64 finalizer. Not cryptographic — it
+/// only has to be distinct across concurrent uploaders.
+fn fresh_trace_id() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut z = nanos ^ (u64::from(std::process::id()) << 32);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    z.max(1)
+}
+
+/// True for the transport failures worth redialing: the daemon was
+/// down or dropped the connection before answering. Server rejections
+/// and protocol violations would fail identically on a retry.
+fn connection_dropped(e: &apt_serve::ClientError) -> bool {
+    use std::io::ErrorKind;
+    match e {
+        apt_serve::ClientError::Io(io) => matches!(
+            io.kind(),
+            ErrorKind::ConnectionRefused
+                | ErrorKind::ConnectionReset
+                | ErrorKind::ConnectionAborted
+        ),
+        _ => false,
+    }
+}
+
+/// Scrapes `http://{addr}/metrics` over a raw TCP GET (no HTTP client
+/// in the tree) and strips the response headers.
+fn scrape_metrics(addr: &str) -> Result<String, String> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("could not connect to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(format!("GET /metrics HTTP/1.0\r\nHost: {addr}\r\n\r\n").as_bytes())
+        .map_err(|e| format!("could not send scrape to {addr}: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("could not read scrape from {addr}: {e}"))?;
+    match response.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Err(format!("{addr} sent no HTTP header/body separator")),
+    }
 }
 
 fn main() -> ExitCode {
@@ -273,7 +370,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n");
-            eprintln!("usage: aptgetsim <list|run|hints|ir|export|ingest|drift|bench-gate|perf-history|report|serve-metrics|serve|upload|serve-status|rollback|campaign> [WORKLOAD|FILE|DIR] [--scale S] [--seed N] [--optimized] [--explain] [--trace-out PATH] [--out PATH] [--db PATH] [--label STR] [--pc-offset HEX] [--fail-threshold TV] [--baseline PATH] [--tolerance T] [--phases] [--addr HOST:PORT] [--db-dir DIR] [--hints-dir DIR] [--tenant NAME] [--reopt-threshold TV] [--epoch-cap N] [--metrics-addr HOST:PORT] [--dram-scale N]");
+            eprintln!("usage: aptgetsim <list|run|hints|ir|export|ingest|drift|bench-gate|perf-history|report|serve-metrics|serve|upload|serve-status|serve-dash|rollback|campaign> [WORKLOAD|FILE|DIR] [--scale S] [--seed N] [--optimized] [--explain] [--trace-out PATH] [--out PATH] [--db PATH] [--label STR] [--pc-offset HEX] [--fail-threshold TV] [--baseline PATH] [--tolerance T] [--phases] [--addr HOST:PORT] [--db-dir DIR] [--hints-dir DIR] [--tenant NAME] [--reopt-threshold TV] [--epoch-cap N] [--metrics-addr HOST:PORT] [--dram-scale N] [--oplog-dir DIR] [--retry N] [--metrics-file PATH]");
             return ExitCode::FAILURE;
         }
     };
@@ -558,9 +655,14 @@ fn main() -> ExitCode {
                 .hints_dir
                 .clone()
                 .unwrap_or_else(|| "serve-hints".into());
+            let oplog_dir = args
+                .oplog_dir
+                .clone()
+                .unwrap_or_else(|| "serve-oplog".into());
             let registry = Registry::new();
             let mut cfg = ServeConfig::new(addr, &db_dir, &hints_dir);
             cfg.registry = registry.clone();
+            cfg.oplog = Some(OpLogConfig::new(&oplog_dir));
             if let Some(t) = args.reopt_threshold {
                 cfg.reopt_threshold = t;
             }
@@ -600,8 +702,8 @@ fn main() -> ExitCode {
                 }
             };
             println!(
-                "apt-serve listening on {} (shards in {db_dir}, hints in {hints_dir}; \
-                 Ctrl-C to stop)",
+                "apt-serve listening on {} (shards in {db_dir}, hints in {hints_dir}, \
+                 op-log in {oplog_dir}; Ctrl-C to stop)",
                 daemon.addr()
             );
             // The process is the daemon; uploads arrive on its threads.
@@ -625,10 +727,33 @@ fn main() -> ExitCode {
                     .map(|n| n.to_string_lossy().into_owned())
                     .unwrap_or_else(|| file.to_string())
             });
-            let reply = Client::connect(addr).and_then(|mut c| c.upload_file(tenant, &label, file));
+            // One trace ID for the whole upload, retries included, so the
+            // daemon's op-log shows every redial under the same request.
+            let trace = fresh_trace_id();
+            let mut backoff = std::time::Duration::from_millis(200);
+            let mut attempt = 0u32;
+            let reply = loop {
+                attempt += 1;
+                let reply = Client::connect(addr)
+                    .and_then(|mut c| c.upload_file_traced(tenant, &label, trace, file));
+                match reply {
+                    Err(e) if attempt <= args.retry && connection_dropped(&e) => {
+                        eprintln!(
+                            "upload attempt {attempt}/{} failed (trace {}): {e}; \
+                             retrying in {:?}",
+                            args.retry + 1,
+                            trace_hex(trace),
+                            backoff
+                        );
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(std::time::Duration::from_secs(5));
+                    }
+                    other => break other,
+                }
+            };
             match reply {
                 Ok(r) => {
-                    println!("{}", r.message);
+                    println!("{} (trace {})", r.message, trace_hex(r.trace));
                     match r.generation {
                         Some(g) => println!(
                             "reoptimized: hint generation {g} hot-swapped \
@@ -640,7 +765,7 @@ fn main() -> ExitCode {
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
-                    eprintln!("error: {e}");
+                    eprintln!("error: {e} (trace {})", trace_hex(trace));
                     ExitCode::FAILURE
                 }
             }
@@ -662,6 +787,60 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "serve-dash" => {
+            let oplog_dir = args
+                .oplog_dir
+                .clone()
+                .unwrap_or_else(|| "serve-oplog".into());
+            let records = match read_oplog_dir(std::path::Path::new(&oplog_dir)) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: op-log {oplog_dir} failed validation: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if records.is_empty() {
+                eprintln!("error: {oplog_dir} holds no op-log records");
+                return ExitCode::FAILURE;
+            }
+            let metrics_text = if let Some(path) = &args.metrics_file {
+                match std::fs::read_to_string(path) {
+                    Ok(t) => Some(t),
+                    Err(e) => {
+                        eprintln!("error: could not read {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else if let Some(maddr) = &args.metrics_addr {
+                match scrape_metrics(maddr) {
+                    Ok(t) => Some(t),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                None
+            };
+            let out_path = args.out.as_deref().unwrap_or("serve-dash.html");
+            let page = render_dashboard(&records, metrics_text.as_deref());
+            if let Err(e) = std::fs::write(out_path, page) {
+                eprintln!("error: could not write {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "[dashboard: {} op-log record(s) from {oplog_dir} → {out_path}]",
+                records.len()
+            );
+            if let Some(trace_path) = &args.trace_out {
+                if let Err(e) = std::fs::write(trace_path, chrome_trace(&records)) {
+                    eprintln!("error: could not write {trace_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("[daemon spans written to {trace_path}]");
+            }
+            ExitCode::SUCCESS
+        }
         "rollback" => {
             let Some(tenant) = args.tenant.as_deref() else {
                 eprintln!("error: `rollback` needs --tenant NAME");
@@ -679,9 +858,34 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            match swapper.rollback("operator rollback via aptgetsim") {
+            let note = "operator rollback via aptgetsim";
+            let from_gen = swapper.current_generation().unwrap_or(0);
+            match swapper.rollback(note) {
                 Ok(Some(gen)) => {
                     println!("rolled back {tenant} to hint generation {gen}");
+                    // Audit on the daemon's op-log when one is present —
+                    // rollbacks are exactly the events an operator later
+                    // wants on the dashboard's decision table.
+                    let oplog_dir =
+                        std::path::Path::new(args.oplog_dir.as_deref().unwrap_or("serve-oplog"))
+                            .to_path_buf();
+                    if oplog_dir.is_dir() {
+                        match Obs::new(
+                            Arc::new(apt_selfprof::MonotonicClock::new()),
+                            Some(OpLogConfig::new(&oplog_dir)),
+                        ) {
+                            Ok(obs) => obs.record(OpKind::Rollback {
+                                tenant: tenant.to_string(),
+                                from_gen,
+                                to_gen: gen,
+                                note: note.to_string(),
+                            }),
+                            Err(e) => eprintln!(
+                                "warning: could not append to op-log {}: {e}",
+                                oplog_dir.display()
+                            ),
+                        }
+                    }
                     ExitCode::SUCCESS
                 }
                 Ok(None) => {

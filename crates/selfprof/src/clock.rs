@@ -16,6 +16,15 @@ pub trait Clock: Send + Sync {
     fn now_us(&self) -> u64;
 }
 
+/// Shared clocks read through the `Arc` transparently, so a component
+/// can hold `Arc<dyn Clock>` and hand clones to worker threads while
+/// still treating the handle itself as a [`Clock`].
+impl<C: Clock + ?Sized> Clock for std::sync::Arc<C> {
+    fn now_us(&self) -> u64 {
+        (**self).now_us()
+    }
+}
+
 /// Wall-clock time from [`Instant`], anchored at construction.
 pub struct MonotonicClock {
     epoch: Instant,
@@ -80,6 +89,14 @@ mod tests {
         let a = c.now_us();
         let b = c.now_us();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn arc_wrapped_clocks_share_state() {
+        let shared: std::sync::Arc<dyn Clock> = std::sync::Arc::new(FakeClock::new(2));
+        let clone = std::sync::Arc::clone(&shared);
+        assert_eq!(shared.now_us(), 0);
+        assert_eq!(clone.now_us(), 2, "both handles read the same counter");
     }
 
     #[test]

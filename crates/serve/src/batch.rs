@@ -31,7 +31,8 @@ use std::time::Instant;
 
 use apt_ingest::{detect_drift, AggregateProfile, DriftConfig, Epoch, ProfileDb};
 
-use crate::metrics::ServeMetrics;
+use crate::metrics::{QueueDepth, ServeMetrics};
+use crate::oplog::{EpochOutcome, Obs, OpKind, ReoptOutcome, Stage};
 use crate::shard::ShardStore;
 use crate::swap::HintSwapper;
 
@@ -65,6 +66,11 @@ pub struct Job {
     pub events: u64,
     /// When the frame arrived (ingest-latency histogram).
     pub received: Instant,
+    /// Trace ID the upload's op-log spans are recorded under.
+    pub trace: u64,
+    /// Obs-clock reading when the job entered the committer queue (the
+    /// queue span runs from here to the batch drain).
+    pub enqueued_us: u64,
     /// Where the per-job verdict goes.
     pub reply: Sender<Result<Accepted, String>>,
 }
@@ -94,6 +100,10 @@ pub struct Committer {
     pub epoch_cap: usize,
     pub metrics: ServeMetrics,
     pub reopt: Arc<dyn Reoptimizer>,
+    /// Op-log + clock (share the acceptor's so spans line up).
+    pub obs: Arc<Obs>,
+    /// Queue accounting shared with the enqueuing handlers.
+    pub queue: QueueDepth,
 }
 
 impl Committer {
@@ -114,10 +124,34 @@ impl Committer {
     pub fn commit_batch(&self, batch: Vec<Job>) {
         apt_selfprof::prof_scope!("serve/commit_batch");
         self.metrics.batches.inc();
+        let jobs_n = batch.len() as u64;
+        let drained_us = self.obs.now_us();
+        self.queue.exit_n(jobs_n);
+        self.queue.note_batch(jobs_n);
+        let queue_hist = self.metrics.stage_latency("queue");
         let mut by_tenant: BTreeMap<String, Vec<Job>> = BTreeMap::new();
         for job in batch {
+            // The queue span closes here for every job in the batch: it
+            // waited from its enqueue to this drain.
+            let dur_us = drained_us.saturating_sub(job.enqueued_us);
+            self.obs.record_at(
+                job.enqueued_us,
+                OpKind::Span {
+                    trace: job.trace,
+                    tenant: job.tenant.clone(),
+                    stage: Stage::Queue,
+                    start_us: job.enqueued_us,
+                    dur_us,
+                },
+            );
+            queue_hist.observe(dur_us);
             by_tenant.entry(job.tenant.clone()).or_default().push(job);
         }
+        self.obs.record(OpKind::Batch {
+            jobs: jobs_n,
+            tenants: by_tenant.len() as u64,
+            queue_depth: self.queue.depth(),
+        });
         for (tenant, jobs) in by_tenant {
             self.commit_tenant(&tenant, jobs);
         }
@@ -131,6 +165,7 @@ impl Committer {
                 agg: j.agg.clone(),
             })
             .collect();
+        let commit_start = self.obs.now_us();
         let outcome = match self.store.apply(tenant, epochs, self.epoch_cap) {
             Ok(o) => o,
             Err(e) => {
@@ -143,6 +178,22 @@ impl Committer {
                 return;
             }
         };
+        // One shard write served every job in the group, so they all get
+        // the same commit span.
+        let commit_dur = self.obs.now_us().saturating_sub(commit_start);
+        for job in &jobs {
+            self.obs.record_at(
+                commit_start,
+                OpKind::Span {
+                    trace: job.trace,
+                    tenant: tenant.to_string(),
+                    stage: Stage::Commit,
+                    start_us: commit_start,
+                    dur_us: commit_dur,
+                },
+            );
+        }
+        self.metrics.stage_latency("commit").observe(commit_dur);
         self.metrics
             .epochs_ingested(tenant)
             .add(outcome.accepted.len() as u64);
@@ -152,12 +203,31 @@ impl Committer {
         self.metrics
             .epochs_evicted(tenant)
             .add(outcome.evicted.len() as u64);
+        for label in &outcome.evicted {
+            // Evictions displace *older* epochs, not anything uploaded in
+            // this batch, so they carry no trace.
+            self.obs.record(OpKind::Epoch {
+                trace: 0,
+                tenant: tenant.to_string(),
+                label: label.clone(),
+                outcome: EpochOutcome::Evicted,
+                detail: "epoch cap".to_string(),
+            });
+        }
 
-        let verdict = self.reoptimize_if_moved(tenant, &outcome.db);
+        let traces: Vec<u64> = jobs.iter().map(|j| j.trace).collect();
+        let verdict = self.reoptimize_if_moved(tenant, &outcome.db, &traces);
 
         let mut unclaimed: HashSet<&str> = outcome.accepted.iter().map(|s| s.as_str()).collect();
         for job in jobs {
             let result = if unclaimed.remove(job.label.as_str()) {
+                self.obs.record(OpKind::Epoch {
+                    trace: job.trace,
+                    tenant: tenant.to_string(),
+                    label: job.label.clone(),
+                    outcome: EpochOutcome::Accepted,
+                    detail: String::new(),
+                });
                 Ok(Accepted {
                     shard_epochs: outcome.db.epochs.len() as u64,
                     drifted: verdict.drifted,
@@ -172,6 +242,13 @@ impl Committer {
                     .find(|(l, _)| *l == job.label)
                     .map(|(_, r)| r.clone())
                     .unwrap_or_else(|| "epoch not committed".to_string());
+                self.obs.record(OpKind::Epoch {
+                    trace: job.trace,
+                    tenant: tenant.to_string(),
+                    label: job.label.clone(),
+                    outcome: EpochOutcome::Rejected,
+                    detail: reason.clone(),
+                });
                 Err(reason)
             };
             let _ = job.reply.send(result);
@@ -186,7 +263,12 @@ impl Committer {
     }
 
     /// Post-commit drift detection + hint reoptimization for one shard.
-    fn reoptimize_if_moved(&self, tenant: &str, db: &ProfileDb) -> Verdict {
+    /// `traces` are the trace IDs of the jobs whose commit triggered
+    /// this evaluation: each gets a drift span (the evaluation serves
+    /// them all); singular decision records (drift score, reopt verdict,
+    /// swap) attribute to the first.
+    fn reoptimize_if_moved(&self, tenant: &str, db: &ProfileDb, traces: &[u64]) -> Verdict {
+        let primary = traces.first().copied().unwrap_or(0);
         let mut verdict = Verdict::default();
         let swapper = match HintSwapper::open(self.hints_dir.join(tenant)) {
             Ok(s) => s,
@@ -198,7 +280,9 @@ impl Committer {
         };
         verdict.generation = swapper.current_generation();
 
+        let drift_start = self.obs.now_us();
         let mut report_text = None;
+        let mut drift_label = String::new();
         if db.epochs.len() >= 2 {
             let newest = db.epochs.last().expect("non-empty");
             let report = detect_drift(
@@ -210,8 +294,33 @@ impl Committer {
             );
             verdict.drifted = report.exceeds(self.reopt_threshold);
             verdict.max_tv = report.max_tv_distance();
+            drift_label = newest.label.clone();
             report_text = Some(report.render());
         }
+        // Drift is evaluated (even trivially, on a 1-epoch shard) for
+        // every commit, so each trace's span chain always runs
+        // parse → queue → commit → drift.
+        let drift_dur = self.obs.now_us().saturating_sub(drift_start);
+        for &t in traces {
+            self.obs.record_at(
+                drift_start,
+                OpKind::Span {
+                    trace: t,
+                    tenant: tenant.to_string(),
+                    stage: Stage::Drift,
+                    start_us: drift_start,
+                    dur_us: drift_dur,
+                },
+            );
+        }
+        self.metrics.stage_latency("drift").observe(drift_dur);
+        self.obs.record(OpKind::Drift {
+            trace: primary,
+            tenant: tenant.to_string(),
+            label: drift_label,
+            max_tv: verdict.max_tv,
+            exceeded: verdict.drifted,
+        });
         if verdict.drifted {
             self.metrics.drift_exceeded(tenant).inc();
         }
@@ -220,7 +329,11 @@ impl Committer {
         // `current.hints` tracks the shard. Swap only when the bytes
         // actually change (first drift always changes: no file yet).
         if verdict.drifted || verdict.generation.is_some() {
-            match self.reopt.reoptimize(tenant, db) {
+            let reopt_start = self.obs.now_us();
+            let derived = self.reopt.reoptimize(tenant, db);
+            let reopt_dur = self.obs.span(primary, tenant, Stage::Reopt, reopt_start);
+            self.metrics.stage_latency("reopt").observe(reopt_dur);
+            match derived {
                 Ok(bytes) => {
                     let unchanged = fs::read(swapper.current_hints_path())
                         .map(|cur| cur == bytes)
@@ -231,21 +344,61 @@ impl Committer {
                         } else {
                             "refresh".to_string()
                         };
+                        let swap_start = self.obs.now_us();
                         match swapper.swap_in(&bytes, &note) {
                             Ok(gen) => {
                                 verdict.generation = Some(gen);
                                 self.metrics.reoptimize(tenant).inc();
+                                let swap_dur =
+                                    self.obs.span(primary, tenant, Stage::Swap, swap_start);
+                                self.metrics.stage_latency("swap").observe(swap_dur);
+                                self.obs.record(OpKind::Swap {
+                                    trace: primary,
+                                    tenant: tenant.to_string(),
+                                    generation: gen,
+                                    bytes: bytes.len() as u64,
+                                    note: note.clone(),
+                                });
+                                self.obs.record(OpKind::Reopt {
+                                    trace: primary,
+                                    tenant: tenant.to_string(),
+                                    outcome: ReoptOutcome::Swapped,
+                                    generation: gen,
+                                    detail: note,
+                                });
                             }
                             Err(e) => {
                                 eprintln!("serve: hint swap for `{tenant}` failed: {e}");
                                 self.metrics.errors.inc();
+                                self.obs.record(OpKind::Reopt {
+                                    trace: primary,
+                                    tenant: tenant.to_string(),
+                                    outcome: ReoptOutcome::Failed,
+                                    generation: verdict.generation.unwrap_or(0),
+                                    detail: format!("swap failed: {e}"),
+                                });
                             }
                         }
+                    } else {
+                        self.obs.record(OpKind::Reopt {
+                            trace: primary,
+                            tenant: tenant.to_string(),
+                            outcome: ReoptOutcome::Unchanged,
+                            generation: verdict.generation.unwrap_or(0),
+                            detail: String::new(),
+                        });
                     }
                 }
                 Err(reason) => {
                     eprintln!("serve: reoptimize for `{tenant}` failed: {reason}");
                     self.metrics.errors.inc();
+                    self.obs.record(OpKind::Reopt {
+                        trace: primary,
+                        tenant: tenant.to_string(),
+                        outcome: ReoptOutcome::Failed,
+                        generation: verdict.generation.unwrap_or(0),
+                        detail: reason,
+                    });
                 }
             }
         }
@@ -293,16 +446,20 @@ mod tests {
     fn committer(tag: &str) -> (Committer, PathBuf) {
         let root = std::env::temp_dir().join(format!("apt-batch-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&root);
+        let metrics = ServeMetrics::new(&Registry::new());
+        let queue = QueueDepth::new(&metrics);
         let c = Committer {
             store: ShardStore::open(root.join("db")).unwrap(),
             hints_dir: root.join("hints"),
             drift: DriftConfig::default(),
             reopt_threshold: 0.35,
             epoch_cap: 0,
-            metrics: ServeMetrics::new(&Registry::new()),
+            metrics,
             reopt: Arc::new(FnReoptimizer(|tenant: &str, db: &ProfileDb| {
                 Ok(format!("hints for {tenant}: {} epochs\n", db.epochs.len()).into_bytes())
             })),
+            obs: Arc::new(Obs::disabled()),
+            queue,
         };
         (c, root)
     }
@@ -320,6 +477,8 @@ mod tests {
                 agg: agg(center),
                 events: 1,
                 received: Instant::now(),
+                trace: 0,
+                enqueued_us: 0,
                 reply: tx,
             },
             rx,
@@ -447,6 +606,71 @@ mod tests {
         let err = r2.recv().unwrap().unwrap_err();
         assert!(err.contains("duplicate"), "got: {err}");
         assert_eq!(c.metrics.epochs_rejected("t").get(), 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn commits_leave_a_complete_op_log_trail() {
+        let (mut c, root) = committer("oplog");
+        let clock = Arc::new(apt_selfprof::FakeClock::new(5));
+        c.obs = Arc::new(
+            Obs::new(
+                clock,
+                Some(crate::oplog::OpLogConfig::new(root.join("oplog"))),
+            )
+            .unwrap(),
+        );
+        let (mut j1, r1) = job("t", "e1", 100);
+        j1.trace = 0xA1;
+        c.commit_batch(vec![j1]);
+        r1.recv().unwrap().unwrap();
+        let (mut j2, r2) = job("t", "e2", 400);
+        j2.trace = 0xB2;
+        c.commit_batch(vec![j2]);
+        assert_eq!(r2.recv().unwrap().unwrap().generation, Some(1));
+
+        let records = crate::oplog::read_oplog_dir(&root.join("oplog")).unwrap();
+        // Both commits carry a full queue → commit → drift span chain
+        // under their trace (parse happens in the daemon handler, not
+        // the committer).
+        for trace in [0xA1u64, 0xB2] {
+            for stage in [Stage::Queue, Stage::Commit, Stage::Drift] {
+                assert!(
+                    records.iter().any(|r| matches!(
+                        &r.kind,
+                        OpKind::Span { trace: t, stage: s, .. } if *t == trace && *s == stage
+                    )),
+                    "missing {} span for trace {trace:#x}",
+                    stage.name()
+                );
+            }
+        }
+        // The drifted commit's decisions are all on the log.
+        assert!(records.iter().any(|r| matches!(
+            &r.kind,
+            OpKind::Drift { trace: 0xB2, exceeded: true, label, .. } if label == "e2"
+        )));
+        assert!(records.iter().any(|r| matches!(
+            &r.kind,
+            OpKind::Swap {
+                trace: 0xB2,
+                generation: 1,
+                ..
+            }
+        )));
+        assert!(records.iter().any(|r| matches!(
+            &r.kind,
+            OpKind::Reopt {
+                trace: 0xB2,
+                outcome: ReoptOutcome::Swapped,
+                generation: 1,
+                ..
+            }
+        )));
+        assert!(records.iter().any(|r| matches!(
+            &r.kind,
+            OpKind::Epoch { trace: 0xA1, outcome: EpochOutcome::Accepted, label, .. } if label == "e1"
+        )));
         let _ = fs::remove_dir_all(&root);
     }
 

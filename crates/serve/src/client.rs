@@ -65,20 +65,46 @@ impl Client {
         len: u64,
         reader: &mut dyn Read,
     ) -> Result<UploadReply, ClientError> {
+        self.upload_inner(tenant, label, None, len, reader)
+    }
+
+    /// [`Client::upload_reader`] over the traced (kind-3) framing: the
+    /// upload's daemon-side spans are recorded under `trace` (0 lets
+    /// the daemon assign one), and the reply echoes the effective ID.
+    pub fn upload_reader_traced(
+        &mut self,
+        tenant: &str,
+        label: &str,
+        trace: u64,
+        len: u64,
+        reader: &mut dyn Read,
+    ) -> Result<UploadReply, ClientError> {
+        self.upload_inner(tenant, label, Some(trace), len, reader)
+    }
+
+    fn upload_inner(
+        &mut self,
+        tenant: &str,
+        label: &str,
+        trace: Option<u64>,
+        len: u64,
+        reader: &mut dyn Read,
+    ) -> Result<UploadReply, ClientError> {
         if !protocol::valid_tenant(tenant) {
             return Err(ClientError::Protocol(format!("invalid tenant `{tenant}`")));
         }
         if !protocol::valid_label(label) {
             return Err(ClientError::Protocol(format!("invalid label `{label}`")));
         }
-        protocol::write_upload_header(
-            &mut self.stream,
-            &UploadHeader {
-                tenant: tenant.to_string(),
-                label: label.to_string(),
-                body_len: len,
-            },
-        )?;
+        let header = UploadHeader {
+            tenant: tenant.to_string(),
+            label: label.to_string(),
+            body_len: len,
+        };
+        match trace {
+            Some(t) => protocol::write_upload_header_traced(&mut self.stream, &header, t)?,
+            None => protocol::write_upload_header(&mut self.stream, &header)?,
+        }
         let copied = io::copy(&mut reader.take(len), &mut self.stream)?;
         if copied != len {
             // The announced length was wrong; the stream is desynced
@@ -87,7 +113,11 @@ impl Client {
                 "body shorter than announced: {copied} of {len} bytes"
             )));
         }
-        match protocol::read_upload_reply(&mut self.stream)? {
+        let reply = match trace {
+            Some(_) => protocol::read_upload_reply_traced(&mut self.stream)?,
+            None => protocol::read_upload_reply(&mut self.stream)?,
+        };
+        match reply {
             Reply::Upload(reply) => Ok(reply),
             Reply::Err(message) => Err(ClientError::Server(message)),
             other => Err(ClientError::Protocol(format!(
@@ -107,6 +137,19 @@ impl Client {
         let file = fs::File::open(&path)?;
         let len = file.metadata()?.len();
         self.upload_reader(tenant, label, len, &mut io::BufReader::new(file))
+    }
+
+    /// [`Client::upload_file`] over the traced (kind-3) framing.
+    pub fn upload_file_traced(
+        &mut self,
+        tenant: &str,
+        label: &str,
+        trace: u64,
+        path: impl AsRef<Path>,
+    ) -> Result<UploadReply, ClientError> {
+        let file = fs::File::open(&path)?;
+        let len = file.metadata()?.len();
+        self.upload_reader_traced(tenant, label, trace, len, &mut io::BufReader::new(file))
     }
 
     /// Fetches a tenant's status report.

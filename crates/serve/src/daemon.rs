@@ -22,16 +22,18 @@
 use std::io::{self, BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use apt_ingest::{AggregateProfile, DriftConfig, IdentityRemap};
 use apt_metrics::Registry;
+use apt_selfprof::{Clock, MonotonicClock};
 
 use crate::batch::{Committer, Job, Reoptimizer};
-use crate::metrics::ServeMetrics;
+use crate::metrics::{QueueDepth, ServeMetrics};
+use crate::oplog::{Obs, OpKind, OpLogConfig, Stage};
 use crate::protocol::{self, UploadReply};
 use crate::shard::ShardStore;
 use crate::swap::CURRENT_HINTS;
@@ -43,7 +45,7 @@ const POLL: Duration = Duration::from_millis(25);
 const FRAME_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Daemon configuration.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServeConfig {
     /// Listen address (`127.0.0.1:0` for an ephemeral port).
     pub addr: String,
@@ -61,6 +63,30 @@ pub struct ServeConfig {
     pub max_body: u64,
     /// Metrics registry ([`Registry::disabled`] for none).
     pub registry: Registry,
+    /// Time source for op-log timestamps and request spans (tests
+    /// inject a [`apt_selfprof::FakeClock`] for byte-stable logs).
+    pub clock: Arc<dyn Clock>,
+    /// Op-log destination (`None` disables the op-log).
+    pub oplog: Option<OpLogConfig>,
+    /// Committer queue depth at which `serve-status` reports a backlog
+    /// warning (0 disables the warning).
+    pub queue_warn: u64,
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("addr", &self.addr)
+            .field("db_dir", &self.db_dir)
+            .field("hints_dir", &self.hints_dir)
+            .field("drift", &self.drift)
+            .field("reopt_threshold", &self.reopt_threshold)
+            .field("epoch_cap", &self.epoch_cap)
+            .field("max_body", &self.max_body)
+            .field("oplog", &self.oplog)
+            .field("queue_warn", &self.queue_warn)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ServeConfig {
@@ -79,6 +105,9 @@ impl ServeConfig {
             epoch_cap: 0,
             max_body: protocol::DEFAULT_MAX_BODY,
             registry: Registry::disabled(),
+            clock: Arc::new(MonotonicClock::new()),
+            oplog: None,
+            queue_warn: 64,
         }
     }
 }
@@ -89,6 +118,10 @@ struct Shared {
     hints_dir: PathBuf,
     metrics: ServeMetrics,
     max_body: u64,
+    obs: Arc<Obs>,
+    queue: QueueDepth,
+    queue_warn: u64,
+    conn_seq: AtomicU64,
 }
 
 /// A running daemon. Dropping it shuts everything down.
@@ -105,6 +138,8 @@ impl Daemon {
     pub fn start(config: ServeConfig, reopt: Arc<dyn Reoptimizer>) -> io::Result<Daemon> {
         let store = ShardStore::open(&config.db_dir)?;
         let metrics = ServeMetrics::new(&config.registry);
+        let obs = Arc::new(Obs::new(Arc::clone(&config.clock), config.oplog.clone())?);
+        let queue = QueueDepth::new(&metrics);
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -119,6 +154,8 @@ impl Daemon {
             epoch_cap: config.epoch_cap,
             metrics: metrics.clone(),
             reopt,
+            obs: Arc::clone(&obs),
+            queue: queue.clone(),
         };
         let committer_handle = std::thread::Builder::new()
             .name("apt-serve-commit".to_string())
@@ -130,6 +167,10 @@ impl Daemon {
             hints_dir: config.hints_dir,
             metrics,
             max_body: config.max_body,
+            obs,
+            queue,
+            queue_warn: config.queue_warn,
+            conn_seq: AtomicU64::new(0),
         });
         let stop2 = Arc::clone(&stop);
         let acceptor = std::thread::Builder::new()
@@ -202,11 +243,27 @@ impl Drop for Daemon {
 }
 
 /// One connection: hello, then request frames until EOF or shutdown.
+/// Assigns the connection number and brackets the frame loop with
+/// op-log open/close records on every exit path.
 fn handle_connection(
     stream: TcpStream,
     shared: &Shared,
     stop: &AtomicBool,
     jobs: &Sender<Job>,
+) -> io::Result<()> {
+    let conn = shared.conn_seq.fetch_add(1, Ordering::Relaxed) + 1;
+    shared.obs.record(OpKind::ConnOpen { conn });
+    let result = serve_connection(stream, shared, stop, jobs, conn);
+    shared.obs.record(OpKind::ConnClose { conn });
+    result
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    shared: &Shared,
+    stop: &AtomicBool,
+    jobs: &Sender<Job>,
+    conn: u64,
 ) -> io::Result<()> {
     // Replies are tiny; Nagle+delayed-ACK would add ~40 ms per frame.
     stream.set_nodelay(true)?;
@@ -219,6 +276,7 @@ fn handle_connection(
         let _ = protocol::write_error(&mut (&stream), "bad hello: this is an APTS1 endpoint");
         return Ok(());
     }
+    let mut upload_seq = 0u64;
     loop {
         // Idle between frames: short timeout so shutdown is noticed.
         stream.set_read_timeout(Some(POLL))?;
@@ -228,7 +286,13 @@ fn handle_connection(
         };
         stream.set_read_timeout(Some(FRAME_TIMEOUT))?;
         match kind {
-            protocol::KIND_UPLOAD => handle_upload(&stream, shared, jobs)?,
+            protocol::KIND_UPLOAD => {
+                handle_upload(&stream, shared, jobs, conn, &mut upload_seq, None)?
+            }
+            protocol::KIND_UPLOAD_TRACED => {
+                let trace = protocol::read_trace_id(&mut (&stream))?;
+                handle_upload(&stream, shared, jobs, conn, &mut upload_seq, Some(trace))?
+            }
             protocol::KIND_STATUS => handle_status(&stream, shared)?,
             other => {
                 // Unknown kind: the stream is desynchronised, close.
@@ -263,10 +327,26 @@ fn wait_for_kind(stream: &TcpStream, stop: &AtomicBool) -> io::Result<Option<u8>
 }
 
 /// One UPLOAD frame: stream-parse the body, hand the aggregate to the
-/// committer, relay its verdict.
-fn handle_upload(stream: &TcpStream, shared: &Shared, jobs: &Sender<Job>) -> io::Result<()> {
+/// committer, relay its verdict. `client_trace` is `Some` for kind-3
+/// frames (the traced reply framing echoes the effective trace ID);
+/// either way the upload gets a trace — `(conn << 16) | upload_seq`
+/// when the client did not pick one — so kind-1 uploads still leave a
+/// full span chain in the op-log.
+fn handle_upload(
+    stream: &TcpStream,
+    shared: &Shared,
+    jobs: &Sender<Job>,
+    conn: u64,
+    upload_seq: &mut u64,
+    client_trace: Option<u64>,
+) -> io::Result<()> {
     apt_selfprof::prof_scope!("serve/upload");
     let received = Instant::now();
+    *upload_seq += 1;
+    let trace = match client_trace {
+        Some(t) if t != 0 => t,
+        _ => (conn << 16) | *upload_seq,
+    };
     let header = match protocol::read_upload_header(&mut (&*stream), shared.max_body) {
         Ok(h) => h,
         Err(e) => {
@@ -280,6 +360,7 @@ fn handle_upload(stream: &TcpStream, shared: &Shared, jobs: &Sender<Job>) -> io:
 
     // The body streams straight off the socket into the incremental
     // parser — a 64 MiB dump never materialises in memory.
+    let parse_start = shared.obs.now_us();
     let mut body = stream.take(header.body_len);
     let parsed = apt_ingest::parse_reader(BufReader::new(&mut body), &IdentityRemap);
     // On a parse error the body's tail is still on the wire; drain it
@@ -294,19 +375,28 @@ fn handle_upload(stream: &TcpStream, shared: &Shared, jobs: &Sender<Job>) -> io:
             return protocol::write_error(&mut (&*stream), &format!("parse failed: {e}"));
         }
     };
+    let parse_dur = shared
+        .obs
+        .span(trace, &header.tenant, Stage::Parse, parse_start);
+    shared.metrics.stage_latency("parse").observe(parse_dur);
     let agg = AggregateProfile::from_profile(&ingested.profile, &ingested.stats_or_default());
     let events = ingested.events as u64;
 
     let (reply_tx, reply_rx) = mpsc::channel();
+    let enqueued_us = shared.obs.now_us();
+    shared.queue.enter();
     let job = Job {
         tenant: header.tenant,
         label: header.label,
         agg,
         events,
         received,
+        trace,
+        enqueued_us,
         reply: reply_tx,
     };
     if jobs.send(job).is_err() {
+        shared.queue.exit_n(1);
         shared.metrics.errors.inc();
         return protocol::write_error(&mut (&*stream), "daemon is shutting down");
     }
@@ -322,17 +412,20 @@ fn handle_upload(stream: &TcpStream, shared: &Shared, jobs: &Sender<Job>) -> io:
                     ""
                 },
             );
-            protocol::write_upload_reply(
-                &mut (&*stream),
-                &UploadReply {
-                    events,
-                    shard_epochs: accepted.shard_epochs,
-                    drifted: accepted.drifted,
-                    max_tv: accepted.max_tv,
-                    generation: accepted.generation,
-                    message,
-                },
-            )
+            let reply = UploadReply {
+                events,
+                shard_epochs: accepted.shard_epochs,
+                drifted: accepted.drifted,
+                max_tv: accepted.max_tv,
+                generation: accepted.generation,
+                message,
+                trace,
+            };
+            if client_trace.is_some() {
+                protocol::write_upload_reply_traced(&mut (&*stream), &reply)
+            } else {
+                protocol::write_upload_reply(&mut (&*stream), &reply)
+            }
         }
         Ok(Err(reason)) => protocol::write_error(&mut (&*stream), &reason),
         Err(_) => protocol::write_error(&mut (&*stream), "commit pipeline hung up"),
@@ -346,8 +439,23 @@ fn handle_status(stream: &TcpStream, shared: &Shared) -> io::Result<()> {
         shared.metrics.errors.inc();
         return protocol::write_error(&mut (&*stream), &format!("invalid tenant `{tenant}`"));
     }
-    let report = status_text(&shared.store, &shared.hints_dir, &tenant);
+    let mut report = status_text(&shared.store, &shared.hints_dir, &tenant);
+    // The backlog warning rides the live queue depth, never the shard,
+    // so `status_text` stays a pure function of shard + hints (the
+    // arrival-order determinism contract) and an idle daemon never
+    // prints it.
+    if let Some(warning) = backlog_warning(shared.queue.depth(), shared.queue_warn) {
+        report.push_str(&warning);
+    }
     protocol::write_status_reply(&mut (&*stream), &report)
+}
+
+/// The `serve-status` backlog warning line, or `None` while the
+/// committer keeps up (or warnings are disabled with `queue_warn` 0).
+pub fn backlog_warning(depth: u64, queue_warn: u64) -> Option<String> {
+    (queue_warn > 0 && depth >= queue_warn).then(|| {
+        format!("warning: committer queue depth {depth} >= {queue_warn} (ingest backlogged)\n")
+    })
 }
 
 /// Renders a tenant's status. Deliberately excludes generation numbers
@@ -408,5 +516,18 @@ mod tests {
             "tenant BFS: 1 epoch(s), hints active\n  e1: 2 lbr snapshot(s), 3 pebs sample(s), 42 instructions\n"
         );
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn backlog_warning_fires_only_at_or_past_the_threshold() {
+        assert_eq!(backlog_warning(0, 64), None);
+        assert_eq!(backlog_warning(63, 64), None);
+        assert_eq!(
+            backlog_warning(64, 64).as_deref(),
+            Some("warning: committer queue depth 64 >= 64 (ingest backlogged)\n")
+        );
+        assert!(backlog_warning(1000, 64).is_some());
+        // queue_warn 0 disables the warning outright.
+        assert_eq!(backlog_warning(1000, 0), None);
     }
 }

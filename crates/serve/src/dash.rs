@@ -1,0 +1,505 @@
+//! The operator dashboard: renders a validated op-log (plus an optional
+//! `/metrics` scrape) into one self-contained inline-SVG HTML page, and
+//! exports the daemon's request spans as a Chrome trace document.
+//!
+//! Everything here is a pure function of its inputs — no clocks, no
+//! filesystem — so under a `FakeClock`-produced op-log the HTML and the
+//! trace JSON are byte-stable (golden-tested in `tests/dash_golden.rs`),
+//! and the page follows `apt-timeline`'s air-gap discipline: no
+//! JavaScript, no external references.
+
+use std::collections::BTreeMap;
+
+use apt_timeline::html::{self, Series, VMark, PALETTE};
+use apt_trace::{ChromeTrace, Span};
+
+use crate::oplog::{trace_hex, EpochOutcome, OpKind, OpRecord, STAGES};
+
+/// Time buckets per chart (the implicit x axis).
+const BUCKETS: usize = 30;
+
+fn palette(i: usize) -> &'static str {
+    PALETTE[i % PALETTE.len()]
+}
+
+/// `[t_min, t_max]` over every record, or `None` for an empty log.
+fn time_range(records: &[OpRecord]) -> Option<(u64, u64)> {
+    let min = records.iter().map(|r| r.t_us).min()?;
+    let max = records.iter().map(|r| r.t_us).max()?;
+    Some((min, max))
+}
+
+fn bucket_of(t_us: u64, range: (u64, u64)) -> usize {
+    let (lo, hi) = range;
+    if hi <= lo {
+        return 0;
+    }
+    let idx = ((t_us - lo) as u128 * BUCKETS as u128 / (hi - lo + 1) as u128) as usize;
+    idx.min(BUCKETS - 1)
+}
+
+fn overview_section(records: &[OpRecord]) -> String {
+    let mut conns = 0u64;
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    let mut evicted = 0u64;
+    let mut batches = 0u64;
+    let mut swaps = 0u64;
+    let mut rollbacks = 0u64;
+    let mut traces = std::collections::BTreeSet::new();
+    for r in records {
+        match &r.kind {
+            OpKind::ConnOpen { .. } => conns += 1,
+            OpKind::Epoch { outcome, .. } => match outcome {
+                EpochOutcome::Accepted => accepted += 1,
+                EpochOutcome::Rejected => rejected += 1,
+                EpochOutcome::Evicted => evicted += 1,
+            },
+            OpKind::Batch { .. } => batches += 1,
+            OpKind::Swap { .. } => swaps += 1,
+            OpKind::Rollback { .. } => rollbacks += 1,
+            OpKind::Span { trace, .. } => {
+                traces.insert(*trace);
+            }
+            _ => {}
+        }
+    }
+    let mut out = String::from("<table><tr><th>what</th><th>count</th></tr>");
+    for (what, n) in [
+        ("records", records.len() as u64),
+        ("connections", conns),
+        ("traces", traces.len() as u64),
+        ("epochs accepted", accepted),
+        ("epochs rejected", rejected),
+        ("epochs evicted", evicted),
+        ("batches", batches),
+        ("hint swaps", swaps),
+        ("rollbacks", rollbacks),
+    ] {
+        out.push_str(&format!("<tr><td>{what}</td><td>{n}</td></tr>"));
+    }
+    out.push_str("</table>");
+    out
+}
+
+fn ingest_section(records: &[OpRecord], range: (u64, u64)) -> String {
+    let mut per_tenant: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    for r in records {
+        if let OpKind::Epoch {
+            tenant,
+            outcome: EpochOutcome::Accepted,
+            ..
+        } = &r.kind
+        {
+            per_tenant
+                .entry(tenant)
+                .or_insert_with(|| vec![0.0; BUCKETS])[bucket_of(r.t_us, range)] += 1.0;
+        }
+    }
+    if per_tenant.is_empty() {
+        return "<p>no accepted epochs on the log.</p>".to_string();
+    }
+    let series: Vec<Series> = per_tenant
+        .iter()
+        .enumerate()
+        .map(|(i, (tenant, pts))| Series::new(tenant.to_string(), palette(i), pts.clone()))
+        .collect();
+    html::line_chart(&series, &[], "epochs/bucket")
+}
+
+fn drift_section(records: &[OpRecord]) -> String {
+    // Per tenant: the drift scores in log order, and for every swap the
+    // index of the drift evaluation it followed (for the marker x).
+    let mut scores: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    let mut swaps: BTreeMap<&str, Vec<(usize, u64)>> = BTreeMap::new();
+    for r in records {
+        match &r.kind {
+            OpKind::Drift { tenant, max_tv, .. } => {
+                scores.entry(tenant).or_default().push(*max_tv);
+            }
+            OpKind::Swap {
+                tenant, generation, ..
+            } => {
+                let at = scores.get(tenant.as_str()).map_or(0, |s| s.len());
+                swaps
+                    .entry(tenant)
+                    .or_default()
+                    .push((at.saturating_sub(1), *generation));
+            }
+            _ => {}
+        }
+    }
+    if scores.is_empty() {
+        return "<p>no drift evaluations on the log.</p>".to_string();
+    }
+    let mut out = String::new();
+    for (i, (tenant, pts)) in scores.iter().enumerate() {
+        let denom = (pts.len().max(2) - 1) as f64;
+        let marks: Vec<VMark> = swaps
+            .get(tenant)
+            .map(|s| {
+                s.iter()
+                    .map(|(idx, generation)| VMark {
+                        label: format!("gen {generation}"),
+                        x: *idx as f64 / denom,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let series = [Series::new(tenant.to_string(), palette(i), pts.clone())];
+        out.push_str(&html::line_chart_marked(&series, &marks, "max_tv"));
+    }
+    out
+}
+
+fn stage_section(records: &[OpRecord], range: (u64, u64)) -> String {
+    // Average span duration per stage per time bucket, stacked in
+    // pipeline order.
+    let mut sums = vec![[0.0f64; BUCKETS]; STAGES.len()];
+    let mut counts = vec![[0u64; BUCKETS]; STAGES.len()];
+    let mut any = false;
+    for r in records {
+        if let OpKind::Span {
+            stage,
+            start_us,
+            dur_us,
+            ..
+        } = &r.kind
+        {
+            let si = STAGES.iter().position(|s| s == stage).unwrap_or(0);
+            let b = bucket_of(*start_us, range);
+            sums[si][b] += *dur_us as f64;
+            counts[si][b] += 1;
+            any = true;
+        }
+    }
+    if !any {
+        return "<p>no request spans on the log.</p>".to_string();
+    }
+    let series: Vec<Series> = STAGES
+        .iter()
+        .enumerate()
+        .map(|(si, stage)| {
+            let pts: Vec<f64> = (0..BUCKETS)
+                .map(|b| {
+                    if counts[si][b] == 0 {
+                        0.0
+                    } else {
+                        sums[si][b] / counts[si][b] as f64
+                    }
+                })
+                .collect();
+            Series::new(stage.name(), palette(si), pts)
+        })
+        .collect();
+    html::stack_chart(&series, &[], "avg us")
+}
+
+fn decisions_section(records: &[OpRecord]) -> String {
+    let mut rows: Vec<(u64, u64, String, String, String)> = Vec::new();
+    for r in records {
+        let (tenant, event, detail) = match &r.kind {
+            OpKind::Drift {
+                tenant,
+                label,
+                max_tv,
+                exceeded: true,
+                ..
+            } => (
+                tenant.clone(),
+                "drift exceeded".to_string(),
+                format!("{label}: max_tv={max_tv:.4}"),
+            ),
+            OpKind::Reopt {
+                tenant,
+                outcome,
+                generation,
+                detail,
+                ..
+            } => (
+                tenant.clone(),
+                format!("reopt {}", outcome.name()),
+                format!("gen {generation} {detail}"),
+            ),
+            OpKind::Swap {
+                tenant,
+                generation,
+                bytes,
+                note,
+                ..
+            } => (
+                tenant.clone(),
+                "swap".to_string(),
+                format!("gen {generation}, {bytes} bytes, {note}"),
+            ),
+            OpKind::Rollback {
+                tenant,
+                from_gen,
+                to_gen,
+                note,
+            } => (
+                tenant.clone(),
+                "rollback".to_string(),
+                format!("gen {from_gen} -> {to_gen}, {note}"),
+            ),
+            _ => continue,
+        };
+        rows.push((r.seq, r.t_us, tenant, event, detail));
+    }
+    if rows.is_empty() {
+        return "<p>no decisions on the log.</p>".to_string();
+    }
+    let skipped = rows.len().saturating_sub(12);
+    let mut out = String::new();
+    if skipped > 0 {
+        out.push_str(&format!(
+            "<p>showing the last 12 of {} decisions.</p>",
+            rows.len()
+        ));
+    }
+    out.push_str(
+        "<table><tr><th>seq</th><th>t_us</th><th>tenant</th><th>event</th><th>detail</th></tr>",
+    );
+    for (seq, t_us, tenant, event, detail) in rows.into_iter().skip(skipped) {
+        out.push_str(&format!(
+            "<tr><td>{seq}</td><td>{t_us}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            html::escape(&tenant),
+            html::escape(&event),
+            html::escape(&detail),
+        ));
+    }
+    out.push_str("</table>");
+    out
+}
+
+fn metrics_section(text: &str) -> String {
+    let exp = match apt_metrics::prom::parse(text) {
+        Ok(e) => e,
+        Err(e) => {
+            return format!(
+                "<p class='bad'>metrics scrape did not parse: {}</p>",
+                html::escape(&e)
+            );
+        }
+    };
+    let mut out = String::from("<table><tr><th>series</th><th>labels</th><th>value</th></tr>");
+    let mut any = false;
+    for s in &exp.samples {
+        if !s.name.starts_with("apt_serve_") || s.name.ends_with("_bucket") {
+            continue;
+        }
+        any = true;
+        let labels = s
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td>{}</td></tr>",
+            html::escape(&s.name),
+            html::escape(&labels),
+            apt_metrics::prom::format_f64(s.value),
+        ));
+    }
+    out.push_str("</table>");
+    if !any {
+        return "<p>no apt_serve_* series on the scrape.</p>".to_string();
+    }
+    out
+}
+
+/// Renders the operator dashboard for one validated op-log, optionally
+/// joined with a Prometheus `/metrics` scrape.
+pub fn render_dashboard(records: &[OpRecord], metrics_text: Option<&str>) -> String {
+    let range = time_range(records).unwrap_or((0, 0));
+    let mut sections: Vec<(String, String)> = vec![
+        ("Overview".to_string(), overview_section(records)),
+        (
+            "Per-tenant ingest rate".to_string(),
+            ingest_section(records, range),
+        ),
+        (
+            "Drift timelines (swap generations marked)".to_string(),
+            drift_section(records),
+        ),
+        (
+            "Stage latency breakdown".to_string(),
+            stage_section(records, range),
+        ),
+        ("Recent decisions".to_string(), decisions_section(records)),
+    ];
+    if let Some(text) = metrics_text {
+        sections.push(("Metrics scrape".to_string(), metrics_section(text)));
+    }
+    let intro = format!(
+        "reoptimization daemon op-log: {} record(s) spanning t_us {}..{}.",
+        records.len(),
+        range.0,
+        range.1
+    );
+    html::html_page("apt-serve operator dashboard", &intro, &sections)
+}
+
+/// Exports the op-log's request spans as a Chrome trace document: one
+/// thread row per trace ID (named with its tenant), plus a queue-depth
+/// counter track sampled at every batch drain.
+pub fn chrome_trace(records: &[OpRecord]) -> String {
+    let mut trace = ChromeTrace::new();
+    let mut tids: BTreeMap<u64, u32> = BTreeMap::new();
+    for r in records {
+        match &r.kind {
+            OpKind::Span {
+                trace: id,
+                tenant,
+                stage,
+                start_us,
+                dur_us,
+            } => {
+                let next = tids.len() as u32 + 1;
+                let tid = *tids.entry(*id).or_insert_with(|| {
+                    trace.name_thread(next, &format!("trace {} ({tenant})", trace_hex(*id)));
+                    next
+                });
+                trace.push_span_at(
+                    &Span {
+                        name: stage.name().to_string(),
+                        depth: 0,
+                        start_us: *start_us,
+                        wall_us: *dur_us,
+                        sim_cycles: 0,
+                        detail: vec![("tenant".to_string(), tenant.clone())],
+                    },
+                    tid,
+                    *start_us,
+                );
+            }
+            OpKind::Batch { queue_depth, .. } => {
+                trace.push_counter("queue_depth", r.t_us, *queue_depth, 0);
+            }
+            _ => {}
+        }
+    }
+    trace.to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oplog::{ReoptOutcome, Stage};
+
+    fn demo_records() -> Vec<OpRecord> {
+        let mut seq = 0u64;
+        let mut rec = |t_us: u64, kind: OpKind| {
+            seq += 1;
+            OpRecord { seq, t_us, kind }
+        };
+        let span = |trace: u64, stage: Stage, start_us: u64, dur_us: u64| OpKind::Span {
+            trace,
+            tenant: "BFS".to_string(),
+            stage,
+            start_us,
+            dur_us,
+        };
+        vec![
+            rec(0, OpKind::ConnOpen { conn: 1 }),
+            rec(10, span(0xA1, Stage::Parse, 10, 5)),
+            rec(15, span(0xA1, Stage::Queue, 15, 3)),
+            rec(
+                18,
+                OpKind::Batch {
+                    jobs: 1,
+                    tenants: 1,
+                    queue_depth: 0,
+                },
+            ),
+            rec(18, span(0xA1, Stage::Commit, 18, 4)),
+            rec(22, span(0xA1, Stage::Drift, 22, 2)),
+            rec(
+                24,
+                OpKind::Drift {
+                    trace: 0xA1,
+                    tenant: "BFS".to_string(),
+                    label: "e2".to_string(),
+                    max_tv: 0.9375,
+                    exceeded: true,
+                },
+            ),
+            rec(25, span(0xA1, Stage::Reopt, 25, 6)),
+            rec(31, span(0xA1, Stage::Swap, 31, 1)),
+            rec(
+                32,
+                OpKind::Swap {
+                    trace: 0xA1,
+                    tenant: "BFS".to_string(),
+                    generation: 1,
+                    bytes: 64,
+                    note: "drift max_tv=0.9375".to_string(),
+                },
+            ),
+            rec(
+                33,
+                OpKind::Reopt {
+                    trace: 0xA1,
+                    tenant: "BFS".to_string(),
+                    outcome: ReoptOutcome::Swapped,
+                    generation: 1,
+                    detail: "drift max_tv=0.9375".to_string(),
+                },
+            ),
+            rec(
+                34,
+                OpKind::Epoch {
+                    trace: 0xA1,
+                    tenant: "BFS".to_string(),
+                    label: "e2".to_string(),
+                    outcome: EpochOutcome::Accepted,
+                    detail: String::new(),
+                },
+            ),
+            rec(40, OpKind::ConnClose { conn: 1 }),
+        ]
+    }
+
+    #[test]
+    fn dashboard_is_self_contained_and_deterministic() {
+        let records = demo_records();
+        let page = render_dashboard(&records, None);
+        assert!(page.starts_with("<!DOCTYPE html>"));
+        assert!(page.contains("BFS"));
+        assert!(page.contains("gen 1"));
+        assert!(page.contains("drift exceeded"));
+        assert!(!page.contains("http"), "external reference leaked");
+        assert_eq!(page, render_dashboard(&records, None));
+    }
+
+    #[test]
+    fn empty_log_renders_placeholders() {
+        let page = render_dashboard(&[], None);
+        assert!(page.contains("no request spans"));
+        assert!(page.contains("no drift evaluations"));
+    }
+
+    #[test]
+    fn metrics_scrape_joins_the_page() {
+        let scrape = "# TYPE apt_serve_connections_total counter\n\
+                      apt_serve_connections_total 3\n\
+                      # TYPE other_family counter\nother_family 9\n";
+        let page = render_dashboard(&demo_records(), Some(scrape));
+        assert!(page.contains("apt_serve_connections_total"));
+        assert!(!page.contains("other_family"), "non-serve series filtered");
+        let bad = render_dashboard(&demo_records(), Some("{{nonsense"));
+        assert!(bad.contains("did not parse"));
+    }
+
+    #[test]
+    fn chrome_trace_has_one_row_per_trace_and_a_counter_track() {
+        let json = chrome_trace(&demo_records());
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("trace 00000000000000a1 (BFS)"));
+        assert!(json.contains("\"name\":\"parse\""));
+        assert!(json.contains("\"name\":\"queue_depth\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert_eq!(json, chrome_trace(&demo_records()));
+    }
+}

@@ -20,8 +20,13 @@
 //! * [`daemon`] — acceptor + per-connection handlers; upload bodies go
 //!   straight from the socket into the streaming parser.
 //! * [`client`] — the blocking upload/status client the CLI wraps.
-//! * [`metrics`] — per-tenant counters and the ingest-latency histogram
-//!   on the shared registry / existing `/metrics` endpoint.
+//! * [`metrics`] — per-tenant counters, queue-depth gauges, per-stage
+//!   latency histograms on the shared registry / `/metrics` endpoint.
+//! * [`oplog`] — the structured, versioned JSONL op-log: per-request
+//!   stage spans under a trace ID plus every lifecycle decision, with
+//!   size-based rotation and a validating reader.
+//! * [`dash`] — renders the operator dashboard (self-contained HTML)
+//!   and the Chrome-trace export from an op-log.
 //!
 //! The daemon is workload-agnostic: hint derivation is injected as a
 //! [`Reoptimizer`], and the CLI supplies `optimize_from_db` +
@@ -32,15 +37,21 @@
 pub mod batch;
 pub mod client;
 pub mod daemon;
+pub mod dash;
 pub mod metrics;
+pub mod oplog;
 pub mod protocol;
 pub mod shard;
 pub mod swap;
 
 pub use batch::{Accepted, Committer, FnReoptimizer, Job, Reoptimizer};
 pub use client::{Client, ClientError};
-pub use daemon::{status_text, Daemon, ServeConfig};
-pub use metrics::ServeMetrics;
+pub use daemon::{backlog_warning, status_text, Daemon, ServeConfig};
+pub use dash::{chrome_trace, render_dashboard};
+pub use metrics::{QueueDepth, ServeMetrics};
+pub use oplog::{
+    read_oplog_dir, trace_hex, Obs, OpKind, OpLogConfig, OpLogWriter, OpRecord, Stage,
+};
 pub use protocol::{Reply, UploadHeader, UploadReply};
 pub use shard::{ApplyOutcome, ShardStore};
 pub use swap::HintSwapper;

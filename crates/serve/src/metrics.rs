@@ -7,7 +7,10 @@
 //! first time a tenant touches the daemon, so an idle daemon exports
 //! only the unlabelled totals.
 
-use apt_metrics::{Counter, Histogram, Registry, WALL_US_BUCKETS};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use apt_metrics::{Counter, Gauge, Histogram, Registry, WALL_US_BUCKETS};
 
 /// Handles for the daemon-global (unlabelled) families plus the shared
 /// registry for lazily materialising per-tenant series.
@@ -24,6 +27,12 @@ pub struct ServeMetrics {
     pub body_bytes: Counter,
     /// Wall time from frame receipt to committed reply, per upload.
     pub ingest_latency_us: Histogram,
+    /// Jobs currently parked in the committer queue.
+    pub queue_depth: Gauge,
+    /// Deepest the committer queue has ever been.
+    pub queue_high_water: Gauge,
+    /// Largest batch one committer drain has ever collected.
+    pub batch_jobs_high_water: Gauge,
 }
 
 impl ServeMetrics {
@@ -59,7 +68,33 @@ impl ServeMetrics {
                 &[],
                 &WALL_US_BUCKETS,
             ),
+            queue_depth: registry.gauge(
+                "apt_serve_queue_depth",
+                "Uploads parked in the committer queue right now",
+                &[],
+            ),
+            queue_high_water: registry.gauge(
+                "apt_serve_queue_depth_high_water",
+                "Deepest the committer queue has been since daemon start",
+                &[],
+            ),
+            batch_jobs_high_water: registry.gauge(
+                "apt_serve_batch_jobs_high_water",
+                "Largest job count one committer batch has drained",
+                &[],
+            ),
         }
+    }
+
+    /// Per-stage request-span latency histogram (`stage` is one of the
+    /// [`crate::oplog::Stage`] names).
+    pub fn stage_latency(&self, stage: &str) -> Histogram {
+        self.registry.histogram(
+            "apt_serve_stage_latency_us",
+            "Wall microseconds spent per request pipeline stage",
+            &[("stage", stage)],
+            &WALL_US_BUCKETS,
+        )
     }
 
     /// Per-tenant accepted-epoch counter.
@@ -106,6 +141,82 @@ impl ServeMetrics {
             "Epoch commits whose drift crossed the reoptimize threshold",
             &[("tenant", tenant)],
         )
+    }
+}
+
+/// Shared committer-queue accounting: the acceptor bumps it as jobs
+/// enqueue, the committer drains it per batch, and both the live gauge
+/// and the high-water marks follow along. The authoritative counters
+/// are plain atomics so depth reads stay exact even when the metrics
+/// registry is disabled (the `serve-status` backlog warning needs them).
+#[derive(Clone)]
+pub struct QueueDepth {
+    depth: Arc<AtomicU64>,
+    high: Arc<AtomicU64>,
+    batch_high: Arc<AtomicU64>,
+    depth_gauge: Gauge,
+    high_gauge: Gauge,
+    batch_high_gauge: Gauge,
+}
+
+impl std::fmt::Debug for QueueDepth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueueDepth")
+            .field("depth", &self.depth())
+            .field("high_water", &self.high_water())
+            .finish()
+    }
+}
+
+impl QueueDepth {
+    pub fn new(metrics: &ServeMetrics) -> QueueDepth {
+        QueueDepth {
+            depth: Arc::new(AtomicU64::new(0)),
+            high: Arc::new(AtomicU64::new(0)),
+            batch_high: Arc::new(AtomicU64::new(0)),
+            depth_gauge: metrics.queue_depth.clone(),
+            high_gauge: metrics.queue_high_water.clone(),
+            batch_high_gauge: metrics.batch_jobs_high_water.clone(),
+        }
+    }
+
+    /// One job entered the queue; returns the new depth.
+    pub fn enter(&self) -> u64 {
+        let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.high.fetch_max(depth, Ordering::Relaxed);
+        self.depth_gauge.set(depth as f64);
+        self.high_gauge
+            .set(self.high.load(Ordering::Relaxed) as f64);
+        depth
+    }
+
+    /// `n` jobs left the queue (one committer batch drain).
+    pub fn exit_n(&self, n: u64) {
+        let depth = self
+            .depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                Some(d.saturating_sub(n))
+            })
+            .unwrap()
+            .saturating_sub(n);
+        self.depth_gauge.set(depth as f64);
+    }
+
+    /// Records one batch's job count against the batch high-water mark.
+    pub fn note_batch(&self, jobs: u64) {
+        self.batch_high.fetch_max(jobs, Ordering::Relaxed);
+        self.batch_high_gauge
+            .set(self.batch_high.load(Ordering::Relaxed) as f64);
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Deepest the queue has been.
+    pub fn high_water(&self) -> u64 {
+        self.high.load(Ordering::Relaxed)
     }
 }
 
@@ -182,5 +293,59 @@ mod tests {
         assert!(m.reoptimize("BFS").is_noop());
         m.connections.inc();
         assert_eq!(m.connections.get(), 0);
+    }
+
+    #[test]
+    fn queue_depth_tracks_gauges_and_high_water() {
+        let registry = Registry::new();
+        let m = ServeMetrics::new(&registry);
+        let q = QueueDepth::new(&m);
+        assert_eq!(q.enter(), 1);
+        assert_eq!(q.enter(), 2);
+        assert_eq!(q.enter(), 3);
+        q.exit_n(2);
+        q.note_batch(2);
+        assert_eq!(q.depth(), 1);
+        assert_eq!(q.high_water(), 3);
+        assert_eq!(
+            registry.gauge_value("apt_serve_queue_depth", &[]),
+            Some(1.0)
+        );
+        assert_eq!(
+            registry.gauge_value("apt_serve_queue_depth_high_water", &[]),
+            Some(3.0)
+        );
+        assert_eq!(
+            registry.gauge_value("apt_serve_batch_jobs_high_water", &[]),
+            Some(2.0)
+        );
+        // Draining more than the depth saturates instead of wrapping.
+        q.exit_n(10);
+        assert_eq!(q.depth(), 0);
+
+        // Depth stays exact without a registry.
+        let q = QueueDepth::new(&ServeMetrics::new(&Registry::disabled()));
+        q.enter();
+        assert_eq!(q.depth(), 1);
+        assert_eq!(q.high_water(), 1);
+    }
+
+    #[test]
+    fn stage_latency_series_are_labelled_per_stage() {
+        let registry = Registry::new();
+        let m = ServeMetrics::new(&registry);
+        m.stage_latency("parse").observe(100);
+        m.stage_latency("parse").observe(300);
+        m.stage_latency("commit").observe(50);
+        let text = prom::render_prometheus(&registry);
+        let exp = prom::parse(&text).expect("exposition parses");
+        assert_eq!(
+            exp.value("apt_serve_stage_latency_us_count", &[("stage", "parse")]),
+            Some(2.0)
+        );
+        assert_eq!(
+            exp.value("apt_serve_stage_latency_us_sum", &[("stage", "commit")]),
+            Some(50.0)
+        );
     }
 }

@@ -14,6 +14,7 @@
 //! UPLOAD (kind 1):  u64 tenant_len, tenant, u64 label_len, label,
 //!                   u64 body_len, body  (raw perf-script text, streamed)
 //! STATUS (kind 2):  u64 tenant_len, tenant
+//! UPLOAD (kind 3):  u64 trace_id, then the kind-1 header + body
 //! ```
 //!
 //! Responses open with a status byte (`0` ok, `1` error). An error
@@ -23,6 +24,14 @@
 //! report). The body length is known up front, so the server can hand the
 //! socket to the streaming parser ([`apt_ingest::parse_reader`]) without
 //! ever materialising the dump.
+//!
+//! Kind 3 is the wire-compatible tracing extension: the client prepends
+//! the `u64` trace ID it wants the upload's op-log spans recorded under
+//! (`0` asks the server to assign one), and the ok response echoes the
+//! effective trace ID back before the kind-1 reply fields. Old clients
+//! keep sending kind 1 and never see a trace field; old servers reject
+//! the unknown kind 3 with a normal error frame, so a new client can
+//! fall back.
 
 use std::io::{self, Read, Write};
 
@@ -34,6 +43,8 @@ pub const HELLO: &[u8; 8] = b"APTS1\n\0\0";
 pub const KIND_UPLOAD: u8 = 1;
 /// Request kind: tenant status report.
 pub const KIND_STATUS: u8 = 2;
+/// Request kind: profile epoch upload with a client-chosen trace ID.
+pub const KIND_UPLOAD_TRACED: u8 = 3;
 
 /// Response status byte: success.
 pub const STATUS_OK: u8 = 0;
@@ -123,6 +134,25 @@ pub fn write_upload_header(w: &mut dyn Write, h: &UploadHeader) -> io::Result<()
     write_u64(w, h.body_len)
 }
 
+/// Writes a traced UPLOAD (kind 3): the trace ID, then the kind-1
+/// header fields. `trace` 0 asks the server to assign one.
+pub fn write_upload_header_traced(
+    w: &mut dyn Write,
+    h: &UploadHeader,
+    trace: u64,
+) -> io::Result<()> {
+    w.write_all(&[KIND_UPLOAD_TRACED])?;
+    write_u64(w, trace)?;
+    write_str(w, &h.tenant)?;
+    write_str(w, &h.label)?;
+    write_u64(w, h.body_len)
+}
+
+/// Reads the trace ID a kind-3 request carries ahead of its header.
+pub fn read_trace_id(r: &mut dyn Read) -> io::Result<u64> {
+    read_u64(r)
+}
+
 /// Reads an UPLOAD header (after the kind byte), validating the fields.
 /// The body is *not* consumed; on error the caller must still drain
 /// `body_len` bytes (when known) to keep the connection usable.
@@ -172,17 +202,32 @@ pub struct UploadReply {
     pub generation: Option<u64>,
     /// Human-readable commit summary.
     pub message: String,
+    /// Trace ID the daemon recorded this upload's op-log spans under.
+    /// Only on the wire for kind-3 exchanges; a kind-1 reply reads as 0.
+    pub trace: u64,
 }
 
-/// Writes an UPLOAD success response.
-pub fn write_upload_reply(w: &mut dyn Write, reply: &UploadReply) -> io::Result<()> {
-    w.write_all(&[STATUS_OK])?;
+fn write_upload_reply_fields(w: &mut dyn Write, reply: &UploadReply) -> io::Result<()> {
     write_u64(w, reply.events)?;
     write_u64(w, reply.shard_epochs)?;
     w.write_all(&[reply.drifted as u8])?;
     write_u64(w, reply.max_tv.to_bits())?;
     write_u64(w, reply.generation.unwrap_or(NO_GENERATION))?;
     write_str(w, &reply.message)
+}
+
+/// Writes an UPLOAD success response (kind-1 framing, no trace field).
+pub fn write_upload_reply(w: &mut dyn Write, reply: &UploadReply) -> io::Result<()> {
+    w.write_all(&[STATUS_OK])?;
+    write_upload_reply_fields(w, reply)
+}
+
+/// Writes a traced UPLOAD success response (kind-3 framing): the
+/// effective trace ID is echoed ahead of the kind-1 fields.
+pub fn write_upload_reply_traced(w: &mut dyn Write, reply: &UploadReply) -> io::Result<()> {
+    w.write_all(&[STATUS_OK])?;
+    write_u64(w, reply.trace)?;
+    write_upload_reply_fields(w, reply)
 }
 
 /// Writes an error response (any request kind).
@@ -211,27 +256,46 @@ fn read_status_byte(r: &mut dyn Read) -> io::Result<u8> {
     Ok(b[0])
 }
 
-/// Reads the response to an UPLOAD request.
+fn read_upload_reply_fields(r: &mut dyn Read, trace: u64) -> io::Result<UploadReply> {
+    let events = read_u64(r)?;
+    let shard_epochs = read_u64(r)?;
+    let drifted = read_status_byte(r)? != 0;
+    let max_tv = f64::from_bits(read_u64(r)?);
+    let generation = match read_u64(r)? {
+        NO_GENERATION => None,
+        g => Some(g),
+    };
+    let message = read_str(r, MAX_MESSAGE, "message")?;
+    Ok(UploadReply {
+        events,
+        shard_epochs,
+        drifted,
+        max_tv,
+        generation,
+        message,
+        trace,
+    })
+}
+
+/// Reads the response to an UPLOAD request (kind-1 framing; the reply's
+/// `trace` field reads as 0).
 pub fn read_upload_reply(r: &mut dyn Read) -> io::Result<Reply> {
     match read_status_byte(r)? {
+        STATUS_OK => Ok(Reply::Upload(read_upload_reply_fields(r, 0)?)),
+        STATUS_ERR => Ok(Reply::Err(read_str(r, MAX_MESSAGE, "error message")?)),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown response status byte {other}"),
+        )),
+    }
+}
+
+/// Reads the response to a traced (kind-3) UPLOAD request.
+pub fn read_upload_reply_traced(r: &mut dyn Read) -> io::Result<Reply> {
+    match read_status_byte(r)? {
         STATUS_OK => {
-            let events = read_u64(r)?;
-            let shard_epochs = read_u64(r)?;
-            let drifted = read_status_byte(r)? != 0;
-            let max_tv = f64::from_bits(read_u64(r)?);
-            let generation = match read_u64(r)? {
-                NO_GENERATION => None,
-                g => Some(g),
-            };
-            let message = read_str(r, MAX_MESSAGE, "message")?;
-            Ok(Reply::Upload(UploadReply {
-                events,
-                shard_epochs,
-                drifted,
-                max_tv,
-                generation,
-                message,
-            }))
+            let trace = read_u64(r)?;
+            Ok(Reply::Upload(read_upload_reply_fields(r, trace)?))
         }
         STATUS_ERR => Ok(Reply::Err(read_str(r, MAX_MESSAGE, "error message")?)),
         other => Err(io::Error::new(
@@ -322,6 +386,7 @@ mod tests {
             max_tv: 0.875,
             generation: Some(4),
             message: "drift 0.875, swapped generation 4".into(),
+            trace: 0,
         };
         let mut buf = Vec::new();
         write_upload_reply(&mut buf, &reply).unwrap();
@@ -340,6 +405,7 @@ mod tests {
                 max_tv: 0.0,
                 generation: None,
                 message: String::new(),
+                trace: 0,
             },
         )
         .unwrap();
@@ -364,22 +430,83 @@ mod tests {
     }
 
     #[test]
-    fn truncated_frames_are_io_errors() {
+    fn traced_frames_round_trip_and_interop_with_kind_1() {
+        // Header: kind 3 carries the trace ID ahead of the kind-1 fields.
+        let h = UploadHeader {
+            tenant: "BFS".into(),
+            label: "epoch-1".into(),
+            body_len: 99,
+        };
         let mut buf = Vec::new();
-        write_upload_reply(
-            &mut buf,
-            &UploadReply {
-                events: 1,
-                shard_epochs: 1,
-                drifted: false,
-                max_tv: 0.5,
-                generation: Some(1),
-                message: "ok".into(),
-            },
-        )
-        .unwrap();
+        write_upload_header_traced(&mut buf, &h, 0xDEAD_BEEF_0000_0001).unwrap();
+        let mut r = &buf[..];
+        let mut kind = [0u8; 1];
+        r.read_exact(&mut kind).unwrap();
+        assert_eq!(kind[0], KIND_UPLOAD_TRACED);
+        assert_eq!(read_trace_id(&mut r).unwrap(), 0xDEAD_BEEF_0000_0001);
+        assert_eq!(read_upload_header(&mut r, DEFAULT_MAX_BODY).unwrap(), h);
+        assert!(r.is_empty());
+
+        // Reply: the traced framing echoes the trace ID, and the same
+        // reply written kind-1 style reads back with trace 0 — the
+        // compatibility contract for old clients.
+        let reply = UploadReply {
+            events: 8,
+            shard_epochs: 2,
+            drifted: true,
+            max_tv: 0.5,
+            generation: Some(1),
+            message: "committed".into(),
+            trace: 0xDEAD_BEEF_0000_0001,
+        };
+        let mut buf = Vec::new();
+        write_upload_reply_traced(&mut buf, &reply).unwrap();
+        assert_eq!(
+            read_upload_reply_traced(&mut &buf[..]).unwrap(),
+            Reply::Upload(reply.clone())
+        );
+        let mut buf = Vec::new();
+        write_upload_reply(&mut buf, &reply).unwrap();
+        match read_upload_reply(&mut &buf[..]).unwrap() {
+            Reply::Upload(r) => {
+                assert_eq!(r.trace, 0, "kind-1 framing never carries a trace");
+                assert_eq!(r.message, reply.message);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Error frames are shared between the kinds.
+        let mut buf = Vec::new();
+        write_error(&mut buf, "no").unwrap();
+        assert_eq!(
+            read_upload_reply_traced(&mut &buf[..]).unwrap(),
+            Reply::Err("no".into())
+        );
+    }
+
+    #[test]
+    fn truncated_frames_are_io_errors() {
+        let reply = UploadReply {
+            events: 1,
+            shard_epochs: 1,
+            drifted: false,
+            max_tv: 0.5,
+            generation: Some(1),
+            message: "ok".into(),
+            trace: 7,
+        };
+        let mut buf = Vec::new();
+        write_upload_reply(&mut buf, &reply).unwrap();
         for cut in [0, 1, 9, buf.len() - 1] {
             assert!(read_upload_reply(&mut &buf[..cut]).is_err(), "cut {cut}");
+        }
+        let mut buf = Vec::new();
+        write_upload_reply_traced(&mut buf, &reply).unwrap();
+        for cut in [0, 1, 8, buf.len() - 1] {
+            assert!(
+                read_upload_reply_traced(&mut &buf[..cut]).is_err(),
+                "cut {cut}"
+            );
         }
     }
 }

@@ -220,3 +220,81 @@ fn bad_hello_is_rejected() {
     daemon.shutdown();
     let _ = std::fs::remove_dir_all(&root);
 }
+
+#[test]
+fn kind_1_and_kind_3_framings_interoperate_on_one_connection() {
+    let root = scratch("interop");
+    let oplog_dir = root.join("oplog");
+    let oplog = oplog_dir.clone();
+    let Some(daemon) = try_daemon(&root, move |c| {
+        c.oplog = Some(apt_serve::OpLogConfig::new(oplog));
+    }) else {
+        return;
+    };
+
+    // One connection mixes all three upload framings: legacy kind-1,
+    // kind-3 with a client trace, and kind-3 with trace 0 (daemon
+    // assigns). Old clients keep working against a traced daemon.
+    let mut client = Client::connect(daemon.addr()).expect("connect");
+    let text = dump(100, 4);
+    let legacy = client
+        .upload_reader("BFS", "epoch-1", text.len() as u64, &mut text.as_bytes())
+        .expect("kind-1 upload");
+    assert_eq!(legacy.trace, 0, "kind-1 replies carry no trace");
+
+    let text2 = dump(120, 4);
+    let traced = client
+        .upload_reader_traced(
+            "BFS",
+            "epoch-2",
+            0xBEEF,
+            text2.len() as u64,
+            &mut text2.as_bytes(),
+        )
+        .expect("kind-3 upload");
+    assert_eq!(traced.trace, 0xBEEF, "reply echoes the client's trace");
+
+    let text3 = dump(140, 4);
+    let assigned = client
+        .upload_reader_traced(
+            "BFS",
+            "epoch-3",
+            0,
+            text3.len() as u64,
+            &mut text3.as_bytes(),
+        )
+        .expect("kind-3 upload, daemon-assigned trace");
+    assert_ne!(assigned.trace, 0, "trace 0 asks the daemon to assign one");
+
+    daemon.shutdown();
+
+    // Every upload — legacy included — has a full span chain on the
+    // op-log under some nonzero trace ID.
+    let records = apt_serve::read_oplog_dir(&oplog_dir).expect("op-log validates");
+    let mut by_trace: std::collections::BTreeMap<u64, std::collections::BTreeSet<&str>> =
+        std::collections::BTreeMap::new();
+    for r in &records {
+        if let apt_serve::OpKind::Span { trace, stage, .. } = &r.kind {
+            by_trace.entry(*trace).or_default().insert(stage.name());
+        }
+    }
+    assert_eq!(
+        by_trace.len(),
+        3,
+        "three uploads, three traces: {by_trace:?}"
+    );
+    assert!(by_trace.contains_key(&0xBEEF));
+    assert!(
+        !by_trace.contains_key(&0),
+        "daemon must assign nonzero traces"
+    );
+    for (trace, stages) in &by_trace {
+        for stage in ["parse", "queue", "commit", "drift"] {
+            assert!(
+                stages.contains(stage),
+                "trace {trace:#x} is missing its {stage} span: {stages:?}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}

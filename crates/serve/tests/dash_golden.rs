@@ -1,0 +1,166 @@
+//! Golden property of the observability pipeline: under a `FakeClock`,
+//! the same scripted daemon lifecycle produces a byte-identical op-log,
+//! byte-identical dashboard HTML, and a byte-identical Chrome trace —
+//! run to run, directory to directory. Rendering is a pure function of
+//! the log, so operators can diff dashboards across incidents.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use apt_selfprof::FakeClock;
+use apt_serve::oplog::{EpochOutcome, OpKind, ReoptOutcome, Stage};
+use apt_serve::{chrome_trace, read_oplog_dir, render_dashboard, Obs, OpLogConfig, OpRecord};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("apt-dash-golden-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One scripted daemon lifecycle — two tenants, a drift-triggered swap,
+/// an operator rollback — driven entirely by a fresh `FakeClock`.
+fn scripted_run(dir: &Path) -> Vec<OpRecord> {
+    let obs = Obs::new(
+        Arc::new(FakeClock::new(13)),
+        Some(OpLogConfig::new(dir.to_path_buf())),
+    )
+    .expect("open op-log");
+
+    for (conn, (trace, tenant, label, tv, swap)) in [
+        (0xA1u64, "BFS", "epoch-a-base", 0.02_f64, None),
+        (0xB2, "BFS", "epoch-b-moved", 0.97, Some(1u64)),
+        (0xC3, "PageRank", "epoch-a-base", 0.01, None),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let conn = conn as u64 + 1;
+        obs.record(OpKind::ConnOpen { conn });
+        for stage in [Stage::Parse, Stage::Queue] {
+            let start = obs.now_us();
+            obs.record_at(
+                start,
+                OpKind::Span {
+                    trace,
+                    tenant: tenant.to_string(),
+                    stage,
+                    start_us: start,
+                    dur_us: 13,
+                },
+            );
+        }
+        obs.record(OpKind::Batch {
+            jobs: 1,
+            tenants: 1,
+            queue_depth: 0,
+        });
+        for stage in [Stage::Commit, Stage::Drift] {
+            let start = obs.now_us();
+            obs.record_at(
+                start,
+                OpKind::Span {
+                    trace,
+                    tenant: tenant.to_string(),
+                    stage,
+                    start_us: start,
+                    dur_us: 26,
+                },
+            );
+        }
+        obs.record(OpKind::Drift {
+            trace,
+            tenant: tenant.to_string(),
+            label: label.to_string(),
+            max_tv: tv,
+            exceeded: swap.is_some(),
+        });
+        if let Some(generation) = swap {
+            obs.record(OpKind::Swap {
+                trace,
+                tenant: tenant.to_string(),
+                generation,
+                bytes: 96,
+                note: format!("drift max_tv={tv}"),
+            });
+            obs.record(OpKind::Reopt {
+                trace,
+                tenant: tenant.to_string(),
+                outcome: ReoptOutcome::Swapped,
+                generation,
+                detail: format!("drift max_tv={tv}"),
+            });
+        }
+        obs.record(OpKind::Epoch {
+            trace,
+            tenant: tenant.to_string(),
+            label: label.to_string(),
+            outcome: EpochOutcome::Accepted,
+            detail: String::new(),
+        });
+        obs.record(OpKind::ConnClose { conn });
+    }
+    obs.record(OpKind::Rollback {
+        tenant: "BFS".to_string(),
+        from_gen: 1,
+        to_gen: 0,
+        note: "operator rollback".to_string(),
+    });
+
+    read_oplog_dir(dir).expect("validating read")
+}
+
+#[test]
+fn dashboard_and_trace_are_byte_stable_under_a_fake_clock() {
+    let dir_a = scratch("a");
+    let dir_b = scratch("b");
+    let rec_a = scripted_run(&dir_a);
+    let rec_b = scripted_run(&dir_b);
+
+    // Identical op-log files, bit for bit.
+    assert_eq!(rec_a, rec_b);
+    assert_eq!(
+        fs::read(dir_a.join("oplog.jsonl")).expect("log a"),
+        fs::read(dir_b.join("oplog.jsonl")).expect("log b"),
+    );
+
+    // The dashboard is a pure function of the log: byte-identical HTML.
+    let page_a = render_dashboard(&rec_a, None);
+    let page_b = render_dashboard(&rec_b, None);
+    assert_eq!(page_a, page_b);
+
+    // It is a real self-contained page with the expected content.
+    assert!(page_a.starts_with("<!DOCTYPE html>"));
+    assert!(page_a.contains("BFS") && page_a.contains("PageRank"));
+    assert!(page_a.contains("gen 1"), "swap generation marker missing");
+    assert!(page_a.contains("rollback"), "rollback row missing");
+    assert!(page_a.contains("<svg"), "charts missing");
+    assert!(!page_a.contains("http"), "external reference leaked");
+    assert!(!page_a.contains("<script"), "scripts are banned");
+
+    // Chrome trace export is byte-stable too, with one named thread row
+    // per trace ID.
+    let trace_a = chrome_trace(&rec_a);
+    assert_eq!(trace_a, chrome_trace(&rec_b));
+    for name in [
+        "trace 00000000000000a1 (BFS)",
+        "trace 00000000000000b2 (BFS)",
+        "trace 00000000000000c3 (PageRank)",
+    ] {
+        assert!(trace_a.contains(name), "missing thread row: {name}");
+    }
+    assert!(
+        trace_a.contains("\"ph\":\"C\""),
+        "queue counter track missing"
+    );
+
+    // A metrics scrape joins deterministically as well.
+    let scrape = "# TYPE apt_serve_uploads_total counter\napt_serve_uploads_total 3\n";
+    assert_eq!(
+        render_dashboard(&rec_a, Some(scrape)),
+        render_dashboard(&rec_b, Some(scrape)),
+    );
+
+    let _ = fs::remove_dir_all(&dir_a);
+    let _ = fs::remove_dir_all(&dir_b);
+}

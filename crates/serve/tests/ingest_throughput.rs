@@ -6,6 +6,12 @@
 //!
 //! Ignored by default (it hammers sockets for a few seconds); the CI
 //! daemon job runs it with `-- --ignored --nocapture`.
+//!
+//! The whole ingest phase runs under a `selfprof` session: the daemon's
+//! `prof_scope!` instrumentation (`serve/upload`, `serve/commit_batch`,
+//! `serve/shard/apply`, `serve/swap`) rolls up into a flamegraph SVG —
+//! written to `$APT_SERVE_FLAME_OUT` (default `serve-ingest-flame.svg`)
+//! — so a throughput regression arrives with its own profile attached.
 
 mod common;
 
@@ -39,6 +45,10 @@ fn concurrent_ingest_sustains_throughput() {
     let text = dump(100, 8);
     let body_bytes = text.len() as u64;
 
+    // Daemon handler/committer threads bind to this session lazily, so
+    // their `prof_scope!` trees land in the profile collected here.
+    let session = apt_selfprof::begin_monotonic();
+
     let t0 = Instant::now();
     let workers: Vec<_> = (0..TENANTS)
         .map(|t| {
@@ -63,6 +73,27 @@ fn concurrent_ingest_sustains_throughput() {
     }
     let wall = t0.elapsed();
     daemon.shutdown();
+
+    // Ingest-path flamegraph: merged across daemon threads, rendered as
+    // a self-contained SVG for the CI artifact stash.
+    let profile = session.finish();
+    let tree = profile.merged();
+    if !tree.is_empty() {
+        for (path, excl, incl, hits) in tree.hot_scopes().into_iter().take(5) {
+            eprintln!("ingest hot scope: {path} ({excl} us excl, {incl} us incl, {hits} calls)");
+        }
+        let flame_path = std::env::var("APT_SERVE_FLAME_OUT")
+            .unwrap_or_else(|_| "serve-ingest-flame.svg".to_string());
+        let svg = apt_selfprof::flamegraph_svg(&tree, "serve ingest");
+        match std::fs::write(&flame_path, &svg) {
+            Ok(()) => eprintln!("ingest flamegraph written to {flame_path}"),
+            Err(e) => eprintln!("could not write flamegraph {flame_path}: {e}"),
+        }
+        assert!(
+            svg.contains("serve/upload"),
+            "flamegraph must show the daemon's upload scope"
+        );
+    }
 
     let total_epochs = (TENANTS * EPOCHS_PER_TENANT) as u64;
     let epochs_per_sec = total_epochs as f64 / wall.as_secs_f64();

@@ -1,0 +1,223 @@
+//! Property: an op-log survives the disk round trip byte-identically.
+//! Any sequence of records — hostile tenant/label/note strings
+//! included — written through `OpLogWriter` (across rotation
+//! boundaries) reads back as exactly the same records, and
+//! re-serializing those records reproduces the on-disk bytes. A torn
+//! final line (a crashed writer) is tolerated on read and never
+//! corrupts the records before it.
+
+use std::fs;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::PathBuf;
+
+use apt_serve::oplog::{
+    read_oplog_dir, EpochOutcome, OpKind, OpLogConfig, OpLogWriter, ReoptOutcome, Stage,
+    ACTIVE_FILE, STAGES,
+};
+use proptest::prelude::*;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("apt-oplog-prop-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Strings that stress the JSON escaper: quotes, backslashes, control
+/// characters, non-ASCII, and the empty string.
+fn nasty_string() -> impl Strategy<Value = String> {
+    let palette = [
+        'a', 'B', '0', '_', '-', '.', '/', ' ', '"', '\\', '\n', '\t', '\u{0}', 'é', '→', '🦀',
+    ];
+    prop::collection::vec(0usize..palette.len(), 0..12)
+        .prop_map(move |idx| idx.into_iter().map(|i| palette[i]).collect())
+}
+
+/// Numeric fields ride the JSON number grammar and must stay < 2^53 to
+/// round-trip exactly (see the format invariant in `oplog`); trace IDs
+/// are hex strings and keep the full 64-bit range via `any::<u64>()`.
+fn num() -> impl Strategy<Value = u64> {
+    0u64..(1 << 53)
+}
+
+fn any_kind() -> impl Strategy<Value = OpKind> {
+    let stage = (0usize..STAGES.len()).prop_map(|i| STAGES[i]);
+    let epoch_outcome = prop_oneof![
+        Just(EpochOutcome::Accepted),
+        Just(EpochOutcome::Rejected),
+        Just(EpochOutcome::Evicted),
+    ];
+    let reopt_outcome = prop_oneof![
+        Just(ReoptOutcome::Swapped),
+        Just(ReoptOutcome::Unchanged),
+        Just(ReoptOutcome::Failed),
+    ];
+    prop_oneof![
+        num().prop_map(|conn| OpKind::ConnOpen { conn }),
+        num().prop_map(|conn| OpKind::ConnClose { conn }),
+        (any::<u64>(), nasty_string(), stage, num(), num()).prop_map(
+            |(trace, tenant, stage, start_us, dur_us)| OpKind::Span {
+                trace,
+                tenant,
+                stage,
+                start_us,
+                dur_us,
+            }
+        ),
+        (
+            any::<u64>(),
+            nasty_string(),
+            nasty_string(),
+            epoch_outcome,
+            nasty_string()
+        )
+            .prop_map(|(trace, tenant, label, outcome, detail)| OpKind::Epoch {
+                trace,
+                tenant,
+                label,
+                outcome,
+                detail,
+            }),
+        (num(), num(), num()).prop_map(|(jobs, tenants, queue_depth)| {
+            OpKind::Batch {
+                jobs,
+                tenants,
+                queue_depth,
+            }
+        }),
+        (
+            any::<u64>(),
+            nasty_string(),
+            nasty_string(),
+            (0u64..=10_000).prop_map(|v| v as f64 / 10_000.0),
+            any::<bool>(),
+        )
+            .prop_map(|(trace, tenant, label, max_tv, exceeded)| OpKind::Drift {
+                trace,
+                tenant,
+                label,
+                max_tv,
+                exceeded,
+            }),
+        (
+            any::<u64>(),
+            nasty_string(),
+            reopt_outcome,
+            num(),
+            nasty_string()
+        )
+            .prop_map(
+                |(trace, tenant, outcome, generation, detail)| OpKind::Reopt {
+                    trace,
+                    tenant,
+                    outcome,
+                    generation,
+                    detail,
+                }
+            ),
+        (any::<u64>(), nasty_string(), num(), num(), nasty_string()).prop_map(
+            |(trace, tenant, generation, bytes, note)| OpKind::Swap {
+                trace,
+                tenant,
+                generation,
+                bytes,
+                note,
+            }
+        ),
+        (nasty_string(), num(), num(), nasty_string()).prop_map(
+            |(tenant, from_gen, to_gen, note)| OpKind::Rollback {
+                tenant,
+                from_gen,
+                to_gen,
+                note,
+            }
+        ),
+    ]
+}
+
+/// Every op-log file in `dir`, rotation order, concatenated.
+fn disk_bytes(dir: &std::path::Path) -> Vec<u8> {
+    let mut names: Vec<String> = fs::read_dir(dir)
+        .expect("read oplog dir")
+        .map(|e| {
+            e.expect("dir entry")
+                .file_name()
+                .to_string_lossy()
+                .into_owned()
+        })
+        .filter(|n| n.ends_with(".jsonl"))
+        .collect();
+    // Rotated files are zero-padded, so lexicographic order is rotation
+    // order; the active file sorts after `oplog.00000.jsonl` by name.
+    names.sort();
+    let mut out = Vec::new();
+    for n in names {
+        out.extend_from_slice(&fs::read(dir.join(n)).expect("read oplog file"));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// write → read → re-serialize is the identity on bytes, across
+    /// rotation boundaries and writer reopens, with or without a torn
+    /// tail from a crashed writer.
+    #[test]
+    fn oplog_round_trips_byte_identically(
+        kinds in prop::collection::vec(any_kind(), 1..24),
+        max_file_bytes in 64u64..512,
+        reopen_at in 0usize..24,
+        torn in prop::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let dir = scratch("rt");
+        let cfg = OpLogConfig {
+            dir: dir.clone(),
+            max_file_bytes, // tiny: forces rotation every few records
+        };
+
+        // Write, reopening the writer mid-stream to exercise seq resume.
+        let mut written = Vec::new();
+        let mut writer = OpLogWriter::open(cfg.clone()).expect("open writer");
+        for (i, kind) in kinds.iter().enumerate() {
+            if i == reopen_at.min(kinds.len() - 1) && i > 0 {
+                drop(writer);
+                writer = OpLogWriter::open(cfg.clone()).expect("reopen writer");
+            }
+            written.push(writer.append(i as u64 * 7, kind.clone()).expect("append"));
+        }
+        drop(writer);
+
+        // Read back: same records, and their serialization is exactly
+        // the bytes on disk.
+        let read = read_oplog_dir(&dir).expect("validating read");
+        prop_assert_eq!(&read, &written);
+        let reserialized: String = read.iter().map(|r| r.to_line() + "\n").collect();
+        prop_assert_eq!(reserialized.as_bytes(), &disk_bytes(&dir)[..]);
+
+        // A crash can leave a torn (newline-less, possibly mid-UTF-8)
+        // final line on the active file; the reader must drop it and
+        // keep everything else.
+        let mut tail: Vec<u8> = torn;
+        tail.retain(|b| *b != b'\n');
+        if !tail.is_empty() {
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(dir.join(ACTIVE_FILE))
+                .expect("open active file");
+            f.write_all(&tail).expect("tear the tail");
+            drop(f);
+            let tolerant = read_oplog_dir(&dir).expect("read with torn tail");
+            prop_assert_eq!(&tolerant, &written);
+        }
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn stage_names_round_trip() {
+    for s in STAGES {
+        assert_eq!(Stage::from_name(s.name()), Some(s));
+    }
+}

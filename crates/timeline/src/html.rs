@@ -45,6 +45,14 @@ pub struct HBand {
     pub hi: f64,
 }
 
+/// A labelled vertical marker (e.g. a hint-swap generation) at a
+/// normalized [0, 1] x position.
+#[derive(Debug, Clone)]
+pub struct VMark {
+    pub label: String,
+    pub x: f64,
+}
+
 /// Default qualitative palette (colorblind-safe subset).
 pub const PALETTE: [&str; 7] = [
     "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf",
@@ -255,6 +263,36 @@ pub fn line_chart_banded(
     out
 }
 
+/// [`line_chart`] plus labelled vertical event markers (dashed lines),
+/// e.g. hint-swap generations on a drift timeline.
+pub fn line_chart_marked(series: &[Series], marks: &[VMark], y_label: &str) -> String {
+    let mut out = line_chart_banded(series, &[], &[], y_label);
+    let closing = out.len() - "</svg>".len();
+    let mut extra = String::new();
+    let span = W - PAD_L - PAD_R;
+    for m in marks {
+        let x = PAD_L + span * m.x.clamp(0.0, 1.0);
+        extra.push_str(&format!(
+            "<line x1='{}' y1='{}' x2='{}' y2='{}' stroke='#d62728' \
+             stroke-width='0.8' stroke-dasharray='3 3'/>",
+            px(x),
+            px(PAD_T),
+            px(x),
+            px(H - PAD_B)
+        ));
+        if !m.label.is_empty() {
+            extra.push_str(&format!(
+                "<text x='{}' y='{}' font-size='9' fill='#d62728' text-anchor='middle'>{}</text>",
+                px(x),
+                px(H - 6.0),
+                escape(&m.label)
+            ));
+        }
+    }
+    out.insert_str(closing, &extra);
+    out
+}
+
 /// Renders a stacked area chart: each series is a layer, stacked in the
 /// order given. Returns an `<svg>` element.
 pub fn stack_chart(series: &[Series], bands: &[Band], y_label: &str) -> String {
@@ -390,6 +428,30 @@ mod tests {
         assert_eq!(
             line_chart(&demo_series(), &demo_bands(), "rate"),
             line_chart_banded(&demo_series(), &demo_bands(), &[], "rate"),
+        );
+    }
+
+    #[test]
+    fn vertical_marks_render_inside_the_svg() {
+        let marks = vec![
+            VMark {
+                label: "gen 1".into(),
+                x: 0.25,
+            },
+            VMark {
+                label: String::new(),
+                x: 2.0, // clamped to the right edge
+            },
+        ];
+        let svg = line_chart_marked(&demo_series(), &marks, "max_tv");
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        assert!(svg.contains("gen 1"));
+        assert!(svg.contains("stroke-dasharray='3 3'"));
+        assert!(!svg.contains("http"));
+        assert_eq!(
+            line_chart_marked(&demo_series(), &[], "max_tv"),
+            line_chart(&demo_series(), &[], "max_tv"),
+            "no marks means the plain chart"
         );
     }
 

@@ -129,6 +129,22 @@ impl ChromeTrace {
         self.entries.extend(other.entries);
     }
 
+    /// Adds a counter ("C") sample — a stepped area track in the viewer.
+    ///
+    /// The serve dashboard uses this for committer queue depth over time:
+    /// one sample per batch drain, all on a dedicated `tid` row.
+    pub fn push_counter(&mut self, name: &str, ts: u64, value: u64, tid: u32) {
+        let mut e = String::with_capacity(96);
+        e.push('{');
+        push_str_field(&mut e, "name", name, true);
+        push_str_field(&mut e, "ph", "C", true);
+        push_str_field(&mut e, "cat", "daemon", true);
+        e.push_str(&format!(
+            "\"ts\":{ts},\"pid\":1,\"tid\":{tid},\"args\":{{\"value\":{value}}}}}"
+        ));
+        self.entries.push(e);
+    }
+
     /// Adds metadata naming a thread row in the viewer.
     pub fn name_thread(&mut self, tid: u32, name: &str) {
         let mut e = String::with_capacity(96);
@@ -260,6 +276,19 @@ mod tests {
         let mut t = ChromeTrace::new();
         t.name_thread(1, "quo\"te");
         assert_balanced_json(&t.to_json());
+    }
+
+    #[test]
+    fn counter_samples_form_a_track() {
+        let mut t = ChromeTrace::new();
+        t.push_counter("queue_depth", 10, 3, 0);
+        t.push_counter("queue_depth", 20, 0, 0);
+        let json = t.to_json();
+        assert_balanced_json(&json);
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"ts\":10"));
+        assert!(json.contains("\"args\":{\"value\":3}"));
+        assert!(json.contains("\"args\":{\"value\":0}"));
     }
 
     #[test]

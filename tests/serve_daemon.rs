@@ -8,9 +8,13 @@
 //! re-derivation from the shard it wrote — closing the §3.6 loop:
 //! online daemon and offline rebuild can never disagree.
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use apt_serve::{Client, Daemon, FnReoptimizer, ServeConfig, ShardStore};
+use apt_serve::oplog::{EpochOutcome, OpKind, Stage};
+use apt_serve::{
+    read_oplog_dir, Client, Daemon, FnReoptimizer, OpLogConfig, ServeConfig, ShardStore,
+};
 use apt_workloads::all_workloads;
 use aptget::{
     execute, parse_str, AggregateProfile, AptGet, IdentityRemap, PipelineConfig, ProfileDb,
@@ -56,6 +60,7 @@ fn daemon_hot_swap_matches_offline_reoptimization() {
     let mut cfg = ServeConfig::new("127.0.0.1:0", root.join("db"), root.join("hints"));
     cfg.registry = registry.clone();
     cfg.reopt_threshold = 0.25;
+    cfg.oplog = Some(OpLogConfig::new(root.join("oplog")));
     let daemon = match Daemon::start(cfg, reopt) {
         Ok(d) => d,
         Err(e) => {
@@ -70,19 +75,29 @@ fn daemon_hot_swap_matches_offline_reoptimization() {
     let base = profile_dump(1);
     let moved = profile_dump(4);
 
-    // Parallel clients, one epoch each; arrival order is whatever the
-    // scheduler gives us.
+    // Parallel clients, one traced epoch each; arrival order is
+    // whatever the scheduler gives us.
+    const TRACE_A: u64 = 0xA1;
+    const TRACE_B: u64 = 0xB2;
     let uploads = [
-        ("epoch-a-base", base.clone()),
-        ("epoch-b-moved", moved.clone()),
+        ("epoch-a-base", TRACE_A, base.clone()),
+        ("epoch-b-moved", TRACE_B, moved.clone()),
     ];
     let replies: Vec<_> = uploads
-        .map(|(label, text)| {
+        .map(|(label, trace, text)| {
             std::thread::spawn(move || {
                 let mut client = Client::connect(addr).expect("connect");
-                client
-                    .upload_reader("BFS", label, text.len() as u64, &mut text.as_bytes())
-                    .expect("upload")
+                let reply = client
+                    .upload_reader_traced(
+                        "BFS",
+                        label,
+                        trace,
+                        text.len() as u64,
+                        &mut text.as_bytes(),
+                    )
+                    .expect("upload");
+                assert_eq!(reply.trace, trace, "reply must echo the client's trace ID");
+                reply
             })
         })
         .into_iter()
@@ -155,6 +170,65 @@ fn daemon_hot_swap_matches_offline_reoptimization() {
     assert_eq!(
         registry.counter_value("apt_serve_reoptimize_total", &[("tenant", "BFS")]),
         Some(1)
+    );
+
+    // The op-log validates, and every uploaded epoch carries a complete
+    // span chain — parse → queue → commit → drift — under its trace ID.
+    let records = read_oplog_dir(&root.join("oplog")).expect("op-log must validate");
+    for trace in [TRACE_A, TRACE_B] {
+        let stages: BTreeSet<&str> = records
+            .iter()
+            .filter_map(|r| match &r.kind {
+                OpKind::Span {
+                    trace: t, stage, ..
+                } if *t == trace => Some(stage.name()),
+                _ => None,
+            })
+            .collect();
+        for stage in [Stage::Parse, Stage::Queue, Stage::Commit, Stage::Drift] {
+            assert!(
+                stages.contains(stage.name()),
+                "trace {trace:#x} is missing its {} span (has {stages:?})",
+                stage.name()
+            );
+        }
+    }
+    for (label, trace, _) in [
+        ("epoch-a-base", TRACE_A, ()),
+        ("epoch-b-moved", TRACE_B, ()),
+    ] {
+        assert!(
+            records.iter().any(|r| matches!(&r.kind,
+                OpKind::Epoch { trace: t, label: l, outcome: EpochOutcome::Accepted, .. }
+                    if *t == trace && l == label)),
+            "missing accepted-epoch record for {label} under trace {trace:#x}"
+        );
+    }
+
+    // Recorded swaps and generation files on disk agree exactly.
+    let logged_gens: BTreeSet<u64> = records
+        .iter()
+        .filter_map(|r| match &r.kind {
+            OpKind::Swap { generation, .. } => Some(*generation),
+            _ => None,
+        })
+        .collect();
+    let disk_gens: BTreeSet<u64> = std::fs::read_dir(root.join("hints/BFS"))
+        .expect("hints dir")
+        .filter_map(|e| {
+            let name = e
+                .expect("dir entry")
+                .file_name()
+                .to_string_lossy()
+                .into_owned();
+            name.strip_prefix("gen-")
+                .and_then(|s| s.strip_suffix(".hints"))
+                .and_then(|s| s.parse().ok())
+        })
+        .collect();
+    assert_eq!(
+        logged_gens, disk_gens,
+        "op-log swap records must match generation files on disk"
     );
 
     let _ = std::fs::remove_dir_all(&root);

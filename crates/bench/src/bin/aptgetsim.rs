@@ -10,9 +10,16 @@
 //! aptgetsim hints BFS [--scale S]        # print the hint file (§3.4 output)
 //! aptgetsim ir BFS [--optimized]         # dump the workload's IR
 //! aptgetsim export BFS [--out FILE] [--dram-scale N]
+//!                      [--hint-gen G] [--prefetch-distance D]
 //!                                        # profiling run → `perf script`
 //!                                        #   text; --dram-scale emulates
-//!                                        #   slower memory (drift source)
+//!                                        #   slower memory (drift source);
+//!                                        #   --hint-gen traces per-PC
+//!                                        #   prefetch outcomes and tags the
+//!                                        #   dump with generation G (ledger
+//!                                        #   feedback); --prefetch-distance
+//!                                        #   injects A&J prefetches first,
+//!                                        #   emulating the deployed regime
 //! aptgetsim ingest FILE [--db PATH] [--label STR] [--pc-offset HEX]
 //!                                        # parse a dump into the profile DB
 //! aptgetsim drift [--db PATH] [--fail-threshold TV]
@@ -36,30 +43,43 @@
 //!                                        #   serve /metrics until killed
 //! aptgetsim serve [--addr HOST:PORT] [--db-dir DIR] [--hints-dir DIR]
 //!                 [--reopt-threshold TV] [--epoch-cap N] [--metrics-addr HOST:PORT]
-//!                 [--oplog-dir DIR]
+//!                 [--oplog-dir DIR] [--efficacy-window N] [--efficacy-threshold D]
 //!                                        # adaptive reoptimization daemon:
 //!                                        #   ingest uploaded profiles,
 //!                                        #   detect drift, hot-swap hints;
 //!                                        #   every request span + decision
 //!                                        #   lands on a JSONL op-log
-//!                                        #   (default serve-oplog)
+//!                                        #   (default serve-oplog); uploads
+//!                                        #   carrying tagged prefetch
+//!                                        #   outcomes feed the per-tenant
+//!                                        #   efficacy ledger, and a hint
+//!                                        #   generation whose timely share
+//!                                        #   regresses by more than D over
+//!                                        #   N epochs is auto-rolled-back
 //! aptgetsim upload FILE --tenant NAME [--label STR] [--addr HOST:PORT] [--retry N]
 //!                                        # stream a perf-script dump to a
 //!                                        #   running daemon as one epoch;
 //!                                        #   --retry backs off and redials
 //!                                        #   on refused/reset connections,
 //!                                        #   reusing one trace ID
-//! aptgetsim serve-status --tenant NAME [--addr HOST:PORT]
-//!                                        # a tenant's shard + hint state
+//! aptgetsim serve-status --tenant NAME [--addr HOST:PORT] [--json]
+//!                                        # a tenant's shard + hint +
+//!                                        #   per-generation efficacy state
 //!                                        #   (+ a warning line when the
-//!                                        #   committer queue is backlogged)
-//! aptgetsim serve-dash [--oplog-dir DIR] [--out FILE] [--trace-out FILE]
+//!                                        #   committer queue is backlogged);
+//!                                        #   --json emits the same facts as
+//!                                        #   a machine-readable document
+//! aptgetsim serve-dash [--oplog-dir DIR] [--db-dir DIR] [--out FILE]
+//!                      [--trace-out FILE]
 //!                      [--metrics-addr HOST:PORT | --metrics-file FILE]
 //!                                        # validate the daemon's op-log and
 //!                                        #   render the operator dashboard
 //!                                        #   (self-contained HTML, default
-//!                                        #   serve-dash.html); --trace-out
-//!                                        #   also exports daemon spans as
+//!                                        #   serve-dash.html); --db-dir also
+//!                                        #   joins the per-tenant efficacy
+//!                                        #   ledgers as a generation-diff
+//!                                        #   section; --trace-out also
+//!                                        #   exports daemon spans as
 //!                                        #   Chrome trace-event JSON
 //! aptgetsim rollback --tenant NAME [--hints-dir DIR] [--oplog-dir DIR]
 //!                                        # repoint current.hints to the
@@ -83,13 +103,15 @@ use apt_bench::{compare_variants_traced, fx, pct, AJ_STATIC_DISTANCE};
 use apt_metrics::{gate, BenchSnapshot, GateConfig, MetricsServer, Registry};
 use apt_profile::hintfile;
 use apt_serve::{
-    chrome_trace, read_oplog_dir, render_dashboard, trace_hex, Client, Daemon, FnReoptimizer,
-    HintSwapper, Obs, OpKind, OpLogConfig, ServeConfig,
+    chrome_trace, read_oplog_dir, render_dashboard, trace_hex, upload_backlog_warning, Client,
+    Daemon, EfficacyLedger, FnReoptimizer, HintSwapper, Obs, OpKind, OpLogConfig, ServeConfig,
+    QUEUE_WARN_DEFAULT,
 };
 use apt_workloads::registry::{all_workloads, by_name};
 use aptget::{
-    chrome_trace_json, detect_drift, execute, format_explain, parse_file, AggregateProfile, AptGet,
-    DriftConfig, IdentityRemap, OffsetRemap, PipelineConfig, ProfileDb, TraceConfig,
+    ainsworth_jones_optimize, chrome_trace_json, detect_drift, execute, execute_traced,
+    format_explain, parse_file, AggregateProfile, AptGet, DriftConfig, IdentityRemap, OffsetRemap,
+    PipelineConfig, ProfileDb, TraceConfig,
 };
 
 /// Ring capacity for `--trace-out`: enough to keep the tail of a scaled
@@ -139,6 +161,19 @@ struct Args {
     retry: u32,
     /// `serve-dash`: a saved /metrics scrape to join into the page.
     metrics_file: Option<String>,
+    /// `serve`: epochs of evidence a generation needs before the
+    /// regression policy judges it.
+    efficacy_window: Option<u64>,
+    /// `serve`: timely-share regression beyond this triggers rollback.
+    efficacy_threshold: Option<f64>,
+    /// `serve-status`: emit the machine-readable JSON report.
+    json: bool,
+    /// `export`: tag the dump with this hint generation and attach the
+    /// traced per-PC prefetch-outcome records (ledger feedback).
+    hint_gen: Option<u64>,
+    /// `export`: inject Ainsworth-Jones prefetches at this distance
+    /// before the run (emulates the deployed hint regime).
+    prefetch_distance: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -171,6 +206,11 @@ fn parse_args() -> Result<Args, String> {
         oplog_dir: None,
         retry: 0,
         metrics_file: None,
+        efficacy_window: None,
+        efficacy_threshold: None,
+        json: false,
+        hint_gen: None,
+        prefetch_distance: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -281,6 +321,39 @@ fn parse_args() -> Result<Args, String> {
             "--metrics-file" => {
                 out.metrics_file = Some(args.next().ok_or("--metrics-file needs a path")?);
             }
+            "--efficacy-window" => {
+                out.efficacy_window = Some(
+                    args.next()
+                        .ok_or("--efficacy-window needs an epoch count")?
+                        .parse()
+                        .map_err(|e| format!("bad --efficacy-window: {e}"))?,
+                );
+            }
+            "--efficacy-threshold" => {
+                out.efficacy_threshold = Some(
+                    args.next()
+                        .ok_or("--efficacy-threshold needs a share delta")?
+                        .parse()
+                        .map_err(|e| format!("bad --efficacy-threshold: {e}"))?,
+                );
+            }
+            "--json" => out.json = true,
+            "--hint-gen" => {
+                out.hint_gen = Some(
+                    args.next()
+                        .ok_or("--hint-gen needs a generation number")?
+                        .parse()
+                        .map_err(|e| format!("bad --hint-gen: {e}"))?,
+                );
+            }
+            "--prefetch-distance" => {
+                out.prefetch_distance = Some(
+                    args.next()
+                        .ok_or("--prefetch-distance needs an iteration count")?
+                        .parse()
+                        .map_err(|e| format!("bad --prefetch-distance: {e}"))?,
+                );
+            }
             w if out.workload.is_none() && !w.starts_with('-') => {
                 out.workload = Some(w.to_string());
             }
@@ -370,7 +443,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n");
-            eprintln!("usage: aptgetsim <list|run|hints|ir|export|ingest|drift|bench-gate|perf-history|report|serve-metrics|serve|upload|serve-status|serve-dash|rollback|campaign> [WORKLOAD|FILE|DIR] [--scale S] [--seed N] [--optimized] [--explain] [--trace-out PATH] [--out PATH] [--db PATH] [--label STR] [--pc-offset HEX] [--fail-threshold TV] [--baseline PATH] [--tolerance T] [--phases] [--addr HOST:PORT] [--db-dir DIR] [--hints-dir DIR] [--tenant NAME] [--reopt-threshold TV] [--epoch-cap N] [--metrics-addr HOST:PORT] [--dram-scale N] [--oplog-dir DIR] [--retry N] [--metrics-file PATH]");
+            eprintln!("usage: aptgetsim <list|run|hints|ir|export|ingest|drift|bench-gate|perf-history|report|serve-metrics|serve|upload|serve-status|serve-dash|rollback|campaign> [WORKLOAD|FILE|DIR] [--scale S] [--seed N] [--optimized] [--explain] [--trace-out PATH] [--out PATH] [--db PATH] [--label STR] [--pc-offset HEX] [--fail-threshold TV] [--baseline PATH] [--tolerance T] [--phases] [--addr HOST:PORT] [--db-dir DIR] [--hints-dir DIR] [--tenant NAME] [--reopt-threshold TV] [--epoch-cap N] [--metrics-addr HOST:PORT] [--dram-scale N] [--oplog-dir DIR] [--retry N] [--metrics-file PATH] [--efficacy-window N] [--efficacy-threshold D] [--json] [--hint-gen G] [--prefetch-distance D]");
             return ExitCode::FAILURE;
         }
     };
@@ -397,25 +470,67 @@ fn main() -> ExitCode {
             if let Some(s) = args.dram_scale {
                 cfg.profile_sim.mem.dram_latency *= s;
             }
-            let exec = match execute(&w.module, w.image, &w.calls, &cfg.profile_sim) {
-                Ok(e) => e,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
+            // --prefetch-distance emulates the deployed hint regime: the
+            // run executes with AJ prefetches injected at that distance,
+            // so its outcome records reflect those hints' efficacy.
+            let module = match args.prefetch_distance {
+                Some(d) => ainsworth_jones_optimize(&w.module, d).0,
+                None => w.module.clone(),
+            };
+            // --hint-gen makes this a feedback dump: trace per-PC
+            // prefetch outcomes and tag the export with the generation
+            // the run executed under, so the daemon's efficacy ledger
+            // can attribute the shares.
+            let (dump, lbr, pebs) = match args.hint_gen {
+                Some(generation) => {
+                    let (exec, report) = match execute_traced(
+                        &module,
+                        w.image,
+                        &w.calls,
+                        &cfg.profile_sim,
+                        TraceConfig::outcomes(),
+                    ) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    let text = apt_cpu::perfscript::export_perf_script_tagged(
+                        &exec.profile,
+                        &exec.stats,
+                        generation,
+                        &report.outcomes,
+                    );
+                    (
+                        text,
+                        exec.profile.lbr_samples.len(),
+                        exec.profile.pebs.len(),
+                    )
+                }
+                None => {
+                    let exec = match execute(&module, w.image, &w.calls, &cfg.profile_sim) {
+                        Ok(e) => e,
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    let text = apt_cpu::perfscript::export_perf_script(&exec.profile, &exec.stats);
+                    (
+                        text,
+                        exec.profile.lbr_samples.len(),
+                        exec.profile.pebs.len(),
+                    )
                 }
             };
-            let dump = apt_cpu::perfscript::export_perf_script(&exec.profile, &exec.stats);
             match &args.out {
                 Some(path) => {
                     if let Err(e) = std::fs::write(path, &dump) {
                         eprintln!("error: could not write {path}: {e}");
                         return ExitCode::FAILURE;
                     }
-                    eprintln!(
-                        "[{} LBR snapshots, {} PEBS records → {path}]",
-                        exec.profile.lbr_samples.len(),
-                        exec.profile.pebs.len()
-                    );
+                    eprintln!("[{lbr} LBR snapshots, {pebs} PEBS records → {path}]");
                 }
                 None => print!("{dump}"),
             }
@@ -669,6 +784,12 @@ fn main() -> ExitCode {
             if let Some(c) = args.epoch_cap {
                 cfg.epoch_cap = c;
             }
+            if let Some(w) = args.efficacy_window {
+                cfg.efficacy_window = w;
+            }
+            if let Some(t) = args.efficacy_threshold {
+                cfg.efficacy_threshold = t;
+            }
             // Tenants are workload names: reoptimization rebuilds the
             // tenant's module (same scale/seed as `hints --db`) and runs
             // the shard's merged history through `optimize_from_db` —
@@ -754,6 +875,9 @@ fn main() -> ExitCode {
             match reply {
                 Ok(r) => {
                     println!("{} (trace {})", r.message, trace_hex(r.trace));
+                    if let Some(warn) = upload_backlog_warning(&r, QUEUE_WARN_DEFAULT) {
+                        eprintln!("{warn}");
+                    }
                     match r.generation {
                         Some(g) => println!(
                             "reoptimized: hint generation {g} hot-swapped \
@@ -776,7 +900,14 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             };
             let addr = args.addr.as_deref().unwrap_or("127.0.0.1:9185");
-            match Client::connect(addr).and_then(|mut c| c.status(tenant)) {
+            let as_json = args.json;
+            match Client::connect(addr).and_then(|mut c| {
+                if as_json {
+                    c.status_json(tenant)
+                } else {
+                    c.status(tenant)
+                }
+            }) {
                 Ok(report) => {
                     print!("{report}");
                     ExitCode::SUCCESS
@@ -822,15 +953,35 @@ fn main() -> ExitCode {
             } else {
                 None
             };
+            // With --db-dir, every `<tenant>.aptel` ledger beside the
+            // shards joins the page as the generation-diff section.
+            let mut ledgers: Vec<(String, EfficacyLedger)> = Vec::new();
+            if let Some(db_dir) = &args.db_dir {
+                if let Ok(entries) = std::fs::read_dir(db_dir) {
+                    for entry in entries.flatten() {
+                        let path = entry.path();
+                        if path.extension().and_then(|e| e.to_str()) != Some("aptel") {
+                            continue;
+                        }
+                        let Some(tenant) = path.file_stem().and_then(|s| s.to_str()) else {
+                            continue;
+                        };
+                        ledgers.push((tenant.to_string(), EfficacyLedger::load_or_empty(&path)));
+                    }
+                }
+                ledgers.sort_by(|a, b| a.0.cmp(&b.0));
+            }
             let out_path = args.out.as_deref().unwrap_or("serve-dash.html");
-            let page = render_dashboard(&records, metrics_text.as_deref());
+            let page = render_dashboard(&records, metrics_text.as_deref(), &ledgers);
             if let Err(e) = std::fs::write(out_path, page) {
                 eprintln!("error: could not write {out_path}: {e}");
                 return ExitCode::FAILURE;
             }
             println!(
-                "[dashboard: {} op-log record(s) from {oplog_dir} → {out_path}]",
-                records.len()
+                "[dashboard: {} op-log record(s) from {oplog_dir}, {} efficacy ledger(s) \
+                 → {out_path}]",
+                records.len(),
+                ledgers.len()
             );
             if let Some(trace_path) = &args.trace_out {
                 if let Err(e) = std::fs::write(trace_path, chrome_trace(&records)) {

@@ -61,7 +61,7 @@ pub use report::{format_perf_stat, geomean, speedup, Comparison};
 pub use apt_cpu::{Machine, MemImage, PerfStats, ProfileData, SimConfig, SimError};
 pub use apt_ingest::{
     analyze_aggregate, detect_drift, parse_file, parse_str, AggregateProfile, DriftConfig,
-    DriftReport, IdentityRemap, Ingested, OffsetRemap, ProfileDb,
+    DriftReport, GenTag, IdentityRemap, Ingested, OffsetRemap, ProfileDb,
 };
 pub use apt_lir::Module;
 pub use apt_mem::MemConfig;

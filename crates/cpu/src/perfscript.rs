@@ -42,6 +42,7 @@
 //! `ProfileData` vectors exactly.
 
 use apt_mem::Level;
+use apt_trace::OutcomeTable;
 
 use crate::stats::{PerfStats, ProfileData};
 
@@ -84,6 +85,29 @@ fn line_prefix(out: &mut String, cycle: u64) {
 /// Serialises a collected profile (plus the run's counters) to the
 /// `perf script` text format described in the module docs.
 pub fn export_perf_script(profile: &ProfileData, stats: &PerfStats) -> String {
+    export_tagged(profile, stats, None, None)
+}
+
+/// [`export_perf_script`] plus outcome feedback: the hint **generation**
+/// that was deployed while the run executed and the run's per-PC
+/// prefetch-outcome table, carried as `# hintgen:` / `# pf-outcome:`
+/// header comments. Parsers that predate the tags skip them as ordinary
+/// comments, so a tagged dump stays valid v1 input everywhere.
+pub fn export_perf_script_tagged(
+    profile: &ProfileData,
+    stats: &PerfStats,
+    generation: u64,
+    outcomes: &OutcomeTable,
+) -> String {
+    export_tagged(profile, stats, Some(generation), Some(outcomes))
+}
+
+fn export_tagged(
+    profile: &ProfileData,
+    stats: &PerfStats,
+    generation: Option<u64>,
+    outcomes: Option<&OutcomeTable>,
+) -> String {
     let mut out = String::with_capacity(
         128 + profile
             .lbr_samples
@@ -98,6 +122,26 @@ pub fn export_perf_script(profile: &ProfileData, stats: &PerfStats) -> String {
         "# stats: instructions={} cycles={} branches={} taken_branches={}\n",
         stats.instructions, stats.cycles, stats.branches, stats.taken_branches
     ));
+    if let Some(generation) = generation {
+        out.push_str(&format!("# hintgen: {generation}\n"));
+    }
+    if let Some(outcomes) = outcomes {
+        for (pc, o) in &outcomes.per_pc {
+            out.push_str(&format!(
+                "# pf-outcome: pc={pc:#x} issued={} timely={} late={} early={} useless={} \
+                 redundant={} dropped={} slack={} headstart={}\n",
+                o.issued,
+                o.timely,
+                o.late,
+                o.early,
+                o.useless,
+                o.redundant,
+                o.dropped,
+                o.timely_slack_cycles,
+                o.late_head_start_cycles
+            ));
+        }
+    }
 
     // Two-pointer merge of the (individually time-ordered) streams.
     // An empty snapshot has no newest entry; it inherits the previous
@@ -216,5 +260,42 @@ mod tests {
         assert_eq!(timestamp(0), "0.000000");
         assert_eq!(timestamp(20_123), "0.020123");
         assert_eq!(timestamp(3_000_001), "3.000001");
+    }
+
+    #[test]
+    fn tagged_export_adds_comment_headers_and_nothing_else() {
+        use apt_trace::PcOutcomes;
+        let mut outcomes = OutcomeTable::default();
+        let o = PcOutcomes {
+            issued: 10,
+            timely: 6,
+            late: 2,
+            early: 1,
+            useless: 1,
+            redundant: 0,
+            dropped: 0,
+            timely_slack_cycles: 480,
+            late_head_start_cycles: 90,
+        };
+        outcomes.per_pc.insert(0x400100, o);
+        outcomes.total.add(&o);
+        let stats = PerfStats::default();
+        let tagged = export_perf_script_tagged(&profile(), &stats, 3, &outcomes);
+        assert!(tagged.contains("# hintgen: 3\n"), "{tagged}");
+        assert!(
+            tagged.contains(
+                "# pf-outcome: pc=0x400100 issued=10 timely=6 late=2 early=1 useless=1 \
+                 redundant=0 dropped=0 slack=480 headstart=90\n"
+            ),
+            "{tagged}"
+        );
+        // Stripping the new comments reproduces the untagged export
+        // exactly: the tags ride along, they don't reshape events.
+        let stripped: String = tagged
+            .lines()
+            .filter(|l| !l.starts_with("# hintgen:") && !l.starts_with("# pf-outcome:"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(stripped, export_perf_script(&profile(), &stats));
     }
 }

@@ -29,6 +29,44 @@ use std::collections::BTreeMap;
 
 use apt_cpu::{PerfStats, ProfileData, LBR_ENTRIES};
 use apt_profile::{LatencySketch, TripCountStats};
+use apt_trace::PcOutcomes;
+
+/// Which hint generation produced an epoch's samples — a flat lattice,
+/// so tagging stays a monoid under [`AggregateProfile::merge`]:
+/// `Untagged` is the identity, equal tags keep their value, and
+/// differing tags collapse to `Mixed` (the merge of evidence from two
+/// deployments attributes to neither).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum GenTag {
+    /// No `# hintgen:` header — every pre-feedback dump.
+    #[default]
+    Untagged,
+    /// All samples ran under this hint generation.
+    Gen(u64),
+    /// Samples from more than one generation were merged.
+    Mixed,
+}
+
+impl GenTag {
+    /// Lattice join (see the type docs).
+    pub fn join(self, other: GenTag) -> GenTag {
+        match (self, other) {
+            (GenTag::Untagged, g) | (g, GenTag::Untagged) => g,
+            (a, b) if a == b => a,
+            _ => GenTag::Mixed,
+        }
+    }
+
+    /// The generation key the efficacy ledger files epochs under:
+    /// tagged epochs under their generation, everything else under 0
+    /// (the pre-feedback baseline bucket).
+    pub fn ledger_key(self) -> u64 {
+        match self {
+            GenTag::Gen(g) => g,
+            GenTag::Untagged | GenTag::Mixed => 0,
+        }
+    }
+}
 
 /// Trip-count sufficient statistics for one branch PC (run-based, the
 /// `trip_counts` convention: maximal runs of consecutive back-edge
@@ -96,6 +134,11 @@ pub struct AggregateProfile {
     pub iter_lat: BTreeMap<u64, LatencySketch>,
     /// Per-branch-PC trip-count statistics.
     pub trips: BTreeMap<u64, TripAgg>,
+    /// Which hint generation the underlying run(s) executed under.
+    pub gen: GenTag,
+    /// Per-prefetch-PC outcome counters reported back by the deployed
+    /// binary (`# pf-outcome:` headers); empty for pre-feedback dumps.
+    pub pf_outcomes: BTreeMap<u64, PcOutcomes>,
 }
 
 fn level_index(l: apt_mem::Level) -> usize {
@@ -187,6 +230,30 @@ impl AggregateProfile {
         for (pc, trips) in &other.trips {
             self.trips.entry(*pc).or_default().merge(trips);
         }
+        self.gen = self.gen.join(other.gen);
+        for (pc, o) in &other.pf_outcomes {
+            self.pf_outcomes.entry(*pc).or_default().add(o);
+        }
+    }
+
+    /// True when the epoch carries outcome feedback (a generation tag
+    /// or per-PC outcome records). The on-disk database stays at the v1
+    /// encoding for feedback-free epochs, so pre-feedback archives and
+    /// golden bytes never change.
+    pub fn has_feedback(&self) -> bool {
+        self.gen != GenTag::Untagged || !self.pf_outcomes.is_empty()
+    }
+
+    /// Timely share of classified prefetch outcomes across all PCs
+    /// (`None` when the epoch carries no issued prefetches).
+    pub fn timely_share(&self) -> Option<f64> {
+        let mut issued = 0u64;
+        let mut timely = 0u64;
+        for o in self.pf_outcomes.values() {
+            issued += o.issued;
+            timely += o.timely;
+        }
+        (issued > 0).then(|| timely as f64 / issued as f64)
     }
 
     /// DRAM-served miss samples attributed to `pc`.
@@ -325,5 +392,62 @@ mod tests {
         let mut right = a.clone();
         right.merge(&bc);
         assert_eq!(left, right);
+    }
+
+    #[test]
+    fn gen_tag_join_is_a_flat_lattice() {
+        use GenTag::*;
+        assert_eq!(Untagged.join(Untagged), Untagged);
+        assert_eq!(Untagged.join(Gen(3)), Gen(3));
+        assert_eq!(Gen(3).join(Untagged), Gen(3));
+        assert_eq!(Gen(3).join(Gen(3)), Gen(3));
+        assert_eq!(Gen(3).join(Gen(4)), Mixed);
+        assert_eq!(Mixed.join(Gen(3)), Mixed);
+        assert_eq!(Mixed.join(Untagged), Mixed);
+        // Associativity over a sample of tag triples.
+        let tags = [Untagged, Gen(1), Gen(2), Mixed];
+        for a in tags {
+            for b in tags {
+                for c in tags {
+                    assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+                    assert_eq!(a.join(b), b.join(a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_adds_outcomes_and_joins_generations() {
+        let mut a = AggregateProfile::from_profile(&profile(), &PerfStats::default());
+        a.gen = GenTag::Gen(2);
+        a.pf_outcomes.insert(
+            0x400,
+            PcOutcomes {
+                issued: 10,
+                timely: 7,
+                late: 3,
+                ..PcOutcomes::default()
+            },
+        );
+        let mut b = a.clone();
+        b.pf_outcomes.get_mut(&0x400).unwrap().timely = 1;
+        b.pf_outcomes.get_mut(&0x400).unwrap().late = 9;
+
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.gen, GenTag::Gen(2));
+        let o = &merged.pf_outcomes[&0x400];
+        assert_eq!((o.issued, o.timely, o.late), (20, 8, 12));
+        assert_eq!(merged.timely_share(), Some(0.4));
+        assert!(merged.has_feedback());
+
+        let mut cross = a.clone();
+        cross.gen = GenTag::Gen(3);
+        merged.merge(&cross);
+        assert_eq!(merged.gen, GenTag::Mixed, "cross-generation merge mixes");
+
+        let plain = AggregateProfile::from_profile(&profile(), &PerfStats::default());
+        assert!(!plain.has_feedback());
+        assert_eq!(plain.timely_share(), None);
     }
 }

@@ -1,4 +1,4 @@
-//! The versioned on-disk profile database (`APTDB1`).
+//! The versioned on-disk profile database (`APTDB1` / `APTDB2`).
 //!
 //! One file holds the whole cross-run history as a sequence of labelled
 //! epochs, each an [`AggregateProfile`]. The format follows the profile
@@ -9,16 +9,50 @@
 //! informs, it is not a correctness dependency. Writes go through a
 //! per-process temp file + rename, so concurrent ingests never tear an
 //! epoch.
+//!
+//! **Versioning.** Feedback-free databases (no generation tags, no
+//! prefetch-outcome records — everything written before the efficacy
+//! loop existed, and every dump that skips the tags today) encode as
+//! `APTDB1`, byte-for-byte the original layout. The moment any epoch
+//! carries feedback, the file self-upgrades to `APTDB2`, which appends a
+//! per-epoch feedback section (generation sentinel + per-PC outcome
+//! counters). The choice is a pure function of content, so the bytes
+//! stay deterministic regardless of write order or process.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use apt_profile::LatencySketch;
+use apt_trace::PcOutcomes;
 
-use crate::aggregate::{AggregateProfile, TripAgg};
+use crate::aggregate::{AggregateProfile, GenTag, TripAgg};
 
 /// Magic + format version; bump when the layout changes.
 pub const MAGIC: &[u8; 8] = b"APTDB1\0\0";
+
+/// v2 magic: v1 plus a per-epoch outcome-feedback section.
+pub const MAGIC_V2: &[u8; 8] = b"APTDB2\0\0";
+
+/// Generation sentinel for [`GenTag::Untagged`] in the v2 encoding.
+const GEN_UNTAGGED: u64 = u64::MAX;
+/// Generation sentinel for [`GenTag::Mixed`] in the v2 encoding.
+const GEN_MIXED: u64 = u64::MAX - 1;
+
+fn gen_to_u64(g: GenTag) -> u64 {
+    match g {
+        GenTag::Untagged => GEN_UNTAGGED,
+        GenTag::Mixed => GEN_MIXED,
+        GenTag::Gen(v) => v,
+    }
+}
+
+fn gen_from_u64(v: u64) -> GenTag {
+    match v {
+        GEN_UNTAGGED => GenTag::Untagged,
+        GEN_MIXED => GenTag::Mixed,
+        v => GenTag::Gen(v),
+    }
+}
 
 /// One ingested profile run.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -189,10 +223,12 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-/// Serialises the database to the `APTDB1` byte format.
+/// Serialises the database: `APTDB1` while no epoch carries outcome
+/// feedback, `APTDB2` (with per-epoch feedback sections) otherwise.
 pub fn encode(db: &ProfileDb) -> Vec<u8> {
+    let v2 = db.epochs.iter().any(|e| e.agg.has_feedback());
     let mut out = Vec::with_capacity(64);
-    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(if v2 { MAGIC_V2 } else { MAGIC });
     put_u64(&mut out, db.epochs.len() as u64);
     for e in &db.epochs {
         put_u64(&mut out, e.label.len() as u64);
@@ -232,6 +268,26 @@ pub fn encode(db: &ProfileDb) -> Vec<u8> {
             put_u64(&mut out, t.runs);
             put_u64(&mut out, t.saturated_runs);
         }
+        if v2 {
+            put_u64(&mut out, gen_to_u64(a.gen));
+            put_u64(&mut out, a.pf_outcomes.len() as u64);
+            for (pc, o) in &a.pf_outcomes {
+                put_u64(&mut out, *pc);
+                for v in [
+                    o.issued,
+                    o.timely,
+                    o.late,
+                    o.early,
+                    o.useless,
+                    o.redundant,
+                    o.dropped,
+                    o.timely_slack_cycles,
+                    o.late_head_start_cycles,
+                ] {
+                    put_u64(&mut out, v);
+                }
+            }
+        }
     }
     out
 }
@@ -256,9 +312,11 @@ pub fn decode(bytes: &[u8]) -> Option<ProfileDb> {
         }
     };
 
-    if bytes.get(..8)? != MAGIC {
-        return None;
-    }
+    let v2 = match bytes.get(..8)? {
+        m if m == MAGIC => false,
+        m if m == MAGIC_V2 => true,
+        _ => return None,
+    };
     pos += 8;
 
     let n_epochs = bounded(take(&mut pos)?)?;
@@ -311,6 +369,27 @@ pub fn decode(bytes: &[u8]) -> Option<ProfileDb> {
                     saturated_runs: take(&mut pos)?,
                 },
             );
+        }
+        if v2 {
+            agg.gen = gen_from_u64(take(&mut pos)?);
+            let n_outcomes = bounded(take(&mut pos)?)?;
+            for _ in 0..n_outcomes {
+                let pc = take(&mut pos)?;
+                agg.pf_outcomes.insert(
+                    pc,
+                    PcOutcomes {
+                        issued: take(&mut pos)?,
+                        timely: take(&mut pos)?,
+                        late: take(&mut pos)?,
+                        early: take(&mut pos)?,
+                        useless: take(&mut pos)?,
+                        redundant: take(&mut pos)?,
+                        dropped: take(&mut pos)?,
+                        timely_slack_cycles: take(&mut pos)?,
+                        late_head_start_cycles: take(&mut pos)?,
+                    },
+                );
+            }
         }
         db.epochs.push(Epoch { label, agg });
     }
@@ -372,6 +451,54 @@ mod tests {
         db.epochs[0].agg.instructions = u64::MAX; // Extremes must survive.
         let decoded = decode(&encode(&db)).expect("decodes");
         assert_eq!(decoded, db);
+    }
+
+    #[test]
+    fn feedback_free_databases_stay_on_the_v1_bytes() {
+        let bytes = encode(&sample_db());
+        assert_eq!(&bytes[..8], MAGIC, "no feedback ⇒ v1 magic");
+    }
+
+    #[test]
+    fn feedback_upgrades_to_v2_and_round_trips_exactly() {
+        let mut db = sample_db();
+        db.epochs[0].agg.gen = GenTag::Gen(3);
+        db.epochs[0].agg.pf_outcomes.insert(
+            0x400100,
+            PcOutcomes {
+                issued: u64::MAX,
+                timely: 7,
+                late: 2,
+                early: 1,
+                useless: 4,
+                redundant: 9,
+                dropped: 5,
+                timely_slack_cycles: 480,
+                late_head_start_cycles: 90,
+            },
+        );
+        db.epochs[1].agg.gen = GenTag::Mixed;
+        let bytes = encode(&db);
+        assert_eq!(&bytes[..8], MAGIC_V2);
+        assert_eq!(decode(&bytes).expect("decodes"), db);
+
+        // The same corruption rules hold in v2.
+        assert!(decode(&bytes[..bytes.len() - 1]).is_none());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(decode(&trailing).is_none());
+    }
+
+    #[test]
+    fn generation_sentinels_round_trip_every_tag() {
+        for g in [
+            GenTag::Untagged,
+            GenTag::Mixed,
+            GenTag::Gen(0),
+            GenTag::Gen(7),
+        ] {
+            assert_eq!(gen_from_u64(gen_to_u64(g)), g);
+        }
     }
 
     #[test]

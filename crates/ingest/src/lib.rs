@@ -37,7 +37,7 @@ pub mod drift;
 pub mod parser;
 pub mod remap;
 
-pub use aggregate::{AggregateProfile, TripAgg};
+pub use aggregate::{AggregateProfile, GenTag, TripAgg};
 pub use analyze::analyze_aggregate;
 pub use db::{Epoch, ProfileDb};
 pub use drift::{detect_drift, BranchDrift, DriftConfig, DriftReport, LoadDrift};

@@ -28,12 +28,14 @@
 //! timestamp backwards and stores snapshots oldest-first, the order the
 //! analysis layer expects.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::io::BufRead;
 use std::path::Path;
 
 use apt_cpu::{LbrEntry, PebsRecord, PerfStats, ProfileData};
 use apt_mem::Level;
+use apt_trace::PcOutcomes;
 
 use crate::remap::PcRemapper;
 
@@ -98,6 +100,12 @@ pub struct Ingested {
     pub skipped_unmapped: usize,
     /// Event lines consumed into `profile`.
     pub events: usize,
+    /// The hint generation deployed while the dump was recorded, from
+    /// the optional `# hintgen:` header (outcome-feedback dumps only).
+    pub generation: Option<u64>,
+    /// Per-PC prefetch-outcome records from `# pf-outcome:` headers,
+    /// keyed by issuing prefetch PC.
+    pub outcomes: BTreeMap<u64, PcOutcomes>,
 }
 
 impl Ingested {
@@ -239,6 +247,19 @@ fn parse_line(
         out.stats = Some(parse_stats(cur, rest)?);
         return Ok(());
     }
+    if let Some(rest) = line.strip_prefix("# hintgen:") {
+        let v = rest.trim();
+        out.generation =
+            Some(v.parse().map_err(|_| {
+                cur.err(format!("hintgen header has non-numeric generation `{v}`"))
+            })?);
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("# pf-outcome:") {
+        let (pc, o) = parse_pf_outcome(cur, rest)?;
+        out.outcomes.insert(pc, o);
+        return Ok(());
+    }
     if line.starts_with('#') {
         return Ok(()); // Comment / header.
     }
@@ -292,6 +313,44 @@ fn parse_stats(cur: &Cursor<'_>, rest: &str) -> Result<PerfStats, ParseError> {
         }
     }
     Ok(stats)
+}
+
+/// `# pf-outcome:` payload — `pc=0xHEX` then the nine outcome counters
+/// as `key=value` pairs, in any order; unknown keys are ignored for
+/// forward compatibility (same policy as `# stats:`).
+fn parse_pf_outcome(cur: &Cursor<'_>, rest: &str) -> Result<(u64, PcOutcomes), ParseError> {
+    let mut pc = None;
+    let mut o = PcOutcomes::default();
+    for kv in rest.split_whitespace() {
+        let Some((key, value)) = kv.split_once('=') else {
+            return Err(cur.err(format!(
+                "malformed pf-outcome field `{kv}` (expected key=value)"
+            )));
+        };
+        if key == "pc" {
+            pc = Some(parse_pc(cur, value)?);
+            continue;
+        }
+        let value: u64 = value.parse().map_err(|_| {
+            cur.err(format!(
+                "pf-outcome field `{key}` has non-numeric value `{value}`"
+            ))
+        })?;
+        match key {
+            "issued" => o.issued = value,
+            "timely" => o.timely = value,
+            "late" => o.late = value,
+            "early" => o.early = value,
+            "useless" => o.useless = value,
+            "redundant" => o.redundant = value,
+            "dropped" => o.dropped = value,
+            "slack" => o.timely_slack_cycles = value,
+            "headstart" => o.late_head_start_cycles = value,
+            _ => {} // Forward compatibility: ignore unknown counters.
+        }
+    }
+    let pc = pc.ok_or_else(|| cur.err("pf-outcome record is missing its pc= field"))?;
+    Ok((pc, o))
 }
 
 /// `sec.usec` at the 1 MHz fiction: `cycle = sec × 10⁶ + usec`.
@@ -692,5 +751,65 @@ aptgetsim 0 [000] 0.000200: cpu/mem-loads,ldlat=30/P: 0x24 weight: 120 lvl: RAM
     fn stats_header_rejects_garbage_values() {
         let e = parse_str("# stats: instructions=lots\n", &IdentityRemap).unwrap_err();
         assert!(e.message.contains("non-numeric"), "{e}");
+    }
+
+    #[test]
+    fn hintgen_and_pf_outcome_headers_are_decoded() {
+        let text = format!(
+            "{CLEAN}# hintgen: 2\n\
+             # pf-outcome: pc=0x400100 issued=10 timely=6 late=2 early=1 useless=1 \
+             redundant=0 dropped=0 slack=480 headstart=90\n"
+        );
+        let r = parse_str(&text, &IdentityRemap).expect("tagged dump parses");
+        assert_eq!(r.generation, Some(2));
+        assert_eq!(r.events, 2, "tags must not disturb event decoding");
+        let o = r.outcomes.get(&0x400100).expect("outcome record present");
+        assert_eq!(o.issued, 10);
+        assert_eq!(o.timely, 6);
+        assert_eq!(o.late, 2);
+        assert_eq!(o.early, 1);
+        assert_eq!(o.useless, 1);
+        assert_eq!(o.timely_slack_cycles, 480);
+        assert_eq!(o.late_head_start_cycles, 90);
+    }
+
+    #[test]
+    fn untagged_dumps_report_no_generation_or_outcomes() {
+        let r = parse_str(CLEAN, &IdentityRemap).unwrap();
+        assert_eq!(r.generation, None);
+        assert!(r.outcomes.is_empty());
+    }
+
+    #[test]
+    fn malformed_outcome_headers_are_located_errors() {
+        let e = parse_str("# hintgen: soon\n", &IdentityRemap).unwrap_err();
+        assert!(e.message.contains("non-numeric generation"), "{e}");
+        let e = parse_str("# pf-outcome: issued=1\n", &IdentityRemap).unwrap_err();
+        assert!(e.message.contains("missing its pc="), "{e}");
+        let e = parse_str("# pf-outcome: pc=0x10 timely=many\n", &IdentityRemap).unwrap_err();
+        assert!(e.message.contains("non-numeric value"), "{e}");
+    }
+
+    #[test]
+    fn tagged_export_round_trips_through_the_parser() {
+        use apt_trace::OutcomeTable;
+        let mut table = OutcomeTable::default();
+        table.per_pc.insert(
+            0x88,
+            PcOutcomes {
+                issued: 4,
+                timely: 3,
+                late: 1,
+                timely_slack_cycles: 33,
+                late_head_start_cycles: 7,
+                ..PcOutcomes::default()
+            },
+        );
+        let profile = apt_cpu::ProfileData::default();
+        let stats = apt_cpu::PerfStats::default();
+        let dump = apt_cpu::perfscript::export_perf_script_tagged(&profile, &stats, 7, &table);
+        let r = parse_str(&dump, &IdentityRemap).expect("tagged export parses");
+        assert_eq!(r.generation, Some(7));
+        assert_eq!(r.outcomes.get(&0x88), table.per_pc.get(&0x88));
     }
 }

@@ -31,6 +31,7 @@ use std::time::Instant;
 
 use apt_ingest::{detect_drift, AggregateProfile, DriftConfig, Epoch, ProfileDb};
 
+use crate::efficacy::EfficacyLedger;
 use crate::metrics::{QueueDepth, ServeMetrics};
 use crate::oplog::{EpochOutcome, Obs, OpKind, ReoptOutcome, Stage};
 use crate::shard::ShardStore;
@@ -104,6 +105,13 @@ pub struct Committer {
     pub obs: Arc<Obs>,
     /// Queue accounting shared with the enqueuing handlers.
     pub queue: QueueDepth,
+    /// Outcome epochs the active generation needs on the efficacy
+    /// ledger before the regression policy may judge it (0 disables
+    /// the policy).
+    pub efficacy_window: u64,
+    /// How far the active generation's timely share may trail an
+    /// earlier evidenced generation before it is rolled back.
+    pub efficacy_threshold: f64,
 }
 
 impl Committer {
@@ -217,6 +225,13 @@ impl Committer {
 
         let traces: Vec<u64> = jobs.iter().map(|j| j.trace).collect();
         let verdict = self.reoptimize_if_moved(tenant, &outcome.db, &traces);
+        // Outcome evidence lands after reoptimization so the regression
+        // policy judges the generation that is active *now*; a rollback
+        // updates the generation the replies report.
+        let primary = traces.first().copied().unwrap_or(0);
+        let generation = self
+            .commit_ledger(tenant, &jobs, &outcome.accepted, primary)
+            .or(verdict.generation);
 
         let mut unclaimed: HashSet<&str> = outcome.accepted.iter().map(|s| s.as_str()).collect();
         for job in jobs {
@@ -232,7 +247,7 @@ impl Committer {
                     shard_epochs: outcome.db.epochs.len() as u64,
                     drifted: verdict.drifted,
                     max_tv: verdict.max_tv,
-                    generation: verdict.generation,
+                    generation,
                 })
             } else {
                 self.metrics.errors.inc();
@@ -260,6 +275,107 @@ impl Committer {
         self.metrics
             .ingest_latency_us
             .observe(job.received.elapsed().as_micros() as u64);
+    }
+
+    /// Lands the batch's accepted epochs on the tenant's efficacy
+    /// ledger (every epoch counts — untagged ones under the baseline
+    /// bucket), then runs the regression policy against the active
+    /// generation. Returns the generation now active when the policy
+    /// rolled back, `None` otherwise.
+    ///
+    /// Ledger content is a pure sum over the accepted-epoch set (plus
+    /// monotone `rolled_back` flags), so like the shard it is a
+    /// function of *what* committed, never of arrival order.
+    fn commit_ledger(
+        &self,
+        tenant: &str,
+        jobs: &[Job],
+        accepted: &[String],
+        primary: u64,
+    ) -> Option<u64> {
+        // Same first-wins claim discipline the reply loop uses, so an
+        // in-batch duplicate label contributes exactly one epoch.
+        let mut claim: HashSet<&str> = accepted.iter().map(|s| s.as_str()).collect();
+        let path = EfficacyLedger::path(self.store.dir(), tenant);
+        let mut ledger = EfficacyLedger::load_or_empty(&path);
+        let mut landed = false;
+        for job in jobs {
+            if claim.remove(job.label.as_str()) {
+                ledger.record_epoch(job.agg.gen.ledger_key(), &job.agg);
+                landed = true;
+            }
+        }
+        if !landed {
+            return None;
+        }
+
+        let mut rolled_to = None;
+        if let Ok(swapper) = HintSwapper::open(self.hints_dir.join(tenant)) {
+            if let Some(active) = swapper.current_generation() {
+                if let Some(prior) =
+                    ledger.regression(active, self.efficacy_window, self.efficacy_threshold)
+                {
+                    let cur = ledger.generations[&active].timely_share().unwrap_or(0.0);
+                    let best = ledger.generations[&prior].timely_share().unwrap_or(0.0);
+                    let note = format!(
+                        "auto: gen {active} timely {cur:.4} trails gen {prior} timely \
+                         {best:.4} beyond {:.2}",
+                        self.efficacy_threshold
+                    );
+                    match swapper.rollback(&note) {
+                        Ok(Some(to_gen)) => {
+                            // The flag persists, so the verdict (and the
+                            // final ledger bytes) cannot depend on how
+                            // later evidence happens to arrive.
+                            ledger
+                                .generations
+                                .get_mut(&active)
+                                .expect("judged")
+                                .rolled_back = true;
+                            self.metrics.auto_rollback(tenant).inc();
+                            self.obs.record(OpKind::Rollback {
+                                tenant: tenant.to_string(),
+                                from_gen: active,
+                                to_gen,
+                                note,
+                            });
+                            rolled_to = Some(to_gen);
+                        }
+                        Ok(None) => {}
+                        Err(e) => {
+                            eprintln!("serve: auto-rollback for `{tenant}` failed: {e}");
+                            self.metrics.errors.inc();
+                        }
+                    }
+                }
+            }
+        }
+
+        if let Err(e) = ledger.save(&path) {
+            eprintln!("serve: efficacy ledger for `{tenant}` failed: {e}");
+            self.metrics.errors.inc();
+            return rolled_to;
+        }
+        for (gen, g) in &ledger.generations {
+            self.metrics.gen_epochs(tenant, *gen).set(g.epochs as f64);
+            if let Some(share) = g.timely_share() {
+                self.metrics.gen_timely_share(tenant, *gen).set(share);
+            }
+        }
+        let detail = ledger
+            .generations
+            .iter()
+            .rev()
+            .find_map(|(g, e)| e.timely_share().map(|s| format!("gen {g} timely {s:.4}")))
+            .unwrap_or_default();
+        self.obs.record(OpKind::Ledger {
+            trace: primary,
+            tenant: tenant.to_string(),
+            generations: ledger.generations.len() as u64,
+            epochs: ledger.total_epochs(),
+            detail,
+        });
+        rolled_to
     }
 
     /// Post-commit drift detection + hint reoptimization for one shard.
@@ -460,6 +576,8 @@ mod tests {
             })),
             obs: Arc::new(Obs::disabled()),
             queue,
+            efficacy_window: 2,
+            efficacy_threshold: 0.2,
         };
         (c, root)
     }
@@ -670,6 +788,119 @@ mod tests {
         assert!(records.iter().any(|r| matches!(
             &r.kind,
             OpKind::Epoch { trace: 0xA1, outcome: EpochOutcome::Accepted, label, .. } if label == "e1"
+        )));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    /// [`agg`] plus outcome feedback: tagged with `generation`, with
+    /// one prefetch PC reporting `timely` of `issued` timely outcomes.
+    fn tagged_agg(center: u64, generation: u64, issued: u64, timely: u64) -> AggregateProfile {
+        let mut a = agg(center);
+        a.gen = apt_ingest::GenTag::Gen(generation);
+        a.pf_outcomes.insert(
+            0x400300,
+            apt_trace::PcOutcomes {
+                issued,
+                timely,
+                late: issued - timely,
+                timely_slack_cycles: timely * 100,
+                late_head_start_cycles: (issued - timely) * 40,
+                ..apt_trace::PcOutcomes::default()
+            },
+        );
+        a
+    }
+
+    #[test]
+    fn untagged_commits_land_on_the_ledger_baseline_bucket() {
+        let (c, root) = committer("ledger-base");
+        let (j1, r1) = job("t", "e1", 100);
+        c.commit_batch(vec![j1]);
+        r1.recv().unwrap().unwrap();
+        let ledger = EfficacyLedger::load_or_empty(EfficacyLedger::path(c.store.dir(), "t"));
+        assert_eq!(ledger.generations.len(), 1);
+        let base = &ledger.generations[&0];
+        assert_eq!(base.epochs, 1);
+        assert_eq!(base.instructions, 1_000_000);
+        assert_eq!(base.timely_share(), None, "no outcome evidence yet");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn regressing_generation_is_rolled_back_automatically() {
+        let (mut c, root) = committer("ledger-rollback");
+        let clock = Arc::new(apt_selfprof::FakeClock::new(5));
+        c.obs = Arc::new(
+            Obs::new(
+                clock,
+                Some(crate::oplog::OpLogConfig::new(root.join("oplog"))),
+            )
+            .unwrap(),
+        );
+        // The derived bytes are constant, so once v2 is active every
+        // refresh resolves "unchanged" and the generation sits still
+        // while outcome evidence accumulates against it.
+        c.reopt = Arc::new(FnReoptimizer(|_: &str, _: &ProfileDb| {
+            Ok(b"tuned-v2".to_vec())
+        }));
+        let sw = crate::swap::HintSwapper::open(root.join("hints/t")).unwrap();
+        sw.swap_in(b"tuned-v1", "manual").unwrap();
+
+        // Epoch tagged gen 1 reports excellent outcomes; its commit
+        // refreshes the hints to v2 (generation 2).
+        let (mut j1, r1) = job("t", "e1", 100);
+        j1.agg = tagged_agg(100, 1, 32, 30);
+        c.commit_batch(vec![j1]);
+        assert_eq!(r1.recv().unwrap().unwrap().generation, Some(2));
+
+        // Two epochs tagged gen 2 report a collapsed timely share. The
+        // first is below the evidence window; the second trips the
+        // regression policy and the daemon rolls itself back.
+        let (mut j2, r2) = job("t", "e2", 100);
+        j2.agg = tagged_agg(100, 2, 32, 4);
+        c.commit_batch(vec![j2]);
+        assert_eq!(
+            r2.recv().unwrap().unwrap().generation,
+            Some(2),
+            "one epoch of evidence is below the window"
+        );
+        let (mut j3, r3) = job("t", "e3", 100);
+        j3.agg = tagged_agg(100, 2, 32, 4);
+        j3.trace = 0xC3;
+        c.commit_batch(vec![j3]);
+        assert_eq!(r3.recv().unwrap().unwrap().generation, Some(1));
+
+        // The previous generation's bytes are active again, the swap
+        // log has the audit line, and the ledger remembers the verdict.
+        assert_eq!(
+            fs::read(root.join("hints/t/current.hints")).unwrap(),
+            b"tuned-v1"
+        );
+        let log = sw.read_log().unwrap();
+        assert!(
+            log.iter()
+                .any(|l| l.starts_with("rollback from=000002 to=000001 auto:")),
+            "swap log: {log:?}"
+        );
+        let ledger = EfficacyLedger::load_or_empty(EfficacyLedger::path(c.store.dir(), "t"));
+        assert!(ledger.generations[&2].rolled_back);
+        assert_eq!(ledger.generations[&1].timely_share(), Some(30.0 / 32.0));
+        assert_eq!(ledger.generations[&2].timely_share(), Some(0.125));
+        assert_eq!(c.metrics.auto_rollback("t").get(), 1);
+        assert_eq!(c.metrics.gen_timely_share("t", 2).get(), 0.125);
+
+        // The op-log has both the rollback audit record and a ledger
+        // record for every commit.
+        let records = crate::oplog::read_oplog_dir(&root.join("oplog")).unwrap();
+        assert!(records.iter().any(|r| matches!(
+            &r.kind,
+            OpKind::Rollback { tenant, from_gen: 2, to_gen: 1, note }
+                if tenant == "t" && note.starts_with("auto:")
+        )));
+        assert!(records.iter().any(|r| matches!(
+            &r.kind,
+            OpKind::Ledger { trace: 0xC3, epochs: 3, detail, .. }
+                if detail == "gen 2 timely 0.1250"
         )));
         let _ = fs::remove_dir_all(&root);
     }

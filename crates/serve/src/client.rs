@@ -154,10 +154,20 @@ impl Client {
 
     /// Fetches a tenant's status report.
     pub fn status(&mut self, tenant: &str) -> Result<String, ClientError> {
+        self.status_kind(tenant, protocol::KIND_STATUS)
+    }
+
+    /// Fetches a tenant's status report as a JSON document (the same
+    /// facts `status` renders as text, machine-readable).
+    pub fn status_json(&mut self, tenant: &str) -> Result<String, ClientError> {
+        self.status_kind(tenant, protocol::KIND_STATUS_JSON)
+    }
+
+    fn status_kind(&mut self, tenant: &str, kind: u8) -> Result<String, ClientError> {
         if !protocol::valid_tenant(tenant) {
             return Err(ClientError::Protocol(format!("invalid tenant `{tenant}`")));
         }
-        self.stream.write_all(&[protocol::KIND_STATUS])?;
+        self.stream.write_all(&[kind])?;
         protocol::write_str(&mut self.stream, tenant)?;
         match protocol::read_status_reply(&mut self.stream)? {
             Reply::Status(report) => Ok(report),
@@ -166,5 +176,49 @@ impl Client {
                 "unexpected reply to status: {other:?}"
             ))),
         }
+    }
+}
+
+/// Default committer-queue depth at which the upload client warns the
+/// operator that the daemon is backlogged (see [`UploadReply::queue_depth`]).
+pub const QUEUE_WARN_DEFAULT: u64 = 64;
+
+/// The operator-facing backlog warning for an upload reply, if its
+/// reported committer queue depth is at or past `threshold`. Uploads
+/// are accepted either way — the warning just tells the operator that
+/// commits (and therefore hint refreshes) are lagging ingest.
+pub fn upload_backlog_warning(reply: &UploadReply, threshold: u64) -> Option<String> {
+    crate::daemon::backlog_warning(reply.queue_depth, threshold)
+        .map(|w| w.trim_end_matches('\n').to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reply(queue_depth: u64) -> UploadReply {
+        UploadReply {
+            events: 10,
+            shard_epochs: 1,
+            drifted: false,
+            max_tv: 0.0,
+            generation: None,
+            queue_depth,
+            message: String::new(),
+            trace: 0,
+        }
+    }
+
+    #[test]
+    fn upload_backlog_warning_tracks_the_reported_queue_depth() {
+        assert_eq!(upload_backlog_warning(&reply(0), QUEUE_WARN_DEFAULT), None);
+        assert_eq!(upload_backlog_warning(&reply(63), 64), None);
+        let warn = upload_backlog_warning(&reply(64), 64).unwrap();
+        assert_eq!(
+            warn,
+            "warning: committer queue depth 64 >= 64 (ingest backlogged)"
+        );
+        // Threshold 0 disables the warning entirely.
+        assert_eq!(upload_backlog_warning(&reply(10_000), 0), None);
     }
 }

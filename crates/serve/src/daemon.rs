@@ -27,11 +27,12 @@ use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use apt_ingest::{AggregateProfile, DriftConfig, IdentityRemap};
-use apt_metrics::Registry;
+use apt_ingest::{AggregateProfile, DriftConfig, GenTag, IdentityRemap};
+use apt_metrics::{json, Registry};
 use apt_selfprof::{Clock, MonotonicClock};
 
 use crate::batch::{Committer, Job, Reoptimizer};
+use crate::efficacy::EfficacyLedger;
 use crate::metrics::{QueueDepth, ServeMetrics};
 use crate::oplog::{Obs, OpKind, OpLogConfig, Stage};
 use crate::protocol::{self, UploadReply};
@@ -71,6 +72,13 @@ pub struct ServeConfig {
     /// Committer queue depth at which `serve-status` reports a backlog
     /// warning (0 disables the warning).
     pub queue_warn: u64,
+    /// Outcome epochs the active hint generation needs on the efficacy
+    /// ledger before the regression policy may judge it (0 disables
+    /// auto-rollback).
+    pub efficacy_window: u64,
+    /// How far the active generation's timely share may trail an
+    /// earlier evidenced generation before it is rolled back.
+    pub efficacy_threshold: f64,
 }
 
 impl std::fmt::Debug for ServeConfig {
@@ -85,6 +93,8 @@ impl std::fmt::Debug for ServeConfig {
             .field("max_body", &self.max_body)
             .field("oplog", &self.oplog)
             .field("queue_warn", &self.queue_warn)
+            .field("efficacy_window", &self.efficacy_window)
+            .field("efficacy_threshold", &self.efficacy_threshold)
             .finish_non_exhaustive()
     }
 }
@@ -108,6 +118,8 @@ impl ServeConfig {
             clock: Arc::new(MonotonicClock::new()),
             oplog: None,
             queue_warn: 64,
+            efficacy_window: 3,
+            efficacy_threshold: 0.2,
         }
     }
 }
@@ -156,6 +168,8 @@ impl Daemon {
             reopt,
             obs: Arc::clone(&obs),
             queue: queue.clone(),
+            efficacy_window: config.efficacy_window,
+            efficacy_threshold: config.efficacy_threshold,
         };
         let committer_handle = std::thread::Builder::new()
             .name("apt-serve-commit".to_string())
@@ -293,7 +307,8 @@ fn serve_connection(
                 let trace = protocol::read_trace_id(&mut (&stream))?;
                 handle_upload(&stream, shared, jobs, conn, &mut upload_seq, Some(trace))?
             }
-            protocol::KIND_STATUS => handle_status(&stream, shared)?,
+            protocol::KIND_STATUS => handle_status(&stream, shared, false)?,
+            protocol::KIND_STATUS_JSON => handle_status(&stream, shared, true)?,
             other => {
                 // Unknown kind: the stream is desynchronised, close.
                 shared.metrics.errors.inc();
@@ -379,7 +394,15 @@ fn handle_upload(
         .obs
         .span(trace, &header.tenant, Stage::Parse, parse_start);
     shared.metrics.stage_latency("parse").observe(parse_dur);
-    let agg = AggregateProfile::from_profile(&ingested.profile, &ingested.stats_or_default());
+    let mut agg = AggregateProfile::from_profile(&ingested.profile, &ingested.stats_or_default());
+    // Outcome feedback rides the dump's comment headers: the hint
+    // generation tag and per-PC prefetch outcomes survive onto the
+    // aggregate so the committer can segment the efficacy ledger.
+    agg.gen = match ingested.generation {
+        Some(g) => GenTag::Gen(g),
+        None => GenTag::Untagged,
+    };
+    agg.pf_outcomes = ingested.outcomes;
     let events = ingested.events as u64;
 
     let (reply_tx, reply_rx) = mpsc::channel();
@@ -418,6 +441,9 @@ fn handle_upload(
                 drifted: accepted.drifted,
                 max_tv: accepted.max_tv,
                 generation: accepted.generation,
+                // The live committer backlog at reply time, so clients
+                // can pace themselves (see `client::backlog_warning`).
+                queue_depth: shared.queue.depth(),
                 message,
                 trace,
             };
@@ -432,21 +458,33 @@ fn handle_upload(
     }
 }
 
-/// One STATUS frame: a read-only report on a tenant's shard and hints.
-fn handle_status(stream: &TcpStream, shared: &Shared) -> io::Result<()> {
+/// One STATUS (or STATUS_JSON) frame: a read-only report on a tenant's
+/// shard, hints and efficacy ledger.
+fn handle_status(stream: &TcpStream, shared: &Shared, as_json: bool) -> io::Result<()> {
     let tenant = protocol::read_str(&mut (&*stream), protocol::MAX_TENANT, "tenant")?;
     if !protocol::valid_tenant(&tenant) {
         shared.metrics.errors.inc();
         return protocol::write_error(&mut (&*stream), &format!("invalid tenant `{tenant}`"));
     }
-    let mut report = status_text(&shared.store, &shared.hints_dir, &tenant);
     // The backlog warning rides the live queue depth, never the shard,
-    // so `status_text` stays a pure function of shard + hints (the
-    // arrival-order determinism contract) and an idle daemon never
-    // prints it.
-    if let Some(warning) = backlog_warning(shared.queue.depth(), shared.queue_warn) {
-        report.push_str(&warning);
-    }
+    // so `status_text`/`status_json` stay pure functions of shard +
+    // hints + ledger (the arrival-order determinism contract) and an
+    // idle daemon never prints it.
+    let warning = backlog_warning(shared.queue.depth(), shared.queue_warn);
+    let report = if as_json {
+        status_json(
+            &shared.store,
+            &shared.hints_dir,
+            &tenant,
+            warning.as_deref(),
+        )
+    } else {
+        let mut text = status_text(&shared.store, &shared.hints_dir, &tenant);
+        if let Some(warning) = warning {
+            text.push_str(&warning);
+        }
+        text
+    };
     protocol::write_status_reply(&mut (&*stream), &report)
 }
 
@@ -458,10 +496,10 @@ pub fn backlog_warning(depth: u64, queue_warn: u64) -> Option<String> {
     })
 }
 
-/// Renders a tenant's status. Deliberately excludes generation numbers
-/// and timestamps: the text is a pure function of the shard contents
-/// and hint presence, so any upload interleaving that produces the same
-/// shard produces the same report.
+/// Renders a tenant's status. Deliberately excludes timestamps: the
+/// text is a pure function of the shard contents, hint presence and
+/// efficacy ledger, so any upload interleaving that produces the same
+/// on-disk state produces the same report.
 pub fn status_text(store: &ShardStore, hints_dir: &std::path::Path, tenant: &str) -> String {
     let db = store.load(tenant);
     let hints_active = hints_dir.join(tenant).join(CURRENT_HINTS).exists();
@@ -476,7 +514,72 @@ pub fn status_text(store: &ShardStore, hints_dir: &std::path::Path, tenant: &str
             e.label, e.agg.lbr_snapshots, e.agg.pebs_samples, e.agg.instructions,
         ));
     }
+    // The efficacy summary appears only once a ledger exists, so
+    // pre-feedback deployments render exactly the historical report.
+    let ledger = EfficacyLedger::load_or_empty(EfficacyLedger::path(store.dir(), tenant));
+    out.push_str(&ledger.render_status());
     out
+}
+
+/// [`status_text`]'s machine-readable sibling: the same pure function
+/// of shard + hints + ledger, hand-rolled through the in-repo JSON
+/// writer primitives so the output parses back with
+/// [`apt_metrics::json::parse`]. `warning` (the live backlog warning,
+/// when any) is the only non-pure field and is injected by the caller.
+pub fn status_json(
+    store: &ShardStore,
+    hints_dir: &std::path::Path,
+    tenant: &str,
+    warning: Option<&str>,
+) -> String {
+    let db = store.load(tenant);
+    let hints_active = hints_dir.join(tenant).join(CURRENT_HINTS).exists();
+    let ledger = EfficacyLedger::load_or_empty(EfficacyLedger::path(store.dir(), tenant));
+    let mut o = String::from("{\"tenant\":");
+    json::write_str(&mut o, tenant);
+    o.push_str(&format!(
+        ",\"epochs\":{},\"hints_active\":{hints_active},\"epoch_list\":[",
+        db.epochs.len()
+    ));
+    for (i, e) in db.epochs.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push_str("{\"label\":");
+        json::write_str(&mut o, &e.label);
+        o.push_str(&format!(
+            ",\"lbr_snapshots\":{},\"pebs_samples\":{},\"instructions\":{}}}",
+            e.agg.lbr_snapshots, e.agg.pebs_samples, e.agg.instructions
+        ));
+    }
+    o.push_str("],\"efficacy\":[");
+    for (i, (gen, g)) in ledger.generations.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push_str(&format!(
+            "{{\"generation\":{gen},\"epochs\":{},\"rolled_back\":{}",
+            g.epochs, g.rolled_back
+        ));
+        if let Some(share) = g.timely_share() {
+            o.push_str(",\"timely_share\":");
+            json::write_f64(&mut o, share);
+            o.push_str(",\"residual_cycles\":");
+            json::write_f64(&mut o, g.residual_cycles());
+        }
+        if let Some(ipc) = g.ipc() {
+            o.push_str(",\"ipc\":");
+            json::write_f64(&mut o, ipc);
+        }
+        o.push('}');
+    }
+    o.push(']');
+    if let Some(w) = warning {
+        o.push_str(",\"warning\":");
+        json::write_str(&mut o, w.trim_end_matches('\n'));
+    }
+    o.push_str("}\n");
+    o
 }
 
 #[cfg(test)]
@@ -515,6 +618,76 @@ mod tests {
             text,
             "tenant BFS: 1 epoch(s), hints active\n  e1: 2 lbr snapshot(s), 3 pebs sample(s), 42 instructions\n"
         );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn status_json_round_trips_through_the_in_repo_parser() {
+        let root = std::env::temp_dir().join(format!("apt-daemon-json-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = ShardStore::open(root.join("db")).unwrap();
+        let hints = root.join("hints");
+        store
+            .apply(
+                "BFS",
+                vec![apt_ingest::Epoch {
+                    label: "e1".into(),
+                    agg: AggregateProfile {
+                        instructions: 42,
+                        lbr_snapshots: 2,
+                        pebs_samples: 3,
+                        ..AggregateProfile::default()
+                    },
+                }],
+                0,
+            )
+            .unwrap();
+        let mut ledger = EfficacyLedger::default();
+        ledger.record_epoch(
+            1,
+            &AggregateProfile {
+                instructions: 1000,
+                cycles: 2000,
+                pf_outcomes: [(
+                    0x400100u64,
+                    apt_trace::PcOutcomes {
+                        issued: 16,
+                        timely: 12,
+                        late: 4,
+                        timely_slack_cycles: 1200,
+                        late_head_start_cycles: 120,
+                        ..apt_trace::PcOutcomes::default()
+                    },
+                )]
+                .into_iter()
+                .collect(),
+                ..AggregateProfile::default()
+            },
+        );
+        ledger
+            .save(EfficacyLedger::path(store.dir(), "BFS"))
+            .unwrap();
+
+        let text = status_json(&store, &hints, "BFS", Some("warning: backlogged\n"));
+        let j = json::parse(&text).expect("status json parses");
+        assert_eq!(j.str_field("tenant").unwrap(), "BFS");
+        assert_eq!(j.u64_field("epochs").unwrap(), 1);
+        assert_eq!(
+            j.get("hints_active").and_then(json::Json::as_bool),
+            Some(false)
+        );
+        let list = j.get("epoch_list").and_then(json::Json::as_arr).unwrap();
+        assert_eq!(list[0].str_field("label").unwrap(), "e1");
+        assert_eq!(list[0].u64_field("instructions").unwrap(), 42);
+        let eff = j.get("efficacy").and_then(json::Json::as_arr).unwrap();
+        assert_eq!(eff[0].u64_field("generation").unwrap(), 1);
+        assert_eq!(eff[0].num_field("timely_share").unwrap(), 0.75);
+        assert_eq!(j.str_field("warning").unwrap(), "warning: backlogged");
+        // Without a warning the field is absent and the bytes are a pure
+        // function of the on-disk state.
+        let bare = status_json(&store, &hints, "BFS", None);
+        assert!(json::parse(&bare).unwrap().get("warning").is_none());
+        assert_eq!(bare, status_json(&store, &hints, "BFS", None));
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -10,9 +10,10 @@
 
 use std::collections::BTreeMap;
 
-use apt_timeline::html::{self, Series, VMark, PALETTE};
+use apt_timeline::html::{self, Band, Series, VMark, PALETTE};
 use apt_trace::{ChromeTrace, Span};
 
+use crate::efficacy::{EfficacyLedger, GEN_BASELINE};
 use crate::oplog::{trace_hex, EpochOutcome, OpKind, OpRecord, STAGES};
 
 /// Time buckets per chart (the implicit x axis).
@@ -272,6 +273,100 @@ fn decisions_section(records: &[OpRecord]) -> String {
     out
 }
 
+/// Outcome classes stacked in the generation-diff chart, in severity
+/// order: the good share first, degradation modes after.
+const OUTCOME_CLASSES: [&str; 6] = ["timely", "late", "early", "useless", "redundant", "dropped"];
+
+fn efficacy_section(ledgers: &[(String, EfficacyLedger)]) -> String {
+    if ledgers.iter().all(|(_, l)| l.generations.is_empty()) {
+        return "<p>no efficacy ledgers.</p>".to_string();
+    }
+    let mut out = String::new();
+    for (tenant, ledger) in ledgers {
+        if ledger.generations.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("<h3>{}</h3>", html::escape(tenant)));
+        // Stacked outcome-class shares, one x position per generation
+        // in ledger (ascending) order — the generation-diff view: a
+        // regressing generation shows its timely band shrinking.
+        let shares: Vec<[f64; 6]> = ledger
+            .generations
+            .values()
+            .map(|e| {
+                let t = e.total();
+                let issued = t.issued.max(1) as f64;
+                [
+                    t.timely as f64 / issued,
+                    t.late as f64 / issued,
+                    t.early as f64 / issued,
+                    t.useless as f64 / issued,
+                    t.redundant as f64 / issued,
+                    t.dropped as f64 / issued,
+                ]
+            })
+            .collect();
+        if shares.iter().any(|s| s.iter().sum::<f64>() > 0.0) {
+            let series: Vec<Series> = OUTCOME_CLASSES
+                .iter()
+                .enumerate()
+                .map(|(ci, class)| {
+                    let pts: Vec<f64> = shares.iter().map(|s| s[ci]).collect();
+                    Series::new(class.to_string(), palette(ci), pts)
+                })
+                .collect();
+            let n = ledger.generations.len() as f64;
+            let bands: Vec<Band> = ledger
+                .generations
+                .keys()
+                .enumerate()
+                .map(|(i, gen)| Band {
+                    label: if *gen == GEN_BASELINE {
+                        "baseline".to_string()
+                    } else {
+                        format!("gen {gen}")
+                    },
+                    start: i as f64 / n,
+                    end: (i + 1) as f64 / n,
+                })
+                .collect();
+            out.push_str(&html::stack_chart(&series, &bands, "outcome share"));
+        }
+        out.push_str(
+            "<table><tr><th>generation</th><th>epochs</th><th>issued</th>\
+             <th>timely share</th><th>residual cyc</th><th>ipc</th><th>state</th></tr>",
+        );
+        for (gen, e) in &ledger.generations {
+            let t = e.total();
+            let name = if *gen == GEN_BASELINE {
+                "baseline".to_string()
+            } else {
+                format!("gen {gen}")
+            };
+            let share = e
+                .timely_share()
+                .map_or_else(|| "-".to_string(), |s| format!("{s:.4}"));
+            let residual = if t.issued == 0 {
+                "-".to_string()
+            } else {
+                format!("{:+.1}", e.residual_cycles())
+            };
+            let ipc = e
+                .ipc()
+                .map_or_else(|| "-".to_string(), |v| format!("{v:.3}"));
+            out.push_str(&format!(
+                "<tr><td>{name}</td><td>{}</td><td>{}</td><td>{share}</td>\
+                 <td>{residual}</td><td>{ipc}</td><td>{}</td></tr>",
+                e.epochs,
+                t.issued,
+                if e.rolled_back { "rolled back" } else { "ok" },
+            ));
+        }
+        out.push_str("</table>");
+    }
+    out
+}
+
 fn metrics_section(text: &str) -> String {
     let exp = match apt_metrics::prom::parse(text) {
         Ok(e) => e,
@@ -310,8 +405,14 @@ fn metrics_section(text: &str) -> String {
 }
 
 /// Renders the operator dashboard for one validated op-log, optionally
-/// joined with a Prometheus `/metrics` scrape.
-pub fn render_dashboard(records: &[OpRecord], metrics_text: Option<&str>) -> String {
+/// joined with a Prometheus `/metrics` scrape and the per-tenant
+/// efficacy ledgers (generation-diff view). Ledgers must arrive
+/// pre-sorted by tenant for byte-stable output.
+pub fn render_dashboard(
+    records: &[OpRecord],
+    metrics_text: Option<&str>,
+    ledgers: &[(String, EfficacyLedger)],
+) -> String {
     let range = time_range(records).unwrap_or((0, 0));
     let mut sections: Vec<(String, String)> = vec![
         ("Overview".to_string(), overview_section(records)),
@@ -326,6 +427,10 @@ pub fn render_dashboard(records: &[OpRecord], metrics_text: Option<&str>) -> Str
         (
             "Stage latency breakdown".to_string(),
             stage_section(records, range),
+        ),
+        (
+            "Hint efficacy by generation".to_string(),
+            efficacy_section(ledgers),
         ),
         ("Recent decisions".to_string(), decisions_section(records)),
     ];
@@ -461,23 +566,67 @@ mod tests {
         ]
     }
 
+    fn demo_ledger() -> EfficacyLedger {
+        use apt_ingest::AggregateProfile;
+        let tagged = |issued: u64, timely: u64| {
+            let mut a = AggregateProfile {
+                instructions: 1_000,
+                cycles: 2_000,
+                ..AggregateProfile::default()
+            };
+            a.pf_outcomes.insert(
+                0x400300,
+                apt_trace::PcOutcomes {
+                    issued,
+                    timely,
+                    late: issued - timely,
+                    timely_slack_cycles: timely * 100,
+                    late_head_start_cycles: (issued - timely) * 40,
+                    ..apt_trace::PcOutcomes::default()
+                },
+            );
+            a
+        };
+        let mut ledger = EfficacyLedger::default();
+        ledger.record_epoch(GEN_BASELINE, &AggregateProfile::default());
+        ledger.record_epoch(1, &tagged(32, 30));
+        ledger.record_epoch(2, &tagged(32, 4));
+        ledger.generations.get_mut(&2).unwrap().rolled_back = true;
+        ledger
+    }
+
     #[test]
     fn dashboard_is_self_contained_and_deterministic() {
         let records = demo_records();
-        let page = render_dashboard(&records, None);
+        let ledgers = [("BFS".to_string(), demo_ledger())];
+        let page = render_dashboard(&records, None, &ledgers);
         assert!(page.starts_with("<!DOCTYPE html>"));
         assert!(page.contains("BFS"));
         assert!(page.contains("gen 1"));
         assert!(page.contains("drift exceeded"));
         assert!(!page.contains("http"), "external reference leaked");
-        assert_eq!(page, render_dashboard(&records, None));
+        assert_eq!(page, render_dashboard(&records, None, &ledgers));
+    }
+
+    #[test]
+    fn efficacy_section_diffs_generations() {
+        let page = render_dashboard(&[], None, &[("BFS".to_string(), demo_ledger())]);
+        assert!(page.contains("Hint efficacy by generation"));
+        assert!(page.contains("baseline"));
+        // gen 1 keeps its strong timely share; gen 2 regressed and shows
+        // the rollback state.
+        assert!(page.contains("0.9375"));
+        assert!(page.contains("0.1250"));
+        assert!(page.contains("rolled back"));
+        assert!(page.contains("outcome share"));
     }
 
     #[test]
     fn empty_log_renders_placeholders() {
-        let page = render_dashboard(&[], None);
+        let page = render_dashboard(&[], None, &[]);
         assert!(page.contains("no request spans"));
         assert!(page.contains("no drift evaluations"));
+        assert!(page.contains("no efficacy ledgers"));
     }
 
     #[test]
@@ -485,10 +634,10 @@ mod tests {
         let scrape = "# TYPE apt_serve_connections_total counter\n\
                       apt_serve_connections_total 3\n\
                       # TYPE other_family counter\nother_family 9\n";
-        let page = render_dashboard(&demo_records(), Some(scrape));
+        let page = render_dashboard(&demo_records(), Some(scrape), &[]);
         assert!(page.contains("apt_serve_connections_total"));
         assert!(!page.contains("other_family"), "non-serve series filtered");
-        let bad = render_dashboard(&demo_records(), Some("{{nonsense"));
+        let bad = render_dashboard(&demo_records(), Some("{{nonsense"), &[]);
         assert!(bad.contains("did not parse"));
     }
 

@@ -27,6 +27,10 @@
 //!   size-based rotation and a validating reader.
 //! * [`dash`] — renders the operator dashboard (self-contained HTML)
 //!   and the Chrome-trace export from an op-log.
+//! * [`efficacy`] — the per-tenant `APTEL1` hint-efficacy ledger:
+//!   prefetch outcomes attributed to the hint generation that produced
+//!   them, plus the regression policy that auto-rolls-back a generation
+//!   whose timely share trails its predecessor's.
 //!
 //! The daemon is workload-agnostic: hint derivation is injected as a
 //! [`Reoptimizer`], and the CLI supplies `optimize_from_db` +
@@ -38,6 +42,7 @@ pub mod batch;
 pub mod client;
 pub mod daemon;
 pub mod dash;
+pub mod efficacy;
 pub mod metrics;
 pub mod oplog;
 pub mod protocol;
@@ -45,9 +50,10 @@ pub mod shard;
 pub mod swap;
 
 pub use batch::{Accepted, Committer, FnReoptimizer, Job, Reoptimizer};
-pub use client::{Client, ClientError};
-pub use daemon::{backlog_warning, status_text, Daemon, ServeConfig};
+pub use client::{upload_backlog_warning, Client, ClientError, QUEUE_WARN_DEFAULT};
+pub use daemon::{backlog_warning, status_json, status_text, Daemon, ServeConfig};
 pub use dash::{chrome_trace, render_dashboard};
+pub use efficacy::{EfficacyLedger, GenEfficacy};
 pub use metrics::{QueueDepth, ServeMetrics};
 pub use oplog::{
     read_oplog_dir, trace_hex, Obs, OpKind, OpLogConfig, OpLogWriter, OpRecord, Stage,

@@ -142,6 +142,35 @@ impl ServeMetrics {
             &[("tenant", tenant)],
         )
     }
+
+    /// Per-tenant automatic-rollback counter: the efficacy regression
+    /// policy repointed `current.hints` at an earlier generation.
+    pub fn auto_rollback(&self, tenant: &str) -> Counter {
+        self.registry.counter(
+            "apt_serve_auto_rollback_total",
+            "Hint generations rolled back by the efficacy regression policy",
+            &[("tenant", tenant)],
+        )
+    }
+
+    /// Per-(tenant, generation) timely share of reported prefetch
+    /// outcomes; materialises once a generation has outcome evidence.
+    pub fn gen_timely_share(&self, tenant: &str, generation: u64) -> Gauge {
+        self.registry.gauge(
+            "apt_serve_gen_timely_share",
+            "Timely share of prefetch outcomes reported per hint generation",
+            &[("tenant", tenant), ("generation", &generation.to_string())],
+        )
+    }
+
+    /// Per-(tenant, generation) count of epochs on the efficacy ledger.
+    pub fn gen_epochs(&self, tenant: &str, generation: u64) -> Gauge {
+        self.registry.gauge(
+            "apt_serve_gen_epochs",
+            "Epochs of outcome evidence on the efficacy ledger per hint generation",
+            &[("tenant", tenant), ("generation", &generation.to_string())],
+        )
+    }
 }
 
 /// Shared committer-queue accounting: the acceptor bumps it as jobs
@@ -244,6 +273,9 @@ mod tests {
         m.epochs_evicted("BFS").add(3);
         m.reoptimize("BFS").inc();
         m.drift_exceeded("BFS").inc();
+        m.auto_rollback("BFS").inc();
+        m.gen_timely_share("BFS", 2).set(0.125);
+        m.gen_epochs("BFS", 2).set(3.0);
 
         let text = prom::render_prometheus(&registry);
         let exp = prom::parse(&text).expect("exposition parses");
@@ -274,6 +306,24 @@ mod tests {
         assert_eq!(
             exp.value("apt_serve_drift_exceeded_total", &[("tenant", "BFS")]),
             Some(1.0)
+        );
+        assert_eq!(
+            exp.value("apt_serve_auto_rollback_total", &[("tenant", "BFS")]),
+            Some(1.0)
+        );
+        assert_eq!(
+            exp.value(
+                "apt_serve_gen_timely_share",
+                &[("tenant", "BFS"), ("generation", "2")]
+            ),
+            Some(0.125)
+        );
+        assert_eq!(
+            exp.value(
+                "apt_serve_gen_epochs",
+                &[("tenant", "BFS"), ("generation", "2")]
+            ),
+            Some(3.0)
         );
         assert_eq!(
             exp.value("apt_serve_ingest_latency_us_count", &[]),

@@ -14,10 +14,11 @@
 //! * **rotation never splits a record** — a record is appended whole;
 //!   when the active `oplog.jsonl` crosses the size cap it is renamed to
 //!   the next `oplog.NNNNN.jsonl` and a fresh active file starts.
-//! * **torn tails are tolerated on read** — a crash mid-append leaves a
-//!   final line without a newline; the reader drops it (only on the
-//!   active file) instead of failing, and [`OpLogWriter::open`]
-//!   truncates it so later appends start on a fresh line.
+//! * **torn tails are tolerated on read** — a crash mid-append (or a
+//!   crash racing rotation) leaves a final line without a newline; the
+//!   reader drops it on any file instead of failing, and
+//!   [`OpLogWriter::open`] truncates a torn active file so later
+//!   appends start on a fresh line.
 //! * **timestamps flow through a [`Clock`]** — the daemon injects a
 //!   `selfprof` clock, so golden tests swap in a `FakeClock` and assert
 //!   the log (and everything rendered from it) byte-for-byte.
@@ -205,6 +206,17 @@ pub enum OpKind {
         to_gen: u64,
         note: String,
     },
+    /// One efficacy-ledger commit: outcome evidence landed for a
+    /// tenant. `generations`/`epochs` are the post-commit ledger
+    /// totals; `detail` summarises the freshest evidence (e.g. the
+    /// active generation's timely share).
+    Ledger {
+        trace: u64,
+        tenant: String,
+        generations: u64,
+        epochs: u64,
+        detail: String,
+    },
 }
 
 /// One committed op-log line.
@@ -360,6 +372,20 @@ impl OpRecord {
                 kv_u64(&mut o, "to_gen", *to_gen);
                 kv_str(&mut o, "note", note);
             }
+            OpKind::Ledger {
+                trace,
+                tenant,
+                generations,
+                epochs,
+                detail,
+            } => {
+                o.push_str("\"ledger\"");
+                kv_str(&mut o, "trace", &trace_hex(*trace));
+                kv_str(&mut o, "tenant", tenant);
+                kv_u64(&mut o, "generations", *generations);
+                kv_u64(&mut o, "epochs", *epochs);
+                kv_str(&mut o, "detail", detail);
+            }
         }
         o.push('}');
         o
@@ -444,6 +470,13 @@ impl OpRecord {
                 from_gen: j.u64_field("from_gen")?,
                 to_gen: j.u64_field("to_gen")?,
                 note: owned(&j, "note")?,
+            },
+            "ledger" => OpKind::Ledger {
+                trace: trace(&j)?,
+                tenant: owned(&j, "tenant")?,
+                generations: j.u64_field("generations")?,
+                epochs: j.u64_field("epochs")?,
+                detail: owned(&j, "detail")?,
             },
             other => return Err(format!("unknown op-log kind `{other}`")),
         };
@@ -579,8 +612,10 @@ fn rotated_files(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
 /// Reads and validates a whole log directory: rotated files in index
 /// order, then the active file. Every line must parse and sequence
 /// numbers must be strictly increasing; the only tolerated damage is a
-/// torn (newline-less) final line on the active file, which is dropped.
-/// A missing directory reads as an empty log.
+/// torn (newline-less) final line, which is dropped on any file — a
+/// crash can tear the active file mid-append, and a crash racing
+/// rotation can leave the same tear on a just-rotated file. A missing
+/// directory reads as an empty log.
 pub fn read_oplog_dir(dir: &Path) -> Result<Vec<OpRecord>, String> {
     if !dir.exists() {
         return Ok(Vec::new());
@@ -591,22 +626,14 @@ pub fn read_oplog_dir(dir: &Path) -> Result<Vec<OpRecord>, String> {
         .map(|(_, p)| p)
         .collect();
     let active = dir.join(ACTIVE_FILE);
-    let has_active = active.exists();
-    if has_active {
+    if active.exists() {
         files.push(active);
     }
     let mut out = Vec::new();
     let mut prev_seq = 0u64;
-    for (fi, path) in files.iter().enumerate() {
-        let is_active = has_active && fi == files.len() - 1;
+    for path in files.iter() {
         let bytes = fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
         let torn_tail = bytes.last().is_some_and(|&b| b != b'\n');
-        if torn_tail && !is_active {
-            return Err(format!(
-                "{}: rotated file has a torn final line",
-                path.display()
-            ));
-        }
         // Split at the last newline on BYTES before UTF-8 validation: a
         // torn tail may end mid-character and must not poison the
         // complete lines before it.
@@ -765,6 +792,13 @@ mod tests {
                 to_gen: 1,
                 note: "operator".into(),
             },
+            OpKind::Ledger {
+                trace: 0xA1,
+                tenant: "BFS".into(),
+                generations: 3,
+                epochs: 7,
+                detail: "gen 2 timely 0.1250".into(),
+            },
             OpKind::ConnClose { conn: 1 },
         ]
     }
@@ -868,6 +902,34 @@ mod tests {
         let read = read_oplog_dir(&dir).unwrap();
         assert_eq!(read.len(), 3);
         assert_eq!(read.last().unwrap().seq, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_on_a_rotated_file_is_dropped_not_an_error() {
+        // A crash racing rotation can tear the final line of the file
+        // that was just renamed; the reader keeps the complete lines
+        // (mirroring the shard store's orphan-temp sweep posture).
+        let dir = tmp("torn-rotated");
+        fs::create_dir_all(&dir).unwrap();
+        let whole = OpRecord {
+            seq: 1,
+            t_us: 1,
+            kind: OpKind::ConnOpen { conn: 1 },
+        };
+        fs::write(
+            dir.join("oplog.00001.jsonl"),
+            format!("{}\n{{\"v\":1,\"seq\":2,\"t_us\":9,\"ki", whole.to_line()),
+        )
+        .unwrap();
+        let next = OpRecord {
+            seq: 3,
+            t_us: 3,
+            kind: OpKind::ConnClose { conn: 1 },
+        };
+        fs::write(dir.join(ACTIVE_FILE), format!("{}\n", next.to_line())).unwrap();
+        let read = read_oplog_dir(&dir).unwrap();
+        assert_eq!(read, vec![whole, next]);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -45,6 +45,9 @@ pub const KIND_UPLOAD: u8 = 1;
 pub const KIND_STATUS: u8 = 2;
 /// Request kind: profile epoch upload with a client-chosen trace ID.
 pub const KIND_UPLOAD_TRACED: u8 = 3;
+/// Request kind: tenant status report as a JSON document (same framing
+/// as [`KIND_STATUS`], machine-readable payload).
+pub const KIND_STATUS_JSON: u8 = 4;
 
 /// Response status byte: success.
 pub const STATUS_OK: u8 = 0;
@@ -200,6 +203,9 @@ pub struct UploadReply {
     pub max_tv: f64,
     /// Hint generation hot-swapped in by this commit, if any.
     pub generation: Option<u64>,
+    /// Committer queue depth observed when the reply was written — the
+    /// backpressure signal a client watches to slow its upload cadence.
+    pub queue_depth: u64,
     /// Human-readable commit summary.
     pub message: String,
     /// Trace ID the daemon recorded this upload's op-log spans under.
@@ -213,6 +219,7 @@ fn write_upload_reply_fields(w: &mut dyn Write, reply: &UploadReply) -> io::Resu
     w.write_all(&[reply.drifted as u8])?;
     write_u64(w, reply.max_tv.to_bits())?;
     write_u64(w, reply.generation.unwrap_or(NO_GENERATION))?;
+    write_u64(w, reply.queue_depth)?;
     write_str(w, &reply.message)
 }
 
@@ -265,6 +272,7 @@ fn read_upload_reply_fields(r: &mut dyn Read, trace: u64) -> io::Result<UploadRe
         NO_GENERATION => None,
         g => Some(g),
     };
+    let queue_depth = read_u64(r)?;
     let message = read_str(r, MAX_MESSAGE, "message")?;
     Ok(UploadReply {
         events,
@@ -272,6 +280,7 @@ fn read_upload_reply_fields(r: &mut dyn Read, trace: u64) -> io::Result<UploadRe
         drifted,
         max_tv,
         generation,
+        queue_depth,
         message,
         trace,
     })
@@ -385,6 +394,7 @@ mod tests {
             drifted: true,
             max_tv: 0.875,
             generation: Some(4),
+            queue_depth: 5,
             message: "drift 0.875, swapped generation 4".into(),
             trace: 0,
         };
@@ -404,6 +414,7 @@ mod tests {
                 drifted: false,
                 max_tv: 0.0,
                 generation: None,
+                queue_depth: 0,
                 message: String::new(),
                 trace: 0,
             },
@@ -456,6 +467,7 @@ mod tests {
             drifted: true,
             max_tv: 0.5,
             generation: Some(1),
+            queue_depth: 2,
             message: "committed".into(),
             trace: 0xDEAD_BEEF_0000_0001,
         };
@@ -492,6 +504,7 @@ mod tests {
             drifted: false,
             max_tv: 0.5,
             generation: Some(1),
+            queue_depth: 1,
             message: "ok".into(),
             trace: 7,
         };

@@ -113,6 +113,29 @@ impl HintSwapper {
         atomic_write(&self.dir.join(name), contents.as_bytes())
     }
 
+    /// Reads the audit log's complete lines. `swap.log` is a plain
+    /// append (not temp+rename — it must accumulate), so a crash
+    /// mid-append can tear the final line; like the op-log reader, the
+    /// torn tail is dropped instead of poisoning the whole history. A
+    /// missing log reads as empty.
+    pub fn read_log(&self) -> io::Result<Vec<String>> {
+        let bytes = match fs::read(self.dir.join(SWAP_LOG)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        // Split on bytes before UTF-8 validation: a torn tail may end
+        // mid-character and must not fail the complete lines before it.
+        let keep = if bytes.last().is_some_and(|&b| b != b'\n') {
+            bytes.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1)
+        } else {
+            bytes.len()
+        };
+        let text = std::str::from_utf8(&bytes[..keep])
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("swap.log: {e}")))?;
+        Ok(text.lines().map(str::to_string).collect())
+    }
+
     fn log_line(&self, line: &str) -> io::Result<()> {
         let mut f = fs::OpenOptions::new()
             .create(true)
@@ -189,6 +212,30 @@ mod tests {
         fs::remove_file(sw.current_hints_path()).unwrap();
         let sw = HintSwapper::open(&dir).unwrap();
         assert_eq!(fs::read(sw.current_hints_path()).unwrap(), b"v1");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_log_drops_a_torn_final_line() {
+        let dir = tmp_dir("tornlog");
+        let sw = HintSwapper::open(&dir).unwrap();
+        assert_eq!(sw.read_log().unwrap(), Vec::<String>::new());
+        sw.swap_in(b"v1", "first").unwrap();
+        sw.swap_in(b"v2", "second").unwrap();
+        sw.rollback("regression").unwrap();
+        let complete = sw.read_log().unwrap();
+        assert_eq!(complete.len(), 3);
+        assert_eq!(complete[2], "rollback from=000002 to=000001 regression");
+
+        // Crash mid-append: a partial line (ending mid-UTF-8 sequence)
+        // with no newline must not poison the complete history.
+        let mut f = fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join(SWAP_LOG))
+            .unwrap();
+        f.write_all(b"swap gen=000003 byt\xe2\x82").unwrap();
+        drop(f);
+        assert_eq!(sw.read_log().unwrap(), complete);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -14,7 +14,7 @@ mod common;
 
 use std::fs;
 
-use apt_serve::{status_text, Client, ShardStore};
+use apt_serve::{status_json, status_text, Client, EfficacyLedger, ShardStore};
 use common::{dump, scratch, try_daemon};
 use proptest::prelude::*;
 
@@ -48,6 +48,7 @@ fn run_schedule(tag: &str, order: &[usize], assignment: &[usize]) -> Option<Arti
             .expect("upload");
     }
     let status = clients[0].status("t").expect("status");
+    let status_json_wire = clients[0].status_json("t").expect("status json");
     daemon.shutdown();
 
     let store = ShardStore::open(root.join("db")).unwrap();
@@ -55,8 +56,11 @@ fn run_schedule(tag: &str, order: &[usize], assignment: &[usize]) -> Option<Arti
         shard: fs::read(store.shard_path("t")).unwrap(),
         status,
         offline_status: status_text(&store, &root.join("hints"), "t"),
+        status_json_wire,
+        offline_status_json: status_json(&store, &root.join("hints"), "t", None),
         hints: fs::read(root.join("hints/t/current.hints")).unwrap(),
         drift: fs::read_to_string(root.join("hints/t/drift.txt")).unwrap(),
+        ledger: fs::read(EfficacyLedger::path(store.dir(), "t")).unwrap_or_default(),
     };
     let _ = fs::remove_dir_all(&root);
     Some(artifacts)
@@ -67,8 +71,11 @@ struct Artifacts {
     shard: Vec<u8>,
     status: String,
     offline_status: String,
+    status_json_wire: String,
+    offline_status_json: String,
     hints: Vec<u8>,
     drift: String,
+    ledger: Vec<u8>,
 }
 
 proptest! {
@@ -109,7 +116,14 @@ proptest! {
             "hot-swapped hints diverged for order {:?}", order
         );
         prop_assert_eq!(&permuted.drift, &reference.drift);
-        // The wire status and the offline render agree.
+        prop_assert_eq!(
+            &permuted.ledger, &reference.ledger,
+            "efficacy ledger bytes diverged for order {:?}", order
+        );
+        prop_assert_eq!(&permuted.status_json_wire, &reference.status_json_wire);
+        // The wire status and the offline render agree (a quiescent
+        // daemon has no backlog, so no warning line on the wire).
         prop_assert_eq!(&reference.status, &reference.offline_status);
+        prop_assert_eq!(&reference.status_json_wire, &reference.offline_status_json);
     }
 }

@@ -42,6 +42,9 @@ fn upload_drift_and_hot_swap_loop() {
     assert!(reply.drifted, "far-away center must exceed the threshold");
     assert!(reply.max_tv > 0.9, "max_tv {}", reply.max_tv);
     assert_eq!(reply.generation, Some(1), "first hot-swap");
+    // The reply is written after the commit drained, so a sequential
+    // uploader sees an idle committer queue (the backpressure signal).
+    assert_eq!(reply.queue_depth, 0, "sequential uploads never backlog");
 
     // The hot-swapped hint file matches an offline re-derivation from
     // the shard the daemon wrote.
@@ -62,6 +65,24 @@ fn upload_drift_and_hot_swap_loop() {
         "{status}"
     );
     assert!(status.contains("epoch-1: 4 lbr snapshot(s)"), "{status}");
+
+    // The JSON status carries the same facts, machine-readable: it
+    // parses with the in-repo parser and matches the offline render.
+    let json_report = client.status_json("BFS").expect("status json");
+    let parsed = apt_metrics::json::parse(&json_report).expect("status json parses");
+    assert_eq!(parsed.str_field("tenant").unwrap(), "BFS");
+    assert_eq!(parsed.u64_field("epochs").unwrap(), 2);
+    assert_eq!(
+        parsed
+            .get("hints_active")
+            .and_then(apt_metrics::json::Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        json_report,
+        apt_serve::status_json(&store, &root.join("hints"), "BFS", None),
+        "wire JSON must match the offline render of the same state"
+    );
 
     // Per-tenant metrics moved on the shared registry.
     assert_eq!(

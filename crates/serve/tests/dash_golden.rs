@@ -8,9 +8,12 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use apt_ingest::AggregateProfile;
 use apt_selfprof::FakeClock;
 use apt_serve::oplog::{EpochOutcome, OpKind, ReoptOutcome, Stage};
-use apt_serve::{chrome_trace, read_oplog_dir, render_dashboard, Obs, OpLogConfig, OpRecord};
+use apt_serve::{
+    chrome_trace, read_oplog_dir, render_dashboard, EfficacyLedger, Obs, OpLogConfig, OpRecord,
+};
 
 fn scratch(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("apt-dash-golden-{tag}-{}", std::process::id()));
@@ -124,9 +127,33 @@ fn dashboard_and_trace_are_byte_stable_under_a_fake_clock() {
         fs::read(dir_b.join("oplog.jsonl")).expect("log b"),
     );
 
+    // A deterministic efficacy ledger joins the page the same way the
+    // CLI's serve-dash builds it from `<db-dir>/<tenant>.aptel`.
+    let ledger = || {
+        let mut l = EfficacyLedger::default();
+        let mut agg = AggregateProfile {
+            instructions: 1_000,
+            cycles: 2_000,
+            ..AggregateProfile::default()
+        };
+        agg.pf_outcomes.insert(
+            0x400300,
+            apt_trace::PcOutcomes {
+                issued: 32,
+                timely: 30,
+                late: 2,
+                timely_slack_cycles: 3_000,
+                late_head_start_cycles: 80,
+                ..apt_trace::PcOutcomes::default()
+            },
+        );
+        l.record_epoch(1, &agg);
+        vec![("BFS".to_string(), l)]
+    };
+
     // The dashboard is a pure function of the log: byte-identical HTML.
-    let page_a = render_dashboard(&rec_a, None);
-    let page_b = render_dashboard(&rec_b, None);
+    let page_a = render_dashboard(&rec_a, None, &ledger());
+    let page_b = render_dashboard(&rec_b, None, &ledger());
     assert_eq!(page_a, page_b);
 
     // It is a real self-contained page with the expected content.
@@ -134,6 +161,10 @@ fn dashboard_and_trace_are_byte_stable_under_a_fake_clock() {
     assert!(page_a.contains("BFS") && page_a.contains("PageRank"));
     assert!(page_a.contains("gen 1"), "swap generation marker missing");
     assert!(page_a.contains("rollback"), "rollback row missing");
+    assert!(
+        page_a.contains("Hint efficacy by generation") && page_a.contains("0.9375"),
+        "efficacy generation-diff section missing"
+    );
     assert!(page_a.contains("<svg"), "charts missing");
     assert!(!page_a.contains("http"), "external reference leaked");
     assert!(!page_a.contains("<script"), "scripts are banned");
@@ -157,8 +188,8 @@ fn dashboard_and_trace_are_byte_stable_under_a_fake_clock() {
     // A metrics scrape joins deterministically as well.
     let scrape = "# TYPE apt_serve_uploads_total counter\napt_serve_uploads_total 3\n";
     assert_eq!(
-        render_dashboard(&rec_a, Some(scrape)),
-        render_dashboard(&rec_b, Some(scrape)),
+        render_dashboard(&rec_a, Some(scrape), &ledger()),
+        render_dashboard(&rec_b, Some(scrape), &ledger()),
     );
 
     let _ = fs::remove_dir_all(&dir_a);

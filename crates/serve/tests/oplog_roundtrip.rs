@@ -132,6 +132,15 @@ fn any_kind() -> impl Strategy<Value = OpKind> {
                 note,
             }
         ),
+        (any::<u64>(), nasty_string(), num(), num(), nasty_string()).prop_map(
+            |(trace, tenant, generations, epochs, detail)| OpKind::Ledger {
+                trace,
+                tenant,
+                generations,
+                epochs,
+                detail,
+            }
+        ),
     ]
 }
 

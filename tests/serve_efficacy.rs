@@ -1,0 +1,241 @@
+//! Acceptance test for the hint-efficacy ledger and regression
+//! auto-rollback, on a real workload: BFS runs under *good* hints
+//! (prefetch distance tuned to this machine — fills complete right
+//! before their demand) and under deliberately *detuned* hints
+//! (distance cranked to 4096, so prefetched lines go redundant or die
+//! unused), each traced with per-PC prefetch-outcome attribution and
+//! exported as generation-tagged perf-script dumps. The daemon ingests
+//! good-generation evidence, hot-swaps a detuned generation, watches
+//! its timely share collapse across the efficacy window, and must roll
+//! itself back: `current.hints` byte-identical to the prior
+//! generation, with the decision audited on the swap log, the op-log,
+//! and the metrics registry.
+
+use std::sync::Arc;
+
+use apt_serve::{
+    Client, Daemon, EfficacyLedger, FnReoptimizer, HintSwapper, OpKind, OpLogConfig, ServeConfig,
+    ShardStore,
+};
+use apt_trace::OutcomeTable;
+use apt_workloads::all_workloads;
+use aptget::{ainsworth_jones_optimize, execute_traced, PipelineConfig, ProfileDb, TraceConfig};
+use aptget::{parse_str, AggregateProfile, IdentityRemap};
+
+const TEST_SCALE: f64 = 0.02;
+/// Epochs of evidence a generation needs before it is judged.
+const WINDOW: u64 = 2;
+/// Timely-share regression that triggers the rollback.
+const THRESHOLD: f64 = 0.1;
+
+fn bfs_build() -> (apt_lir::Module, apt_cpu::MemImage, Vec<(String, Vec<u64>)>) {
+    let spec = all_workloads()
+        .into_iter()
+        .find(|s| s.name == "BFS")
+        .expect("BFS registered");
+    let w = spec.build(TEST_SCALE, 42);
+    (w.module, w.image, w.calls)
+}
+
+/// Runs `module` with outcome tracing and exports the run as a
+/// generation-tagged perf-script dump (plus the raw outcome table for
+/// the test's own share arithmetic).
+fn traced_dump(
+    module: &apt_lir::Module,
+    image: apt_cpu::MemImage,
+    calls: &[(String, Vec<u64>)],
+    generation: u64,
+) -> (String, OutcomeTable) {
+    let cfg = PipelineConfig::default();
+    let (exec, report) = execute_traced(
+        module,
+        image,
+        calls,
+        &cfg.profile_sim,
+        TraceConfig::outcomes(),
+    )
+    .expect("traced run");
+    let text = apt_cpu::perfscript::export_perf_script_tagged(
+        &exec.profile,
+        &exec.stats,
+        generation,
+        &report.outcomes,
+    );
+    (text, report.outcomes)
+}
+
+/// The ledger's metric: timely issues over all issues.
+fn timely_share(table: &OutcomeTable) -> f64 {
+    let t = &table.total;
+    t.timely as f64 / t.issued.max(1) as f64
+}
+
+#[test]
+fn regressing_hint_generation_rolls_back_end_to_end() {
+    let root = std::env::temp_dir().join(format!("apt-efficacy-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Good hints: prefetch distance 1 — on this machine one iteration
+    // of head start covers the fill, so most issues land timely.
+    let (module, _image, _calls) = bfs_build();
+    let (good_module, good_report) = ainsworth_jones_optimize(&module, 1);
+    assert!(
+        !good_report.injected.is_empty(),
+        "tuned variant must inject prefetches"
+    );
+    let good_hints = b"# tuned hints: distance 1\n".to_vec();
+
+    // Detuned hints: distance cranked to 4096 — prefetches run so far
+    // ahead of the demand stream that almost every issue is redundant
+    // or dies unused (the paper's stale-distance failure mode).
+    let (detuned_module, detuned_report) = ainsworth_jones_optimize(&module, 4096);
+    assert!(
+        !detuned_report.injected.is_empty(),
+        "detuned variant must still inject"
+    );
+    let detuned_hints = b"# detuned hints: all distances 4096\n".to_vec();
+
+    // One traced run per hint regime: the tuned module's evidence is
+    // tagged generation 1, the detuned module's generation 2.
+    let (_, g_image, g_calls) = bfs_build();
+    let (good_dump, good_table) = traced_dump(&good_module, g_image, &g_calls, 1);
+    let (_, d_image, d_calls) = bfs_build();
+    let (detuned_dump, detuned_table) = traced_dump(&detuned_module, d_image, &d_calls, 2);
+    let good_share = timely_share(&good_table);
+    let detuned_share = timely_share(&detuned_table);
+    assert!(
+        good_share - detuned_share > THRESHOLD,
+        "distance-4096 prefetches must regress the timely share beyond the policy threshold: \
+         good {good_share:.4} vs detuned {detuned_share:.4}"
+    );
+
+    // Seed generation 1 with the good hints — the state a production
+    // fleet is in before the daemon's next (bad) reoptimization.
+    let swapper = HintSwapper::open(root.join("hints/BFS")).expect("open swapper");
+    assert_eq!(swapper.swap_in(&good_hints, "seed good hints").unwrap(), 1);
+
+    // The daemon's reoptimizer deterministically "improves" hints into
+    // the detuned bytes — the bad deploy the ledger must catch. Its
+    // constant output keeps later refreshes resolving `unchanged`, so
+    // generation 2 stays active while its evidence accumulates.
+    let rigged = detuned_hints.clone();
+    let reopt = Arc::new(FnReoptimizer(move |_: &str, _: &ProfileDb| {
+        Ok(rigged.clone())
+    }));
+
+    let registry = apt_metrics::Registry::new();
+    let mut cfg = ServeConfig::new("127.0.0.1:0", root.join("db"), root.join("hints"));
+    cfg.registry = registry.clone();
+    cfg.reopt_threshold = 0.25;
+    cfg.efficacy_window = WINDOW;
+    cfg.efficacy_threshold = THRESHOLD;
+    cfg.oplog = Some(OpLogConfig::new(root.join("oplog")));
+    let daemon = match Daemon::start(cfg, reopt) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("skipping efficacy e2e test: cannot bind a socket here ({e})");
+            return;
+        }
+    };
+
+    let mut client = Client::connect(daemon.addr()).expect("connect");
+    let mut upload = |label: &str, text: &str| {
+        client
+            .upload_reader("BFS", label, text.len() as u64, &mut text.as_bytes())
+            .expect("upload")
+    };
+
+    // Epoch 1: good-generation evidence. The commit refreshes hints
+    // against the shard, and the rigged reoptimizer swaps the detuned
+    // generation 2 in — the regression begins.
+    let r1 = upload("epoch-1", &good_dump);
+    assert_eq!(r1.generation, Some(2), "bad deploy must swap in: {r1:?}");
+
+    // Epoch 2: first detuned evidence — below the window, no verdict.
+    let r2 = upload("epoch-2", &detuned_dump);
+    assert_eq!(
+        r2.generation,
+        Some(2),
+        "one epoch of evidence must not trigger the policy: {r2:?}"
+    );
+
+    // Epoch 3: the window fills, the regression is proven, and the
+    // daemon rolls itself back to generation 1.
+    let r3 = upload("epoch-3", &detuned_dump);
+    assert_eq!(r3.generation, Some(1), "auto-rollback must fire: {r3:?}");
+
+    let status = client.status("BFS").expect("status");
+    assert!(status.contains("efficacy gen 1"), "{status}");
+    assert!(status.contains("(rolled back)"), "{status}");
+    daemon.shutdown();
+
+    // The active hints are byte-identical to the prior (good)
+    // generation; the detuned bytes survive only as the audit copy.
+    let current = std::fs::read(root.join("hints/BFS/current.hints")).unwrap();
+    assert_eq!(current, good_hints, "rollback must restore the good bytes");
+    assert_eq!(
+        std::fs::read(root.join("hints/BFS/gen-000001.hints")).unwrap(),
+        good_hints
+    );
+    assert_eq!(
+        std::fs::read(root.join("hints/BFS/gen-000002.hints")).unwrap(),
+        detuned_hints
+    );
+
+    // The swap log audits the decision with the policy's reasoning.
+    let log = swapper.read_log().expect("read swap log");
+    let rollback_line = log
+        .iter()
+        .find(|l| l.starts_with("rollback"))
+        .expect("rollback audited on swap.log");
+    assert!(
+        rollback_line.starts_with("rollback from=000002 to=000001 auto:"),
+        "{rollback_line}"
+    );
+
+    // The ledger attributes the outcome shares per generation: the
+    // good generation keeps its share, the detuned one is flagged.
+    let store = ShardStore::open(root.join("db")).unwrap();
+    let ledger = EfficacyLedger::load_or_empty(EfficacyLedger::path(store.dir(), "BFS"));
+    let g1 = &ledger.generations[&1];
+    let g2 = &ledger.generations[&2];
+    assert_eq!(g1.epochs, 1);
+    assert_eq!(g2.epochs, 2);
+    assert!(!g1.rolled_back);
+    assert!(g2.rolled_back);
+    let l1 = g1.timely_share().expect("gen 1 has feedback");
+    let l2 = g2.timely_share().expect("gen 2 has feedback");
+    assert!(
+        (l1 - good_share).abs() < 1e-9,
+        "ledger share {l1} must equal the traced run's {good_share}"
+    );
+    assert!(l1 - l2 > THRESHOLD, "ledger must show the regression");
+
+    // Metrics and op-log record the same decision.
+    assert_eq!(
+        registry.counter_value("apt_serve_auto_rollback_total", &[("tenant", "BFS")]),
+        Some(1)
+    );
+    let records = apt_serve::read_oplog_dir(&root.join("oplog")).expect("op-log validates");
+    assert!(
+        records.iter().any(|r| matches!(&r.kind,
+            OpKind::Rollback { tenant, from_gen: 2, to_gen: 1, note }
+                if tenant == "BFS" && note.starts_with("auto:"))),
+        "rollback missing from the op-log"
+    );
+    assert!(
+        records.iter().any(|r| matches!(&r.kind,
+            OpKind::Ledger { tenant, epochs: 3, .. } if tenant == "BFS")),
+        "final ledger commit missing from the op-log"
+    );
+
+    // The generation tags round-trip the dump format: re-parsing the
+    // uploaded text recovers the tag and the outcome counters the
+    // ledger summed.
+    let ing = parse_str(&good_dump, &IdentityRemap).expect("good dump re-parses");
+    assert_eq!(ing.generation, Some(1));
+    let agg = AggregateProfile::from_profile(&ing.profile, &ing.stats_or_default());
+    assert_eq!(agg.instructions, g1.instructions);
+
+    let _ = std::fs::remove_dir_all(&root);
+}
